@@ -1,0 +1,251 @@
+//! A binary buddy allocator producing power-of-two-sized, power-of-two-
+//! aligned blocks — the property the subheap scheme's block-masking lookup
+//! depends on (paper §3.3.2).
+
+use crate::AllocError;
+use ifp_mem::Memory;
+use std::collections::{BTreeSet, HashMap};
+
+/// Smallest block order handed out (4 KiB).
+pub const MIN_ORDER: u8 = 12;
+/// Largest block order (128 MiB).
+pub const MAX_ORDER: u8 = 27;
+
+/// The buddy allocator.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_alloc::buddy::{BuddyAllocator, MIN_ORDER};
+/// use ifp_mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// let mut buddy = BuddyAllocator::new(0x5000_0000, 24); // 16 MiB arena
+/// let block = buddy.alloc(&mut mem, MIN_ORDER).unwrap();
+/// assert_eq!(block % 4096, 0, "blocks are size-aligned");
+/// buddy.free(&mut mem, block, MIN_ORDER).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct BuddyAllocator {
+    base: u64,
+    arena_order: u8,
+    /// Free blocks per order.
+    free: HashMap<u8, BTreeSet<u64>>,
+    /// Live blocks: address -> order.
+    live: HashMap<u64, u8>,
+    /// Bytes currently allocated.
+    used: u64,
+    /// High-water mark of `used`.
+    peak_used: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator over `[base, base + 2^arena_order)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `base` is aligned to the arena size and the order is
+    /// within `[MIN_ORDER, 48]`.
+    #[must_use]
+    pub fn new(base: u64, arena_order: u8) -> Self {
+        assert!(arena_order >= MIN_ORDER && arena_order <= 48);
+        assert_eq!(base % (1 << arena_order), 0, "arena must be size-aligned");
+        let mut free: HashMap<u8, BTreeSet<u64>> = HashMap::new();
+        free.entry(arena_order).or_default().insert(base);
+        BuddyAllocator {
+            base,
+            arena_order,
+            free,
+            live: HashMap::new(),
+            used: 0,
+            peak_used: 0,
+        }
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// High-water mark of allocated bytes.
+    #[must_use]
+    pub fn peak_used(&self) -> u64 {
+        self.peak_used
+    }
+
+    /// Allocates one block of `2^order` bytes, mapping its pages.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::TooLarge`] for orders outside the supported range,
+    /// [`AllocError::OutOfMemory`] when the arena cannot satisfy it.
+    pub fn alloc(&mut self, mem: &mut Memory, order: u8) -> Result<u64, AllocError> {
+        if !(MIN_ORDER..=MAX_ORDER).contains(&order) {
+            return Err(AllocError::TooLarge { size: 1 << order });
+        }
+        // Find the smallest order with a free block, splitting downward.
+        let mut from = order;
+        let addr = loop {
+            if let Some(set) = self.free.get_mut(&from) {
+                if let Some(&addr) = set.iter().next() {
+                    set.remove(&addr);
+                    break addr;
+                }
+            }
+            if from >= self.arena_order {
+                return Err(AllocError::OutOfMemory);
+            }
+            from += 1;
+        };
+        // Split back down, stashing the upper halves.
+        let mut cur = from;
+        while cur > order {
+            cur -= 1;
+            let buddy = addr + (1u64 << cur);
+            self.free.entry(cur).or_default().insert(buddy);
+        }
+        self.live.insert(addr, order);
+        mem.map(addr, 1 << order);
+        self.used += 1 << order;
+        self.peak_used = self.peak_used.max(self.used);
+        Ok(addr)
+    }
+
+    /// Frees a block, merging buddies and unmapping its pages.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] when `(addr, order)` is not live.
+    pub fn free(&mut self, mem: &mut Memory, addr: u64, order: u8) -> Result<(), AllocError> {
+        match self.live.get(&addr) {
+            Some(&o) if o == order => {
+                self.live.remove(&addr);
+            }
+            _ => return Err(AllocError::InvalidFree { addr }),
+        }
+        self.used -= 1 << order;
+        mem.unmap(addr, 1 << order);
+
+        // Merge with free buddies upward.
+        let mut addr = addr;
+        let mut order = order;
+        while order < self.arena_order {
+            let buddy = self.base + ((addr - self.base) ^ (1u64 << order));
+            let set = self.free.entry(order).or_default();
+            if set.remove(&buddy) {
+                addr = addr.min(buddy);
+                order += 1;
+            } else {
+                break;
+            }
+        }
+        self.free.entry(order).or_default().insert(addr);
+        Ok(())
+    }
+
+    /// The order needed for a block of at least `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::TooLarge`] when even the maximum block is too small.
+    pub fn order_for(size: u64) -> Result<u8, AllocError> {
+        let order = size
+            .next_power_of_two()
+            .trailing_zeros()
+            .max(u32::from(MIN_ORDER)) as u8;
+        if order > MAX_ORDER {
+            Err(AllocError::TooLarge { size })
+        } else {
+            Ok(order)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Memory, BuddyAllocator) {
+        (Memory::new(), BuddyAllocator::new(0x5000_0000, 24))
+    }
+
+    #[test]
+    fn blocks_are_size_aligned() {
+        let (mut mem, mut b) = setup();
+        for order in [12u8, 13, 14, 16] {
+            let addr = b.alloc(&mut mem, order).unwrap();
+            assert_eq!(addr % (1 << order), 0, "order {order}");
+        }
+    }
+
+    #[test]
+    fn split_and_merge_roundtrip() {
+        let (mut mem, mut b) = setup();
+        let a1 = b.alloc(&mut mem, 12).unwrap();
+        let a2 = b.alloc(&mut mem, 12).unwrap();
+        b.free(&mut mem, a1, 12).unwrap();
+        b.free(&mut mem, a2, 12).unwrap();
+        // Fully merged: a 16 MiB block is available again.
+        let big = b.alloc(&mut mem, 24).unwrap();
+        assert_eq!(big, 0x5000_0000);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut mem, mut b) = setup();
+        let mut blocks = Vec::new();
+        for _ in 0..32 {
+            blocks.push((b.alloc(&mut mem, 12).unwrap(), 4096u64));
+        }
+        blocks.sort();
+        for w in blocks.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn free_unmaps_pages() {
+        let (mut mem, mut b) = setup();
+        let a = b.alloc(&mut mem, 13).unwrap();
+        assert!(mem.is_mapped(a, 8192));
+        b.free(&mut mem, a, 13).unwrap();
+        assert!(!mem.is_mapped(a, 1));
+    }
+
+    #[test]
+    fn invalid_free_rejected() {
+        let (mut mem, mut b) = setup();
+        let a = b.alloc(&mut mem, 12).unwrap();
+        assert!(b.free(&mut mem, a + 4096, 12).is_err());
+        assert!(b.free(&mut mem, a, 13).is_err());
+        b.free(&mut mem, a, 12).unwrap();
+        assert!(b.free(&mut mem, a, 12).is_err(), "double free");
+    }
+
+    #[test]
+    fn arena_exhaustion() {
+        let mut mem = Memory::new();
+        let mut b = BuddyAllocator::new(0x5000_0000, 13); // 8 KiB arena
+        let _a1 = b.alloc(&mut mem, 12).unwrap();
+        let _a2 = b.alloc(&mut mem, 12).unwrap();
+        assert_eq!(b.alloc(&mut mem, 12), Err(AllocError::OutOfMemory));
+    }
+
+    #[test]
+    fn order_for_sizes() {
+        assert_eq!(BuddyAllocator::order_for(1).unwrap(), 12);
+        assert_eq!(BuddyAllocator::order_for(4096).unwrap(), 12);
+        assert_eq!(BuddyAllocator::order_for(4097).unwrap(), 13);
+        assert!(BuddyAllocator::order_for(1 << 30).is_err());
+    }
+
+    #[test]
+    fn peak_tracks_high_water() {
+        let (mut mem, mut b) = setup();
+        let a = b.alloc(&mut mem, 14).unwrap();
+        b.free(&mut mem, a, 14).unwrap();
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.peak_used(), 1 << 14);
+    }
+}

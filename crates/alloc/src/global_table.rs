@@ -1,0 +1,211 @@
+//! Runtime manager for the global metadata table (paper §3.3.3, §4.2).
+//!
+//! The runtime library owns the table: it hands out rows for objects that
+//! cannot use the other schemes (large globals, large locals, wrapped
+//! allocations past the local-offset size limit) and writes the row images
+//! the hardware's global-table lookup reads.
+
+use crate::{costs, AllocCost, AllocError};
+use ifp_mem::MemSystem;
+use ifp_meta::GlobalTableRow;
+use ifp_tag::{GlobalTableTag, SchemeSel, TaggedPtr, GLOBAL_TABLE_ROWS};
+
+/// The global-table manager.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_alloc::GlobalTableManager;
+/// use ifp_mem::MemSystem;
+///
+/// let mut mem = MemSystem::with_default_l1();
+/// let mut gt = GlobalTableManager::new(0x2000_0000);
+/// gt.map(&mut mem);
+/// let (ptr, row, _cost) = gt.register(&mut mem, 0x7000, 4096, 0).unwrap();
+/// assert_eq!(ptr.addr(), 0x7000);
+/// gt.deregister(&mut mem, row).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct GlobalTableManager {
+    base: u64,
+    free_rows: Vec<u16>,
+    live: Vec<bool>,
+    peak_live: usize,
+}
+
+impl GlobalTableManager {
+    /// Creates a manager for a table at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        GlobalTableManager {
+            base,
+            // Hand out low indices first (pop from the back).
+            free_rows: (0..GLOBAL_TABLE_ROWS as u16).rev().collect(),
+            live: vec![false; GLOBAL_TABLE_ROWS],
+            peak_live: 0,
+        }
+    }
+
+    /// The table base address (to be loaded into the control register).
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Maps the table's backing pages.
+    pub fn map(&self, mem: &mut MemSystem) {
+        mem.mem
+            .map(self.base, GlobalTableRow::SIZE * GLOBAL_TABLE_ROWS as u64);
+    }
+
+    /// Number of live rows.
+    #[must_use]
+    pub fn live_rows(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// High-water mark of live rows.
+    #[must_use]
+    pub fn peak_live_rows(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Registers an object and returns its tagged pointer, the row index,
+    /// and the runtime cost.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::GlobalTableFull`] when all 4096 rows are in use,
+    /// [`AllocError::TooLarge`] when the size exceeds the row's 32-bit
+    /// size field.
+    pub fn register(
+        &mut self,
+        mem: &mut MemSystem,
+        object_base: u64,
+        size: u64,
+        layout_table: u64,
+    ) -> Result<(TaggedPtr, u16, AllocCost), AllocError> {
+        let size32 = u32::try_from(size).map_err(|_| AllocError::TooLarge { size })?;
+        let row = self.free_rows.pop().ok_or(AllocError::GlobalTableFull)?;
+        let image = GlobalTableRow {
+            base: object_base,
+            size: size32,
+            layout_table,
+            valid: true,
+        };
+        mem.write(self.row_addr(row), &image.to_bytes())
+            .expect("table pages are mapped");
+        self.live[usize::from(row)] = true;
+        self.peak_live = self.peak_live.max(self.live_rows());
+        let tag = GlobalTableTag { table_index: row };
+        let ptr = TaggedPtr::from_addr(object_base)
+            .with_scheme(SchemeSel::GlobalTable)
+            .with_scheme_meta(tag.encode().expect("row < 4096"));
+        Ok((
+            ptr,
+            row,
+            AllocCost {
+                base_instrs: costs::GLOBAL_REGISTER,
+                ifp_instrs: 1, // ifpmd tag setup
+            },
+        ))
+    }
+
+    /// Releases a row, invalidating its image in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] when the row is not live.
+    pub fn deregister(&mut self, mem: &mut MemSystem, row: u16) -> Result<AllocCost, AllocError> {
+        let slot = self
+            .live
+            .get_mut(usize::from(row))
+            .ok_or(AllocError::InvalidFree { addr: u64::from(row) })?;
+        if !*slot {
+            return Err(AllocError::InvalidFree { addr: u64::from(row) });
+        }
+        *slot = false;
+        mem.write(self.row_addr(row), &[0u8; 16])
+            .expect("table pages are mapped");
+        self.free_rows.push(row);
+        Ok(AllocCost {
+            base_instrs: costs::GLOBAL_DEREGISTER,
+            ifp_instrs: 0,
+        })
+    }
+
+    fn row_addr(&self, row: u16) -> u64 {
+        self.base + u64::from(row) * GlobalTableRow::SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemSystem, GlobalTableManager) {
+        let mut mem = MemSystem::with_default_l1();
+        let gt = GlobalTableManager::new(0x2000_0000);
+        gt.map(&mut mem);
+        (mem, gt)
+    }
+
+    #[test]
+    fn register_writes_a_resolvable_row() {
+        let (mut mem, mut gt) = setup();
+        let (ptr, row, _) = gt.register(&mut mem, 0x7000, 4096, 0x9000).unwrap();
+        assert_eq!(ptr.scheme(), SchemeSel::GlobalTable);
+        let mut buf = [0u8; 16];
+        mem.mem
+            .read_bytes(gt.base() + u64::from(row) * 16, &mut buf)
+            .unwrap();
+        let image = GlobalTableRow::from_bytes(&buf);
+        let meta = image.resolve().unwrap();
+        assert_eq!(meta.base, 0x7000);
+        assert_eq!(meta.size, 4096);
+        assert_eq!(meta.layout_table, 0x9000);
+    }
+
+    #[test]
+    fn deregister_invalidates_the_row() {
+        let (mut mem, mut gt) = setup();
+        let (_, row, _) = gt.register(&mut mem, 0x7000, 64, 0).unwrap();
+        gt.deregister(&mut mem, row).unwrap();
+        let mut buf = [0u8; 16];
+        mem.mem
+            .read_bytes(gt.base() + u64::from(row) * 16, &mut buf)
+            .unwrap();
+        assert!(GlobalTableRow::from_bytes(&buf).resolve().is_err());
+        assert!(gt.deregister(&mut mem, row).is_err(), "double deregister");
+    }
+
+    #[test]
+    fn rows_are_recycled() {
+        let (mut mem, mut gt) = setup();
+        let (_, r1, _) = gt.register(&mut mem, 0x7000, 64, 0).unwrap();
+        gt.deregister(&mut mem, r1).unwrap();
+        let (_, r2, _) = gt.register(&mut mem, 0x8000, 64, 0).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn table_capacity_is_4096() {
+        let (mut mem, mut gt) = setup();
+        for i in 0..4096u64 {
+            gt.register(&mut mem, 0x10000 + i * 16, 16, 0).unwrap();
+        }
+        assert_eq!(
+            gt.register(&mut mem, 0x1, 16, 0).unwrap_err(),
+            AllocError::GlobalTableFull
+        );
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let (mut mem, mut gt) = setup();
+        assert!(matches!(
+            gt.register(&mut mem, 0x7000, 1 << 33, 0),
+            Err(AllocError::TooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulated-heap allocators for the In-Fat Pointer runtime library.
+//!
+//! The paper's runtime ships two allocators (§4.2.1) that this crate
+//! reimplements over the simulated memory, plus the substrate they need:
+//!
+//! * [`libc`] — a glibc-style free-list `malloc` with 16-byte chunk
+//!   headers: the *baseline* allocator uninstrumented programs use;
+//! * [`wrapped`] — the **wrapped allocator**: transparently over-allocates
+//!   on top of [`libc`] to append local-offset metadata (falling back to
+//!   the global table for large objects), modelling retrofit onto an
+//!   existing allocator;
+//! * [`buddy`] + [`subheap`] — the **subheap allocator**: a pool allocator
+//!   over a buddy allocator producing power-of-two blocks whose slots all
+//!   share one 32-byte metadata record, modelling a modified slab/tcmalloc
+//!   style allocator;
+//! * [`stack`] — the stack frame allocator, including granule-aligned
+//!   tracked objects with appended local-offset metadata;
+//! * [`global_table`] — the runtime manager for the global metadata table.
+//!
+//! Every allocator reports the **instruction cost** of each call (the
+//! runtime library is code that executes on the simulated core) and
+//! performs its metadata writes through the [`ifp_mem::MemSystem`] so the
+//! cache model sees them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buddy;
+pub mod global_table;
+pub mod libc;
+pub mod stack;
+pub mod subheap;
+pub mod wrapped;
+
+pub use buddy::BuddyAllocator;
+pub use global_table::GlobalTableManager;
+pub use libc::LibcAllocator;
+pub use stack::StackAllocator;
+pub use subheap::SubheapAllocator;
+pub use wrapped::WrappedAllocator;
+
+use std::fmt;
+
+/// Error raised by the allocators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The heap segment is exhausted.
+    OutOfMemory,
+    /// `free` was called on an address that is not a live allocation.
+    InvalidFree {
+        /// The offending address.
+        addr: u64,
+    },
+    /// The stack segment is exhausted.
+    StackOverflow,
+    /// The global metadata table has no free rows.
+    GlobalTableFull,
+    /// The requested size cannot be represented by the allocator.
+    TooLarge {
+        /// The requested size.
+        size: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory => f.write_str("simulated heap exhausted"),
+            AllocError::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            AllocError::StackOverflow => f.write_str("simulated stack overflow"),
+            AllocError::GlobalTableFull => f.write_str("global metadata table full"),
+            AllocError::TooLarge { size } => write!(f, "allocation of {size} bytes unsupported"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Instruction cost of one runtime-library call, split the way the
+/// Figure 11 statistics need.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocCost {
+    /// Base-ISA instructions executed by the library routine.
+    pub base_instrs: u64,
+    /// In-Fat Pointer arithmetic instructions (`ifpmac`, `ifpmd`, tag
+    /// setup) executed by the routine.
+    pub ifp_instrs: u64,
+}
+
+impl AllocCost {
+    /// Combines two costs.
+    #[must_use]
+    pub fn plus(self, other: AllocCost) -> AllocCost {
+        AllocCost {
+            base_instrs: self.base_instrs + other.base_instrs,
+            ifp_instrs: self.ifp_instrs + other.ifp_instrs,
+        }
+    }
+}
+
+/// Cost constants for the allocator models, calibrated so the *relative*
+/// behaviour matches the paper: the subheap fast path beats glibc-style
+/// malloc (which is why allocation-heavy treeadd/perimeter speed up), and
+/// the wrapped allocator pays the base allocator plus wrapper overhead.
+pub mod costs {
+    /// glibc-style `malloc` instruction cost (fast path): bin selection,
+    /// arena bookkeeping, chunk split — the paper's observation that a
+    /// slab-style allocator beats glibc hinges on this gap.
+    pub const LIBC_MALLOC: u64 = 120;
+    /// glibc-style `free` instruction cost.
+    pub const LIBC_FREE: u64 = 60;
+    /// Wrapper overhead of the wrapped allocator (size adjustment,
+    /// metadata placement arithmetic) on top of the base allocator.
+    pub const WRAP_OVERHEAD: u64 = 15;
+    /// IFP instructions for metadata setup (`ifpmac` + `ifpmd` + stores).
+    pub const META_SETUP_IFP: u64 = 3;
+    /// Subheap allocator fast path (slot pop from the current block).
+    pub const SUBHEAP_MALLOC: u64 = 35;
+    /// Subheap allocator slow path surcharge (new block from the buddy
+    /// allocator + metadata record write).
+    pub const SUBHEAP_NEW_BLOCK: u64 = 90;
+    /// Subheap `free` (slot push).
+    pub const SUBHEAP_FREE: u64 = 20;
+    /// Inline stack-object metadata setup emitted by the compiler.
+    pub const STACK_REGISTER: u64 = 8;
+    /// Stack-object metadata cleanup.
+    pub const STACK_DEREGISTER: u64 = 2;
+    /// Runtime call registering an object in the global table.
+    pub const GLOBAL_REGISTER: u64 = 30;
+    /// Runtime call releasing a global-table row.
+    pub const GLOBAL_DEREGISTER: u64 = 12;
+}
+
+/// Rounds `v` up to a multiple of 16 (the prototype granule).
+#[must_use]
+pub fn round16(v: u64) -> u64 {
+    v.div_ceil(16) * 16
+}

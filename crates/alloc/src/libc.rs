@@ -1,0 +1,241 @@
+//! A glibc-style free-list allocator: the baseline `malloc`.
+//!
+//! Chunk layout mirrors dlmalloc's spirit: a 16-byte header (size +
+//! in-use flag) in front of a 16-byte-aligned payload. Free chunks go
+//! into exact-size bins with first-larger fallback; larger chunks are
+//! split. Freed chunks are reused but not coalesced (a simplification —
+//! the workloads here churn same-sized nodes, where coalescing is moot).
+//!
+//! The allocator extends its break pointer through the simulated memory,
+//! mapping pages on demand, so the memory model's peak-resident statistic
+//! reflects real allocator behaviour including per-chunk header overhead —
+//! the quantity Figure 12 compares across allocators.
+
+use crate::{AllocError, round16};
+use ifp_mem::Memory;
+use std::collections::BTreeMap;
+
+/// Byte size of a chunk header.
+pub const HEADER_SIZE: u64 = 16;
+/// Minimum chunk size (header + smallest payload).
+const MIN_CHUNK: u64 = 32;
+
+/// Live-heap statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Bytes currently handed out to the application (payload only).
+    pub live_payload: u64,
+    /// Bytes currently consumed by chunks (headers + padding included).
+    pub live_chunks: u64,
+    /// High-water mark of `live_chunks`.
+    pub peak_chunks: u64,
+    /// Total `malloc` calls served.
+    pub mallocs: u64,
+    /// Total `free` calls served.
+    pub frees: u64,
+}
+
+/// The baseline free-list allocator.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_alloc::LibcAllocator;
+/// use ifp_mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// let mut heap = LibcAllocator::new(0x4000_0000, 0x100_0000);
+/// let a = heap.malloc(&mut mem, 24).unwrap();
+/// let b = heap.malloc(&mut mem, 24).unwrap();
+/// assert_ne!(a, b);
+/// heap.free(&mut mem, a).unwrap();
+/// let c = heap.malloc(&mut mem, 24).unwrap();
+/// assert_eq!(a, c, "freed chunk is reused");
+/// ```
+#[derive(Debug)]
+pub struct LibcAllocator {
+    base: u64,
+    limit: u64,
+    brk: u64,
+    /// Free chunks keyed by chunk size.
+    bins: BTreeMap<u64, Vec<u64>>,
+    /// Live chunk payload sizes keyed by payload address.
+    live: BTreeMap<u64, (u64, u64)>, // payload addr -> (chunk addr, chunk size)
+    stats: HeapStats,
+}
+
+impl LibcAllocator {
+    /// Creates an allocator managing `[base, base + size)`.
+    #[must_use]
+    pub fn new(base: u64, size: u64) -> Self {
+        LibcAllocator {
+            base,
+            limit: base + size,
+            brk: base,
+            bins: BTreeMap::new(),
+            live: BTreeMap::new(),
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Allocates `size` bytes; the returned payload address is 16-byte
+    /// aligned.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when the segment is exhausted.
+    pub fn malloc(&mut self, mem: &mut Memory, size: u64) -> Result<u64, AllocError> {
+        let chunk_size = (round16(size.max(1)) + HEADER_SIZE).max(MIN_CHUNK);
+
+        // Exact or first-larger bin.
+        let found = self
+            .bins
+            .range_mut(chunk_size..)
+            .find(|(_, v)| !v.is_empty())
+            .map(|(&sz, v)| (sz, v.pop().expect("non-empty")));
+
+        let (chunk_addr, mut have) = if let Some((sz, addr)) = found {
+            (addr, sz)
+        } else {
+            // Extend the break.
+            let addr = self.brk;
+            if addr + chunk_size > self.limit {
+                return Err(AllocError::OutOfMemory);
+            }
+            mem.map(addr, chunk_size);
+            self.brk += chunk_size;
+            (addr, chunk_size)
+        };
+
+        // Split an oversized chunk.
+        if have >= chunk_size + MIN_CHUNK {
+            let rest_addr = chunk_addr + chunk_size;
+            let rest_size = have - chunk_size;
+            self.bins.entry(rest_size).or_default().push(rest_addr);
+            have = chunk_size;
+        }
+
+        let payload = chunk_addr + HEADER_SIZE;
+        self.live.insert(payload, (chunk_addr, have));
+        self.stats.mallocs += 1;
+        self.stats.live_payload += size;
+        self.stats.live_chunks += have;
+        self.stats.peak_chunks = self.stats.peak_chunks.max(self.stats.live_chunks);
+        Ok(payload)
+    }
+
+    /// Frees a payload address returned by [`LibcAllocator::malloc`].
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] for unknown or double-freed addresses.
+    pub fn free(&mut self, _mem: &mut Memory, payload: u64) -> Result<(), AllocError> {
+        let Some((chunk_addr, chunk_size)) = self.live.remove(&payload) else {
+            return Err(AllocError::InvalidFree { addr: payload });
+        };
+        self.bins.entry(chunk_size).or_default().push(chunk_addr);
+        self.stats.frees += 1;
+        self.stats.live_chunks -= chunk_size;
+        self.stats.live_payload = self.stats.live_payload.saturating_sub(chunk_size - HEADER_SIZE);
+        Ok(())
+    }
+
+    /// The usable payload size of a live allocation.
+    #[must_use]
+    pub fn usable_size(&self, payload: u64) -> Option<u64> {
+        self.live.get(&payload).map(|(_, sz)| sz - HEADER_SIZE)
+    }
+
+    /// Whether `payload` is a live allocation.
+    #[must_use]
+    pub fn is_live(&self, payload: u64) -> bool {
+        self.live.contains_key(&payload)
+    }
+
+    /// Bytes of address space consumed so far (the break offset): the
+    /// allocator's contribution to resident size.
+    #[must_use]
+    pub fn footprint(&self) -> u64 {
+        self.brk - self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Memory, LibcAllocator) {
+        (Memory::new(), LibcAllocator::new(0x4000_0000, 0x100_0000))
+    }
+
+    #[test]
+    fn payloads_are_aligned_and_disjoint() {
+        let (mut mem, mut heap) = setup();
+        let mut prev_end = 0u64;
+        for size in [1u64, 24, 100, 8, 4096] {
+            let p = heap.malloc(&mut mem, size).unwrap();
+            assert_eq!(p % 16, 0);
+            assert!(p >= prev_end, "chunks do not overlap");
+            prev_end = p + size;
+            mem.write_u8(p, 0xaa).unwrap();
+            mem.write_u8(p + size - 1, 0xbb).unwrap();
+        }
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mem, mut heap) = setup();
+        let p = heap.malloc(&mut mem, 64).unwrap();
+        heap.free(&mut mem, p).unwrap();
+        assert_eq!(
+            heap.free(&mut mem, p),
+            Err(AllocError::InvalidFree { addr: p })
+        );
+    }
+
+    #[test]
+    fn large_chunks_are_split() {
+        let (mut mem, mut heap) = setup();
+        let big = heap.malloc(&mut mem, 1024).unwrap();
+        heap.free(&mut mem, big).unwrap();
+        let small = heap.malloc(&mut mem, 16).unwrap();
+        assert_eq!(small, big, "small allocation reuses the split chunk");
+        // Remainder is available without growing the break.
+        let before = heap.footprint();
+        let _second = heap.malloc(&mut mem, 512).unwrap();
+        assert_eq!(heap.footprint(), before, "served from the split remainder");
+    }
+
+    #[test]
+    fn header_overhead_shows_in_footprint() {
+        let (mut mem, mut heap) = setup();
+        for _ in 0..100 {
+            heap.malloc(&mut mem, 16).unwrap();
+        }
+        // 100 chunks x (16 payload + 16 header).
+        assert_eq!(heap.footprint(), 100 * 32);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut mem = Memory::new();
+        let mut heap = LibcAllocator::new(0x4000_0000, 4096);
+        assert!(heap.malloc(&mut mem, 8192).is_err());
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let (mut mem, mut heap) = setup();
+        let a = heap.malloc(&mut mem, 100).unwrap();
+        let peak = heap.stats().peak_chunks;
+        heap.free(&mut mem, a).unwrap();
+        assert_eq!(heap.stats().live_chunks, 0);
+        assert_eq!(heap.stats().peak_chunks, peak);
+    }
+}

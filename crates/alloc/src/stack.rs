@@ -1,0 +1,275 @@
+//! The stack frame allocator.
+//!
+//! Locals live in a downward-growing stack. Untracked (statically safe)
+//! objects are plain bump allocations; tracked objects are granule-aligned
+//! with a 16-byte local-offset metadata record appended after the padded
+//! object, exactly the layout the local offset scheme's `promote` lookup
+//! expects (paper Figure 6).
+
+use crate::{costs, round16, AllocCost, AllocError};
+use ifp_mem::MemSystem;
+use ifp_meta::{LocalOffsetMeta, MacKey};
+use ifp_tag::{
+    LocalOffsetTag, SchemeSel, TaggedPtr, LOCAL_OFFSET_GRANULE, LOCAL_OFFSET_MAX_OBJECT,
+};
+
+/// A tracked stack object, remembered so the frame teardown can clear its
+/// metadata (the paper's `IFP_Deregister`).
+#[derive(Clone, Copy, Debug)]
+pub struct TrackedStackObject {
+    /// Object base address.
+    pub base: u64,
+    /// Object size.
+    pub size: u64,
+    /// Metadata record address.
+    pub meta_addr: u64,
+}
+
+#[derive(Debug, Default)]
+struct Frame {
+    saved_sp: u64,
+    tracked: Vec<TrackedStackObject>,
+}
+
+/// The stack allocator.
+#[derive(Debug)]
+pub struct StackAllocator {
+    top: u64,
+    limit: u64,
+    sp: u64,
+    mapped_low: u64,
+    frames: Vec<Frame>,
+}
+
+impl StackAllocator {
+    /// Creates a stack growing down from `top` with at most `size` bytes.
+    #[must_use]
+    pub fn new(top: u64, size: u64) -> Self {
+        StackAllocator {
+            top,
+            limit: top - size,
+            sp: top,
+            mapped_low: top,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Current stack pointer.
+    #[must_use]
+    pub fn sp(&self) -> u64 {
+        self.sp
+    }
+
+    /// Bytes of stack currently in use.
+    #[must_use]
+    pub fn used(&self) -> u64 {
+        self.top - self.sp
+    }
+
+    /// Enters a function frame.
+    pub fn push_frame(&mut self) {
+        self.frames.push(Frame {
+            saved_sp: self.sp,
+            tracked: Vec::new(),
+        });
+    }
+
+    /// Leaves the current frame, returning the tracked objects whose
+    /// metadata the caller must clear, and the deregistration cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is active.
+    pub fn pop_frame(&mut self) -> (Vec<TrackedStackObject>, AllocCost) {
+        let frame = self.frames.pop().expect("pop_frame without push_frame");
+        self.sp = frame.saved_sp;
+        let cost = AllocCost {
+            base_instrs: costs::STACK_DEREGISTER * frame.tracked.len() as u64,
+            ifp_instrs: 0,
+        };
+        (frame.tracked, cost)
+    }
+
+    fn bump(&mut self, mem: &mut MemSystem, size: u64, align: u64) -> Result<u64, AllocError> {
+        let next = self
+            .sp
+            .checked_sub(size)
+            .ok_or(AllocError::StackOverflow)?
+            & !(align - 1);
+        if next < self.limit {
+            return Err(AllocError::StackOverflow);
+        }
+        self.sp = next;
+        // Map newly touched pages lazily, like a demand-paged stack.
+        if next < self.mapped_low {
+            let lo = next & !(ifp_mem::PAGE_SIZE - 1);
+            mem.mem.map(lo, self.mapped_low - lo);
+            self.mapped_low = lo;
+        }
+        Ok(next)
+    }
+
+    /// Allocates an untracked (statically safe) local; returns a legacy
+    /// pointer.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::StackOverflow`] when the stack segment is exhausted.
+    pub fn alloca_plain(
+        &mut self,
+        mem: &mut MemSystem,
+        size: u64,
+        align: u64,
+    ) -> Result<TaggedPtr, AllocError> {
+        let addr = self.bump(mem, size.max(1), align.max(1).next_power_of_two())?;
+        Ok(TaggedPtr::from_addr(addr))
+    }
+
+    /// Allocates a tracked local with appended local-offset metadata and
+    /// returns the tagged pointer, the record for later cleanup, and the
+    /// instruction cost of the inline registration code.
+    ///
+    /// Objects above the local-offset size limit are placed here too, but
+    /// the caller is expected to register them in the global table instead
+    /// (paper §4.2.2); in that case pass `use_local_offset = false` and
+    /// tag the pointer via the global-table path.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::StackOverflow`] when the stack segment is exhausted,
+    /// [`AllocError::TooLarge`] when `use_local_offset` is set for an
+    /// object beyond the scheme's limit.
+    pub fn alloca_tracked(
+        &mut self,
+        mem: &mut MemSystem,
+        key: MacKey,
+        size: u64,
+        layout_table: u64,
+        use_local_offset: bool,
+    ) -> Result<(TaggedPtr, TrackedStackObject, AllocCost), AllocError> {
+        if use_local_offset && size > LOCAL_OFFSET_MAX_OBJECT {
+            return Err(AllocError::TooLarge { size });
+        }
+        let padded = round16(size.max(1));
+        let total = padded + LocalOffsetMeta::SIZE;
+        let base = self.bump(mem, total, LOCAL_OFFSET_GRANULE)?;
+        let meta_addr = base + padded;
+        let tracked = TrackedStackObject {
+            base,
+            size,
+            meta_addr,
+        };
+        if !use_local_offset {
+            // The caller registers in the global table; no inline record.
+            return Ok((
+                TaggedPtr::from_addr(base),
+                tracked,
+                AllocCost::default(),
+            ));
+        }
+        let meta = LocalOffsetMeta::new(
+            u16::try_from(size).expect("checked against LOCAL_OFFSET_MAX_OBJECT"),
+            layout_table,
+            meta_addr,
+            key,
+        );
+        mem.write(meta_addr, &meta.to_bytes())
+            .expect("freshly mapped stack page");
+        let tag = LocalOffsetTag {
+            granule_offset: u8::try_from(padded / LOCAL_OFFSET_GRANULE)
+                .expect("<= 63 by size limit"),
+            subobject_index: 0,
+        };
+        let ptr = TaggedPtr::from_addr(base)
+            .with_scheme(SchemeSel::LocalOffset)
+            .with_scheme_meta(tag.encode().expect("fields in range"));
+        let cost = AllocCost {
+            base_instrs: costs::STACK_REGISTER,
+            ifp_instrs: costs::META_SETUP_IFP,
+        };
+        if let Some(frame) = self.frames.last_mut() {
+            frame.tracked.push(tracked);
+        }
+        Ok((ptr, tracked, cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_mem::layout::{STACK_SIZE, STACK_TOP};
+
+    fn setup() -> (MemSystem, StackAllocator) {
+        (
+            MemSystem::with_default_l1(),
+            StackAllocator::new(STACK_TOP, STACK_SIZE),
+        )
+    }
+
+    #[test]
+    fn plain_alloca_bumps_down() {
+        let (mut mem, mut st) = setup();
+        st.push_frame();
+        let a = st.alloca_plain(&mut mem, 64, 8).unwrap();
+        let b = st.alloca_plain(&mut mem, 64, 8).unwrap();
+        assert!(b.addr() < a.addr());
+        assert!(a.is_legacy());
+        mem.mem.write_u64(b.addr(), 1).unwrap();
+    }
+
+    #[test]
+    fn tracked_alloca_appends_metadata() {
+        let (mut mem, mut st) = setup();
+        st.push_frame();
+        let key = MacKey::default_for_sim();
+        let (ptr, obj, cost) = st
+            .alloca_tracked(&mut mem, key, 24, 0x9000, true)
+            .unwrap();
+        assert_eq!(ptr.scheme(), SchemeSel::LocalOffset);
+        assert_eq!(obj.meta_addr, obj.base + 32);
+        assert!(cost.ifp_instrs > 0);
+        // The record round-trips through the promote-side decoder.
+        let mut buf = [0u8; 16];
+        mem.mem.read_bytes(obj.meta_addr, &mut buf).unwrap();
+        let meta = LocalOffsetMeta::from_bytes(&buf);
+        let resolved = meta.resolve(obj.meta_addr, key).unwrap();
+        assert_eq!(resolved.base, obj.base);
+        assert_eq!(resolved.size, 24);
+        assert_eq!(resolved.layout_table, 0x9000);
+    }
+
+    #[test]
+    fn frame_pop_restores_sp_and_returns_tracked() {
+        let (mut mem, mut st) = setup();
+        st.push_frame();
+        let sp0 = st.sp();
+        st.push_frame();
+        let key = MacKey::default_for_sim();
+        st.alloca_tracked(&mut mem, key, 24, 0, true).unwrap();
+        st.alloca_plain(&mut mem, 128, 16).unwrap();
+        let (tracked, _) = st.pop_frame();
+        assert_eq!(tracked.len(), 1);
+        assert_eq!(st.sp(), sp0);
+    }
+
+    #[test]
+    fn oversized_local_offset_rejected() {
+        let (mut mem, mut st) = setup();
+        st.push_frame();
+        let key = MacKey::default_for_sim();
+        assert!(matches!(
+            st.alloca_tracked(&mut mem, key, 2000, 0, true),
+            Err(AllocError::TooLarge { .. })
+        ));
+        // But placement without local-offset metadata works (global table path).
+        assert!(st.alloca_tracked(&mut mem, key, 2000, 0, false).is_ok());
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let mut mem = MemSystem::with_default_l1();
+        let mut st = StackAllocator::new(STACK_TOP, 8192);
+        st.push_frame();
+        assert!(st.alloca_plain(&mut mem, 100_000, 8).is_err());
+    }
+}

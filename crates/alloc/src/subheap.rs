@@ -1,0 +1,385 @@
+//! The subheap allocator (paper §3.3.2, §4.2.1): a pool allocator over the
+//! buddy allocator, modelling a slab/tcmalloc-style allocator modified to
+//! support the subheap metadata scheme.
+//!
+//! Objects of the same (size, type) share power-of-two blocks; every block
+//! begins with one 32-byte [`SubheapMeta`] record shared by all its slots
+//! — the metadata-sharing that shrinks the scheme's cache footprint
+//! (§5.2.2). Block geometry maps to the 16 subheap control registers by
+//! block order: control register `i` describes blocks of `2^(12+i)` bytes
+//! with the metadata at offset 0.
+
+use crate::buddy::{BuddyAllocator, MAX_ORDER, MIN_ORDER};
+use crate::{costs, round16, AllocCost, AllocError};
+use ifp_mem::MemSystem;
+use ifp_meta::{MacKey, SubheapCtrl, SubheapMeta};
+use ifp_tag::{SchemeSel, SubheapTag, TaggedPtr};
+use std::collections::HashMap;
+
+/// Metadata record size = reserved prefix of each block.
+const META_RESERVE: u64 = SubheapMeta::SIZE;
+/// Above this slot size a block holds a single object (avoids reserving
+/// 16-slot blocks for huge arrays).
+const SINGLE_SLOT_THRESHOLD: u64 = 64 * 1024;
+/// Preferred slots per block for small objects.
+const TARGET_SLOTS: u64 = 16;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct PoolKey {
+    slot_size: u32,
+    object_size: u32,
+    layout_table: u64,
+}
+
+#[derive(Debug)]
+struct BlockInfo {
+    key: PoolKey,
+    shift: u8,
+    free_slots: Vec<u32>,
+    total_slots: u32,
+}
+
+/// The subheap allocator.
+#[derive(Debug)]
+pub struct SubheapAllocator {
+    buddy: BuddyAllocator,
+    key: MacKey,
+    /// Blocks with at least one free slot, per pool.
+    pools: HashMap<PoolKey, Vec<u64>>,
+    /// All live blocks by base address.
+    blocks: HashMap<u64, BlockInfo>,
+    /// Live objects: address -> block base.
+    live: HashMap<u64, u64>,
+    mallocs: u64,
+    frees: u64,
+}
+
+impl SubheapAllocator {
+    /// Creates a subheap allocator over an arena at `arena_base`
+    /// (size-aligned) of `2^arena_order` bytes.
+    #[must_use]
+    pub fn new(arena_base: u64, arena_order: u8, key: MacKey) -> Self {
+        SubheapAllocator {
+            buddy: BuddyAllocator::new(arena_base, arena_order),
+            key,
+            pools: HashMap::new(),
+            blocks: HashMap::new(),
+            live: HashMap::new(),
+            mallocs: 0,
+            frees: 0,
+        }
+    }
+
+    /// The control-register images the runtime installs at startup: one
+    /// per block order, metadata at offset 0.
+    #[must_use]
+    pub fn ctrl_regs() -> Vec<(usize, SubheapCtrl)> {
+        (MIN_ORDER..=MAX_ORDER)
+            .map(|shift| {
+                (
+                    usize::from(shift - MIN_ORDER),
+                    SubheapCtrl {
+                        block_shift: shift,
+                        meta_offset: 0,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Bytes of arena currently allocated to blocks.
+    #[must_use]
+    pub fn footprint(&self) -> u64 {
+        self.buddy.used()
+    }
+
+    /// High-water mark of [`SubheapAllocator::footprint`].
+    #[must_use]
+    pub fn peak_footprint(&self) -> u64 {
+        self.buddy.peak_used()
+    }
+
+    /// Total allocations served.
+    #[must_use]
+    pub fn mallocs(&self) -> u64 {
+        self.mallocs
+    }
+
+    fn choose_shift(slot: u64) -> Result<u8, AllocError> {
+        // Small objects get multi-slot blocks (metadata amortized over
+        // TARGET_SLOTS); large objects degrade gracefully toward
+        // single-slot blocks so a handful of big buffers does not reserve
+        // 16x their size (blocks are capped at 16 KiB unless one object
+        // needs more).
+        let min_shift = BuddyAllocator::order_for(META_RESERVE + slot)?;
+        if slot >= SINGLE_SLOT_THRESHOLD {
+            return Ok(min_shift);
+        }
+        let preferred = BuddyAllocator::order_for(META_RESERVE + TARGET_SLOTS * slot)
+            .unwrap_or(MAX_ORDER);
+        Ok(preferred.min(14).max(min_shift))
+    }
+
+    /// Allocates an object, returning the tagged pointer and runtime cost.
+    ///
+    /// `layout_table` must be 0 or the address of a table with at most 256
+    /// entries (the subheap tag's 8-bit subobject index) — the caller (the
+    /// instrumented program's runtime) enforces the cap.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::TooLarge`] or [`AllocError::OutOfMemory`].
+    pub fn malloc(
+        &mut self,
+        mem: &mut MemSystem,
+        object_size: u64,
+        layout_table: u64,
+    ) -> Result<(TaggedPtr, AllocCost), AllocError> {
+        let slot = round16(object_size.max(1));
+        let object_size32 =
+            u32::try_from(object_size.max(1)).map_err(|_| AllocError::TooLarge { size: object_size })?;
+        let slot32 = u32::try_from(slot).map_err(|_| AllocError::TooLarge { size: object_size })?;
+        let key = PoolKey {
+            slot_size: slot32,
+            object_size: object_size32,
+            layout_table,
+        };
+        let mut cost = AllocCost {
+            base_instrs: costs::SUBHEAP_MALLOC,
+            ifp_instrs: 1, // ifpmd tag setup
+        };
+
+        // Find (or create) a block with a free slot.
+        let block_base = loop {
+            if let Some(list) = self.pools.get_mut(&key) {
+                if let Some(&base) = list.last() {
+                    break base;
+                }
+            }
+            let shift = Self::choose_shift(slot)?;
+            let base = self.buddy.alloc(&mut mem.mem, shift)?;
+            let slots = ((1u64 << shift) - META_RESERVE) / slot;
+            debug_assert!(slots >= 1);
+            let total_slots = u32::try_from(slots.min(u64::from(u32::MAX)))
+                .expect("bounded by block size");
+            let meta = SubheapMeta::new(
+                u32::try_from(META_RESERVE).expect("32"),
+                u32::try_from(META_RESERVE + slots * slot).expect("block <= 128 MiB"),
+                slot32,
+                object_size32,
+                layout_table,
+                base,
+                self.key,
+            );
+            mem.write(base, &meta.to_bytes())
+                .expect("block pages just mapped");
+            self.blocks.insert(
+                base,
+                BlockInfo {
+                    key,
+                    shift,
+                    free_slots: (0..total_slots).rev().collect(),
+                    total_slots,
+                },
+            );
+            self.pools.entry(key).or_default().push(base);
+            cost.base_instrs += costs::SUBHEAP_NEW_BLOCK;
+            cost.ifp_instrs += costs::META_SETUP_IFP;
+        };
+
+        let block = self.blocks.get_mut(&block_base).expect("listed block exists");
+        let slot_idx = block.free_slots.pop().expect("pool lists only non-full blocks");
+        if block.free_slots.is_empty() {
+            let list = self.pools.get_mut(&key).expect("pool exists");
+            list.retain(|&b| b != block_base);
+        }
+        let addr = block_base + META_RESERVE + u64::from(slot_idx) * slot;
+        let ctrl_index = block.shift - MIN_ORDER;
+        self.live.insert(addr, block_base);
+        self.mallocs += 1;
+
+        let tag = SubheapTag {
+            ctrl_index,
+            subobject_index: 0,
+        };
+        let ptr = TaggedPtr::from_addr(addr)
+            .with_scheme(SchemeSel::Subheap)
+            .with_scheme_meta(tag.encode().expect("ctrl_index < 16"));
+        Ok((ptr, cost))
+    }
+
+    /// Frees an object by address.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] for unknown or double-freed addresses.
+    pub fn free(&mut self, mem: &mut MemSystem, addr: u64) -> Result<AllocCost, AllocError> {
+        let block_base = self
+            .live
+            .remove(&addr)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        let block = self.blocks.get_mut(&block_base).expect("live implies block");
+        let slot = u64::from(block.key.slot_size);
+        let idx = u32::try_from((addr - block_base - META_RESERVE) / slot).expect("slot index");
+        let was_full = block.free_slots.is_empty();
+        block.free_slots.push(idx);
+        self.frees += 1;
+
+        if block.free_slots.len() as u32 == block.total_slots {
+            // Block fully free: return it to the buddy allocator.
+            let info = self.blocks.remove(&block_base).expect("present");
+            if let Some(list) = self.pools.get_mut(&info.key) {
+                list.retain(|&b| b != block_base);
+            }
+            self.buddy
+                .free(&mut mem.mem, block_base, info.shift)
+                .expect("block was live");
+        } else if was_full {
+            self.pools.entry(block.key).or_default().push(block_base);
+        }
+        Ok(AllocCost {
+            base_instrs: costs::SUBHEAP_FREE,
+            ifp_instrs: 0,
+        })
+    }
+
+    /// Whether `addr` is a live object.
+    #[must_use]
+    pub fn is_live(&self, addr: u64) -> bool {
+        self.live.contains_key(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_meta::ObjectMetadata;
+
+    const ARENA: u64 = 0x5000_0000;
+
+    fn setup() -> (MemSystem, SubheapAllocator) {
+        (
+            MemSystem::with_default_l1(),
+            SubheapAllocator::new(ARENA, 28, MacKey::default_for_sim()),
+        )
+    }
+
+    /// Resolves an allocation the way the hardware promote would.
+    fn resolve(mem: &mut MemSystem, ptr: TaggedPtr, key: MacKey) -> ObjectMetadata {
+        let tag = SubheapTag::decode(ptr.scheme_meta());
+        let ctrl = SubheapAllocator::ctrl_regs()[usize::from(tag.ctrl_index)].1;
+        let block = ctrl.block_base(ptr.addr());
+        let mut buf = [0u8; 32];
+        mem.mem.read_bytes(ctrl.meta_addr(ptr.addr()), &mut buf).unwrap();
+        SubheapMeta::from_bytes(&buf)
+            .resolve(block, ptr.addr(), key)
+            .unwrap()
+    }
+
+    #[test]
+    fn same_size_objects_share_a_block() {
+        let (mut mem, mut sh) = setup();
+        let (a, ca) = sh.malloc(&mut mem, 40, 0).unwrap();
+        let (b, cb) = sh.malloc(&mut mem, 40, 0).unwrap();
+        assert_eq!(a.addr() & !0xfff, b.addr() & !0xfff, "same 4 KiB block");
+        assert!(ca.base_instrs > cb.base_instrs, "first pays for the block");
+        assert_eq!(a.scheme(), SchemeSel::Subheap);
+    }
+
+    #[test]
+    fn hardware_lookup_resolves_allocations() {
+        let (mut mem, mut sh) = setup();
+        let key = MacKey::default_for_sim();
+        let (ptr, _) = sh.malloc(&mut mem, 40, 0x9000).unwrap();
+        let meta = resolve(&mut mem, ptr, key);
+        assert_eq!(meta.base, ptr.addr());
+        assert_eq!(meta.size, 40);
+        assert_eq!(meta.layout_table, 0x9000);
+        // Interior pointers resolve to the same object.
+        let inner = ptr.wrapping_add_addr(17);
+        let meta2 = resolve(&mut mem, inner, key);
+        assert_eq!(meta2.base, ptr.addr());
+    }
+
+    #[test]
+    fn different_sizes_use_different_blocks() {
+        let (mut mem, mut sh) = setup();
+        let (a, _) = sh.malloc(&mut mem, 40, 0).unwrap();
+        let (b, _) = sh.malloc(&mut mem, 72, 0).unwrap();
+        assert_ne!(a.addr() & !0xfff, b.addr() & !0xfff);
+    }
+
+    #[test]
+    fn different_layout_tables_use_different_blocks() {
+        // Same size but different type => different metadata => own block.
+        let (mut mem, mut sh) = setup();
+        let (a, _) = sh.malloc(&mut mem, 40, 0x9000).unwrap();
+        let (b, _) = sh.malloc(&mut mem, 40, 0xa000).unwrap();
+        assert_ne!(a.addr() & !0xfff, b.addr() & !0xfff);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let (mut mem, mut sh) = setup();
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        for i in 0..200u64 {
+            let size = 16 + (i % 5) * 24;
+            let (p, _) = sh.malloc(&mut mem, size, 0).unwrap();
+            spans.push((p.addr(), size));
+        }
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "{:x?} overlaps {:x?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn free_recycles_slots_and_empty_blocks() {
+        let (mut mem, mut sh) = setup();
+        let (a, _) = sh.malloc(&mut mem, 40, 0).unwrap();
+        let (b, _) = sh.malloc(&mut mem, 40, 0).unwrap();
+        sh.free(&mut mem, a.addr()).unwrap();
+        let (c, _) = sh.malloc(&mut mem, 40, 0).unwrap();
+        assert_eq!(c.addr(), a.addr(), "slot reused");
+        sh.free(&mut mem, b.addr()).unwrap();
+        sh.free(&mut mem, c.addr()).unwrap();
+        assert_eq!(sh.footprint(), 0, "empty block returned to the buddy");
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mem, mut sh) = setup();
+        let (a, _) = sh.malloc(&mut mem, 40, 0).unwrap();
+        sh.free(&mut mem, a.addr()).unwrap();
+        assert!(sh.free(&mut mem, a.addr()).is_err());
+    }
+
+    #[test]
+    fn large_arrays_get_single_slot_blocks() {
+        let (mut mem, mut sh) = setup();
+        let size = 1 << 20; // 1 MiB array
+        let (p, _) = sh.malloc(&mut mem, size, 0).unwrap();
+        let tag = SubheapTag::decode(p.scheme_meta());
+        let shift = tag.ctrl_index + MIN_ORDER;
+        assert!(1u64 << shift >= size);
+        // Block is not 16x oversized.
+        assert!(1u64 << shift <= 4 * size);
+    }
+
+    #[test]
+    fn tight_packing_beats_libc_headers() {
+        // 100 x 40-byte objects: subheap packs 48-byte slots with one
+        // 32-byte record per block; libc pays a 16-byte header each.
+        let (mut mem, mut sh) = setup();
+        for _ in 0..100 {
+            sh.malloc(&mut mem, 40, 0).unwrap();
+        }
+        let mut libc_mem = ifp_mem::Memory::new();
+        let mut libc = crate::LibcAllocator::new(0x4000_0000, 1 << 24);
+        for _ in 0..100 {
+            libc.malloc(&mut libc_mem, 40).unwrap();
+        }
+        // Subheap footprint counts whole blocks; still competitive.
+        assert!(sh.footprint() <= libc.footprint() + 4096);
+    }
+}

@@ -1,0 +1,243 @@
+//! The wrapped allocator (paper §4.2.1): In-Fat Pointer metadata
+//! retrofitted onto an existing `malloc`.
+//!
+//! Each allocation is transparently over-allocated so a local-offset
+//! metadata record can be appended after the (granule-padded) object.
+//! Objects past the local-offset size limit fall back to the global table
+//! scheme. This models deploying In-Fat Pointer against an allocator that
+//! cannot support the subheap scheme, and is the "Wrapped" configuration
+//! in Table 4 and Figures 10–12.
+
+use crate::{costs, round16, AllocCost, AllocError, GlobalTableManager, LibcAllocator};
+use ifp_mem::MemSystem;
+use ifp_meta::{LocalOffsetMeta, MacKey};
+use ifp_tag::{
+    LocalOffsetTag, SchemeSel, TaggedPtr, LOCAL_OFFSET_GRANULE, LOCAL_OFFSET_MAX_OBJECT,
+};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+enum MetaKind {
+    LocalOffset { meta_addr: u64 },
+    GlobalTable { row: u16 },
+}
+
+/// The wrapped allocator.
+#[derive(Debug)]
+pub struct WrappedAllocator {
+    base: LibcAllocator,
+    key: MacKey,
+    live: HashMap<u64, MetaKind>,
+    /// Allocations that used the global-table fallback.
+    global_fallbacks: u64,
+}
+
+impl WrappedAllocator {
+    /// Creates a wrapped allocator over a libc-style heap at
+    /// `[heap_base, heap_base + heap_size)`.
+    #[must_use]
+    pub fn new(heap_base: u64, heap_size: u64, key: MacKey) -> Self {
+        WrappedAllocator {
+            base: LibcAllocator::new(heap_base, heap_size),
+            key,
+            live: HashMap::new(),
+            global_fallbacks: 0,
+        }
+    }
+
+    /// The underlying libc allocator (for footprint statistics).
+    #[must_use]
+    pub fn base_allocator(&self) -> &LibcAllocator {
+        &self.base
+    }
+
+    /// Number of allocations that fell back to the global table scheme.
+    #[must_use]
+    pub fn global_fallbacks(&self) -> u64 {
+        self.global_fallbacks
+    }
+
+    /// Allocates `object_size` bytes with metadata; returns the tagged
+    /// pointer and the runtime cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the base allocator's and global table's errors.
+    pub fn malloc(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        object_size: u64,
+        layout_table: u64,
+    ) -> Result<(TaggedPtr, AllocCost), AllocError> {
+        let mut cost = AllocCost {
+            base_instrs: costs::LIBC_MALLOC + costs::WRAP_OVERHEAD,
+            ifp_instrs: 0,
+        };
+        if object_size <= LOCAL_OFFSET_MAX_OBJECT {
+            // Over-allocate: padded object + 16-byte record.
+            let padded = round16(object_size.max(1));
+            let payload = self.base.malloc(&mut mem.mem, padded + LocalOffsetMeta::SIZE)?;
+            debug_assert_eq!(payload % LOCAL_OFFSET_GRANULE, 0);
+            let meta_addr = payload + padded;
+            let meta = LocalOffsetMeta::new(
+                u16::try_from(object_size.max(1)).expect("<= 1008"),
+                layout_table,
+                meta_addr,
+                self.key,
+            );
+            mem.write(meta_addr, &meta.to_bytes())
+                .expect("freshly allocated chunk is mapped");
+            cost.ifp_instrs += costs::META_SETUP_IFP;
+            let tag = LocalOffsetTag {
+                granule_offset: u8::try_from(padded / LOCAL_OFFSET_GRANULE)
+                    .expect("<= 63 by the size limit"),
+                subobject_index: 0,
+            };
+            let ptr = TaggedPtr::from_addr(payload)
+                .with_scheme(SchemeSel::LocalOffset)
+                .with_scheme_meta(tag.encode().expect("fields in range"));
+            self.live.insert(payload, MetaKind::LocalOffset { meta_addr });
+            Ok((ptr, cost))
+        } else {
+            // Global-table fallback for large objects.
+            let payload = self.base.malloc(&mut mem.mem, object_size)?;
+            let (ptr, row, reg_cost) = gt.register(mem, payload, object_size, layout_table)?;
+            self.live.insert(payload, MetaKind::GlobalTable { row });
+            self.global_fallbacks += 1;
+            Ok((ptr, cost.plus(reg_cost)))
+        }
+    }
+
+    /// Frees an allocation, clearing its metadata first so stale pointers
+    /// fail their next promote.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] for unknown addresses.
+    pub fn free(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        addr: u64,
+    ) -> Result<AllocCost, AllocError> {
+        let kind = self
+            .live
+            .remove(&addr)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        let mut cost = AllocCost {
+            base_instrs: costs::LIBC_FREE + costs::WRAP_OVERHEAD / 2,
+            ifp_instrs: 0,
+        };
+        match kind {
+            MetaKind::LocalOffset { meta_addr } => {
+                // Zeroing the record invalidates its MAC.
+                mem.write(meta_addr, &[0u8; 16])
+                    .expect("chunk still mapped");
+            }
+            MetaKind::GlobalTable { row } => {
+                cost = cost.plus(gt.deregister(mem, row)?);
+            }
+        }
+        self.base.free(&mut mem.mem, addr)?;
+        Ok(cost)
+    }
+
+    /// Whether `addr` is a live allocation.
+    #[must_use]
+    pub fn is_live(&self, addr: u64) -> bool {
+        self.live.contains_key(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemSystem, WrappedAllocator, GlobalTableManager) {
+        let mut mem = MemSystem::with_default_l1();
+        let gt = GlobalTableManager::new(0x2000_0000);
+        gt.map(&mut mem);
+        (
+            mem,
+            WrappedAllocator::new(0x4000_0000, 1 << 26, MacKey::default_for_sim()),
+            gt,
+        )
+    }
+
+    #[test]
+    fn small_allocations_use_local_offset() {
+        let (mut mem, mut w, mut gt) = setup();
+        let (ptr, cost) = w.malloc(&mut mem, &mut gt, 24, 0x9000).unwrap();
+        assert_eq!(ptr.scheme(), SchemeSel::LocalOffset);
+        assert!(cost.ifp_instrs > 0);
+        // Record resolves like promote would.
+        let tag = LocalOffsetTag::decode(ptr.scheme_meta());
+        let meta_addr =
+            (ptr.addr() & !15) + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
+        let mut buf = [0u8; 16];
+        mem.mem.read_bytes(meta_addr, &mut buf).unwrap();
+        let meta = LocalOffsetMeta::from_bytes(&buf)
+            .resolve(meta_addr, MacKey::default_for_sim())
+            .unwrap();
+        assert_eq!(meta.base, ptr.addr());
+        assert_eq!(meta.size, 24);
+    }
+
+    #[test]
+    fn large_allocations_fall_back_to_global_table() {
+        let (mut mem, mut w, mut gt) = setup();
+        let (ptr, _) = w.malloc(&mut mem, &mut gt, 100_000, 0).unwrap();
+        assert_eq!(ptr.scheme(), SchemeSel::GlobalTable);
+        assert_eq!(w.global_fallbacks(), 1);
+        assert_eq!(gt.live_rows(), 1);
+    }
+
+    #[test]
+    fn free_invalidates_metadata() {
+        let (mut mem, mut w, mut gt) = setup();
+        let (ptr, _) = w.malloc(&mut mem, &mut gt, 24, 0).unwrap();
+        let tag = LocalOffsetTag::decode(ptr.scheme_meta());
+        let meta_addr =
+            (ptr.addr() & !15) + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
+        w.free(&mut mem, &mut gt, ptr.addr()).unwrap();
+        let mut buf = [0u8; 16];
+        mem.mem.read_bytes(meta_addr, &mut buf).unwrap();
+        assert!(
+            LocalOffsetMeta::from_bytes(&buf)
+                .resolve(meta_addr, MacKey::default_for_sim())
+                .is_err(),
+            "stale metadata fails its MAC"
+        );
+    }
+
+    #[test]
+    fn global_fallback_free_releases_row() {
+        let (mut mem, mut w, mut gt) = setup();
+        let (ptr, _) = w.malloc(&mut mem, &mut gt, 100_000, 0).unwrap();
+        w.free(&mut mem, &mut gt, ptr.addr()).unwrap();
+        assert_eq!(gt.live_rows(), 0);
+    }
+
+    #[test]
+    fn wrapped_footprint_exceeds_plain_libc() {
+        // The over-allocation that produces the wrapped configuration's
+        // memory overhead in Figure 12.
+        let (mut mem, mut w, mut gt) = setup();
+        for _ in 0..100 {
+            w.malloc(&mut mem, &mut gt, 40, 0).unwrap();
+        }
+        let mut plain_mem = ifp_mem::Memory::new();
+        let mut plain = LibcAllocator::new(0x4000_0000, 1 << 26);
+        for _ in 0..100 {
+            plain.malloc(&mut plain_mem, 40).unwrap();
+        }
+        assert!(w.base_allocator().footprint() > plain.footprint());
+    }
+
+    #[test]
+    fn invalid_free_detected() {
+        let (mut mem, mut w, mut gt) = setup();
+        assert!(w.free(&mut mem, &mut gt, 0x1234).is_err());
+    }
+}

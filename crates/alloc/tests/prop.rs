@@ -1,0 +1,121 @@
+//! Allocator property tests: random malloc/free interleavings never
+//! produce overlapping or misaligned live objects, frees are exact, and
+//! full teardown returns the arena to empty.
+
+use ifp_alloc::{GlobalTableManager, LibcAllocator, SubheapAllocator, WrappedAllocator};
+use ifp_mem::MemSystem;
+use ifp_meta::MacKey;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random allocation script: sizes to allocate, and for each step an
+/// optional index (mod live count) to free first.
+fn script() -> impl Strategy<Value = Vec<(u64, Option<u8>)>> {
+    proptest::collection::vec((1u64..512, proptest::option::of(any::<u8>())), 1..64)
+}
+
+fn check_no_overlap(live: &BTreeMap<u64, u64>) {
+    let mut prev_end = 0u64;
+    for (&base, &size) in live {
+        assert!(base >= prev_end, "overlap at {base:#x}");
+        prev_end = base + size;
+    }
+}
+
+proptest! {
+    #[test]
+    fn libc_objects_never_overlap(steps in script()) {
+        let mut mem = ifp_mem::Memory::new();
+        let mut heap = LibcAllocator::new(0x4000_0000, 1 << 26);
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        for (size, free_idx) in steps {
+            if let Some(i) = free_idx {
+                if !live.is_empty() {
+                    let k = *live.keys().nth(usize::from(i) % live.len()).unwrap();
+                    let _ = live.remove(&k);
+                    heap.free(&mut mem, k).unwrap();
+                }
+            }
+            let p = heap.malloc(&mut mem, size).unwrap();
+            prop_assert_eq!(p % 16, 0, "alignment");
+            live.insert(p, size);
+            check_no_overlap(&live);
+        }
+    }
+
+    #[test]
+    fn subheap_objects_never_overlap_and_teardown_is_total(steps in script()) {
+        let mut mem = MemSystem::with_default_l1();
+        let mut heap = SubheapAllocator::new(0x5000_0000, 26, MacKey::default_for_sim());
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        for (size, free_idx) in steps {
+            if let Some(i) = free_idx {
+                if !live.is_empty() {
+                    let k = *live.keys().nth(usize::from(i) % live.len()).unwrap();
+                    live.remove(&k);
+                    heap.free(&mut mem, k).unwrap();
+                }
+            }
+            let (p, _) = heap.malloc(&mut mem, size, 0).unwrap();
+            prop_assert_eq!(p.addr() % 16, 0);
+            prop_assert!(heap.is_live(p.addr()));
+            live.insert(p.addr(), size);
+            check_no_overlap(&live);
+        }
+        // Free everything: the buddy arena must return to empty.
+        for (&base, _) in live.iter() {
+            heap.free(&mut mem, base).unwrap();
+        }
+        prop_assert_eq!(heap.footprint(), 0);
+    }
+
+    #[test]
+    fn wrapped_objects_never_overlap_and_metadata_verifies(steps in script()) {
+        let mut mem = MemSystem::with_default_l1();
+        let mut gt = GlobalTableManager::new(0x2000_0000);
+        gt.map(&mut mem);
+        let key = MacKey::default_for_sim();
+        let mut heap = WrappedAllocator::new(0x4000_0000, 1 << 26, key);
+        let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+        for (size, free_idx) in steps {
+            if let Some(i) = free_idx {
+                if !live.is_empty() {
+                    let k = *live.keys().nth(usize::from(i) % live.len()).unwrap();
+                    live.remove(&k);
+                    heap.free(&mut mem, &mut gt, k).unwrap();
+                }
+            }
+            let (p, _) = heap.malloc(&mut mem, &mut gt, size, 0).unwrap();
+            // The wrapped allocator's footprint includes the appended
+            // metadata record: account for it in the overlap check.
+            let reserve = ifp_alloc::round16(size) + 16;
+            live.insert(p.addr(), reserve);
+            check_no_overlap(&live);
+        }
+        // All rows released when everything is freed.
+        for (&base, _) in live.iter() {
+            heap.free(&mut mem, &mut gt, base).unwrap();
+        }
+        prop_assert_eq!(gt.live_rows(), 0);
+    }
+
+    #[test]
+    fn buddy_blocks_are_disjoint_and_aligned(orders in proptest::collection::vec(12u8..18, 1..24)) {
+        let mut mem = ifp_mem::Memory::new();
+        let mut buddy = ifp_alloc::BuddyAllocator::new(0x5000_0000, 26);
+        let mut blocks = Vec::new();
+        for order in orders {
+            let b = buddy.alloc(&mut mem, order).unwrap();
+            prop_assert_eq!(b % (1u64 << order), 0);
+            blocks.push((b, 1u64 << order, order));
+        }
+        blocks.sort();
+        for w in blocks.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 <= w[1].0);
+        }
+        for (b, _, order) in &blocks {
+            buddy.free(&mut mem, *b, *order).unwrap();
+        }
+        prop_assert_eq!(buddy.used(), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! AddressSanitizer-style memory-based defense: one shadow byte per eight
+//! application bytes marks valid memory; allocations are surrounded by
+//! poisoned redzones. Detection is partial by construction — an access
+//! that jumps past the redzone into another live object is invisible.
+
+use crate::{Defense, PtrMeta};
+use std::collections::HashMap;
+
+/// Redzone size on each side of an allocation.
+pub const REDZONE: u64 = 16;
+/// Application bytes per shadow byte.
+const GRAIN: u64 = 8;
+
+/// Shadow byte values.
+const VALID: u8 = 0;
+const REDZONE_MARK: u8 = 0xfa;
+const FREED_MARK: u8 = 0xfd;
+
+/// The ASan-style defense.
+#[derive(Debug, Default)]
+pub struct Asan {
+    shadow: HashMap<u64, u8>,
+}
+
+impl Asan {
+    /// Creates an empty instance (all memory "valid", matching ASan's
+    /// default for unpoisoned regions).
+    #[must_use]
+    pub fn new() -> Self {
+        Asan::default()
+    }
+
+    fn poison(&mut self, base: u64, len: u64, mark: u8) {
+        for g in (base / GRAIN)..((base + len).div_ceil(GRAIN)) {
+            self.shadow.insert(g, mark);
+        }
+    }
+
+    fn unpoison(&mut self, base: u64, len: u64) {
+        for g in (base / GRAIN)..((base + len).div_ceil(GRAIN)) {
+            self.shadow.insert(g, VALID);
+        }
+    }
+
+    fn shadow_at(&self, addr: u64) -> u8 {
+        self.shadow.get(&(addr / GRAIN)).copied().unwrap_or(VALID)
+    }
+}
+
+impl Defense for Asan {
+    fn name(&self) -> &'static str {
+        "ASan-style (memory-based)"
+    }
+
+    fn on_alloc(&mut self, base: u64, size: u64) -> PtrMeta {
+        // Left and right redzones around the object.
+        self.poison(base.saturating_sub(REDZONE), REDZONE, REDZONE_MARK);
+        self.unpoison(base, size);
+        self.poison(base + size, REDZONE, REDZONE_MARK);
+        PtrMeta::None
+    }
+
+    fn on_free(&mut self, base: u64, size: u64) {
+        // Quarantine: freed memory stays poisoned.
+        self.poison(base, size, FREED_MARK);
+    }
+
+    fn on_subobject(&mut self, parent: PtrMeta, _field_base: u64, _field_size: u64) -> PtrMeta {
+        // No per-pointer state: subobjects are indistinguishable.
+        parent
+    }
+
+    fn check(&self, _meta: PtrMeta, addr: u64, size: u64) -> bool {
+        (addr..addr + size).all(|a| self.shadow_at(a) == VALID)
+    }
+
+    fn object_granularity(&self) -> &'static str {
+        "partial (redzones)"
+    }
+
+    fn subobject_granularity(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redzones_catch_adjacent_overflow() {
+        let mut a = Asan::new();
+        let m = a.on_alloc(0x1000, 64);
+        assert!(a.check(m, 0x1000, 64));
+        assert!(!a.check(m, 0x1040, 1), "right redzone");
+        assert!(!a.check(m, 0xff8, 1), "left redzone");
+    }
+
+    #[test]
+    fn far_accesses_into_other_objects_are_missed() {
+        let mut a = Asan::new();
+        let m1 = a.on_alloc(0x1000, 64);
+        let _m2 = a.on_alloc(0x2000, 64);
+        assert!(a.check(m1, 0x2020, 1), "valid memory of another object");
+    }
+
+    #[test]
+    fn freed_memory_stays_poisoned() {
+        let mut a = Asan::new();
+        let m = a.on_alloc(0x1000, 64);
+        a.on_free(0x1000, 64);
+        assert!(!a.check(m, 0x1000, 1), "use after free caught by quarantine");
+    }
+}

@@ -1,0 +1,144 @@
+//! ARM MTE-style memory tagging: every 16-byte granule carries a 4-bit
+//! tag; a pointer carries the tag of its allocation, and a dereference
+//! whose pointer tag mismatches the memory tag traps. Detection is
+//! probabilistic: 4 bits give a 1-in-16 chance that an out-of-bounds
+//! access lands on memory that happens to share the tag.
+
+use crate::{Defense, PtrMeta};
+use std::collections::HashMap;
+
+/// Bytes per tag granule.
+pub const GRANULE: u64 = 16;
+/// Tag width in bits.
+pub const TAG_BITS: u32 = 4;
+
+/// The MTE-style defense.
+#[derive(Debug)]
+pub struct Mte {
+    tags: HashMap<u64, u8>,
+    rng: u64,
+}
+
+impl Mte {
+    /// Creates an instance with a deterministic tag-assignment seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Mte {
+            tags: HashMap::new(),
+            rng: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+        }
+    }
+
+    fn next_tag(&mut self) -> u8 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.rng >> 33) & ((1 << TAG_BITS) - 1)) as u8
+    }
+
+    fn tag_at(&self, addr: u64) -> u8 {
+        self.tags.get(&(addr / GRANULE)).copied().unwrap_or(0)
+    }
+
+    fn set_tags(&mut self, base: u64, len: u64, tag: u8) {
+        for g in (base / GRANULE)..((base + len).div_ceil(GRANULE)) {
+            self.tags.insert(g, tag);
+        }
+    }
+}
+
+impl Default for Mte {
+    fn default() -> Self {
+        Mte::with_seed(7)
+    }
+}
+
+impl Defense for Mte {
+    fn name(&self) -> &'static str {
+        "MTE-style (tagged memory)"
+    }
+
+    fn on_alloc(&mut self, base: u64, size: u64) -> PtrMeta {
+        let tag = self.next_tag();
+        self.set_tags(base, size, tag);
+        PtrMeta::Tag(tag)
+    }
+
+    fn on_free(&mut self, base: u64, size: u64) {
+        // Retagging on free gives (probabilistic) use-after-free detection.
+        let tag = self.next_tag();
+        self.set_tags(base, size, tag);
+    }
+
+    fn on_subobject(&mut self, parent: PtrMeta, _field_base: u64, _field_size: u64) -> PtrMeta {
+        // Subobjects share the object tag: no intra-object detection.
+        parent
+    }
+
+    fn check(&self, meta: PtrMeta, addr: u64, size: u64) -> bool {
+        match meta {
+            PtrMeta::Tag(t) => {
+                let last = addr + size.max(1) - 1;
+                (addr / GRANULE..=last / GRANULE).all(|g| self.tag_at(g * GRANULE) == t)
+            }
+            _ => true,
+        }
+    }
+
+    fn object_granularity(&self) -> &'static str {
+        "probabilistic (1/16 escape)"
+    }
+
+    fn subobject_granularity(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_tag_passes_mismatched_traps() {
+        let mut m = Mte::with_seed(1);
+        let pa = m.on_alloc(0x1000, 64);
+        let _pb = m.on_alloc(0x2000, 64);
+        assert!(m.check(pa, 0x1000, 16));
+        // Untagged memory (tag 0) usually mismatches.
+        let PtrMeta::Tag(t) = pa else { panic!() };
+        if t != 0 {
+            assert!(!m.check(pa, 0x5000, 1));
+        }
+    }
+
+    #[test]
+    fn collision_probability_is_about_one_sixteenth() {
+        let mut collisions = 0u32;
+        let trials = 512u32;
+        for seed in 0..u64::from(trials) {
+            let mut m = Mte::with_seed(seed);
+            let pa = m.on_alloc(0x1000, 64);
+            let _pb = m.on_alloc(0x1040, 64); // adjacent
+            if m.check(pa, 0x1040, 1) {
+                collisions += 1;
+            }
+        }
+        let rate = f64::from(collisions) / f64::from(trials);
+        assert!((0.02..0.14).contains(&rate), "collision rate {rate}");
+    }
+
+    #[test]
+    fn retag_on_free_catches_stale_pointers_probabilistically() {
+        let mut caught = 0;
+        for seed in 0..64 {
+            let mut m = Mte::with_seed(seed);
+            let p = m.on_alloc(0x1000, 64);
+            m.on_free(0x1000, 64);
+            if !m.check(p, 0x1000, 1) {
+                caught += 1;
+            }
+        }
+        assert!(caught > 48, "most stale uses trap ({caught}/64)");
+    }
+}

@@ -1,0 +1,30 @@
+//! End-to-end VM throughput on a small treeadd across the five
+//! configurations — the bench behind Figure 10's per-configuration
+//! overheads at micro scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig};
+use std::hint::black_box;
+
+fn bench_modes(c: &mut Criterion) {
+    let program = ifp_workloads::olden::treeadd::build(8);
+    let mut group = c.benchmark_group("treeadd_depth8");
+    group.sample_size(20);
+    for mode in [
+        Mode::Baseline,
+        Mode::instrumented(AllocatorKind::Subheap),
+        Mode::instrumented(AllocatorKind::Wrapped),
+        Mode::Instrumented {
+            allocator: AllocatorKind::Subheap,
+            no_promote: true,
+        },
+    ] {
+        group.bench_function(format!("{mode}"), |b| {
+            b.iter(|| run(black_box(&program), &VmConfig::with_mode(mode)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

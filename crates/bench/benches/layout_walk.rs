@@ -1,0 +1,53 @@
+//! Microbenchmark: layout-table narrowing cost by nesting depth — the
+//! component the paper's area analysis calls "the most complex in the
+//! processor modification", whose recursive walk with division is why
+//! deep array-of-struct promotes are expensive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifp_meta::layout::{LayoutTable, LayoutTableBuilder};
+use ifp_tag::Bounds;
+use std::hint::black_box;
+
+/// Builds a chain of nested array-of-struct levels, returning the table
+/// and the deepest leaf index.
+fn nested_table(depth: u32) -> (LayoutTable, u16) {
+    // Level sizes: leaf = 8 bytes; each level wraps the previous in a
+    // 2-element array plus an 8-byte header.
+    let mut sizes = vec![8u32];
+    for _ in 0..depth {
+        let inner = *sizes.last().unwrap();
+        sizes.push(8 + inner * 2);
+    }
+    let total = *sizes.last().unwrap();
+    let mut b = LayoutTableBuilder::new(total);
+    let mut parent = 0u16;
+    let mut leaf = 0u16;
+    for level in (0..depth).rev() {
+        let inner = sizes[level as usize];
+        // array member at offset 8 of the current parent element.
+        let arr = b.child(parent, 8, 8 + inner * 2, inner).unwrap();
+        parent = arr;
+        leaf = arr;
+    }
+    (b.build(), leaf)
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_narrow");
+    for depth in [1u32, 2, 4, 8] {
+        let (table, leaf) = nested_table(depth);
+        let size = table.entries()[0].elem_size;
+        let bounds = Bounds::from_base_size(0x1000, u64::from(size));
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                table
+                    .narrow(black_box(bounds), black_box(0x1000 + 24), leaf)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage: `cargo run --release -p ifp-bench --bin tables -- [section ...]`
+//! where sections are `table1 table2 table3 table4 fig10 fig11 fig12
+//! fig13 juliet cache` or `all` (default).
+
+use ifp_bench::{render, sweep_all};
+use ifp_juliet::{all_cases, run_suite};
+use ifp_vm::{AllocatorKind, Mode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
+
+    // Static sections first (cheap).
+    if want("table1") {
+        println!("{}", render::table1());
+    }
+    if want("table2") {
+        println!("{}", render::table2());
+    }
+    if want("table3") {
+        println!("{}", render::table3());
+    }
+    if want("fig13") {
+        println!("{}", render::fig13());
+    }
+    if want("ablation") {
+        println!("{}", ifp_bench::ablation::tag_split_table());
+        println!(
+            "{}",
+            ifp_bench::ablation::granule_table(&ifp_bench::ablation::workload_size_sample())
+        );
+        println!("{}", ifp_bench::ablation::cache_sweep());
+    }
+
+    if want("juliet") {
+        println!("Functional evaluation (Juliet-style suite, §5.1)");
+        let cases = all_cases();
+        println!("  generated cases: {} ({} bad, {} good)", cases.len(), cases.len() / 2, cases.len() / 2);
+        for mode in [
+            Mode::Baseline,
+            Mode::instrumented(AllocatorKind::Wrapped),
+            Mode::instrumented(AllocatorKind::Subheap),
+            Mode::Instrumented {
+                allocator: AllocatorKind::Subheap,
+                no_promote: true,
+            },
+        ] {
+            let r = run_suite(&cases, mode);
+            println!("  {mode}: {r}");
+        }
+        println!();
+    }
+
+    let needs_sweeps = ["table4", "fig10", "fig11", "fig12", "cache", "json"]
+        .iter()
+        .any(|s| want(s) || args.iter().any(|a| a == *s));
+    if needs_sweeps {
+        eprintln!("running 18 workloads x 5 configurations...");
+        let workloads = ifp_workloads::all();
+        let t0 = std::time::Instant::now();
+        let sweeps = sweep_all(&workloads);
+        eprintln!("swept in {:.1}s", t0.elapsed().as_secs_f64());
+
+        if want("table4") {
+            println!("{}", render::table4(&sweeps));
+        }
+        if want("fig10") {
+            println!("{}", render::fig10(&sweeps));
+        }
+        if want("fig11") {
+            println!("{}", render::fig11(&sweeps));
+        }
+        if want("fig12") {
+            // Paper: programs under 6 MB are excluded; our scaled inputs
+            // use a proportionally scaled threshold.
+            println!("{}", render::fig12(&sweeps, 16 * 1024));
+        }
+        if want("cache") {
+            println!(
+                "{}",
+                render::cache_analysis(&sweeps, &["health", "ft", "ks", "em3d"])
+            );
+        }
+        if args.iter().any(|a| a == "json") {
+            println!("{}", render::json(&sweeps));
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Static-safety analysis.
+//!
+//! "The modified compiler first identifies all pointers whose safety
+//! cannot be statically determined and instruments these for runtime
+//! checking" (paper §3.1). This module makes three decisions:
+//!
+//! * **Which stack objects need metadata.** An `alloca` is *statically
+//!   safe* — and left uninstrumented — when every use of its address stays
+//!   inside the function, uses only constant offsets that are provably in
+//!   bounds, and never escapes (no store to memory, no call argument, no
+//!   return). Everything else gets object metadata, like `boo` in the
+//!   paper's Listing 2 (whose address escapes through a global).
+//!
+//! * **Which globals need metadata.** Same escape criterion: globals only
+//!   referenced by name with in-bounds constant offsets need no "getptr"
+//!   instrumentation.
+//!
+//! * **Which types need layout tables.** A layout table is only emitted
+//!   for a type when some instrumented code takes the address of one of
+//!   its struct members in a way that *outlives the deriving expression*
+//!   (stored, passed, or returned) — only then can a later `promote` need
+//!   to re-derive subobject bounds at runtime. Interior pointers consumed
+//!   immediately by a load/store get their bounds statically from the
+//!   deriving instruction. Types containing such a type (transitively, as
+//!   a field or array element) also need the table, because the escaping
+//!   interior pointer may point into a larger enclosing allocation. This
+//!   selectivity is why most Olden-style heap objects carry no layout
+//!   table in Table 4 despite being structs.
+
+use crate::ir::{Function, GepStep, Op, Operand, Program, Reg, Terminator};
+use crate::types::{Type, TypeId};
+use std::collections::{HashMap, HashSet};
+
+/// What the analysis decided for a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// `(function index, block index, op index)` of every `Alloca` that
+    /// needs object metadata.
+    pub unsafe_allocas: HashSet<(usize, usize, usize)>,
+    /// Indices of globals whose address escapes (need registration).
+    pub escaping_globals: HashSet<usize>,
+    /// Types for which a layout table must be emitted.
+    pub lt_types: HashSet<TypeId>,
+}
+
+/// Which tracked object a register's value is derived from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ObjRef {
+    /// The alloca at (block, op) in the current function.
+    Alloca((usize, usize)),
+    /// The global with this index.
+    Global(usize),
+}
+
+/// Per-register provenance during the intra-procedural scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+struct Prov {
+    /// The stack/global object the value is derived from, if tracked.
+    obj: Option<ObjRef>,
+    /// When the value is an interior (struct-member) pointer, the type of
+    /// the struct it points into — what a layout table would be keyed on.
+    interior_ty: Option<TypeId>,
+}
+
+impl Analysis {
+    /// Runs the analysis over a program.
+    #[must_use]
+    pub fn run(program: &Program) -> Self {
+        let mut out = Analysis::default();
+        let mut interior_seeds: HashSet<TypeId> = HashSet::new();
+        for (fi, func) in program.funcs.iter().enumerate() {
+            if !func.instrumented {
+                continue;
+            }
+            analyze_function(program, fi, func, &mut out, &mut interior_seeds);
+        }
+        out.lt_types = close_over_containers(program, &interior_seeds);
+        out
+    }
+
+    /// Whether the alloca at the given position needs metadata.
+    #[must_use]
+    pub fn alloca_is_unsafe(&self, func: usize, block: usize, op: usize) -> bool {
+        self.unsafe_allocas.contains(&(func, block, op))
+    }
+}
+
+/// Expands the set of escaping-interior types to every type that contains
+/// one of them as a field or array element (transitively): an interior
+/// pointer into `Inner` may point into an allocation of any `Outer` that
+/// embeds `Inner`, and that allocation's metadata is where the layout
+/// table pointer lives.
+fn close_over_containers(program: &Program, seeds: &HashSet<TypeId>) -> HashSet<TypeId> {
+    let mut result = seeds.clone();
+    loop {
+        let mut grew = false;
+        for idx in 0..program.types.len() as u32 {
+            let ty = TypeId(idx);
+            if result.contains(&ty) {
+                continue;
+            }
+            let contains_seed = match program.types.get(ty) {
+                Type::Struct { fields, .. } => fields.iter().any(|f| result.contains(&f.ty)),
+                Type::Array { elem, .. } => result.contains(elem),
+                _ => false,
+            };
+            if contains_seed {
+                result.insert(ty);
+                grew = true;
+            }
+        }
+        if !grew {
+            return result;
+        }
+    }
+}
+
+/// Mutable scan state for one function.
+struct ScanState {
+    prov: HashMap<Reg, Prov>,
+    unsafe_sites: HashSet<(usize, usize)>,
+    escaped_globals: HashSet<usize>,
+    escaped_interior: HashSet<TypeId>,
+}
+
+impl ScanState {
+    fn operand_prov(&self, o: &Operand) -> Prov {
+        match o {
+            Operand::Reg(r) => self.prov.get(r).copied().unwrap_or_default(),
+            Operand::Imm(_) => Prov::default(),
+        }
+    }
+
+    /// Marks whatever `o` is derived from as escaping.
+    fn escape(&mut self, o: &Operand) {
+        let p = self.operand_prov(o);
+        match p.obj {
+            Some(ObjRef::Alloca(site)) => {
+                self.unsafe_sites.insert(site);
+            }
+            Some(ObjRef::Global(index)) => {
+                self.escaped_globals.insert(index);
+            }
+            None => {}
+        }
+        if let Some(ty) = p.interior_ty {
+            self.escaped_interior.insert(ty);
+        }
+    }
+}
+
+fn analyze_function(
+    program: &Program,
+    fi: usize,
+    func: &Function,
+    out: &mut Analysis,
+    interior_seeds: &mut HashSet<TypeId>,
+) {
+    let mut st = ScanState {
+        prov: HashMap::new(),
+        unsafe_sites: HashSet::new(),
+        escaped_globals: HashSet::new(),
+        escaped_interior: HashSet::new(),
+    };
+
+    // Fixpoint: registers are mutable and provenance flows around loops.
+    for _pass in 0..8 {
+        let before = (
+            st.unsafe_sites.len(),
+            st.escaped_globals.len(),
+            st.escaped_interior.len(),
+            st.prov.len(),
+        );
+        for (bi, block) in func.blocks.iter().enumerate() {
+            for (oi, op) in block.ops.iter().enumerate() {
+                scan_op(program, op, (bi, oi), &mut st);
+            }
+            if let Terminator::Ret(Some(v)) = &block.term {
+                st.escape(v);
+            }
+        }
+        let after = (
+            st.unsafe_sites.len(),
+            st.escaped_globals.len(),
+            st.escaped_interior.len(),
+            st.prov.len(),
+        );
+        if before == after {
+            break;
+        }
+    }
+
+    for (bi, oi) in st.unsafe_sites {
+        out.unsafe_allocas.insert((fi, bi, oi));
+    }
+    out.escaping_globals.extend(st.escaped_globals);
+    interior_seeds.extend(st.escaped_interior);
+}
+
+fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) {
+    match op {
+        Op::Alloca { dst, .. } => {
+            st.prov.insert(
+                *dst,
+                Prov {
+                    obj: Some(ObjRef::Alloca(pos)),
+                    interior_ty: None,
+                },
+            );
+        }
+        Op::AddrOfGlobal { dst, global } => {
+            st.prov.insert(
+                *dst,
+                Prov {
+                    obj: Some(ObjRef::Global(*global)),
+                    interior_ty: None,
+                },
+            );
+        }
+        Op::Mov { dst, a } => {
+            let p = st.operand_prov(a);
+            st.prov.insert(*dst, p);
+        }
+        Op::Gep {
+            dst,
+            base,
+            base_ty,
+            steps,
+        } => {
+            let p = st.operand_prov(base);
+            let has_field = steps.iter().any(|s| matches!(s, GepStep::Field(_)));
+            let dynamic = steps
+                .iter()
+                .any(|s| matches!(s, GepStep::Index(Operand::Reg(_))));
+            let const_in_bounds = !dynamic
+                && program
+                    .static_gep_offset(*base_ty, steps)
+                    .is_some_and(|(off, _)| {
+                        off >= 0 && (off as u64) < u64::from(program.types.size_of(*base_ty))
+                    });
+            // A derivation the compiler cannot prove in bounds forces
+            // runtime metadata onto the source object.
+            if dynamic || !const_in_bounds {
+                match p.obj {
+                    Some(ObjRef::Alloca(site)) => {
+                        st.unsafe_sites.insert(site);
+                    }
+                    Some(ObjRef::Global(index)) => {
+                        st.escaped_globals.insert(index);
+                    }
+                    None => {}
+                }
+            }
+            st.prov.insert(
+                *dst,
+                Prov {
+                    obj: p.obj,
+                    interior_ty: if has_field { Some(*base_ty) } else { p.interior_ty },
+                },
+            );
+        }
+        Op::Load { dst, .. } | Op::Malloc { dst, .. } => {
+            st.prov.insert(*dst, Prov::default());
+        }
+        Op::Store { val, .. } => {
+            st.escape(val);
+        }
+        Op::Bin { dst, a, b, .. } => {
+            // Raw pointer arithmetic keeps provenance (conservative).
+            let pa = st.operand_prov(a);
+            let pb = st.operand_prov(b);
+            let p = if pa != Prov::default() { pa } else { pb };
+            st.prov.insert(*dst, p);
+        }
+        Op::Free { .. } => {}
+        Op::Call { dst, args, .. } | Op::CallExt { dst, args, .. } => {
+            for a in args {
+                st.escape(a);
+            }
+            if let Some(d) = dst {
+                st.prov.insert(*d, Prov::default());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::Operand;
+
+    #[test]
+    fn purely_local_alloca_is_statically_safe() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(i64t);
+        f.store(x, 1i64, i64t);
+        let v = f.load(x, i64t);
+        f.print_int(v);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(a.unsafe_allocas.is_empty());
+    }
+
+    #[test]
+    fn alloca_passed_to_call_is_unsafe() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut callee = pb.func("use", 1);
+        callee.ret(None);
+        pb.finish_func(callee);
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(i64t);
+        f.call_void("use", vec![Operand::Reg(x)]);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert_eq!(a.unsafe_allocas.len(), 1);
+    }
+
+    #[test]
+    fn alloca_stored_to_memory_is_unsafe() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let vp = pb.types.void_ptr();
+        let g = pb.global("gv_ptr", vp);
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(i64t);
+        let gp = f.addr_of_global(g);
+        f.store(gp, x, vp);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert_eq!(a.unsafe_allocas.len(), 1, "Listing 2's `boo` pattern");
+    }
+
+    #[test]
+    fn listing2_escaping_field_marks_both_alloca_and_layout() {
+        // struct Boo boo; gv_ptr = &boo.value;
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let boo = pb
+            .types
+            .struct_type("Boo", &[("value", i32t), ("dummy", i32t)]);
+        let vp = pb.types.void_ptr();
+        let g = pb.global("gv_ptr", vp);
+        let mut f = pb.func("main", 0);
+        let obj = f.alloca(boo);
+        let fld = f.field_addr(obj, boo, 0);
+        let gp = f.addr_of_global(g);
+        f.store(gp, fld, vp);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert_eq!(a.unsafe_allocas.len(), 1, "boo needs metadata");
+        assert!(a.lt_types.contains(&boo), "Boo needs a layout table");
+    }
+
+    #[test]
+    fn dynamic_index_makes_alloca_unsafe() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let arr = pb.types.array(i32t, 16);
+        let mut f = pb.func("main", 1);
+        let x = f.alloca(arr);
+        let idx = f.param(0);
+        let p = f.index_addr(x, arr, idx);
+        let v = f.load(p, i32t);
+        f.print_int(v);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert_eq!(a.unsafe_allocas.len(), 1);
+    }
+
+    #[test]
+    fn constant_in_bounds_indexing_stays_safe() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let arr = pb.types.array(i32t, 16);
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(arr);
+        let p = f.index_addr(x, arr, 3i64);
+        f.store(p, 7i64, i32t);
+        let v = f.load(p, i32t);
+        f.print_int(v);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(a.unsafe_allocas.is_empty());
+    }
+
+    #[test]
+    fn constant_out_of_bounds_indexing_is_unsafe() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let arr = pb.types.array(i32t, 16);
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(arr);
+        let p = f.index_addr(x, arr, 20i64); // past the end
+        f.store(p, 7i64, i32t);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert_eq!(a.unsafe_allocas.len(), 1);
+    }
+
+    #[test]
+    fn global_referenced_by_name_needs_no_registration() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let g = pb.global("counter", i64t);
+        let mut f = pb.func("main", 0);
+        let gp = f.addr_of_global(g);
+        f.store(gp, 9i64, i64t);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(a.escaping_globals.is_empty());
+    }
+
+    #[test]
+    fn global_address_passed_needs_registration() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let g = pb.global("counter", i64t);
+        let mut callee = pb.func("use", 1);
+        callee.ret(None);
+        pb.finish_func(callee);
+        let mut f = pb.func("main", 0);
+        let gp = f.addr_of_global(g);
+        f.call_void("use", vec![Operand::Reg(gp)]);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(a.escaping_globals.contains(&g));
+    }
+
+    #[test]
+    fn immediately_consumed_field_address_needs_no_table() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let s = pb.types.struct_type("Node", &[("a", i32t), ("b", i32t)]);
+        let mut f = pb.func("main", 0);
+        let obj = f.malloc(s);
+        let v = f.load_field(obj, s, 1, i32t);
+        f.print_int(v);
+        f.free(obj);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(
+            a.lt_types.is_empty(),
+            "field loads with static bounds need no layout table (the Olden pattern)"
+        );
+    }
+
+    #[test]
+    fn container_types_inherit_layout_requirement() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let inner = pb.types.struct_type("Inner", &[("x", i32t), ("y", i32t)]);
+        let outer = pb
+            .types
+            .struct_type("Outer", &[("hdr", i32t), ("inner", inner)]);
+        let arr_of_outer = pb.types.array(outer, 4);
+        let mut use_fn = pb.func("use", 1);
+        use_fn.ret(None);
+        pb.finish_func(use_fn);
+        let mut f = pb.func("main", 0);
+        let obj = f.malloc(outer);
+        let in_ptr = f.field_addr(obj, outer, 1);
+        f.call_void("use", vec![Operand::Reg(in_ptr)]);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(a.lt_types.contains(&outer));
+        assert!(
+            a.lt_types.contains(&arr_of_outer),
+            "arrays of a layout-bearing type also carry the table"
+        );
+    }
+
+    #[test]
+    fn legacy_functions_are_not_analyzed() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut legacy = pb.legacy_func("legacy_helper", 0);
+        let x = legacy.alloca(i64t);
+        legacy.ret(Some(Operand::Reg(x))); // escapes, but uninstrumented
+        pb.finish_func(legacy);
+        let mut f = pb.func("main", 0);
+        f.call_void("legacy_helper", vec![]);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let a = Analysis::run(&p);
+        assert!(a.unsafe_allocas.is_empty());
+    }
+}

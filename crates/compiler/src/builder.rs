@@ -1,0 +1,595 @@
+//! Ergonomic builders for IR programs.
+//!
+//! The 18 evaluation workloads are written against [`FnBuilder`], which
+//! keeps a current block and allocates registers on demand, so workload
+//! code reads roughly like three-address C.
+
+use crate::ir::{
+    BinOp, Block, ExtFunc, Function, GepStep, Global, Op, Operand, Program, Reg, Terminator,
+};
+use crate::types::{TypeId, TypeTable};
+
+/// Builder for a whole [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use ifp_compiler::{ProgramBuilder, Operand};
+///
+/// let mut pb = ProgramBuilder::new();
+/// let i64t = pb.types.int64();
+/// let mut f = pb.func("main", 0);
+/// let x = f.alloca(i64t);
+/// f.store(x, 41i64, i64t);
+/// let v = f.load(x, i64t);
+/// let v1 = f.add(v, 1i64);
+/// f.print_int(v1);
+/// f.ret(Some(Operand::Imm(0)));
+/// pb.finish_func(f);
+/// let program = pb.build();
+/// assert!(program.func("main").is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    /// The program's type table (build types through this).
+    pub types: TypeTable,
+    funcs: Vec<Function>,
+    globals: Vec<Global>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Starts a new instrumented function with `params` parameters
+    /// (arriving in registers `0..params`).
+    #[must_use]
+    pub fn func(&mut self, name: &str, params: u32) -> FnBuilder {
+        FnBuilder::new(name, params, true)
+    }
+
+    /// Starts a new *legacy* (uninstrumented) function.
+    #[must_use]
+    pub fn legacy_func(&mut self, name: &str, params: u32) -> FnBuilder {
+        FnBuilder::new(name, params, false)
+    }
+
+    /// Finishes a function and adds it to the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has an unterminated block or duplicate name.
+    pub fn finish_func(&mut self, fb: FnBuilder) {
+        self.funcs.push(fb.finish());
+    }
+
+    /// Adds a zero-initialized instrumented global; returns its index for
+    /// [`FnBuilder::addr_of_global`].
+    pub fn global(&mut self, name: &str, ty: TypeId) -> usize {
+        self.globals.push(Global {
+            name: name.to_string(),
+            ty,
+            init: Vec::new(),
+            instrumented: true,
+        });
+        self.globals.len() - 1
+    }
+
+    /// Adds an initialized instrumented global.
+    pub fn global_init(&mut self, name: &str, ty: TypeId, init: Vec<u8>) -> usize {
+        self.globals.push(Global {
+            name: name.to_string(),
+            ty,
+            init,
+            instrumented: true,
+        });
+        self.globals.len() - 1
+    }
+
+    /// Adds a global defined in legacy (uninstrumented) code.
+    pub fn legacy_global(&mut self, name: &str, ty: TypeId, init: Vec<u8>) -> usize {
+        self.globals.push(Global {
+            name: name.to_string(),
+            ty,
+            init,
+            instrumented: false,
+        });
+        self.globals.len() - 1
+    }
+
+    /// Assembles the program and validates it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails — builder misuse is a programming error
+    /// in the workload definition.
+    #[must_use]
+    pub fn build(self) -> Program {
+        let mut p = Program::new();
+        p.types = self.types;
+        p.globals = self.globals;
+        for f in self.funcs {
+            p.add_func(f);
+        }
+        if let Err(e) = p.validate() {
+            panic!("built an invalid program: {e}");
+        }
+        p
+    }
+}
+
+/// Builder for one function.
+///
+/// Keeps a *current block*; straight-line emission appends there. Control
+/// flow uses explicit block handles from [`FnBuilder::new_block`].
+#[derive(Debug)]
+pub struct FnBuilder {
+    name: String,
+    params: u32,
+    next_reg: u32,
+    instrumented: bool,
+    blocks: Vec<(Vec<Op>, Option<Terminator>)>,
+    current: usize,
+}
+
+impl FnBuilder {
+    fn new(name: &str, params: u32, instrumented: bool) -> Self {
+        FnBuilder {
+            name: name.to_string(),
+            params,
+            next_reg: params,
+            instrumented,
+            blocks: vec![(Vec::new(), None)],
+            current: 0,
+        }
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= params`.
+    #[must_use]
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.params, "param {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Creates a new (empty, unterminated) block and returns its id.
+    pub fn new_block(&mut self) -> usize {
+        self.blocks.push((Vec::new(), None));
+        self.blocks.len() - 1
+    }
+
+    /// Switches emission to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn switch_to(&mut self, block: usize) {
+        assert!(
+            self.blocks[block].1.is_none(),
+            "block {block} is already terminated"
+        );
+        self.current = block;
+    }
+
+    fn emit(&mut self, op: Op) {
+        let (ops, term) = &mut self.blocks[self.current];
+        assert!(term.is_none(), "emitting into a terminated block");
+        ops.push(op);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let slot = &mut self.blocks[self.current].1;
+        assert!(slot.is_none(), "block already terminated");
+        *slot = Some(term);
+    }
+
+    // ---- straight-line ops -------------------------------------------------
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Bin {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// `a / b` (signed).
+    pub fn div(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Div, a, b)
+    }
+
+    /// `a % b` (signed).
+    pub fn rem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Rem, a, b)
+    }
+
+    /// `a == b`.
+    pub fn eq(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Eq, a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Ne, a, b)
+    }
+
+    /// `a < b` (signed).
+    pub fn lt(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Lt, a, b)
+    }
+
+    /// `a <= b` (signed).
+    pub fn le(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Le, a, b)
+    }
+
+    /// Copies an operand into a fresh register.
+    pub fn mov(&mut self, a: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Mov { dst, a: a.into() });
+        dst
+    }
+
+    /// Copies an operand into an existing register (loop variables).
+    pub fn assign(&mut self, dst: Reg, a: impl Into<Operand>) {
+        self.emit(Op::Mov { dst, a: a.into() });
+    }
+
+    /// Binary operation into an existing register.
+    pub fn bin_assign(
+        &mut self,
+        dst: Reg,
+        op: BinOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.emit(Op::Bin {
+            dst,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    // ---- memory ------------------------------------------------------------
+
+    /// Stack-allocates one object of `ty`.
+    pub fn alloca(&mut self, ty: TypeId) -> Reg {
+        self.alloca_n(ty, 1)
+    }
+
+    /// Stack-allocates a static array of `count` objects of `ty`.
+    pub fn alloca_n(&mut self, ty: TypeId, count: u32) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Alloca { dst, ty, count });
+        dst
+    }
+
+    /// Heap-allocates one object of `ty` (`malloc(sizeof(T))`).
+    pub fn malloc(&mut self, ty: TypeId) -> Reg {
+        self.malloc_n(ty, 1i64)
+    }
+
+    /// Heap-allocates `count` objects of `ty` (`malloc(n * sizeof(T))`).
+    pub fn malloc_n(&mut self, ty: TypeId, count: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Malloc {
+            dst,
+            ty,
+            count: count.into(),
+            via_wrapper: false,
+        });
+        dst
+    }
+
+    /// Heap allocation through a custom wrapper function: the allocated
+    /// type is opaque to the compiler, so no layout table is attached.
+    pub fn malloc_via_wrapper(&mut self, ty: TypeId, count: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Malloc {
+            dst,
+            ty,
+            count: count.into(),
+            via_wrapper: true,
+        });
+        dst
+    }
+
+    /// Frees a heap allocation.
+    pub fn free(&mut self, ptr: impl Into<Operand>) {
+        self.emit(Op::Free { ptr: ptr.into() });
+    }
+
+    /// Typed address computation.
+    pub fn gep(&mut self, base: impl Into<Operand>, base_ty: TypeId, steps: Vec<GepStep>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Gep {
+            dst,
+            base: base.into(),
+            base_ty,
+            steps,
+        });
+        dst
+    }
+
+    /// `&base->field` (single Field step).
+    pub fn field_addr(&mut self, base: impl Into<Operand>, base_ty: TypeId, field: u32) -> Reg {
+        self.gep(base, base_ty, vec![GepStep::Field(field)])
+    }
+
+    /// `&base[index]` (single Index step).
+    pub fn index_addr(
+        &mut self,
+        base: impl Into<Operand>,
+        base_ty: TypeId,
+        index: impl Into<Operand>,
+    ) -> Reg {
+        self.gep(base, base_ty, vec![GepStep::Index(index.into())])
+    }
+
+    /// Loads a scalar.
+    pub fn load(&mut self, ptr: impl Into<Operand>, ty: TypeId) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Load {
+            dst,
+            ptr: ptr.into(),
+            ty,
+        });
+        dst
+    }
+
+    /// Stores a scalar.
+    pub fn store(&mut self, ptr: impl Into<Operand>, val: impl Into<Operand>, ty: TypeId) {
+        self.emit(Op::Store {
+            ptr: ptr.into(),
+            val: val.into(),
+            ty,
+        });
+    }
+
+    /// Loads `base->field` in one go (gep + load).
+    pub fn load_field(
+        &mut self,
+        base: impl Into<Operand>,
+        base_ty: TypeId,
+        field: u32,
+        field_ty: TypeId,
+    ) -> Reg {
+        let addr = self.field_addr(base, base_ty, field);
+        self.load(addr, field_ty)
+    }
+
+    /// Stores `base->field = val` in one go (gep + store).
+    pub fn store_field(
+        &mut self,
+        base: impl Into<Operand>,
+        base_ty: TypeId,
+        field: u32,
+        val: impl Into<Operand>,
+        field_ty: TypeId,
+    ) {
+        let addr = self.field_addr(base, base_ty, field);
+        self.store(addr, val, field_ty);
+    }
+
+    /// Takes the address of a global.
+    pub fn addr_of_global(&mut self, global: usize) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::AddrOfGlobal { dst, global });
+        dst
+    }
+
+    // ---- calls ---------------------------------------------------------
+
+    /// Calls a function, returning its value in a fresh register.
+    pub fn call(&mut self, func: &str, args: Vec<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::Call {
+            dst: Some(dst),
+            func: func.to_string(),
+            args,
+        });
+        dst
+    }
+
+    /// Calls a function, ignoring any return value.
+    pub fn call_void(&mut self, func: &str, args: Vec<Operand>) {
+        self.emit(Op::Call {
+            dst: None,
+            func: func.to_string(),
+            args,
+        });
+    }
+
+    /// Calls an external (uninstrumented) function.
+    pub fn call_ext(&mut self, ext: ExtFunc, args: Vec<Operand>) -> Reg {
+        let dst = self.reg();
+        self.emit(Op::CallExt {
+            dst: Some(dst),
+            ext,
+            args,
+        });
+        dst
+    }
+
+    /// Appends an integer to the program output.
+    pub fn print_int(&mut self, v: impl Into<Operand>) {
+        self.emit(Op::CallExt {
+            dst: None,
+            ext: ExtFunc::PrintInt,
+            args: vec![v.into()],
+        });
+    }
+
+    /// `memset(ptr, byte, len)` through the legacy runtime.
+    pub fn memset(
+        &mut self,
+        ptr: impl Into<Operand>,
+        byte: impl Into<Operand>,
+        len: impl Into<Operand>,
+    ) {
+        self.emit(Op::CallExt {
+            dst: None,
+            ext: ExtFunc::Memset,
+            args: vec![ptr.into(), byte.into(), len.into()],
+        });
+    }
+
+    /// `memcpy(dst, src, len)` through the legacy runtime.
+    pub fn memcpy(
+        &mut self,
+        dst: impl Into<Operand>,
+        src: impl Into<Operand>,
+        len: impl Into<Operand>,
+    ) {
+        self.emit(Op::CallExt {
+            dst: None,
+            ext: ExtFunc::Memcpy,
+            args: vec![dst.into(), src.into(), len.into()],
+        });
+    }
+
+    // ---- control flow ----------------------------------------------------
+
+    /// Unconditional jump; terminates the current block.
+    pub fn jmp(&mut self, block: usize) {
+        self.terminate(Terminator::Jmp(block));
+    }
+
+    /// Conditional branch; terminates the current block.
+    pub fn br(&mut self, cond: impl Into<Operand>, then_bb: usize, else_bb: usize) {
+        self.terminate(Terminator::Br {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Return; terminates the current block.
+    pub fn ret(&mut self, v: Option<Operand>) {
+        self.terminate(Terminator::Ret(v));
+    }
+
+    /// Finalizes into a [`Function`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        let blocks: Vec<Block> = self
+            .blocks
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ops, term))| Block {
+                ops,
+                term: term.unwrap_or_else(|| {
+                    panic!("block {i} of `{}` has no terminator", self.name)
+                }),
+            })
+            .collect();
+        Function {
+            name: self.name,
+            params: self.params,
+            num_regs: self.next_reg,
+            blocks,
+            instrumented: self.instrumented,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_simple_program() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(i64t);
+        f.store(x, 5i64, i64t);
+        let v = f.load(x, i64t);
+        let d = f.mul(v, v);
+        f.print_int(d);
+        f.ret(Some(Operand::Imm(0)));
+        pb.finish_func(f);
+        let p = pb.build();
+        assert_eq!(p.funcs.len(), 1);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn loops_use_new_blocks() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        let i = f.mov(0i64);
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jmp(header);
+        f.switch_to(header);
+        let c = f.lt(i, 10i64);
+        f.br(c, body, exit);
+        f.switch_to(body);
+        let i2 = f.add(i, 1i64);
+        f.assign(i, i2);
+        f.jmp(header);
+        f.switch_to(exit);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        assert_eq!(p.func("main").unwrap().blocks.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn unterminated_block_panics() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.func("main", 0);
+        pb.finish_func(f);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown function")]
+    fn unknown_callee_fails_validation() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.func("main", 0);
+        f.call_void("missing", vec![]);
+        f.ret(None);
+        pb.finish_func(f);
+        let _ = pb.build();
+    }
+}

@@ -1,0 +1,561 @@
+//! The In-Fat Pointer instrumentation pass (paper Figure 3).
+//!
+//! Rather than rewriting the IR, the pass produces an [`InstrPlan`]: one
+//! [`OpAction`] per IR operation describing the instrumentation the
+//! compiler would have inserted there. The VM executes the plan alongside
+//! the program, charging the corresponding In-Fat Pointer instructions:
+//!
+//! * object allocation/deallocation → metadata initialization and cleanup
+//!   (`ifpmac` + `ifpmd` + metadata stores, or runtime allocator calls);
+//! * pointer arithmetic → `ifpadd`, plus `ifpidx` whenever the derived
+//!   pointer's subobject changes, plus `ifpbnd` static narrowing when the
+//!   source bounds are live in an IFPR;
+//! * pointer loads → a hoisted `promote` (pointers freshly loaded from
+//!   memory are exactly the ones whose bounds are unknown; derived
+//!   pointers inherit bounds statically, §3.4);
+//! * pointer stores → `ifpextract` (demote), refreshing the poison bits;
+//! * escaping globals → registration through the runtime ("getptr").
+//!
+//! The pass also tracks, statically, the layout-table index each pointer
+//! register would carry at runtime, which is how it knows what `ifpidx`
+//! should write — mirroring how the real compiler follows "changes of the
+//! currently pointed subobject".
+
+use crate::analysis::Analysis;
+use crate::ir::{Function, GepStep, Op, Operand, Program, Reg};
+use crate::layout_gen::{self, TypeLayoutInfo};
+use crate::types::TypeId;
+use std::collections::HashMap;
+
+/// Instrumentation decision for an allocation site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocKind {
+    /// Statically safe: no metadata, the pointer stays legacy.
+    Untracked,
+    /// Needs object metadata; `layout` is the type whose layout table the
+    /// metadata should reference, when one is emitted.
+    Tracked {
+        /// Layout-table type, if any.
+        layout: Option<TypeId>,
+    },
+}
+
+/// The instrumentation attached to one IR operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OpAction {
+    /// No instrumentation.
+    #[default]
+    None,
+    /// `Alloca`: stack object registration (and deregistration at return).
+    StackObject(AllocKind),
+    /// `Malloc`: route through the instrumented allocator.
+    HeapObject {
+        /// Layout-table type to pass to the allocator, if any.
+        layout: Option<TypeId>,
+    },
+    /// `Gep`: tag maintenance.
+    GepUpdate {
+        /// `ifpidx` target when the subobject index changes.
+        new_index: Option<u16>,
+        /// Whether the GEP enters a subobject (emit `ifpbnd` static
+        /// narrowing when the source bounds are live).
+        enters_subobject: bool,
+    },
+    /// `Load` of a pointer: hoisted `promote` of the loaded value.
+    PromoteAfterLoad,
+    /// `Store` of a pointer: `ifpextract` demote (refresh poison bits).
+    DemoteOnStore,
+    /// `AddrOfGlobal`: fetch the tagged pointer via the getptr path.
+    GlobalAddr {
+        /// Whether this global is registered (escaping) at all.
+        registered: bool,
+    },
+}
+
+/// Per-function instrumentation plan.
+#[derive(Clone, Debug, Default)]
+pub struct FuncPlan {
+    /// `actions[block][op]`, parallel to the function body.
+    pub actions: Vec<Vec<OpAction>>,
+    /// Whether calls to this function save/restore clobbered bounds
+    /// registers (`stbnd`/`ldbnd` pairs) — instrumented non-leaf functions.
+    pub saves_bounds: bool,
+}
+
+/// Per-global instrumentation plan.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlobalPlan {
+    /// Whether the global gets object metadata (its address escapes).
+    pub register: bool,
+    /// Layout-table type for the metadata, if any.
+    pub layout: Option<TypeId>,
+}
+
+/// The whole-program instrumentation plan.
+#[derive(Clone, Debug, Default)]
+pub struct InstrPlan {
+    /// Generated layout tables, keyed by type.
+    pub layouts: HashMap<TypeId, TypeLayoutInfo>,
+    /// Per-function plans, parallel to [`Program::funcs`].
+    pub funcs: Vec<FuncPlan>,
+    /// Per-global plans, parallel to [`Program::globals`].
+    pub globals: Vec<GlobalPlan>,
+    /// The analysis results the plan was derived from.
+    pub analysis: Analysis,
+}
+
+impl InstrPlan {
+    /// Runs the analysis and builds the plan for `program`.
+    #[must_use]
+    pub fn build(program: &Program) -> Self {
+        let analysis = Analysis::run(program);
+
+        let mut layouts = HashMap::new();
+        for &ty in &analysis.lt_types {
+            if let Some(info) = layout_gen::generate(&program.types, ty) {
+                layouts.insert(ty, info);
+            }
+        }
+
+        let globals: Vec<GlobalPlan> = program
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let register = g.instrumented && analysis.escaping_globals.contains(&i);
+                GlobalPlan {
+                    register,
+                    layout: if register && layouts.contains_key(&g.ty) {
+                        Some(g.ty)
+                    } else {
+                        None
+                    },
+                }
+            })
+            .collect();
+
+        let funcs = program
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(fi, f)| plan_function(program, &analysis, &layouts, &globals, fi, f))
+            .collect();
+
+        InstrPlan {
+            layouts,
+            funcs,
+            globals,
+            analysis,
+        }
+    }
+
+    /// The action for op `oi` of block `bi` of function `fi`.
+    #[must_use]
+    pub fn action(&self, fi: usize, bi: usize, oi: usize) -> &OpAction {
+        &self.funcs[fi].actions[bi][oi]
+    }
+}
+
+/// Static layout-index tracking state for one pointer register: the type
+/// whose layout table indices are drawn from, and the current index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PtrTrack {
+    root: TypeId,
+    index: u16,
+}
+
+fn plan_function(
+    program: &Program,
+    analysis: &Analysis,
+    layouts: &HashMap<TypeId, TypeLayoutInfo>,
+    globals: &[GlobalPlan],
+    fi: usize,
+    func: &Function,
+) -> FuncPlan {
+    if !func.instrumented {
+        return FuncPlan {
+            actions: func
+                .blocks
+                .iter()
+                .map(|b| vec![OpAction::None; b.ops.len()])
+                .collect(),
+            saves_bounds: false,
+        };
+    }
+
+    let mut track: HashMap<Reg, PtrTrack> = HashMap::new();
+    let mut saves_bounds = false;
+    let mut actions: Vec<Vec<OpAction>> = Vec::with_capacity(func.blocks.len());
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        let mut block_actions = Vec::with_capacity(block.ops.len());
+        for (oi, op) in block.ops.iter().enumerate() {
+            let action = match op {
+                Op::Alloca { dst, ty, .. } => {
+                    if analysis.alloca_is_unsafe(fi, bi, oi) {
+                        let layout = layouts.contains_key(ty).then_some(*ty);
+                        track.insert(*dst, PtrTrack { root: *ty, index: 0 });
+                        OpAction::StackObject(AllocKind::Tracked { layout })
+                    } else {
+                        track.remove(dst);
+                        OpAction::StackObject(AllocKind::Untracked)
+                    }
+                }
+                Op::Malloc {
+                    dst,
+                    ty,
+                    via_wrapper,
+                    ..
+                } => {
+                    // The allocated type is opaque behind a wrapper, so no
+                    // layout table can be attached (§5.2.1).
+                    let layout =
+                        (!via_wrapper && layouts.contains_key(ty)).then_some(*ty);
+                    track.insert(*dst, PtrTrack { root: *ty, index: 0 });
+                    OpAction::HeapObject { layout }
+                }
+                Op::Gep {
+                    dst,
+                    base,
+                    base_ty,
+                    steps,
+                } => {
+                    let incoming = match base {
+                        Operand::Reg(r) => track.get(r).copied(),
+                        Operand::Imm(_) => None,
+                    };
+                    // The compiler assumes the pointer's static type: an
+                    // untracked base is treated as index 0 of `base_ty`.
+                    // A base whose allocation type has no layout table is
+                    // re-rooted at the GEP's static type too — that is how
+                    // C casts out of untyped arenas (the CoreMark pattern)
+                    // end up with subobject indices drawn from the cast-to
+                    // type's table.
+                    let state = incoming
+                        .filter(|s| s.index != 0 || layouts.contains_key(&s.root))
+                        .unwrap_or(PtrTrack {
+                            root: *base_ty,
+                            index: 0,
+                        });
+                    let mut index = state.index;
+                    let mut enters = false;
+                    // Walk the steps against the root type's table,
+                    // mirroring the type walk of the GEP itself.
+                    let mut cur_ty = *base_ty;
+                    for step in steps {
+                        match step {
+                            GepStep::Field(f) => {
+                                enters = true;
+                                index = layouts
+                                    .get(&state.root)
+                                    .and_then(|info| info.child_index(index, *f))
+                                    .unwrap_or(0);
+                                cur_ty = program.types.field(cur_ty, *f).ty;
+                            }
+                            GepStep::Index(_) => {
+                                // In-array stepping never changes the
+                                // subobject index (§3.4's first benefit).
+                                if let crate::types::Type::Array { elem, .. } =
+                                    program.types.get(cur_ty)
+                                {
+                                    cur_ty = *elem;
+                                }
+                            }
+                        }
+                    }
+                    let new_state = PtrTrack {
+                        root: state.root,
+                        index,
+                    };
+                    track.insert(*dst, new_state);
+                    OpAction::GepUpdate {
+                        new_index: (index != state.index).then_some(index),
+                        enters_subobject: enters,
+                    }
+                }
+                Op::Load { dst, ty, .. } => {
+                    if program.types.is_ptr(*ty) {
+                        if let Some(p) = program.types.pointee(*ty) {
+                            track.insert(*dst, PtrTrack { root: p, index: 0 });
+                        } else {
+                            track.remove(dst);
+                        }
+                        OpAction::PromoteAfterLoad
+                    } else {
+                        track.remove(dst);
+                        OpAction::None
+                    }
+                }
+                Op::Store { ty, .. } => {
+                    if program.types.is_ptr(*ty) {
+                        OpAction::DemoteOnStore
+                    } else {
+                        OpAction::None
+                    }
+                }
+                Op::AddrOfGlobal { dst, global } => {
+                    let plan = globals[*global];
+                    if plan.register {
+                        let ty = program.globals[*global].ty;
+                        track.insert(*dst, PtrTrack { root: ty, index: 0 });
+                    } else {
+                        track.remove(dst);
+                    }
+                    OpAction::GlobalAddr {
+                        registered: plan.register,
+                    }
+                }
+                Op::Mov { dst, a } => {
+                    match a {
+                        Operand::Reg(r) => {
+                            if let Some(s) = track.get(r).copied() {
+                                track.insert(*dst, s);
+                            } else {
+                                track.remove(dst);
+                            }
+                        }
+                        Operand::Imm(_) => {
+                            track.remove(dst);
+                        }
+                    }
+                    OpAction::None
+                }
+                Op::Bin { dst, .. } => {
+                    track.remove(dst);
+                    OpAction::None
+                }
+                Op::Free { .. } => OpAction::None,
+                Op::Call { dst, .. } | Op::CallExt { dst, .. } => {
+                    saves_bounds = true;
+                    if let Some(d) = dst {
+                        track.remove(d);
+                    }
+                    OpAction::None
+                }
+            };
+            block_actions.push(action);
+        }
+        actions.push(block_actions);
+    }
+
+    FuncPlan {
+        actions,
+        saves_bounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::Operand;
+
+    /// Builds the paper's Listing 2 program: struct Boo on the stack whose
+    /// `value` field address escapes through a global, then is checked and
+    /// dereferenced in another function.
+    fn listing2() -> (Program, TypeId) {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let boo = pb
+            .types
+            .struct_type("Boo", &[("value", i32t), ("dummy", i32t)]);
+        let vp = pb.types.void_ptr();
+        let g = pb.global("gv_ptr", vp);
+
+        let mut foo = pb.func("foo", 0);
+        let gp = foo.addr_of_global(g);
+        let p = foo.load(gp, vp);
+        foo.store(p, 1i64, i32t);
+        foo.ret(None);
+        pb.finish_func(foo);
+
+        let mut main = pb.func("main", 0);
+        let obj = main.alloca(boo);
+        let fld = main.field_addr(obj, boo, 0);
+        let gp2 = main.addr_of_global(g);
+        main.store(gp2, fld, vp);
+        main.call_void("foo", vec![]);
+        main.ret(Some(Operand::Imm(0)));
+        pb.finish_func(main);
+        (pb.build(), boo)
+    }
+
+    #[test]
+    fn listing2_plan_matches_paper_description() {
+        let (p, boo) = listing2();
+        let plan = InstrPlan::build(&p);
+        assert!(plan.layouts.contains_key(&boo), "layout table generated");
+
+        let main_fi = p.func_id("main").unwrap();
+        let main_plan = &plan.funcs[main_fi];
+        // op 0: alloca boo -> tracked stack object with layout.
+        assert_eq!(
+            main_plan.actions[0][0],
+            OpAction::StackObject(AllocKind::Tracked { layout: Some(boo) })
+        );
+        // op 1: &boo.value -> ifpadd + ifpidx to the `value` entry.
+        let OpAction::GepUpdate {
+            new_index,
+            enters_subobject,
+        } = main_plan.actions[0][1]
+        else {
+            panic!("expected GepUpdate");
+        };
+        assert!(enters_subobject);
+        assert_eq!(new_index, Some(1), "value is layout entry 1");
+        // op 3: gv_ptr = ... -> demote on pointer store.
+        assert_eq!(main_plan.actions[0][3], OpAction::DemoteOnStore);
+
+        // foo: load of gv_ptr gets a hoisted promote.
+        let foo_fi = p.func_id("foo").unwrap();
+        let foo_plan = &plan.funcs[foo_fi];
+        assert_eq!(foo_plan.actions[0][1], OpAction::PromoteAfterLoad);
+    }
+
+    #[test]
+    fn safe_alloca_stays_untracked() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut f = pb.func("main", 0);
+        let x = f.alloca(i64t);
+        f.store(x, 3i64, i64t);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let plan = InstrPlan::build(&p);
+        let fi = p.func_id("main").unwrap();
+        assert_eq!(
+            plan.funcs[fi].actions[0][0],
+            OpAction::StackObject(AllocKind::Untracked)
+        );
+    }
+
+    #[test]
+    fn array_stepping_emits_no_index_update() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let nested = pb.types.struct_type("N", &[("v3", i32t), ("v4", i32t)]);
+        let arr = pb.types.array(nested, 8);
+        let s = pb.types.struct_type("S", &[("v1", i32t), ("array", arr)]);
+        let vp = pb.types.void_ptr();
+        let g = pb.global("sink", vp);
+        let mut f = pb.func("main", 1);
+        let obj = f.malloc(s);
+        // &obj->array: index changes (escape it so the table is emitted).
+        let a = f.field_addr(obj, s, 1);
+        let gp = f.addr_of_global(g);
+        f.store(gp, a, vp);
+        // &a[i]: pure array stepping, no ifpidx.
+        let i = f.param(0);
+        let ai = f.index_addr(a, arr, i);
+        f.store(ai, 0i64, i32t);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let plan = InstrPlan::build(&p);
+        let fi = p.func_id("main").unwrap();
+        let acts = &plan.funcs[fi].actions[0];
+
+        let OpAction::GepUpdate { new_index, .. } = acts[1] else {
+            panic!("field gep");
+        };
+        assert!(new_index.is_some(), "entering `array` updates the index");
+        let OpAction::GepUpdate {
+            new_index: idx2,
+            enters_subobject,
+        } = acts[4]
+        else {
+            panic!("index gep, got {:?}", acts[4]);
+        };
+        assert_eq!(idx2, None, "in-array stepping keeps the index");
+        assert!(!enters_subobject);
+    }
+
+    #[test]
+    fn wrapper_allocations_get_no_layout_table() {
+        let mut pb = ProgramBuilder::new();
+        let i32t = pb.types.int32();
+        let s = pb.types.struct_type("W", &[("a", i32t), ("b", i32t)]);
+        let vp = pb.types.void_ptr();
+        let g = pb.global("sink", vp);
+        let mut f = pb.func("main", 0);
+        let direct = f.malloc(s);
+        let wrapped = f.malloc_via_wrapper(s, 1i64);
+        // Escape a field of each so the type needs a table.
+        let fa = f.field_addr(direct, s, 1);
+        let gp = f.addr_of_global(g);
+        f.store(gp, fa, vp);
+        let fb = f.field_addr(wrapped, s, 1);
+        f.store(gp, fb, vp);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let plan = InstrPlan::build(&p);
+        let fi = p.func_id("main").unwrap();
+        let acts = &plan.funcs[fi].actions[0];
+        assert!(matches!(acts[0], OpAction::HeapObject { layout: Some(_) }));
+        assert!(matches!(acts[1], OpAction::HeapObject { layout: None }));
+    }
+
+    #[test]
+    fn pointer_loads_promote_and_int_loads_do_not() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let vp = pb.types.void_ptr();
+        let g1 = pb.global("p", vp);
+        let g2 = pb.global("n", i64t);
+        let mut f = pb.func("main", 0);
+        let a1 = f.addr_of_global(g1);
+        let _pv = f.load(a1, vp);
+        let a2 = f.addr_of_global(g2);
+        let _nv = f.load(a2, i64t);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let plan = InstrPlan::build(&p);
+        let fi = p.func_id("main").unwrap();
+        let acts = &plan.funcs[fi].actions[0];
+        assert_eq!(acts[1], OpAction::PromoteAfterLoad);
+        assert_eq!(acts[3], OpAction::None);
+    }
+
+    #[test]
+    fn legacy_functions_get_empty_plans() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut legacy = pb.legacy_func("lib", 1);
+        let x = legacy.alloca(i64t);
+        legacy.store(x, 0i64, i64t);
+        legacy.ret(None);
+        pb.finish_func(legacy);
+        let mut f = pb.func("main", 0);
+        f.call_void("lib", vec![Operand::Imm(1)]);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let plan = InstrPlan::build(&p);
+        let fi = p.func_id("lib").unwrap();
+        assert!(plan.funcs[fi]
+            .actions
+            .iter()
+            .flatten()
+            .all(|a| *a == OpAction::None));
+        assert!(!plan.funcs[fi].saves_bounds);
+    }
+
+    #[test]
+    fn nonleaf_functions_save_bounds() {
+        let mut pb = ProgramBuilder::new();
+        let mut leaf = pb.func("leaf", 0);
+        leaf.ret(None);
+        pb.finish_func(leaf);
+        let mut f = pb.func("main", 0);
+        f.call_void("leaf", vec![]);
+        f.ret(None);
+        pb.finish_func(f);
+        let p = pb.build();
+        let plan = InstrPlan::build(&p);
+        assert!(plan.funcs[p.func_id("main").unwrap()].saves_bounds);
+        assert!(!plan.funcs[p.func_id("leaf").unwrap()].saves_bounds);
+    }
+}

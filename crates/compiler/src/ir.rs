@@ -1,0 +1,557 @@
+//! The mini-IR.
+//!
+//! A register-based, non-SSA IR: each function owns a set of mutable
+//! 64-bit virtual registers and a list of basic blocks. Memory is accessed
+//! only through typed [`Op::Load`]/[`Op::Store`] with addresses produced by
+//! typed [`Op::Gep`] — exactly the shape the In-Fat Pointer instrumentation
+//! cares about (it instruments allocations, address computations, pointer
+//! loads and dereferences).
+//!
+//! Pointer fields inside structs are declared `void*`; a [`Op::Gep`] names
+//! the pointee type explicitly (like an LLVM GEP), which is how recursive
+//! types (lists, trees) are expressed.
+
+use crate::types::{Type, TypeId, TypeTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A virtual register. Registers `0..params` hold the function arguments
+/// on entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An instruction operand: a register or a 64-bit immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    /// Read a virtual register.
+    Reg(Reg),
+    /// A signed immediate.
+    Imm(i64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(i64::from(v))
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(i64::from(v))
+    }
+}
+
+/// Binary ALU operations. Comparisons produce 0 or 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sra,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Ult,
+    Ule,
+}
+
+/// One step of a typed address computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GepStep {
+    /// Select struct field `n` (by declaration index).
+    Field(u32),
+    /// Step `n` elements: within an array type this selects an element;
+    /// applied to a non-array type it is pointer arithmetic
+    /// (`p + n * sizeof(T)`), leaving the type unchanged.
+    Index(Operand),
+}
+
+/// Functions provided by the *uninstrumented* runtime environment,
+/// modelling legacy libc. They perform no In-Fat Pointer checks, return
+/// legacy pointers, and clear caller-saved bounds like any legacy call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExtFunc {
+    /// `memcpy(dst, src, n)`.
+    Memcpy,
+    /// `memset(dst, byte, n)`.
+    Memset,
+    /// `strlen(s)` — reads until a zero byte with no bounds respect, like
+    /// the word-at-a-time glibc implementation that trips sanitizers.
+    Strlen,
+    /// Appends an integer to the program's output stream.
+    PrintInt,
+    /// Returns a legacy pointer to a static 256-byte character-traits
+    /// table (the `__ctype_b_loc` pattern from the paper's anagram
+    /// analysis).
+    CtypeTable,
+}
+
+impl ExtFunc {
+    /// The libc-style name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtFunc::Memcpy => "memcpy",
+            ExtFunc::Memset => "memset",
+            ExtFunc::Strlen => "strlen",
+            ExtFunc::PrintInt => "print_int",
+            ExtFunc::CtypeTable => "__ctype_b_loc",
+        }
+    }
+}
+
+/// An IR instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `dst = a <op> b`.
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = a`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        a: Operand,
+    },
+    /// Stack allocation of `count` objects of type `ty`; `dst` receives
+    /// the (possibly tagged) pointer.
+    Alloca {
+        /// Destination register.
+        dst: Reg,
+        /// Object type.
+        ty: TypeId,
+        /// Number of objects (a static array dimension).
+        count: u32,
+    },
+    /// Heap allocation of `count` objects of type `ty`.
+    Malloc {
+        /// Destination register.
+        dst: Reg,
+        /// Object type.
+        ty: TypeId,
+        /// Number of objects (runtime value).
+        count: Operand,
+        /// Whether the allocation flows through a custom wrapper function
+        /// in the original program, hiding the type from the compiler (the
+        /// CoreMark/bzip2/wolfcrypt pattern): no layout table is attached.
+        via_wrapper: bool,
+    },
+    /// Heap deallocation.
+    Free {
+        /// Pointer to free.
+        ptr: Operand,
+    },
+    /// Typed address computation: `dst = &base[...steps]`, where `base`
+    /// points to a value of type `base_ty`.
+    Gep {
+        /// Destination register.
+        dst: Reg,
+        /// Base pointer.
+        base: Operand,
+        /// Static type of `*base`.
+        base_ty: TypeId,
+        /// Address-computation steps.
+        steps: Vec<GepStep>,
+    },
+    /// `dst = *(ty *)ptr`. Integer loads sign-extend; pointer loads are raw.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address operand.
+        ptr: Operand,
+        /// Loaded type (must be a scalar: int or pointer).
+        ty: TypeId,
+    },
+    /// `*(ty *)ptr = val`.
+    Store {
+        /// Address operand.
+        ptr: Operand,
+        /// Value to store.
+        val: Operand,
+        /// Stored type (must be a scalar: int or pointer).
+        ty: TypeId,
+    },
+    /// `dst = &global` (the paper's "getptr" path for escaping globals).
+    AddrOfGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// Index into [`Program::globals`].
+        global: usize,
+    },
+    /// Call an IR function by name; arguments land in the callee's
+    /// registers `0..args.len()`.
+    Call {
+        /// Destination for the return value, if any.
+        dst: Option<Reg>,
+        /// Callee name.
+        func: String,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+    /// Call an uninstrumented runtime function.
+    CallExt {
+        /// Destination for the return value, if any.
+        dst: Option<Reg>,
+        /// Which external function.
+        ext: ExtFunc,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+}
+
+/// A block terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Conditional branch on `cond != 0`.
+    Br {
+        /// Condition operand.
+        cond: Operand,
+        /// Target when non-zero.
+        then_bb: usize,
+        /// Target when zero.
+        else_bb: usize,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+}
+
+/// A basic block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub ops: Vec<Op>,
+    /// The terminator.
+    pub term: Terminator,
+}
+
+/// A function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (the call target key).
+    pub name: String,
+    /// Number of parameters; arguments arrive in registers `0..params`.
+    pub params: u32,
+    /// Total virtual registers used.
+    pub num_regs: u32,
+    /// Basic blocks; entry is block 0.
+    pub blocks: Vec<Block>,
+    /// Whether this function is compiled with In-Fat Pointer
+    /// instrumentation (`false` models linking against legacy code).
+    pub instrumented: bool,
+}
+
+/// A global variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Global {
+    /// Global name.
+    pub name: String,
+    /// Type.
+    pub ty: TypeId,
+    /// Initial bytes (shorter than the type size means zero-filled tail).
+    pub init: Vec<u8>,
+    /// Whether the global is defined in instrumented code (eligible for
+    /// object metadata) or in a legacy translation unit.
+    pub instrumented: bool,
+}
+
+/// A whole program: types, globals and functions.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The type table.
+    pub types: TypeTable,
+    /// Functions; `main` must exist to run.
+    pub funcs: Vec<Function>,
+    /// Globals.
+    pub globals: Vec<Global>,
+    func_index: HashMap<String, usize>,
+}
+
+/// A structural defect found by [`Program::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function where the defect was found, if any.
+    pub func: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "in `{name}`: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Adds a function.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate function names.
+    pub fn add_func(&mut self, func: Function) {
+        let prev = self.func_index.insert(func.name.clone(), self.funcs.len());
+        assert!(prev.is_none(), "duplicate function `{}`", func.name);
+        self.funcs.push(func);
+    }
+
+    /// Adds a global; returns its index.
+    pub fn add_global(&mut self, global: Global) -> usize {
+        self.globals.push(global);
+        self.globals.len() - 1
+    }
+
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.func_index.get(name).map(|&i| &self.funcs[i])
+    }
+
+    /// Index of a function by name.
+    #[must_use]
+    pub fn func_id(&self, name: &str) -> Option<usize> {
+        self.func_index.get(name).copied()
+    }
+
+    /// Validates structural invariants: register/block/field references in
+    /// range, call targets resolvable, scalar load/store types.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let err = |func: &Function, message: String| ValidateError {
+            func: Some(func.name.clone()),
+            message,
+        };
+        if self.func("main").is_none() {
+            return Err(ValidateError {
+                func: None,
+                message: "program has no `main`".to_string(),
+            });
+        }
+        for f in &self.funcs {
+            if f.blocks.is_empty() {
+                return Err(err(f, "function has no blocks".to_string()));
+            }
+            let check_reg = |r: Reg| -> Result<(), ValidateError> {
+                if r.0 < f.num_regs {
+                    Ok(())
+                } else {
+                    Err(err(f, format!("register {r} out of range ({} regs)", f.num_regs)))
+                }
+            };
+            let check_opnd = |o: &Operand| match o {
+                Operand::Reg(r) => check_reg(*r),
+                Operand::Imm(_) => Ok(()),
+            };
+            let check_block = |b: usize| -> Result<(), ValidateError> {
+                if b < f.blocks.len() {
+                    Ok(())
+                } else {
+                    Err(err(f, format!("block {b} out of range")))
+                }
+            };
+            for block in &f.blocks {
+                for op in &block.ops {
+                    match op {
+                        Op::Bin { dst, a, b, .. } => {
+                            check_reg(*dst)?;
+                            check_opnd(a)?;
+                            check_opnd(b)?;
+                        }
+                        Op::Mov { dst, a } => {
+                            check_reg(*dst)?;
+                            check_opnd(a)?;
+                        }
+                        Op::Alloca { dst, count, .. } => {
+                            check_reg(*dst)?;
+                            if *count == 0 {
+                                return Err(err(f, "alloca of zero objects".to_string()));
+                            }
+                        }
+                        Op::Malloc { dst, count, .. } => {
+                            check_reg(*dst)?;
+                            check_opnd(count)?;
+                        }
+                        Op::Free { ptr } => check_opnd(ptr)?,
+                        Op::Gep {
+                            dst,
+                            base,
+                            base_ty,
+                            steps,
+                        } => {
+                            check_reg(*dst)?;
+                            check_opnd(base)?;
+                            let mut ty = *base_ty;
+                            for step in steps {
+                                match step {
+                                    GepStep::Field(i) => match self.types.get(ty) {
+                                        Type::Struct { fields, .. } => {
+                                            if *i as usize >= fields.len() {
+                                                return Err(err(
+                                                    f,
+                                                    format!("field {i} out of range"),
+                                                ));
+                                            }
+                                            ty = fields[*i as usize].ty;
+                                        }
+                                        _ => {
+                                            return Err(err(
+                                                f,
+                                                "Field step on non-struct".to_string(),
+                                            ))
+                                        }
+                                    },
+                                    GepStep::Index(o) => {
+                                        check_opnd(o)?;
+                                        if let Type::Array { elem, .. } = self.types.get(ty) {
+                                            ty = *elem;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        Op::Load { dst, ptr, ty } => {
+                            check_reg(*dst)?;
+                            check_opnd(ptr)?;
+                            if !matches!(self.types.get(*ty), Type::Int { .. } | Type::Ptr { .. }) {
+                                return Err(err(f, "load of non-scalar type".to_string()));
+                            }
+                        }
+                        Op::Store { ptr, val, ty } => {
+                            check_opnd(ptr)?;
+                            check_opnd(val)?;
+                            if !matches!(self.types.get(*ty), Type::Int { .. } | Type::Ptr { .. }) {
+                                return Err(err(f, "store of non-scalar type".to_string()));
+                            }
+                        }
+                        Op::AddrOfGlobal { dst, global } => {
+                            check_reg(*dst)?;
+                            if *global >= self.globals.len() {
+                                return Err(err(f, format!("global {global} out of range")));
+                            }
+                        }
+                        Op::Call { dst, func, args } => {
+                            if let Some(d) = dst {
+                                check_reg(*d)?;
+                            }
+                            for a in args {
+                                check_opnd(a)?;
+                            }
+                            let Some(callee) = self.func(func) else {
+                                return Err(err(f, format!("unknown function `{func}`")));
+                            };
+                            if callee.params as usize != args.len() {
+                                return Err(err(
+                                    f,
+                                    format!(
+                                        "`{func}` takes {} args, got {}",
+                                        callee.params,
+                                        args.len()
+                                    ),
+                                ));
+                            }
+                        }
+                        Op::CallExt { dst, args, .. } => {
+                            if let Some(d) = dst {
+                                check_reg(*d)?;
+                            }
+                            for a in args {
+                                check_opnd(a)?;
+                            }
+                        }
+                    }
+                }
+                match &block.term {
+                    Terminator::Jmp(b) => check_block(*b)?,
+                    Terminator::Br { cond, then_bb, else_bb } => {
+                        check_opnd(cond)?;
+                        check_block(*then_bb)?;
+                        check_block(*else_bb)?;
+                    }
+                    Terminator::Ret(v) => {
+                        if let Some(v) = v {
+                            check_opnd(v)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the static byte offset and final type of a GEP whose steps
+    /// are all constant; `None` when any index is a register.
+    #[must_use]
+    pub fn static_gep_offset(&self, base_ty: TypeId, steps: &[GepStep]) -> Option<(i64, TypeId)> {
+        let mut offset = 0i64;
+        let mut ty = base_ty;
+        for step in steps {
+            match step {
+                GepStep::Field(i) => {
+                    let field = self.types.field(ty, *i);
+                    offset += i64::from(field.offset);
+                    ty = field.ty;
+                }
+                GepStep::Index(Operand::Imm(n)) => match self.types.get(ty) {
+                    Type::Array { elem, .. } => {
+                        offset += n * i64::from(self.types.size_of(*elem));
+                        ty = *elem;
+                    }
+                    _ => {
+                        offset += n * i64::from(self.types.size_of(ty));
+                    }
+                },
+                GepStep::Index(Operand::Reg(_)) => return None,
+            }
+        }
+        Some((offset, ty))
+    }
+}

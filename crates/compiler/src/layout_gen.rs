@@ -1,0 +1,245 @@
+//! Layout-table generation (paper Figure 9) and GEP index maps.
+//!
+//! For every type that needs one, the compiler emits a flattened subobject
+//! tree as a [`LayoutTable`] constant. Flattening is DFS preorder over the
+//! type: a struct contributes one entry per field; a field of array type
+//! contributes a single entry covering the whole array with the element
+//! size recorded (so in-array pointer arithmetic needs no index update);
+//! when the array element is itself a struct, the element's fields become
+//! children of the array entry, with offsets relative to one element.
+//!
+//! Alongside the table we record `field_child`: for instrumentation, the
+//! map from (current layout index, field number) to the child layout
+//! index, which is what `ifpidx` writes into the pointer tag when code
+//! takes the address of a struct member.
+//!
+//! Multidimensional arrays are covered at whole-array granularity (the
+//! paper's flattening likewise only discusses struct nesting).
+
+use crate::types::{Type, TypeId, TypeTable};
+use ifp_meta::layout::{LayoutTable, LayoutTableBuilder, MAX_ENTRIES};
+use std::collections::HashMap;
+
+/// A generated layout table plus the GEP-step index map.
+#[derive(Clone, Debug)]
+pub struct TypeLayoutInfo {
+    /// The table, ready to be emitted into memory.
+    pub table: LayoutTable,
+    /// `(parent layout index, struct field number) -> child layout index`.
+    pub field_child: HashMap<(u16, u32), u16>,
+}
+
+impl TypeLayoutInfo {
+    /// The subobject index `ifpidx` should write when code takes field
+    /// `field` of the subobject currently at `parent` — `None` when the
+    /// field has no entry (table capped or unknown), in which case the
+    /// instrumentation resets the index to 0 (object granularity).
+    #[must_use]
+    pub fn child_index(&self, parent: u16, field: u32) -> Option<u16> {
+        self.field_child.get(&(parent, field)).copied()
+    }
+}
+
+/// The element size recorded in a layout entry for a subobject of type
+/// `ty`: the element size for (one level of) arrays, the full size
+/// otherwise.
+fn entry_elem_size(types: &TypeTable, ty: TypeId) -> u32 {
+    match types.get(ty) {
+        Type::Array { elem, .. } => types.size_of(*elem),
+        _ => types.size_of(ty),
+    }
+}
+
+/// The type children are generated against: the element type for arrays.
+fn element_type(types: &TypeTable, ty: TypeId) -> TypeId {
+    match types.get(ty) {
+        Type::Array { elem, .. } => *elem,
+        _ => ty,
+    }
+}
+
+/// Generates the layout table for `ty`, or `None` when the type has no
+/// subobjects worth describing (scalars, pointers, arrays of scalars).
+///
+/// # Examples
+///
+/// ```
+/// use ifp_compiler::{layout_gen, types::TypeTable};
+///
+/// let mut t = TypeTable::new();
+/// let i32t = t.int32();
+/// let nested = t.struct_type("NestedTy", &[("v3", i32t), ("v4", i32t)]);
+/// let arr = t.array(nested, 2);
+/// let s = t.struct_type("S", &[("v1", i32t), ("array", arr), ("v5", i32t)]);
+/// let info = layout_gen::generate(&t, s).unwrap();
+/// // Figure 9: entries 0..=5 in DFS preorder.
+/// assert_eq!(info.table.len(), 6);
+/// assert_eq!(info.child_index(0, 0), Some(1)); // S.v1
+/// assert_eq!(info.child_index(0, 1), Some(2)); // S.array
+/// assert_eq!(info.child_index(2, 0), Some(3)); // S.array[].v3
+/// assert_eq!(info.child_index(2, 1), Some(4)); // S.array[].v4
+/// assert_eq!(info.child_index(0, 2), Some(5)); // S.v5
+/// ```
+#[must_use]
+pub fn generate(types: &TypeTable, ty: TypeId) -> Option<TypeLayoutInfo> {
+    let elem_ty = element_type(types, ty);
+    if !matches!(types.get(elem_ty), Type::Struct { .. }) {
+        return None;
+    }
+
+    let size = types.size_of(ty);
+    let mut builder = match types.get(ty) {
+        Type::Array { elem, count } => LayoutTableBuilder::new_array(types.size_of(*elem), *count),
+        _ => LayoutTableBuilder::new(size),
+    };
+    let mut field_child = HashMap::new();
+    add_struct_children(types, &mut builder, &mut field_child, 0, elem_ty);
+    let table = builder.build();
+    if table.is_empty() {
+        return None;
+    }
+    Some(TypeLayoutInfo { table, field_child })
+}
+
+/// Appends entries for the fields of struct `struct_ty`, as children of
+/// layout entry `parent` (whose element extent is one `struct_ty`).
+fn add_struct_children(
+    types: &TypeTable,
+    builder: &mut LayoutTableBuilder,
+    field_child: &mut HashMap<(u16, u32), u16>,
+    parent: u16,
+    struct_ty: TypeId,
+) {
+    let Type::Struct { fields, .. } = types.get(struct_ty) else {
+        return;
+    };
+    for (field_no, field) in fields.iter().enumerate() {
+        if builder.len() >= MAX_ENTRIES {
+            return; // capped: remaining fields fall back to object bounds
+        }
+        let fsize = types.size_of(field.ty);
+        let elem = entry_elem_size(types, field.ty);
+        let Ok(idx) = builder.child(parent, field.offset, field.offset + fsize, elem) else {
+            continue;
+        };
+        field_child.insert((parent, field_no as u32), idx);
+        let field_elem_ty = element_type(types, field.ty);
+        if matches!(types.get(field_elem_ty), Type::Struct { .. }) {
+            add_struct_children(types, builder, field_child, idx, field_elem_ty);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_tag::Bounds;
+
+    fn figure9(types: &mut TypeTable) -> TypeId {
+        let i32t = types.int32();
+        let nested = types.struct_type("NestedTy", &[("v3", i32t), ("v4", i32t)]);
+        let arr = types.array(nested, 2);
+        types.struct_type("S", &[("v1", i32t), ("array", arr), ("v5", i32t)])
+    }
+
+    #[test]
+    fn scalars_and_scalar_arrays_need_no_table() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let arr = t.array(i32t, 100);
+        let p = t.void_ptr();
+        assert!(generate(&t, i32t).is_none());
+        assert!(generate(&t, arr).is_none());
+        assert!(generate(&t, p).is_none());
+    }
+
+    #[test]
+    fn figure9_table_matches_paper() {
+        let mut t = TypeTable::new();
+        let s = figure9(&mut t);
+        let info = generate(&t, s).unwrap();
+        let entries = info.table.entries();
+        // 0: S itself
+        assert_eq!((entries[0].base, entries[0].bound, entries[0].elem_size), (0, 24, 24));
+        // 1: v1 [0,4)
+        assert_eq!((entries[1].parent, entries[1].base, entries[1].bound), (0, 0, 4));
+        // 2: array [4,20) elem 8
+        assert_eq!(
+            (entries[2].parent, entries[2].base, entries[2].bound, entries[2].elem_size),
+            (0, 4, 20, 8)
+        );
+        // 3: array[].v3 [0,4) relative to element, parent = 2
+        assert_eq!((entries[3].parent, entries[3].base, entries[3].bound), (2, 0, 4));
+        // 4: array[].v4 [4,8)
+        assert_eq!((entries[4].parent, entries[4].base, entries[4].bound), (2, 4, 8));
+        // 5: v5 [20,24)
+        assert_eq!((entries[5].parent, entries[5].base, entries[5].bound), (0, 20, 24));
+    }
+
+    #[test]
+    fn generated_table_narrows_like_figure9() {
+        let mut t = TypeTable::new();
+        let s = figure9(&mut t);
+        let info = generate(&t, s).unwrap();
+        let ob = Bounds::from_base_size(0x1000, 24);
+        // S.array[1].v3 at 0x100c
+        let out = info.table.narrow(ob, 0x100c, 3).unwrap();
+        assert_eq!(out.bounds, Bounds::new(0x100c, 0x1010));
+    }
+
+    #[test]
+    fn array_of_struct_root() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let pair = t.struct_type("Pair", &[("a", i32t), ("b", i32t)]);
+        let arr = t.array(pair, 4);
+        let info = generate(&t, arr).unwrap();
+        // Root covers 4x8 bytes with elem 8; fields are root children.
+        let root = info.table.entries()[0];
+        assert_eq!((root.bound, root.elem_size), (32, 8));
+        assert_eq!(info.child_index(0, 1), Some(2));
+        let ob = Bounds::from_base_size(0x2000, 32);
+        // arr[2].b at 0x2014
+        let out = info.table.narrow(ob, 0x2014, 2).unwrap();
+        assert_eq!(out.bounds, Bounds::new(0x2014, 0x2018));
+    }
+
+    #[test]
+    fn pointer_fields_are_leaf_entries() {
+        let mut t = TypeTable::new();
+        let i64t = t.int64();
+        let vp = t.void_ptr();
+        let node = t.struct_type("TreeNode", &[("val", i64t), ("left", vp), ("right", vp)]);
+        let info = generate(&t, node).unwrap();
+        assert_eq!(info.table.len(), 4); // root + 3 fields
+        assert_eq!(info.child_index(0, 2), Some(3));
+    }
+
+    #[test]
+    fn deep_nesting_chains_parents() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let inner = t.struct_type("Inner", &[("x", i32t), ("y", i32t)]);
+        let inner_arr = t.array(inner, 3);
+        let outer = t.struct_type("Outer", &[("hdr", i32t), ("items", inner_arr)]);
+        let info = generate(&t, outer).unwrap();
+        // 0 Outer, 1 hdr, 2 items, 3 items[].x, 4 items[].y
+        assert_eq!(info.table.len(), 5);
+        let items = info.child_index(0, 1).unwrap();
+        let y = info.child_index(items, 1).unwrap();
+        assert_eq!(info.table.entries()[usize::from(y)].parent, items);
+        let ob = Bounds::from_base_size(0x3000, 28);
+        // items[2].y: items at offset 4, element 2 at +16, y at +4 => 0x3018
+        let out = info.table.narrow(ob, 0x3018, y).unwrap();
+        assert_eq!(out.bounds, Bounds::new(0x3018, 0x301c));
+    }
+
+    #[test]
+    fn fields_missing_from_map_return_none() {
+        let mut t = TypeTable::new();
+        let s = figure9(&mut t);
+        let info = generate(&t, s).unwrap();
+        assert_eq!(info.child_index(0, 9), None);
+        assert_eq!(info.child_index(42, 0), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Compiler substrate for the In-Fat Pointer reproduction.
+//!
+//! The paper implements its instrumentation as a Clang/LLVM 10 pass over C
+//! programs. With no LLVM available offline, this crate provides the
+//! smallest compiler that still exercises every instrumentation decision
+//! the paper describes:
+//!
+//! * [`types`] — a C-style type system (integers, pointers, structs,
+//!   arrays) with natural alignment and padding, so subobject offsets are
+//!   realistic;
+//! * [`ir`] — a register-based mini-IR (non-SSA, mutable virtual
+//!   registers) with typed GEPs, loads/stores, calls and "external" calls
+//!   modelling uninstrumented libc;
+//! * [`builder`] — an ergonomic builder the 18 evaluation workloads are
+//!   written against;
+//! * [`layout_gen`] — per-type layout-table generation (paper Figure 9),
+//!   including the GEP-step → subobject-index maps the instrumentation
+//!   uses to keep pointer tags up to date;
+//! * [`analysis`] — the static-safety analysis deciding which objects
+//!   need metadata at all ("the compiler first identifies all pointers
+//!   whose safety cannot be statically determined");
+//! * [`instrument`] — the instrumentation pass (paper Figure 3): a
+//!   per-operation action plan the VM executes alongside the program,
+//!   plus static instrumentation statistics;
+//! * [`costs`] — the base-ISA instruction cost model shared with the VM.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod costs;
+pub mod instrument;
+pub mod ir;
+pub mod layout_gen;
+pub mod types;
+
+pub use builder::{FnBuilder, ProgramBuilder};
+pub use instrument::{AllocKind, InstrPlan, OpAction};
+pub use ir::{BinOp, Block, ExtFunc, Function, GepStep, Op, Operand, Program, Reg, Terminator};
+pub use layout_gen::TypeLayoutInfo;
+pub use types::{Type, TypeId, TypeTable};

@@ -1,0 +1,417 @@
+//! C-style type system with natural alignment.
+//!
+//! Subobject protection only means something if struct layout matches what
+//! a C compiler would produce, so this module implements the usual rules:
+//! scalar alignment equals size, struct alignment is the maximum member
+//! alignment, members are padded to their alignment, the struct size is
+//! padded to its alignment, arrays inherit element alignment.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interned handle to a [`Type`] inside a [`TypeTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// The raw index (for diagnostics).
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A field of a struct type, with its computed byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name (for diagnostics and builder lookups).
+    pub name: String,
+    /// Field type.
+    pub ty: TypeId,
+    /// Byte offset from the struct base.
+    pub offset: u32,
+}
+
+/// A type in the mini-IR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Type {
+    /// An integer of 1, 2, 4 or 8 bytes (signed, like C's char/short/int/long).
+    Int {
+        /// Byte size.
+        size: u8,
+    },
+    /// A 64-bit pointer. `pointee` is the static pointee type when known;
+    /// `None` models `void *`.
+    Ptr {
+        /// Pointee type, if statically known.
+        pointee: Option<TypeId>,
+    },
+    /// A struct with laid-out fields.
+    Struct {
+        /// Struct name.
+        name: String,
+        /// Fields with computed offsets.
+        fields: Vec<Field>,
+        /// Total size including tail padding.
+        size: u32,
+        /// Alignment.
+        align: u32,
+    },
+    /// A fixed-length array.
+    Array {
+        /// Element type.
+        elem: TypeId,
+        /// Element count.
+        count: u32,
+    },
+}
+
+/// The interning table for all types of a program.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_compiler::types::TypeTable;
+///
+/// let mut t = TypeTable::new();
+/// let i32t = t.int32();
+/// let i8t = t.int8();
+/// // struct { char c; int x; } — c at 0, x padded to 4, size 8.
+/// let s = t.struct_type("S", &[("c", i8t), ("x", i32t)]);
+/// assert_eq!(t.size_of(s), 8);
+/// assert_eq!(t.field(s, 1).offset, 4);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TypeTable {
+    types: Vec<Type>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        TypeTable::default()
+    }
+
+    fn intern(&mut self, ty: Type) -> TypeId {
+        // Scalars and arrays are structurally deduplicated; structs are
+        // nominal (each `struct_type` call makes a distinct type unless the
+        // name matches).
+        if !matches!(ty, Type::Struct { .. }) {
+            if let Some(i) = self.types.iter().position(|t| *t == ty) {
+                return TypeId(u32::try_from(i).expect("type table fits u32"));
+            }
+        }
+        let id = TypeId(u32::try_from(self.types.len()).expect("type table fits u32"));
+        self.types.push(ty);
+        id
+    }
+
+    /// The `char`-sized integer type.
+    pub fn int8(&mut self) -> TypeId {
+        self.intern(Type::Int { size: 1 })
+    }
+
+    /// The `short`-sized integer type.
+    pub fn int16(&mut self) -> TypeId {
+        self.intern(Type::Int { size: 2 })
+    }
+
+    /// The `int`-sized integer type.
+    pub fn int32(&mut self) -> TypeId {
+        self.intern(Type::Int { size: 4 })
+    }
+
+    /// The `long`-sized integer type.
+    pub fn int64(&mut self) -> TypeId {
+        self.intern(Type::Int { size: 8 })
+    }
+
+    /// A pointer to `pointee`.
+    pub fn ptr_to(&mut self, pointee: TypeId) -> TypeId {
+        self.intern(Type::Ptr {
+            pointee: Some(pointee),
+        })
+    }
+
+    /// An opaque pointer (`void *`).
+    pub fn void_ptr(&mut self) -> TypeId {
+        self.intern(Type::Ptr { pointee: None })
+    }
+
+    /// An array of `count` elements of `elem`.
+    pub fn array(&mut self, elem: TypeId, count: u32) -> TypeId {
+        self.intern(Type::Array { elem, count })
+    }
+
+    /// Defines (or returns the previously defined) struct named `name`
+    /// with the given fields, computing C layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a struct with the same name was defined with different
+    /// fields.
+    pub fn struct_type(&mut self, name: &str, fields: &[(&str, TypeId)]) -> TypeId {
+        if let Some(&existing) = self.by_name.get(name) {
+            let Type::Struct { fields: have, .. } = self.get(existing) else {
+                unreachable!("by_name only holds structs");
+            };
+            assert!(
+                have.len() == fields.len()
+                    && have
+                        .iter()
+                        .zip(fields)
+                        .all(|(f, (n, t))| f.name == *n && f.ty == *t),
+                "struct `{name}` redefined with different fields"
+            );
+            return existing;
+        }
+        let mut laid = Vec::with_capacity(fields.len());
+        let mut offset = 0u32;
+        let mut align = 1u32;
+        for (fname, fty) in fields {
+            let fa = self.align_of(*fty);
+            let fs = self.size_of(*fty);
+            offset = offset.div_ceil(fa) * fa;
+            laid.push(Field {
+                name: (*fname).to_string(),
+                ty: *fty,
+                offset,
+            });
+            offset += fs;
+            align = align.max(fa);
+        }
+        let size = offset.div_ceil(align) * align;
+        let id = self.intern(Type::Struct {
+            name: name.to_string(),
+            fields: laid,
+            size: size.max(1),
+            align,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a struct by name.
+    #[must_use]
+    pub fn struct_by_name(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The type behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is from a different table.
+    #[must_use]
+    pub fn get(&self, id: TypeId) -> &Type {
+        &self.types[id.0 as usize]
+    }
+
+    /// Number of interned types. `TypeId`s are dense indices below this.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Iterates over every interned type id.
+    pub fn type_ids(&self) -> impl Iterator<Item = TypeId> {
+        (0..self.types.len() as u32).map(TypeId)
+    }
+
+    /// Whether no types have been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Byte size of a type.
+    #[must_use]
+    pub fn size_of(&self, id: TypeId) -> u32 {
+        match self.get(id) {
+            Type::Int { size } => u32::from(*size),
+            Type::Ptr { .. } => 8,
+            Type::Struct { size, .. } => *size,
+            Type::Array { elem, count } => self.size_of(*elem) * count,
+        }
+    }
+
+    /// Alignment of a type.
+    #[must_use]
+    pub fn align_of(&self, id: TypeId) -> u32 {
+        match self.get(id) {
+            Type::Int { size } => u32::from(*size),
+            Type::Ptr { .. } => 8,
+            Type::Struct { align, .. } => *align,
+            Type::Array { elem, .. } => self.align_of(*elem),
+        }
+    }
+
+    /// The `index`-th field of a struct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a struct or the index is out of range.
+    #[must_use]
+    pub fn field(&self, id: TypeId, index: u32) -> &Field {
+        match self.get(id) {
+            Type::Struct { fields, .. } => &fields[index as usize],
+            other => panic!("field() on non-struct type {other:?}"),
+        }
+    }
+
+    /// Index of the field named `name` in struct `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a struct or has no such field.
+    #[must_use]
+    pub fn field_index(&self, id: TypeId, name: &str) -> u32 {
+        match self.get(id) {
+            Type::Struct { fields, name: sname, .. } => fields
+                .iter()
+                .position(|f| f.name == name)
+                .unwrap_or_else(|| panic!("struct `{sname}` has no field `{name}`"))
+                as u32,
+            other => panic!("field_index() on non-struct type {other:?}"),
+        }
+    }
+
+    /// Whether the type is a pointer.
+    #[must_use]
+    pub fn is_ptr(&self, id: TypeId) -> bool {
+        matches!(self.get(id), Type::Ptr { .. })
+    }
+
+    /// The pointee of a pointer type, when statically known.
+    #[must_use]
+    pub fn pointee(&self, id: TypeId) -> Option<TypeId> {
+        match self.get(id) {
+            Type::Ptr { pointee } => *pointee,
+            _ => None,
+        }
+    }
+
+    /// A short printable name for diagnostics.
+    #[must_use]
+    pub fn name_of(&self, id: TypeId) -> String {
+        match self.get(id) {
+            Type::Int { size } => format!("i{}", size * 8),
+            Type::Ptr { pointee: Some(p) } => format!("{}*", self.name_of(*p)),
+            Type::Ptr { pointee: None } => "void*".to_string(),
+            Type::Struct { name, .. } => format!("struct {name}"),
+            Type::Array { elem, count } => format!("{}[{count}]", self.name_of(*elem)),
+        }
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ty{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        let mut t = TypeTable::new();
+        let (i8t, i16t, i32t, i64t) = (t.int8(), t.int16(), t.int32(), t.int64());
+        assert_eq!(
+            [t.size_of(i8t), t.size_of(i16t), t.size_of(i32t), t.size_of(i64t)],
+            [1, 2, 4, 8]
+        );
+        let p = t.ptr_to(i32t);
+        assert_eq!(t.size_of(p), 8);
+        assert_eq!(t.align_of(p), 8);
+    }
+
+    #[test]
+    fn scalars_are_interned() {
+        let mut t = TypeTable::new();
+        assert_eq!(t.int32(), t.int32());
+        let a = t.int64();
+        let p1 = t.ptr_to(a);
+        let p2 = t.ptr_to(a);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn struct_layout_pads_members() {
+        let mut t = TypeTable::new();
+        let (i8t, i32t, i64t) = (t.int8(), t.int32(), t.int64());
+        // struct { char a; long b; int c; } -> a@0, b@8, c@16, size 24, align 8
+        let s = t.struct_type("S", &[("a", i8t), ("b", i64t), ("c", i32t)]);
+        assert_eq!(t.field(s, 0).offset, 0);
+        assert_eq!(t.field(s, 1).offset, 8);
+        assert_eq!(t.field(s, 2).offset, 16);
+        assert_eq!(t.size_of(s), 24);
+        assert_eq!(t.align_of(s), 8);
+    }
+
+    #[test]
+    fn figure9_struct_layout() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let nested = t.struct_type("NestedTy", &[("v3", i32t), ("v4", i32t)]);
+        assert_eq!(t.size_of(nested), 8);
+        let arr = t.array(nested, 2);
+        let s = t.struct_type("S", &[("v1", i32t), ("array", arr), ("v5", i32t)]);
+        assert_eq!(t.size_of(s), 24);
+        assert_eq!(t.field(s, 1).offset, 4);
+        assert_eq!(t.field(s, 2).offset, 20);
+    }
+
+    #[test]
+    fn array_size_and_align() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let a = t.array(i32t, 12);
+        assert_eq!(t.size_of(a), 48);
+        assert_eq!(t.align_of(a), 4);
+    }
+
+    #[test]
+    fn named_struct_is_reused() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let a = t.struct_type("Node", &[("v", i32t)]);
+        let b = t.struct_type("Node", &[("v", i32t)]);
+        assert_eq!(a, b);
+        assert_eq!(t.struct_by_name("Node"), Some(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "redefined")]
+    fn struct_redefinition_panics() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let i64t = t.int64();
+        t.struct_type("Node", &[("v", i32t)]);
+        t.struct_type("Node", &[("v", i64t)]);
+    }
+
+    #[test]
+    fn field_index_by_name() {
+        let mut t = TypeTable::new();
+        let i32t = t.int32();
+        let s = t.struct_type("P", &[("x", i32t), ("y", i32t)]);
+        assert_eq!(t.field_index(s, "y"), 1);
+    }
+
+    #[test]
+    fn recursive_struct_via_pointer() {
+        let mut t = TypeTable::new();
+        let i64t = t.int64();
+        let vp = t.void_ptr();
+        // struct List { long v; struct List *next; } modelled with void*
+        // first, then by name once defined.
+        let s = t.struct_type("List", &[("v", i64t), ("next", vp)]);
+        assert_eq!(t.size_of(s), 16);
+        let sp = t.ptr_to(s);
+        assert_eq!(t.pointee(sp), Some(s));
+    }
+}

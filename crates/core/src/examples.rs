@@ -1,0 +1,89 @@
+//! Ready-made example programs mirroring the paper's listings.
+
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// The paper's Listing 1 + Listing 2 scenario: `struct S { char
+/// vulnerable[12]; char sensitive[12]; }`, where `&s.vulnerable` escapes
+/// through a global and another function writes `vulnerable[idx]`.
+///
+/// With `idx >= 12` the write corrupts `sensitive` — inside the object,
+/// outside the subobject — which only a subobject-granular defense
+/// detects.
+#[must_use]
+pub fn listing1_program(idx: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i8t = pb.types.int8();
+    let arr12 = pb.types.array(i8t, 12);
+    let s = pb
+        .types
+        .struct_type("S", &[("vulnerable", arr12), ("sensitive", arr12)]);
+    let vp = pb.types.void_ptr();
+    let g = pb.global("gv_ptr", vp);
+
+    let mut foo = pb.func("foo", 1);
+    let at = foo.param(0);
+    let gp = foo.addr_of_global(g);
+    let p = foo.load(gp, vp); // promote: narrows to `vulnerable`
+    let cell = foo.index_addr(p, arr12, at);
+    foo.store(cell, 0x41i64, i8t);
+    foo.ret(None);
+    pb.finish_func(foo);
+
+    let mut main = pb.func("main", 0);
+    let obj = main.alloca(s);
+    let sens = main.field_addr(obj, s, 1);
+    main.memset(sens, 0x5ai64, 12i64);
+    let vuln = main.field_addr(obj, s, 0);
+    let gp2 = main.addr_of_global(g);
+    main.store(gp2, vuln, vp);
+    main.call_void("foo", vec![Operand::Imm(idx)]);
+    let sv = main.load(sens, i8t);
+    main.print_int(sv);
+    main.ret(Some(Operand::Imm(0)));
+    pb.finish_func(main);
+    pb.build()
+}
+
+/// A minimal heap-overflow program: `malloc(10 * int)` written at a
+/// runtime index.
+#[must_use]
+pub fn heap_overflow_program(idx: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+    let mut f = pb.func("main", 0);
+    let a = f.malloc_n(i32t, 10i64);
+    let i = f.mov(idx);
+    let p = f.index_addr(a, i32t, i);
+    f.store(p, 7i64, i32t);
+    let q = f.index_addr(a, i32t, 0i64);
+    let v = f.load(q, i32t);
+    f.print_int(v);
+    f.free(a);
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{run, AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn listing1_detected_only_when_out_of_subobject() {
+        let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+        assert!(run(&listing1_program(11), &cfg).is_ok());
+        assert!(run(&listing1_program(12), &cfg)
+            .unwrap_err()
+            .is_safety_trap());
+    }
+
+    #[test]
+    fn heap_overflow_example_works() {
+        let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped));
+        assert!(run(&heap_overflow_program(9), &cfg).is_ok());
+        assert!(run(&heap_overflow_program(10), &cfg)
+            .unwrap_err()
+            .is_safety_trap());
+    }
+}

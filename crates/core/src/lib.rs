@@ -1,0 +1,60 @@
+//! # In-Fat Pointer — reproduction of the ASPLOS '21 paper
+//!
+//! *In-Fat Pointer: Hardware-Assisted Tagged-Pointer Spatial Memory
+//! Safety Defense with Subobject Granularity Protection* (Xu, Huang, Lie).
+//!
+//! This facade crate re-exports the whole system and adds the evaluation
+//! driver used to regenerate the paper's tables and figures:
+//!
+//! * [`tag`] — pointer-tag codec (poison bits, scheme selector,
+//!   per-scheme fields) and the 96-bit bounds value;
+//! * [`mem`] — sparse simulated memory + L1 cache model;
+//! * [`meta`] — layout tables, per-scheme object metadata, MAC;
+//! * [`hw`] — the promote engine, load-store unit, registers,
+//!   cycle model and FPGA area model;
+//! * [`compiler`] — mini-IR, builder, analysis and the
+//!   instrumentation pass;
+//! * [`alloc`] — wrapped / subheap / baseline allocators;
+//! * [`vm`] — the execution engine and its statistics;
+//! * [`workloads`] — the 18 evaluation programs;
+//! * [`juliet`] — the functional-evaluation suite;
+//! * [`baselines`] — comparator defenses.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ifp::prelude::*;
+//!
+//! // Build the paper's Listing 1 scenario with the workload builder...
+//! let program = ifp::examples::listing1_program(12);
+//! // ...and watch In-Fat Pointer catch the intra-object overflow.
+//! let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+//! let err = run(&program, &cfg).unwrap_err();
+//! assert!(err.is_safety_trap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod examples;
+pub mod paper;
+pub mod taxonomy;
+
+pub use ifp_alloc as alloc;
+pub use ifp_baselines as baselines;
+pub use ifp_compiler as compiler;
+pub use ifp_hw as hw;
+pub use ifp_juliet as juliet;
+pub use ifp_mem as mem;
+pub use ifp_meta as meta;
+pub use ifp_tag as tag;
+pub use ifp_vm as vm;
+pub use ifp_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use ifp_compiler::{FnBuilder, Operand, Program, ProgramBuilder};
+    pub use ifp_tag::{Bounds, Poison, SchemeSel, TaggedPtr};
+    pub use ifp_vm::{run, AllocatorKind, Mode, RunResult, RunStats, VmConfig, VmError};
+}

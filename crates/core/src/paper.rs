@@ -1,0 +1,39 @@
+//! Section-by-section map from the paper to this reproduction.
+//!
+//! | Paper | Here |
+//! |---|---|
+//! | Listing 1 (intra-object overflow) | [`crate::examples::listing1_program`], `examples/intra_object.rs` |
+//! | Listing 2 (instrumentation example) | `ifp_compiler::instrument` tests (`listing2_plan_matches_paper_description`) |
+//! | Figure 2 (bounds retrieval dataflow) | [`ifp_hw::ifp_unit::IfpUnit::promote`] |
+//! | Figure 3 (instrumented operations) | [`ifp_compiler::instrument::InstrPlan`] + [`ifp_vm`] execution |
+//! | Figure 4 (tag decomposition) | [`ifp_tag::Tag`], [`ifp_tag::TaggedPtr`] |
+//! | Figure 5 (promote flow) | [`ifp_hw::ifp_unit`] (stages 1–5 in the module docs) |
+//! | Figure 6 (local offset scheme) | [`ifp_meta::LocalOffsetMeta`], [`ifp_tag::LocalOffsetTag`] |
+//! | Figure 7 (subheap scheme) | [`ifp_meta::SubheapMeta`], [`ifp_meta::SubheapCtrl`], [`ifp_alloc::SubheapAllocator`] |
+//! | Figure 8 (global table scheme) | [`ifp_meta::GlobalTableRow`], [`ifp_alloc::GlobalTableManager`] |
+//! | Figure 9 (layout table) | [`ifp_meta::layout`], [`ifp_compiler::layout_gen`] |
+//! | Table 1 (related work) | [`crate::taxonomy::table1`] |
+//! | Table 2 (scheme constraints) | [`crate::taxonomy::table2`] |
+//! | Table 3 (new instructions) | [`ifp_hw::IfpInstr`], encodings in [`ifp_hw::encoding`] |
+//! | §3.2 poison bits | [`ifp_tag::Poison`], trapping in [`ifp_hw::LoadStoreUnit`] |
+//! | §3.3 metadata MAC | [`ifp_meta::mac`], verified inside promote |
+//! | §4.1.1 implicit checking | [`ifp_hw::regs::BoundsRegFile::implicitly_checked`], applied in [`ifp_vm`] |
+//! | §4.1.2 calling convention / implicit clearing | [`ifp_hw::regs::BoundsRegFile::legacy_write`], modelled at calls in [`ifp_vm`] |
+//! | §4.2.1 allocators | [`ifp_alloc::WrappedAllocator`], [`ifp_alloc::SubheapAllocator`] |
+//! | §4.2.2 locals & globals | [`ifp_alloc::StackAllocator`], the loader in `ifp-vm` |
+//! | §5.1 Juliet | [`ifp_juliet`] |
+//! | §5.2 Table 4 / Figs 10–12 | [`crate::eval::ModeSweep`], `ifp-bench` `tables` binary |
+//! | §5.2.2 cache analysis | `tables -- cache`, `ifp-bench` ablation cache sweep |
+//! | §5.3 / Figure 13 area | [`ifp_hw::area::AreaModel`] |
+//! | §6 future-work parameter exploration | `tables -- ablation` (tag split, granule, L1 sweeps) |
+//!
+//! Scope and guarantees (paper §3) are pinned as executable tests:
+//!
+//! * spatial errors in instrumented code → detected
+//!   (`ifp-juliet`, `tests/paper_claims.rs`);
+//! * incorrect casts degrade to object bounds, never break
+//!   (`ifp-compiler` re-rooting + `coremark` coarsening tests);
+//! * legacy-code errors out of scope (`crates/vm/tests/limits.rs`);
+//! * tag-bit preservation assumption (`crates/vm/tests/limits.rs`);
+//! * temporal errors only caught when they invalidate metadata
+//!   (`crates/vm/tests/temporal.rs`, `crates/vm/tests/fault_injection.rs`).

@@ -1,0 +1,216 @@
+//! The related-work taxonomy (paper Table 1), the object-metadata scheme
+//! comparison (Table 2), and the instruction listing (Table 3), encoded
+//! as data so the `tables` binary can render them and tests can assert
+//! their internal consistency.
+
+use ifp_hw::IfpInstr;
+use ifp_tag::{GLOBAL_TABLE_ROWS, LOCAL_OFFSET_MAX_OBJECT};
+
+/// Where a defense keeps the metadata its checks consume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetadataSubject {
+    /// Per-pointer metadata.
+    Pointer,
+    /// Per-pointer plus per-object metadata.
+    PointerAndObject,
+    /// Per-object metadata.
+    Object,
+    /// Metadata at a fixed ratio with application memory.
+    Memory,
+    /// No in-memory checking metadata (e.g. encodes into addresses).
+    None,
+}
+
+/// Spatial protection granularity (Table 1's second column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Granularity {
+    /// Detection is conditional or probabilistic.
+    Partial,
+    /// Detects at object bounds.
+    Object,
+    /// Detects at subobject bounds.
+    Subobject,
+}
+
+/// Compatibility cost (Table 1's third column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CompatLoss {
+    /// No compatibility loss.
+    None,
+    /// Pointer size grows: binary incompatibility.
+    Binary,
+    /// Requires source changes.
+    Source,
+    /// Both.
+    BinaryAndSource,
+}
+
+/// Heavy machinery required (Table 1's fourth column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequiredFeature {
+    /// None.
+    None,
+    /// Shadow memory (software or hardware).
+    ShadowMemory,
+    /// Hardware tagged memory.
+    TaggedMemory,
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct DefenseRow {
+    /// Defense name.
+    pub name: &'static str,
+    /// Whether the scheme uses tagged pointers.
+    pub tagged_pointer: bool,
+    /// Metadata subject.
+    pub subject: MetadataSubject,
+    /// Protection granularity.
+    pub granularity: Granularity,
+    /// Compatibility loss.
+    pub compat_loss: CompatLoss,
+    /// Required feature.
+    pub required: RequiredFeature,
+}
+
+/// The Table 1 comparison, in the paper's row order.
+#[must_use]
+pub fn table1() -> Vec<DefenseRow> {
+    use CompatLoss as C;
+    use Granularity as G;
+    use MetadataSubject as M;
+    use RequiredFeature as R;
+    let row = |name, tagged, subject, granularity, compat_loss, required| DefenseRow {
+        name,
+        tagged_pointer: tagged,
+        subject,
+        granularity,
+        compat_loss,
+        required,
+    };
+    vec![
+        row("Intel MPX", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
+        row("HardBound", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
+        row("WatchdogLite", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
+        row("SoftBound", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
+        row("CHERI", false, M::Pointer, G::Subobject, C::BinaryAndSource, R::TaggedMemory),
+        row("Shakti-MS", false, M::PointerAndObject, G::Subobject, C::Binary, R::None),
+        row("ALEXIA", false, M::PointerAndObject, G::Subobject, C::Binary, R::None),
+        row("BaggyBound", true, M::Object, G::Object, C::None, R::ShadowMemory),
+        row("PAriCheck", false, M::Object, G::Object, C::None, R::ShadowMemory),
+        row("AddressSanitizer", false, M::Memory, G::Partial, C::None, R::ShadowMemory),
+        row("REST", false, M::Memory, G::Partial, C::None, R::TaggedMemory),
+        row("Califorms", false, M::Memory, G::Partial, C::BinaryAndSource, R::TaggedMemory),
+        row("Prober", false, M::None, G::Partial, C::None, R::None),
+        row("Low-Fat Pointer", true, M::None, G::Object, C::None, R::None),
+        row("SMA", true, M::None, G::Object, C::None, R::None),
+        row("CUP", true, M::Object, G::Object, C::None, R::None),
+        row("FRAMER", true, M::Object, G::Object, C::None, R::None),
+        row("AOS", true, M::Object, G::Object, C::None, R::None),
+        row("EffectiveSan", true, M::Object, G::Subobject, C::None, R::None),
+        row("ARM MTE", true, M::Memory, G::Partial, C::None, R::TaggedMemory),
+        row("In-Fat Pointer", true, M::Object, G::Subobject, C::None, R::None),
+    ]
+}
+
+/// One row of Table 2: the constraints each object-metadata scheme
+/// imposes, with the limits taken from the live implementation constants.
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeRow {
+    /// Scheme name.
+    pub name: &'static str,
+    /// Whether the scheme constrains the object base address.
+    pub constrains_base: bool,
+    /// Maximum object size, if limited.
+    pub max_object_size: Option<u64>,
+    /// Maximum number of objects, if limited.
+    pub max_objects: Option<u64>,
+    /// Intended use scenario (Table 2's last column).
+    pub use_scenario: &'static str,
+}
+
+/// The Table 2 comparison.
+#[must_use]
+pub fn table2() -> Vec<SchemeRow> {
+    vec![
+        SchemeRow {
+            name: "Local Offset Scheme",
+            constrains_base: false,
+            max_object_size: Some(LOCAL_OFFSET_MAX_OBJECT),
+            max_objects: None,
+            use_scenario: "Small Objects, Local Variables",
+        },
+        SchemeRow {
+            name: "Subheap Scheme",
+            constrains_base: true, // objects placed in power-of-two blocks
+            max_object_size: None,
+            max_objects: None,
+            use_scenario: "Heap-allocated Objects",
+        },
+        SchemeRow {
+            name: "Global Table Scheme",
+            constrains_base: false,
+            max_object_size: None,
+            max_objects: Some(GLOBAL_TABLE_ROWS as u64),
+            use_scenario: "Global Arrays, Fallback",
+        },
+    ]
+}
+
+/// Table 3 is the live ISA definition.
+#[must_use]
+pub fn table3() -> Vec<IfpInstr> {
+    IfpInstr::ALL.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_ifp_is_tagged_subobject_lossless_and_featureless() {
+        // The comparison that motivates the paper: among tagged-pointer
+        // schemes with no compat loss and no shadow/tagged memory, only
+        // In-Fat Pointer (and type-dependent EffectiveSan) reach
+        // subobject granularity.
+        let winners: Vec<_> = table1()
+            .into_iter()
+            .filter(|r| {
+                r.tagged_pointer
+                    && r.granularity == Granularity::Subobject
+                    && r.compat_loss == CompatLoss::None
+                    && r.required == RequiredFeature::None
+            })
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(winners, vec!["EffectiveSan", "In-Fat Pointer"]);
+    }
+
+    #[test]
+    fn fat_pointer_family_needs_shadow_or_compat_loss() {
+        for r in table1() {
+            if matches!(r.subject, MetadataSubject::Pointer) && !r.tagged_pointer {
+                assert!(
+                    r.required == RequiredFeature::ShadowMemory
+                        || r.compat_loss != CompatLoss::None,
+                    "{} should pay for per-pointer metadata",
+                    r.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table2_limits_match_implementation() {
+        let rows = table2();
+        assert_eq!(rows[0].max_object_size, Some(1008));
+        assert_eq!(rows[2].max_objects, Some(4096));
+        // Exactly one scheme constrains base placement (Table 2's B).
+        assert_eq!(rows.iter().filter(|r| r.constrains_base).count(), 1);
+    }
+
+    #[test]
+    fn table3_matches_the_isa() {
+        assert_eq!(table3().len(), 10);
+    }
+}

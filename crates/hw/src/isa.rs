@@ -1,0 +1,181 @@
+//! The In-Fat Pointer instruction-set extension (paper Table 3).
+//!
+//! The simulator does not encode/decode machine words; instructions are
+//! represented symbolically. What matters for the reproduction is (a) the
+//! instruction inventory itself (Table 3 is regenerated from this module),
+//! (b) the statistics class of each instruction (Figure 11 breaks dynamic
+//! counts into promote / IFP arithmetic / bounds load-store), and (c)
+//! which instructions are single-cycle ALU ops versus multi-cycle IFP-unit
+//! ops.
+
+use std::fmt;
+
+/// The instructions introduced by In-Fat Pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IfpInstr {
+    /// `promote` — pointer bounds retrieval (object metadata lookup +
+    /// subobject bounds narrowing).
+    Promote,
+    /// `ifpmac` — MAC computation for object metadata.
+    IfpMac,
+    /// `ldbnd` — load a 96-bit bounds register from memory.
+    LdBnd,
+    /// `stbnd` — store a 96-bit bounds register to memory.
+    StBnd,
+    /// `ifpbnd` — create pointer bounds with a given (statically known) size.
+    IfpBnd,
+    /// `ifpadd` — address computation fused with pointer-tag update.
+    IfpAdd,
+    /// `ifpidx` — subobject index update on the pointer tag.
+    IfpIdx,
+    /// `ifpchk` — explicit access-size check against an IFPR.
+    IfpChk,
+    /// `ifpextract` — extract fields from an IFPR / demote to a plain GPR.
+    IfpExtract,
+    /// `ifpmd` — pointer tag manipulation during object registration.
+    IfpMd,
+}
+
+/// Statistic classes used by the Figure 11 instruction-count breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstrClass {
+    /// `promote` instructions.
+    Promote,
+    /// Single-cycle IFP arithmetic (tag updates, checks, metadata setup).
+    IfpArithmetic,
+    /// Bounds register loads and stores.
+    BoundsLoadStore,
+}
+
+impl IfpInstr {
+    /// All instructions, in Table 3 order.
+    pub const ALL: [IfpInstr; 10] = [
+        IfpInstr::Promote,
+        IfpInstr::IfpMac,
+        IfpInstr::LdBnd,
+        IfpInstr::StBnd,
+        IfpInstr::IfpBnd,
+        IfpInstr::IfpAdd,
+        IfpInstr::IfpIdx,
+        IfpInstr::IfpChk,
+        IfpInstr::IfpExtract,
+        IfpInstr::IfpMd,
+    ];
+
+    /// The assembly mnemonic.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IfpInstr::Promote => "promote",
+            IfpInstr::IfpMac => "ifpmac",
+            IfpInstr::LdBnd => "ldbnd",
+            IfpInstr::StBnd => "stbnd",
+            IfpInstr::IfpBnd => "ifpbnd",
+            IfpInstr::IfpAdd => "ifpadd",
+            IfpInstr::IfpIdx => "ifpidx",
+            IfpInstr::IfpChk => "ifpchk",
+            IfpInstr::IfpExtract => "ifpextract",
+            IfpInstr::IfpMd => "ifpmd",
+        }
+    }
+
+    /// The Table 3 description.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            IfpInstr::Promote => "pointer bounds retrieval",
+            IfpInstr::IfpMac => "MAC computation",
+            IfpInstr::LdBnd => "load bounds from memory",
+            IfpInstr::StBnd => "store bounds to memory",
+            IfpInstr::IfpBnd => "create pointer bounds with given size",
+            IfpInstr::IfpAdd => "address computation and tag update",
+            IfpInstr::IfpIdx => "subobject index update",
+            IfpInstr::IfpChk => "(bounds) access size check",
+            IfpInstr::IfpExtract => "extract fields from IFPR / demote",
+            IfpInstr::IfpMd => "pointer tags manipulation",
+        }
+    }
+
+    /// Whether the paper lists multiple variants of the instruction.
+    #[must_use]
+    pub fn has_variants(self) -> bool {
+        matches!(self, IfpInstr::IfpExtract | IfpInstr::IfpMd)
+    }
+
+    /// Which execution unit runs the instruction: `true` for the IFP unit
+    /// (multi-cycle), `false` for the integer ALU / LSU (single-cycle).
+    #[must_use]
+    pub fn uses_ifp_unit(self) -> bool {
+        matches!(self, IfpInstr::Promote | IfpInstr::IfpMac)
+    }
+
+    /// The statistics class for Figure 11.
+    #[must_use]
+    pub fn class(self) -> InstrClass {
+        match self {
+            IfpInstr::Promote => InstrClass::Promote,
+            IfpInstr::LdBnd | IfpInstr::StBnd => InstrClass::BoundsLoadStore,
+            _ => InstrClass::IfpArithmetic,
+        }
+    }
+}
+
+impl fmt::Display for IfpInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstrClass::Promote => "IFP Promote",
+            InstrClass::IfpArithmetic => "IFP Arithmetic",
+            InstrClass::BoundsLoadStore => "IFP Bounds Load/Store",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_ten_instructions() {
+        assert_eq!(IfpInstr::ALL.len(), 10);
+        let mut seen = std::collections::HashSet::new();
+        for i in IfpInstr::ALL {
+            assert!(seen.insert(i.mnemonic()), "duplicate mnemonic {i}");
+            assert!(!i.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn only_promote_and_mac_use_the_ifp_unit() {
+        for i in IfpInstr::ALL {
+            assert_eq!(
+                i.uses_ifp_unit(),
+                matches!(i, IfpInstr::Promote | IfpInstr::IfpMac),
+            );
+        }
+    }
+
+    #[test]
+    fn classes_partition_correctly() {
+        assert_eq!(IfpInstr::Promote.class(), InstrClass::Promote);
+        assert_eq!(IfpInstr::LdBnd.class(), InstrClass::BoundsLoadStore);
+        assert_eq!(IfpInstr::StBnd.class(), InstrClass::BoundsLoadStore);
+        for i in [
+            IfpInstr::IfpMac,
+            IfpInstr::IfpBnd,
+            IfpInstr::IfpAdd,
+            IfpInstr::IfpIdx,
+            IfpInstr::IfpChk,
+            IfpInstr::IfpExtract,
+            IfpInstr::IfpMd,
+        ] {
+            assert_eq!(i.class(), InstrClass::IfpArithmetic);
+        }
+    }
+}

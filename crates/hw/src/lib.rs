@@ -1,0 +1,42 @@
+//! Simulated In-Fat Pointer hardware.
+//!
+//! The paper prototypes In-Fat Pointer as RTL modifications to the CVA6
+//! RISC-V core: a new *IFP unit* in the execute stage implementing
+//! `promote` and `ifpmac`, a modified load-store unit performing implicit
+//! bounds and poison checks, one 96-bit bounds register per GPR, and a set
+//! of control registers. This crate substitutes that RTL with
+//! cycle-accounted Rust components that make the same decisions in the
+//! same order:
+//!
+//! * [`isa`] — the new instructions (paper Table 3) with their stat
+//!   classes and single-cycle/multi-cycle classification;
+//! * [`regs`] — bounds register file (with the caller-saved implicit
+//!   checking/clearing policy) and control registers;
+//! * [`ifp_unit`] — the `promote` engine: Figure 5's flow, the three
+//!   object-metadata lookups, MAC verification, and the layout-table
+//!   walker for subobject narrowing;
+//! * [`lsu`] — load/store with poison-bit trapping and implicit bounds
+//!   checks;
+//! * [`cycles`] — the timing model used in place of RTL simulation;
+//! * [`area`] — the FPGA area model reproducing Figure 13;
+//! * [`trap`] — the exception surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod cycles;
+pub mod encoding;
+pub mod ifp_unit;
+pub mod isa;
+pub mod lsu;
+pub mod regs;
+pub mod trap;
+
+pub use cycles::CycleModel;
+pub use encoding::IfpInstrWord;
+pub use ifp_unit::{IfpUnit, PromoteKind, PromoteResult};
+pub use isa::{IfpInstr, InstrClass};
+pub use lsu::LoadStoreUnit;
+pub use regs::{BoundsRegFile, CtrlRegs, CALLER_SAVED_MASK, NUM_GPRS};
+pub use trap::Trap;

@@ -1,0 +1,236 @@
+//! The modified load-store unit.
+//!
+//! The paper extends CVA6's LSU to (1) implement `ldbnd`/`stbnd`, (2)
+//! perform implicit access-size checks and poison-bit checks on address
+//! operands, and (3) serve metadata load requests from the IFP unit (that
+//! last path lives in [`crate::ifp_unit`]). Every standard load and store
+//! checks the poison bits of its address operand and traps unless the
+//! state is valid — this is what gives In-Fat Pointer partial protection
+//! even in legacy code, since poisoned pointers trap wherever they flow.
+
+use crate::cycles::CycleModel;
+use crate::trap::Trap;
+use ifp_mem::MemSystem;
+use ifp_tag::{Bounds, TaggedPtr};
+
+/// The load-store unit.
+#[derive(Clone, Debug, Default)]
+pub struct LoadStoreUnit {
+    /// The timing model used to account cycles.
+    pub model: CycleModel,
+}
+
+/// Result of a data access: the value (for loads) and cycles consumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Loaded value (zero for stores).
+    pub value: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Whether the access hit in the L1.
+    pub l1_hit: bool,
+}
+
+impl LoadStoreUnit {
+    /// Creates an LSU with a custom timing model.
+    #[must_use]
+    pub fn new(model: CycleModel) -> Self {
+        LoadStoreUnit { model }
+    }
+
+    /// The poison + optional bounds check every access performs.
+    ///
+    /// # Errors
+    ///
+    /// * [`Trap::PoisonedAccess`] when the address operand's poison state
+    ///   is anything but valid;
+    /// * [`Trap::BoundsViolation`] when `bounds` is provided (implicit
+    ///   checking on a bounds-checked IFPR, or a fused `ifpchk`) and the
+    ///   access-size check fails.
+    pub fn check(&self, ptr: TaggedPtr, size: u64, bounds: Option<Bounds>) -> Result<(), Trap> {
+        if ptr.poison().traps_on_access() {
+            return Err(Trap::PoisonedAccess { ptr });
+        }
+        if let Some(b) = bounds {
+            if !b.allows_access(ptr.addr(), size) {
+                return Err(Trap::BoundsViolation {
+                    ptr,
+                    bounds: b,
+                    size,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads `size` ∈ {1, 2, 4, 8} bytes through `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Check traps per [`LoadStoreUnit::check`], plus [`Trap::Mem`] on a
+    /// page fault.
+    pub fn load(
+        &self,
+        mem: &mut MemSystem,
+        ptr: TaggedPtr,
+        size: u64,
+        bounds: Option<Bounds>,
+    ) -> Result<AccessResult, Trap> {
+        self.check(ptr, size, bounds)?;
+        let (value, access) = mem.read_uint(ptr.addr(), size)?;
+        Ok(AccessResult {
+            value,
+            cycles: self.model.mem_access(access.l1_hit),
+            l1_hit: access.l1_hit,
+        })
+    }
+
+    /// Stores the low `size` ∈ {1, 2, 4, 8} bytes of `value` through `ptr`.
+    ///
+    /// # Errors
+    ///
+    /// Check traps per [`LoadStoreUnit::check`], plus [`Trap::Mem`] on a
+    /// page fault.
+    pub fn store(
+        &self,
+        mem: &mut MemSystem,
+        ptr: TaggedPtr,
+        size: u64,
+        value: u64,
+        bounds: Option<Bounds>,
+    ) -> Result<AccessResult, Trap> {
+        self.check(ptr, size, bounds)?;
+        let access = mem.write_uint(ptr.addr(), size, value)?;
+        Ok(AccessResult {
+            value: 0,
+            cycles: self.model.mem_access(access.l1_hit),
+            l1_hit: access.l1_hit,
+        })
+    }
+
+    /// `ldbnd`: loads a 96-bit bounds value from a 16-byte slot. The
+    /// address operand is *not* bounds-checked (bounds spills live in
+    /// compiler-managed stack slots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Mem`] on a page fault.
+    pub fn load_bounds(&self, mem: &mut MemSystem, addr: u64) -> Result<(Bounds, u64), Trap> {
+        let mut buf = [0u8; 16];
+        let access = mem.read(addr, &mut buf)?;
+        let lower = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let upper = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        // 48-bit lanes; out-of-range images decode as cleared.
+        let bounds = if lower <= upper && upper <= 1 << 48 {
+            Bounds::new(lower, upper)
+        } else {
+            Bounds::cleared()
+        };
+        Ok((bounds, self.model.mem_access(access.l1_hit)))
+    }
+
+    /// `stbnd`: stores a 96-bit bounds value into a 16-byte slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Trap::Mem`] on a page fault.
+    pub fn store_bounds(
+        &self,
+        mem: &mut MemSystem,
+        addr: u64,
+        bounds: Bounds,
+    ) -> Result<u64, Trap> {
+        let mut buf = [0u8; 16];
+        buf[0..8].copy_from_slice(&bounds.lower().to_le_bytes());
+        buf[8..16].copy_from_slice(&bounds.upper().to_le_bytes());
+        let access = mem.write(addr, &buf)?;
+        Ok(self.model.mem_access(access.l1_hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_tag::Poison;
+
+    fn setup() -> (LoadStoreUnit, MemSystem) {
+        let mut mem = MemSystem::with_default_l1();
+        mem.mem.map(0x1000, 0x4000);
+        (LoadStoreUnit::default(), mem)
+    }
+
+    #[test]
+    fn plain_load_store_roundtrip() {
+        let (lsu, mut mem) = setup();
+        let p = TaggedPtr::from_addr(0x1100);
+        lsu.store(&mut mem, p, 8, 0xfeed, None).unwrap();
+        let r = lsu.load(&mut mem, p, 8, None).unwrap();
+        assert_eq!(r.value, 0xfeed);
+    }
+
+    #[test]
+    fn poisoned_pointer_traps_on_access() {
+        let (lsu, mut mem) = setup();
+        for poison in [Poison::OutOfBounds, Poison::Invalid] {
+            let p = TaggedPtr::from_addr(0x1100).with_poison(poison);
+            let err = lsu.load(&mut mem, p, 8, None).unwrap_err();
+            assert!(matches!(err, Trap::PoisonedAccess { .. }));
+        }
+    }
+
+    #[test]
+    fn implicit_bounds_check_traps_out_of_bounds() {
+        let (lsu, mut mem) = setup();
+        let b = Bounds::from_base_size(0x1100, 16);
+        let p = TaggedPtr::from_addr(0x1100);
+        assert!(lsu.load(&mut mem, p, 8, Some(b)).is_ok());
+        // 8-byte access at offset 12 crosses the upper bound.
+        let p2 = p.wrapping_add_addr(12);
+        let err = lsu.load(&mut mem, p2, 8, Some(b)).unwrap_err();
+        assert!(matches!(err, Trap::BoundsViolation { size: 8, .. }));
+    }
+
+    #[test]
+    fn cleared_bounds_never_trap() {
+        let (lsu, mut mem) = setup();
+        let p = TaggedPtr::from_addr(0x1100);
+        assert!(lsu.load(&mut mem, p, 8, Some(Bounds::cleared())).is_ok());
+    }
+
+    #[test]
+    fn bounds_spill_roundtrip() {
+        let (lsu, mut mem) = setup();
+        let b = Bounds::from_base_size(0x2000, 128);
+        lsu.store_bounds(&mut mem, 0x1800, b).unwrap();
+        let (loaded, _) = lsu.load_bounds(&mut mem, 0x1800).unwrap();
+        assert_eq!(loaded, b);
+    }
+
+    #[test]
+    fn corrupt_bounds_image_decodes_cleared() {
+        let (lsu, mut mem) = setup();
+        mem.mem.write_u64(0x1800, u64::MAX).unwrap();
+        mem.mem.write_u64(0x1808, 0).unwrap();
+        let (loaded, _) = lsu.load_bounds(&mut mem, 0x1800).unwrap();
+        assert!(loaded.is_cleared());
+    }
+
+    #[test]
+    fn miss_costs_more() {
+        let (lsu, mut mem) = setup();
+        let p = TaggedPtr::from_addr(0x1100);
+        let cold = lsu.load(&mut mem, p, 8, None).unwrap();
+        let warm = lsu.load(&mut mem, p, 8, None).unwrap();
+        assert!(!cold.l1_hit);
+        assert!(warm.l1_hit);
+        assert!(cold.cycles > warm.cycles);
+    }
+
+    #[test]
+    fn page_fault_surfaces_as_mem_trap() {
+        let (lsu, mut mem) = setup();
+        let p = TaggedPtr::from_addr(0x9_0000);
+        let err = lsu.load(&mut mem, p, 8, None).unwrap_err();
+        assert!(matches!(err, Trap::Mem { during_promote: false, .. }));
+    }
+}

@@ -1,0 +1,207 @@
+//! Register state added by In-Fat Pointer: the bounds register file paired
+//! with the GPRs (forming logical IFPRs) and the control registers.
+
+use ifp_meta::{MacKey, SubheapCtrl};
+use ifp_tag::{Bounds, SUBHEAP_CTRL_REGS};
+
+/// Number of general-purpose registers (RV64 integer file).
+pub const NUM_GPRS: usize = 32;
+
+/// Bitmask of RISC-V caller-saved integer registers:
+/// `ra` (x1), `t0`–`t2` (x5–x7), `a0`–`a7` (x10–x17), `t3`–`t6` (x28–x31).
+///
+/// The prototype enables implicit bounds *checking* and implicit bounds
+/// *clearing* exactly on this set (paper §4.1.1–§4.1.2): checking so that
+/// hot loops dereference through checked IFPRs with zero instruction
+/// overhead, clearing so that values produced by uninstrumented callees
+/// can never pair with stale bounds.
+pub const CALLER_SAVED_MASK: u32 = {
+    let mut m = 0u32;
+    m |= 1 << 1; // ra
+    m |= 0b111 << 5; // t0-t2
+    m |= 0xff << 10; // a0-a7
+    m |= 0b1111 << 28; // t3-t6
+    m
+};
+
+/// Whether GPR `reg` is caller-saved (and thus implicitly checked/cleared).
+#[must_use]
+pub fn is_caller_saved(reg: usize) -> bool {
+    reg < NUM_GPRS && (CALLER_SAVED_MASK >> reg) & 1 == 1
+}
+
+/// The 32 × 96-bit bounds register file.
+///
+/// Each bounds register pairs with the same-numbered GPR to form a logical
+/// In-Fat Pointer Register (IFPR). The file implements the paper's
+/// *implicit bounds clearing*: when a legacy (pre-existing RISC-V)
+/// instruction writes a caller-saved GPR, the paired bounds register is
+/// cleared in hardware, so instrumented callers can never pick up stale
+/// bounds across uninstrumented calls.
+#[derive(Clone, Debug)]
+pub struct BoundsRegFile {
+    bounds: [Bounds; NUM_GPRS],
+}
+
+impl Default for BoundsRegFile {
+    fn default() -> Self {
+        BoundsRegFile::new()
+    }
+}
+
+impl BoundsRegFile {
+    /// Creates a file with every register cleared.
+    #[must_use]
+    pub fn new() -> Self {
+        BoundsRegFile {
+            bounds: [Bounds::cleared(); NUM_GPRS],
+        }
+    }
+
+    /// Reads bounds register `reg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 32`.
+    #[must_use]
+    pub fn read(&self, reg: usize) -> Bounds {
+        self.bounds[reg]
+    }
+
+    /// Writes bounds register `reg` (an IFP instruction result).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 32`. Register 0 stays cleared, mirroring `x0`.
+    pub fn write(&mut self, reg: usize, bounds: Bounds) {
+        assert!(reg < NUM_GPRS);
+        if reg != 0 {
+            self.bounds[reg] = bounds;
+        }
+    }
+
+    /// Clears bounds register `reg`.
+    pub fn clear(&mut self, reg: usize) {
+        self.write(reg, Bounds::cleared());
+    }
+
+    /// Implicit bounds clearing: called when a *legacy* instruction writes
+    /// GPR `reg`. Only caller-saved registers are affected.
+    pub fn legacy_write(&mut self, reg: usize) {
+        if is_caller_saved(reg) {
+            self.clear(reg);
+        }
+    }
+
+    /// Whether a load/store whose address operand is GPR `reg` is
+    /// implicitly bounds-checked.
+    #[must_use]
+    pub fn implicitly_checked(&self, reg: usize) -> bool {
+        is_caller_saved(reg)
+    }
+
+    /// Clears every caller-saved bounds register (used on context switches
+    /// and calls into uninstrumented code that may clobber them).
+    pub fn clear_caller_saved(&mut self) {
+        for reg in 0..NUM_GPRS {
+            if is_caller_saved(reg) {
+                self.clear(reg);
+            }
+        }
+    }
+}
+
+/// Control registers introduced by In-Fat Pointer.
+#[derive(Clone, Debug)]
+pub struct CtrlRegs {
+    /// The 16 subheap control registers mapping tag indices to block
+    /// geometry (paper §3.3.2).
+    pub subheap: [SubheapCtrl; SUBHEAP_CTRL_REGS],
+    /// Base address of the global metadata table (paper §3.3.3).
+    pub global_table_base: u64,
+    /// The metadata MAC key (privileged; set by the runtime at startup).
+    pub mac_key: MacKey,
+}
+
+impl Default for CtrlRegs {
+    fn default() -> Self {
+        CtrlRegs {
+            subheap: [SubheapCtrl::default(); SUBHEAP_CTRL_REGS],
+            global_table_base: 0,
+            mac_key: MacKey::default_for_sim(),
+        }
+    }
+}
+
+impl CtrlRegs {
+    /// Creates control registers with the global table at `table_base`.
+    #[must_use]
+    pub fn new(table_base: u64) -> Self {
+        CtrlRegs {
+            global_table_base: table_base,
+            ..CtrlRegs::default()
+        }
+    }
+
+    /// Installs a subheap control register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`.
+    pub fn set_subheap(&mut self, index: usize, ctrl: SubheapCtrl) {
+        self.subheap[index] = ctrl;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caller_saved_set_matches_riscv_abi() {
+        let expected: Vec<usize> = [1usize, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17, 28, 29, 30, 31]
+            .into_iter()
+            .collect();
+        let actual: Vec<usize> = (0..NUM_GPRS).filter(|&r| is_caller_saved(r)).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn x0_bounds_stay_cleared() {
+        let mut f = BoundsRegFile::new();
+        f.write(0, Bounds::from_base_size(0x1000, 64));
+        assert!(f.read(0).is_cleared());
+    }
+
+    #[test]
+    fn legacy_write_clears_only_caller_saved() {
+        let mut f = BoundsRegFile::new();
+        let b = Bounds::from_base_size(0x1000, 64);
+        f.write(10, b); // a0: caller-saved
+        f.write(9, b); // s1: callee-saved
+        f.legacy_write(10);
+        f.legacy_write(9);
+        assert!(f.read(10).is_cleared(), "a0 bounds cleared by legacy write");
+        assert_eq!(f.read(9), b, "s1 bounds survive legacy write");
+    }
+
+    #[test]
+    fn implicit_checking_follows_caller_saved() {
+        let f = BoundsRegFile::new();
+        assert!(f.implicitly_checked(10));
+        assert!(!f.implicitly_checked(8)); // s0
+    }
+
+    #[test]
+    fn clear_caller_saved_spares_callee_saved() {
+        let mut f = BoundsRegFile::new();
+        let b = Bounds::from_base_size(0x2000, 32);
+        for r in 1..NUM_GPRS {
+            f.write(r, b);
+        }
+        f.clear_caller_saved();
+        for r in 1..NUM_GPRS {
+            assert_eq!(f.read(r).is_cleared(), is_caller_saved(r), "reg {r}");
+        }
+    }
+}

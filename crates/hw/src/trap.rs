@@ -1,0 +1,79 @@
+//! Hardware exceptions surfaced to the simulated program.
+
+use ifp_mem::MemError;
+use ifp_tag::{Bounds, TaggedPtr};
+use std::fmt;
+
+/// A trap raised by the simulated hardware.
+///
+/// The two security-relevant traps are [`Trap::PoisonedAccess`] (a load or
+/// store through a pointer whose poison state is not valid — how In-Fat
+/// Pointer ultimately stops spatial violations) and
+/// [`Trap::BoundsViolation`] (an implicit or explicit access-size check
+/// that failed at dereference time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trap {
+    /// A memory access used a pointer with non-valid poison bits.
+    PoisonedAccess {
+        /// The offending pointer.
+        ptr: TaggedPtr,
+    },
+    /// An access-size check failed on a bounds-checked register.
+    BoundsViolation {
+        /// The offending pointer.
+        ptr: TaggedPtr,
+        /// The bounds the access was checked against.
+        bounds: Bounds,
+        /// The access size in bytes.
+        size: u64,
+    },
+    /// A memory error (page fault) reached the pipeline. Faults raised
+    /// while `promote` fetches metadata are reported as coming from the
+    /// promote instruction, per the paper.
+    Mem {
+        /// The underlying memory error.
+        err: MemError,
+        /// Whether the fault occurred during a `promote` metadata fetch.
+        during_promote: bool,
+    },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::PoisonedAccess { ptr } => {
+                write!(f, "access through poisoned pointer {ptr:?}")
+            }
+            Trap::BoundsViolation { ptr, bounds, size } => {
+                write!(f, "{size}-byte access at {ptr:?} violates bounds {bounds}")
+            }
+            Trap::Mem { err, during_promote } => {
+                if *during_promote {
+                    write!(f, "fault during promote: {err}")
+                } else {
+                    write!(f, "{err}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl From<MemError> for Trap {
+    fn from(err: MemError) -> Self {
+        Trap::Mem {
+            err,
+            during_promote: false,
+        }
+    }
+}
+
+impl Trap {
+    /// Whether this trap is a spatial-safety detection (as opposed to an
+    /// environmental fault).
+    #[must_use]
+    pub fn is_safety_violation(&self) -> bool {
+        matches!(self, Trap::PoisonedAccess { .. } | Trap::BoundsViolation { .. })
+    }
+}

@@ -1,0 +1,133 @@
+//! Adversarial promote fuzzing: feed the IFP unit arbitrary register
+//! values (attacker-forged tags included) over a machine with real
+//! objects and corrupted regions, and assert the safety contract:
+//!
+//! 1. the unit never panics;
+//! 2. whenever the output pointer is *valid-poisoned* with live bounds,
+//!    the bounds contain the address (the fused check is consistent);
+//! 3. a successful local-offset lookup only ever derives from a record
+//!    whose MAC verified — forged tags pointing at attacker bytes poison
+//!    the output.
+
+use ifp_hw::{CtrlRegs, IfpUnit, PromoteKind};
+use ifp_mem::MemSystem;
+use ifp_meta::{LayoutTableBuilder, LocalOffsetMeta, SubheapCtrl, SubheapMeta};
+use ifp_tag::{Poison, TaggedPtr};
+use proptest::prelude::*;
+
+/// A machine image with one legitimate object per scheme plus a region of
+/// attacker-controlled garbage.
+fn machine() -> (MemSystem, CtrlRegs) {
+    let mut mem = MemSystem::with_default_l1();
+    mem.mem.map(0x0, 0x40000);
+    let mut ctrl = CtrlRegs::new(0x3_0000);
+    mem.mem.map(0x3_0000, 0x10000);
+    let key = ctrl.mac_key;
+
+    // Layout table + local-offset object at 0x2000.
+    let mut b = LayoutTableBuilder::new(24);
+    b.child(0, 0, 4, 4).unwrap();
+    b.child(0, 4, 24, 4).unwrap();
+    let t = b.build();
+    mem.mem.write_bytes(0x8000, &t.to_bytes()).unwrap();
+    let meta_addr = LocalOffsetMeta::meta_addr_for(0x2000, 24);
+    let meta = LocalOffsetMeta::new(24, 0x8000, meta_addr, key);
+    mem.mem.write_bytes(meta_addr, &meta.to_bytes()).unwrap();
+
+    // Subheap block at 0x4000.
+    ctrl.set_subheap(
+        2,
+        SubheapCtrl {
+            block_shift: 12,
+            meta_offset: 0,
+        },
+    );
+    let sh = SubheapMeta::new(32, 32 + 48 * 8, 48, 40, 0x8000, 0x4000, key);
+    mem.mem.write_bytes(0x4000, &sh.to_bytes()).unwrap();
+
+    // Attacker-controlled garbage that forged tags may aim lookups at.
+    for i in 0..0x1000u64 {
+        mem.mem
+            .write_u8(0x10000 + i, (i as u8).wrapping_mul(131).wrapping_add(7))
+            .unwrap();
+    }
+    (mem, ctrl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn promote_is_total_and_self_consistent(raw in any::<u64>()) {
+        let (mut mem, ctrl) = machine();
+        let unit = IfpUnit::default();
+        let ptr = TaggedPtr::from_raw(raw);
+        match unit.promote(ptr, &mut mem, &ctrl) {
+            Err(_) => {} // metadata page fault: a legal outcome
+            Ok(r) => {
+                // Fused-check consistency: a valid output with live bounds
+                // must contain its own address.
+                if r.ptr.poison() == Poison::Valid && !r.bounds.is_cleared() {
+                    prop_assert!(
+                        r.bounds.allows_access(r.ptr.addr(), 1),
+                        "valid pointer {:?} outside its own bounds {}",
+                        r.ptr, r.bounds
+                    );
+                }
+                // Bypasses never fabricate bounds.
+                if r.kind != PromoteKind::Valid {
+                    prop_assert!(r.bounds.is_cleared());
+                }
+                // The address bits are never altered by promote.
+                prop_assert_eq!(r.ptr.addr(), ptr.addr());
+            }
+        }
+    }
+
+    #[test]
+    fn forged_tags_over_garbage_do_not_yield_bounds(
+        addr in 0x10000u64..0x11000,
+        meta in 0u16..0x1000,
+        scheme_bits in 1u8..4,
+    ) {
+        // Point a forged tagged pointer into the garbage region. The MAC
+        // (local offset / subheap) or the valid bit (global table) must
+        // reject whatever the lookup reads there.
+        let (mut mem, ctrl) = machine();
+        let unit = IfpUnit::default();
+        let ptr = TaggedPtr::from_addr(addr)
+            .with_scheme(ifp_tag::SchemeSel::from_bits(scheme_bits))
+            .with_scheme_meta(meta);
+        if let Ok(r) = unit.promote(ptr, &mut mem, &ctrl) {
+            prop_assert!(
+                r.ptr.poison() == Poison::Invalid || r.bounds.is_cleared()
+                    || !r.bounds.allows_access(0x2000, 1) || r.bounds.lower() >= 0x10000,
+                "forged tag produced usable bounds over another object: {:?} {}",
+                r.ptr, r.bounds
+            );
+        }
+    }
+
+    #[test]
+    fn legitimate_interior_pointers_always_resolve(off in 0u64..24, idx in 0u16..3) {
+        // Any address inside the real local-offset object with any valid
+        // subobject index resolves to bounds inside the object.
+        let (mut mem, ctrl) = machine();
+        let unit = IfpUnit::default();
+        let base = 0x2000u64;
+        let addr = base + off;
+        let meta_addr = LocalOffsetMeta::meta_addr_for(base, 24);
+        let trunc = addr & !15;
+        let tag = ifp_tag::LocalOffsetTag {
+            granule_offset: ((meta_addr - trunc) / 16) as u8,
+            subobject_index: idx as u8,
+        };
+        let ptr = TaggedPtr::from_addr(addr)
+            .with_scheme(ifp_tag::SchemeSel::LocalOffset)
+            .with_scheme_meta(tag.encode().unwrap());
+        let r = unit.promote(ptr, &mut mem, &ctrl).unwrap();
+        prop_assert_eq!(r.kind, PromoteKind::Valid);
+        let object = ifp_tag::Bounds::from_base_size(base, 24);
+        prop_assert!(object.contains(r.bounds), "{} not in {}", r.bounds, object);
+    }
+}

@@ -1,0 +1,425 @@
+//! Case generation.
+
+use ifp_compiler::{FnBuilder, Operand, Program, ProgramBuilder, Reg, TypeId};
+
+/// Array length used by every case.
+pub const N: i64 = 10;
+
+/// The spatial-error class of a case (maps onto Juliet CWE numbers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cwe {
+    /// Write one past the upper bound (CWE-121 on stack, CWE-122 on heap).
+    OverflowWrite,
+    /// Write below the lower bound (CWE-124).
+    Underwrite,
+    /// Read past the upper bound (CWE-126).
+    Overread,
+    /// Read below the lower bound (CWE-127).
+    Underread,
+    /// Intra-object overflow write: past a struct member, inside the
+    /// object (the paper's Listing 1).
+    IntraObjectWrite,
+    /// Intra-object overread.
+    IntraObjectRead,
+}
+
+impl Cwe {
+    /// The Juliet CWE number for this error at the given site.
+    #[must_use]
+    pub fn number(self, site: Site) -> u32 {
+        match self {
+            Cwe::OverflowWrite | Cwe::IntraObjectWrite => match site {
+                Site::Stack => 121,
+                _ => 122,
+            },
+            Cwe::Underwrite => 124,
+            Cwe::Overread | Cwe::IntraObjectRead => 126,
+            Cwe::Underread => 127,
+        }
+    }
+
+    /// Whether the faulting access is a read.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, Cwe::Overread | Cwe::Underread | Cwe::IntraObjectRead)
+    }
+
+    /// The in-bounds and out-of-bounds indices for this error class.
+    #[must_use]
+    pub fn indices(self) -> (i64, i64) {
+        match self {
+            Cwe::OverflowWrite | Cwe::Overread | Cwe::IntraObjectWrite | Cwe::IntraObjectRead => {
+                (N - 1, N)
+            }
+            Cwe::Underwrite | Cwe::Underread => (0, -1),
+        }
+    }
+}
+
+/// Where the target object lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// A stack array.
+    Stack,
+    /// A heap allocation.
+    Heap,
+    /// A global array.
+    Global,
+}
+
+/// The data-flow shape between index computation and access (Juliet's
+/// flow-variant dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Single access at a runtime index.
+    Direct,
+    /// Access inside a counted loop whose bound is off by one in the bad
+    /// case.
+    Loop,
+    /// The address is formed by two chained pointer-arithmetic steps.
+    PtrArith,
+    /// The pointer and index flow through a function call.
+    CallFlow,
+    /// The pointer flows through memory (a global cell) and is re-loaded
+    /// in another function — the promote path.
+    LoadedFlow,
+}
+
+impl Variant {
+    /// All variants.
+    pub const ALL: [Variant; 5] = [
+        Variant::Direct,
+        Variant::Loop,
+        Variant::PtrArith,
+        Variant::CallFlow,
+        Variant::LoadedFlow,
+    ];
+}
+
+/// Good (in-bounds only) or bad (good path then out-of-bounds path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// Every access in bounds; must run to completion.
+    Good,
+    /// Ends with an out-of-bounds access; must be detected.
+    Bad,
+}
+
+/// One generated test case.
+#[derive(Debug)]
+pub struct JulietCase {
+    /// Human-readable identifier (mirrors Juliet naming).
+    pub id: String,
+    /// Error class.
+    pub cwe: Cwe,
+    /// Object site.
+    pub site: Site,
+    /// Data-flow variant.
+    pub variant: Variant,
+    /// Good or bad.
+    pub kind: CaseKind,
+    /// The program.
+    pub program: Program,
+}
+
+/// Emits the per-variant access code. `arr_ty` is the static type behind
+/// the pointer (`i32` element indexing works for both array and element
+/// pointers).
+#[allow(clippy::too_many_arguments)]
+fn emit_access(
+    f: &mut FnBuilder,
+    ptr: Reg,
+    base_ty: TypeId,
+    i32t: TypeId,
+    idx: i64,
+    cwe: Cwe,
+    variant: Variant,
+) {
+    let do_access = |f: &mut FnBuilder, at: Reg| {
+        let cell = f.index_addr(ptr, base_ty, at);
+        if cwe.is_read() {
+            let v = f.load(cell, i32t);
+            f.print_int(v);
+        } else {
+            f.store(cell, 7i64, i32t);
+        }
+    };
+    match variant {
+        Variant::Direct | Variant::CallFlow | Variant::LoadedFlow => {
+            // CallFlow/LoadedFlow route `ptr` differently but access the
+            // same way once it arrives here.
+            let at = f.mov(idx);
+            do_access(f, at);
+        }
+        Variant::Loop => {
+            if idx >= 0 {
+                // Ascending: 0..=idx.
+                util_for(f, 0, idx + 1, |f, i| do_access(f, i));
+            } else {
+                // Descending: N-1 down to idx.
+                let i = f.mov(N - 1);
+                util_while_ge(f, i, idx, |f, i| do_access(f, i));
+            }
+        }
+        Variant::PtrArith => {
+            let mid = f.index_addr(ptr, base_ty, 5i64);
+            let k = f.mov(idx - 5);
+            let cell = f.index_addr(mid, i32t, k);
+            if cwe.is_read() {
+                let v = f.load(cell, i32t);
+                f.print_int(v);
+            } else {
+                f.store(cell, 7i64, i32t);
+            }
+        }
+    }
+}
+
+/// Counted ascending loop helper (local to the generator).
+fn util_for(f: &mut FnBuilder, start: i64, end: i64, body: impl FnOnce(&mut FnBuilder, Reg)) {
+    let i = f.mov(start);
+    let end = f.mov(end);
+    let header = f.new_block();
+    let body_bb = f.new_block();
+    let exit = f.new_block();
+    f.jmp(header);
+    f.switch_to(header);
+    let c = f.lt(i, end);
+    f.br(c, body_bb, exit);
+    f.switch_to(body_bb);
+    body(f, i);
+    let i2 = f.add(i, 1i64);
+    f.assign(i, i2);
+    f.jmp(header);
+    f.switch_to(exit);
+}
+
+/// Descending loop helper: from the current value of `i` down to `low`
+/// inclusive.
+fn util_while_ge(f: &mut FnBuilder, i: Reg, low: i64, body: impl FnOnce(&mut FnBuilder, Reg)) {
+    let header = f.new_block();
+    let body_bb = f.new_block();
+    let exit = f.new_block();
+    f.jmp(header);
+    f.switch_to(header);
+    let c = f.le(low, i);
+    f.br(c, body_bb, exit);
+    f.switch_to(body_bb);
+    body(f, i);
+    let i2 = f.sub(i, 1i64);
+    f.assign(i, i2);
+    f.jmp(header);
+    f.switch_to(exit);
+}
+
+fn build_flat_case(cwe: Cwe, site: Site, variant: Variant, kind: CaseKind) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+    let vp = pb.types.void_ptr();
+    let arr = pb.types.array(i32t, N as u32);
+    let data_g = (site == Site::Global).then(|| pb.global("g_data", arr));
+    let cell_g = pb.global("g_ptr", vp);
+
+    // Flow helpers.
+    let access_fn = |pb: &mut ProgramBuilder, name: &str, is_read: bool| {
+        let mut h = pb.func(name, 2);
+        let p = h.param(0);
+        let at = h.param(1);
+        let cell = h.index_addr(p, i32t, at);
+        if is_read {
+            let v = h.load(cell, i32t);
+            h.print_int(v);
+        } else {
+            h.store(cell, 7i64, i32t);
+        }
+        h.ret(None);
+        pb.finish_func(h);
+    };
+    let flow_fn = |pb: &mut ProgramBuilder, name: &str, is_read: bool, cell_g: usize| {
+        let mut h = pb.func(name, 1);
+        let at = h.param(0);
+        let gp = h.addr_of_global(cell_g);
+        let p = h.load(gp, vp); // the promote path
+        let cell = h.index_addr(p, i32t, at);
+        if is_read {
+            let v = h.load(cell, i32t);
+            h.print_int(v);
+        } else {
+            h.store(cell, 7i64, i32t);
+        }
+        h.ret(None);
+        pb.finish_func(h);
+    };
+    if variant == Variant::CallFlow {
+        access_fn(&mut pb, "access_helper", cwe.is_read());
+    }
+    if variant == Variant::LoadedFlow {
+        flow_fn(&mut pb, "flow_helper", cwe.is_read(), cell_g);
+    }
+
+    let mut m = pb.func("main", 0);
+    let (ptr, base_ty) = match site {
+        Site::Stack => (m.alloca(arr), arr),
+        Site::Heap => (m.malloc_n(i32t, N), i32t),
+        Site::Global => (m.addr_of_global(data_g.expect("global site")), arr),
+    };
+    // Initialize so reads are defined.
+    for k in 0..N {
+        let cell = m.index_addr(ptr, base_ty, k);
+        m.store(cell, k, i32t);
+    }
+
+    let (good_idx, bad_idx) = cwe.indices();
+    let run = |m: &mut FnBuilder, idx: i64| match variant {
+        Variant::CallFlow => {
+            let at = m.mov(idx);
+            m.call_void(
+                "access_helper",
+                vec![Operand::Reg(ptr), Operand::Reg(at)],
+            );
+        }
+        Variant::LoadedFlow => {
+            let gp = m.addr_of_global(cell_g);
+            m.store(gp, ptr, vp);
+            let at = m.mov(idx);
+            m.call_void("flow_helper", vec![Operand::Reg(at)]);
+        }
+        _ => emit_access(m, ptr, base_ty, i32t, idx, cwe, variant),
+    };
+    // The good path always runs first (Juliet's main calls good then bad).
+    run(&mut m, good_idx);
+    if kind == CaseKind::Bad {
+        run(&mut m, bad_idx);
+    }
+    m.print_int(1i64); // completion marker
+    if site == Site::Heap {
+        m.free(ptr);
+    }
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    pb.build()
+}
+
+fn build_intra_case(cwe: Cwe, site: Site, kind: CaseKind) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+    let vp = pb.types.void_ptr();
+    let arr = pb.types.array(i32t, N as u32);
+    let s = pb
+        .types
+        .struct_type("S", &[("vulnerable", arr), ("sensitive", arr)]);
+    let cell_g = pb.global("g_ptr", vp);
+
+    let mut h = pb.func("flow_helper", 1);
+    let at = h.param(0);
+    let gp = h.addr_of_global(cell_g);
+    let p = h.load(gp, vp); // promote narrows to `vulnerable`
+    let cell = h.index_addr(p, arr, at);
+    if cwe.is_read() {
+        let v = h.load(cell, i32t);
+        h.print_int(v);
+    } else {
+        h.store(cell, 7i64, i32t);
+    }
+    h.ret(None);
+    pb.finish_func(h);
+
+    let mut m = pb.func("main", 0);
+    let obj = match site {
+        Site::Stack => m.alloca(s),
+        _ => m.malloc(s),
+    };
+    // Initialize both members.
+    for field in 0..2u32 {
+        let fa = m.field_addr(obj, s, field);
+        for k in 0..N {
+            let cell = m.index_addr(fa, arr, k);
+            m.store(cell, k, i32t);
+        }
+    }
+    let vuln = m.field_addr(obj, s, 0);
+    let gp = m.addr_of_global(cell_g);
+    m.store(gp, vuln, vp);
+
+    let (good_idx, bad_idx) = cwe.indices();
+    let at = m.mov(good_idx);
+    m.call_void("flow_helper", vec![Operand::Reg(at)]);
+    if kind == CaseKind::Bad {
+        let at = m.mov(bad_idx);
+        m.call_void("flow_helper", vec![Operand::Reg(at)]);
+    }
+    m.print_int(1i64);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    pb.build()
+}
+
+/// Generates the whole suite.
+#[must_use]
+pub fn all_cases() -> Vec<JulietCase> {
+    let mut out = Vec::new();
+    let flat_cwes = [Cwe::OverflowWrite, Cwe::Underwrite, Cwe::Overread, Cwe::Underread];
+    let sites = [Site::Stack, Site::Heap, Site::Global];
+    for cwe in flat_cwes {
+        for site in sites {
+            for variant in Variant::ALL {
+                for kind in [CaseKind::Good, CaseKind::Bad] {
+                    let id = format!(
+                        "CWE{}_{:?}_{:?}_{:?}_{}",
+                        cwe.number(site),
+                        cwe,
+                        site,
+                        variant,
+                        if kind == CaseKind::Good { "good" } else { "bad" }
+                    );
+                    out.push(JulietCase {
+                        id,
+                        cwe,
+                        site,
+                        variant,
+                        kind,
+                        program: build_flat_case(cwe, site, variant, kind),
+                    });
+                }
+            }
+        }
+    }
+    for cwe in [Cwe::IntraObjectWrite, Cwe::IntraObjectRead] {
+        for site in [Site::Stack, Site::Heap] {
+            for kind in [CaseKind::Good, CaseKind::Bad] {
+                let id = format!(
+                    "CWE{}_{:?}_{:?}_LoadedFlow_{}",
+                    cwe.number(site),
+                    cwe,
+                    site,
+                    if kind == CaseKind::Good { "good" } else { "bad" }
+                );
+                out.push(JulietCase {
+                    id,
+                    cwe,
+                    site,
+                    variant: Variant::LoadedFlow,
+                    kind,
+                    program: build_intra_case(cwe, site, kind),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_expected_shape() {
+        let cases = all_cases();
+        assert_eq!(cases.len(), 4 * 3 * 5 * 2 + 2 * 2 * 2);
+        let bad = cases.iter().filter(|c| c.kind == CaseKind::Bad).count();
+        assert_eq!(bad, cases.len() / 2);
+        for c in &cases {
+            assert!(c.program.validate().is_ok(), "{} invalid", c.id);
+        }
+    }
+}

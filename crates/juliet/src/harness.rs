@@ -1,0 +1,149 @@
+//! Detection harness: runs generated cases under an execution mode and
+//! tallies detections, misses and false positives (the §5.1 claim is
+//! all-bad-detected / all-good-passed).
+
+use crate::gen::{CaseKind, JulietCase};
+use ifp_vm::{run, Mode, VmConfig, VmError};
+use std::fmt;
+
+/// What happened when a case ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Ran to completion.
+    Completed,
+    /// Stopped by a spatial-safety trap.
+    Detected,
+    /// Stopped by something else (harness bug).
+    Errored,
+}
+
+/// Runs one case under `mode`.
+#[must_use]
+pub fn run_case(case: &JulietCase, mode: Mode) -> CaseOutcome {
+    let mut cfg = VmConfig::with_mode(mode);
+    cfg.fuel = 50_000_000;
+    match run(&case.program, &cfg) {
+        Ok(_) => CaseOutcome::Completed,
+        Err(e) if e.is_safety_trap() => CaseOutcome::Detected,
+        Err(VmError::Trap { .. }) => CaseOutcome::Detected, // page fault from a wild access
+        Err(_) => CaseOutcome::Errored,
+    }
+}
+
+/// Aggregate results over a suite.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuiteResult {
+    /// Bad cases detected (true positives).
+    pub detected: usize,
+    /// Bad cases that completed undetected (misses).
+    pub missed: Vec<String>,
+    /// Good cases that completed (true negatives).
+    pub passed: usize,
+    /// Good cases that trapped (false positives).
+    pub false_positives: Vec<String>,
+    /// Cases that errored outside the detection model.
+    pub errors: Vec<String>,
+}
+
+impl SuiteResult {
+    /// Total cases examined.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.detected
+            + self.missed.len()
+            + self.passed
+            + self.false_positives.len()
+            + self.errors.len()
+    }
+
+    /// The paper's pass criterion: every bad case detected, every good
+    /// case passed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.missed.is_empty() && self.false_positives.is_empty() && self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for SuiteResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cases: {} detected, {} passed, {} missed, {} false positives, {} errors",
+            self.total(),
+            self.detected,
+            self.passed,
+            self.missed.len(),
+            self.false_positives.len(),
+            self.errors.len()
+        )
+    }
+}
+
+/// Runs a whole suite under `mode`.
+#[must_use]
+pub fn run_suite(cases: &[JulietCase], mode: Mode) -> SuiteResult {
+    let mut out = SuiteResult::default();
+    for case in cases {
+        match (case.kind, run_case(case, mode)) {
+            (CaseKind::Bad, CaseOutcome::Detected) => out.detected += 1,
+            (CaseKind::Bad, CaseOutcome::Completed) => out.missed.push(case.id.clone()),
+            (CaseKind::Good, CaseOutcome::Completed) => out.passed += 1,
+            (CaseKind::Good, CaseOutcome::Detected) => {
+                out.false_positives.push(case.id.clone());
+            }
+            (_, CaseOutcome::Errored) => out.errors.push(case.id.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::all_cases;
+    use ifp_vm::AllocatorKind;
+
+    #[test]
+    fn instrumented_detects_all_bad_and_passes_all_good() {
+        let cases = all_cases();
+        for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+            let r = run_suite(&cases, Mode::instrumented(alloc));
+            assert!(
+                r.is_clean(),
+                "{alloc}: {r}\nmissed: {:?}\nfalse positives: {:?}\nerrors: {:?}",
+                r.missed,
+                r.false_positives,
+                r.errors
+            );
+            assert_eq!(r.detected, cases.len() / 2);
+        }
+    }
+
+    #[test]
+    fn baseline_passes_good_cases() {
+        let cases = all_cases();
+        let r = run_suite(&cases, Mode::Baseline);
+        assert!(r.false_positives.is_empty(), "{:?}", r.false_positives);
+        assert_eq!(r.passed, cases.len() / 2);
+        // The baseline misses most overflows (they land in padding or
+        // allocator slack) — that asymmetry *is* the motivation.
+        assert!(!r.missed.is_empty());
+    }
+
+    #[test]
+    fn no_promote_misses_loaded_flow_cases() {
+        let cases = all_cases();
+        let r = run_suite(
+            &cases,
+            Mode::Instrumented {
+                allocator: AllocatorKind::Subheap,
+                no_promote: true,
+            },
+        );
+        assert!(
+            !r.missed.is_empty(),
+            "the no-promote ablation must lose detection coverage"
+        );
+        assert!(r.false_positives.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Set-associative L1 data-cache model with LRU replacement.
+//!
+//! The model tracks tags only (data lives in [`crate::Memory`]); its job is
+//! to classify each access as hit or miss so the cycle model can charge the
+//! appropriate penalty and so the §5.2.2 cache-miss analysis can be
+//! reproduced. It is a write-allocate, write-back design like the CVA6 L1.
+
+use std::fmt;
+
+/// Geometry of a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Bytes per cache line. Must be a power of two.
+    pub line_size: u64,
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.line_size * self.sets as u64 * self.ways as u64
+    }
+}
+
+impl Default for CacheConfig {
+    /// A CVA6-like L1 data cache: 32 KiB, 8-way, 16-byte lines.
+    fn default() -> Self {
+        CacheConfig {
+            line_size: 16,
+            sets: 256,
+            ways: 8,
+        }
+    }
+}
+
+/// Hit/miss counters for a [`Cache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Monotonic timestamp of the last touch, for LRU.
+    last_use: u64,
+}
+
+/// A set-associative cache tracking line residency.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_mem::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::default());
+/// assert!(!c.access(0x1000, false)); // cold miss
+/// assert!(c.access(0x1000, false));  // now resident
+/// ```
+#[derive(Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+impl fmt::Debug for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cache")
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` or `sets` is not a power of two, or `ways` is 0.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(config.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(config.ways > 0, "cache must have at least one way");
+        Cache {
+            config,
+            lines: vec![Line::default(); config.sets * config.ways],
+            stats: CacheStats::default(),
+            clock: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Invalidates all lines and (optionally kept) statistics.
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::default();
+        }
+    }
+
+    /// Resets the hit/miss counters without touching residency.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        (line_addr as usize) & (self.config.sets - 1)
+    }
+
+    /// Performs one line-granular access; returns `true` on hit.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.clock += 1;
+        let line_addr = addr / self.config.line_size;
+        let set = self.set_index(line_addr);
+        let tag = line_addr / self.config.sets as u64;
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.clock;
+            line.dirty |= is_write;
+            self.stats.hits += 1;
+            return true;
+        }
+
+        self.stats.misses += 1;
+        // Victim: an invalid way if any, else LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use + 1 } else { 0 })
+            .expect("ways > 0");
+        if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        *victim = Line {
+            valid: true,
+            dirty: is_write,
+            tag,
+            last_use: self.clock,
+        };
+        false
+    }
+
+    /// Accesses every line overlapped by `[addr, addr + len)`; returns
+    /// `true` only if all of them hit.
+    pub fn access_range(&mut self, addr: u64, len: u64, is_write: bool) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = addr / self.config.line_size;
+        let last = (addr + len - 1) / self.config.line_size;
+        let mut all_hit = true;
+        for line in first..=last {
+            all_hit &= self.access(line * self.config.line_size, is_write);
+        }
+        all_hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16-byte lines = 64 bytes.
+        Cache::new(CacheConfig {
+            line_size: 16,
+            sets: 2,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100, false));
+        assert!(c.access(0x100, false));
+        assert!(c.access(0x10f, false), "same line");
+        assert!(!c.access(0x110, false), "next line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Set 0 lines: line addrs 0, 2, 4 (even line numbers map to set 0).
+        let (a, b, new) = (0u64, 2 * 16, 4 * 16);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // touch A; B is now LRU
+        c.access(new, false); // C evicts B
+        assert!(c.access(a, false), "A still resident");
+        assert!(!c.access(b, false), "B was evicted");
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut c = tiny();
+        c.access(0, true); // dirty A
+        c.access(2 * 16, false);
+        c.access(4 * 16, false); // evicts dirty A
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn range_access_spans_lines() {
+        let mut c = tiny();
+        assert!(!c.access_range(0x8, 16, false), "spans two cold lines");
+        assert!(c.access_range(0x8, 16, false), "both now resident");
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny(); // 64-byte capacity
+        for round in 0..4 {
+            for line in 0..8u64 {
+                let hit = c.access(line * 16, false);
+                if round == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        // 8 lines cycling through 4 line slots with LRU never hit.
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 32);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny();
+        c.access(0x100, false);
+        c.flush();
+        assert!(!c.access(0x100, false));
+    }
+
+    #[test]
+    fn default_config_is_32kib() {
+        assert_eq!(CacheConfig::default().capacity(), 32 * 1024);
+    }
+}

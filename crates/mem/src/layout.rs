@@ -1,0 +1,74 @@
+//! Conventional address-space layout for the simulated process.
+//!
+//! The In-Fat Pointer machine runs "user" programs in a 48-bit address
+//! space. These segment constants are a convention shared by the stack
+//! allocator, the heap allocators, the global-data emitter and the global
+//! metadata table; nothing in the memory model enforces them.
+
+/// Base of the global data segment (instrumented globals + layout tables).
+pub const GLOBALS_BASE: u64 = 0x0000_1000_0000;
+/// Size reserved for the global data segment.
+pub const GLOBALS_SIZE: u64 = 0x0000_1000_0000;
+
+/// Base of the global metadata table used by the global table scheme.
+pub const GLOBAL_TABLE_BASE: u64 = 0x0000_2000_0000;
+/// Size reserved for the global metadata table (4096 rows x 16 B, page
+/// rounded up with room to spare).
+pub const GLOBAL_TABLE_SIZE: u64 = 0x0001_0000;
+
+/// Base of the heap segment.
+pub const HEAP_BASE: u64 = 0x0000_4000_0000;
+/// Size reserved for the heap segment (768 MiB, in the spirit of the 1 GB
+/// evaluation board).
+pub const HEAP_SIZE: u64 = 0x0000_3000_0000;
+
+/// Top of the downward-growing stack (exclusive).
+pub const STACK_TOP: u64 = 0x0000_8000_0000;
+/// Maximum stack size.
+pub const STACK_SIZE: u64 = 0x0000_0100_0000;
+
+/// Whether `addr` falls in the heap segment.
+#[must_use]
+pub fn is_heap(addr: u64) -> bool {
+    (HEAP_BASE..HEAP_BASE + HEAP_SIZE).contains(&addr)
+}
+
+/// Whether `addr` falls in the stack segment.
+#[must_use]
+pub fn is_stack(addr: u64) -> bool {
+    (STACK_TOP - STACK_SIZE..STACK_TOP).contains(&addr)
+}
+
+/// Whether `addr` falls in the global data segment.
+#[must_use]
+pub fn is_globals(addr: u64) -> bool {
+    (GLOBALS_BASE..GLOBALS_BASE + GLOBALS_SIZE).contains(&addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let segs = [
+            (GLOBALS_BASE, GLOBALS_BASE + GLOBALS_SIZE),
+            (GLOBAL_TABLE_BASE, GLOBAL_TABLE_BASE + GLOBAL_TABLE_SIZE),
+            (HEAP_BASE, HEAP_BASE + HEAP_SIZE),
+            (STACK_TOP - STACK_SIZE, STACK_TOP),
+        ];
+        for (i, a) in segs.iter().enumerate() {
+            for b in segs.iter().skip(i + 1) {
+                assert!(a.1 <= b.0 || b.1 <= a.0, "segments {a:?} and {b:?} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn classifiers_are_disjoint() {
+        assert!(is_heap(HEAP_BASE));
+        assert!(!is_stack(HEAP_BASE));
+        assert!(is_stack(STACK_TOP - 8));
+        assert!(is_globals(GLOBALS_BASE));
+    }
+}

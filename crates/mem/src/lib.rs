@@ -1,0 +1,497 @@
+//! Simulated memory substrate for the In-Fat Pointer reproduction.
+//!
+//! The paper evaluates on a Digilent Genesys 2 board: a CVA6 core with small
+//! L1 caches in front of 1 GB of DDR3. This crate substitutes that physical
+//! substrate with:
+//!
+//! * [`Memory`] — a sparse, page-granular 48-bit address space with explicit
+//!   mapping (unmapped accesses model page faults) and resident-size
+//!   statistics (used for the paper's `time -v` memory-overhead numbers);
+//! * [`Cache`] — a set-associative, write-allocate L1 data-cache model with
+//!   LRU replacement, used to reproduce the cache-thrashing analysis in
+//!   §5.2.2 (health/ft under the wrapped vs subheap allocators);
+//! * [`MemSystem`] — the pairing of the two, which every simulated memory
+//!   access flows through so that hit/miss outcomes can feed the cycle model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod layout;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Byte size of a simulated page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Error raised by simulated memory accesses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Access touched an address with no mapped page (a page fault).
+    Unmapped {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// Access ran past the end of the 48-bit address space.
+    OutOfAddressSpace {
+        /// The first address past the end of the access.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "page fault at {addr:#x}"),
+            MemError::OutOfAddressSpace { addr } => {
+                write!(f, "access past end of address space at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Running counters for raw memory traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Number of read accesses.
+    pub reads: u64,
+    /// Number of write accesses.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+/// A sparse 48-bit simulated memory.
+///
+/// Pages must be explicitly mapped before access; touching an unmapped page
+/// returns [`MemError::Unmapped`], which the machine surfaces as a page
+/// fault (notably from metadata fetches inside `promote`). The peak number
+/// of mapped bytes stands in for the maximum resident set size that the
+/// paper reads from `time -v`.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_mem::Memory;
+///
+/// let mut mem = Memory::new();
+/// mem.map(0x1000, 4096);
+/// mem.write_u64(0x1000, 0xdead_beef).unwrap();
+/// assert_eq!(mem.read_u64(0x1000).unwrap(), 0xdead_beef);
+/// assert!(mem.read_u8(0x8000_0000).is_err());
+/// ```
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8]>>,
+    stats: MemStats,
+    peak_mapped_pages: usize,
+}
+
+impl Memory {
+    /// Creates an empty memory with nothing mapped.
+    #[must_use]
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    fn page_of(addr: u64) -> u64 {
+        addr / PAGE_SIZE
+    }
+
+    /// Maps (zero-filled) every page overlapping `[base, base + len)`.
+    /// Already-mapped pages are left untouched.
+    pub fn map(&mut self, base: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = Self::page_of(base);
+        let last = Self::page_of(base + len - 1);
+        for page in first..=last {
+            self.pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+        }
+        self.peak_mapped_pages = self.peak_mapped_pages.max(self.pages.len());
+    }
+
+    /// Unmaps every page fully contained in `[base, base + len)`.
+    pub fn unmap(&mut self, base: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = base.div_ceil(PAGE_SIZE);
+        let end = base + len;
+        let last_exclusive = end / PAGE_SIZE;
+        for page in first..last_exclusive {
+            self.pages.remove(&page);
+        }
+    }
+
+    /// Whether every byte of `[addr, addr + len)` is mapped.
+    #[must_use]
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr + len - 1);
+        (first..=last).all(|p| self.pages.contains_key(&p))
+    }
+
+    /// Currently mapped bytes.
+    #[must_use]
+    pub fn mapped_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// High-water mark of mapped bytes (the simulated max resident size).
+    #[must_use]
+    pub fn peak_mapped_bytes(&self) -> u64 {
+        self.peak_mapped_pages as u64 * PAGE_SIZE
+    }
+
+    /// Raw traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    fn check_range(addr: u64, len: u64) -> Result<(), MemError> {
+        let end = addr.checked_add(len).ok_or(MemError::OutOfAddressSpace { addr })?;
+        if end > 1 << 48 {
+            return Err(MemError::OutOfAddressSpace { addr: end });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] at the first unmapped byte.
+    pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        Self::check_range(addr, buf.len() as u64)?;
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = Self::page_of(a);
+            let in_page = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let data = self
+                .pages
+                .get(&page)
+                .ok_or(MemError::Unmapped { addr: a })?;
+            buf[off..off + chunk].copy_from_slice(&data[in_page..in_page + chunk]);
+            off += chunk;
+        }
+        self.stats.reads += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::Unmapped`] at the first unmapped byte.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        Self::check_range(addr, buf.len() as u64)?;
+        // Validate the whole range first so a partial write never occurs.
+        if !self.is_mapped(addr, buf.len() as u64) {
+            let mut a = addr;
+            while self.pages.contains_key(&Self::page_of(a)) {
+                a = (Self::page_of(a) + 1) * PAGE_SIZE;
+            }
+            return Err(MemError::Unmapped { addr: a });
+        }
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = Self::page_of(a);
+            let in_page = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let data = self.pages.get_mut(&page).expect("validated above");
+            data[in_page..in_page + chunk].copy_from_slice(&buf[off..off + chunk]);
+            off += chunk;
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads a little-endian `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn read_u8(&mut self, addr: u64) -> Result<u8, MemError> {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn read_u16(&mut self, addr: u64) -> Result<u16, MemError> {
+        let mut b = [0u8; 2];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn read_u32(&mut self, addr: u64) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn read_u64(&mut self, addr: u64) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Writes a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn write_u16(&mut self, addr: u64, v: u16) -> Result<(), MemError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Fills `[addr, addr + len)` with `byte`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn fill(&mut self, addr: u64, len: u64, byte: u8) -> Result<(), MemError> {
+        let buf = vec![byte; len as usize];
+        self.write_bytes(addr, &buf)
+    }
+}
+
+/// The memory hierarchy every simulated access flows through: sparse
+/// backing [`Memory`] fronted by an L1 data [`Cache`].
+///
+/// Accessors return the value together with the cache outcome so the cycle
+/// model can charge a miss penalty. Metadata fetches from the IFP unit use
+/// the same path, which is what makes the subheap scheme's metadata sharing
+/// visible as a cache-footprint win (paper §5.2.2).
+#[derive(Debug)]
+pub struct MemSystem {
+    /// The backing sparse memory.
+    pub mem: Memory,
+    /// The L1 data-cache model.
+    pub l1d: Cache,
+}
+
+/// Outcome of an access through the cache hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the L1 lookup hit.
+    pub l1_hit: bool,
+}
+
+impl MemSystem {
+    /// Creates a memory system with the given L1 configuration.
+    #[must_use]
+    pub fn new(l1: CacheConfig) -> Self {
+        MemSystem {
+            mem: Memory::new(),
+            l1d: Cache::new(l1),
+        }
+    }
+
+    /// Creates a memory system with the default (CVA6-like) L1: 32 KiB,
+    /// 8-way, 16-byte lines.
+    #[must_use]
+    pub fn with_default_l1() -> Self {
+        MemSystem::new(CacheConfig::default())
+    }
+
+    /// Reads `buf.len()` bytes through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access; the cache is not touched in
+    /// that case (the fault aborts the access).
+    pub fn read(&mut self, addr: u64, buf: &mut [u8]) -> Result<Access, MemError> {
+        self.mem.read_bytes(addr, buf)?;
+        let l1_hit = self.l1d.access_range(addr, buf.len() as u64, false);
+        Ok(Access { l1_hit })
+    }
+
+    /// Writes `buf` through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    pub fn write(&mut self, addr: u64, buf: &[u8]) -> Result<Access, MemError> {
+        self.mem.write_bytes(addr, buf)?;
+        let l1_hit = self.l1d.access_range(addr, buf.len() as u64, true);
+        Ok(Access { l1_hit })
+    }
+
+    /// Reads a little-endian unsigned integer of `size` ∈ {1, 2, 4, 8} bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read_uint(&mut self, addr: u64, size: u64) -> Result<(u64, Access), MemError> {
+        let mut buf = [0u8; 8];
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        let acc = self.read(addr, &mut buf[..size as usize])?;
+        Ok((u64::from_le_bytes(buf), acc))
+    }
+
+    /// Writes the low `size` ∈ {1, 2, 4, 8} bytes of `v`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] on unmapped access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: u64, size: u64, v: u64) -> Result<Access, MemError> {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        let bytes = v.to_le_bytes();
+        self.write(addr, &bytes[..size as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_is_a_page_fault() {
+        let mut mem = Memory::new();
+        assert_eq!(
+            mem.read_u8(0x5000),
+            Err(MemError::Unmapped { addr: 0x5000 })
+        );
+    }
+
+    #[test]
+    fn map_write_read_roundtrip() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 8192);
+        for (i, v) in [(0x1000u64, 0x11u8), (0x1fff, 0x22), (0x2abc, 0x33)] {
+            mem.write_u8(i, v).unwrap();
+            assert_eq!(mem.read_u8(i).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 8192);
+        mem.write_u64(0x1ffc, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(mem.read_u64(0x1ffc).unwrap(), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn cross_page_fault_does_not_partially_write() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, 4096); // only one page
+        let before = mem.read_u32(0x1ffc).unwrap();
+        assert!(mem.write_u64(0x1ffc, u64::MAX).is_err());
+        assert_eq!(mem.read_u32(0x1ffc).unwrap(), before, "no partial write");
+    }
+
+    #[test]
+    fn peak_mapped_tracks_high_water_mark() {
+        let mut mem = Memory::new();
+        mem.map(0, PAGE_SIZE * 10);
+        assert_eq!(mem.mapped_bytes(), PAGE_SIZE * 10);
+        mem.unmap(0, PAGE_SIZE * 10);
+        assert_eq!(mem.mapped_bytes(), 0);
+        assert_eq!(mem.peak_mapped_bytes(), PAGE_SIZE * 10);
+    }
+
+    #[test]
+    fn unmap_keeps_partial_pages() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE * 2);
+        // Only the fully covered page is removed.
+        mem.unmap(0x1800, PAGE_SIZE + 0x800);
+        assert!(mem.is_mapped(0x1000, 1));
+        assert!(!mem.is_mapped(0x2000, 1));
+    }
+
+    #[test]
+    fn memsystem_reports_hits_and_misses() {
+        let mut sys = MemSystem::with_default_l1();
+        sys.mem.map(0x1000, 4096);
+        let a1 = sys.write_uint(0x1000, 8, 42).unwrap();
+        assert!(!a1.l1_hit, "cold access misses");
+        let (v, a2) = sys.read_uint(0x1000, 8).unwrap();
+        assert_eq!(v, 42);
+        assert!(a2.l1_hit, "second access hits");
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let mut mem = Memory::new();
+        mem.map(0, 4096);
+        mem.write_u64(0, 1).unwrap();
+        mem.read_u32(0).unwrap();
+        let s = mem.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes_written, 8);
+        assert_eq!(s.bytes_read, 4);
+    }
+}

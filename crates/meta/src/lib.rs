@@ -1,0 +1,32 @@
+//! In-Fat Pointer metadata structures.
+//!
+//! Three kinds of in-memory metadata make up the In-Fat Pointer design:
+//!
+//! * **Object metadata** ([`schemes`]) — per-object records holding the
+//!   object's base address and size, a pointer to the type's layout table,
+//!   and (for the two schemes whose metadata lives in unprotected memory) a
+//!   48-bit MAC. Each of the three lookup schemes uses its own encoding to
+//!   omit redundant information.
+//! * **Layout tables** ([`layout`]) — per-*type* tables describing the
+//!   size and placement of every subobject, shared by all objects of the
+//!   same type. The `promote` instruction walks this table to narrow object
+//!   bounds to subobject bounds.
+//! * **The metadata MAC** ([`mac`]) — a truncated keyed hash protecting
+//!   metadata integrity against tampering by legacy code or temporal
+//!   errors.
+//!
+//! Everything here is a value-level codec: serialization to/from the byte
+//! images the simulated hardware fetches, plus the narrowing algorithm
+//! itself. The machinery that *drives* these structures (the IFP unit)
+//! lives in `ifp-hw`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod mac;
+pub mod schemes;
+
+pub use layout::{LayoutEntry, LayoutTable, LayoutTableBuilder, NarrowError, NarrowOutcome};
+pub use mac::{mac48, MacKey};
+pub use schemes::{GlobalTableRow, LocalOffsetMeta, ObjectMetadata, SubheapCtrl, SubheapMeta};

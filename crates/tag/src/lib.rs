@@ -1,0 +1,810 @@
+//! Pointer-tag codec for the In-Fat Pointer design.
+//!
+//! In-Fat Pointer targets a 64-bit architecture with at least 16 bits of
+//! unused address space at the top of every pointer. Those 16 bits (the
+//! *tag*) are decomposed as in Figure 4 of the paper:
+//!
+//! ```text
+//!  63    62 61    60 59                      48 47                       0
+//! +--------+--------+--------------------------+--------------------------+
+//! | poison | scheme |  scheme metadata + sub-  |     48-bit address       |
+//! | (2 b)  | (2 b)  |  object index (12 b)     |                          |
+//! +--------+--------+--------------------------+--------------------------+
+//! ```
+//!
+//! * The **poison bits** encode the pointer validity state; every load and
+//!   store checks them and traps unless the state is [`Poison::Valid`].
+//! * The **scheme selector** picks one of the three object-metadata schemes,
+//!   with the all-zero pattern reserved for *legacy* pointers (canonical
+//!   user-space addresses created by uninstrumented code).
+//! * The low 12 tag bits are interpreted per scheme; see [`LocalOffsetTag`],
+//!   [`SubheapTag`] and [`GlobalTableTag`].
+//!
+//! This crate is purely computational: it packs and unpacks tag fields and
+//! defines the 96-bit [`Bounds`] value held in In-Fat Pointer bounds
+//! registers. It has no dependency on the simulated machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Number of address bits actually used by the simulated 64-bit machine.
+pub const ADDR_BITS: u32 = 48;
+/// Mask selecting the 48 address bits of a raw pointer.
+pub const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+/// Number of tag bits above the address bits.
+pub const TAG_BITS: u32 = 16;
+/// Number of low tag bits shared between scheme metadata and subobject index.
+pub const SCHEME_META_BITS: u32 = 12;
+/// Mask for the 12 scheme-metadata/subobject-index bits.
+pub const SCHEME_META_MASK: u16 = (1 << SCHEME_META_BITS) - 1;
+
+/// Byte size of the alignment granule used by the local offset scheme.
+///
+/// The paper's prototype uses a 16-byte granule, giving a maximum object
+/// size of `(2^6 - 1) * 16 = 1008` bytes for the local offset scheme.
+pub const LOCAL_OFFSET_GRANULE: u64 = 16;
+/// Bit width of the local offset scheme's granule-offset tag field.
+pub const LOCAL_OFFSET_OFFSET_BITS: u32 = 6;
+/// Bit width of the local offset scheme's subobject-index tag field.
+pub const LOCAL_OFFSET_INDEX_BITS: u32 = 6;
+/// Bit width of the subheap scheme's control-register-index tag field.
+pub const SUBHEAP_CTRL_BITS: u32 = 4;
+/// Bit width of the subheap scheme's subobject-index tag field.
+pub const SUBHEAP_INDEX_BITS: u32 = 8;
+/// Bit width of the global table scheme's row-index tag field.
+pub const GLOBAL_TABLE_INDEX_BITS: u32 = 12;
+
+/// Largest object size (bytes) representable by the local offset scheme.
+pub const LOCAL_OFFSET_MAX_OBJECT: u64 =
+    ((1 << LOCAL_OFFSET_OFFSET_BITS) - 1) * LOCAL_OFFSET_GRANULE;
+/// Number of subheap control registers implied by [`SUBHEAP_CTRL_BITS`].
+pub const SUBHEAP_CTRL_REGS: usize = 1 << SUBHEAP_CTRL_BITS;
+/// Number of rows addressable in the global metadata table.
+pub const GLOBAL_TABLE_ROWS: usize = 1 << GLOBAL_TABLE_INDEX_BITS;
+
+/// Validity state encoded in the two poison bits of a pointer tag.
+///
+/// Loads and stores trap unless the state is [`Poison::Valid`]. The
+/// out-of-bounds-but-recoverable state exists because C legally permits a
+/// pointer one element past an object's upper bound; such a pointer may be
+/// brought back in bounds by later arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Poison {
+    /// The pointer points within its bounds and may be dereferenced.
+    #[default]
+    Valid,
+    /// The pointer is out of bounds but recoverable (e.g. off-by-one).
+    OutOfBounds,
+    /// The pointer has encountered an irrecoverable error and can never be
+    /// dereferenced again (invalid metadata, indexing after a failed check).
+    Invalid,
+}
+
+impl Poison {
+    /// Decodes the two poison bits. The reserved pattern `0b11` decodes to
+    /// [`Poison::Invalid`] so corrupted tags fail closed.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => Poison::Valid,
+            0b01 => Poison::OutOfBounds,
+            _ => Poison::Invalid,
+        }
+    }
+
+    /// Encodes the state into the two poison bits.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        match self {
+            Poison::Valid => 0b00,
+            Poison::OutOfBounds => 0b01,
+            Poison::Invalid => 0b10,
+        }
+    }
+
+    /// Whether a load or store through a pointer in this state traps.
+    #[must_use]
+    pub fn traps_on_access(self) -> bool {
+        self != Poison::Valid
+    }
+}
+
+impl fmt::Display for Poison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Poison::Valid => "valid",
+            Poison::OutOfBounds => "out-of-bounds",
+            Poison::Invalid => "invalid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Object-metadata scheme selector held in tag bits 61:60.
+///
+/// The all-zero pattern matches canonical user-space addresses and is
+/// therefore reserved for *legacy* pointers that carry no metadata.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum SchemeSel {
+    /// Untagged pointer from legacy code or a statically-safe object.
+    #[default]
+    Legacy,
+    /// Local offset scheme: metadata appended to the object.
+    LocalOffset,
+    /// Subheap scheme: metadata shared by a power-of-two memory block.
+    Subheap,
+    /// Global table scheme: metadata row in a global table.
+    GlobalTable,
+}
+
+impl SchemeSel {
+    /// Decodes the two scheme-selector bits.
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            0b00 => SchemeSel::Legacy,
+            0b01 => SchemeSel::LocalOffset,
+            0b10 => SchemeSel::Subheap,
+            _ => SchemeSel::GlobalTable,
+        }
+    }
+
+    /// Encodes the selector into two bits.
+    #[must_use]
+    pub fn to_bits(self) -> u8 {
+        match self {
+            SchemeSel::Legacy => 0b00,
+            SchemeSel::LocalOffset => 0b01,
+            SchemeSel::Subheap => 0b10,
+            SchemeSel::GlobalTable => 0b11,
+        }
+    }
+
+    /// Whether pointers with this selector carry object metadata.
+    #[must_use]
+    pub fn has_metadata(self) -> bool {
+        self != SchemeSel::Legacy
+    }
+}
+
+impl fmt::Display for SchemeSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchemeSel::Legacy => "legacy",
+            SchemeSel::LocalOffset => "local-offset",
+            SchemeSel::Subheap => "subheap",
+            SchemeSel::GlobalTable => "global-table",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error produced when a per-scheme tag field does not fit its bit width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EncodeTagError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Value that was out of range.
+    pub value: u64,
+    /// Number of bits available for the field.
+    pub bits: u32,
+}
+
+impl fmt::Display for EncodeTagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tag field `{}` value {} does not fit in {} bits",
+            self.field, self.value, self.bits
+        )
+    }
+}
+
+impl std::error::Error for EncodeTagError {}
+
+fn check_field(field: &'static str, value: u64, bits: u32) -> Result<(), EncodeTagError> {
+    if value < (1 << bits) {
+        Ok(())
+    } else {
+        Err(EncodeTagError { field, value, bits })
+    }
+}
+
+/// Low-12-bit tag payload of a local offset scheme pointer.
+///
+/// `granule_offset` is the distance, in 16-byte granules, from the (granule
+/// truncated) pointer address to the object metadata appended after the
+/// object. `subobject_index` selects a layout-table element for bounds
+/// narrowing; index 0 means "whole object".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct LocalOffsetTag {
+    /// Offset from the current address to the metadata, in granules (6 bits).
+    pub granule_offset: u8,
+    /// Layout-table index of the currently pointed subobject (6 bits).
+    pub subobject_index: u8,
+}
+
+impl LocalOffsetTag {
+    /// Packs the fields into the low 12 tag bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeTagError`] if either field exceeds its 6-bit width.
+    pub fn encode(self) -> Result<u16, EncodeTagError> {
+        check_field(
+            "granule_offset",
+            u64::from(self.granule_offset),
+            LOCAL_OFFSET_OFFSET_BITS,
+        )?;
+        check_field(
+            "subobject_index",
+            u64::from(self.subobject_index),
+            LOCAL_OFFSET_INDEX_BITS,
+        )?;
+        Ok((u16::from(self.granule_offset) << LOCAL_OFFSET_INDEX_BITS)
+            | u16::from(self.subobject_index))
+    }
+
+    /// Unpacks the fields from the low 12 tag bits.
+    #[must_use]
+    pub fn decode(bits: u16) -> Self {
+        let bits = bits & SCHEME_META_MASK;
+        LocalOffsetTag {
+            granule_offset: u8::try_from(bits >> LOCAL_OFFSET_INDEX_BITS)
+                .expect("6-bit field fits u8"),
+            subobject_index: (bits as u8) & ((1 << LOCAL_OFFSET_INDEX_BITS) - 1),
+        }
+    }
+}
+
+/// Low-12-bit tag payload of a subheap scheme pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SubheapTag {
+    /// Index of the control register describing the enclosing block (4 bits).
+    pub ctrl_index: u8,
+    /// Layout-table index of the currently pointed subobject (8 bits).
+    pub subobject_index: u8,
+}
+
+impl SubheapTag {
+    /// Packs the fields into the low 12 tag bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeTagError`] if `ctrl_index` exceeds 4 bits.
+    pub fn encode(self) -> Result<u16, EncodeTagError> {
+        check_field("ctrl_index", u64::from(self.ctrl_index), SUBHEAP_CTRL_BITS)?;
+        Ok((u16::from(self.ctrl_index) << SUBHEAP_INDEX_BITS) | u16::from(self.subobject_index))
+    }
+
+    /// Unpacks the fields from the low 12 tag bits.
+    #[must_use]
+    pub fn decode(bits: u16) -> Self {
+        let bits = bits & SCHEME_META_MASK;
+        SubheapTag {
+            ctrl_index: u8::try_from(bits >> SUBHEAP_INDEX_BITS).expect("4-bit field fits u8"),
+            subobject_index: (bits & ((1 << SUBHEAP_INDEX_BITS) - 1)) as u8,
+        }
+    }
+}
+
+/// Low-12-bit tag payload of a global table scheme pointer.
+///
+/// All 12 bits are consumed by the row index, so global-table pointers
+/// cannot carry a subobject index and promote cannot narrow their bounds
+/// (paper §3.3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct GlobalTableTag {
+    /// Row index into the global metadata table (12 bits).
+    pub table_index: u16,
+}
+
+impl GlobalTableTag {
+    /// Packs the row index into the low 12 tag bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeTagError`] if the index exceeds 12 bits.
+    pub fn encode(self) -> Result<u16, EncodeTagError> {
+        check_field(
+            "table_index",
+            u64::from(self.table_index),
+            GLOBAL_TABLE_INDEX_BITS,
+        )?;
+        Ok(self.table_index)
+    }
+
+    /// Unpacks the row index from the low 12 tag bits.
+    #[must_use]
+    pub fn decode(bits: u16) -> Self {
+        GlobalTableTag {
+            table_index: bits & SCHEME_META_MASK,
+        }
+    }
+}
+
+/// Decoded view of a full 16-bit pointer tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Tag {
+    /// Pointer validity state (bits 63:62).
+    pub poison: Poison,
+    /// Object metadata scheme selector (bits 61:60).
+    pub scheme: SchemeSel,
+    /// Scheme metadata and subobject index (bits 59:48).
+    pub scheme_meta: u16,
+}
+
+impl Tag {
+    /// A tag whose bits are all zero: a valid legacy pointer.
+    pub const LEGACY: Tag = Tag {
+        poison: Poison::Valid,
+        scheme: SchemeSel::Legacy,
+        scheme_meta: 0,
+    };
+
+    /// Decodes a raw 16-bit tag.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        Tag {
+            poison: Poison::from_bits((bits >> 14) as u8),
+            scheme: SchemeSel::from_bits((bits >> 12) as u8),
+            scheme_meta: bits & SCHEME_META_MASK,
+        }
+    }
+
+    /// Encodes into a raw 16-bit tag.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        (u16::from(self.poison.to_bits()) << 14)
+            | (u16::from(self.scheme.to_bits()) << 12)
+            | (self.scheme_meta & SCHEME_META_MASK)
+    }
+}
+
+/// A 64-bit pointer value carrying an In-Fat Pointer tag in its top 16 bits.
+///
+/// `TaggedPtr` is a plain value type: the same representation the simulated
+/// machine moves through general-purpose registers and memory. Address
+/// arithmetic (`wrapping_add_addr`) preserves the tag bits, mirroring how
+/// tags propagate for free with pointer values in hardware.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_tag::{Poison, SchemeSel, TaggedPtr};
+///
+/// let p = TaggedPtr::from_addr(0x1000);
+/// assert!(p.is_legacy());
+/// let q = p.with_scheme(SchemeSel::LocalOffset).with_scheme_meta(0x3f);
+/// assert_eq!(q.addr(), 0x1000);
+/// assert_eq!(q.scheme(), SchemeSel::LocalOffset);
+/// assert_eq!(q.poison(), Poison::Valid);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TaggedPtr(u64);
+
+impl TaggedPtr {
+    /// The null pointer (no tag, address zero).
+    pub const NULL: TaggedPtr = TaggedPtr(0);
+
+    /// Wraps a raw 64-bit register value without interpretation.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        TaggedPtr(raw)
+    }
+
+    /// Creates an untagged (legacy) pointer to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` has bits set above [`ADDR_BITS`]; such a value is
+    /// not a canonical user-space address.
+    #[must_use]
+    pub fn from_addr(addr: u64) -> Self {
+        assert_eq!(addr & !ADDR_MASK, 0, "address {addr:#x} is not canonical");
+        TaggedPtr(addr)
+    }
+
+    /// The raw 64-bit register value, tag included.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The 48-bit address portion.
+    #[must_use]
+    pub fn addr(self) -> u64 {
+        self.0 & ADDR_MASK
+    }
+
+    /// Whether the address portion is zero (tag bits are ignored).
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.addr() == 0
+    }
+
+    /// The decoded 16-bit tag.
+    #[must_use]
+    pub fn tag(self) -> Tag {
+        Tag::from_bits((self.0 >> ADDR_BITS) as u16)
+    }
+
+    /// Replaces the whole 16-bit tag.
+    #[must_use]
+    pub fn with_tag(self, tag: Tag) -> Self {
+        TaggedPtr((self.0 & ADDR_MASK) | (u64::from(tag.to_bits()) << ADDR_BITS))
+    }
+
+    /// The poison state from the tag.
+    #[must_use]
+    pub fn poison(self) -> Poison {
+        self.tag().poison
+    }
+
+    /// Returns the pointer with its poison state replaced.
+    #[must_use]
+    pub fn with_poison(self, poison: Poison) -> Self {
+        let mut tag = self.tag();
+        tag.poison = poison;
+        self.with_tag(tag)
+    }
+
+    /// The scheme selector from the tag.
+    #[must_use]
+    pub fn scheme(self) -> SchemeSel {
+        self.tag().scheme
+    }
+
+    /// Returns the pointer with its scheme selector replaced.
+    #[must_use]
+    pub fn with_scheme(self, scheme: SchemeSel) -> Self {
+        let mut tag = self.tag();
+        tag.scheme = scheme;
+        self.with_tag(tag)
+    }
+
+    /// The low 12 scheme-metadata/subobject-index bits.
+    #[must_use]
+    pub fn scheme_meta(self) -> u16 {
+        self.tag().scheme_meta
+    }
+
+    /// Returns the pointer with its low 12 tag bits replaced.
+    #[must_use]
+    pub fn with_scheme_meta(self, meta: u16) -> Self {
+        let mut tag = self.tag();
+        tag.scheme_meta = meta & SCHEME_META_MASK;
+        self.with_tag(tag)
+    }
+
+    /// Returns the pointer with its 48-bit address replaced, tag preserved.
+    #[must_use]
+    pub fn with_addr(self, addr: u64) -> Self {
+        TaggedPtr((self.0 & !ADDR_MASK) | (addr & ADDR_MASK))
+    }
+
+    /// Whether the pointer carries no metadata (legacy scheme selector).
+    #[must_use]
+    pub fn is_legacy(self) -> bool {
+        self.scheme() == SchemeSel::Legacy
+    }
+
+    /// Address arithmetic preserving the tag, with 48-bit wrap-around.
+    ///
+    /// This mirrors plain integer `add` on a tagged register: the tag moves
+    /// along for free, but no tag *maintenance* (granule offset or
+    /// subobject-index update) occurs — that is `ifpadd`/`ifpidx`'s job.
+    #[must_use]
+    pub fn wrapping_add_addr(self, delta: i64) -> Self {
+        let addr = self.addr().wrapping_add(delta as u64) & ADDR_MASK;
+        self.with_addr(addr)
+    }
+}
+
+impl fmt::Debug for TaggedPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = self.tag();
+        write!(
+            f,
+            "TaggedPtr({:#014x} tag=[{} {} meta={:#05x}])",
+            self.addr(),
+            tag.poison,
+            tag.scheme,
+            tag.scheme_meta
+        )
+    }
+}
+
+impl fmt::Display for TaggedPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<TaggedPtr> for u64 {
+    fn from(p: TaggedPtr) -> u64 {
+        p.raw()
+    }
+}
+
+impl From<u64> for TaggedPtr {
+    fn from(raw: u64) -> TaggedPtr {
+        TaggedPtr::from_raw(raw)
+    }
+}
+
+/// A 96-bit (2 × 48-bit) bounds value held in a bounds register.
+///
+/// The interval is half-open: an access of `size` bytes at `addr` is in
+/// bounds iff `lower <= addr && addr + size <= upper`. *Cleared* bounds —
+/// the state of legacy pointers, which are not subject to checking — are
+/// represented as the full address range so every check trivially passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Bounds {
+    lower: u64,
+    upper: u64,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds::cleared()
+    }
+}
+
+impl Bounds {
+    /// Creates bounds covering `[lower, upper)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound exceeds the 48-bit address
+    /// space (`upper` may equal `2^48` to include the top byte).
+    #[must_use]
+    pub fn new(lower: u64, upper: u64) -> Self {
+        assert!(lower <= upper, "bounds lower {lower:#x} > upper {upper:#x}");
+        assert!(upper <= 1 << ADDR_BITS, "bounds upper {upper:#x} exceeds address space");
+        Bounds { lower, upper }
+    }
+
+    /// Creates bounds covering `size` bytes starting at `base`.
+    #[must_use]
+    pub fn from_base_size(base: u64, size: u64) -> Self {
+        Bounds::new(base, base + size)
+    }
+
+    /// Cleared bounds: the full address range, used for unchecked pointers.
+    #[must_use]
+    pub fn cleared() -> Self {
+        Bounds {
+            lower: 0,
+            upper: 1 << ADDR_BITS,
+        }
+    }
+
+    /// Whether these bounds are the cleared (unchecked) value.
+    #[must_use]
+    pub fn is_cleared(self) -> bool {
+        self.lower == 0 && self.upper == 1 << ADDR_BITS
+    }
+
+    /// The inclusive lower bound.
+    #[must_use]
+    pub fn lower(self) -> u64 {
+        self.lower
+    }
+
+    /// The exclusive upper bound.
+    #[must_use]
+    pub fn upper(self) -> u64 {
+        self.upper
+    }
+
+    /// The byte size of the bounded region.
+    #[must_use]
+    pub fn size(self) -> u64 {
+        self.upper - self.lower
+    }
+
+    /// The access size check used by `ifpchk`, implicit checking and the
+    /// fused check in `promote`: `size` bytes at `addr` must fall inside.
+    #[must_use]
+    pub fn allows_access(self, addr: u64, size: u64) -> bool {
+        addr >= self.lower && addr.saturating_add(size) <= self.upper
+    }
+
+    /// Whether `addr` is within bounds or exactly one past the end — the
+    /// C-legal off-by-one state that maps to [`Poison::OutOfBounds`]
+    /// rather than a trap.
+    #[must_use]
+    pub fn classify_addr(self, addr: u64) -> Poison {
+        if addr >= self.lower && addr < self.upper {
+            Poison::Valid
+        } else if addr == self.upper {
+            Poison::OutOfBounds
+        } else {
+            Poison::Invalid
+        }
+    }
+
+    /// Intersects with another bounds value (used when narrowing must not
+    /// widen an inherited bound).
+    #[must_use]
+    pub fn intersect(self, other: Bounds) -> Bounds {
+        let lower = self.lower.max(other.lower);
+        let upper = self.upper.min(other.upper);
+        if lower > upper {
+            Bounds { lower, upper: lower }
+        } else {
+            Bounds { lower, upper }
+        }
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    #[must_use]
+    pub fn contains(self, other: Bounds) -> bool {
+        self.lower <= other.lower && other.upper <= self.upper
+    }
+}
+
+impl fmt::Display for Bounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_cleared() {
+            f.write_str("[cleared]")
+        } else {
+            write!(f, "[{:#x}, {:#x})", self.lower, self.upper)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_pointer_is_all_zero_tag() {
+        let p = TaggedPtr::from_addr(0xdead_beef);
+        assert!(p.is_legacy());
+        assert_eq!(p.poison(), Poison::Valid);
+        assert_eq!(p.raw(), 0xdead_beef);
+        assert_eq!(p.tag(), Tag::LEGACY);
+    }
+
+    #[test]
+    fn tag_fields_do_not_clobber_address() {
+        let p = TaggedPtr::from_addr(0x1234_5678_9abc)
+            .with_scheme(SchemeSel::Subheap)
+            .with_poison(Poison::OutOfBounds)
+            .with_scheme_meta(0xABC);
+        assert_eq!(p.addr(), 0x1234_5678_9abc);
+        assert_eq!(p.scheme(), SchemeSel::Subheap);
+        assert_eq!(p.poison(), Poison::OutOfBounds);
+        assert_eq!(p.scheme_meta(), 0xABC);
+    }
+
+    #[test]
+    fn poison_reserved_pattern_fails_closed() {
+        assert_eq!(Poison::from_bits(0b11), Poison::Invalid);
+    }
+
+    #[test]
+    fn poison_roundtrip() {
+        for p in [Poison::Valid, Poison::OutOfBounds, Poison::Invalid] {
+            assert_eq!(Poison::from_bits(p.to_bits()), p);
+        }
+    }
+
+    #[test]
+    fn scheme_roundtrip() {
+        for s in [
+            SchemeSel::Legacy,
+            SchemeSel::LocalOffset,
+            SchemeSel::Subheap,
+            SchemeSel::GlobalTable,
+        ] {
+            assert_eq!(SchemeSel::from_bits(s.to_bits()), s);
+        }
+    }
+
+    #[test]
+    fn local_offset_tag_roundtrip_and_limits() {
+        let t = LocalOffsetTag {
+            granule_offset: 63,
+            subobject_index: 63,
+        };
+        assert_eq!(LocalOffsetTag::decode(t.encode().unwrap()), t);
+        let bad = LocalOffsetTag {
+            granule_offset: 64,
+            subobject_index: 0,
+        };
+        assert!(bad.encode().is_err());
+    }
+
+    #[test]
+    fn subheap_tag_roundtrip_and_limits() {
+        let t = SubheapTag {
+            ctrl_index: 15,
+            subobject_index: 255,
+        };
+        assert_eq!(SubheapTag::decode(t.encode().unwrap()), t);
+        let bad = SubheapTag {
+            ctrl_index: 16,
+            subobject_index: 0,
+        };
+        assert!(bad.encode().is_err());
+    }
+
+    #[test]
+    fn global_table_tag_roundtrip_and_limits() {
+        let t = GlobalTableTag { table_index: 4095 };
+        assert_eq!(GlobalTableTag::decode(t.encode().unwrap()), t);
+        assert!(GlobalTableTag { table_index: 4096 }.encode().is_err());
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_tag() {
+        let p = TaggedPtr::from_addr(0x1000)
+            .with_scheme(SchemeSel::LocalOffset)
+            .with_scheme_meta(0x123);
+        let q = p.wrapping_add_addr(0x40);
+        assert_eq!(q.addr(), 0x1040);
+        assert_eq!(q.tag(), p.tag());
+        let r = q.wrapping_add_addr(-0x40);
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    fn pointer_arithmetic_wraps_in_48_bits() {
+        let p = TaggedPtr::from_addr(ADDR_MASK).with_scheme(SchemeSel::Subheap);
+        let q = p.wrapping_add_addr(1);
+        assert_eq!(q.addr(), 0);
+        assert_eq!(q.scheme(), SchemeSel::Subheap);
+    }
+
+    #[test]
+    fn bounds_access_check() {
+        let b = Bounds::from_base_size(0x100, 0x20);
+        assert!(b.allows_access(0x100, 1));
+        assert!(b.allows_access(0x11f, 1));
+        assert!(b.allows_access(0x100, 0x20));
+        assert!(!b.allows_access(0x11f, 2));
+        assert!(!b.allows_access(0xff, 1));
+        assert!(!b.allows_access(0x120, 1));
+    }
+
+    #[test]
+    fn bounds_off_by_one_is_recoverable() {
+        let b = Bounds::from_base_size(0x100, 0x20);
+        assert_eq!(b.classify_addr(0x100), Poison::Valid);
+        assert_eq!(b.classify_addr(0x11f), Poison::Valid);
+        assert_eq!(b.classify_addr(0x120), Poison::OutOfBounds);
+        assert_eq!(b.classify_addr(0x121), Poison::Invalid);
+        assert_eq!(b.classify_addr(0xff), Poison::Invalid);
+    }
+
+    #[test]
+    fn cleared_bounds_allow_everything() {
+        let b = Bounds::cleared();
+        assert!(b.is_cleared());
+        assert!(b.allows_access(0, 1));
+        assert!(b.allows_access(ADDR_MASK, 1));
+    }
+
+    #[test]
+    fn bounds_intersect_and_contains() {
+        let outer = Bounds::new(0x100, 0x200);
+        let inner = Bounds::new(0x140, 0x180);
+        assert!(outer.contains(inner));
+        assert_eq!(outer.intersect(inner), inner);
+        let disjoint = Bounds::new(0x300, 0x400);
+        let empty = outer.intersect(disjoint);
+        assert_eq!(empty.size(), 0);
+    }
+
+    #[test]
+    fn prototype_limits_match_paper() {
+        assert_eq!(LOCAL_OFFSET_MAX_OBJECT, 1008);
+        assert_eq!(SUBHEAP_CTRL_REGS, 16);
+        assert_eq!(GLOBAL_TABLE_ROWS, 4096);
+    }
+}

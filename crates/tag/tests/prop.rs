@@ -1,0 +1,106 @@
+//! Property tests for the tag codec: every raw 64-bit value decodes and
+//! re-encodes without loss, and field updates are independent.
+
+use ifp_tag::{
+    Bounds, GlobalTableTag, LocalOffsetTag, Poison, SchemeSel, SubheapTag, Tag, TaggedPtr,
+    ADDR_MASK,
+};
+use proptest::prelude::*;
+
+fn arb_poison() -> impl Strategy<Value = Poison> {
+    prop_oneof![
+        Just(Poison::Valid),
+        Just(Poison::OutOfBounds),
+        Just(Poison::Invalid),
+    ]
+}
+
+fn arb_scheme() -> impl Strategy<Value = SchemeSel> {
+    prop_oneof![
+        Just(SchemeSel::Legacy),
+        Just(SchemeSel::LocalOffset),
+        Just(SchemeSel::Subheap),
+        Just(SchemeSel::GlobalTable),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn tag_bits_roundtrip(poison in arb_poison(), scheme in arb_scheme(), meta in 0u16..0x1000) {
+        let tag = Tag { poison, scheme, scheme_meta: meta };
+        prop_assert_eq!(Tag::from_bits(tag.to_bits()), tag);
+    }
+
+    #[test]
+    fn raw_roundtrip_is_lossless(raw in any::<u64>()) {
+        let p = TaggedPtr::from_raw(raw);
+        prop_assert_eq!(p.raw(), raw);
+        // Re-assembling from decoded pieces reproduces the raw value as long
+        // as the poison bits are not the reserved 0b11 pattern (which decodes
+        // to Invalid and re-encodes as 0b10 — failing closed by design).
+        let reassembled = TaggedPtr::from_raw(p.addr()).with_tag(p.tag());
+        if (raw >> 62) & 0b11 != 0b11 {
+            prop_assert_eq!(reassembled.raw(), raw);
+        } else {
+            prop_assert_eq!(reassembled.poison(), Poison::Invalid);
+            prop_assert_eq!(reassembled.addr(), p.addr());
+        }
+    }
+
+    #[test]
+    fn field_updates_are_independent(addr in 0u64..=ADDR_MASK, meta in 0u16..0x1000,
+                                     poison in arb_poison(), scheme in arb_scheme()) {
+        let p = TaggedPtr::from_addr(addr)
+            .with_poison(poison)
+            .with_scheme(scheme)
+            .with_scheme_meta(meta);
+        prop_assert_eq!(p.addr(), addr);
+        prop_assert_eq!(p.poison(), poison);
+        prop_assert_eq!(p.scheme(), scheme);
+        prop_assert_eq!(p.scheme_meta(), meta);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip(addr in 0u64..=ADDR_MASK, delta in any::<i32>(), meta in 0u16..0x1000) {
+        let p = TaggedPtr::from_addr(addr).with_scheme(SchemeSel::Subheap).with_scheme_meta(meta);
+        let q = p.wrapping_add_addr(i64::from(delta)).wrapping_add_addr(-i64::from(delta));
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn local_offset_roundtrip(off in 0u8..64, idx in 0u8..64) {
+        let t = LocalOffsetTag { granule_offset: off, subobject_index: idx };
+        prop_assert_eq!(LocalOffsetTag::decode(t.encode().unwrap()), t);
+    }
+
+    #[test]
+    fn subheap_roundtrip(ctrl in 0u8..16, idx in any::<u8>()) {
+        let t = SubheapTag { ctrl_index: ctrl, subobject_index: idx };
+        prop_assert_eq!(SubheapTag::decode(t.encode().unwrap()), t);
+    }
+
+    #[test]
+    fn global_table_roundtrip(idx in 0u16..0x1000) {
+        let t = GlobalTableTag { table_index: idx };
+        prop_assert_eq!(GlobalTableTag::decode(t.encode().unwrap()), t);
+    }
+
+    #[test]
+    fn bounds_check_matches_interval_math(base in 0u64..0x1000_0000, size in 0u64..0x10000,
+                                          addr in 0u64..0x1001_0000, n in 1u64..64) {
+        let b = Bounds::from_base_size(base, size);
+        let expected = addr >= base && addr + n <= base + size;
+        prop_assert_eq!(b.allows_access(addr, n), expected);
+    }
+
+    #[test]
+    fn classify_addr_consistent_with_allows(base in 0u64..0x1000_0000, size in 1u64..0x10000,
+                                            addr in 0u64..0x1001_0000) {
+        let b = Bounds::from_base_size(base, size);
+        match b.classify_addr(addr) {
+            Poison::Valid => prop_assert!(b.allows_access(addr, 1)),
+            Poison::OutOfBounds => prop_assert_eq!(addr, b.upper()),
+            Poison::Invalid => prop_assert!(!b.allows_access(addr, 1)),
+        }
+    }
+}

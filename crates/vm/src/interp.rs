@@ -1,0 +1,978 @@
+//! The interpreter.
+
+use crate::loader::{self, LoadedImage, CTYPE_TABLE_ADDR, LOCAL_OFFSET_LT_CAP, SUBHEAP_LT_CAP};
+use crate::stats::RunStats;
+use crate::{AllocatorKind, Mode, RunResult, VmConfig, VmError};
+use ifp_alloc::{
+    costs as alloc_costs, AllocCost, GlobalTableManager, LibcAllocator, StackAllocator,
+    SubheapAllocator, WrappedAllocator,
+};
+use ifp_compiler::costs as ir_costs;
+use ifp_compiler::instrument::{AllocKind, OpAction};
+use ifp_compiler::ir::{BinOp, ExtFunc, GepStep, Op, Operand, Program, Reg, Terminator};
+use ifp_compiler::types::Type;
+use ifp_compiler::InstrPlan;
+use ifp_hw::ifp_unit::Narrowing;
+use ifp_hw::{CtrlRegs, IfpUnit, LoadStoreUnit, PromoteKind, Trap};
+use ifp_mem::layout::{HEAP_BASE, STACK_SIZE, STACK_TOP};
+use ifp_mem::MemSystem;
+use ifp_tag::{
+    Bounds, LocalOffsetTag, Poison, SchemeSel, SubheapTag, TaggedPtr, LOCAL_OFFSET_GRANULE,
+};
+
+/// Base address of the libc-style heap (baseline + wrapped allocator).
+const LIBC_HEAP_BASE: u64 = HEAP_BASE;
+/// Size of the libc-style heap (256 MiB).
+const LIBC_HEAP_SIZE: u64 = 0x1000_0000;
+/// Base of the buddy arena backing the subheap allocator (size-aligned).
+const BUDDY_BASE: u64 = 0x5000_0000;
+/// Buddy arena order (256 MiB).
+const BUDDY_ORDER: u8 = 28;
+
+#[derive(Debug)]
+struct Frame {
+    func: usize,
+    regs: Vec<u64>,
+    bounds: Vec<Option<Bounds>>,
+    block: usize,
+    op: usize,
+    /// Caller register receiving the return value.
+    ret_dst: Option<Reg>,
+    /// Global-table rows owned by oversized locals of this frame.
+    global_rows: Vec<u16>,
+}
+
+enum Flow {
+    Continue,
+    Finished(i64),
+}
+
+/// Result of one [`Vm::step`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The program has more work to do.
+    Running,
+    /// `main` returned with this exit code.
+    Finished(i64),
+}
+
+/// The virtual machine. Most users go through [`crate::run`]; the struct
+/// is exposed for harnesses that want to inspect state between steps.
+pub struct Vm<'p> {
+    program: &'p Program,
+    plan: Option<InstrPlan>,
+    config: VmConfig,
+    mem: MemSystem,
+    unit: IfpUnit,
+    lsu: LoadStoreUnit,
+    ctrl: CtrlRegs,
+    stack: StackAllocator,
+    libc: LibcAllocator,
+    wrapped: Option<WrappedAllocator>,
+    subheap: Option<SubheapAllocator>,
+    gt: GlobalTableManager,
+    image: LoadedImage,
+    stats: RunStats,
+    output: Vec<i64>,
+    frames: Vec<Frame>,
+}
+
+impl<'p> Vm<'p> {
+    /// Prepares a VM: validates the program, runs the instrumentation
+    /// pass (for instrumented modes), and loads the image.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadProgram`] when validation fails.
+    pub fn new(program: &'p Program, config: &VmConfig) -> Result<Self, VmError> {
+        program
+            .validate()
+            .map_err(|e| VmError::BadProgram(e.to_string()))?;
+        let plan = config
+            .mode
+            .is_instrumented()
+            .then(|| InstrPlan::build(program));
+
+        let mut mem = MemSystem::new(config.l1);
+        let mut gt = loader::make_global_table(&mut mem);
+        let key = ifp_meta::MacKey::default_for_sim();
+        let image = loader::load(program, plan.as_ref(), &mut mem, &mut gt, key);
+
+        let mut ctrl = CtrlRegs::new(gt.base());
+        ctrl.mac_key = key;
+        let mut wrapped = None;
+        let mut subheap = None;
+        if let Mode::Instrumented { allocator, .. } = config.mode {
+            match allocator {
+                AllocatorKind::Wrapped => {
+                    wrapped = Some(WrappedAllocator::new(LIBC_HEAP_BASE, LIBC_HEAP_SIZE, key));
+                }
+                AllocatorKind::Subheap => {
+                    for (i, c) in SubheapAllocator::ctrl_regs() {
+                        ctrl.set_subheap(i, c);
+                    }
+                    subheap = Some(SubheapAllocator::new(BUDDY_BASE, BUDDY_ORDER, key));
+                }
+            }
+        }
+
+        let mut stats = RunStats::default();
+        stats.base_instrs += image.startup_cost.base_instrs;
+        stats.ifp_arith_instrs += image.startup_cost.ifp_instrs;
+        stats.global_objects.objects = image.registered_globals;
+        stats.global_objects.with_layout_table = image.registered_globals_with_lt;
+
+        Ok(Vm {
+            program,
+            plan,
+            config: *config,
+            mem,
+            unit: IfpUnit::new(config.cycle_model),
+            lsu: LoadStoreUnit::new(config.cycle_model),
+            ctrl,
+            stack: StackAllocator::new(STACK_TOP, STACK_SIZE),
+            libc: LibcAllocator::new(LIBC_HEAP_BASE, LIBC_HEAP_SIZE),
+            wrapped,
+            subheap,
+            gt,
+            image,
+            stats,
+            output: Vec::new(),
+            frames: Vec::new(),
+        })
+    }
+
+    fn instrumented(&self) -> bool {
+        self.config.mode.is_instrumented()
+    }
+
+    fn no_promote(&self) -> bool {
+        matches!(
+            self.config.mode,
+            Mode::Instrumented {
+                no_promote: true,
+                ..
+            }
+        )
+    }
+
+    fn action(&self, fi: usize, bi: usize, oi: usize) -> OpAction {
+        match &self.plan {
+            Some(plan) => plan.funcs[fi].actions[bi][oi],
+            None => OpAction::None,
+        }
+    }
+
+    fn charge_base(&mut self, n: u64) {
+        self.stats.base_instrs += n;
+        self.stats.cycles += n * self.config.cycle_model.alu;
+    }
+
+    fn charge_ifp_arith(&mut self, n: u64) {
+        self.stats.ifp_arith_instrs += n;
+        self.stats.cycles += n * self.config.cycle_model.alu;
+    }
+
+    fn charge_bounds_ls(&mut self, n: u64) {
+        self.stats.bounds_ls_instrs += n;
+        self.stats.cycles += n * self.config.cycle_model.alu;
+    }
+
+    fn charge_alloc(&mut self, c: AllocCost) {
+        self.charge_base(c.base_instrs);
+        self.charge_ifp_arith(c.ifp_instrs);
+    }
+
+    fn frame(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("a frame is active")
+    }
+
+    fn eval(&self, o: Operand) -> u64 {
+        match o {
+            Operand::Reg(r) => self.frames.last().expect("frame")[r],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn bounds_of(&self, o: Operand) -> Option<Bounds> {
+        match o {
+            Operand::Reg(r) => self.frames.last().expect("frame").bounds[r.0 as usize],
+            Operand::Imm(_) => None,
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64, b: Option<Bounds>) {
+        let f = self.frame();
+        f.regs[r.0 as usize] = v;
+        f.bounds[r.0 as usize] = b;
+    }
+
+    fn trap(&self, trap: Trap) -> VmError {
+        let func = self
+            .frames
+            .last()
+            .map(|f| self.program.funcs[f.func].name.clone())
+            .unwrap_or_default();
+        VmError::Trap {
+            trap,
+            func,
+            stats: Box::new(self.stats.clone()),
+        }
+    }
+
+    /// In baseline mode the hardware is unmodified: no poison or bounds
+    /// semantics exist, so pointers are stripped to plain addresses.
+    fn effective_ptr(&self, raw: u64) -> TaggedPtr {
+        if self.instrumented() {
+            TaggedPtr::from_raw(raw)
+        } else {
+            TaggedPtr::from_raw(raw & ifp_tag::ADDR_MASK)
+        }
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`].
+    pub fn run(mut self) -> Result<RunResult, VmError> {
+        loop {
+            match self.step()? {
+                StepOutcome::Running => {}
+                StepOutcome::Finished(code) => return Ok(self.into_result(code)),
+            }
+        }
+    }
+
+    /// Executes one operation (or terminator). The first call enters
+    /// `main`. Between steps, harnesses may inspect or corrupt machine
+    /// state through [`Vm::mem_mut`] — how the fault-injection tests model
+    /// an attacker scribbling over metadata from another thread.
+    ///
+    /// # Errors
+    ///
+    /// See [`VmError`]; a trap ends the run.
+    pub fn step(&mut self) -> Result<StepOutcome, VmError> {
+        if self.frames.is_empty() {
+            let main = self
+                .program
+                .func_id("main")
+                .ok_or_else(|| VmError::BadProgram("no main".into()))?;
+            self.push_frame(main, &[], &[], None);
+        }
+        if self.stats.total_instrs() > self.config.fuel {
+            return Err(VmError::OutOfFuel);
+        }
+        let program: &'p Program = self.program;
+        let frame = self.frames.last().expect("frame");
+        let (fi, bi, oi) = (frame.func, frame.block, frame.op);
+        let block = &program.funcs[fi].blocks[bi];
+        let flow = if oi < block.ops.len() {
+            self.frame().op += 1;
+            self.exec_op(fi, bi, oi, &block.ops[oi])?
+        } else {
+            self.exec_term(&block.term)?
+        };
+        Ok(match flow {
+            Flow::Continue => StepOutcome::Running,
+            Flow::Finished(code) => StepOutcome::Finished(code),
+        })
+    }
+
+    /// The simulated memory system, for inspection and fault injection
+    /// between steps.
+    pub fn mem_mut(&mut self) -> &mut MemSystem {
+        &mut self.mem
+    }
+
+    /// Name of the function currently executing (empty before the first
+    /// step).
+    #[must_use]
+    pub fn current_function(&self) -> &str {
+        self.frames
+            .last()
+            .map(|f| self.program.funcs[f.func].name.as_str())
+            .unwrap_or("")
+    }
+
+    /// Finalizes statistics and assembles the result.
+    fn into_result(mut self, exit_code: i64) -> RunResult {
+        self.stats.l1 = self.mem.l1d.stats();
+        self.stats.peak_resident = self.mem.mem.peak_mapped_bytes();
+        self.stats.heap_footprint_peak = match (&self.wrapped, &self.subheap) {
+            (Some(w), _) => w.base_allocator().stats().peak_chunks,
+            (_, Some(s)) => s.peak_footprint(),
+            _ => self.libc.stats().peak_chunks,
+        };
+        RunResult {
+            exit_code,
+            output: self.output,
+            stats: self.stats,
+        }
+    }
+
+    fn push_frame(&mut self, func: usize, args: &[u64], arg_bounds: &[Option<Bounds>], ret_dst: Option<Reg>) {
+        let f = &self.program.funcs[func];
+        let mut regs = vec![0u64; f.num_regs as usize];
+        let mut bounds = vec![None; f.num_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        if f.instrumented && self.instrumented() {
+            bounds[..arg_bounds.len()].copy_from_slice(arg_bounds);
+        }
+        self.stack.push_frame();
+        self.frames.push(Frame {
+            func,
+            regs,
+            bounds,
+            block: 0,
+            op: 0,
+            ret_dst,
+            global_rows: Vec::new(),
+        });
+    }
+
+    fn exec_term(&mut self, term: &Terminator) -> Result<Flow, VmError> {
+        self.charge_base(ir_costs::term_cost(term));
+        match term {
+            Terminator::Jmp(b) => {
+                let f = self.frame();
+                f.block = *b;
+                f.op = 0;
+                Ok(Flow::Continue)
+            }
+            Terminator::Br { cond, then_bb, else_bb } => {
+                let c = self.eval(*cond);
+                let f = self.frame();
+                f.block = if c != 0 { *then_bb } else { *else_bb };
+                f.op = 0;
+                Ok(Flow::Continue)
+            }
+            Terminator::Ret(v) => {
+                let value = v.map(|o| self.eval(o));
+                let vbounds = v.and_then(|o| self.bounds_of(o));
+
+                // Frame teardown: clear tracked stack-object metadata and
+                // release global-table rows for oversized locals.
+                let (tracked, cost) = self.stack.pop_frame();
+                self.charge_alloc(cost);
+                if self.instrumented() {
+                    for obj in &tracked {
+                        self.mem
+                            .write(obj.meta_addr, &[0u8; 16])
+                            .map_err(|e| self.trap(Trap::from(e)))?;
+                    }
+                }
+                let rows = std::mem::take(&mut self.frame().global_rows);
+                for row in rows {
+                    let c = self
+                        .gt
+                        .deregister(&mut self.mem, row)
+                        .map_err(VmError::Alloc)?;
+                    self.charge_alloc(c);
+                }
+
+                let frame = self.frames.pop().expect("frame");
+                if self.frames.is_empty() {
+                    return Ok(Flow::Finished(value.unwrap_or(0) as i64));
+                }
+                if let Some(dst) = frame.ret_dst {
+                    let callee_instrumented = self.program.funcs[frame.func].instrumented;
+                    let b = if callee_instrumented { vbounds } else { None };
+                    self.set_reg(dst, value.unwrap_or(0), b);
+                }
+                Ok(Flow::Continue)
+            }
+        }
+    }
+
+    fn exec_op(&mut self, fi: usize, bi: usize, oi: usize, op: &'p Op) -> Result<Flow, VmError> {
+        match op {
+            Op::Bin { dst, op, a, b } => {
+                self.charge_base(1);
+                let va = self.eval(*a) as i64;
+                let vb = self.eval(*b) as i64;
+                let r = eval_bin(*op, va, vb).map_err(|t| self.trap(t))?;
+                self.set_reg(*dst, r as u64, None);
+            }
+            Op::Mov { dst, a } => {
+                self.charge_base(1);
+                let v = self.eval(*a);
+                let b = self.bounds_of(*a);
+                self.set_reg(*dst, v, b);
+            }
+            Op::Alloca { dst, ty, count } => {
+                self.exec_alloca(fi, bi, oi, *dst, *ty, *count)?;
+            }
+            Op::Malloc { dst, ty, count, .. } => {
+                self.exec_malloc(fi, bi, oi, *dst, *ty, *count)?;
+            }
+            Op::Free { ptr } => {
+                self.charge_base(ir_costs::op_cost(op));
+                let addr = self.effective_ptr(self.eval(*ptr)).addr();
+                if addr != 0 {
+                    self.stats.heap_frees += 1;
+                    let cost = match (&mut self.wrapped, &mut self.subheap) {
+                        (Some(w), _) => w
+                            .free(&mut self.mem, &mut self.gt, addr)
+                            .map_err(VmError::Alloc)?,
+                        (_, Some(s)) => s.free(&mut self.mem, addr).map_err(VmError::Alloc)?,
+                        _ => {
+                            self.libc
+                                .free(&mut self.mem.mem, addr)
+                                .map_err(VmError::Alloc)?;
+                            AllocCost {
+                                base_instrs: alloc_costs::LIBC_FREE,
+                                ifp_instrs: 0,
+                            }
+                        }
+                    };
+                    self.charge_alloc(cost);
+                }
+            }
+            Op::Gep {
+                dst,
+                base,
+                base_ty,
+                steps,
+            } => {
+                self.exec_gep(fi, bi, oi, *dst, *base, *base_ty, steps)?;
+            }
+            Op::Load { dst, ptr, ty } => {
+                self.charge_base(1);
+                let raw = self.eval(*ptr);
+                let p = self.effective_ptr(raw);
+                let b = if self.instrumented() {
+                    self.bounds_of(*ptr)
+                } else {
+                    None
+                };
+                let size = u64::from(self.program.types.size_of(*ty));
+                let res = self
+                    .lsu
+                    .load(&mut self.mem, p, size, b)
+                    .map_err(|t| self.trap(t))?;
+                self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
+                let is_ptr = self.program.types.is_ptr(*ty);
+                let value = if is_ptr { res.value } else { sext(res.value, size) };
+
+                let mut bounds = None;
+                let mut value = value;
+                if self.instrumented()
+                    && matches!(self.action(fi, bi, oi), OpAction::PromoteAfterLoad)
+                {
+                    let (v, b) = self.exec_promote(value)?;
+                    value = v;
+                    bounds = b;
+                }
+                self.set_reg(*dst, value, bounds);
+            }
+            Op::Store { ptr, val, ty } => {
+                self.charge_base(1);
+                let raw = self.eval(*ptr);
+                let p = self.effective_ptr(raw);
+                let b = if self.instrumented() {
+                    self.bounds_of(*ptr)
+                } else {
+                    None
+                };
+                let mut v = self.eval(*val);
+                if self.instrumented()
+                    && matches!(self.action(fi, bi, oi), OpAction::DemoteOnStore)
+                {
+                    // ifpextract: refresh the stored pointer's poison bits
+                    // from its live bounds before it leaves the registers.
+                    self.charge_ifp_arith(1);
+                    if let Some(vb) = self.bounds_of(*val) {
+                        let tp = TaggedPtr::from_raw(v);
+                        if !vb.is_cleared() && !tp.is_null() && tp.poison() != Poison::Invalid {
+                            v = tp.with_poison(vb.classify_addr(tp.addr())).raw();
+                        }
+                    }
+                }
+                let size = u64::from(self.program.types.size_of(*ty));
+                let res = self
+                    .lsu
+                    .store(&mut self.mem, p, size, v, b)
+                    .map_err(|t| self.trap(t))?;
+                self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
+            }
+            Op::AddrOfGlobal { dst, global } => {
+                let registered = self.instrumented()
+                    && matches!(
+                        self.action(fi, bi, oi),
+                        OpAction::GlobalAddr { registered: true }
+                    );
+                if registered {
+                    // The "getptr" path: a short call returning the cached
+                    // tagged pointer.
+                    self.charge_base(2);
+                    self.charge_ifp_arith(1);
+                    let ptr = self.image.global_ptrs[*global];
+                    let b = Bounds::from_base_size(
+                        self.image.global_addrs[*global],
+                        self.image.global_sizes[*global].max(1),
+                    );
+                    self.set_reg(*dst, ptr.raw(), Some(b));
+                } else {
+                    self.charge_base(1);
+                    let addr = self.image.global_addrs[*global];
+                    self.set_reg(*dst, addr, None);
+                }
+            }
+            Op::Call { dst, func, args } => {
+                self.charge_base(ir_costs::op_cost(op));
+                self.stats.calls += 1;
+                let callee = self
+                    .program
+                    .func_id(func)
+                    .expect("validated call target");
+                if self.instrumented() {
+                    if let Some(plan) = &self.plan {
+                        if plan.funcs[callee].saves_bounds {
+                            // Callee saves/restores one clobbered bounds
+                            // register pair (the calling-convention model).
+                            self.charge_bounds_ls(2);
+                        }
+                    }
+                }
+                let vals: Vec<u64> = args.iter().map(|a| self.eval(*a)).collect();
+                let bnds: Vec<Option<Bounds>> =
+                    args.iter().map(|a| self.bounds_of(*a)).collect();
+                self.push_frame(callee, &vals, &bnds, *dst);
+            }
+            Op::CallExt { dst, ext, args } => {
+                self.exec_ext(*dst, *ext, args)?;
+            }
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn layout_addr_for(&self, layout: Option<ifp_compiler::TypeId>, cap: usize) -> u64 {
+        self.image.layout_addr_capped(layout, cap)
+    }
+
+    fn exec_alloca(
+        &mut self,
+        fi: usize,
+        bi: usize,
+        oi: usize,
+        dst: Reg,
+        ty: ifp_compiler::TypeId,
+        count: u32,
+    ) -> Result<(), VmError> {
+        self.charge_base(1);
+        let size = u64::from(self.program.types.size_of(ty)) * u64::from(count);
+        let align = u64::from(self.program.types.align_of(ty));
+        let action = self.action(fi, bi, oi);
+        let tracked_layout = match action {
+            OpAction::StackObject(AllocKind::Tracked { layout }) if self.instrumented() => {
+                Some(layout)
+            }
+            _ => None,
+        };
+        let Some(layout) = tracked_layout else {
+            let p = self
+                .stack
+                .alloca_plain(&mut self.mem, size, align)
+                .map_err(VmError::Alloc)?;
+            self.set_reg(dst, p.raw(), None);
+            return Ok(());
+        };
+
+        let key = self.ctrl.mac_key;
+        self.stats.stack_objects.objects += 1;
+        if size <= ifp_tag::LOCAL_OFFSET_MAX_OBJECT {
+            let lt = self.layout_addr_for(layout, LOCAL_OFFSET_LT_CAP);
+            if lt != 0 {
+                self.stats.stack_objects.with_layout_table += 1;
+            }
+            let (ptr, _obj, cost) = self
+                .stack
+                .alloca_tracked(&mut self.mem, key, size, lt, true)
+                .map_err(VmError::Alloc)?;
+            self.charge_alloc(cost);
+            self.set_reg(dst, ptr.raw(), Some(Bounds::from_base_size(ptr.addr(), size)));
+        } else {
+            // Oversized local: placed on the stack, registered in the
+            // global table (paper §4.2.2).
+            let (raw, _obj, _) = self
+                .stack
+                .alloca_tracked(&mut self.mem, key, size, 0, false)
+                .map_err(VmError::Alloc)?;
+            let (ptr, row, cost) = self
+                .gt
+                .register(&mut self.mem, raw.addr(), size, 0)
+                .map_err(VmError::Alloc)?;
+            self.frame().global_rows.push(row);
+            self.charge_alloc(cost);
+            self.set_reg(dst, ptr.raw(), Some(Bounds::from_base_size(ptr.addr(), size)));
+        }
+        Ok(())
+    }
+
+    fn exec_malloc(
+        &mut self,
+        fi: usize,
+        bi: usize,
+        oi: usize,
+        dst: Reg,
+        ty: ifp_compiler::TypeId,
+        count: Operand,
+    ) -> Result<(), VmError> {
+        self.charge_base(2);
+        let n = (self.eval(count) as i64).max(1) as u64;
+        let size = u64::from(self.program.types.size_of(ty)) * n;
+        self.stats.heap_allocs += 1;
+
+        if !self.instrumented() {
+            let addr = self
+                .libc
+                .malloc(&mut self.mem.mem, size)
+                .map_err(VmError::Alloc)?;
+            self.charge_base(alloc_costs::LIBC_MALLOC);
+            self.set_reg(dst, addr, None);
+            return Ok(());
+        }
+
+        let layout = match self.action(fi, bi, oi) {
+            OpAction::HeapObject { layout } => layout,
+            _ => None,
+        };
+        self.stats.heap_objects.objects += 1;
+        let (ptr, cost, had_lt) = match (&mut self.wrapped, &mut self.subheap) {
+            (Some(w), _) => {
+                let lt = self.image.layout_addr_capped(layout, LOCAL_OFFSET_LT_CAP);
+                let (p, c) = w
+                    .malloc(&mut self.mem, &mut self.gt, size, lt)
+                    .map_err(VmError::Alloc)?;
+                (p, c, lt != 0 && p.scheme() == SchemeSel::LocalOffset)
+            }
+            (_, Some(s)) => {
+                let lt = self.image.layout_addr_capped(layout, SUBHEAP_LT_CAP);
+                let (p, c) = s.malloc(&mut self.mem, size, lt).map_err(VmError::Alloc)?;
+                (p, c, lt != 0)
+            }
+            _ => unreachable!("instrumented mode has an allocator"),
+        };
+        if had_lt {
+            self.stats.heap_objects.with_layout_table += 1;
+        }
+        self.charge_alloc(cost);
+        self.set_reg(dst, ptr.raw(), Some(Bounds::from_base_size(ptr.addr(), size)));
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_gep(
+        &mut self,
+        fi: usize,
+        bi: usize,
+        oi: usize,
+        dst: Reg,
+        base: Operand,
+        base_ty: ifp_compiler::TypeId,
+        steps: &[GepStep],
+    ) -> Result<(), VmError> {
+        let types = &self.program.types;
+        let base_raw = self.eval(base);
+        let bp = TaggedPtr::from_raw(base_raw);
+
+        // Address computation, remembering the base of the last
+        // field-selected subobject for static narrowing.
+        let mut addr = bp.addr();
+        let mut cur_ty = base_ty;
+        let mut last_field: Option<(u64, ifp_compiler::TypeId)> = None;
+        for step in steps {
+            match step {
+                GepStep::Field(i) => {
+                    let field = types.field(cur_ty, *i);
+                    addr = addr.wrapping_add(u64::from(field.offset)) & ifp_tag::ADDR_MASK;
+                    cur_ty = field.ty;
+                    last_field = Some((addr, cur_ty));
+                }
+                GepStep::Index(o) => {
+                    let n = self.eval(*o) as i64;
+                    let elem = match types.get(cur_ty) {
+                        Type::Array { elem, .. } => {
+                            let e = *elem;
+                            cur_ty = e;
+                            e
+                        }
+                        _ => cur_ty,
+                    };
+                    let delta = n.wrapping_mul(i64::from(types.size_of(elem)));
+                    addr = addr.wrapping_add(delta as u64) & ifp_tag::ADDR_MASK;
+                }
+            }
+        }
+
+        let base_cost = steps.len().max(1) as u64;
+
+        if !self.instrumented() || bp.is_legacy() {
+            self.charge_base(base_cost);
+            let b = self.bounds_of(base);
+            self.set_reg(dst, bp.with_addr(addr).raw(), b);
+            return Ok(());
+        }
+
+        // Tagged pointer: the address computation is followed by an
+        // ifpadd performing the fused tag update (granule offset + poison
+        // maintenance) — the bulk of Figure 11's "IFP arithmetic" share.
+        self.charge_base(base_cost);
+        self.charge_ifp_arith(1);
+
+        let (new_index, enters) = match self.action(fi, bi, oi) {
+            OpAction::GepUpdate {
+                new_index,
+                enters_subobject,
+            } => (new_index, enters_subobject),
+            _ => (None, false),
+        };
+
+        let mut ptr = bp.with_addr(addr);
+
+        // ifpadd maintains the local-offset granule offset so the
+        // metadata stays reachable from the moved pointer.
+        if ptr.scheme() == SchemeSel::LocalOffset {
+            let tag = LocalOffsetTag::decode(bp.scheme_meta());
+            let meta_addr = (bp.addr() & !(LOCAL_OFFSET_GRANULE - 1))
+                + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
+            let trunc = addr & !(LOCAL_OFFSET_GRANULE - 1);
+            let new_off = meta_addr.wrapping_sub(trunc) / LOCAL_OFFSET_GRANULE;
+            if meta_addr >= trunc && new_off < 64 {
+                let mut t = LocalOffsetTag::decode(ptr.scheme_meta());
+                t.granule_offset = new_off as u8;
+                ptr = ptr.with_scheme_meta(t.encode().expect("checked"));
+            } else {
+                // The metadata is no longer reachable from this address:
+                // the pointer is irrecoverably wild.
+                ptr = ptr.with_poison(Poison::Invalid);
+            }
+        }
+
+        // ifpidx writes the new subobject index into the scheme's field.
+        if let Some(idx) = new_index {
+            self.charge_ifp_arith(1);
+            ptr = match ptr.scheme() {
+                SchemeSel::LocalOffset => {
+                    let mut t = LocalOffsetTag::decode(ptr.scheme_meta());
+                    t.subobject_index = if idx < 64 { idx as u8 } else { 0 };
+                    ptr.with_scheme_meta(t.encode().expect("in range"))
+                }
+                SchemeSel::Subheap => {
+                    let mut t = SubheapTag::decode(ptr.scheme_meta());
+                    t.subobject_index = if idx < 256 { idx as u8 } else { 0 };
+                    ptr.with_scheme_meta(t.encode().expect("in range"))
+                }
+                // Global-table tags have no index bits.
+                _ => ptr,
+            };
+        }
+
+        // Static bounds narrowing: the compiler emits ifpbnd whenever the
+        // GEP enters a subobject; it executes unconditionally (same
+        // instruction stream in every configuration) but only narrows when
+        // the source bounds are live in the IFPR.
+        let base_bounds = self.bounds_of(base);
+        if enters {
+            self.charge_ifp_arith(1);
+        }
+        let new_bounds = match (base_bounds, enters, last_field) {
+            (Some(bb), true, Some((fb, fty))) => {
+                let fsize = u64::from(self.program.types.size_of(fty));
+                Some(Bounds::from_base_size(fb, fsize).intersect(bb))
+            }
+            (b, _, _) => b,
+        };
+
+        // The fused check updates poison from the (possibly narrowed)
+        // bounds; without live bounds the poison is left for promote.
+        if let Some(nb) = new_bounds {
+            if !nb.is_cleared() && ptr.poison() != Poison::Invalid {
+                ptr = ptr.with_poison(nb.classify_addr(ptr.addr()));
+            }
+        }
+
+        self.set_reg(dst, ptr.raw(), new_bounds);
+        Ok(())
+    }
+
+    /// Runs `promote` on a freshly loaded pointer value.
+    fn exec_promote(&mut self, raw: u64) -> Result<(u64, Option<Bounds>), VmError> {
+        self.stats.promote_instrs += 1;
+        self.stats.promotes.total += 1;
+        if self.no_promote() {
+            // The ablation: promote retires like a NOP.
+            self.stats.cycles += self.config.cycle_model.promote_bypass;
+            return Ok((raw, None));
+        }
+        let ptr = TaggedPtr::from_raw(raw);
+        let r = self
+            .unit
+            .promote(ptr, &mut self.mem, &self.ctrl)
+            .map_err(|t| self.trap(t))?;
+        self.stats.cycles += r.cycles;
+        match r.kind {
+            PromoteKind::PoisonedInput => self.stats.promotes.poisoned_input += 1,
+            PromoteKind::NullBypass => self.stats.promotes.null_bypass += 1,
+            PromoteKind::LegacyBypass => self.stats.promotes.legacy_bypass += 1,
+            PromoteKind::Valid => self.stats.promotes.valid += 1,
+        }
+        match r.narrowing {
+            Narrowing::NotAttempted => {}
+            Narrowing::Narrowed => {
+                self.stats.promotes.narrow_requested += 1;
+                self.stats.promotes.narrow_succeeded += 1;
+            }
+            Narrowing::Coarsened => {
+                self.stats.promotes.narrow_requested += 1;
+                self.stats.promotes.narrow_coarsened += 1;
+            }
+            Narrowing::Failed => {
+                self.stats.promotes.narrow_requested += 1;
+                self.stats.promotes.narrow_failed += 1;
+            }
+        }
+        let bounds = (r.kind == PromoteKind::Valid && !r.bounds.is_cleared()).then_some(r.bounds);
+        Ok((r.ptr.raw(), bounds))
+    }
+
+    fn exec_ext(&mut self, dst: Option<Reg>, ext: ExtFunc, args: &[Operand]) -> Result<(), VmError> {
+        self.charge_base(ir_costs::ext_base_cost(ext));
+        let ret: u64 = match ext {
+            ExtFunc::PrintInt => {
+                let v = self.eval(args[0]) as i64;
+                self.output.push(v);
+                0
+            }
+            ExtFunc::CtypeTable => CTYPE_TABLE_ADDR,
+            ExtFunc::Memcpy => {
+                let d = self.effective_ptr(self.eval(args[0]));
+                let s = self.effective_ptr(self.eval(args[1]));
+                let n = self.eval(args[2]);
+                self.ext_check_poison(d)?;
+                self.ext_check_poison(s)?;
+                self.charge_ext_bytes(ExtFunc::Memcpy, n);
+                let mut off = 0u64;
+                let mut buf = [0u8; 256];
+                while off < n {
+                    let chunk = (n - off).min(256) as usize;
+                    self.mem
+                        .read(s.addr() + off, &mut buf[..chunk])
+                        .map_err(|e| self.trap(Trap::from(e)))?;
+                    self.mem
+                        .write(d.addr() + off, &buf[..chunk])
+                        .map_err(|e| self.trap(Trap::from(e)))?;
+                    off += chunk as u64;
+                }
+                d.raw()
+            }
+            ExtFunc::Memset => {
+                let d = self.effective_ptr(self.eval(args[0]));
+                let byte = self.eval(args[1]) as u8;
+                let n = self.eval(args[2]);
+                self.ext_check_poison(d)?;
+                self.charge_ext_bytes(ExtFunc::Memset, n);
+                let buf = [byte; 256];
+                let mut off = 0u64;
+                while off < n {
+                    let chunk = (n - off).min(256) as usize;
+                    self.mem
+                        .write(d.addr() + off, &buf[..chunk])
+                        .map_err(|e| self.trap(Trap::from(e)))?;
+                    off += chunk as u64;
+                }
+                d.raw()
+            }
+            ExtFunc::Strlen => {
+                let s = self.effective_ptr(self.eval(args[0]));
+                self.ext_check_poison(s)?;
+                let mut len = 0u64;
+                loop {
+                    let (b, _) = self
+                        .mem
+                        .read_uint(s.addr() + len, 1)
+                        .map_err(|e| self.trap(Trap::from(e)))?;
+                    if b == 0 || len > 1 << 20 {
+                        break;
+                    }
+                    len += 1;
+                }
+                self.charge_ext_bytes(ExtFunc::Strlen, len);
+                len
+            }
+        };
+        if let Some(d) = dst {
+            // Legacy code wrote the result register: bounds cleared
+            // (implicit bounds clearing).
+            self.set_reg(d, ret, None);
+        }
+        Ok(())
+    }
+
+    /// Even legacy code traps when it dereferences a poisoned pointer —
+    /// the partial protection the poison bits give uninstrumented code.
+    fn ext_check_poison(&self, p: TaggedPtr) -> Result<(), VmError> {
+        if self.instrumented() && p.poison().traps_on_access() {
+            Err(self.trap(Trap::PoisonedAccess { ptr: p }))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn charge_ext_bytes(&mut self, ext: ExtFunc, n: u64) {
+        let instrs = (ir_costs::ext_per_byte_cost(ext) * n as f64).ceil() as u64;
+        self.charge_base(instrs);
+    }
+}
+
+impl std::ops::Index<Reg> for Frame {
+    type Output = u64;
+    fn index(&self, r: Reg) -> &u64 {
+        &self.regs[r.0 as usize]
+    }
+}
+
+fn sext(v: u64, size: u64) -> u64 {
+    match size {
+        1 => v as u8 as i8 as i64 as u64,
+        2 => v as u16 as i16 as i64 as u64,
+        4 => v as u32 as i32 as i64 as u64,
+        _ => v,
+    }
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64) -> Result<i64, Trap> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0 // RISC-V semantics: division by zero yields -1 (all ones);
+                  // we pin 0 to keep workloads deterministic across modes.
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                a
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+        BinOp::Sra => a.wrapping_shr(b as u32 & 63),
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Ult => i64::from((a as u64) < (b as u64)),
+        BinOp::Ule => i64::from((a as u64) <= (b as u64)),
+    })
+}

@@ -1,0 +1,184 @@
+//! Program loading: emits globals, layout tables and the legacy runtime's
+//! static data into the simulated memory, and registers escaping globals
+//! with object metadata (the startup half of the paper's runtime library).
+
+use ifp_alloc::{round16, AllocCost, GlobalTableManager};
+use ifp_compiler::{InstrPlan, Program, TypeId};
+use ifp_mem::layout::{GLOBALS_BASE, GLOBALS_SIZE, GLOBAL_TABLE_BASE};
+use ifp_mem::MemSystem;
+use ifp_meta::{LocalOffsetMeta, MacKey};
+use ifp_tag::{LocalOffsetTag, SchemeSel, TaggedPtr, LOCAL_OFFSET_GRANULE, LOCAL_OFFSET_MAX_OBJECT};
+use std::collections::HashMap;
+
+/// Maximum layout-table entries addressable by the local offset scheme's
+/// 6-bit subobject index.
+pub const LOCAL_OFFSET_LT_CAP: usize = 64;
+/// Maximum layout-table entries addressable by the subheap scheme's 8-bit
+/// subobject index.
+pub const SUBHEAP_LT_CAP: usize = 256;
+
+/// Address of the legacy runtime's character-traits table (the
+/// `__ctype_b_loc` model) — defined legacy data outside any instrumented
+/// object.
+pub const CTYPE_TABLE_ADDR: u64 = GLOBALS_BASE + GLOBALS_SIZE - 4096;
+
+/// Everything the loader placed in memory.
+#[derive(Debug, Default)]
+pub struct LoadedImage {
+    /// Raw base address of each global.
+    pub global_addrs: Vec<u64>,
+    /// The pointer `AddrOfGlobal` yields per global (tagged when
+    /// registered, legacy otherwise).
+    pub global_ptrs: Vec<TaggedPtr>,
+    /// Size of each global in bytes.
+    pub global_sizes: Vec<u64>,
+    /// Emitted layout tables: type -> (address, entry count).
+    pub layouts: HashMap<TypeId, (u64, usize)>,
+    /// Startup instruction cost (global registration).
+    pub startup_cost: AllocCost,
+    /// Number of registered globals, and how many carried layout tables.
+    pub registered_globals: u64,
+    /// Registered globals that carried a layout table.
+    pub registered_globals_with_lt: u64,
+}
+
+impl LoadedImage {
+    /// The layout-table address for `ty` if its table fits within `cap`
+    /// entries, else 0 (no narrowing possible).
+    #[must_use]
+    pub fn layout_addr_capped(&self, ty: Option<TypeId>, cap: usize) -> u64 {
+        match ty.and_then(|t| self.layouts.get(&t)) {
+            Some(&(addr, len)) if len <= cap => addr,
+            _ => 0,
+        }
+    }
+}
+
+/// Loads `program` into memory. When `plan` is provided (instrumented
+/// modes), layout tables are emitted and escaping globals registered.
+///
+/// # Panics
+///
+/// Panics if the globals segment overflows (a workload-sizing bug).
+pub fn load(
+    program: &Program,
+    plan: Option<&InstrPlan>,
+    mem: &mut MemSystem,
+    gt: &mut GlobalTableManager,
+    key: MacKey,
+) -> LoadedImage {
+    let mut image = LoadedImage::default();
+    let mut cursor = GLOBALS_BASE;
+
+    // Legacy static data: the ctype table. Bit 0 = alpha, bit 1 = digit,
+    // bit 2 = space.
+    mem.mem.map(CTYPE_TABLE_ADDR, 4096);
+    let mut ctype = [0u8; 256];
+    for (i, slot) in ctype.iter_mut().enumerate() {
+        let c = i as u8;
+        if c.is_ascii_alphabetic() {
+            *slot |= 1;
+        }
+        if c.is_ascii_digit() {
+            *slot |= 2;
+        }
+        if c.is_ascii_whitespace() {
+            *slot |= 4;
+        }
+    }
+    mem.mem
+        .write_bytes(CTYPE_TABLE_ADDR, &ctype)
+        .expect("ctype page mapped");
+
+    // Layout tables first (globals may reference them).
+    if let Some(plan) = plan {
+        let mut tys: Vec<_> = plan.layouts.keys().copied().collect();
+        tys.sort_by_key(|t| t.index());
+        for ty in tys {
+            let info = &plan.layouts[&ty];
+            let bytes = info.table.to_bytes();
+            cursor = round16(cursor);
+            mem.mem.map(cursor, bytes.len() as u64);
+            mem.mem.write_bytes(cursor, &bytes).expect("mapped");
+            image.layouts.insert(ty, (cursor, info.table.len()));
+            cursor += bytes.len() as u64;
+        }
+    }
+
+    // Globals.
+    for (gi, g) in program.globals.iter().enumerate() {
+        let size = u64::from(program.types.size_of(g.ty));
+        let align = u64::from(program.types.align_of(g.ty)).max(1);
+        let registered = plan.is_some_and(|p| p.globals[gi].register);
+
+        // Registered small globals get granule alignment + appended
+        // metadata, like stack objects.
+        let (addr, reserve) = if registered && size <= LOCAL_OFFSET_MAX_OBJECT {
+            let a = round16(cursor);
+            (a, round16(size) + LocalOffsetMeta::SIZE)
+        } else {
+            let a = cursor.div_ceil(align) * align;
+            (a, size)
+        };
+        assert!(
+            addr + reserve <= CTYPE_TABLE_ADDR,
+            "globals segment overflow"
+        );
+        mem.mem.map(addr, reserve.max(1));
+        if !g.init.is_empty() {
+            mem.mem.write_bytes(addr, &g.init).expect("mapped");
+        }
+        cursor = addr + reserve.max(1);
+
+        let ptr = if registered {
+            let plan = plan.expect("registered implies plan");
+            image.registered_globals += 1;
+            if size <= LOCAL_OFFSET_MAX_OBJECT {
+                let lt = image.layout_addr_capped(plan.globals[gi].layout, LOCAL_OFFSET_LT_CAP);
+                if lt != 0 {
+                    image.registered_globals_with_lt += 1;
+                }
+                let meta_addr = LocalOffsetMeta::meta_addr_for(addr, size);
+                let meta = LocalOffsetMeta::new(
+                    u16::try_from(size).expect("<= 1008"),
+                    lt,
+                    meta_addr,
+                    key,
+                );
+                mem.write(meta_addr, &meta.to_bytes()).expect("mapped");
+                let tag = LocalOffsetTag {
+                    granule_offset: u8::try_from(round16(size) / LOCAL_OFFSET_GRANULE)
+                        .expect("<= 63"),
+                    subobject_index: 0,
+                };
+                image.startup_cost.base_instrs += ifp_alloc::costs::STACK_REGISTER;
+                image.startup_cost.ifp_instrs += ifp_alloc::costs::META_SETUP_IFP;
+                TaggedPtr::from_addr(addr)
+                    .with_scheme(SchemeSel::LocalOffset)
+                    .with_scheme_meta(tag.encode().expect("in range"))
+            } else {
+                // Large globals use the global table; no narrowing.
+                let (ptr, _row, cost) = gt
+                    .register(mem, addr, size, 0)
+                    .expect("global table has room at startup");
+                image.startup_cost = image.startup_cost.plus(cost);
+                ptr
+            }
+        } else {
+            TaggedPtr::from_addr(addr)
+        };
+        image.global_addrs.push(addr);
+        image.global_sizes.push(size);
+        image.global_ptrs.push(ptr);
+    }
+
+    image
+}
+
+/// Creates and maps a global-table manager at the conventional address.
+#[must_use]
+pub fn make_global_table(mem: &mut MemSystem) -> GlobalTableManager {
+    let gt = GlobalTableManager::new(GLOBAL_TABLE_BASE);
+    gt.map(mem);
+    gt
+}

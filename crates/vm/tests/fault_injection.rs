@@ -1,0 +1,93 @@
+//! Mid-run fault injection through the stepping API: an "attacker" (or a
+//! temporal bug on another thread) corrupts in-memory metadata while the
+//! program runs; the MAC check inside the next promote must poison the
+//! pointer and the dereference must trap — the §3.3 motivation for
+//! carrying a MAC in the local-offset and subheap records.
+
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+use ifp_vm::{StepOutcome, Vm, VmConfig, VmError};
+use ifp_vm::{AllocatorKind, Mode};
+
+/// A program that stores a heap pointer to a global, spins a little, then
+/// loads it back (promote) and dereferences it.
+fn victim_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let g = pb.global("cell", vp);
+
+    let mut use_fn = pb.func("use_it", 0);
+    let gp = use_fn.addr_of_global(g);
+    let p = use_fn.load(gp, vp); // promote happens here
+    let v = use_fn.load(p, i64t);
+    use_fn.print_int(v);
+    use_fn.ret(None);
+    pb.finish_func(use_fn);
+
+    let mut m = pb.func("main", 0);
+    let a = m.malloc_n(i64t, 4i64);
+    m.store(a, 99i64, i64t);
+    let gp = m.addr_of_global(g);
+    m.store(gp, a, vp);
+    m.call_void("use_it", vec![]);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    pb.build()
+}
+
+/// Runs the program stepwise; after `corrupt_at` steps, flips bits in the
+/// wrapped allocator's metadata record of the only allocation.
+fn run_with_corruption(corrupt_at: usize, tamper: bool) -> Result<Vec<i64>, VmError> {
+    let p = victim_program();
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped));
+    let mut vm = Vm::new(&p, &cfg)?;
+    let mut steps = 0usize;
+    let mut allocation: Option<u64> = None;
+    loop {
+        match vm.step()? {
+            StepOutcome::Finished(_) => {
+                // Recover the output by rerunning uncorrupted (the Vm is
+                // consumed by run(); for the test we only need success).
+                return Ok(vec![]);
+            }
+            StepOutcome::Running => {}
+        }
+        steps += 1;
+        if allocation.is_none() {
+            // The wrapped allocator places the first chunk at a known
+            // address: heap base + header.
+            allocation = Some(0x4000_0000 + 16);
+        }
+        if tamper && steps == corrupt_at {
+            // The 4x8-byte object is padded to 32 bytes; the metadata
+            // record sits right after it.
+            let meta_addr = allocation.unwrap() + 32;
+            let mem = vm.mem_mut();
+            let b = mem.mem.read_u8(meta_addr).unwrap();
+            mem.mem.write_u8(meta_addr, b ^ 0x20).unwrap();
+        }
+    }
+}
+
+#[test]
+fn untampered_run_completes() {
+    assert!(run_with_corruption(0, false).is_ok());
+}
+
+#[test]
+fn metadata_corruption_is_caught_at_the_next_promote() {
+    // Corrupt shortly after the allocation, well before use_it() runs.
+    let err = run_with_corruption(4, true).unwrap_err();
+    assert!(
+        err.is_safety_trap(),
+        "tampered record must fail its MAC and poison the pointer: {err}"
+    );
+}
+
+#[test]
+fn corruption_after_the_last_promote_is_harmless() {
+    // Corrupting at step 10_000 never happens (program is shorter), so
+    // this is equivalent to no corruption — a sanity check that the
+    // injection harness itself doesn't perturb execution.
+    assert!(run_with_corruption(10_000, true).is_ok());
+}

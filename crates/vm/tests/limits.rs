@@ -1,0 +1,127 @@
+//! Documented protection limits (paper §3 "Protection Scope and
+//! Guarantees") and scheme-capacity edge cases, pinned as tests so the
+//! reproduction's honesty is machine-checked.
+
+use ifp_compiler::{Operand, ProgramBuilder};
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+
+/// "For applications that link with legacy, uninstrumented binary
+/// libraries, In-Fat Pointer provides no guarantee on ... spatial errors
+/// that occur in the legacy code": an overflow performed *by* memset
+/// through an in-bounds pointer is a legacy-code error and is missed.
+#[test]
+fn legacy_library_overflow_is_missed_as_documented() {
+    let mut pb = ProgramBuilder::new();
+    let i8t = pb.types.int8();
+    let mut f = pb.func("main", 0);
+    let a = f.malloc_n(i8t, 16i64);
+    let _b = f.malloc_n(i8t, 16i64);
+    // memset writes 24 bytes from a valid base pointer: the overflow
+    // happens inside uninstrumented libc, which performs no bounds checks.
+    f.memset(a, 0x41i64, 24i64);
+    f.print_int(1i64);
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    let p = pb.build();
+    for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+        let r = run(&p, &VmConfig::with_mode(Mode::instrumented(alloc)))
+            .expect("legacy-code errors are out of scope");
+        assert_eq!(r.output, vec![1], "{alloc}");
+    }
+}
+
+/// A type with more subobjects than the local-offset tag can index (64
+/// entries): the allocation proceeds, but without a layout table —
+/// narrowing degrades to object granularity instead of misbehaving.
+#[test]
+fn oversized_layout_tables_degrade_to_object_granularity() {
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+    let vp = pb.types.void_ptr();
+    // 80 fields -> 81 layout entries > the 64-entry local-offset cap
+    // (still under the subheap's 256): build it the verbose way.
+    let field_names: Vec<String> = (0..80).map(|i| format!("f{i}")).collect();
+    let fields: Vec<(&str, ifp_compiler::TypeId)> =
+        field_names.iter().map(|n| (n.as_str(), i32t)).collect();
+    let big = pb.types.struct_type("Big", &fields);
+    let g = pb.global("sink", vp);
+
+    let mut use_fn = pb.func("use_it", 1);
+    let at = use_fn.param(0);
+    let gp = use_fn.addr_of_global(g);
+    let p = use_fn.load(gp, vp);
+    let cell = use_fn.index_addr(p, i32t, at);
+    use_fn.store(cell, 7i64, i32t);
+    use_fn.ret(None);
+    pb.finish_func(use_fn);
+
+    let mut m = pb.func("main", 0);
+    let obj = m.malloc(big);
+    // Escape a field address so the type wants a layout table at all.
+    let fld = m.field_addr(obj, big, 3);
+    let gp = m.addr_of_global(g);
+    m.store(gp, fld, vp);
+    // Within the *object* (field 3 + offset 10 ints is still inside Big).
+    m.call_void("use_it", vec![Operand::Imm(10)]);
+    // Past the object end (field 3 at offset 12; 80 ints = 320 bytes, so
+    // index 77 from field 3 reaches byte 320).
+    m.call_void("use_it", vec![Operand::Imm(77)]);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    let p = pb.build();
+
+    // Wrapped (local-offset, cap 64): no table attached -> in-object
+    // overflow past the subobject is NOT caught (object granularity)...
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped));
+    let err = run(&p, &cfg).unwrap_err();
+    // ...but the object-bound violation still is.
+    assert!(err.is_safety_trap());
+    if let VmError::Trap { stats, .. } = &err {
+        assert_eq!(
+            stats.promotes.narrow_succeeded, 0,
+            "table over the 6-bit cap must not be attached"
+        );
+        assert!(stats.promotes.narrow_coarsened > 0);
+    }
+
+    // Subheap (cap 256): the 81-entry table fits, so the same in-object
+    // write is caught at subobject granularity — demonstrating the
+    // schemes' different index widths.
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    let err = run(&p, &cfg).unwrap_err();
+    assert!(err.is_safety_trap());
+    if let VmError::Trap { stats, .. } = &err {
+        assert!(
+            stats.promotes.narrow_succeeded > 0,
+            "the 8-bit subheap index addresses the large table"
+        );
+    }
+}
+
+/// Tag-bit preservation assumption: an application that scribbles over
+/// the tag bits loses protection (and, with a forged tag, traps on the
+/// next promote-checked use) — the paper's stated non-goal.
+#[test]
+fn applications_must_preserve_tag_bits() {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let g = pb.global("cell", vp);
+    let mut f = pb.func("main", 0);
+    let a = f.malloc_n(i64t, 4i64);
+    // "Clever" application code masks the tag off through integer ops.
+    let masked = f.bin(ifp_compiler::BinOp::And, a, 0x0000_ffff_ffff_ffffi64);
+    let gp = f.addr_of_global(g);
+    f.store(gp, masked, vp);
+    let back = f.load(gp, vp);
+    // The reloaded pointer is legacy: unchecked, even out of bounds.
+    let oob = f.index_addr(back, i64t, 5i64);
+    f.store(oob, 1i64, i64t);
+    f.print_int(1i64);
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    let p = pb.build();
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    let r = run(&p, &cfg).expect("stripped tags mean no protection");
+    assert_eq!(r.output, vec![1]);
+}

@@ -1,0 +1,188 @@
+//! Base-language semantics of the VM: integer widths, sign extension,
+//! division conventions, external functions, calling convention and
+//! bounds passing — the substrate the instrumentation rides on.
+
+use ifp_compiler::{BinOp, ExtFunc, Operand, Program, ProgramBuilder};
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig};
+
+fn run_all(p: &Program) -> Vec<i64> {
+    let base = run(p, &VmConfig::default()).expect("baseline");
+    for mode in [
+        Mode::instrumented(AllocatorKind::Wrapped),
+        Mode::instrumented(AllocatorKind::Subheap),
+    ] {
+        let r = run(p, &VmConfig::with_mode(mode)).expect("instrumented");
+        assert_eq!(r.output, base.output, "{mode}");
+    }
+    base.output
+}
+
+#[test]
+fn narrow_integer_loads_sign_extend() {
+    let mut pb = ProgramBuilder::new();
+    let (i8t, i16t, i32t) = (pb.types.int8(), pb.types.int16(), pb.types.int32());
+    let mut f = pb.func("main", 0);
+    for (ty, val) in [(i8t, -5i64), (i16t, -300), (i32t, -70000)] {
+        let cell = f.alloca(ty);
+        f.store(cell, val, ty);
+        let v = f.load(cell, ty);
+        f.print_int(v);
+    }
+    // Stores truncate: 0x1ff as i8 is -1.
+    let cell = f.alloca(i8t);
+    f.store(cell, 0x1ffi64, i8t);
+    let v = f.load(cell, i8t);
+    f.print_int(v);
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    assert_eq!(run_all(&pb.build()), vec![-5, -300, -70000, -1]);
+}
+
+#[test]
+fn division_and_shift_conventions() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    let cases: Vec<(BinOp, i64, i64)> = vec![
+        (BinOp::Div, -7, 2),
+        (BinOp::Rem, -7, 2),
+        (BinOp::Div, 7, 0), // pinned to 0 (documented)
+        (BinOp::Rem, 7, 0), // pinned to a (documented)
+        (BinOp::Shr, -8, 1),
+        (BinOp::Sra, -8, 1),
+        (BinOp::Shl, 1, 65), // shift amount masked to 6 bits
+        (BinOp::Ult, -1, 1),
+        (BinOp::Lt, -1, 1),
+    ];
+    for (op, a, b) in cases {
+        let r = f.bin(op, a, b);
+        f.print_int(r);
+    }
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    let logical_shr = ((-8i64 as u64) >> 1) as i64; // 2^63 - 4
+    assert_eq!(
+        run_all(&pb.build()),
+        vec![-3, -1, 0, 7, logical_shr, -4, 2, 0, 1]
+    );
+}
+
+#[test]
+fn memcpy_memset_strlen_behave_like_libc() {
+    let mut pb = ProgramBuilder::new();
+    let i8t = pb.types.int8();
+    let mut f = pb.func("main", 0);
+    let a = f.malloc_n(i8t, 64i64);
+    let b = f.malloc_n(i8t, 64i64);
+    f.memset(a, 0x41i64, 10i64); // "AAAAAAAAAA"
+    let end = f.index_addr(a, i8t, 10i64);
+    f.store(end, 0i64, i8t);
+    let n = f.call_ext(ExtFunc::Strlen, vec![Operand::Reg(a)]);
+    f.print_int(n);
+    f.memcpy(b, a, 11i64);
+    let n2 = f.call_ext(ExtFunc::Strlen, vec![Operand::Reg(b)]);
+    f.print_int(n2);
+    let v = f.load(b, i8t);
+    f.print_int(v);
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    assert_eq!(run_all(&pb.build()), vec![10, 10, 0x41]);
+}
+
+#[test]
+fn bounds_survive_round_trips_through_calls() {
+    // A pointer argument keeps its bounds through instrumented calls and
+    // returns, so a callee-side overflow is still caught with zero
+    // promotes.
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+
+    let mut id = pb.func("identity", 1);
+    let p = id.param(0);
+    id.ret(Some(Operand::Reg(p)));
+    pb.finish_func(id);
+
+    let mut wr = pb.func("write_at", 2);
+    let p = wr.param(0);
+    let i = wr.param(1);
+    let cell = wr.index_addr(p, i32t, i);
+    wr.store(cell, 1i64, i32t);
+    wr.ret(None);
+    pb.finish_func(wr);
+
+    let mut m = pb.func("main", 0);
+    let a = m.malloc_n(i32t, 8i64);
+    let a2 = m.call("identity", vec![Operand::Reg(a)]);
+    m.call_void("write_at", vec![Operand::Reg(a2), Operand::Imm(8)]);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    let p = pb.build();
+
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    let err = run(&p, &cfg).unwrap_err();
+    assert!(err.is_safety_trap());
+    if let ifp_vm::VmError::Trap { stats, .. } = err {
+        assert_eq!(
+            stats.promotes.valid, 0,
+            "bounds flowed through two calls without a single promote"
+        );
+    }
+}
+
+#[test]
+fn bounds_cleared_across_uninstrumented_callee() {
+    // A pointer returned by a legacy function has no bounds: the paper's
+    // implicit clearing guarantees the caller never pairs stale bounds
+    // with a new value — and therefore cannot check it either.
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+
+    let mut legacy = pb.legacy_func("launder", 1);
+    let p = legacy.param(0);
+    legacy.ret(Some(Operand::Reg(p)));
+    pb.finish_func(legacy);
+
+    let mut m = pb.func("main", 0);
+    let a = m.malloc_n(i32t, 8i64);
+    let laundered = m.call("launder", vec![Operand::Reg(a)]);
+    let oob = m.index_addr(laundered, i32t, 9i64);
+    // Unchecked (bounds cleared), but also untrapped: the tag is intact
+    // yet no bounds are live and no promote was requested here.
+    m.store(oob, 1i64, i32t);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    let p = pb.build();
+
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped));
+    let r = run(&p, &cfg).expect("no bounds -> no check");
+    assert_eq!(r.exit_code, 0);
+}
+
+#[test]
+fn exit_code_is_mains_return_value() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.func("main", 0);
+    f.ret(Some(Operand::Imm(42)));
+    pb.finish_func(f);
+    let r = run(&pb.build(), &VmConfig::default()).unwrap();
+    assert_eq!(r.exit_code, 42);
+}
+
+#[test]
+fn stats_count_calls_and_allocs() {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let mut leaf = pb.func("leaf", 0);
+    leaf.ret(None);
+    pb.finish_func(leaf);
+    let mut m = pb.func("main", 0);
+    let a = m.malloc(i64t);
+    m.call_void("leaf", vec![]);
+    m.call_void("leaf", vec![]);
+    m.free(a);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    let r = run(&pb.build(), &VmConfig::default()).unwrap();
+    assert_eq!(r.stats.calls, 2);
+    assert_eq!(r.stats.heap_allocs, 1);
+    assert_eq!(r.stats.heap_frees, 1);
+}

@@ -1,0 +1,85 @@
+//! Temporal-error behaviour: the paper's §3 scope statement says In-Fat
+//! Pointer "cannot detect temporal memory errors beyond those that
+//! invalidate object metadata". These tests pin both halves of that
+//! sentence:
+//!
+//! * the **wrapped** allocator clears the per-object metadata record on
+//!   free, so a stale pointer's next promote fails its MAC and the
+//!   dereference traps — a detected use-after-free;
+//! * the **subheap** allocator's metadata describes the whole block and
+//!   stays valid while the block lives, so a use-after-free into a
+//!   still-live block goes undetected — exactly the documented limit.
+
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig};
+
+/// Builds: allocate a node, stash the pointer in a global, free it,
+/// optionally allocate another same-sized node (which reuses the
+/// slot/chunk *and* rewrites valid metadata there), then dereference the
+/// stale pointer from another function.
+fn use_after_free_program(reuse: bool) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let node = pb.types.struct_type("N", &[("a", i64t), ("b", i64t)]);
+    let g = pb.global("stale", vp);
+
+    let mut use_fn = pb.func("use_stale", 0);
+    let gp = use_fn.addr_of_global(g);
+    let p = use_fn.load(gp, vp); // promote of the stale pointer
+    let v = use_fn.load_field(p, node, 0, i64t);
+    use_fn.print_int(v);
+    use_fn.ret(None);
+    pb.finish_func(use_fn);
+
+    let mut m = pb.func("main", 0);
+    let a = m.malloc(node);
+    m.store_field(a, node, 0, 42i64, i64t);
+    let gp = m.addr_of_global(g);
+    m.store(gp, a, vp);
+    m.free(a);
+    if reuse {
+        let b = m.malloc(node); // reuses the slot/chunk
+        m.store_field(b, node, 0, 7i64, i64t);
+    }
+    m.call_void("use_stale", vec![]);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+    pb.build()
+}
+
+#[test]
+fn wrapped_detects_uaf_through_invalidated_metadata() {
+    // No reuse: the zeroed record is still in place at promote time.
+    let p = use_after_free_program(false);
+    let err = run(
+        &p,
+        &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped)),
+    )
+    .unwrap_err();
+    assert!(
+        err.is_safety_trap(),
+        "free zeroed the record, the MAC fails, the stale deref traps: {err}"
+    );
+}
+
+#[test]
+fn subheap_misses_uaf_into_live_block_as_documented() {
+    // The reused slot has identical (size, type) metadata shared at block
+    // granularity: the stale pointer resolves to valid bounds and reads
+    // the *new* object's data — the paper's acknowledged limitation.
+    let p = use_after_free_program(true);
+    let r = run(
+        &p,
+        &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+    )
+    .expect("undetected by design");
+    assert_eq!(r.output, vec![7], "reads the replacement object");
+}
+
+#[test]
+fn baseline_reads_stale_or_reused_memory_silently() {
+    let p = use_after_free_program(true);
+    let r = run(&p, &VmConfig::default()).expect("baseline never checks");
+    assert_eq!(r.output, vec![7]);
+}

@@ -1,0 +1,378 @@
+//! Olden `bh` (Barnes-Hut): hierarchical n-body force computation. Bodies
+//! are inserted into a spatial quadtree of malloc'd cells; a bottom-up
+//! pass computes centres of mass, then each body walks the tree with an
+//! opening criterion. `bh` dominates Table 4's *local* object counts
+//! (1.24 × 10⁷): the original allocates short-lived vectors on the stack
+//! inside the force kernels, modelled here by an escaping per-interaction
+//! accumulator struct.
+
+use crate::util::{for_loop, if_else, if_then, rand, rand_state};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+const SPACE: i64 = 1 << 16;
+
+/// Builds bh over `scale` bodies.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let nbodies = scale.max(8) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    // kind 0 = body (leaf), 1 = cell (4 children).
+    let node = pb.types.struct_type(
+        "BhNode",
+        &[
+            ("kind", i64t),
+            ("mass", i64t),
+            ("x", i64t),
+            ("y", i64t),
+            ("c0", vp),
+            ("c1", vp),
+            ("c2", vp),
+            ("c3", vp),
+        ],
+    );
+    // The short-lived accumulator passed by address into the kernel.
+    let accum = pb.types.struct_type("Accum", &[("fx", i64t), ("fy", i64t)]);
+
+    // fn quadrant(x, y, cx, cy) -> 0..3
+    let mut q = pb.func("quadrant", 4);
+    let x = q.param(0);
+    let y = q.param(1);
+    let cx = q.param(2);
+    let cy = q.param(3);
+    let right = q.le(cx, x);
+    let top = q.le(cy, y);
+    let t2 = q.mul(top, 2i64);
+    let r = q.add(right, t2);
+    q.ret(Some(Operand::Reg(r)));
+    pb.finish_func(q);
+
+    // fn insert(tree, body, cx, cy, half) -> new subtree root.
+    let mut ins = pb.func("insert", 5);
+    let tree = ins.param(0);
+    let body = ins.param(1);
+    let cx = ins.param(2);
+    let cy = ins.param(3);
+    let half = ins.param(4);
+    let out = ins.mov(0i64);
+    let empty = ins.eq(tree, 0i64);
+    if_else(
+        &mut ins,
+        empty,
+        |f| {
+            f.assign(out, body);
+        },
+        |f| {
+            let kind = f.load_field(tree, node, 0, i64t);
+            let is_cell = f.eq(kind, 1i64);
+            if_else(
+                f,
+                is_cell,
+                |f| {
+                    // Descend into the right quadrant.
+                    let bx = f.load_field(body, node, 2, i64t);
+                    let by = f.load_field(body, node, 3, i64t);
+                    let qd = f.call(
+                        "quadrant",
+                        vec![
+                            Operand::Reg(bx),
+                            Operand::Reg(by),
+                            Operand::Reg(cx),
+                            Operand::Reg(cy),
+                        ],
+                    );
+                    let h2 = f.div(half, 2i64);
+                    // child centre = centre +/- half/2 per quadrant bit.
+                    let xbit = f.rem(qd, 2i64);
+                    let ybit = f.div(qd, 2i64);
+                    let dx0 = f.mul(xbit, 2i64);
+                    let dx1 = f.sub(dx0, 1i64);
+                    let dx = f.mul(dx1, h2);
+                    let ncx = f.add(cx, dx);
+                    let dy0 = f.mul(ybit, 2i64);
+                    let dy1 = f.sub(dy0, 1i64);
+                    let dy = f.mul(dy1, h2);
+                    let ncy = f.add(cy, dy);
+                    // children at fields 4 + qd: walk all four statically.
+                    for c in 0..4u32 {
+                        let want = f.eq(qd, i64::from(c));
+                        if_then(f, want, |f| {
+                            let child = f.load_field(tree, node, 4 + c, vp);
+                            let sub = f.call(
+                                "insert",
+                                vec![
+                                    Operand::Reg(child),
+                                    Operand::Reg(body),
+                                    Operand::Reg(ncx),
+                                    Operand::Reg(ncy),
+                                    Operand::Reg(h2),
+                                ],
+                            );
+                            f.store_field(tree, node, 4 + c, sub, vp);
+                        });
+                    }
+                    f.assign(out, tree);
+                },
+                |f| {
+                    // Leaf collision. At exhausted spatial resolution
+                    // (coincident bodies) merge masses instead of
+                    // splitting forever; otherwise make a cell and
+                    // reinsert both leaves.
+                    let exhausted = f.le(half, 1i64);
+                    if_else(
+                        f,
+                        exhausted,
+                        |f| {
+                            let mt = f.load_field(tree, node, 1, i64t);
+                            let mb = f.load_field(body, node, 1, i64t);
+                            let ms = f.add(mt, mb);
+                            f.store_field(tree, node, 1, ms, i64t);
+                            f.assign(out, tree);
+                        },
+                        |f| {
+                            let cell = f.malloc(node);
+                            f.store_field(cell, node, 0, 1i64, i64t);
+                            f.store_field(cell, node, 1, 0i64, i64t);
+                            f.store_field(cell, node, 2, cx, i64t);
+                            f.store_field(cell, node, 3, cy, i64t);
+                            for c in 0..4u32 {
+                                f.store_field(cell, node, 4 + c, 0i64, vp);
+                            }
+                            let r1 = f.call(
+                                "insert",
+                                vec![
+                                    Operand::Reg(cell),
+                                    Operand::Reg(tree),
+                                    Operand::Reg(cx),
+                                    Operand::Reg(cy),
+                                    Operand::Reg(half),
+                                ],
+                            );
+                            let r2 = f.call(
+                                "insert",
+                                vec![
+                                    Operand::Reg(r1),
+                                    Operand::Reg(body),
+                                    Operand::Reg(cx),
+                                    Operand::Reg(cy),
+                                    Operand::Reg(half),
+                                ],
+                            );
+                            f.assign(out, r2);
+                        },
+                    );
+                },
+            );
+        },
+    );
+    ins.ret(Some(Operand::Reg(out)));
+    pb.finish_func(ins);
+
+    // fn summarize(t) -> mass; fills cell mass and centre of mass.
+    let mut sm = pb.func("summarize", 1);
+    let t = sm.param(0);
+    let out = sm.mov(0i64);
+    let nn = sm.ne(t, 0i64);
+    if_then(&mut sm, nn, |f| {
+        let kind = f.load_field(t, node, 0, i64t);
+        let is_cell = f.eq(kind, 1i64);
+        if_else(
+            f,
+            is_cell,
+            |f| {
+                let total = f.mov(0i64);
+                let wx = f.mov(0i64);
+                let wy = f.mov(0i64);
+                for c in 0..4u32 {
+                    let child = f.load_field(t, node, 4 + c, vp);
+                    let m = f.call("summarize", vec![Operand::Reg(child)]);
+                    let t1 = f.add(total, m);
+                    f.assign(total, t1);
+                    let has = f.ne(child, 0i64);
+                    if_then(f, has, |f| {
+                        let x = f.load_field(child, node, 2, i64t);
+                        let y = f.load_field(child, node, 3, i64t);
+                        let mx = f.mul(m, x);
+                        let my = f.mul(m, y);
+                        let wx1 = f.add(wx, mx);
+                        f.assign(wx, wx1);
+                        let wy1 = f.add(wy, my);
+                        f.assign(wy, wy1);
+                    });
+                }
+                f.store_field(t, node, 1, total, i64t);
+                let safe = f.lt(0i64, total);
+                if_then(f, safe, |f| {
+                    let comx = f.div(wx, total);
+                    let comy = f.div(wy, total);
+                    f.store_field(t, node, 2, comx, i64t);
+                    f.store_field(t, node, 3, comy, i64t);
+                });
+                f.assign(out, total);
+            },
+            |f| {
+                let m = f.load_field(t, node, 1, i64t);
+                f.assign(out, m);
+            },
+        );
+    });
+    sm.ret(Some(Operand::Reg(out)));
+    pb.finish_func(sm);
+
+    // fn force(t, body, size, acc: Accum*): accumulate approximate force.
+    let mut fo = pb.func("force", 4);
+    let t = fo.param(0);
+    let body = fo.param(1);
+    let size = fo.param(2);
+    let acc = fo.param(3);
+    let nn = fo.ne(t, 0i64);
+    if_then(&mut fo, nn, |f| {
+        let same = f.eq(t, body);
+        let diff = f.eq(same, 0i64);
+        if_then(f, diff, |f| {
+            let bx = f.load_field(body, node, 2, i64t);
+            let by = f.load_field(body, node, 3, i64t);
+            let tx = f.load_field(t, node, 2, i64t);
+            let ty = f.load_field(t, node, 3, i64t);
+            let dx = f.sub(tx, bx);
+            let dy = f.sub(ty, by);
+            let dx2 = f.mul(dx, dx);
+            let dy2 = f.mul(dy, dy);
+            let d2a = f.add(dx2, dy2);
+            let d2 = f.add(d2a, 1i64);
+            let kind = f.load_field(t, node, 0, i64t);
+            let is_cell = f.eq(kind, 1i64);
+            // open = cell && size^2 >= d2 (opening criterion, theta = 1).
+            let s2 = f.mul(size, size);
+            let near = f.le(d2, s2);
+            let open = f.mul(is_cell, near);
+            let opened = f.ne(open, 0i64);
+            if_else(
+                f,
+                opened,
+                |f| {
+                    let h = f.div(size, 2i64);
+                    for c in 0..4u32 {
+                        let child = f.load_field(t, node, 4 + c, vp);
+                        f.call_void(
+                            "force",
+                            vec![
+                                Operand::Reg(child),
+                                Operand::Reg(body),
+                                Operand::Reg(h),
+                                Operand::Reg(acc),
+                            ],
+                        );
+                    }
+                },
+                |f| {
+                    let m = f.load_field(t, node, 1, i64t);
+                    let scaled = f.mul(m, 1_000i64);
+                    let mag = f.div(scaled, d2);
+                    let fx = f.mul(mag, dx);
+                    let fy = f.mul(mag, dy);
+                    let ax = f.load_field(acc, accum, 0, i64t);
+                    let ax1 = f.add(ax, fx);
+                    f.store_field(acc, accum, 0, ax1, i64t);
+                    let ay = f.load_field(acc, accum, 1, i64t);
+                    let ay1 = f.add(ay, fy);
+                    f.store_field(acc, accum, 1, ay1, i64t);
+                },
+            );
+        });
+    });
+    fo.ret(None);
+    pb.finish_func(fo);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0x6b42);
+    // Body pointer table.
+    let bodies = m.malloc_n(vp, nbodies);
+    for_loop(&mut m, 0i64, nbodies, |m, i| {
+        let b = m.malloc(node);
+        m.store_field(b, node, 0, 0i64, i64t);
+        let mass0 = m.rem(i, 7i64);
+        let mass = m.add(mass0, 1i64);
+        m.store_field(b, node, 1, mass, i64t);
+        let rx = rand(m, rng);
+        let x = m.rem(rx, SPACE);
+        m.store_field(b, node, 2, x, i64t);
+        let ry = rand(m, rng);
+        let y = m.rem(ry, SPACE);
+        m.store_field(b, node, 3, y, i64t);
+        for c in 0..4u32 {
+            m.store_field(b, node, 4 + c, 0i64, vp);
+        }
+        let cell = m.index_addr(bodies, vp, i);
+        m.store(cell, b, vp);
+    });
+    // Build the tree.
+    let root = m.mov(0i64);
+    for_loop(&mut m, 0i64, nbodies, |m, i| {
+        let cell = m.index_addr(bodies, vp, i);
+        let b = m.load(cell, vp);
+        let r = m.call(
+            "insert",
+            vec![
+                Operand::Reg(root),
+                Operand::Reg(b),
+                Operand::Imm(SPACE / 2),
+                Operand::Imm(SPACE / 2),
+                Operand::Imm(SPACE / 2),
+            ],
+        );
+        m.assign(root, r);
+    });
+    m.call_void("summarize", vec![Operand::Reg(root)]);
+    // Force pass: one short-lived escaping accumulator per body (the
+    // paper's enormous local-object count, scaled).
+    let total = m.mov(0i64);
+    for_loop(&mut m, 0i64, nbodies, |m, i| {
+        let acc = m.alloca(accum);
+        m.store_field(acc, accum, 0, 0i64, i64t);
+        m.store_field(acc, accum, 1, 0i64, i64t);
+        let cell = m.index_addr(bodies, vp, i);
+        let b = m.load(cell, vp);
+        m.call_void(
+            "force",
+            vec![
+                Operand::Reg(root),
+                Operand::Reg(b),
+                Operand::Imm(SPACE),
+                Operand::Reg(acc),
+            ],
+        );
+        let fx = m.load_field(acc, accum, 0, i64t);
+        let fy = m.load_field(acc, accum, 1, i64t);
+        let s = m.add(fx, fy);
+        let t1 = m.add(total, s);
+        let t2 = m.rem(t1, 1_000_000_007i64);
+        m.assign(total, t2);
+    });
+    m.print_int(total);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn bh_agrees_across_modes() {
+        let p = build(16);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        assert!(sub.stats.stack_objects.objects >= 16, "per-body accumulators");
+    }
+}

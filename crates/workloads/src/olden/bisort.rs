@@ -1,0 +1,146 @@
+//! Olden `bisort`: bitonic sort over values stored in a perfect binary
+//! tree. The tree is built once (1.3 × 10⁵ nodes in the paper) and the
+//! sort repeatedly swaps *values* between nodes while chasing child
+//! pointers — promote-light per node but traversal-heavy.
+//!
+//! Simplification vs. the original: the value-exchange network is a
+//! recursive min/max "bimerge" over (node, left, right) triples iterated
+//! to a fixpoint per level, rather than Olden's full bitonic schedule.
+//! The node layout, tree shape and pointer traffic match.
+
+use crate::util::{for_loop, if_then, rand, rand_state};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds bisort over a tree of depth `scale`.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let depth = scale.max(3) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let node = pb
+        .types
+        .struct_type("SortNode", &[("value", i64t), ("left", vp), ("right", vp)]);
+
+    // fn build_tree(level, rng) -> SortNode*
+    let mut b = pb.func("build_tree", 2);
+    let level = b.param(0);
+    let rng = b.param(1);
+    let out = b.mov(0i64);
+    let live = b.gt_helper(level);
+    if_then(&mut b, live, |b| {
+        let n = b.malloc(node);
+        let v = rand(b, rng);
+        let vm = b.rem(v, 100_000i64);
+        b.store_field(n, node, 0, vm, i64t);
+        let l1 = b.sub(level, 1i64);
+        let left = b.call("build_tree", vec![Operand::Reg(l1), Operand::Reg(rng)]);
+        let right = b.call("build_tree", vec![Operand::Reg(l1), Operand::Reg(rng)]);
+        b.store_field(n, node, 1, left, vp);
+        b.store_field(n, node, 2, right, vp);
+        b.assign(out, n);
+    });
+    b.ret(Some(Operand::Reg(out)));
+    pb.finish_func(b);
+
+    // fn bimerge(t, dir) -> number of swaps performed.
+    // dir 0: parent keeps min (ascending); dir 1: parent keeps max.
+    let mut g = pb.func("bimerge", 2);
+    let t = g.param(0);
+    let dir = g.param(1);
+    let swaps = g.mov(0i64);
+    let nn = g.ne(t, 0i64);
+    if_then(&mut g, nn, |g| {
+        for field in [1u32, 2u32] {
+            let child = g.load_field(t, node, field, vp);
+            let has = g.ne(child, 0i64);
+            if_then(g, has, |g| {
+                let pv = g.load_field(t, node, 0, i64t);
+                let cv = g.load_field(child, node, 0, i64t);
+                // want_swap = dir ? (cv > pv) : (cv < pv)
+                let lt = g.lt(cv, pv);
+                let gt = g.lt(pv, cv);
+                let want = crate::util::select(g, dir, gt, lt);
+                let do_swap = g.ne(want, 0i64);
+                if_then(g, do_swap, |g| {
+                    g.store_field(t, node, 0, cv, i64t);
+                    g.store_field(child, node, 0, pv, i64t);
+                    let s1 = g.add(swaps, 1i64);
+                    g.assign(swaps, s1);
+                });
+                // The left subtree keeps the direction; the right flips it
+                // (the bitonic pattern). `field` is a builder-time constant.
+                let sub_dir = if field == 1 {
+                    g.mov(dir)
+                } else {
+                    g.sub(1i64, dir)
+                };
+                let s = g.call("bimerge", vec![Operand::Reg(child), Operand::Reg(sub_dir)]);
+                let s2 = g.add(swaps, s);
+                g.assign(swaps, s2);
+            });
+        }
+    });
+    g.ret(Some(Operand::Reg(swaps)));
+    pb.finish_func(g);
+
+    // fn checksum(t) -> weighted in-order fold of the tree
+    let mut c = pb.func("checksum", 1);
+    let t = c.param(0);
+    let out = c.mov(0i64);
+    let nn = c.ne(t, 0i64);
+    if_then(&mut c, nn, |c| {
+        let v = c.load_field(t, node, 0, i64t);
+        let l = c.load_field(t, node, 1, vp);
+        let r = c.load_field(t, node, 2, vp);
+        let ls = c.call("checksum", vec![Operand::Reg(l)]);
+        let rs = c.call("checksum", vec![Operand::Reg(r)]);
+        let a = c.mul(ls, 3i64);
+        let b2 = c.add(a, v);
+        let d = c.add(b2, rs);
+        let m = c.rem(d, 1_000_000_007i64);
+        c.assign(out, m);
+    });
+    c.ret(Some(Operand::Reg(out)));
+    pb.finish_func(c);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 12345);
+    let root = m.call("build_tree", vec![Operand::Imm(depth), Operand::Reg(rng)]);
+    // Iterate merges until no swaps (bounded by tree height passes).
+    let passes = m.mov(depth * 2);
+    for_loop(&mut m, 0i64, passes, |m, _i| {
+        m.call("bimerge", vec![Operand::Reg(root), Operand::Imm(0)]);
+    });
+    let ck = m.call("checksum", vec![Operand::Reg(root)]);
+    m.print_int(ck);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+// Small helpers keeping the builder code readable.
+trait BisortExt {
+    fn gt_helper(&mut self, level: ifp_compiler::Reg) -> ifp_compiler::Reg;
+}
+impl BisortExt for ifp_compiler::FnBuilder {
+    fn gt_helper(&mut self, level: ifp_compiler::Reg) -> ifp_compiler::Reg {
+        let z = self.le(level, 0i64);
+        self.eq(z, 0i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisort_runs_and_is_deterministic() {
+        let p = build(5);
+        let a = ifp_vm::run(&p, &ifp_vm::VmConfig::default()).unwrap();
+        let b = ifp_vm::run(&p, &ifp_vm::VmConfig::default()).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+}

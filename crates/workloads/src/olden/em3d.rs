@@ -1,0 +1,224 @@
+//! Olden `em3d`: electromagnetic wave propagation on a bipartite graph of
+//! E-field and H-field nodes. Each node owns malloc'd *arrays* — its
+//! neighbour-pointer list and coefficient list — which is exactly the
+//! `malloc(num * sizeof(T))` pattern that gives em3d the highest subheap
+//! memory overhead in Figure 12 (arrays of different sizes land in
+//! different blocks).
+
+use crate::util::{for_loop, rand, rand_state, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+const ITERS: i64 = 6;
+
+/// Builds em3d with `scale` nodes per side.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let n = scale.max(8) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let node = pb.types.struct_type(
+        "GraphNode",
+        &[
+            ("value", i64t),
+            ("degree", i64t),
+            ("from_nodes", vp), // array of GraphNode*, `degree` long
+            ("coeffs", vp),     // array of i64, `degree` long
+            ("next", vp),
+        ],
+    );
+
+    // fn make_list(count, rng) -> (head of list); nodes carry random values.
+    let mut mk = pb.func("make_list", 2);
+    let count = mk.param(0);
+    let rng = mk.param(1);
+    let head = mk.mov(0i64);
+    for_loop(&mut mk, 0i64, count, |mk, _| {
+        let nptr = mk.malloc(node);
+        let v = rand(mk, rng);
+        let vm = mk.rem(v, 1000i64);
+        mk.store_field(nptr, node, 0, vm, i64t);
+        // Degrees spread over 2..=41: em3d's `malloc(num * sizeof(T))`
+        // arrays come in many distinct sizes, and every distinct size
+        // opens another subheap pool — the source of em3d's standout
+        // Figure 12 overhead under the subheap allocator.
+        let d0 = rand(mk, rng);
+        let d1 = mk.rem(d0, 40i64);
+        let deg = mk.add(d1, 2i64);
+        mk.store_field(nptr, node, 1, deg, i64t);
+        let from = mk.malloc_n(vp, deg);
+        let coeffs = mk.malloc_n(i64t, deg);
+        mk.store_field(nptr, node, 2, from, vp);
+        mk.store_field(nptr, node, 3, coeffs, vp);
+        mk.store_field(nptr, node, 4, head, vp);
+        mk.assign(head, nptr);
+    });
+    mk.ret(Some(Operand::Reg(head)));
+    pb.finish_func(mk);
+
+    // fn fill_table(head, count) -> array of node pointers for indexing.
+    let mut ft = pb.func("fill_table", 2);
+    let head = ft.param(0);
+    let count = ft.param(1);
+    let table = ft.malloc_n(vp, count);
+    let cur = ft.mov(head);
+    let i = ft.mov(0i64);
+    while_loop(
+        &mut ft,
+        |f| f.ne(cur, 0i64),
+        |f| {
+            let cell = f.index_addr(table, vp, i);
+            f.store(cell, cur, vp);
+            let nx = f.load_field(cur, node, 4, vp);
+            f.assign(cur, nx);
+            let i1 = f.add(i, 1i64);
+            f.assign(i, i1);
+        },
+    );
+    ft.ret(Some(Operand::Reg(table)));
+    pb.finish_func(ft);
+
+    // fn wire(head, other_table, count, rng): pick DEGREE random sources.
+    let mut w = pb.func("wire", 4);
+    let head = w.param(0);
+    let table = w.param(1);
+    let count = w.param(2);
+    let rng = w.param(3);
+    let cur = w.mov(head);
+    while_loop(
+        &mut w,
+        |f| f.ne(cur, 0i64),
+        |f| {
+            let from = f.load_field(cur, node, 2, vp);
+            let coeffs = f.load_field(cur, node, 3, vp);
+            let deg = f.load_field(cur, node, 1, i64t);
+            for_loop(f, 0i64, deg, |f, k| {
+                let r = rand(f, rng);
+                let idx = f.rem(r, count);
+                let src_cell = f.index_addr(table, vp, idx);
+                let src = f.load(src_cell, vp);
+                let fc = f.index_addr(from, vp, k);
+                f.store(fc, src, vp);
+                let c = rand(f, rng);
+                let cm = f.rem(c, 7i64);
+                let cc = f.index_addr(coeffs, i64t, k);
+                f.store(cc, cm, i64t);
+            });
+            let nx = f.load_field(cur, node, 4, vp);
+            f.assign(cur, nx);
+        },
+    );
+    w.ret(None);
+    pb.finish_func(w);
+
+    // fn compute(head): value -= sum(coeff_k * from_k.value) / 16.
+    let mut cp = pb.func("compute", 1);
+    let head = cp.param(0);
+    let cur = cp.mov(head);
+    while_loop(
+        &mut cp,
+        |f| f.ne(cur, 0i64),
+        |f| {
+            let from = f.load_field(cur, node, 2, vp);
+            let coeffs = f.load_field(cur, node, 3, vp);
+            let deg = f.load_field(cur, node, 1, i64t);
+            let acc = f.mov(0i64);
+            for_loop(f, 0i64, deg, |f, k| {
+                let fc = f.index_addr(from, vp, k);
+                let src = f.load(fc, vp);
+                let sv = f.load_field(src, node, 0, i64t);
+                let cc = f.index_addr(coeffs, i64t, k);
+                let c = f.load(cc, i64t);
+                let prod = f.mul(c, sv);
+                let a2 = f.add(acc, prod);
+                f.assign(acc, a2);
+            });
+            let v = f.load_field(cur, node, 0, i64t);
+            let delta = f.div(acc, 16i64);
+            let v2 = f.sub(v, delta);
+            let vm = f.rem(v2, 1_000_003i64);
+            f.store_field(cur, node, 0, vm, i64t);
+            let nx = f.load_field(cur, node, 4, vp);
+            f.assign(cur, nx);
+        },
+    );
+    cp.ret(None);
+    pb.finish_func(cp);
+
+    // fn checksum(head) -> folded values.
+    let mut ck = pb.func("checksum", 1);
+    let head = ck.param(0);
+    let cur = ck.mov(head);
+    let acc = ck.mov(0i64);
+    while_loop(
+        &mut ck,
+        |f| f.ne(cur, 0i64),
+        |f| {
+            let v = f.load_field(cur, node, 0, i64t);
+            let a = f.mul(acc, 31i64);
+            let b = f.add(a, v);
+            let c = f.rem(b, 1_000_000_007i64);
+            f.assign(acc, c);
+            let nx = f.load_field(cur, node, 4, vp);
+            f.assign(cur, nx);
+        },
+    );
+    ck.ret(Some(Operand::Reg(acc)));
+    pb.finish_func(ck);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0xe3d);
+    let e_list = m.call("make_list", vec![Operand::Imm(n), Operand::Reg(rng)]);
+    let h_list = m.call("make_list", vec![Operand::Imm(n), Operand::Reg(rng)]);
+    let e_tab = m.call("fill_table", vec![Operand::Reg(e_list), Operand::Imm(n)]);
+    let h_tab = m.call("fill_table", vec![Operand::Reg(h_list), Operand::Imm(n)]);
+    m.call_void(
+        "wire",
+        vec![
+            Operand::Reg(e_list),
+            Operand::Reg(h_tab),
+            Operand::Imm(n),
+            Operand::Reg(rng),
+        ],
+    );
+    m.call_void(
+        "wire",
+        vec![
+            Operand::Reg(h_list),
+            Operand::Reg(e_tab),
+            Operand::Imm(n),
+            Operand::Reg(rng),
+        ],
+    );
+    for_loop(&mut m, 0i64, ITERS, |m, _| {
+        m.call_void("compute", vec![Operand::Reg(e_list)]);
+        m.call_void("compute", vec![Operand::Reg(h_list)]);
+    });
+    let c1 = m.call("checksum", vec![Operand::Reg(e_list)]);
+    let c2 = m.call("checksum", vec![Operand::Reg(h_list)]);
+    m.print_int(c1);
+    m.print_int(c2);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn em3d_agrees_across_modes() {
+        let p = build(16);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+    }
+}

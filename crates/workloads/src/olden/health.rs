@@ -1,0 +1,235 @@
+//! Olden `health`: simulation of the Colombian health-care system. A
+//! four-ary tree of villages, each embedding a `Hospital` struct that owns
+//! linked lists of patients; every timestep generates patients, advances
+//! them through waiting → assess → inside, and bubbles unhandled cases up
+//! to the parent village.
+//!
+//! `health` matters to the evaluation for two reasons: its pointer churn
+//! produces the cache-thrashing behaviour of §5.2.2 under the wrapped
+//! allocator, and it is the one Olden program whose promotes include
+//! *successful subobject narrowing* — pointers to the embedded
+//! `Hospital` (`&village->hosp`) escape into helper functions, so
+//! `Village` carries a layout table.
+
+use crate::util::{for_loop, if_then, rand, rand_state, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds health with a village tree of depth `scale` and `8 * scale`
+/// simulation steps.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let levels = scale.max(2) as i64;
+    let steps = (scale.max(2) as i64) * 8;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    // `home` stores the interior pointer to the owning hospital
+    // subobject: loading it back is the promote-with-narrowing path.
+    let patient = pb
+        .types
+        .struct_type("Patient", &[("time", i64t), ("home", vp), ("next", vp)]);
+    let hosp = pb.types.struct_type(
+        "Hospital",
+        &[("free_personnel", i64t), ("waiting", vp), ("inside", vp)],
+    );
+    let village = pb.types.struct_type(
+        "Village",
+        &[
+            ("id", i64t),
+            ("hosp", hosp),
+            ("parent", vp),
+            ("child0", vp),
+            ("child1", vp),
+            ("child2", vp),
+            ("child3", vp),
+        ],
+    );
+
+    // fn push(list_head_addr, patient): prepend to an intrusive list.
+    // `list_head_addr` is an interior pointer into a Hospital.
+    let mut push = pb.func("push", 2);
+    let head_addr = push.param(0);
+    let p = push.param(1);
+    let old = push.load(head_addr, vp);
+    push.store_field(p, patient, 2, old, vp);
+    push.store(head_addr, p, vp);
+    push.ret(None);
+    pb.finish_func(push);
+
+    // fn make_village(level, parent, rng) -> Village*
+    let mut mk = pb.func("make_village", 3);
+    let level = mk.param(0);
+    let parent = mk.param(1);
+    let rng = mk.param(2);
+    let out = mk.mov(0i64);
+    let live = {
+        let le = mk.le(level, 0i64);
+        mk.eq(le, 0i64)
+    };
+    if_then(&mut mk, live, |mk| {
+        let v = mk.malloc(village);
+        let id = rand(mk, rng);
+        let idm = mk.rem(id, 1000i64);
+        mk.store_field(v, village, 0, idm, i64t);
+        // Initialize the embedded hospital through an interior pointer —
+        // this is the escape that forces Village's layout table.
+        let h = mk.field_addr(v, village, 1);
+        mk.call_void("init_hospital", vec![Operand::Reg(h)]);
+        mk.store_field(v, village, 2, parent, vp);
+        let l1 = mk.sub(level, 1i64);
+        for c in 0..4u32 {
+            let child = mk.call(
+                "make_village",
+                vec![Operand::Reg(l1), Operand::Reg(v), Operand::Reg(rng)],
+            );
+            mk.store_field(v, village, 3 + c, child, vp);
+        }
+        mk.assign(out, v);
+    });
+    mk.ret(Some(Operand::Reg(out)));
+    pb.finish_func(mk);
+
+    // fn init_hospital(h: Hospital*)
+    let mut ih = pb.func("init_hospital", 1);
+    let h = ih.param(0);
+    ih.store_field(h, hosp, 0, 2i64, i64t); // two staff
+    ih.store_field(h, hosp, 1, 0i64, vp);
+    ih.store_field(h, hosp, 2, 0i64, vp);
+    ih.ret(None);
+    pb.finish_func(ih);
+
+    // fn sim_step(v, rng) -> patients completed in this subtree.
+    let mut st = pb.func("sim_step", 2);
+    let v = st.param(0);
+    let rng = st.param(1);
+    let done = st.mov(0i64);
+    let nn = st.ne(v, 0i64);
+    if_then(&mut st, nn, |st| {
+        // Recurse into children first.
+        for c in 0..4u32 {
+            let child = st.load_field(v, village, 3 + c, vp);
+            let sub = st.call("sim_step", vec![Operand::Reg(child), Operand::Reg(rng)]);
+            let d2 = st.add(done, sub);
+            st.assign(done, d2);
+        }
+        let h = st.field_addr(v, village, 1);
+        // Maybe a new patient arrives (1 in 3).
+        let roll = rand(st, rng);
+        let arrives = st.rem(roll, 3i64);
+        let yes = st.eq(arrives, 0i64);
+        if_then(st, yes, |st| {
+            let p = st.malloc(patient);
+            st.store_field(p, patient, 0, 0i64, i64t);
+            st.store_field(p, patient, 1, h, vp);
+            st.store_field(p, patient, 2, 0i64, vp);
+            let waiting = st.field_addr(h, hosp, 1);
+            st.call_void("push", vec![Operand::Reg(waiting), Operand::Reg(p)]);
+        });
+        // Advance everyone inside; discharge after 3 units of care.
+        let inside_addr = st.field_addr(h, hosp, 2);
+        let cur = st.load(inside_addr, vp);
+        let prev_next_addr = st.mov(inside_addr);
+        while_loop(
+            st,
+            |st| st.ne(cur, 0i64),
+            |st| {
+                let t = st.load_field(cur, patient, 0, i64t);
+                let t1 = st.add(t, 1i64);
+                st.store_field(cur, patient, 0, t1, i64t);
+                let nxt = st.load_field(cur, patient, 2, vp);
+                let cured = st.le(3i64, t1);
+                crate::util::if_else(
+                    st,
+                    cured,
+                    |st| {
+                        // Unlink; return the staff slot through the
+                        // patient's stored hospital pointer (a loaded
+                        // interior pointer: promote narrows it to the
+                        // embedded Hospital).
+                        st.store(prev_next_addr, nxt, vp);
+                        let home = st.load_field(cur, patient, 1, vp);
+                        st.free(cur);
+                        let staff_addr = st.field_addr(home, hosp, 0);
+                        let s = st.load(staff_addr, i64t);
+                        let s1 = st.add(s, 1i64);
+                        st.store(staff_addr, s1, i64t);
+                        let d = st.add(done, 1i64);
+                        st.assign(done, d);
+                    },
+                    |st| {
+                        let na = st.field_addr(cur, patient, 2);
+                        st.assign(prev_next_addr, na);
+                    },
+                );
+                st.assign(cur, nxt);
+            },
+        );
+        // Admit from the waiting list while staff is available.
+        let staff_addr = st.field_addr(h, hosp, 0);
+        let waiting_addr = st.field_addr(h, hosp, 1);
+        while_loop(
+            st,
+            |st| {
+                let s = st.load(staff_addr, i64t);
+                let has_staff = st.lt(0i64, s);
+                let w = st.load(waiting_addr, vp);
+                let has_wait = st.ne(w, 0i64);
+                st.mul(has_staff, has_wait)
+            },
+            |st| {
+                let w = st.load(waiting_addr, vp);
+                let nxt = st.load_field(w, patient, 2, vp);
+                st.store(waiting_addr, nxt, vp);
+                st.store_field(w, patient, 0, 0i64, i64t);
+                let inside_addr2 = st.field_addr(h, hosp, 2);
+                st.call_void("push", vec![Operand::Reg(inside_addr2), Operand::Reg(w)]);
+                let s = st.load(staff_addr, i64t);
+                let s1 = st.sub(s, 1i64);
+                st.store(staff_addr, s1, i64t);
+            },
+        );
+    });
+    st.ret(Some(Operand::Reg(done)));
+    pb.finish_func(st);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0xbeef);
+    let root = m.call(
+        "make_village",
+        vec![Operand::Imm(levels), Operand::Imm(0), Operand::Reg(rng)],
+    );
+    let total = m.mov(0i64);
+    for_loop(&mut m, 0i64, steps, |m, _| {
+        let d = m.call("sim_step", vec![Operand::Reg(root), Operand::Reg(rng)]);
+        let t2 = m.add(total, d);
+        m.assign(total, t2);
+    });
+    m.print_int(total);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn health_agrees_across_modes() {
+        let p = build(2);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        assert!(
+            sub.stats.promotes.narrow_succeeded > 0,
+            "health exercises subobject narrowing"
+        );
+    }
+}

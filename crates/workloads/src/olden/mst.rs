@@ -1,0 +1,179 @@
+//! Olden `mst`: Prim's minimum spanning tree over a graph whose adjacency
+//! is stored in per-vertex hash tables (chained buckets of malloc'd
+//! entries). Mixed allocation sizes — vertices, bucket arrays, entries —
+//! and heavy pointer chasing through the chains.
+
+use crate::util::{for_loop, if_then, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+const BUCKETS: i64 = 8;
+
+/// Builds mst over `scale` vertices (dense synthetic weights).
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let n = scale.max(8) as i64;
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    // Vertex: chained hash table of edges + Prim bookkeeping.
+    let vertex = pb.types.struct_type(
+        "Vertex",
+        &[("buckets", vp), ("mindist", i64t), ("in_tree", i64t)],
+    );
+    let entry = pb
+        .types
+        .struct_type("HashEntry", &[("key", i64t), ("weight", i64t), ("next", vp)]);
+
+    // fn hash_insert(v: Vertex*, key, weight)
+    let mut ins = pb.func("hash_insert", 3);
+    let v = ins.param(0);
+    let key = ins.param(1);
+    let w = ins.param(2);
+    let buckets = ins.load_field(v, vertex, 0, vp);
+    let slot = ins.rem(key, BUCKETS);
+    let cell = ins.index_addr(buckets, vp, slot);
+    let e = ins.malloc(entry);
+    ins.store_field(e, entry, 0, key, i64t);
+    ins.store_field(e, entry, 1, w, i64t);
+    let old = ins.load(cell, vp);
+    ins.store_field(e, entry, 2, old, vp);
+    ins.store(cell, e, vp);
+    ins.ret(None);
+    pb.finish_func(ins);
+
+    // fn hash_find(v: Vertex*, key) -> weight or -1
+    let mut fnd = pb.func("hash_find", 2);
+    let v = fnd.param(0);
+    let key = fnd.param(1);
+    let buckets = fnd.load_field(v, vertex, 0, vp);
+    let slot = fnd.rem(key, BUCKETS);
+    let cell = fnd.index_addr(buckets, vp, slot);
+    let cur = fnd.load(cell, vp);
+    let out = fnd.mov(-1i64);
+    while_loop(
+        &mut fnd,
+        |f| f.ne(cur, 0i64),
+        |f| {
+            let k = f.load_field(cur, entry, 0, i64t);
+            let hit = f.eq(k, key);
+            if_then(f, hit, |f| {
+                let w = f.load_field(cur, entry, 1, i64t);
+                f.assign(out, w);
+            });
+            let nx = f.load_field(cur, entry, 2, vp);
+            f.assign(cur, nx);
+        },
+    );
+    fnd.ret(Some(Operand::Reg(out)));
+    pb.finish_func(fnd);
+
+    // main: build graph, run Prim.
+    let mut m = pb.func("main", 0);
+    // Vertex pointer table.
+    let vtab = m.malloc_n(vp, n);
+    for_loop(&mut m, 0i64, n, |m, i| {
+        let v = m.malloc(vertex);
+        let buckets = m.malloc_n(vp, BUCKETS);
+        m.memset(buckets, 0i64, BUCKETS * 8);
+        m.store_field(v, vertex, 0, buckets, vp);
+        m.store_field(v, vertex, 1, i64::MAX / 4, i64t);
+        m.store_field(v, vertex, 2, 0i64, i64t);
+        let cell = m.index_addr(vtab, vp, i);
+        m.store(cell, v, vp);
+    });
+    // Synthetic symmetric weights: w(i,j) = ((i*j) % 251) + |i-j| % 31 + 1.
+    for_loop(&mut m, 0i64, n, |m, i| {
+        for_loop(m, 0i64, n, |m, j| {
+            let ne = m.ne(i, j);
+            if_then(m, ne, |m| {
+                let prod = m.mul(i, j);
+                let a = m.rem(prod, 251i64);
+                let d = m.sub(i, j);
+                let d2 = m.mul(d, d);
+                let b = m.rem(d2, 31i64);
+                let w0 = m.add(a, b);
+                let w = m.add(w0, 1i64);
+                let cell = m.index_addr(vtab, vp, i);
+                let v = m.load(cell, vp);
+                m.call_void(
+                    "hash_insert",
+                    vec![Operand::Reg(v), Operand::Reg(j), Operand::Reg(w)],
+                );
+            });
+        });
+    });
+
+    // Prim from vertex 0.
+    let total = m.mov(0i64);
+    {
+        let c0 = m.index_addr(vtab, vp, 0i64);
+        let v0 = m.load(c0, vp);
+        m.store_field(v0, vertex, 1, 0i64, i64t);
+    }
+    for_loop(&mut m, 0i64, n, |m, _round| {
+        // Select the untreed vertex with minimal distance.
+        let best = m.mov(-1i64);
+        let bestd = m.mov(i64::MAX / 2);
+        for_loop(m, 0i64, n, |m, i| {
+            let cell = m.index_addr(vtab, vp, i);
+            let v = m.load(cell, vp);
+            let int = m.load_field(v, vertex, 2, i64t);
+            let out = m.eq(int, 0i64);
+            if_then(m, out, |m| {
+                let d = m.load_field(v, vertex, 1, i64t);
+                let better = m.lt(d, bestd);
+                if_then(m, better, |m| {
+                    m.assign(bestd, d);
+                    m.assign(best, i);
+                });
+            });
+        });
+        // Add it and relax through its hash table.
+        let bc = m.index_addr(vtab, vp, best);
+        let bv = m.load(bc, vp);
+        m.store_field(bv, vertex, 2, 1i64, i64t);
+        let t2 = m.add(total, bestd);
+        m.assign(total, t2);
+        for_loop(m, 0i64, n, |m, j| {
+            let cell = m.index_addr(vtab, vp, j);
+            let v = m.load(cell, vp);
+            let int = m.load_field(v, vertex, 2, i64t);
+            let out = m.eq(int, 0i64);
+            if_then(m, out, |m| {
+                let w = m.call("hash_find", vec![Operand::Reg(bv), Operand::Reg(j)]);
+                let found = m.lt(-1i64, w);
+                if_then(m, found, |m| {
+                    let d = m.load_field(v, vertex, 1, i64t);
+                    let better = m.lt(w, d);
+                    if_then(m, better, |m| {
+                        m.store_field(v, vertex, 1, w, i64t);
+                    });
+                });
+            });
+        });
+    });
+    m.print_int(total);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn mst_weight_matches_across_modes() {
+        let p = build(10);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let wrp = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped)),
+        )
+        .unwrap();
+        assert_eq!(base.output, wrp.output);
+        assert!(base.output[0] > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Olden `perimeter`: builds a quadtree encoding of an image and computes
+//! the perimeter of its black regions. Allocation-heavy (1.4 × 10⁶ nodes
+//! in the paper) with recursive pointer traversal; like `treeadd` it runs
+//! faster than baseline under the subheap allocator.
+//!
+//! Simplification vs. the original: adjacency is computed between sibling
+//! quadrants rather than via the full neighbour-finding automaton — the
+//! allocation pattern, node layout and traversal shape are preserved.
+
+use crate::util::{if_else, if_then, rand, rand_state};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds perimeter with a quadtree of depth `scale`.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let depth = scale.max(2) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    // color: 0 = white, 1 = black, 2 = grey (has children)
+    let node = pb.types.struct_type(
+        "QuadNode",
+        &[
+            ("color", i64t),
+            ("nw", vp),
+            ("ne", vp),
+            ("sw", vp),
+            ("se", vp),
+        ],
+    );
+
+    // fn build_quad(level, rng) -> QuadNode*
+    let mut b = pb.func("build_quad", 2);
+    let level = b.param(0);
+    let rng = b.param(1);
+    let n = b.malloc(node);
+    let r = rand(&mut b, rng);
+    let leaf_roll = b.rem(r, 4i64);
+    let at_bottom = b.le(level, 0i64);
+    let forced_leaf = b.eq(leaf_roll, 0i64); // 1/4 of inner rolls are leaves
+    let is_leaf = b.bin(ifp_compiler::BinOp::Or, at_bottom, forced_leaf);
+    if_else(
+        &mut b,
+        is_leaf,
+        |b| {
+            let c = rand(b, rng);
+            let color = b.rem(c, 2i64);
+            b.store_field(n, node, 0, color, i64t);
+            b.store_field(n, node, 1, 0i64, vp);
+            b.store_field(n, node, 2, 0i64, vp);
+            b.store_field(n, node, 3, 0i64, vp);
+            b.store_field(n, node, 4, 0i64, vp);
+        },
+        |b| {
+            b.store_field(n, node, 0, 2i64, i64t);
+            let l1 = b.sub(level, 1i64);
+            for field in 1..=4u32 {
+                let child = b.call(
+                    "build_quad",
+                    vec![Operand::Reg(l1), Operand::Reg(rng)],
+                );
+                b.store_field(n, node, field, child, vp);
+            }
+        },
+    );
+    b.ret(Some(Operand::Reg(n)));
+    pb.finish_func(b);
+
+    // fn color_of(t) -> color (white for NULL)
+    let mut c = pb.func("color_of", 1);
+    let t = c.param(0);
+    let out = c.mov(0i64);
+    let nn = c.ne(t, 0i64);
+    if_then(&mut c, nn, |c| {
+        let v = c.load_field(t, node, 0, i64t);
+        c.assign(out, v);
+    });
+    c.ret(Some(Operand::Reg(out)));
+    pb.finish_func(c);
+
+    // fn perim(t, size) -> perimeter contribution
+    let mut p = pb.func("perim", 2);
+    let t = p.param(0);
+    let size = p.param(1);
+    let acc = p.mov(0i64);
+    let nn = p.ne(t, 0i64);
+    if_then(&mut p, nn, |p| {
+        let color = p.load_field(t, node, 0, i64t);
+        let grey = p.eq(color, 2i64);
+        if_else(
+            p,
+            grey,
+            |p| {
+                let half = p.div(size, 2i64);
+                let total = p.mov(0i64);
+                for field in 1..=4u32 {
+                    let child = p.load_field(t, node, field, vp);
+                    let sub = p.call(
+                        "perim",
+                        vec![Operand::Reg(child), Operand::Reg(half)],
+                    );
+                    let t2 = p.add(total, sub);
+                    p.assign(total, t2);
+                }
+                // Subtract shared edges between black sibling pairs
+                // (nw-ne, sw-se, nw-sw, ne-se).
+                let pairs = [(1u32, 2u32), (3, 4), (1, 3), (2, 4)];
+                let half2 = p.div(size, 2i64);
+                for (a, b) in pairs {
+                    let ca = p.load_field(t, node, a, vp);
+                    let cb = p.load_field(t, node, b, vp);
+                    let col_a = p.call("color_of", vec![Operand::Reg(ca)]);
+                    let col_b = p.call("color_of", vec![Operand::Reg(cb)]);
+                    let both = p.mul(col_a, col_b); // 1 iff both black leaves
+                    let is_black_pair = p.eq(both, 1i64);
+                    if_then(p, is_black_pair, |p| {
+                        let shared = p.mul(half2, 2i64);
+                        let t3 = p.sub(total, shared);
+                        p.assign(total, t3);
+                    });
+                }
+                p.assign(acc, total);
+            },
+            |p| {
+                let black = p.eq(color, 1i64);
+                if_then(p, black, |p| {
+                    let edge = p.mul(size, 4i64);
+                    p.assign(acc, edge);
+                });
+            },
+        );
+    });
+    p.ret(Some(Operand::Reg(acc)));
+    pb.finish_func(p);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0x9e37_79b9);
+    let root = m.call("build_quad", vec![Operand::Imm(depth), Operand::Reg(rng)]);
+    let size = 1i64 << depth.min(30);
+    let total = m.call("perim", vec![Operand::Reg(root), Operand::Imm(size)]);
+    m.print_int(total);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perimeter_is_deterministic_and_positive() {
+        let p = build(4);
+        let a = ifp_vm::run(&p, &ifp_vm::VmConfig::default()).unwrap();
+        let b = ifp_vm::run(&p, &ifp_vm::VmConfig::default()).unwrap();
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.output.len(), 1);
+    }
+}

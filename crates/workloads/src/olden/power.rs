@@ -1,0 +1,112 @@
+//! Olden `power`: power-system pricing over a fixed four-level hierarchy
+//! (root → feeders → laterals → branches → leaves). Nodes are linked by
+//! `next` pointers within a level and a `children` pointer downward; the
+//! optimization loop walks the whole tree bottom-up each iteration.
+//! Moderate allocation count, heavy repeated pointer traversal.
+
+use crate::util::{for_loop, if_then, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds power with `scale` pricing iterations.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let iters = scale.max(1) as i64;
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let node = pb.types.struct_type(
+        "PowerNode",
+        &[("demand", i64t), ("next", vp), ("children", vp)],
+    );
+
+    // fn build_level(level) -> head of a sibling list with children
+    // Branching: 4 feeders, 4 laterals each, 4 branches each, 8 leaves.
+    let mut b = pb.func("build_level", 1);
+    let level = b.param(0);
+    let head = b.mov(0i64);
+    let width = {
+        // width = level == 3 ? 8 : 4
+        let is_leaf = b.eq(level, 3i64);
+        crate::util::select(&mut b, is_leaf, 8i64, 4i64)
+    };
+    for_loop(&mut b, 0i64, width, |b, i| {
+        let n = b.malloc(node);
+        // Leaf demand derives from position; inner demand starts at 0.
+        let is_leaf = b.eq(level, 3i64);
+        let base = b.add(i, 1i64);
+        let demand = crate::util::select(b, is_leaf, base, 0i64);
+        b.store_field(n, node, 0, demand, i64t);
+        b.store_field(n, node, 1, head, vp);
+        let not_leaf = b.lt(level, 3i64);
+        let kids = b.mov(0i64);
+        if_then(b, not_leaf, |b| {
+            let l1 = b.add(level, 1i64);
+            let c = b.call("build_level", vec![Operand::Reg(l1)]);
+            b.assign(kids, c);
+        });
+        b.store_field(n, node, 2, kids, vp);
+        b.assign(head, n);
+    });
+    b.ret(Some(Operand::Reg(head)));
+    pb.finish_func(b);
+
+    // fn compute(head, price) -> total demand of a sibling list.
+    let mut c = pb.func("compute", 2);
+    let head = c.param(0);
+    let price = c.param(1);
+    let total = c.mov(0i64);
+    let cur = c.mov(head);
+    while_loop(
+        &mut c,
+        |c| c.ne(cur, 0i64),
+        |c| {
+            let kids = c.load_field(cur, node, 2, vp);
+            let has_kids = c.ne(kids, 0i64);
+            let d = c.load_field(cur, node, 0, i64t);
+            let local = c.mov(d);
+            if_then(c, has_kids, |c| {
+                let sub = c.call("compute", vec![Operand::Reg(kids), Operand::Reg(price)]);
+                c.assign(local, sub);
+            });
+            // Price response: demand shrinks as price rises (integer).
+            let scaled = c.mul(local, 100i64);
+            let div = c.add(price, 100i64);
+            let adjusted = c.div(scaled, div);
+            let adj1 = c.add(adjusted, 1i64);
+            c.store_field(cur, node, 0, adj1, i64t);
+            let t2 = c.add(total, adj1);
+            c.assign(total, t2);
+            let nx = c.load_field(cur, node, 1, vp);
+            c.assign(cur, nx);
+        },
+    );
+    c.ret(Some(Operand::Reg(total)));
+    pb.finish_func(c);
+
+    let mut m = pb.func("main", 0);
+    let root = m.call("build_level", vec![Operand::Imm(0)]);
+    let last = m.mov(0i64);
+    for_loop(&mut m, 0i64, iters, |m, it| {
+        let price = m.mul(it, 3i64);
+        let total = m.call("compute", vec![Operand::Reg(root), Operand::Reg(price)]);
+        m.assign(last, total);
+    });
+    m.print_int(last);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_converges_deterministically() {
+        let p = build(3);
+        let r = ifp_vm::run(&p, &ifp_vm::VmConfig::default()).unwrap();
+        assert_eq!(r.output.len(), 1);
+        assert!(r.output[0] > 0);
+    }
+}

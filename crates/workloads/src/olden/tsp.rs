@@ -1,0 +1,198 @@
+//! Olden `tsp`: travelling-salesman tour construction. Cities live in a
+//! balanced binary space-partition tree of malloc'd nodes; the conquer
+//! step stitches subtree tours together through `prev`/`next` links,
+//! giving the closest-point heuristic's pointer traffic.
+//!
+//! Distances are integer (squared Euclidean, folded) so every mode
+//! computes identical tours.
+
+use crate::util::{if_then, rand, rand_state, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds tsp over `2^scale - 1` cities.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let depth = scale.max(3) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let city = pb.types.struct_type(
+        "City",
+        &[
+            ("x", i64t),
+            ("y", i64t),
+            ("left", vp),
+            ("right", vp),
+            ("next", vp),
+            ("prev", vp),
+        ],
+    );
+
+    // fn build_cities(level, lo, hi, rng) -> City* (BSP over x-range).
+    let mut b = pb.func("build_cities", 4);
+    let level = b.param(0);
+    let lo = b.param(1);
+    let hi = b.param(2);
+    let rng = b.param(3);
+    let out = b.mov(0i64);
+    let live = {
+        let z = b.le(level, 0i64);
+        b.eq(z, 0i64)
+    };
+    if_then(&mut b, live, |b| {
+        let c = b.malloc(city);
+        let mid0 = b.add(lo, hi);
+        let mid = b.div(mid0, 2i64);
+        b.store_field(c, city, 0, mid, i64t);
+        let ry = rand(b, rng);
+        let y = b.rem(ry, 10_000i64);
+        b.store_field(c, city, 1, y, i64t);
+        let l1 = b.sub(level, 1i64);
+        let left = b.call(
+            "build_cities",
+            vec![
+                Operand::Reg(l1),
+                Operand::Reg(lo),
+                Operand::Reg(mid),
+                Operand::Reg(rng),
+            ],
+        );
+        let right = b.call(
+            "build_cities",
+            vec![
+                Operand::Reg(l1),
+                Operand::Reg(mid),
+                Operand::Reg(hi),
+                Operand::Reg(rng),
+            ],
+        );
+        b.store_field(c, city, 2, left, vp);
+        b.store_field(c, city, 3, right, vp);
+        b.store_field(c, city, 4, 0i64, vp);
+        b.store_field(c, city, 5, 0i64, vp);
+        b.assign(out, c);
+    });
+    b.ret(Some(Operand::Reg(out)));
+    pb.finish_func(b);
+
+    // fn splice(a, b) -> rings a and b joined (either may be NULL).
+    let mut sp = pb.func("splice", 2);
+    let a = sp.param(0);
+    let b2 = sp.param(1);
+    let out = sp.mov(a);
+    let a_null = sp.eq(a, 0i64);
+    if_then(&mut sp, a_null, |sp| {
+        sp.assign(out, b2);
+    });
+    let both = {
+        let an = sp.ne(a, 0i64);
+        let bn = sp.ne(b2, 0i64);
+        sp.mul(an, bn)
+    };
+    if_then(&mut sp, both, |sp| {
+        // a ... a_last + b ... b_last => a ... a_last b ... b_last (ring).
+        let a_last = sp.load_field(a, city, 5, vp);
+        let b_last = sp.load_field(b2, city, 5, vp);
+        sp.store_field(a_last, city, 4, b2, vp);
+        sp.store_field(b2, city, 5, a_last, vp);
+        sp.store_field(b_last, city, 4, a, vp);
+        sp.store_field(a, city, 5, b_last, vp);
+        sp.assign(out, a);
+    });
+    sp.ret(Some(Operand::Reg(out)));
+    pb.finish_func(sp);
+
+    // fn tour(t) -> head of a circular doubly-linked tour of the subtree.
+    let mut t = pb.func("tour", 1);
+    let node = t.param(0);
+    let out = t.mov(0i64);
+    let nn = t.ne(node, 0i64);
+    if_then(&mut t, nn, |t| {
+        t.store_field(node, city, 4, node, vp);
+        t.store_field(node, city, 5, node, vp);
+        let l = t.load_field(node, city, 2, vp);
+        let r = t.load_field(node, city, 3, vp);
+        let lt = t.call("tour", vec![Operand::Reg(l)]);
+        let rt = t.call("tour", vec![Operand::Reg(r)]);
+        let merged = t.call("splice", vec![Operand::Reg(lt), Operand::Reg(node)]);
+        let full = t.call("splice", vec![Operand::Reg(merged), Operand::Reg(rt)]);
+        t.assign(out, full);
+    });
+    t.ret(Some(Operand::Reg(out)));
+    pb.finish_func(t);
+
+    // fn tour_length(head) -> folded squared length around the ring.
+    let mut tl = pb.func("tour_length", 1);
+    let head = tl.param(0);
+    let total = tl.mov(0i64);
+    let cur = tl.mov(head);
+    let started = tl.mov(0i64);
+    while_loop(
+        &mut tl,
+        |f| {
+            let back = f.eq(cur, head);
+            let fresh = f.eq(started, 0i64);
+            let not_done = f.sub(1i64, back);
+            f.add(fresh, not_done)
+        },
+        |f| {
+            f.assign(started, 1i64);
+            let nx = f.load_field(cur, city, 4, vp);
+            let x1 = f.load_field(cur, city, 0, i64t);
+            let y1 = f.load_field(cur, city, 1, i64t);
+            let x2 = f.load_field(nx, city, 0, i64t);
+            let y2 = f.load_field(nx, city, 1, i64t);
+            let dx = f.sub(x2, x1);
+            let dx2 = f.mul(dx, dx);
+            let dy = f.sub(y2, y1);
+            let dy2 = f.mul(dy, dy);
+            let d = f.add(dx2, dy2);
+            let dm = f.rem(d, 1_000_000i64);
+            let t2 = f.add(total, dm);
+            let t3 = f.rem(t2, 1_000_000_007i64);
+            f.assign(total, t3);
+            f.assign(cur, nx);
+        },
+    );
+    tl.ret(Some(Operand::Reg(total)));
+    pb.finish_func(tl);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0x7359);
+    let root = m.call(
+        "build_cities",
+        vec![
+            Operand::Imm(depth),
+            Operand::Imm(0),
+            Operand::Imm(1 << 20),
+            Operand::Reg(rng),
+        ],
+    );
+    let ring = m.call("tour", vec![Operand::Reg(root)]);
+    let len = m.call("tour_length", vec![Operand::Reg(ring)]);
+    m.print_int(len);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn tsp_tour_is_mode_independent() {
+        let p = build(5);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let w = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped)),
+        )
+        .unwrap();
+        assert_eq!(base.output, w.output);
+        assert!(base.output[0] > 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Olden `voronoi`: Voronoi diagram of random points by divide and
+//! conquer. The original builds a full Delaunay triangulation over
+//! quad-edge records; this reproduction keeps the allocation/traversal
+//! skeleton — recursive splitting over a point tree, a malloc'd edge
+//! record per merge step, and a stitching walk along the dividing chain —
+//! while replacing the geometric predicates with integer comparisons.
+
+use crate::util::{if_then, rand, rand_state, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds voronoi over `2^scale - 1` points.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let depth = scale.max(3) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let point = pb.types.struct_type(
+        "Point",
+        &[("x", i64t), ("y", i64t), ("left", vp), ("right", vp)],
+    );
+    // An edge record joining two points, chained per diagram.
+    let edge = pb.types.struct_type(
+        "Edge",
+        &[("a", vp), ("b", vp), ("len2", i64t), ("next", vp)],
+    );
+
+    // fn build_points(level, lo, hi, rng) -> Point* (BSP over x).
+    let mut b = pb.func("build_points", 4);
+    let level = b.param(0);
+    let lo = b.param(1);
+    let hi = b.param(2);
+    let rng = b.param(3);
+    let out = b.mov(0i64);
+    let live = {
+        let z = b.le(level, 0i64);
+        b.eq(z, 0i64)
+    };
+    if_then(&mut b, live, |b| {
+        let p = b.malloc(point);
+        let span = b.sub(hi, lo);
+        let r = rand(b, rng);
+        let off = b.rem(r, span);
+        let x = b.add(lo, off);
+        b.store_field(p, point, 0, x, i64t);
+        let ry = rand(b, rng);
+        let y = b.rem(ry, 100_000i64);
+        b.store_field(p, point, 1, y, i64t);
+        let mid0 = b.add(lo, hi);
+        let mid = b.div(mid0, 2i64);
+        let l1 = b.sub(level, 1i64);
+        let left = b.call(
+            "build_points",
+            vec![
+                Operand::Reg(l1),
+                Operand::Reg(lo),
+                Operand::Reg(mid),
+                Operand::Reg(rng),
+            ],
+        );
+        let right = b.call(
+            "build_points",
+            vec![
+                Operand::Reg(l1),
+                Operand::Reg(mid),
+                Operand::Reg(hi),
+                Operand::Reg(rng),
+            ],
+        );
+        b.store_field(p, point, 2, left, vp);
+        b.store_field(p, point, 3, right, vp);
+        b.assign(out, p);
+    });
+    b.ret(Some(Operand::Reg(out)));
+    pb.finish_func(b);
+
+    // fn link(a, b, edges_head_cell) -> new edge list head.
+    // edges_head_cell is a pointer to the list head (in main's frame).
+    let mut lk = pb.func("link", 3);
+    let a = lk.param(0);
+    let b2 = lk.param(1);
+    let head_cell = lk.param(2);
+    let e = lk.malloc(edge);
+    lk.store_field(e, edge, 0, a, vp);
+    lk.store_field(e, edge, 1, b2, vp);
+    let ax = lk.load_field(a, point, 0, i64t);
+    let ay = lk.load_field(a, point, 1, i64t);
+    let bx = lk.load_field(b2, point, 0, i64t);
+    let by = lk.load_field(b2, point, 1, i64t);
+    let dx = lk.sub(ax, bx);
+    let dy = lk.sub(ay, by);
+    let dx2 = lk.mul(dx, dx);
+    let dy2 = lk.mul(dy, dy);
+    let d = lk.add(dx2, dy2);
+    lk.store_field(e, edge, 2, d, i64t);
+    let old = lk.load(head_cell, vp);
+    lk.store_field(e, edge, 3, old, vp);
+    lk.store(head_cell, e, vp);
+    lk.ret(None);
+    pb.finish_func(lk);
+
+    // fn rightmost(t) -> the right spine tip of a subtree.
+    let mut rm = pb.func("rightmost", 1);
+    let t = rm.param(0);
+    let cur = rm.mov(t);
+    while_loop(
+        &mut rm,
+        |f| {
+            let nn = f.ne(cur, 0i64);
+            let r = f.mov(0i64);
+            if_then(f, nn, |f| {
+                let right = f.load_field(cur, point, 3, vp);
+                let has = f.ne(right, 0i64);
+                f.assign(r, has);
+            });
+            r
+        },
+        |f| {
+            let right = f.load_field(cur, point, 3, vp);
+            f.assign(cur, right);
+        },
+    );
+    rm.ret(Some(Operand::Reg(cur)));
+    pb.finish_func(rm);
+
+    // fn stitch(t, head_cell) -> number of edges created in this subtree.
+    // Divide: recurse; conquer: connect this point to the extreme points
+    // of its two halves (the dividing-chain walk, simplified).
+    let mut st = pb.func("stitch", 2);
+    let t = st.param(0);
+    let head_cell = st.param(1);
+    let count = st.mov(0i64);
+    let nn = st.ne(t, 0i64);
+    if_then(&mut st, nn, |st| {
+        let l = st.load_field(t, point, 2, vp);
+        let r = st.load_field(t, point, 3, vp);
+        let cl = st.call("stitch", vec![Operand::Reg(l), Operand::Reg(head_cell)]);
+        let cr = st.call("stitch", vec![Operand::Reg(r), Operand::Reg(head_cell)]);
+        let c0 = st.add(cl, cr);
+        st.assign(count, c0);
+        let has_l = st.ne(l, 0i64);
+        if_then(st, has_l, |st| {
+            let lm = st.call("rightmost", vec![Operand::Reg(l)]);
+            st.call_void(
+                "link",
+                vec![Operand::Reg(lm), Operand::Reg(t), Operand::Reg(head_cell)],
+            );
+            let c1 = st.add(count, 1i64);
+            st.assign(count, c1);
+        });
+        let has_r = st.ne(r, 0i64);
+        if_then(st, has_r, |st| {
+            st.call_void(
+                "link",
+                vec![Operand::Reg(t), Operand::Reg(r), Operand::Reg(head_cell)],
+            );
+            let c2 = st.add(count, 1i64);
+            st.assign(count, c2);
+        });
+    });
+    st.ret(Some(Operand::Reg(count)));
+    pb.finish_func(st);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0x0517);
+    let root = m.call(
+        "build_points",
+        vec![
+            Operand::Imm(depth),
+            Operand::Imm(0),
+            Operand::Imm(1 << 20),
+            Operand::Reg(rng),
+        ],
+    );
+    let head_cell = m.alloca(vp);
+    m.store(head_cell, 0i64, vp);
+    let edges = m.call("stitch", vec![Operand::Reg(root), Operand::Reg(head_cell)]);
+    // Fold edge lengths.
+    let acc = m.mov(0i64);
+    let cur = m.load(head_cell, vp);
+    while_loop(
+        &mut m,
+        |f| f.ne(cur, 0i64),
+        |f| {
+            let d = f.load_field(cur, edge, 2, i64t);
+            let a = f.mul(acc, 17i64);
+            let b2 = f.add(a, d);
+            let c = f.rem(b2, 1_000_000_007i64);
+            f.assign(acc, c);
+            let nx = f.load_field(cur, edge, 3, vp);
+            f.assign(cur, nx);
+        },
+    );
+    m.print_int(edges);
+    m.print_int(acc);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn voronoi_edge_count_matches_tree() {
+        let p = build(4);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        // A perfect tree of 2^4-1 nodes has 14 internal links.
+        assert_eq!(base.output[0], 14);
+    }
+}

@@ -1,0 +1,268 @@
+//! bzip2 1.0.8 (scaled): block compression of an embedded input. The
+//! pipeline here is run-length encoding followed by move-to-front and a
+//! frequency fold (standing in for the Huffman stage); what is preserved
+//! from the original for Table 4's purposes:
+//!
+//! * work buffers come from **allocation wrappers invoked through
+//!   function pointers** in the original (`BZ2_bzCompressInit`'s
+//!   `bzalloc`), so they carry no layout tables and subobject promotes
+//!   coarsen — modelled with `malloc_via_wrapper`;
+//! * a handful of large globals (the CRC table and friends) exceed the
+//!   local-offset size limit and register through the global table
+//!   scheme;
+//! * only about a dozen heap allocations total, each large.
+
+use crate::util::{for_loop, if_then, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Deterministic compressible input: repeated phrases with drift.
+fn input_data(len: usize) -> Vec<u8> {
+    let phrase = b"the quick brown fox jumps over the lazy dog ";
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0usize;
+    while out.len() < len {
+        let b = phrase[i % phrase.len()];
+        // Long runs every so often, to give RLE something to do.
+        if i % 97 == 0 {
+            for _ in 0..12 {
+                out.push(b'a');
+            }
+        }
+        out.push(b);
+        i += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// Builds bzip2 compressing `scale * 512` bytes.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let len = (scale.max(1) as i64) * 512;
+    let data = input_data(len as usize);
+
+    let mut pb = ProgramBuilder::new();
+    let i8t = pb.types.int8();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    // bzlib's EState: work buffers hang off a state struct allocated by
+    // the (function-pointer) bzalloc wrapper; each pass re-loads them.
+    let estate = pb.types.struct_type(
+        "EState",
+        &[
+            ("rle_buf", vp),
+            ("rle_run", vp),
+            ("mtf_buf", vp),
+            ("block", vp),
+        ],
+    );
+    let input_ty = pb.types.array(i8t, len as u32);
+    // Three large globals (> 1008 bytes): CRC table + two work tables.
+    let crc_ty = pb.types.array(i64t, 256);
+    let ftab_ty = pb.types.array(i64t, 256);
+    let rank_ty = pb.types.array(i64t, 256);
+    let input_g = pb.global_init("input_block", input_ty, data);
+    let crc_g = pb.global("crc_table", crc_ty);
+    let ftab_g = pb.global("freq_table", ftab_ty);
+    let rank_g = pb.global("rank_table", rank_ty);
+
+    // fn fill_crc(table): the classic table generator shape.
+    let mut fc = pb.func("fill_crc", 1);
+    let table = fc.param(0);
+    for_loop(&mut fc, 0i64, 256i64, |f, i| {
+        let v = f.mov(i);
+        for_loop(f, 0i64, 8i64, |f, _| {
+            let low = f.bin(ifp_compiler::BinOp::And, v, 1i64);
+            let shifted = f.bin(ifp_compiler::BinOp::Shr, v, 1i64);
+            let bit = f.ne(low, 0i64);
+            let xored = f.bin(ifp_compiler::BinOp::Xor, shifted, 0x7473_8321i64);
+            let nv = crate::util::select(f, bit, xored, shifted);
+            f.assign(v, nv);
+        });
+        let cell = f.index_addr(table, crc_ty, i);
+        f.store(cell, v, i64t);
+    });
+    fc.ret(None);
+    pb.finish_func(fc);
+
+    let mut m = pb.func("main", 0);
+    let input = m.addr_of_global(input_g);
+    let crc = m.addr_of_global(crc_g);
+    let ftab = m.addr_of_global(ftab_g);
+    let rank = m.addr_of_global(rank_g);
+    m.call_void("fill_crc", vec![Operand::Reg(crc)]);
+
+    // Work buffers through the wrapper allocator (function-pointer
+    // bzalloc): RLE output, MTF output, and a block copy, all hanging off
+    // the EState struct.
+    let state = m.malloc_via_wrapper(estate, 1i64);
+    {
+        let b = m.malloc_via_wrapper(i8t, len * 2);
+        m.store_field(state, estate, 0, b, vp);
+        let r = m.malloc_via_wrapper(i64t, len * 2);
+        m.store_field(state, estate, 1, r, vp);
+        let mtf = m.malloc_via_wrapper(i8t, len * 2);
+        m.store_field(state, estate, 2, mtf, vp);
+        let blk = m.malloc_via_wrapper(i8t, len);
+        m.store_field(state, estate, 3, blk, vp);
+    }
+    let rle_buf = m.load_field(state, estate, 0, vp);
+    let rle_run = m.load_field(state, estate, 1, vp);
+    let mtf_buf = m.load_field(state, estate, 2, vp);
+    let block = m.load_field(state, estate, 3, vp);
+    m.memcpy(block, input, len);
+
+    // ---- RLE pass: (byte, run length) pairs.
+    let out_n = m.mov(0i64);
+    let i = m.mov(0i64);
+    while_loop(
+        &mut m,
+        |f| f.lt(i, len),
+        |f| {
+            let block = f.load_field(state, estate, 3, vp);
+            let cp = f.index_addr(block, i8t, i);
+            let c = f.load(cp, i8t);
+            let run = f.mov(1i64);
+            let j = f.add(i, 1i64);
+            while_loop(
+                f,
+                |f| {
+                    let in_range = f.lt(j, len);
+                    let same = f.mov(0i64);
+                    if_then(f, in_range, |f| {
+                        let np = f.index_addr(block, i8t, j);
+                        let nc = f.load(np, i8t);
+                        let eq = f.eq(nc, c);
+                        f.assign(same, eq);
+                    });
+                    f.mul(in_range, same)
+                },
+                |f| {
+                    let r1 = f.add(run, 1i64);
+                    f.assign(run, r1);
+                    let j1 = f.add(j, 1i64);
+                    f.assign(j, j1);
+                },
+            );
+            let bc = f.index_addr(rle_buf, i8t, out_n);
+            f.store(bc, c, i8t);
+            let rc = f.index_addr(rle_run, i64t, out_n);
+            f.store(rc, run, i64t);
+            let n1 = f.add(out_n, 1i64);
+            f.assign(out_n, n1);
+            f.assign(i, j);
+        },
+    );
+
+    // ---- MTF pass over the RLE symbols.
+    for_loop(&mut m, 0i64, 256i64, |f, k| {
+        let cell = f.index_addr(rank, rank_ty, k);
+        f.store(cell, k, i64t);
+    });
+    for_loop(&mut m, 0i64, out_n, |f, k| {
+        let rle_buf = f.load_field(state, estate, 0, vp);
+        let bc = f.index_addr(rle_buf, i8t, k);
+        let sym0 = f.load(bc, i8t);
+        let sym = f.bin(ifp_compiler::BinOp::And, sym0, 0xffi64);
+        // Find the symbol's rank, then move it to front.
+        let pos = f.mov(0i64);
+        for_loop(f, 0i64, 256i64, |f, r| {
+            let cell = f.index_addr(rank, rank_ty, r);
+            let v = f.load(cell, i64t);
+            let hit = f.eq(v, sym);
+            if_then(f, hit, |f| {
+                f.assign(pos, r);
+            });
+        });
+        let mc = f.index_addr(mtf_buf, i8t, k);
+        f.store(mc, pos, i8t);
+        // Shift ranks [0, pos) up by one, put sym at 0.
+        let r = f.mov(pos);
+        while_loop(
+            f,
+            |f| f.lt(0i64, r),
+            |f| {
+                let r1 = f.sub(r, 1i64);
+                let src = f.index_addr(rank, rank_ty, r1);
+                let v = f.load(src, i64t);
+                let dst = f.index_addr(rank, rank_ty, r);
+                f.store(dst, v, i64t);
+                f.assign(r, r1);
+            },
+        );
+        let front = f.index_addr(rank, rank_ty, 0i64);
+        f.store(front, sym, i64t);
+    });
+
+    // ---- frequency + CRC fold (the entropy-coder stand-in).
+    for_loop(&mut m, 0i64, 256i64, |f, k| {
+        let cell = f.index_addr(ftab, ftab_ty, k);
+        f.store(cell, 0i64, i64t);
+    });
+    let crc_acc = m.mov(-1i64);
+    for_loop(&mut m, 0i64, out_n, |f, k| {
+        let mtf_buf = f.load_field(state, estate, 2, vp);
+        let mc = f.index_addr(mtf_buf, i8t, k);
+        let s0 = f.load(mc, i8t);
+        let s = f.bin(ifp_compiler::BinOp::And, s0, 0xffi64);
+        let fcell = f.index_addr(ftab, ftab_ty, s);
+        let fv = f.load(fcell, i64t);
+        let fv1 = f.add(fv, 1i64);
+        f.store(fcell, fv1, i64t);
+        let idx0 = f.bin(ifp_compiler::BinOp::Xor, crc_acc, s);
+        let idx = f.bin(ifp_compiler::BinOp::And, idx0, 0xffi64);
+        let tcell = f.index_addr(crc, crc_ty, idx);
+        let t = f.load(tcell, i64t);
+        let sh = f.bin(ifp_compiler::BinOp::Shr, crc_acc, 8i64);
+        let shm = f.bin(ifp_compiler::BinOp::And, sh, 0x00ff_ffff_ffff_ffffi64);
+        let nx = f.bin(ifp_compiler::BinOp::Xor, shm, t);
+        f.assign(crc_acc, nx);
+    });
+    // "Compressed size" estimate: symbols with nonzero frequency weighted
+    // by rank, plus run savings.
+    let est = m.mov(0i64);
+    for_loop(&mut m, 0i64, 256i64, |f, k| {
+        let fcell = f.index_addr(ftab, ftab_ty, k);
+        let fv = f.load(fcell, i64t);
+        let w = f.add(k, 1i64);
+        let p = f.mul(fv, w);
+        let e1 = f.add(est, p);
+        f.assign(est, e1);
+    });
+    m.print_int(out_n);
+    m.print_int(est);
+    let folded = m.rem(crc_acc, 1_000_000_007i64);
+    m.print_int(folded);
+    m.free(rle_buf);
+    m.free(rle_run);
+    m.free(mtf_buf);
+    m.free(block);
+    m.free(state);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn bzip2_compresses_identically_across_modes() {
+        let p = build(1);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let w = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped)),
+        )
+        .unwrap();
+        assert_eq!(base.output, w.output);
+        assert!(base.output[0] < 512, "RLE shrinks the run-heavy input");
+        assert!(
+            w.stats.global_objects.objects >= 3,
+            "large tables registered as globals"
+        );
+    }
+}

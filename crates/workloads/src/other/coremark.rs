@@ -1,0 +1,207 @@
+//! CoreMark: the embedded-benchmark trio — linked-list manipulation,
+//! matrix arithmetic and a CRC-fed state machine — all built inside a
+//! *single* dynamic allocation obtained through a wrapper function.
+//!
+//! This reproduces the §5.2.1 observation: because the arena comes from
+//! an allocation wrapper, its object metadata carries no layout table, so
+//! every promote of a list-item pointer (whose tag carries a subobject
+//! index from `ifpidx` on `item->next` address computations) has its
+//! narrowing *coarsened* to the object bounds.
+
+use crate::util::{for_loop, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+const ITEM_SIZE: i64 = 16; // { value: i64, next: void* }
+const MATRIX_N: i64 = 12;
+
+/// Builds coremark with `scale` outer iterations.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let iters = scale.max(2) as i64;
+    let nitems = 64i64;
+    let arena_size = nitems * ITEM_SIZE + MATRIX_N * MATRIX_N * 8 * 3 + 256;
+
+    let mut pb = ProgramBuilder::new();
+    let i8t = pb.types.int8();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let item = pb
+        .types
+        .struct_type("ListItem", &[("value", i64t), ("next", vp)]);
+
+    let mut m = pb.func("main", 0);
+    // The single wrapper allocation CoreMark is known for.
+    let arena = m.malloc_via_wrapper(i8t, arena_size);
+
+    // ---- list kernel: build a list inside the arena, then reverse it.
+    let list_base = m.mov(arena);
+    for_loop(&mut m, 0i64, nitems, |m, i| {
+        let off = m.mul(i, ITEM_SIZE);
+        let it = m.index_addr(list_base, i8t, off);
+        // Treat the carved bytes as a ListItem (type reinterpretation —
+        // legal in our IR exactly like the C original's casts).
+        let val = m.mul(i, 7i64);
+        let vm = m.rem(val, 64i64);
+        m.store_field(it, item, 0, vm, i64t);
+        let is_last = m.eq(i, nitems - 1);
+        let off_next = m.add(off, ITEM_SIZE);
+        let nx_candidate = m.index_addr(list_base, i8t, off_next);
+        let nx = crate::util::select(m, is_last, 0i64, nx_candidate);
+        m.store_field(it, item, 1, nx, vp);
+    });
+
+    // CoreMark-style data pointers: each list item's payload is referenced
+    // through a stored `&item->value` interior pointer (nonzero subobject
+    // index on the tag). The arena has no layout table, so promoting these
+    // pointers coarsens to object bounds — the §5.2.1 CoreMark finding.
+    let dptrs = m.malloc_via_wrapper(vp, nitems);
+    for_loop(&mut m, 0i64, nitems, |m, i| {
+        let off = m.mul(i, ITEM_SIZE);
+        let it = m.index_addr(list_base, i8t, off);
+        let dp = m.field_addr(it, item, 0);
+        let cell = m.index_addr(dptrs, vp, i);
+        m.store(cell, dp, vp);
+    });
+
+    let checksum = m.mov(0i64);
+    for_loop(&mut m, 0i64, iters, |m, _| {
+        // Touch every payload through its stored interior pointer.
+        for_loop(m, 0i64, nitems, |m, k| {
+            let cell = m.index_addr(dptrs, vp, k);
+            let dp = m.load(cell, vp);
+            let v = m.load(dp, i64t);
+            let s1 = m.add(checksum, v);
+            let s2 = m.rem(s1, 1_000_000_007i64);
+            m.assign(checksum, s2);
+        });
+        // Reverse the list in place (the CoreMark list benchmark core).
+        let prev = m.mov(0i64);
+        let cur = m.mov(list_base);
+        while_loop(
+            m,
+            |m| m.ne(cur, 0i64),
+            |m| {
+                let nx = m.load_field(cur, item, 1, vp);
+                m.store_field(cur, item, 1, prev, vp);
+                m.assign(prev, cur);
+                m.assign(cur, nx);
+            },
+        );
+        m.assign(list_base, prev);
+        // Fold the (now reversed) values.
+        let cur2 = m.mov(list_base);
+        while_loop(
+            m,
+            |m| m.ne(cur2, 0i64),
+            |m| {
+                let v = m.load_field(cur2, item, 0, i64t);
+                let a = m.mul(checksum, 31i64);
+                let b = m.add(a, v);
+                let c = m.rem(b, 1_000_000_007i64);
+                m.assign(checksum, c);
+                let nx = m.load_field(cur2, item, 1, vp);
+                m.assign(cur2, nx);
+            },
+        );
+    });
+
+    // ---- matrix kernel: C = A * B over arena regions.
+    let mat_a = m.index_addr(arena, i8t, nitems * ITEM_SIZE);
+    let mat_b = m.index_addr(mat_a, i8t, MATRIX_N * MATRIX_N * 8);
+    let mat_c = m.index_addr(mat_b, i8t, MATRIX_N * MATRIX_N * 8);
+    for_loop(&mut m, 0i64, MATRIX_N * MATRIX_N, |m, k| {
+        let av = m.rem(k, 9i64);
+        let ac = m.index_addr(mat_a, i64t, k);
+        m.store(ac, av, i64t);
+        let bv = m.rem(k, 7i64);
+        let bc = m.index_addr(mat_b, i64t, k);
+        m.store(bc, bv, i64t);
+    });
+    for_loop(&mut m, 0i64, MATRIX_N, |m, i| {
+        for_loop(m, 0i64, MATRIX_N, |m, j| {
+            let acc = m.mov(0i64);
+            for_loop(m, 0i64, MATRIX_N, |m, k| {
+                let ai = m.mul(i, MATRIX_N);
+                let aidx = m.add(ai, k);
+                let ac = m.index_addr(mat_a, i64t, aidx);
+                let a = m.load(ac, i64t);
+                let bi = m.mul(k, MATRIX_N);
+                let bidx = m.add(bi, j);
+                let bc = m.index_addr(mat_b, i64t, bidx);
+                let b = m.load(bc, i64t);
+                let p = m.mul(a, b);
+                let acc2 = m.add(acc, p);
+                m.assign(acc, acc2);
+            });
+            let ci = m.mul(i, MATRIX_N);
+            let cidx = m.add(ci, j);
+            let cc = m.index_addr(mat_c, i64t, cidx);
+            m.store(cc, acc, i64t);
+        });
+    });
+    // Fold matrix C into the checksum.
+    for_loop(&mut m, 0i64, MATRIX_N * MATRIX_N, |m, k| {
+        let cc = m.index_addr(mat_c, i64t, k);
+        let v = m.load(cc, i64t);
+        let a = m.mul(checksum, 17i64);
+        let b = m.add(a, v);
+        let c = m.rem(b, 1_000_000_007i64);
+        m.assign(checksum, c);
+    });
+
+    // ---- state machine over the tail bytes of the arena.
+    let sm_base = m.index_addr(mat_c, i8t, MATRIX_N * MATRIX_N * 8);
+    for_loop(&mut m, 0i64, 256i64, |m, k| {
+        let v = m.rem(k, 251i64);
+        let cc = m.index_addr(sm_base, i8t, k);
+        m.store(cc, v, i8t);
+    });
+    let state = m.mov(0i64);
+    for_loop(&mut m, 0i64, iters, |m, _| {
+        for_loop(m, 0i64, 256i64, |m, k| {
+            let cc = m.index_addr(sm_base, i8t, k);
+            let c = m.load(cc, i8t);
+            // state transition: mix of shifts and table-free arithmetic
+            // (a CRC-flavoured fold).
+            let s1 = m.mul(state, 33i64);
+            let s2 = m.add(s1, c);
+            let s3 = m.bin(ifp_compiler::BinOp::Xor, s2, k);
+            let s4 = m.rem(s3, 65_521i64);
+            m.assign(state, s4);
+        });
+    });
+
+    let mixed = m.add(checksum, state);
+    m.print_int(mixed);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn coremark_narrowing_is_coarsened_not_failed() {
+        let p = build(2);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        assert_eq!(sub.stats.heap_allocs, 2, "arena + data-pointer table");
+        assert_eq!(
+            sub.stats.promotes.narrow_succeeded, 0,
+            "wrapper allocations carry no layout table"
+        );
+        assert!(
+            sub.stats.promotes.narrow_coarsened > 0,
+            "subobject promotes exist but coarsen to object bounds"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! 458.sjeng (scaled): alpha-beta game-tree search. Two properties from
+//! Table 4 are reproduced: a huge count of *tracked stack objects*
+//! (4.69 × 10⁶ in the paper — a board copy escapes into every recursive
+//! search call) and one large global (the history table) big enough to
+//! fall back to the **global table scheme**.
+//!
+//! The game itself is a simplified deterministic Nim-like position search
+//! on a small board; what matters is the allocation and traversal shape,
+//! not chess.
+
+use crate::util::{for_loop, if_then};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+const BOARD_CELLS: u32 = 16;
+/// 512 i64 entries = 4 KiB: past the 1008-byte local-offset limit, so the
+/// escaping history table registers through the global table scheme.
+const HISTORY_ENTRIES: u32 = 512;
+
+/// Builds sjeng with search depth `scale`.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let depth = scale.clamp(2, 8) as i64;
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let board_ty = pb.types.array(i64t, BOARD_CELLS);
+    let hist_ty = pb.types.array(i64t, HISTORY_ENTRIES);
+    let history_g = pb.global("history_table", hist_ty);
+    // sjeng keeps the position in globals the evaluator reads back.
+    let cur_board_g = pb.global("cur_board", vp);
+
+    // fn hist_bump(table, key) -> new count (history heuristic update).
+    let mut hb = pb.func("hist_bump", 2);
+    let table = hb.param(0);
+    let key = hb.param(1);
+    let idx = hb.rem(key, i64::from(HISTORY_ENTRIES));
+    let cell = hb.index_addr(table, hist_ty, idx);
+    let v = hb.load(cell, i64t);
+    let v1 = hb.add(v, 1i64);
+    hb.store(cell, v1, i64t);
+    hb.ret(Some(Operand::Reg(v1)));
+    pb.finish_func(hb);
+
+    // fn evaluate() -> static score of the board in `cur_board`.
+    let mut ev = pb.func("evaluate", 0);
+    let gb = ev.addr_of_global(cur_board_g);
+    let board = ev.load(gb, vp); // promote of the stack board pointer
+    let score = ev.mov(0i64);
+    for_loop(&mut ev, 0i64, i64::from(BOARD_CELLS), |f, i| {
+        let cell = f.index_addr(board, board_ty, i);
+        let v = f.load(cell, i64t);
+        let w = f.add(i, 1i64);
+        let p = f.mul(v, w);
+        let s1 = f.add(score, p);
+        f.assign(score, s1);
+    });
+    ev.ret(Some(Operand::Reg(score)));
+    pb.finish_func(ev);
+
+    // fn search(board, depth, side, hist) -> negamax score.
+    // Copies the board into a fresh local for each move (the stack-object
+    // storm), applies the move, recurses.
+    let mut se = pb.func("search", 4);
+    let board = se.param(0);
+    let d = se.param(1);
+    let side = se.param(2);
+    let hist = se.param(3);
+    let best = se.mov(-1_000_000i64);
+    let leaf = se.le(d, 0i64);
+    crate::util::if_else(
+        &mut se,
+        leaf,
+        |f| {
+            let gb = f.addr_of_global(cur_board_g);
+            f.store(gb, board, vp);
+            let s = f.call("evaluate", vec![]);
+            let signed = f.mul(s, side);
+            f.assign(best, signed);
+        },
+        |f| {
+            // Moves: take 1..=3 stones from the first non-empty cell and
+            // from a cell indexed by the history heuristic.
+            for take in 1..=3i64 {
+                // A board copy per move candidate: this alloca escapes
+                // through the recursive call.
+                let copy = f.alloca(board_ty);
+                for_loop(f, 0i64, i64::from(BOARD_CELLS), |f, i| {
+                    let src = f.index_addr(board, board_ty, i);
+                    let v = f.load(src, i64t);
+                    let dst = f.index_addr(copy, board_ty, i);
+                    f.store(dst, v, i64t);
+                });
+                // Apply: find first cell holding >= take and reduce it.
+                let applied = f.mov(0i64);
+                for_loop(f, 0i64, i64::from(BOARD_CELLS), |f, i| {
+                    let fresh = f.eq(applied, 0i64);
+                    if_then(f, fresh, |f| {
+                        let cell = f.index_addr(copy, board_ty, i);
+                        let v = f.load(cell, i64t);
+                        let enough = f.le(take, v);
+                        if_then(f, enough, |f| {
+                            let v1 = f.sub(v, take);
+                            f.store(cell, v1, i64t);
+                            f.assign(applied, 1i64);
+                            // History update keyed on (cell, take).
+                            let k0 = f.mul(i, 4i64);
+                            let key = f.add(k0, take);
+                            f.call_void(
+                                "hist_bump",
+                                vec![Operand::Reg(hist), Operand::Reg(key)],
+                            );
+                        });
+                    });
+                });
+                let moved = f.ne(applied, 0i64);
+                if_then(f, moved, |f| {
+                    let d1 = f.sub(d, 1i64);
+                    let flipped = f.sub(0i64, side);
+                    let sub = f.call(
+                        "search",
+                        vec![
+                            Operand::Reg(copy),
+                            Operand::Reg(d1),
+                            Operand::Reg(flipped),
+                            Operand::Reg(hist),
+                        ],
+                    );
+                    let neg = f.sub(0i64, sub);
+                    let better = f.lt(best, neg);
+                    if_then(f, better, |f| {
+                        f.assign(best, neg);
+                    });
+                });
+            }
+        },
+    );
+    se.ret(Some(Operand::Reg(best)));
+    pb.finish_func(se);
+
+    let mut m = pb.func("main", 0);
+    let hist = m.addr_of_global(history_g);
+    let board = m.alloca(board_ty);
+    for_loop(&mut m, 0i64, i64::from(BOARD_CELLS), |f, i| {
+        let cell = f.index_addr(board, board_ty, i);
+        let v0 = f.mul(i, 3i64);
+        let v = f.rem(v0, 7i64);
+        f.store(cell, v, i64t);
+    });
+    let score = m.call(
+        "search",
+        vec![
+            Operand::Reg(board),
+            Operand::Imm(depth),
+            Operand::Imm(1),
+            Operand::Reg(hist),
+        ],
+    );
+    // Fold part of the history table into the output so the global is
+    // load-bearing.
+    let fold = m.mov(0i64);
+    for_loop(&mut m, 0i64, i64::from(HISTORY_ENTRIES), |f, i| {
+        let cell = f.index_addr(hist, hist_ty, i);
+        let v = f.load(cell, i64t);
+        let a = f.mul(fold, 7i64);
+        let b = f.add(a, v);
+        let c = f.rem(b, 1_000_000_007i64);
+        f.assign(fold, c);
+    });
+    m.print_int(score);
+    m.print_int(fold);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn sjeng_search_is_mode_independent() {
+        let p = build(3);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        assert!(
+            sub.stats.stack_objects.objects > 10,
+            "board copies are tracked locals"
+        );
+        assert_eq!(
+            sub.stats.global_objects.objects, 1,
+            "history table registered (global table scheme)"
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! WolfCrypt's Diffie–Hellman benchmark (scaled): two parties derive a
+//! shared secret via modular exponentiation over a multi-limb bignum
+//! implemented from scratch (30-bit limbs, shift-and-add `mulmod`, square
+//! -and-multiply `modexp`).
+//!
+//! Like the original — which funnels all allocation through wolfSSL's
+//! `XMALLOC` wrapper invoked via function pointers — every bignum buffer
+//! is allocated `via_wrapper`, so none carry layout tables (§5.2.1).
+
+use crate::util::{for_loop, if_then};
+use ifp_compiler::{BinOp, Operand, Program, ProgramBuilder, Reg, FnBuilder};
+
+/// Limbs per bignum (30 bits each). The modulus occupies only three
+/// limbs (90 bits); the fourth limb gives intermediate sums below `2p`
+/// headroom so no carry is ever lost.
+const LIMBS: i64 = 4;
+const LIMB_BITS: i64 = 30;
+const LIMB_MASK: i64 = (1 << LIMB_BITS) - 1;
+
+/// Builds wolfcrypt-dh with `8 * scale`-bit exponents.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let exp_bits = (i64::from(scale.max(2)) * 8).min(LIMBS * LIMB_BITS);
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    // wolfSSL-style mp_int: the limb array hangs off a struct and is
+    // re-loaded (and therefore promoted) on every use.
+    let mp = pb.types.struct_type("MpInt", &[("used", i64t), ("dp", vp)]);
+
+    // The modulus: a fixed odd 90-bit value (primality is irrelevant to
+    // the algebraic identity (g^a)^b = (g^b)^a mod p).
+    let p_limbs: [i64; 4] = [
+        0x2b5a_9d37 & LIMB_MASK,
+        0x17c6_a3b1,
+        0x3f58_21e5 & LIMB_MASK,
+        0,
+    ];
+
+    // ---- helpers -----------------------------------------------------
+
+    // fn big_cmp(a, b) -> -1 / 0 / 1
+    let mut f = pb.func("big_cmp", 2);
+    let a = f.load_field(f.param(0), mp, 1, vp);
+    let b = f.load_field(f.param(1), mp, 1, vp);
+    let out = f.mov(0i64);
+    for i in (0..LIMBS).rev() {
+        let undecided = f.eq(out, 0i64);
+        if_then(&mut f, undecided, |f| {
+            let ca = f.index_addr(a, i64t, i);
+            let va = f.load(ca, i64t);
+            let cb = f.index_addr(b, i64t, i);
+            let vb = f.load(cb, i64t);
+            let lt = f.lt(va, vb);
+            if_then(f, lt, |f| f.assign(out, -1i64));
+            let gt = f.lt(vb, va);
+            if_then(f, gt, |f| f.assign(out, 1i64));
+        });
+    }
+    f.ret(Some(Operand::Reg(out)));
+    pb.finish_func(f);
+
+    // fn big_add(dst, a, b): dst = a + b (carry-propagating; aliasing ok).
+    let mut f = pb.func("big_add", 3);
+    let dst = f.load_field(f.param(0), mp, 1, vp);
+    let a = f.load_field(f.param(1), mp, 1, vp);
+    let b = f.load_field(f.param(2), mp, 1, vp);
+    let carry = f.mov(0i64);
+    for_loop(&mut f, 0i64, LIMBS, |f, i| {
+        let ca = f.index_addr(a, i64t, i);
+        let va = f.load(ca, i64t);
+        let cb = f.index_addr(b, i64t, i);
+        let vb = f.load(cb, i64t);
+        let s0 = f.add(va, vb);
+        let s = f.add(s0, carry);
+        let lo = f.bin(BinOp::And, s, LIMB_MASK);
+        let hi = f.bin(BinOp::Shr, s, LIMB_BITS);
+        let cd = f.index_addr(dst, i64t, i);
+        f.store(cd, lo, i64t);
+        f.assign(carry, hi);
+    });
+    f.ret(None);
+    pb.finish_func(f);
+
+    // fn big_sub(dst, a, b): dst = a - b, requires a >= b.
+    let mut f = pb.func("big_sub", 3);
+    let dst = f.load_field(f.param(0), mp, 1, vp);
+    let a = f.load_field(f.param(1), mp, 1, vp);
+    let b = f.load_field(f.param(2), mp, 1, vp);
+    let borrow = f.mov(0i64);
+    for_loop(&mut f, 0i64, LIMBS, |f, i| {
+        let ca = f.index_addr(a, i64t, i);
+        let va = f.load(ca, i64t);
+        let cb = f.index_addr(b, i64t, i);
+        let vb = f.load(cb, i64t);
+        let d0 = f.sub(va, vb);
+        let d = f.sub(d0, borrow);
+        let neg = f.lt(d, 0i64);
+        let fixed = crate::util::select(f, neg, 1i64 << LIMB_BITS, 0i64);
+        let d2 = f.add(d, fixed);
+        let cd = f.index_addr(dst, i64t, i);
+        f.store(cd, d2, i64t);
+        let nb = f.ne(fixed, 0i64);
+        f.assign(borrow, nb);
+    });
+    f.ret(None);
+    pb.finish_func(f);
+
+    // fn big_mod_p(x, p): x -= p while x >= p (inputs are < 2p).
+    let mut f = pb.func("big_mod_p", 2);
+    let x = f.param(0);
+    let p = f.param(1);
+    let c = f.call("big_cmp", vec![Operand::Reg(x), Operand::Reg(p)]);
+    let ge = f.le(0i64, c);
+    if_then(&mut f, ge, |f| {
+        f.call_void("big_sub", vec![Operand::Reg(x), Operand::Reg(x), Operand::Reg(p)]);
+    });
+    f.ret(None);
+    pb.finish_func(f);
+
+    // fn big_bit(x, bit) -> 0/1
+    let mut f = pb.func("big_bit", 2);
+    let x = f.load_field(f.param(0), mp, 1, vp);
+    let bit = f.param(1);
+    let limb = f.div(bit, LIMB_BITS);
+    let off = f.rem(bit, LIMB_BITS);
+    let cell = f.index_addr(x, i64t, limb);
+    let v = f.load(cell, i64t);
+    let sh = f.bin(BinOp::Shr, v, off);
+    let r = f.bin(BinOp::And, sh, 1i64);
+    f.ret(Some(Operand::Reg(r)));
+    pb.finish_func(f);
+
+    // fn big_mulmod(dst, a, b, p): dst = a * b mod p (shift-and-add over
+    // b's bits from high to low; dst must be distinct from a and b).
+    let mut f = pb.func("big_mulmod", 4);
+    let dst = f.param(0);
+    let a = f.param(1);
+    let b = f.param(2);
+    let p = f.param(3);
+    {
+        let dp = f.load_field(dst, mp, 1, vp);
+        for i in 0..LIMBS {
+            let cd = f.index_addr(dp, i64t, i);
+            f.store(cd, 0i64, i64t);
+        }
+    }
+    let bit = f.mov(LIMBS * LIMB_BITS - 1);
+    crate::util::while_loop(
+        &mut f,
+        |f| f.le(0i64, bit),
+        |f| {
+            // dst = 2*dst mod p
+            f.call_void(
+                "big_add",
+                vec![Operand::Reg(dst), Operand::Reg(dst), Operand::Reg(dst)],
+            );
+            f.call_void("big_mod_p", vec![Operand::Reg(dst), Operand::Reg(p)]);
+            let bv = f.call("big_bit", vec![Operand::Reg(b), Operand::Reg(bit)]);
+            let set = f.ne(bv, 0i64);
+            if_then(f, set, |f| {
+                f.call_void(
+                    "big_add",
+                    vec![Operand::Reg(dst), Operand::Reg(dst), Operand::Reg(a)],
+                );
+                f.call_void("big_mod_p", vec![Operand::Reg(dst), Operand::Reg(p)]);
+            });
+            let b1 = f.sub(bit, 1i64);
+            f.assign(bit, b1);
+        },
+    );
+    f.ret(None);
+    pb.finish_func(f);
+
+    // fn big_modexp(dst, base, exp, p, t): dst = base^exp mod p.
+    // `t` is caller-provided scratch; exponent bits above `exp_bits` are
+    // zero by construction.
+    let mut f = pb.func("big_modexp", 5);
+    let dst = f.param(0);
+    let base = f.param(1);
+    let exp = f.param(2);
+    let p = f.param(3);
+    let t = f.param(4);
+    // dst = 1
+    {
+        let dp = f.load_field(dst, mp, 1, vp);
+        for i in 0..LIMBS {
+            let cd = f.index_addr(dp, i64t, i);
+            let v = if i == 0 { 1i64 } else { 0i64 };
+            f.store(cd, v, i64t);
+        }
+    }
+    let bit = f.mov(exp_bits - 1);
+    crate::util::while_loop(
+        &mut f,
+        |f| f.le(0i64, bit),
+        |f| {
+            // t = dst^2 mod p; dst = t
+            f.call_void(
+                "big_mulmod",
+                vec![
+                    Operand::Reg(t),
+                    Operand::Reg(dst),
+                    Operand::Reg(dst),
+                    Operand::Reg(p),
+                ],
+            );
+            copy_big(f, dst, t, mp, vp, i64t);
+            let bv = f.call("big_bit", vec![Operand::Reg(exp), Operand::Reg(bit)]);
+            let set = f.ne(bv, 0i64);
+            if_then(f, set, |f| {
+                f.call_void(
+                    "big_mulmod",
+                    vec![
+                        Operand::Reg(t),
+                        Operand::Reg(dst),
+                        Operand::Reg(base),
+                        Operand::Reg(p),
+                    ],
+                );
+                copy_big(f, dst, t, mp, vp, i64t);
+            });
+            let b1 = f.sub(bit, 1i64);
+            f.assign(bit, b1);
+        },
+    );
+    f.ret(None);
+    pb.finish_func(f);
+
+    // ---- main: the key exchange ---------------------------------------
+    let mut m = pb.func("main", 0);
+    // XMALLOC-style wrapper allocation of both the struct and its limbs.
+    let alloc_big = |m: &mut FnBuilder| {
+        let s = m.malloc_via_wrapper(mp, 1i64);
+        let limbs = m.malloc_via_wrapper(i64t, LIMBS);
+        m.store_field(s, mp, 0, LIMBS, i64t);
+        m.store_field(s, mp, 1, limbs, vp);
+        s
+    };
+    let p = alloc_big(&mut m);
+    {
+        let dp = m.load_field(p, mp, 1, vp);
+        for (i, limb) in p_limbs.iter().enumerate() {
+            let cell = m.index_addr(dp, i64t, i as i64);
+            m.store(cell, *limb, i64t);
+        }
+    }
+    let g = alloc_big(&mut m);
+    set_small(&mut m, g, 5, mp, vp, i64t);
+    // Private exponents (deterministic, masked to exp_bits).
+    let a_exp = alloc_big(&mut m);
+    let b_exp = alloc_big(&mut m);
+    fill_exp(&mut m, a_exp, 0x5DEE_CE66_D935_25i64, exp_bits, mp, vp, i64t);
+    fill_exp(&mut m, b_exp, 0x2545_F491_4F6C_DDi64, exp_bits, mp, vp, i64t);
+
+    let scratch = alloc_big(&mut m);
+    let pub_a = alloc_big(&mut m);
+    let pub_b = alloc_big(&mut m);
+    let sec_a = alloc_big(&mut m);
+    let sec_b = alloc_big(&mut m);
+
+    // A = g^a mod p; B = g^b mod p.
+    m.call_void(
+        "big_modexp",
+        vec![pub_a.into(), g.into(), a_exp.into(), p.into(), scratch.into()],
+    );
+    m.call_void(
+        "big_modexp",
+        vec![pub_b.into(), g.into(), b_exp.into(), p.into(), scratch.into()],
+    );
+    // secret_A = B^a; secret_B = A^b.
+    m.call_void(
+        "big_modexp",
+        vec![sec_a.into(), pub_b.into(), a_exp.into(), p.into(), scratch.into()],
+    );
+    m.call_void(
+        "big_modexp",
+        vec![sec_b.into(), pub_a.into(), b_exp.into(), p.into(), scratch.into()],
+    );
+    // The secrets must agree; print a fold + the agreement flag.
+    let agree = m.call("big_cmp", vec![sec_a.into(), sec_b.into()]);
+    let fold = m.mov(0i64);
+    let sec_dp = m.load_field(sec_a, mp, 1, vp);
+    for i in 0..LIMBS {
+        let cell = m.index_addr(sec_dp, i64t, i);
+        let v = m.load(cell, i64t);
+        let x = m.mul(fold, 1_000_003i64);
+        let y = m.add(x, v);
+        let z = m.rem(y, 1_000_000_007i64);
+        m.assign(fold, z);
+    }
+    m.print_int(agree);
+    m.print_int(fold);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+/// Emits a limb-wise copy (unrolled) between mp_int structs.
+fn copy_big(
+    f: &mut FnBuilder,
+    dst: Reg,
+    src: Reg,
+    mp: ifp_compiler::TypeId,
+    vp: ifp_compiler::TypeId,
+    i64t: ifp_compiler::TypeId,
+) {
+    let dp = f.load_field(dst, mp, 1, vp);
+    let sp = f.load_field(src, mp, 1, vp);
+    for i in 0..LIMBS {
+        let cs = f.index_addr(sp, i64t, i);
+        let v = f.load(cs, i64t);
+        let cd = f.index_addr(dp, i64t, i);
+        f.store(cd, v, i64t);
+    }
+}
+
+/// Emits `x = small` (single small value into limb 0).
+fn set_small(
+    f: &mut FnBuilder,
+    x: Reg,
+    v: i64,
+    mp: ifp_compiler::TypeId,
+    vp: ifp_compiler::TypeId,
+    i64t: ifp_compiler::TypeId,
+) {
+    let dp = f.load_field(x, mp, 1, vp);
+    for i in 0..LIMBS {
+        let cell = f.index_addr(dp, i64t, i);
+        let val = if i == 0 { v } else { 0 };
+        f.store(cell, val, i64t);
+    }
+}
+
+/// Emits the exponent limbs from a 64-bit seed masked to `bits`.
+#[allow(clippy::too_many_arguments)]
+fn fill_exp(
+    f: &mut FnBuilder,
+    x: Reg,
+    seed: i64,
+    bits: i64,
+    mp: ifp_compiler::TypeId,
+    vp: ifp_compiler::TypeId,
+    i64t: ifp_compiler::TypeId,
+) {
+    let dp = f.load_field(x, mp, 1, vp);
+    let masked = if bits >= 63 { seed } else { seed & ((1 << bits) - 1) };
+    for i in 0..LIMBS {
+        let shift = i * LIMB_BITS;
+        let limb = if shift >= 63 {
+            0
+        } else {
+            (masked >> shift) & LIMB_MASK
+        };
+        // Ensure the top requested bit is set so the exponent really has
+        // `bits` bits (keeps the work deterministic in the scale).
+        let limb = if i64::from((i * LIMB_BITS) <= bits - 1 && bits - 1 < (i + 1) * LIMB_BITS) == 1
+        {
+            limb | (1 << ((bits - 1) % LIMB_BITS))
+        } else {
+            limb
+        };
+        let cell = f.index_addr(dp, i64t, i);
+        f.store(cell, limb, i64t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn dh_secrets_agree_in_every_mode() {
+        let p = build(3);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        assert_eq!(base.output[0], 0, "shared secrets must be equal");
+        let w = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped)),
+        )
+        .unwrap();
+        assert_eq!(base.output, w.output);
+        assert_eq!(
+            w.stats.heap_objects.with_layout_table, 0,
+            "wrapper allocations carry no layout tables"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! PtrDist `anagram`: finds anagram pairs in a word list. Reproduces the
+//! paper's legacy-libc interaction: character classification goes through
+//! the `__ctype_b_loc` pattern — an external call returns a legacy pointer
+//! to a static traits table, the pointer is stored and re-loaded around
+//! calls, and every promote of it bypasses metadata lookup (the "almost
+//! all such promotes encounter pointers from legacy code" case of §5.2.1).
+
+use crate::util::{for_loop, if_then, while_loop};
+use ifp_compiler::{ExtFunc, Operand, Program, ProgramBuilder};
+
+/// Deterministic synthetic dictionary: `count` words over a small
+/// alphabet, space separated, NUL terminated. Several anagram pairs are
+/// guaranteed by construction (rotations of the same letters).
+fn dictionary(count: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut state = 0x1234_5678u64;
+    let mut prev: Vec<u8> = Vec::new();
+    for i in 0..count {
+        let word: Vec<u8> = if i % 3 == 2 && !prev.is_empty() {
+            // Every third word is a rotation of the previous: an anagram.
+            let mut w = prev.clone();
+            w.rotate_left(1);
+            w
+        } else {
+            let len = 3 + (i % 5) as usize;
+            (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    b'a' + ((state >> 33) % 9) as u8
+                })
+                .collect()
+        };
+        out.extend_from_slice(&word);
+        out.push(b' ');
+        prev = word;
+    }
+    out.push(0);
+    out
+}
+
+/// Builds anagram over a `scale`-word dictionary.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let words = scale.max(6);
+    let dict = dictionary(words);
+    let dict_len = dict.len() as i64;
+    let max_words = words as i64;
+
+    let mut pb = ProgramBuilder::new();
+    let i8t = pb.types.int8();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let dict_ty = pb.types.array(i8t, dict.len() as u32);
+    let dict_g = pb.global_init("dictionary", dict_ty, dict);
+    let sig = pb.types.array(i64t, 26);
+
+    // fn letter_sig(text, start, end, out_sig: i64[26]*) -> classified count.
+    // Uses isalpha via the ctype table like the original's inner loop.
+    let mut ls = pb.func("letter_sig", 4);
+    let text = ls.param(0);
+    let start = ls.param(1);
+    let end = ls.param(2);
+    let out_sig = ls.param(3);
+    // Zero the signature.
+    for_loop(&mut ls, 0i64, 26i64, |f, k| {
+        let cell = f.index_addr(out_sig, sig, k);
+        f.store(cell, 0i64, i64t);
+    });
+    let count = ls.mov(0i64);
+    // __ctype_b_loc(): a legacy pointer, stored then reloaded per char.
+    let table_cell = ls.alloca(vp);
+    let table0 = ls.call_ext(ExtFunc::CtypeTable, vec![]);
+    ls.store(table_cell, table0, vp);
+    let i = ls.mov(start);
+    while_loop(
+        &mut ls,
+        |f| f.lt(i, end),
+        |f| {
+            let cp = f.index_addr(text, i8t, i);
+            let c = f.load(cp, i8t);
+            // isalpha(c): load the traits pointer (legacy promote bypass),
+            // index the table.
+            let table = f.load(table_cell, vp);
+            let tp = f.index_addr(table, i8t, c);
+            let traits = f.load(tp, i8t);
+            let alpha = f.bin(ifp_compiler::BinOp::And, traits, 1i64);
+            let yes = f.ne(alpha, 0i64);
+            if_then(f, yes, |f| {
+                let idx = f.sub(c, i64::from(b'a'));
+                let cell = f.index_addr(out_sig, sig, idx);
+                let v = f.load(cell, i64t);
+                let v1 = f.add(v, 1i64);
+                f.store(cell, v1, i64t);
+                let c1 = f.add(count, 1i64);
+                f.assign(count, c1);
+            });
+            let i1 = f.add(i, 1i64);
+            f.assign(i, i1);
+        },
+    );
+    ls.ret(Some(Operand::Reg(count)));
+    pb.finish_func(ls);
+
+    // fn sig_eq(a, b) -> 1 if signatures match.
+    let mut se = pb.func("sig_eq", 2);
+    let a = se.param(0);
+    let b = se.param(1);
+    let same = se.mov(1i64);
+    for_loop(&mut se, 0i64, 26i64, |f, k| {
+        let ca = f.index_addr(a, sig, k);
+        let cb = f.index_addr(b, sig, k);
+        let va = f.load(ca, i64t);
+        let vb = f.load(cb, i64t);
+        let eq = f.eq(va, vb);
+        let s2 = f.mul(same, eq);
+        f.assign(same, s2);
+    });
+    se.ret(Some(Operand::Reg(same)));
+    pb.finish_func(se);
+
+    let mut m = pb.func("main", 0);
+    let text = m.addr_of_global(dict_g);
+    // Word boundaries: starts[i], ends[i].
+    let starts = m.malloc_n(i64t, max_words);
+    let ends = m.malloc_n(i64t, max_words);
+    let nwords = m.mov(0i64);
+    let pos = m.mov(0i64);
+    while_loop(
+        &mut m,
+        |f| {
+            let in_range = f.lt(pos, dict_len);
+            let cp = f.index_addr(text, dict_ty, pos);
+            let c = f.load(cp, i8t);
+            let nz = f.ne(c, 0i64);
+            f.mul(in_range, nz)
+        },
+        |f| {
+            let s_cell = f.index_addr(starts, i64t, nwords);
+            f.store(s_cell, pos, i64t);
+            // advance to the next space
+            while_loop(
+                f,
+                |f| {
+                    let cp = f.index_addr(text, dict_ty, pos);
+                    let c = f.load(cp, i8t);
+                    f.ne(c, i64::from(b' '))
+                },
+                |f| {
+                    let p1 = f.add(pos, 1i64);
+                    f.assign(pos, p1);
+                },
+            );
+            let e_cell = f.index_addr(ends, i64t, nwords);
+            f.store(e_cell, pos, i64t);
+            let n1 = f.add(nwords, 1i64);
+            f.assign(nwords, n1);
+            let p1 = f.add(pos, 1i64);
+            f.assign(pos, p1);
+        },
+    );
+
+    // Signatures: one 26-long array per word (heap).
+    let sigs = m.malloc_n(vp, max_words);
+    for_loop(&mut m, 0i64, nwords, |f, w| {
+        let sg = f.malloc(sig);
+        let s_cell = f.index_addr(starts, i64t, w);
+        let e_cell = f.index_addr(ends, i64t, w);
+        let s = f.load(s_cell, i64t);
+        let e = f.load(e_cell, i64t);
+        f.call_void(
+            "letter_sig",
+            vec![
+                Operand::Reg(text),
+                Operand::Reg(s),
+                Operand::Reg(e),
+                Operand::Reg(sg),
+            ],
+        );
+        let cell = f.index_addr(sigs, vp, w);
+        f.store(cell, sg, vp);
+    });
+
+    // Count anagram pairs (equal signature, same length).
+    let pairs = m.mov(0i64);
+    for_loop(&mut m, 0i64, nwords, |f, a| {
+        let a1 = f.add(a, 1i64);
+        for_loop(f, a1, nwords, |f, b| {
+            let ca = f.index_addr(sigs, vp, a);
+            let cb = f.index_addr(sigs, vp, b);
+            let sa = f.load(ca, vp);
+            let sb = f.load(cb, vp);
+            let eq = f.call("sig_eq", vec![Operand::Reg(sa), Operand::Reg(sb)]);
+            let p1 = f.add(pairs, eq);
+            f.assign(pairs, p1);
+        });
+    });
+    m.print_int(nwords);
+    m.print_int(pairs);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn anagram_finds_pairs_and_bypasses_on_legacy_pointers() {
+        let p = build(12);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let w = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped)),
+        )
+        .unwrap();
+        assert_eq!(base.output, w.output);
+        assert!(base.output[1] >= 1, "rotated words are anagrams");
+        assert!(
+            w.stats.promotes.legacy_bypass > 0,
+            "ctype loads bypass metadata lookup"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! PtrDist `ft`: minimum spanning tree over a random graph using a
+//! pointer-based priority heap (the original uses Fibonacci heaps). The
+//! vertex records, adjacency entries and heap nodes are separate small
+//! heap objects scattered by allocation order, which is what produces the
+//! paper's §5.2.2 cache-thrashing under the wrapped allocator (≈1 L1 miss
+//! every 6 instructions at full input size).
+
+use crate::util::{for_loop, if_then, rand, rand_state, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+const EDGES_PER_VERTEX: i64 = 4;
+
+/// Builds ft over `scale` vertices.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let n = scale.max(16) as i64;
+    let mut pb = ProgramBuilder::new();
+    crate::util::add_rand_fn(&mut pb);
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let vertex = pb.types.struct_type(
+        "FtVertex",
+        &[("key", i64t), ("in_mst", i64t), ("adj", vp)],
+    );
+    let adj = pb
+        .types
+        .struct_type("FtEdge", &[("to", i64t), ("weight", i64t), ("next", vp)]);
+    // Pairing-heap-ish node: (vertex index, key) with child/sibling links.
+    let heap_node = pb.types.struct_type(
+        "FtHeapNode",
+        &[("vertex", i64t), ("key", i64t), ("next", vp)],
+    );
+
+    // fn heap_push(head_cell, vertex, key): sorted insert into a list-heap
+    // (the pointer-chasing stand-in for the Fibonacci heap).
+    let mut hp = pb.func("heap_push", 3);
+    let head_cell = hp.param(0);
+    let v = hp.param(1);
+    let key = hp.param(2);
+    let node = hp.malloc(heap_node);
+    hp.store_field(node, heap_node, 0, v, i64t);
+    hp.store_field(node, heap_node, 1, key, i64t);
+    // Find insertion point.
+    let prev_cell = hp.mov(head_cell);
+    let cur = hp.load(head_cell, vp);
+    while_loop(
+        &mut hp,
+        |f| {
+            let nn = f.ne(cur, 0i64);
+            let le = f.mov(0i64);
+            if_then(f, nn, |f| {
+                let ck = f.load_field(cur, heap_node, 1, i64t);
+                let less = f.lt(ck, key);
+                f.assign(le, less);
+            });
+            f.mul(nn, le)
+        },
+        |f| {
+            let na = f.field_addr(cur, heap_node, 2);
+            f.assign(prev_cell, na);
+            let nx = f.load_field(cur, heap_node, 2, vp);
+            f.assign(cur, nx);
+        },
+    );
+    hp.store_field(node, heap_node, 2, cur, vp);
+    hp.store(prev_cell, node, vp);
+    hp.ret(None);
+    pb.finish_func(hp);
+
+    // fn heap_pop(head_cell) -> vertex index (or -1), frees the node.
+    let mut hq = pb.func("heap_pop", 1);
+    let head_cell = hq.param(0);
+    let out = hq.mov(-1i64);
+    let head = hq.load(head_cell, vp);
+    let nn = hq.ne(head, 0i64);
+    if_then(&mut hq, nn, |f| {
+        let v = f.load_field(head, heap_node, 0, i64t);
+        let nx = f.load_field(head, heap_node, 2, vp);
+        f.store(head_cell, nx, vp);
+        f.free(head);
+        f.assign(out, v);
+    });
+    hq.ret(Some(Operand::Reg(out)));
+    pb.finish_func(hq);
+
+    let mut m = pb.func("main", 0);
+    let rng = rand_state(&mut m, i64t, 0xf7);
+    // Vertex pointer table.
+    let vtab = m.malloc_n(vp, n);
+    for_loop(&mut m, 0i64, n, |m, i| {
+        let v = m.malloc(vertex);
+        m.store_field(v, vertex, 0, i64::MAX / 4, i64t);
+        m.store_field(v, vertex, 1, 0i64, i64t);
+        m.store_field(v, vertex, 2, 0i64, vp);
+        let cell = m.index_addr(vtab, vp, i);
+        m.store(cell, v, vp);
+    });
+    // Random edges (made symmetric by adding both directions), plus a
+    // ring to guarantee connectivity.
+    for_loop(&mut m, 0i64, n, |m, i| {
+        for_loop(m, 0i64, EDGES_PER_VERTEX, |m, k| {
+            let r = rand(m, rng);
+            let j = m.rem(r, n);
+            let w0 = rand(m, rng);
+            let w = m.rem(w0, 1000i64);
+            let is_ring = m.eq(k, 0i64);
+            let ip1 = m.add(i, 1i64);
+            let ring_j = m.rem(ip1, n);
+            let to = crate::util::select(m, is_ring, ring_j, j);
+            let skip = m.eq(to, i);
+            let ok = m.eq(skip, 0i64);
+            if_then(m, ok, |m| {
+                for (from, dest) in [(i, to), (to, i)] {
+                    let e = m.malloc(adj);
+                    m.store_field(e, adj, 0, dest, i64t);
+                    m.store_field(e, adj, 1, w, i64t);
+                    let fc = m.index_addr(vtab, vp, from);
+                    let fv = m.load(fc, vp);
+                    let old = m.load_field(fv, vertex, 2, vp);
+                    m.store_field(e, adj, 2, old, vp);
+                    m.store_field(fv, vertex, 2, e, vp);
+                }
+            });
+        });
+    });
+
+    // Prim with the list-heap.
+    let heap_cell = m.alloca(vp);
+    m.store(heap_cell, 0i64, vp);
+    {
+        let c0 = m.index_addr(vtab, vp, 0i64);
+        let v0 = m.load(c0, vp);
+        m.store_field(v0, vertex, 0, 0i64, i64t);
+    }
+    m.call_void(
+        "heap_push",
+        vec![Operand::Reg(heap_cell), Operand::Imm(0), Operand::Imm(0)],
+    );
+    let total = m.mov(0i64);
+    while_loop(
+        &mut m,
+        |f| {
+            let h = f.load(heap_cell, vp);
+            f.ne(h, 0i64)
+        },
+        |f| {
+            let vi = f.call("heap_pop", vec![Operand::Reg(heap_cell)]);
+            let vc = f.index_addr(vtab, vp, vi);
+            let v = f.load(vc, vp);
+            let already = f.load_field(v, vertex, 1, i64t);
+            let fresh = f.eq(already, 0i64);
+            if_then(f, fresh, |f| {
+                f.store_field(v, vertex, 1, 1i64, i64t);
+                let key = f.load_field(v, vertex, 0, i64t);
+                let t1 = f.add(total, key);
+                f.assign(total, t1);
+                // Relax neighbours.
+                let e = f.load_field(v, vertex, 2, vp);
+                let cur = f.mov(e);
+                while_loop(
+                    f,
+                    |f| f.ne(cur, 0i64),
+                    |f| {
+                        let to = f.load_field(cur, adj, 0, i64t);
+                        let w = f.load_field(cur, adj, 1, i64t);
+                        let tc = f.index_addr(vtab, vp, to);
+                        let tv = f.load(tc, vp);
+                        let tin = f.load_field(tv, vertex, 1, i64t);
+                        let out = f.eq(tin, 0i64);
+                        if_then(f, out, |f| {
+                            let tk = f.load_field(tv, vertex, 0, i64t);
+                            let better = f.lt(w, tk);
+                            if_then(f, better, |f| {
+                                f.store_field(tv, vertex, 0, w, i64t);
+                                f.call_void(
+                                    "heap_push",
+                                    vec![
+                                        Operand::Reg(heap_cell),
+                                        Operand::Reg(to),
+                                        Operand::Reg(w),
+                                    ],
+                                );
+                            });
+                        });
+                        let nx = f.load_field(cur, adj, 2, vp);
+                        f.assign(cur, nx);
+                    },
+                );
+            });
+        },
+    );
+    m.print_int(total);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn ft_mst_weight_is_mode_independent() {
+        let p = build(24);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        assert!(base.output[0] > 0);
+    }
+}

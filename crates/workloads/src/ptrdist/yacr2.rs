@@ -1,0 +1,163 @@
+//! PtrDist `yacr2`: VLSI channel routing. Nets span column intervals of a
+//! channel; the router assigns each net to a horizontal track such that
+//! nets sharing a track never overlap, processing nets in left-edge order.
+//! The program is array-heavy — terminal arrays, track occupancy arrays —
+//! with dynamic indices throughout (the paper's yacr2 embeds its input
+//! data directly in the program, which we mirror with generated globals).
+
+use crate::util::{for_loop, if_then, while_loop};
+use ifp_compiler::{Operand, Program, ProgramBuilder};
+
+/// Builds yacr2 with `scale` nets over a `4 * scale`-column channel.
+#[must_use]
+pub fn build(scale: u32) -> Program {
+    let nnets = scale.max(8) as i64;
+    let cols = nnets * 4;
+    // Input data generated at build time (the "embedded input file").
+    let mut starts = Vec::new();
+    let mut ends = Vec::new();
+    let mut state = 0xabcdu64;
+    for _ in 0..nnets {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (state >> 33) % (cols as u64 - 2);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let len = 1 + (state >> 33) % 8;
+        let b = (a + len).min(cols as u64 - 1);
+        starts.push(a as i64);
+        ends.push(b as i64);
+    }
+    let mut net_bytes = Vec::new();
+    for i in 0..nnets as usize {
+        net_bytes.extend_from_slice(&starts[i].to_le_bytes());
+        net_bytes.extend_from_slice(&ends[i].to_le_bytes());
+    }
+
+    let mut pb = ProgramBuilder::new();
+    let i64t = pb.types.int64();
+    let vp = pb.types.void_ptr();
+    let pairs = pb.types.array(i64t, (nnets * 2) as u32);
+    let input_g = pb.global_init("net_terminals", pairs, net_bytes);
+    // The router keeps its channel description in a global the accessors
+    // re-load (yacr2's `channelNets`/`netsAssign` globals).
+    let nets_cell_g = pb.global("channel_nets", vp);
+
+    // fn interval(i, which) -> start (which=0) or end (which=1) of net i,
+    // through the channel-description global.
+    let mut iv = pb.func("interval", 2);
+    let i = iv.param(0);
+    let which = iv.param(1);
+    let gc = iv.addr_of_global(nets_cell_g);
+    let nets = iv.load(gc, vp);
+    let idx0 = iv.mul(i, 2i64);
+    let idx = iv.add(idx0, which);
+    let cell = iv.index_addr(nets, pairs, idx);
+    let v = iv.load(cell, i64t);
+    iv.ret(Some(Operand::Reg(v)));
+    pb.finish_func(iv);
+
+    let mut m = pb.func("main", 0);
+    let nets = m.addr_of_global(input_g);
+    let gc = m.addr_of_global(nets_cell_g);
+    m.store(gc, nets, vp);
+    // track_of[net]; track_end[track] = rightmost column used so far.
+    let track_of = m.malloc_n(i64t, nnets);
+    let track_end = m.malloc_n(i64t, nnets); // at most nnets tracks
+    for_loop(&mut m, 0i64, nnets, |m, t| {
+        let cell = m.index_addr(track_end, i64t, t);
+        m.store(cell, -1i64, i64t);
+    });
+    let tracks_used = m.mov(0i64);
+
+    // Process nets in left-edge order: selection loop over unplaced nets.
+    let placed = m.malloc_n(i64t, nnets);
+    m.memset(placed, 0i64, nnets * 8);
+    for_loop(&mut m, 0i64, nnets, |m, _round| {
+        // Find the unplaced net with the smallest start column.
+        let best = m.mov(-1i64);
+        let best_start = m.mov(i64::MAX / 2);
+        for_loop(m, 0i64, nnets, |m, i| {
+            let pc = m.index_addr(placed, i64t, i);
+            let p = m.load(pc, i64t);
+            let free = m.eq(p, 0i64);
+            if_then(m, free, |m| {
+                let s = m.call("interval", vec![Operand::Reg(i), Operand::Imm(0)]);
+                let better = m.lt(s, best_start);
+                if_then(m, better, |m| {
+                    m.assign(best_start, s);
+                    m.assign(best, i);
+                });
+            });
+        });
+        // Place it on the first track whose end is left of its start.
+        let s = m.call("interval", vec![Operand::Reg(best), Operand::Imm(0)]);
+        let e = m.call("interval", vec![Operand::Reg(best), Operand::Imm(1)]);
+        let chosen = m.mov(-1i64);
+        let t = m.mov(0i64);
+        while_loop(
+            m,
+            |m| {
+                let unset = m.eq(chosen, -1i64);
+                let in_range = m.lt(t, tracks_used);
+                m.mul(unset, in_range)
+            },
+            |m| {
+                let cell = m.index_addr(track_end, i64t, t);
+                let end = m.load(cell, i64t);
+                let fits = m.lt(end, s);
+                if_then(m, fits, |m| {
+                    m.assign(chosen, t);
+                });
+                let t1 = m.add(t, 1i64);
+                m.assign(t, t1);
+            },
+        );
+        let none = m.eq(chosen, -1i64);
+        if_then(m, none, |m| {
+            m.assign(chosen, tracks_used);
+            let tu = m.add(tracks_used, 1i64);
+            m.assign(tracks_used, tu);
+        });
+        let te = m.index_addr(track_end, i64t, chosen);
+        m.store(te, e, i64t);
+        let to = m.index_addr(track_of, i64t, best);
+        m.store(to, chosen, i64t);
+        let pc = m.index_addr(placed, i64t, best);
+        m.store(pc, 1i64, i64t);
+    });
+
+    // Output: tracks used + a fold of the assignment.
+    let fold = m.mov(0i64);
+    for_loop(&mut m, 0i64, nnets, |m, i| {
+        let to = m.index_addr(track_of, i64t, i);
+        let t = m.load(to, i64t);
+        let a = m.mul(fold, 13i64);
+        let b = m.add(a, t);
+        let c = m.rem(b, 1_000_000_007i64);
+        m.assign(fold, c);
+    });
+    m.print_int(tracks_used);
+    m.print_int(fold);
+    m.ret(Some(Operand::Imm(0)));
+    pb.finish_func(m);
+
+    pb.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+    #[test]
+    fn yacr2_routes_identically_across_modes() {
+        let p = build(10);
+        let base = ifp_vm::run(&p, &VmConfig::default()).unwrap();
+        let sub = ifp_vm::run(
+            &p,
+            &VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap)),
+        )
+        .unwrap();
+        assert_eq!(base.output, sub.output);
+        assert!(base.output[0] >= 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Builder helpers shared by the workloads.
+
+use ifp_compiler::{FnBuilder, Operand, ProgramBuilder, Reg, TypeId};
+
+/// Emits a counted loop `for i in start..end { body }`.
+///
+/// `body` may create blocks of its own but must leave the current block
+/// unterminated. Returns after switching to the exit block.
+pub fn for_loop(
+    f: &mut FnBuilder,
+    start: impl Into<Operand>,
+    end: impl Into<Operand>,
+    body: impl FnOnce(&mut FnBuilder, Reg),
+) {
+    let i = f.mov(start);
+    let end = f.mov(end); // latch the bound
+    let header = f.new_block();
+    let body_bb = f.new_block();
+    let exit = f.new_block();
+    f.jmp(header);
+    f.switch_to(header);
+    let c = f.lt(i, end);
+    f.br(c, body_bb, exit);
+    f.switch_to(body_bb);
+    body(f, i);
+    let i2 = f.add(i, 1i64);
+    f.assign(i, i2);
+    f.jmp(header);
+    f.switch_to(exit);
+}
+
+/// Emits a while loop `while cond() != 0 { body }`.
+///
+/// `cond` is evaluated in the header block each iteration.
+pub fn while_loop(
+    f: &mut FnBuilder,
+    cond: impl FnOnce(&mut FnBuilder) -> Reg,
+    body: impl FnOnce(&mut FnBuilder),
+) {
+    let header = f.new_block();
+    let body_bb = f.new_block();
+    let exit = f.new_block();
+    f.jmp(header);
+    f.switch_to(header);
+    let c = cond(f);
+    f.br(c, body_bb, exit);
+    f.switch_to(body_bb);
+    body(f);
+    f.jmp(header);
+    f.switch_to(exit);
+}
+
+/// Emits `if cond { then }` (no else branch).
+pub fn if_then(f: &mut FnBuilder, cond: Reg, then: impl FnOnce(&mut FnBuilder)) {
+    let then_bb = f.new_block();
+    let exit = f.new_block();
+    f.br(cond, then_bb, exit);
+    f.switch_to(then_bb);
+    then(f);
+    f.jmp(exit);
+    f.switch_to(exit);
+}
+
+/// Emits `if cond { a } else { b }`, leaving the result of `sel` in a
+/// fresh register: both closures must assign to the returned register.
+pub fn if_else(
+    f: &mut FnBuilder,
+    cond: Reg,
+    then: impl FnOnce(&mut FnBuilder),
+    otherwise: impl FnOnce(&mut FnBuilder),
+) {
+    let then_bb = f.new_block();
+    let else_bb = f.new_block();
+    let exit = f.new_block();
+    f.br(cond, then_bb, else_bb);
+    f.switch_to(then_bb);
+    then(f);
+    f.jmp(exit);
+    f.switch_to(else_bb);
+    otherwise(f);
+    f.jmp(exit);
+    f.switch_to(exit);
+}
+
+/// `dst = if cond { a } else { b }` as straight-line arithmetic
+/// (branchless select): `dst = b + (a - b) * (cond != 0)`.
+pub fn select(
+    f: &mut FnBuilder,
+    cond: Reg,
+    a: impl Into<Operand>,
+    b: impl Into<Operand>,
+) -> Reg {
+    let nz = f.ne(cond, 0i64);
+    let a = f.mov(a);
+    let b = f.mov(b);
+    let diff = f.sub(a, b);
+    let scaled = f.mul(diff, nz);
+    f.add(b, scaled)
+}
+
+/// Adds the deterministic LCG `rand(state_ptr) -> i64 in [0, 2^31)` used
+/// by all randomized workloads: xorshift-free, multiplication-based, and
+/// identical across execution modes.
+///
+/// The state is a single `i64` cell the caller allocates.
+pub fn add_rand_fn(pb: &mut ProgramBuilder) {
+    let i64t = pb.types.int64();
+    let mut f = pb.func("ifp_rand", 1);
+    let state_ptr = f.param(0);
+    let s = f.load(state_ptr, i64t);
+    let m = f.mul(s, 6_364_136_223_846_793_005i64);
+    let s2 = f.add(m, 1_442_695_040_888_963_407i64);
+    f.store(state_ptr, s2, i64t);
+    let sh = f.bin(ifp_compiler::BinOp::Shr, s2, 33i64);
+    let r = f.bin(ifp_compiler::BinOp::And, sh, 0x7fff_ffffi64);
+    f.ret(Some(Operand::Reg(r)));
+    pb.finish_func(f);
+}
+
+/// Calls `ifp_rand` and returns the random value register.
+pub fn rand(f: &mut FnBuilder, state_ptr: Reg) -> Reg {
+    f.call("ifp_rand", vec![Operand::Reg(state_ptr)])
+}
+
+/// Allocates and seeds a rand-state cell on the stack of the current
+/// function. The cell address escapes into `ifp_rand`, so it is a tracked
+/// local under instrumentation — like the original programs' `srandom`
+/// state.
+pub fn rand_state(f: &mut FnBuilder, pb_i64: TypeId, seed: i64) -> Reg {
+    let cell = f.alloca(pb_i64);
+    f.store(cell, seed, pb_i64);
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_compiler::ProgramBuilder;
+
+    #[test]
+    fn for_loop_counts() {
+        let mut pb = ProgramBuilder::new();
+        let i64t = pb.types.int64();
+        let mut f = pb.func("main", 0);
+        let acc = f.alloca(i64t);
+        f.store(acc, 0i64, i64t);
+        for_loop(&mut f, 0i64, 10i64, |f, i| {
+            let v = f.load(acc, i64t);
+            let v2 = f.add(v, i);
+            f.store(acc, v2, i64t);
+        });
+        let v = f.load(acc, i64t);
+        f.print_int(v);
+        f.ret(Some(Operand::Imm(0)));
+        pb.finish_func(f);
+        let p = pb.build();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn rand_is_well_formed() {
+        let mut pb = ProgramBuilder::new();
+        add_rand_fn(&mut pb);
+        let i64t = pb.types.int64();
+        let mut f = pb.func("main", 0);
+        let st = rand_state(&mut f, i64t, 42);
+        let r1 = rand(&mut f, st);
+        f.print_int(r1);
+        f.ret(Some(Operand::Imm(0)));
+        pb.finish_func(f);
+        assert!(pb.build().validate().is_ok());
+    }
+}

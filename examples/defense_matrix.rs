@@ -1,0 +1,54 @@
+//! Empirical protection-granularity matrix: drives the comparator
+//! defenses (SoftBound-, ASan-, MTE-style) and In-Fat Pointer itself
+//! through the standard overflow scenarios — the live version of the
+//! paper's Table 1 granularity column.
+//!
+//! Run with: `cargo run --example defense_matrix`
+
+use ifp::baselines::{detection_row, Asan, DetectionRow, Mte, SoftBound};
+use ifp::examples::{heap_overflow_program, listing1_program};
+use ifp::prelude::*;
+
+fn print_row(r: &DetectionRow) {
+    let yn = |b: bool| if b { "detected" } else { "MISSED " };
+    println!(
+        "{:<32} | {:^8} | {:>8} | {:>8} | {:>8}",
+        r.scheme,
+        if r.in_bounds_ok { "ok" } else { "FP!" },
+        yn(r.adjacent_overflow),
+        yn(r.far_overflow),
+        yn(r.intra_object)
+    );
+}
+
+fn main() {
+    println!(
+        "{:<32} | {:^8} | {:>8} | {:>8} | {:>8}",
+        "scheme", "in-bounds", "adjacent", "far", "intra-obj"
+    );
+    println!("{}", "-".repeat(80));
+    print_row(&detection_row(&mut SoftBound::new()));
+    print_row(&detection_row(&mut Asan::new()));
+    print_row(&detection_row(&mut Mte::with_seed(3)));
+
+    // In-Fat Pointer's row comes from running real programs on the
+    // simulated machine rather than the scenario driver.
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    let in_bounds_ok = run(&heap_overflow_program(9), &cfg).is_ok();
+    let adjacent = run(&heap_overflow_program(10), &cfg).is_err();
+    let far = run(&heap_overflow_program(1000), &cfg).is_err();
+    let intra = run(&listing1_program(12), &cfg).is_err();
+    print_row(&DetectionRow {
+        scheme: "In-Fat Pointer (this system)",
+        in_bounds_ok,
+        adjacent_overflow: adjacent,
+        far_overflow: far,
+        intra_object: intra,
+    });
+
+    println!(
+        "\nMTE's detection is probabilistic: across 64 tag seeds, adjacent objects\n\
+         share a tag in roughly 1/16 of allocations (run the ifp-baselines tests\n\
+         to see the measured collision rate)."
+    );
+}

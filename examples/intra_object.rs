@@ -1,0 +1,46 @@
+//! The paper's Listing 1: intra-object overflow at subobject granularity.
+//!
+//!     struct S { char vulnerable[12]; char sensitive[12]; };
+//!
+//! A pointer to `vulnerable` escapes through a global; another function
+//! overflows it. The write stays *inside* the object, so object-granular
+//! defenses cannot see it — In-Fat Pointer narrows the promoted pointer's
+//! bounds to the subobject via the layout table and traps.
+//!
+//! Run with: `cargo run --example intra_object`
+
+use ifp::examples::listing1_program;
+use ifp::prelude::*;
+
+fn main() {
+    println!("struct S {{ char vulnerable[12]; char sensitive[12] }};\n");
+
+    // In-bounds write at vulnerable[11]: fine everywhere.
+    let fine = listing1_program(11);
+    // Overflow at vulnerable[12] = sensitive[0]: inside the object.
+    let overflow = listing1_program(12);
+
+    let base = run(&overflow, &VmConfig::default()).expect("baseline runs");
+    println!(
+        "baseline:   vulnerable[12] = 'A' silently corrupted sensitive[0] (now {:#x})",
+        base.output[0]
+    );
+
+    for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+        let cfg = VmConfig::with_mode(Mode::instrumented(alloc));
+        let ok = run(&fine, &cfg).expect("in-bounds write passes");
+        println!("{alloc}: vulnerable[11] passes (sensitive[0] = {:#x})", ok.output[0]);
+        let err = run(&overflow, &cfg).expect_err("intra-object overflow must trap");
+        println!("{alloc}: vulnerable[12] DETECTED -> {err}");
+    }
+
+    // The narrowing statistics behind the detection.
+    let cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    let stats = run(&fine, &cfg).unwrap().stats;
+    println!(
+        "\npromotes: {} total, {} with subobject narrowing (all successful: {})",
+        stats.promotes.total,
+        stats.promotes.narrow_requested,
+        stats.promotes.narrow_succeeded == stats.promotes.narrow_requested
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a tiny program with the IR builder, run it on the
+//! simulated machine uninstrumented and with In-Fat Pointer, and watch a
+//! heap overflow get caught.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ifp::prelude::*;
+
+fn main() {
+    // A C-like program:
+    //     int *a = malloc(10 * sizeof(int));
+    //     for (i = 0; i <= 10; i++) a[i] = i;   // off-by-one!
+    let mut pb = ProgramBuilder::new();
+    let i32t = pb.types.int32();
+    let mut f = pb.func("main", 0);
+    let a = f.malloc_n(i32t, 10i64);
+    let i = f.mov(0i64);
+    let (header, body, done) = (f.new_block(), f.new_block(), f.new_block());
+    f.jmp(header);
+    f.switch_to(header);
+    let c = f.le(i, 10i64); // <= : the classic off-by-one
+    f.br(c, body, done);
+    f.switch_to(body);
+    let cell = f.index_addr(a, i32t, i);
+    f.store(cell, i, i32t);
+    let i2 = f.add(i, 1i64);
+    f.assign(i, i2);
+    f.jmp(header);
+    f.switch_to(done);
+    f.print_int(0i64);
+    f.ret(Some(Operand::Imm(0)));
+    pb.finish_func(f);
+    let program = pb.build();
+
+    // Uninstrumented: the overflow lands in allocator slack, silently.
+    let baseline = run(&program, &VmConfig::default()).expect("baseline runs");
+    println!("baseline: completed silently, output = {:?}", baseline.output);
+    println!(
+        "baseline: {} instructions, {} cycles",
+        baseline.stats.total_instrs(),
+        baseline.stats.cycles
+    );
+
+    // Instrumented: the hardware traps at a[10].
+    for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+        let cfg = VmConfig::with_mode(Mode::instrumented(alloc));
+        match run(&program, &cfg) {
+            Ok(_) => unreachable!("the overflow must be detected"),
+            Err(e) => println!("{alloc}: DETECTED -> {e}"),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Root package of the In-Fat Pointer reproduction workspace.
+//!
+//! The implementation lives in the `crates/` workspace members (see the
+//! [`ifp`] facade crate); this package hosts the runnable examples under
+//! `examples/` and the cross-crate integration tests under `tests/`.
+
+pub use ifp;
