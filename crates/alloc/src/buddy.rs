@@ -48,7 +48,7 @@ impl BuddyAllocator {
     /// within `[MIN_ORDER, 48]`.
     #[must_use]
     pub fn new(base: u64, arena_order: u8) -> Self {
-        assert!(arena_order >= MIN_ORDER && arena_order <= 48);
+        assert!((MIN_ORDER..=48).contains(&arena_order));
         assert_eq!(base % (1 << arena_order), 0, "arena must be size-aligned");
         let mut free: HashMap<u8, BTreeSet<u64>> = HashMap::new();
         free.entry(arena_order).or_default().insert(base);

@@ -120,9 +120,13 @@ impl GlobalTableManager {
         let slot = self
             .live
             .get_mut(usize::from(row))
-            .ok_or(AllocError::InvalidFree { addr: u64::from(row) })?;
+            .ok_or(AllocError::InvalidFree {
+                addr: u64::from(row),
+            })?;
         if !*slot {
-            return Err(AllocError::InvalidFree { addr: u64::from(row) });
+            return Err(AllocError::InvalidFree {
+                addr: u64::from(row),
+            });
         }
         *slot = false;
         mem.write(self.row_addr(row), &[0u8; 16])

@@ -39,6 +39,17 @@ pub use stack::StackAllocator;
 pub use subheap::SubheapAllocator;
 pub use wrapped::WrappedAllocator;
 
+/// A pointer's scheme selector projected into the trace vocabulary
+/// (used by the `*_traced` allocator entry points).
+pub(crate) fn trace_scheme(s: ifp_tag::SchemeSel) -> ifp_trace::Scheme {
+    match s {
+        ifp_tag::SchemeSel::Legacy => ifp_trace::Scheme::Legacy,
+        ifp_tag::SchemeSel::LocalOffset => ifp_trace::Scheme::LocalOffset,
+        ifp_tag::SchemeSel::Subheap => ifp_trace::Scheme::Subheap,
+        ifp_tag::SchemeSel::GlobalTable => ifp_trace::Scheme::GlobalTable,
+    }
+}
+
 use std::fmt;
 
 /// Error raised by the allocators.

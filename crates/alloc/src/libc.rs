@@ -11,7 +11,7 @@
 //! reflects real allocator behaviour including per-chunk header overhead —
 //! the quantity Figure 12 compares across allocators.
 
-use crate::{AllocError, round16};
+use crate::{round16, AllocError};
 use ifp_mem::Memory;
 use std::collections::BTreeMap;
 
@@ -142,7 +142,10 @@ impl LibcAllocator {
         self.bins.entry(chunk_size).or_default().push(chunk_addr);
         self.stats.frees += 1;
         self.stats.live_chunks -= chunk_size;
-        self.stats.live_payload = self.stats.live_payload.saturating_sub(chunk_size - HEADER_SIZE);
+        self.stats.live_payload = self
+            .stats
+            .live_payload
+            .saturating_sub(chunk_size - HEADER_SIZE);
         Ok(())
     }
 

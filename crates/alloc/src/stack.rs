@@ -91,11 +91,7 @@ impl StackAllocator {
     }
 
     fn bump(&mut self, mem: &mut MemSystem, size: u64, align: u64) -> Result<u64, AllocError> {
-        let next = self
-            .sp
-            .checked_sub(size)
-            .ok_or(AllocError::StackOverflow)?
-            & !(align - 1);
+        let next = self.sp.checked_sub(size).ok_or(AllocError::StackOverflow)? & !(align - 1);
         if next < self.limit {
             return Err(AllocError::StackOverflow);
         }
@@ -161,11 +157,7 @@ impl StackAllocator {
         };
         if !use_local_offset {
             // The caller registers in the global table; no inline record.
-            return Ok((
-                TaggedPtr::from_addr(base),
-                tracked,
-                AllocCost::default(),
-            ));
+            return Ok((TaggedPtr::from_addr(base), tracked, AllocCost::default()));
         }
         let meta = LocalOffsetMeta::new(
             u16::try_from(size).expect("checked against LOCAL_OFFSET_MAX_OBJECT"),
@@ -222,9 +214,7 @@ mod tests {
         let (mut mem, mut st) = setup();
         st.push_frame();
         let key = MacKey::default_for_sim();
-        let (ptr, obj, cost) = st
-            .alloca_tracked(&mut mem, key, 24, 0x9000, true)
-            .unwrap();
+        let (ptr, obj, cost) = st.alloca_tracked(&mut mem, key, 24, 0x9000, true).unwrap();
         assert_eq!(ptr.scheme(), SchemeSel::LocalOffset);
         assert_eq!(obj.meta_addr, obj.base + 32);
         assert!(cost.ifp_instrs > 0);

@@ -115,8 +115,8 @@ impl SubheapAllocator {
         if slot >= SINGLE_SLOT_THRESHOLD {
             return Ok(min_shift);
         }
-        let preferred = BuddyAllocator::order_for(META_RESERVE + TARGET_SLOTS * slot)
-            .unwrap_or(MAX_ORDER);
+        let preferred =
+            BuddyAllocator::order_for(META_RESERVE + TARGET_SLOTS * slot).unwrap_or(MAX_ORDER);
         Ok(preferred.min(14).max(min_shift))
     }
 
@@ -136,8 +136,8 @@ impl SubheapAllocator {
         layout_table: u64,
     ) -> Result<(TaggedPtr, AllocCost), AllocError> {
         let slot = round16(object_size.max(1));
-        let object_size32 =
-            u32::try_from(object_size.max(1)).map_err(|_| AllocError::TooLarge { size: object_size })?;
+        let object_size32 = u32::try_from(object_size.max(1))
+            .map_err(|_| AllocError::TooLarge { size: object_size })?;
         let slot32 = u32::try_from(slot).map_err(|_| AllocError::TooLarge { size: object_size })?;
         let key = PoolKey {
             slot_size: slot32,
@@ -160,8 +160,8 @@ impl SubheapAllocator {
             let base = self.buddy.alloc(&mut mem.mem, shift)?;
             let slots = ((1u64 << shift) - META_RESERVE) / slot;
             debug_assert!(slots >= 1);
-            let total_slots = u32::try_from(slots.min(u64::from(u32::MAX)))
-                .expect("bounded by block size");
+            let total_slots =
+                u32::try_from(slots.min(u64::from(u32::MAX))).expect("bounded by block size");
             let meta = SubheapMeta::new(
                 u32::try_from(META_RESERVE).expect("32"),
                 u32::try_from(META_RESERVE + slots * slot).expect("block <= 128 MiB"),
@@ -187,8 +187,14 @@ impl SubheapAllocator {
             cost.ifp_instrs += costs::META_SETUP_IFP;
         };
 
-        let block = self.blocks.get_mut(&block_base).expect("listed block exists");
-        let slot_idx = block.free_slots.pop().expect("pool lists only non-full blocks");
+        let block = self
+            .blocks
+            .get_mut(&block_base)
+            .expect("listed block exists");
+        let slot_idx = block
+            .free_slots
+            .pop()
+            .expect("pool lists only non-full blocks");
         if block.free_slots.is_empty() {
             let list = self.pools.get_mut(&key).expect("pool exists");
             list.retain(|&b| b != block_base);
@@ -218,7 +224,10 @@ impl SubheapAllocator {
             .live
             .remove(&addr)
             .ok_or(AllocError::InvalidFree { addr })?;
-        let block = self.blocks.get_mut(&block_base).expect("live implies block");
+        let block = self
+            .blocks
+            .get_mut(&block_base)
+            .expect("live implies block");
         let slot = u64::from(block.key.slot_size);
         let idx = u32::try_from((addr - block_base - META_RESERVE) / slot).expect("slot index");
         let was_full = block.free_slots.is_empty();
@@ -241,6 +250,45 @@ impl SubheapAllocator {
             base_instrs: costs::SUBHEAP_FREE,
             ifp_instrs: 0,
         })
+    }
+
+    /// [`SubheapAllocator::malloc`] recording an `alloc` event into
+    /// `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SubheapAllocator::malloc`].
+    pub fn malloc_traced(
+        &mut self,
+        mem: &mut MemSystem,
+        object_size: u64,
+        layout_table: u64,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<(TaggedPtr, AllocCost), AllocError> {
+        let (ptr, cost) = self.malloc(mem, object_size, layout_table)?;
+        tracer.record(ifp_trace::EventKind::Alloc {
+            addr: ptr.addr(),
+            size: object_size.max(1),
+            scheme: crate::trace_scheme(ptr.scheme()),
+            region: ifp_trace::Region::Heap,
+        });
+        Ok((ptr, cost))
+    }
+
+    /// [`SubheapAllocator::free`] recording a `free` event into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SubheapAllocator::free`].
+    pub fn free_traced(
+        &mut self,
+        mem: &mut MemSystem,
+        addr: u64,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<AllocCost, AllocError> {
+        let cost = self.free(mem, addr)?;
+        tracer.record(ifp_trace::EventKind::Free { addr });
+        Ok(cost)
     }
 
     /// Whether `addr` is a live object.
@@ -270,7 +318,9 @@ mod tests {
         let ctrl = SubheapAllocator::ctrl_regs()[usize::from(tag.ctrl_index)].1;
         let block = ctrl.block_base(ptr.addr());
         let mut buf = [0u8; 32];
-        mem.mem.read_bytes(ctrl.meta_addr(ptr.addr()), &mut buf).unwrap();
+        mem.mem
+            .read_bytes(ctrl.meta_addr(ptr.addr()), &mut buf)
+            .unwrap();
         SubheapMeta::from_bytes(&buf)
             .resolve(block, ptr.addr(), key)
             .unwrap()
@@ -329,7 +379,12 @@ mod tests {
         }
         spans.sort();
         for w in spans.windows(2) {
-            assert!(w[0].0 + w[0].1 <= w[1].0, "{:x?} overlaps {:x?}", w[0], w[1]);
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "{:x?} overlaps {:x?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

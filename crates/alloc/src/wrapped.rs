@@ -77,7 +77,9 @@ impl WrappedAllocator {
         if object_size <= LOCAL_OFFSET_MAX_OBJECT {
             // Over-allocate: padded object + 16-byte record.
             let padded = round16(object_size.max(1));
-            let payload = self.base.malloc(&mut mem.mem, padded + LocalOffsetMeta::SIZE)?;
+            let payload = self
+                .base
+                .malloc(&mut mem.mem, padded + LocalOffsetMeta::SIZE)?;
             debug_assert_eq!(payload % LOCAL_OFFSET_GRANULE, 0);
             let meta_addr = payload + padded;
             let meta = LocalOffsetMeta::new(
@@ -97,7 +99,8 @@ impl WrappedAllocator {
             let ptr = TaggedPtr::from_addr(payload)
                 .with_scheme(SchemeSel::LocalOffset)
                 .with_scheme_meta(tag.encode().expect("fields in range"));
-            self.live.insert(payload, MetaKind::LocalOffset { meta_addr });
+            self.live
+                .insert(payload, MetaKind::LocalOffset { meta_addr });
             Ok((ptr, cost))
         } else {
             // Global-table fallback for large objects.
@@ -143,6 +146,47 @@ impl WrappedAllocator {
         Ok(cost)
     }
 
+    /// [`WrappedAllocator::malloc`] recording an `alloc` event into
+    /// `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`WrappedAllocator::malloc`].
+    pub fn malloc_traced(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        object_size: u64,
+        layout_table: u64,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<(TaggedPtr, AllocCost), AllocError> {
+        let (ptr, cost) = self.malloc(mem, gt, object_size, layout_table)?;
+        tracer.record(ifp_trace::EventKind::Alloc {
+            addr: ptr.addr(),
+            size: object_size.max(1),
+            scheme: crate::trace_scheme(ptr.scheme()),
+            region: ifp_trace::Region::Heap,
+        });
+        Ok((ptr, cost))
+    }
+
+    /// [`WrappedAllocator::free`] recording a `free` event into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`WrappedAllocator::free`].
+    pub fn free_traced(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        addr: u64,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<AllocCost, AllocError> {
+        let cost = self.free(mem, gt, addr)?;
+        tracer.record(ifp_trace::EventKind::Free { addr });
+        Ok(cost)
+    }
+
     /// Whether `addr` is a live allocation.
     #[must_use]
     pub fn is_live(&self, addr: u64) -> bool {
@@ -173,8 +217,7 @@ mod tests {
         assert!(cost.ifp_instrs > 0);
         // Record resolves like promote would.
         let tag = LocalOffsetTag::decode(ptr.scheme_meta());
-        let meta_addr =
-            (ptr.addr() & !15) + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
+        let meta_addr = (ptr.addr() & !15) + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
         let mut buf = [0u8; 16];
         mem.mem.read_bytes(meta_addr, &mut buf).unwrap();
         let meta = LocalOffsetMeta::from_bytes(&buf)
@@ -198,8 +241,7 @@ mod tests {
         let (mut mem, mut w, mut gt) = setup();
         let (ptr, _) = w.malloc(&mut mem, &mut gt, 24, 0).unwrap();
         let tag = LocalOffsetTag::decode(ptr.scheme_meta());
-        let meta_addr =
-            (ptr.addr() & !15) + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
+        let meta_addr = (ptr.addr() & !15) + u64::from(tag.granule_offset) * LOCAL_OFFSET_GRANULE;
         w.free(&mut mem, &mut gt, ptr.addr()).unwrap();
         let mut buf = [0u8; 16];
         mem.mem.read_bytes(meta_addr, &mut buf).unwrap();

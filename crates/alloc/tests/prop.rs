@@ -1,17 +1,21 @@
 //! Allocator property tests: random malloc/free interleavings never
 //! produce overlapping or misaligned live objects, frees are exact, and
-//! full teardown returns the arena to empty.
+//! full teardown returns the arena to empty. (Deterministic seeded
+//! cases — see `ifp-testutil`.)
 
 use ifp_alloc::{GlobalTableManager, LibcAllocator, SubheapAllocator, WrappedAllocator};
 use ifp_mem::MemSystem;
 use ifp_meta::MacKey;
-use proptest::prelude::*;
+use ifp_testutil::{run_cases, Rng};
 use std::collections::BTreeMap;
+
+/// Cases per property; allocator scripts are comparatively expensive.
+const CASES: u32 = 64;
 
 /// A random allocation script: sizes to allocate, and for each step an
 /// optional index (mod live count) to free first.
-fn script() -> impl Strategy<Value = Vec<(u64, Option<u8>)>> {
-    proptest::collection::vec((1u64..512, proptest::option::of(any::<u8>())), 1..64)
+fn script(rng: &mut Rng) -> Vec<(u64, Option<u8>)> {
+    rng.vec(1, 64, |r| (r.range_u64(1, 512), r.option(Rng::u8)))
 }
 
 fn check_no_overlap(live: &BTreeMap<u64, u64>) {
@@ -22,9 +26,10 @@ fn check_no_overlap(live: &BTreeMap<u64, u64>) {
     }
 }
 
-proptest! {
-    #[test]
-    fn libc_objects_never_overlap(steps in script()) {
+#[test]
+fn libc_objects_never_overlap() {
+    run_cases(0xa110c1, CASES, |rng| {
+        let steps = script(rng);
         let mut mem = ifp_mem::Memory::new();
         let mut heap = LibcAllocator::new(0x4000_0000, 1 << 26);
         let mut live: BTreeMap<u64, u64> = BTreeMap::new();
@@ -37,14 +42,17 @@ proptest! {
                 }
             }
             let p = heap.malloc(&mut mem, size).unwrap();
-            prop_assert_eq!(p % 16, 0, "alignment");
+            assert_eq!(p % 16, 0, "alignment");
             live.insert(p, size);
             check_no_overlap(&live);
         }
-    }
+    });
+}
 
-    #[test]
-    fn subheap_objects_never_overlap_and_teardown_is_total(steps in script()) {
+#[test]
+fn subheap_objects_never_overlap_and_teardown_is_total() {
+    run_cases(0xa110c2, CASES, |rng| {
+        let steps = script(rng);
         let mut mem = MemSystem::with_default_l1();
         let mut heap = SubheapAllocator::new(0x5000_0000, 26, MacKey::default_for_sim());
         let mut live: BTreeMap<u64, u64> = BTreeMap::new();
@@ -57,8 +65,8 @@ proptest! {
                 }
             }
             let (p, _) = heap.malloc(&mut mem, size, 0).unwrap();
-            prop_assert_eq!(p.addr() % 16, 0);
-            prop_assert!(heap.is_live(p.addr()));
+            assert_eq!(p.addr() % 16, 0);
+            assert!(heap.is_live(p.addr()));
             live.insert(p.addr(), size);
             check_no_overlap(&live);
         }
@@ -66,11 +74,14 @@ proptest! {
         for (&base, _) in live.iter() {
             heap.free(&mut mem, base).unwrap();
         }
-        prop_assert_eq!(heap.footprint(), 0);
-    }
+        assert_eq!(heap.footprint(), 0);
+    });
+}
 
-    #[test]
-    fn wrapped_objects_never_overlap_and_metadata_verifies(steps in script()) {
+#[test]
+fn wrapped_objects_never_overlap_and_metadata_verifies() {
+    run_cases(0xa110c3, CASES, |rng| {
+        let steps = script(rng);
         let mut mem = MemSystem::with_default_l1();
         let mut gt = GlobalTableManager::new(0x2000_0000);
         gt.map(&mut mem);
@@ -96,26 +107,29 @@ proptest! {
         for (&base, _) in live.iter() {
             heap.free(&mut mem, &mut gt, base).unwrap();
         }
-        prop_assert_eq!(gt.live_rows(), 0);
-    }
+        assert_eq!(gt.live_rows(), 0);
+    });
+}
 
-    #[test]
-    fn buddy_blocks_are_disjoint_and_aligned(orders in proptest::collection::vec(12u8..18, 1..24)) {
+#[test]
+fn buddy_blocks_are_disjoint_and_aligned() {
+    run_cases(0xa110c4, CASES, |rng| {
+        let orders = rng.vec(1, 24, |r| r.range_u8(12, 18));
         let mut mem = ifp_mem::Memory::new();
         let mut buddy = ifp_alloc::BuddyAllocator::new(0x5000_0000, 26);
         let mut blocks = Vec::new();
         for order in orders {
             let b = buddy.alloc(&mut mem, order).unwrap();
-            prop_assert_eq!(b % (1u64 << order), 0);
+            assert_eq!(b % (1u64 << order), 0);
             blocks.push((b, 1u64 << order, order));
         }
         blocks.sort();
         for w in blocks.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 <= w[1].0);
+            assert!(w[0].0 + w[0].1 <= w[1].0);
         }
         for (b, _, order) in &blocks {
             buddy.free(&mut mem, *b, *order).unwrap();
         }
-        prop_assert_eq!(buddy.used(), 0);
-    }
+        assert_eq!(buddy.used(), 0);
+    });
 }

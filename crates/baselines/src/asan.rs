@@ -109,6 +109,9 @@ mod tests {
         let mut a = Asan::new();
         let m = a.on_alloc(0x1000, 64);
         a.on_free(0x1000, 64);
-        assert!(!a.check(m, 0x1000, 1), "use after free caught by quarantine");
+        assert!(
+            !a.check(m, 0x1000, 1),
+            "use after free caught by quarantine"
+        );
     }
 }

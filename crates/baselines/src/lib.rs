@@ -134,7 +134,10 @@ mod tests {
         assert!(row.in_bounds_ok);
         assert!(row.adjacent_overflow);
         assert!(row.far_overflow);
-        assert!(row.intra_object, "pointer-based schemes narrow to subobjects");
+        assert!(
+            row.intra_object,
+            "pointer-based schemes narrow to subobjects"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl SoftBound {
     /// pointer written by uninstrumented code.
     pub fn load_pointer(&mut self, home: u64) -> Bounds {
         self.table_ops += 1;
-        self.table.get(&home).copied().unwrap_or_else(Bounds::cleared)
+        self.table
+            .get(&home)
+            .copied()
+            .unwrap_or_else(Bounds::cleared)
     }
 }
 

@@ -3,62 +3,57 @@
 //! (shared per-block metadata). The subheap/wrapped gap here is the
 //! mechanism behind treeadd/perimeter speedups and slowdowns in Fig 10.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ifp_alloc::{GlobalTableManager, LibcAllocator, SubheapAllocator, WrappedAllocator};
 use ifp_mem::MemSystem;
 use ifp_meta::MacKey;
+use ifp_testutil::bench_ns;
 use std::hint::black_box;
 
-fn bench_allocators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("malloc_free_40B");
+fn main() {
+    println!("malloc_free_40B");
     let key = MacKey::default_for_sim();
 
-    group.bench_function("libc_baseline", |b| {
+    {
         let mut mem = MemSystem::with_default_l1();
         let mut heap = LibcAllocator::new(0x4000_0000, 1 << 26);
-        b.iter(|| {
+        bench_ns("libc_baseline", 200, || {
             let p = heap.malloc(&mut mem.mem, black_box(40)).unwrap();
             heap.free(&mut mem.mem, p).unwrap();
-        })
-    });
+        });
+    }
 
-    group.bench_function("wrapped", |b| {
+    {
         let mut mem = MemSystem::with_default_l1();
         let mut gt = GlobalTableManager::new(0x2000_0000);
         gt.map(&mut mem);
         let mut heap = WrappedAllocator::new(0x4000_0000, 1 << 26, key);
-        b.iter(|| {
+        bench_ns("wrapped", 200, || {
             let (p, _) = heap.malloc(&mut mem, &mut gt, black_box(40), 0).unwrap();
             heap.free(&mut mem, &mut gt, p.addr()).unwrap();
-        })
-    });
+        });
+    }
 
-    group.bench_function("subheap", |b| {
+    {
         let mut mem = MemSystem::with_default_l1();
         let mut heap = SubheapAllocator::new(0x5000_0000, 26, key);
         // Pin one object so the block stays live: measures the slot
         // push/pop fast path rather than block churn.
         let (_pin, _) = heap.malloc(&mut mem, 40, 0).unwrap();
-        b.iter(|| {
+        bench_ns("subheap", 200, || {
             let (p, _) = heap.malloc(&mut mem, black_box(40), 0).unwrap();
             heap.free(&mut mem, p.addr()).unwrap();
-        })
-    });
+        });
+    }
 
-    group.bench_function("subheap_block_churn", |b| {
+    {
         // The slow path: alternating single alloc/free returns the block
         // to the buddy allocator and re-creates it (metadata + MAC) every
         // iteration.
         let mut mem = MemSystem::with_default_l1();
         let mut heap = SubheapAllocator::new(0x5000_0000, 26, key);
-        b.iter(|| {
+        bench_ns("subheap_block_churn", 200, || {
             let (p, _) = heap.malloc(&mut mem, black_box(40), 0).unwrap();
             heap.free(&mut mem, p.addr()).unwrap();
-        })
-    });
-
-    group.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_allocators);
-criterion_main!(benches);

@@ -1,50 +1,43 @@
 //! Microbenchmark: per-access check cost of the comparator defenses vs
 //! the In-Fat Pointer bounds check (a register compare).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ifp_baselines::{Asan, Defense, Mte, SoftBound};
 use ifp_tag::Bounds;
+use ifp_testutil::bench_ns;
 use std::hint::black_box;
 
-fn bench_checks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("access_check");
+fn main() {
+    println!("access_check");
 
     // IFP after promote: a plain bounds compare.
     let bounds = Bounds::from_base_size(0x1000, 64);
-    group.bench_function("ifp_bounds_register", |b| {
-        b.iter(|| bounds.allows_access(black_box(0x1020), black_box(8)))
+    bench_ns("ifp_bounds_register", 100, || {
+        bounds.allows_access(black_box(0x1020), black_box(8))
     });
 
     let mut sb = SoftBound::new();
     let m = sb.on_alloc(0x1000, 64);
-    group.bench_function("softbound", |b| {
-        b.iter(|| sb.check(black_box(m), black_box(0x1020), 8))
+    bench_ns("softbound", 100, || {
+        sb.check(black_box(m), black_box(0x1020), 8)
     });
 
     let mut asan = Asan::new();
     let am = asan.on_alloc(0x1000, 64);
-    group.bench_function("asan_shadow", |b| {
-        b.iter(|| asan.check(black_box(am), black_box(0x1020), 8))
+    bench_ns("asan_shadow", 100, || {
+        asan.check(black_box(am), black_box(0x1020), 8)
     });
 
     let mut mte = Mte::with_seed(3);
     let tm = mte.on_alloc(0x1000, 64);
-    group.bench_function("mte_tag", |b| {
-        b.iter(|| mte.check(black_box(tm), black_box(0x1020), 8))
+    bench_ns("mte_tag", 100, || {
+        mte.check(black_box(tm), black_box(0x1020), 8)
     });
 
     // SoftBound's real cost driver: the shadow-table traffic per pointer
     // load/store.
-    group.bench_function("softbound_metadata_roundtrip", |b| {
-        let mut sb = SoftBound::new();
-        b.iter(|| {
-            sb.store_pointer(black_box(0x8000), bounds);
-            black_box(sb.load_pointer(black_box(0x8000)))
-        })
+    let mut sb2 = SoftBound::new();
+    bench_ns("softbound_metadata_roundtrip", 100, || {
+        sb2.store_pointer(black_box(0x8000), bounds);
+        black_box(sb2.load_pointer(black_box(0x8000)))
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_checks);
-criterion_main!(benches);

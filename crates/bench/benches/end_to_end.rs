@@ -2,14 +2,13 @@
 //! configurations — the bench behind Figure 10's per-configuration
 //! overheads at micro scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ifp_testutil::bench_ns;
 use ifp_vm::{run, AllocatorKind, Mode, VmConfig};
 use std::hint::black_box;
 
-fn bench_modes(c: &mut Criterion) {
+fn main() {
     let program = ifp_workloads::olden::treeadd::build(8);
-    let mut group = c.benchmark_group("treeadd_depth8");
-    group.sample_size(20);
+    println!("treeadd_depth8");
     for mode in [
         Mode::Baseline,
         Mode::instrumented(AllocatorKind::Subheap),
@@ -19,12 +18,8 @@ fn bench_modes(c: &mut Criterion) {
             no_promote: true,
         },
     ] {
-        group.bench_function(format!("{mode}"), |b| {
-            b.iter(|| run(black_box(&program), &VmConfig::with_mode(mode)).unwrap())
+        bench_ns(&format!("{mode}"), 400, || {
+            run(black_box(&program), &VmConfig::with_mode(mode)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_modes);
-criterion_main!(benches);

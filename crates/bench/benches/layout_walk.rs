@@ -3,9 +3,9 @@
 //! processor modification", whose recursive walk with division is why
 //! deep array-of-struct promotes are expensive.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ifp_meta::layout::{LayoutTable, LayoutTableBuilder};
 use ifp_tag::Bounds;
+use ifp_testutil::bench_ns;
 use std::hint::black_box;
 
 /// Builds a chain of nested array-of-struct levels, returning the table
@@ -32,22 +32,16 @@ fn nested_table(depth: u32) -> (LayoutTable, u16) {
     (b.build(), leaf)
 }
 
-fn bench_walk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("layout_narrow");
+fn main() {
+    println!("layout_narrow");
     for depth in [1u32, 2, 4, 8] {
         let (table, leaf) = nested_table(depth);
         let size = table.entries()[0].elem_size;
         let bounds = Bounds::from_base_size(0x1000, u64::from(size));
-        group.bench_function(format!("depth_{depth}"), |b| {
-            b.iter(|| {
-                table
-                    .narrow(black_box(bounds), black_box(0x1000 + 24), leaf)
-                    .unwrap()
-            })
+        bench_ns(&format!("depth_{depth}"), 100, || {
+            table
+                .narrow(black_box(bounds), black_box(0x1000 + 24), leaf)
+                .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_walk);
-criterion_main!(benches);

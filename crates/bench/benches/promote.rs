@@ -2,36 +2,34 @@
 //! path (host-side execution speed of the simulated IFP unit — the
 //! component exercised by every pointer load in instrumented runs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ifp_bench::fixtures::promote_fixture;
 use ifp_hw::IfpUnit;
+use ifp_testutil::bench_ns;
 use std::hint::black_box;
 
-fn bench_promote(c: &mut Criterion) {
-    let mut group = c.benchmark_group("promote");
+fn main() {
+    println!("promote");
     let unit = IfpUnit::default();
 
     let mut fx = promote_fixture();
-    group.bench_function("legacy_bypass", |b| {
-        b.iter(|| unit.promote(black_box(fx.legacy), &mut fx.mem, &fx.ctrl).unwrap())
+    bench_ns("legacy_bypass", 200, || {
+        unit.promote(black_box(fx.legacy), &mut fx.mem, &fx.ctrl)
+            .unwrap()
     });
-    group.bench_function("local_offset", |b| {
-        b.iter(|| unit.promote(black_box(fx.local), &mut fx.mem, &fx.ctrl).unwrap())
+    bench_ns("local_offset", 200, || {
+        unit.promote(black_box(fx.local), &mut fx.mem, &fx.ctrl)
+            .unwrap()
     });
-    group.bench_function("local_offset_narrowing", |b| {
-        b.iter(|| {
-            unit.promote(black_box(fx.local_narrow), &mut fx.mem, &fx.ctrl)
-                .unwrap()
-        })
+    bench_ns("local_offset_narrowing", 200, || {
+        unit.promote(black_box(fx.local_narrow), &mut fx.mem, &fx.ctrl)
+            .unwrap()
     });
-    group.bench_function("subheap", |b| {
-        b.iter(|| unit.promote(black_box(fx.subheap), &mut fx.mem, &fx.ctrl).unwrap())
+    bench_ns("subheap", 200, || {
+        unit.promote(black_box(fx.subheap), &mut fx.mem, &fx.ctrl)
+            .unwrap()
     });
-    group.bench_function("global_table", |b| {
-        b.iter(|| unit.promote(black_box(fx.global), &mut fx.mem, &fx.ctrl).unwrap())
+    bench_ns("global_table", 200, || {
+        unit.promote(black_box(fx.global), &mut fx.mem, &fx.ctrl)
+            .unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_promote);
-criterion_main!(benches);

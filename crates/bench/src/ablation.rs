@@ -18,7 +18,11 @@ pub fn tag_split_table() -> String {
     for offset_bits in 3u32..=9 {
         let index_bits = 12 - offset_bits;
         let max_obj = ((1u64 << offset_bits) - 1) * 16;
-        let marker = if offset_bits == 6 { "  <- prototype" } else { "" };
+        let marker = if offset_bits == 6 {
+            "  <- prototype"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "| {offset_bits} | {max_obj} B | {}{marker} |\n",
             1u64 << index_bits
@@ -131,7 +135,13 @@ mod tests {
             .lines()
             .filter(|l| l.contains("B/object"))
             .map(|l| {
-                l.split('|').nth(3).unwrap().trim().split(' ').next().unwrap()
+                l.split('|')
+                    .nth(3)
+                    .unwrap()
+                    .trim()
+                    .split(' ')
+                    .next()
+                    .unwrap()
                     .parse::<f64>()
                     .unwrap()
             })
@@ -147,7 +157,13 @@ mod tests {
             .lines()
             .filter(|l| l.contains("pts"))
             .map(|l| {
-                l.split('|').nth(4).unwrap().trim().split(' ').next().unwrap()
+                l.split('|')
+                    .nth(4)
+                    .unwrap()
+                    .trim()
+                    .split(' ')
+                    .next()
+                    .unwrap()
                     .parse::<f64>()
                     .unwrap()
             })

@@ -3,13 +3,65 @@
 //! Usage: `cargo run --release -p ifp-bench --bin tables -- [section ...]`
 //! where sections are `table1 table2 table3 table4 fig10 fig11 fig12
 //! fig13 juliet cache` or `all` (default).
+//!
+//! `trace [workload]` is an extra mode (not part of `all`): it re-runs one
+//! workload (default `treeadd`) with event tracing enabled and prints the
+//! trace summary; `trace-jsonl [workload]` dumps the raw JSONL stream for
+//! the `ifp-trace` CLI instead.
 
 use ifp_bench::{render, sweep_all};
 use ifp_juliet::{all_cases, run_suite};
 use ifp_vm::{AllocatorKind, Mode};
 
+/// Runs `workload` once, instrumented (subheap), with full tracing, and
+/// prints either the summary or the raw JSONL stream.
+fn run_trace_mode(workload: &str, jsonl: bool) {
+    let Some(w) = ifp_workloads::by_name(workload) else {
+        eprintln!("unknown workload `{workload}`; known:");
+        for w in ifp_workloads::all() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(2);
+    };
+    let program = w.build_default();
+    let mut config = ifp_vm::VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    config.trace = ifp_trace::TraceConfig::all();
+    let result = match ifp_vm::run(&program, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{workload} failed under tracing: {e}");
+            std::process::exit(1);
+        }
+    };
+    let log = result.trace.expect("tracing was enabled");
+    if jsonl {
+        print!("{}", log.to_jsonl());
+    } else {
+        let mut summary = ifp_trace::Summary::default();
+        summary.add_log(&log);
+        println!("Trace summary for `{workload}` (subheap, full tracing)");
+        if log.dropped > 0 || log.sampled_out > 0 {
+            println!(
+                "ring tail only: {} older events overwritten, {} sampled out",
+                log.dropped, log.sampled_out
+            );
+        }
+        println!("{summary}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // The trace mode stands alone: `tables trace [workload]`.
+    if let Some(mode) = args.first().map(String::as_str) {
+        if mode == "trace" || mode == "trace-jsonl" {
+            let workload = args.get(1).map_or("treeadd", String::as_str);
+            run_trace_mode(workload, mode == "trace-jsonl");
+            return;
+        }
+    }
+
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name || a == "all");
 
     // Static sections first (cheap).
@@ -37,7 +89,12 @@ fn main() {
     if want("juliet") {
         println!("Functional evaluation (Juliet-style suite, §5.1)");
         let cases = all_cases();
-        println!("  generated cases: {} ({} bad, {} good)", cases.len(), cases.len() / 2, cases.len() / 2);
+        println!(
+            "  generated cases: {} ({} bad, {} good)",
+            cases.len(),
+            cases.len() / 2,
+            cases.len() / 2
+        );
         for mode in [
             Mode::Baseline,
             Mode::instrumented(AllocatorKind::Wrapped),

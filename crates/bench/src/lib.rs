@@ -1,4 +1,4 @@
-//! Shared harness code for the `tables` binary and the Criterion benches.
+//! Shared harness code for the `tables` binary and the self-timed benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -8,33 +8,95 @@ pub mod render;
 
 use ifp::eval::ModeSweep;
 use ifp_workloads::Workload;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A failure from one workload's sweep: the workload keeps its identity so
+/// a single bad workload no longer masks the results of the other 17.
+#[derive(Debug)]
+pub struct SweepError {
+    /// The workload that failed.
+    pub workload: String,
+    /// What went wrong (VM error or worker panic payload).
+    pub message: String,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.workload, self.message)
+    }
+}
 
 /// Runs the mode sweep for every workload, in parallel across worker
 /// threads, preserving Table 4 order in the result.
-#[must_use]
-pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
-    let results: Arc<Mutex<Vec<Option<ModeSweep>>>> =
-        Arc::new(Mutex::new(vec![None; workloads.len()].into_iter().collect()));
-    crossbeam::scope(|scope| {
+///
+/// Every workload runs to completion even when siblings fail: a worker
+/// panic or VM error is captured per workload instead of tearing down the
+/// whole scope, and all failures are reported together.
+///
+/// # Errors
+///
+/// The list of per-workload failures, one entry per failed workload.
+pub fn try_sweep_all(workloads: &[Workload]) -> Result<Vec<ModeSweep>, Vec<SweepError>> {
+    let results: Mutex<Vec<Option<Result<ModeSweep, String>>>> =
+        Mutex::new((0..workloads.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for (i, w) in workloads.iter().enumerate() {
-            let results = Arc::clone(&results);
-            scope.spawn(move |_| {
-                let program = w.build_default();
-                let sweep = ModeSweep::run(w.name, &program)
-                    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-                results.lock()[i] = Some(sweep);
+            let results = &results;
+            scope.spawn(move || {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let program = w.build_default();
+                    ModeSweep::run(w.name, &program).map_err(|e| e.to_string())
+                }))
+                .unwrap_or_else(|panic| Err(panic_message(&panic)));
+                results.lock().expect("sweep mutex")[i] = Some(outcome);
             });
         }
-    })
-    .expect("worker panicked");
-    Arc::try_unwrap(results)
-        .expect("all workers done")
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
+    });
+    let slots = results.into_inner().expect("sweep mutex");
+    let mut sweeps = Vec::with_capacity(workloads.len());
+    let mut errors = Vec::new();
+    for (w, slot) in workloads.iter().zip(slots) {
+        match slot.expect("every slot filled") {
+            Ok(s) => sweeps.push(s),
+            Err(message) => errors.push(SweepError {
+                workload: w.name.to_string(),
+                message,
+            }),
+        }
+    }
+    if errors.is_empty() {
+        Ok(sweeps)
+    } else {
+        Err(errors)
+    }
+}
+
+/// [`try_sweep_all`], panicking with *all* failures when any workload
+/// fails (the `tables` binary's behaviour).
+#[must_use]
+pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
+    match try_sweep_all(workloads) {
+        Ok(sweeps) => sweeps,
+        Err(errors) => {
+            let lines: Vec<String> = errors.iter().map(ToString::to_string).collect();
+            panic!(
+                "{} workload sweep(s) failed:\n  {}",
+                lines.len(),
+                lines.join("\n  ")
+            );
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("worker panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("worker panicked: {s}")
+    } else {
+        "worker panicked".to_string()
+    }
 }
 
 /// Builds the standard small promote fixture used by the microbenches: a
@@ -44,9 +106,7 @@ pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
 pub mod fixtures {
     use ifp_hw::CtrlRegs;
     use ifp_mem::MemSystem;
-    use ifp_meta::{
-        GlobalTableRow, LayoutTableBuilder, LocalOffsetMeta, SubheapCtrl, SubheapMeta,
-    };
+    use ifp_meta::{GlobalTableRow, LayoutTableBuilder, LocalOffsetMeta, SubheapCtrl, SubheapMeta};
     use ifp_tag::{
         GlobalTableTag, LocalOffsetTag, SchemeSel, SubheapTag, TaggedPtr, LOCAL_OFFSET_GRANULE,
     };
@@ -134,7 +194,9 @@ pub mod fixtures {
             layout_table: 0,
             valid: true,
         };
-        mem.mem.write_bytes(0xa000 + 7 * 16, &row.to_bytes()).unwrap();
+        mem.mem
+            .write_bytes(0xa000 + 7 * 16, &row.to_bytes())
+            .unwrap();
         let gtag = GlobalTableTag { table_index: 7 };
         let global = TaggedPtr::from_addr(0x6000)
             .with_scheme(SchemeSel::GlobalTable)

@@ -11,7 +11,11 @@ fn pct(x: f64) -> String {
 
 fn sci(x: u64) -> String {
     if x >= 1_000_000 {
-        format!("{:.2}e{}", x as f64 / 10f64.powi((x as f64).log10() as i32), (x as f64).log10() as i32)
+        format!(
+            "{:.2}e{}",
+            x as f64 / 10f64.powi((x as f64).log10() as i32),
+            (x as f64).log10() as i32
+        )
     } else {
         x.to_string()
     }
@@ -75,7 +79,11 @@ pub fn table3() -> String {
             i.mnemonic(),
             if i.has_variants() { "*" } else { "" },
             i.description(),
-            if i.uses_ifp_unit() { "IFP unit" } else { "ALU/LSU" },
+            if i.uses_ifp_unit() {
+                "IFP unit"
+            } else {
+                "ALU/LSU"
+            },
             i.class()
         ));
     }
@@ -245,7 +253,10 @@ pub fn fig13() -> String {
         m.lut_increase_ratio() * 100.0
     ));
     for (stage, share) in m.growth_share_by_stage() {
-        out.push_str(&format!("  {stage} stage share of increase: {:.0}%\n", share * 100.0));
+        out.push_str(&format!(
+            "  {stage} stage share of increase: {:.0}%\n",
+            share * 100.0
+        ));
     }
     let u = m.ifp_unit();
     out.push_str(&format!(

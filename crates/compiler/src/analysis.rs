@@ -255,7 +255,11 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
                 *dst,
                 Prov {
                     obj: p.obj,
-                    interior_ty: if has_field { Some(*base_ty) } else { p.interior_ty },
+                    interior_ty: if has_field {
+                        Some(*base_ty)
+                    } else {
+                        p.interior_ty
+                    },
                 },
             );
         }

@@ -515,9 +515,8 @@ impl FnBuilder {
             .enumerate()
             .map(|(i, (ops, term))| Block {
                 ops,
-                term: term.unwrap_or_else(|| {
-                    panic!("block {i} of `{}` has no terminator", self.name)
-                }),
+                term: term
+                    .unwrap_or_else(|| panic!("block {i} of `{}` has no terminator", self.name)),
             })
             .collect();
         Function {

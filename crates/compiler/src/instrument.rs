@@ -194,7 +194,13 @@ fn plan_function(
                 Op::Alloca { dst, ty, .. } => {
                     if analysis.alloca_is_unsafe(fi, bi, oi) {
                         let layout = layouts.contains_key(ty).then_some(*ty);
-                        track.insert(*dst, PtrTrack { root: *ty, index: 0 });
+                        track.insert(
+                            *dst,
+                            PtrTrack {
+                                root: *ty,
+                                index: 0,
+                            },
+                        );
                         OpAction::StackObject(AllocKind::Tracked { layout })
                     } else {
                         track.remove(dst);
@@ -209,9 +215,14 @@ fn plan_function(
                 } => {
                     // The allocated type is opaque behind a wrapper, so no
                     // layout table can be attached (§5.2.1).
-                    let layout =
-                        (!via_wrapper && layouts.contains_key(ty)).then_some(*ty);
-                    track.insert(*dst, PtrTrack { root: *ty, index: 0 });
+                    let layout = (!via_wrapper && layouts.contains_key(ty)).then_some(*ty);
+                    track.insert(
+                        *dst,
+                        PtrTrack {
+                            root: *ty,
+                            index: 0,
+                        },
+                    );
                     OpAction::HeapObject { layout }
                 }
                 Op::Gep {

@@ -384,7 +384,10 @@ impl Program {
                 if r.0 < f.num_regs {
                     Ok(())
                 } else {
-                    Err(err(f, format!("register {r} out of range ({} regs)", f.num_regs)))
+                    Err(err(
+                        f,
+                        format!("register {r} out of range ({} regs)", f.num_regs),
+                    ))
                 }
             };
             let check_opnd = |o: &Operand| match o {
@@ -511,7 +514,11 @@ impl Program {
                 }
                 match &block.term {
                     Terminator::Jmp(b) => check_block(*b)?,
-                    Terminator::Br { cond, then_bb, else_bb } => {
+                    Terminator::Br {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
                         check_opnd(cond)?;
                         check_block(*then_bb)?;
                         check_block(*else_bb)?;

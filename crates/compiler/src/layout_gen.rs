@@ -160,20 +160,40 @@ mod tests {
         let info = generate(&t, s).unwrap();
         let entries = info.table.entries();
         // 0: S itself
-        assert_eq!((entries[0].base, entries[0].bound, entries[0].elem_size), (0, 24, 24));
+        assert_eq!(
+            (entries[0].base, entries[0].bound, entries[0].elem_size),
+            (0, 24, 24)
+        );
         // 1: v1 [0,4)
-        assert_eq!((entries[1].parent, entries[1].base, entries[1].bound), (0, 0, 4));
+        assert_eq!(
+            (entries[1].parent, entries[1].base, entries[1].bound),
+            (0, 0, 4)
+        );
         // 2: array [4,20) elem 8
         assert_eq!(
-            (entries[2].parent, entries[2].base, entries[2].bound, entries[2].elem_size),
+            (
+                entries[2].parent,
+                entries[2].base,
+                entries[2].bound,
+                entries[2].elem_size
+            ),
             (0, 4, 20, 8)
         );
         // 3: array[].v3 [0,4) relative to element, parent = 2
-        assert_eq!((entries[3].parent, entries[3].base, entries[3].bound), (2, 0, 4));
+        assert_eq!(
+            (entries[3].parent, entries[3].base, entries[3].bound),
+            (2, 0, 4)
+        );
         // 4: array[].v4 [4,8)
-        assert_eq!((entries[4].parent, entries[4].base, entries[4].bound), (2, 4, 8));
+        assert_eq!(
+            (entries[4].parent, entries[4].base, entries[4].bound),
+            (2, 4, 8)
+        );
         // 5: v5 [20,24)
-        assert_eq!((entries[5].parent, entries[5].base, entries[5].bound), (0, 20, 24));
+        assert_eq!(
+            (entries[5].parent, entries[5].base, entries[5].bound),
+            (0, 20, 24)
+        );
     }
 
     #[test]

@@ -269,7 +269,11 @@ impl TypeTable {
     #[must_use]
     pub fn field_index(&self, id: TypeId, name: &str) -> u32 {
         match self.get(id) {
-            Type::Struct { fields, name: sname, .. } => fields
+            Type::Struct {
+                fields,
+                name: sname,
+                ..
+            } => fields
                 .iter()
                 .position(|f| f.name == name)
                 .unwrap_or_else(|| panic!("struct `{sname}` has no field `{name}`"))
@@ -321,7 +325,12 @@ mod tests {
         let mut t = TypeTable::new();
         let (i8t, i16t, i32t, i64t) = (t.int8(), t.int16(), t.int32(), t.int64());
         assert_eq!(
-            [t.size_of(i8t), t.size_of(i16t), t.size_of(i32t), t.size_of(i64t)],
+            [
+                t.size_of(i8t),
+                t.size_of(i16t),
+                t.size_of(i32t),
+                t.size_of(i64t)
+            ],
             [1, 2, 4, 8]
         );
         let p = t.ptr_to(i32t);

@@ -1,10 +1,11 @@
 //! Property tests for the compiler substrate: C layout invariants and
-//! layout-table generation over random type trees.
+//! layout-table generation over random type trees. (Deterministic seeded
+//! cases — see `ifp-testutil`.)
 
 use ifp_compiler::layout_gen;
 use ifp_compiler::types::{Type, TypeId, TypeTable};
 use ifp_tag::Bounds;
-use proptest::prelude::*;
+use ifp_testutil::{run_cases, Rng, DEFAULT_CASES};
 
 /// A recipe for a random type tree of bounded depth.
 #[derive(Clone, Debug)]
@@ -14,19 +15,16 @@ enum TypeRecipe {
     Struct(Vec<TypeRecipe>),
 }
 
-fn arb_recipe() -> impl Strategy<Value = TypeRecipe> {
-    let leaf = prop_oneof![
-        Just(TypeRecipe::Int(1)),
-        Just(TypeRecipe::Int(2)),
-        Just(TypeRecipe::Int(4)),
-        Just(TypeRecipe::Int(8)),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), 1u32..5).prop_map(|(t, n)| TypeRecipe::Array(Box::new(t), n)),
-            proptest::collection::vec(inner, 1..4).prop_map(TypeRecipe::Struct),
-        ]
-    })
+fn arb_recipe(rng: &mut Rng, depth: u32) -> TypeRecipe {
+    let leaf = depth == 0 || rng.range_u8(0, 3) == 0;
+    if leaf {
+        TypeRecipe::Int([1u8, 2, 4, 8][rng.range_usize(0, 4)])
+    } else if rng.bool() {
+        TypeRecipe::Array(Box::new(arb_recipe(rng, depth - 1)), rng.range_u32(1, 5))
+    } else {
+        let n = rng.range_usize(1, 4);
+        TypeRecipe::Struct((0..n).map(|_| arb_recipe(rng, depth - 1)).collect())
+    }
 }
 
 fn realize(types: &mut TypeTable, r: &TypeRecipe, name_seed: &mut u32) -> TypeId {
@@ -51,77 +49,91 @@ fn realize(types: &mut TypeTable, r: &TypeRecipe, name_seed: &mut u32) -> TypeId
                 .enumerate()
                 .map(|(i, t)| (format!("f{i}"), *t))
                 .collect();
-            let refs: Vec<(&str, TypeId)> =
-                named.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+            let refs: Vec<(&str, TypeId)> = named.iter().map(|(n, t)| (n.as_str(), *t)).collect();
             types.struct_type(&name, &refs)
         }
     }
 }
 
-proptest! {
-    #[test]
-    fn struct_layout_respects_alignment_and_ordering(recipe in arb_recipe()) {
+#[test]
+fn struct_layout_respects_alignment_and_ordering() {
+    run_cases(0xc031, DEFAULT_CASES, |rng| {
+        let recipe = arb_recipe(rng, 3);
         let mut types = TypeTable::new();
         let mut seed = 0;
         let ty = realize(&mut types, &recipe, &mut seed);
         // Every struct in the table obeys C layout rules.
         let ids: Vec<TypeId> = types.type_ids().collect();
         for id in ids {
-            if let Type::Struct { fields, size, align, .. } = types.get(id).clone() {
+            if let Type::Struct {
+                fields,
+                size,
+                align,
+                ..
+            } = types.get(id).clone()
+            {
                 let mut prev_end = 0u32;
                 for f in &fields {
                     let fa = types.align_of(f.ty);
-                    prop_assert_eq!(f.offset % fa, 0, "field alignment");
-                    prop_assert!(f.offset >= prev_end, "fields in order, no overlap");
+                    assert_eq!(f.offset % fa, 0, "field alignment");
+                    assert!(f.offset >= prev_end, "fields in order, no overlap");
                     prev_end = f.offset + types.size_of(f.ty);
                 }
-                prop_assert!(size >= prev_end, "tail padding only grows");
-                prop_assert_eq!(size % align, 0, "size padded to alignment");
+                assert!(size >= prev_end, "tail padding only grows");
+                assert_eq!(size % align, 0, "size padded to alignment");
             }
         }
-        prop_assert!(types.size_of(ty) >= 1);
-    }
+        assert!(types.size_of(ty) >= 1);
+    });
+}
 
-    #[test]
-    fn generated_layout_tables_validate_and_narrow_within_object(recipe in arb_recipe(),
-                                                                 index in 0u16..32,
-                                                                 off in 0u64..256) {
+#[test]
+fn generated_layout_tables_validate_and_narrow_within_object() {
+    run_cases(0xc032, DEFAULT_CASES, |rng| {
+        let recipe = arb_recipe(rng, 3);
+        let index = rng.range_u16(0, 32);
+        let off = rng.range_u64(0, 256);
         let mut types = TypeTable::new();
         let mut seed = 0;
         let ty = realize(&mut types, &recipe, &mut seed);
         let Some(info) = layout_gen::generate(&types, ty) else {
             // Scalars/arrays-of-scalars: no table, nothing to check.
-            return Ok(());
+            return;
         };
-        prop_assert!(info.table.validate().is_ok());
+        assert!(info.table.validate().is_ok());
         let size = u64::from(types.size_of(ty));
         let ob = Bounds::from_base_size(0x1_0000, size);
         if let Ok(out) = info.table.narrow(ob, 0x1_0000 + off, index) {
-            prop_assert!(ob.contains(out.bounds));
+            assert!(ob.contains(out.bounds));
         }
         // The field-child map only points at real entries with correct
         // parent links.
         for (&(parent, _field), &child) in &info.field_child {
             let e = info.table.get(child).expect("child exists");
-            prop_assert_eq!(e.parent, parent);
+            assert_eq!(e.parent, parent);
         }
-    }
+    });
+}
 
-    #[test]
-    fn field_child_round_trips_through_field_offsets(recipe in arb_recipe()) {
+#[test]
+fn field_child_round_trips_through_field_offsets() {
+    run_cases(0xc033, DEFAULT_CASES, |rng| {
+        let recipe = arb_recipe(rng, 3);
         let mut types = TypeTable::new();
         let mut seed = 0;
         let ty = realize(&mut types, &recipe, &mut seed);
-        let Some(info) = layout_gen::generate(&types, ty) else { return Ok(()) };
+        let Some(info) = layout_gen::generate(&types, ty) else {
+            return;
+        };
         // For struct roots: entry(child_of(root, i)).base == field offset.
         if let Type::Struct { fields, .. } = types.get(ty).clone() {
             for (i, f) in fields.iter().enumerate() {
                 if let Some(child) = info.child_index(0, i as u32) {
                     let e = info.table.get(child).unwrap();
-                    prop_assert_eq!(e.base, f.offset, "field {}", i);
-                    prop_assert_eq!(e.bound, f.offset + types.size_of(f.ty));
+                    assert_eq!(e.base, f.offset, "field {}", i);
+                    assert_eq!(e.bound, f.offset + types.size_of(f.ty));
                 }
             }
         }
-    }
+    });
 }

@@ -70,10 +70,7 @@ impl ModeSweep {
             cfg.l1 = sweep_l1();
             let r = run(program, &cfg)?;
             if let Some(expected) = &reference {
-                assert_eq!(
-                    &r.output, expected,
-                    "{name}: output diverged under {mode}"
-                );
+                assert_eq!(&r.output, expected, "{name}: output diverged under {mode}");
             } else {
                 reference = Some(r.output.clone());
             }

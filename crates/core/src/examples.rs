@@ -20,14 +20,14 @@ pub fn listing1_program(idx: i64) -> Program {
     let vp = pb.types.void_ptr();
     let g = pb.global("gv_ptr", vp);
 
-    let mut foo = pb.func("foo", 1);
-    let at = foo.param(0);
-    let gp = foo.addr_of_global(g);
-    let p = foo.load(gp, vp); // promote: narrows to `vulnerable`
-    let cell = foo.index_addr(p, arr12, at);
-    foo.store(cell, 0x41i64, i8t);
-    foo.ret(None);
-    pb.finish_func(foo);
+    let mut victim = pb.func("victim", 1);
+    let at = victim.param(0);
+    let gp = victim.addr_of_global(g);
+    let p = victim.load(gp, vp); // promote: narrows to `vulnerable`
+    let cell = victim.index_addr(p, arr12, at);
+    victim.store(cell, 0x41i64, i8t);
+    victim.ret(None);
+    pb.finish_func(victim);
 
     let mut main = pb.func("main", 0);
     let obj = main.alloca(s);
@@ -36,7 +36,7 @@ pub fn listing1_program(idx: i64) -> Program {
     let vuln = main.field_addr(obj, s, 0);
     let gp2 = main.addr_of_global(g);
     main.store(gp2, vuln, vp);
-    main.call_void("foo", vec![Operand::Imm(idx)]);
+    main.call_void("victim", vec![Operand::Imm(idx)]);
     let sv = main.load(sens, i8t);
     main.print_int(sv);
     main.ret(Some(Operand::Imm(0)));

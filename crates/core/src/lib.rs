@@ -49,6 +49,7 @@ pub use ifp_juliet as juliet;
 pub use ifp_mem as mem;
 pub use ifp_meta as meta;
 pub use ifp_tag as tag;
+pub use ifp_trace as trace;
 pub use ifp_vm as vm;
 pub use ifp_workloads as workloads;
 
@@ -56,5 +57,6 @@ pub use ifp_workloads as workloads;
 pub mod prelude {
     pub use ifp_compiler::{FnBuilder, Operand, Program, ProgramBuilder};
     pub use ifp_tag::{Bounds, Poison, SchemeSel, TaggedPtr};
+    pub use ifp_trace::TraceConfig;
     pub use ifp_vm::{run, AllocatorKind, Mode, RunResult, RunStats, VmConfig, VmError};
 }

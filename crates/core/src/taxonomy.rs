@@ -89,27 +89,139 @@ pub fn table1() -> Vec<DefenseRow> {
         required,
     };
     vec![
-        row("Intel MPX", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
-        row("HardBound", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
-        row("WatchdogLite", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
-        row("SoftBound", false, M::Pointer, G::Subobject, C::None, R::ShadowMemory),
-        row("CHERI", false, M::Pointer, G::Subobject, C::BinaryAndSource, R::TaggedMemory),
-        row("Shakti-MS", false, M::PointerAndObject, G::Subobject, C::Binary, R::None),
-        row("ALEXIA", false, M::PointerAndObject, G::Subobject, C::Binary, R::None),
-        row("BaggyBound", true, M::Object, G::Object, C::None, R::ShadowMemory),
-        row("PAriCheck", false, M::Object, G::Object, C::None, R::ShadowMemory),
-        row("AddressSanitizer", false, M::Memory, G::Partial, C::None, R::ShadowMemory),
-        row("REST", false, M::Memory, G::Partial, C::None, R::TaggedMemory),
-        row("Califorms", false, M::Memory, G::Partial, C::BinaryAndSource, R::TaggedMemory),
+        row(
+            "Intel MPX",
+            false,
+            M::Pointer,
+            G::Subobject,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "HardBound",
+            false,
+            M::Pointer,
+            G::Subobject,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "WatchdogLite",
+            false,
+            M::Pointer,
+            G::Subobject,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "SoftBound",
+            false,
+            M::Pointer,
+            G::Subobject,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "CHERI",
+            false,
+            M::Pointer,
+            G::Subobject,
+            C::BinaryAndSource,
+            R::TaggedMemory,
+        ),
+        row(
+            "Shakti-MS",
+            false,
+            M::PointerAndObject,
+            G::Subobject,
+            C::Binary,
+            R::None,
+        ),
+        row(
+            "ALEXIA",
+            false,
+            M::PointerAndObject,
+            G::Subobject,
+            C::Binary,
+            R::None,
+        ),
+        row(
+            "BaggyBound",
+            true,
+            M::Object,
+            G::Object,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "PAriCheck",
+            false,
+            M::Object,
+            G::Object,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "AddressSanitizer",
+            false,
+            M::Memory,
+            G::Partial,
+            C::None,
+            R::ShadowMemory,
+        ),
+        row(
+            "REST",
+            false,
+            M::Memory,
+            G::Partial,
+            C::None,
+            R::TaggedMemory,
+        ),
+        row(
+            "Califorms",
+            false,
+            M::Memory,
+            G::Partial,
+            C::BinaryAndSource,
+            R::TaggedMemory,
+        ),
         row("Prober", false, M::None, G::Partial, C::None, R::None),
-        row("Low-Fat Pointer", true, M::None, G::Object, C::None, R::None),
+        row(
+            "Low-Fat Pointer",
+            true,
+            M::None,
+            G::Object,
+            C::None,
+            R::None,
+        ),
         row("SMA", true, M::None, G::Object, C::None, R::None),
         row("CUP", true, M::Object, G::Object, C::None, R::None),
         row("FRAMER", true, M::Object, G::Object, C::None, R::None),
         row("AOS", true, M::Object, G::Object, C::None, R::None),
-        row("EffectiveSan", true, M::Object, G::Subobject, C::None, R::None),
-        row("ARM MTE", true, M::Memory, G::Partial, C::None, R::TaggedMemory),
-        row("In-Fat Pointer", true, M::Object, G::Subobject, C::None, R::None),
+        row(
+            "EffectiveSan",
+            true,
+            M::Object,
+            G::Subobject,
+            C::None,
+            R::None,
+        ),
+        row(
+            "ARM MTE",
+            true,
+            M::Memory,
+            G::Partial,
+            C::None,
+            R::TaggedMemory,
+        ),
+        row(
+            "In-Fat Pointer",
+            true,
+            M::Object,
+            G::Subobject,
+            C::None,
+            R::None,
+        ),
     ]
 }
 

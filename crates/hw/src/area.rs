@@ -379,7 +379,12 @@ mod tests {
         let m = AreaModel::prototype();
         let total = f64::from(m.growth_luts());
         let mods = m.modules();
-        let ifp = f64::from(mods.iter().find(|x| x.name == "IFP Unit").unwrap().growth_luts);
+        let ifp = f64::from(
+            mods.iter()
+                .find(|x| x.name == "IFP Unit")
+                .unwrap()
+                .growth_luts,
+        );
         let lsu = f64::from(mods.iter().find(|x| x.name == "LSU").unwrap().growth_luts);
         assert!((ifp / total - 0.38).abs() < 0.01);
         assert!((lsu / total - 0.19).abs() < 0.02);
@@ -400,7 +405,12 @@ mod tests {
         // The §5.3 claim that motivates dropping bounds registers first on
         // area-constrained cores.
         let m = AreaModel::prototype();
-        let ifp = m.modules().iter().find(|x| x.name == "IFP Unit").unwrap().growth_luts;
+        let ifp = m
+            .modules()
+            .iter()
+            .find(|x| x.name == "IFP Unit")
+            .unwrap()
+            .growth_luts;
         assert!(m.bounds_register_luts() > ifp);
     }
 

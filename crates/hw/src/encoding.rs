@@ -53,7 +53,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:#010x} is not an In-Fat Pointer instruction", self.word)
+        write!(
+            f,
+            "{:#010x} is not an In-Fat Pointer instruction",
+            self.word
+        )
     }
 }
 
@@ -143,7 +147,12 @@ mod tests {
     fn every_instruction_roundtrips_through_encoding() {
         for instr in IfpInstr::ALL {
             for (rd, rs1, rs2) in [(0u8, 0u8, 0u8), (1, 2, 3), (31, 30, 29), (10, 10, 10)] {
-                let w = IfpInstrWord { instr, rd, rs1, rs2 };
+                let w = IfpInstrWord {
+                    instr,
+                    rd,
+                    rs1,
+                    rs2,
+                };
                 let decoded = IfpInstrWord::decode(w.encode()).unwrap();
                 assert_eq!(decoded, w, "{instr}");
             }

@@ -12,6 +12,7 @@ use crate::cycles::CycleModel;
 use crate::trap::Trap;
 use ifp_mem::MemSystem;
 use ifp_tag::{Bounds, TaggedPtr};
+use ifp_trace::{Category, EventKind, Tracer};
 
 /// The load-store unit.
 #[derive(Clone, Debug, Default)]
@@ -48,19 +49,48 @@ impl LoadStoreUnit {
     ///   checking on a bounds-checked IFPR, or a fused `ifpchk`) and the
     ///   access-size check fails.
     pub fn check(&self, ptr: TaggedPtr, size: u64, bounds: Option<Bounds>) -> Result<(), Trap> {
-        if ptr.poison().traps_on_access() {
-            return Err(Trap::PoisonedAccess { ptr });
-        }
-        if let Some(b) = bounds {
-            if !b.allows_access(ptr.addr(), size) {
-                return Err(Trap::BoundsViolation {
+        self.check_traced(ptr, size, bounds, &mut Tracer::off())
+    }
+
+    /// [`LoadStoreUnit::check`] recording one `check` event (pass or
+    /// fail) into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LoadStoreUnit::check`].
+    pub fn check_traced(
+        &self,
+        ptr: TaggedPtr,
+        size: u64,
+        bounds: Option<Bounds>,
+        tracer: &mut Tracer,
+    ) -> Result<(), Trap> {
+        let result = if ptr.poison().traps_on_access() {
+            Err(Trap::PoisonedAccess { ptr })
+        } else {
+            match bounds {
+                Some(b) if !b.allows_access(ptr.addr(), size) => Err(Trap::BoundsViolation {
                     ptr,
                     bounds: b,
                     size,
-                });
+                }),
+                _ => Ok(()),
             }
+        };
+        if tracer.enabled(Category::Check) {
+            let (lower, upper) = match bounds {
+                Some(b) if !b.is_cleared() => (b.lower(), b.upper()),
+                _ => (0, 0),
+            };
+            tracer.record(EventKind::Check {
+                addr: ptr.addr(),
+                size,
+                lower,
+                upper,
+                passed: result.is_ok(),
+            });
         }
-        Ok(())
+        result
     }
 
     /// Loads `size` ∈ {1, 2, 4, 8} bytes through `ptr`.
@@ -76,7 +106,23 @@ impl LoadStoreUnit {
         size: u64,
         bounds: Option<Bounds>,
     ) -> Result<AccessResult, Trap> {
-        self.check(ptr, size, bounds)?;
+        self.load_traced(mem, ptr, size, bounds, &mut Tracer::off())
+    }
+
+    /// [`LoadStoreUnit::load`] recording its access check into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LoadStoreUnit::load`].
+    pub fn load_traced(
+        &self,
+        mem: &mut MemSystem,
+        ptr: TaggedPtr,
+        size: u64,
+        bounds: Option<Bounds>,
+        tracer: &mut Tracer,
+    ) -> Result<AccessResult, Trap> {
+        self.check_traced(ptr, size, bounds, tracer)?;
         let (value, access) = mem.read_uint(ptr.addr(), size)?;
         Ok(AccessResult {
             value,
@@ -99,7 +145,24 @@ impl LoadStoreUnit {
         value: u64,
         bounds: Option<Bounds>,
     ) -> Result<AccessResult, Trap> {
-        self.check(ptr, size, bounds)?;
+        self.store_traced(mem, ptr, size, value, bounds, &mut Tracer::off())
+    }
+
+    /// [`LoadStoreUnit::store`] recording its access check into `tracer`.
+    ///
+    /// # Errors
+    ///
+    /// As [`LoadStoreUnit::store`].
+    pub fn store_traced(
+        &self,
+        mem: &mut MemSystem,
+        ptr: TaggedPtr,
+        size: u64,
+        value: u64,
+        bounds: Option<Bounds>,
+        tracer: &mut Tracer,
+    ) -> Result<AccessResult, Trap> {
+        self.check_traced(ptr, size, bounds, tracer)?;
         let access = mem.write_uint(ptr.addr(), size, value)?;
         Ok(AccessResult {
             value: 0,
@@ -231,6 +294,12 @@ mod tests {
         let (lsu, mut mem) = setup();
         let p = TaggedPtr::from_addr(0x9_0000);
         let err = lsu.load(&mut mem, p, 8, None).unwrap_err();
-        assert!(matches!(err, Trap::Mem { during_promote: false, .. }));
+        assert!(matches!(
+            err,
+            Trap::Mem {
+                during_promote: false,
+                ..
+            }
+        ));
     }
 }

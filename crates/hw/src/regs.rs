@@ -159,9 +159,11 @@ mod tests {
 
     #[test]
     fn caller_saved_set_matches_riscv_abi() {
-        let expected: Vec<usize> = [1usize, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17, 28, 29, 30, 31]
-            .into_iter()
-            .collect();
+        let expected: Vec<usize> = [
+            1usize, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17, 28, 29, 30, 31,
+        ]
+        .into_iter()
+        .collect();
         let actual: Vec<usize> = (0..NUM_GPRS).filter(|&r| is_caller_saved(r)).collect();
         assert_eq!(actual, expected);
     }

@@ -47,7 +47,10 @@ impl fmt::Display for Trap {
             Trap::BoundsViolation { ptr, bounds, size } => {
                 write!(f, "{size}-byte access at {ptr:?} violates bounds {bounds}")
             }
-            Trap::Mem { err, during_promote } => {
+            Trap::Mem {
+                err,
+                during_promote,
+            } => {
                 if *during_promote {
                     write!(f, "fault during promote: {err}")
                 } else {
@@ -74,6 +77,40 @@ impl Trap {
     /// environmental fault).
     #[must_use]
     pub fn is_safety_violation(&self) -> bool {
-        matches!(self, Trap::PoisonedAccess { .. } | Trap::BoundsViolation { .. })
+        matches!(
+            self,
+            Trap::PoisonedAccess { .. } | Trap::BoundsViolation { .. }
+        )
+    }
+
+    /// The trap projected into the trace vocabulary: `(kind, faulting
+    /// address, access size, violated bounds)`. Feeds both the trap
+    /// event the VM records and the forensic reconstruction.
+    #[must_use]
+    pub fn trace_info(&self) -> (ifp_trace::TrapKind, u64, u64, Option<(u64, u64)>) {
+        use ifp_trace::TrapKind;
+        match *self {
+            Trap::PoisonedAccess { ptr } => (TrapKind::Poisoned, ptr.addr(), 0, None),
+            Trap::BoundsViolation { ptr, bounds, size } => (
+                TrapKind::Bounds,
+                ptr.addr(),
+                size,
+                Some((bounds.lower(), bounds.upper())),
+            ),
+            Trap::Mem {
+                err,
+                during_promote,
+            } => {
+                let kind = if during_promote {
+                    TrapKind::MemPromote
+                } else {
+                    TrapKind::Mem
+                };
+                let addr = match err {
+                    MemError::Unmapped { addr } | MemError::OutOfAddressSpace { addr } => addr,
+                };
+                (kind, addr, 0, None)
+            }
+        }
     }
 }

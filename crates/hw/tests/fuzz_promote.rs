@@ -8,12 +8,14 @@
 //! 3. a successful local-offset lookup only ever derives from a record
 //!    whose MAC verified — forged tags pointing at attacker bytes poison
 //!    the output.
+//!
+//! (Deterministic seeded cases — see `ifp-testutil`.)
 
 use ifp_hw::{CtrlRegs, IfpUnit, PromoteKind};
 use ifp_mem::MemSystem;
 use ifp_meta::{LayoutTableBuilder, LocalOffsetMeta, SubheapCtrl, SubheapMeta};
 use ifp_tag::{Poison, TaggedPtr};
-use proptest::prelude::*;
+use ifp_testutil::run_cases;
 
 /// A machine image with one legitimate object per scheme plus a region of
 /// attacker-controlled garbage.
@@ -54,11 +56,10 @@ fn machine() -> (MemSystem, CtrlRegs) {
     (mem, ctrl)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn promote_is_total_and_self_consistent(raw in any::<u64>()) {
+#[test]
+fn promote_is_total_and_self_consistent() {
+    run_cases(0xf022, 512, |rng| {
+        let raw = rng.u64();
         let (mut mem, ctrl) = machine();
         let unit = IfpUnit::default();
         let ptr = TaggedPtr::from_raw(raw);
@@ -68,28 +69,30 @@ proptest! {
                 // Fused-check consistency: a valid output with live bounds
                 // must contain its own address.
                 if r.ptr.poison() == Poison::Valid && !r.bounds.is_cleared() {
-                    prop_assert!(
+                    assert!(
                         r.bounds.allows_access(r.ptr.addr(), 1),
                         "valid pointer {:?} outside its own bounds {}",
-                        r.ptr, r.bounds
+                        r.ptr,
+                        r.bounds
                     );
                 }
                 // Bypasses never fabricate bounds.
                 if r.kind != PromoteKind::Valid {
-                    prop_assert!(r.bounds.is_cleared());
+                    assert!(r.bounds.is_cleared());
                 }
                 // The address bits are never altered by promote.
-                prop_assert_eq!(r.ptr.addr(), ptr.addr());
+                assert_eq!(r.ptr.addr(), ptr.addr());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn forged_tags_over_garbage_do_not_yield_bounds(
-        addr in 0x10000u64..0x11000,
-        meta in 0u16..0x1000,
-        scheme_bits in 1u8..4,
-    ) {
+#[test]
+fn forged_tags_over_garbage_do_not_yield_bounds() {
+    run_cases(0xf023, 256, |rng| {
+        let addr = rng.range_u64(0x10000, 0x11000);
+        let meta = rng.range_u16(0, 0x1000);
+        let scheme_bits = rng.range_u8(1, 4);
         // Point a forged tagged pointer into the garbage region. The MAC
         // (local offset / subheap) or the valid bit (global table) must
         // reject whatever the lookup reads there.
@@ -99,17 +102,24 @@ proptest! {
             .with_scheme(ifp_tag::SchemeSel::from_bits(scheme_bits))
             .with_scheme_meta(meta);
         if let Ok(r) = unit.promote(ptr, &mut mem, &ctrl) {
-            prop_assert!(
-                r.ptr.poison() == Poison::Invalid || r.bounds.is_cleared()
-                    || !r.bounds.allows_access(0x2000, 1) || r.bounds.lower() >= 0x10000,
+            assert!(
+                r.ptr.poison() == Poison::Invalid
+                    || r.bounds.is_cleared()
+                    || !r.bounds.allows_access(0x2000, 1)
+                    || r.bounds.lower() >= 0x10000,
                 "forged tag produced usable bounds over another object: {:?} {}",
-                r.ptr, r.bounds
+                r.ptr,
+                r.bounds
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn legitimate_interior_pointers_always_resolve(off in 0u64..24, idx in 0u16..3) {
+#[test]
+fn legitimate_interior_pointers_always_resolve() {
+    run_cases(0xf024, 256, |rng| {
+        let off = rng.range_u64(0, 24);
+        let idx = rng.range_u16(0, 3);
         // Any address inside the real local-offset object with any valid
         // subobject index resolves to bounds inside the object.
         let (mut mem, ctrl) = machine();
@@ -126,8 +136,8 @@ proptest! {
             .with_scheme(ifp_tag::SchemeSel::LocalOffset)
             .with_scheme_meta(tag.encode().unwrap());
         let r = unit.promote(ptr, &mut mem, &ctrl).unwrap();
-        prop_assert_eq!(r.kind, PromoteKind::Valid);
+        assert_eq!(r.kind, PromoteKind::Valid);
         let object = ifp_tag::Bounds::from_base_size(base, 24);
-        prop_assert!(object.contains(r.bounds), "{} not in {}", r.bounds, object);
-    }
+        assert!(object.contains(r.bounds), "{} not in {}", r.bounds, object);
+    });
 }

@@ -273,10 +273,7 @@ fn build_flat_case(cwe: Cwe, site: Site, variant: Variant, kind: CaseKind) -> Pr
     let run = |m: &mut FnBuilder, idx: i64| match variant {
         Variant::CallFlow => {
             let at = m.mov(idx);
-            m.call_void(
-                "access_helper",
-                vec![Operand::Reg(ptr), Operand::Reg(at)],
-            );
+            m.call_void("access_helper", vec![Operand::Reg(ptr), Operand::Reg(at)]);
         }
         Variant::LoadedFlow => {
             let gp = m.addr_of_global(cell_g);
@@ -358,7 +355,12 @@ fn build_intra_case(cwe: Cwe, site: Site, kind: CaseKind) -> Program {
 #[must_use]
 pub fn all_cases() -> Vec<JulietCase> {
     let mut out = Vec::new();
-    let flat_cwes = [Cwe::OverflowWrite, Cwe::Underwrite, Cwe::Overread, Cwe::Underread];
+    let flat_cwes = [
+        Cwe::OverflowWrite,
+        Cwe::Underwrite,
+        Cwe::Overread,
+        Cwe::Underread,
+    ];
     let sites = [Site::Stack, Site::Heap, Site::Global];
     for cwe in flat_cwes {
         for site in sites {
@@ -370,7 +372,11 @@ pub fn all_cases() -> Vec<JulietCase> {
                         cwe,
                         site,
                         variant,
-                        if kind == CaseKind::Good { "good" } else { "bad" }
+                        if kind == CaseKind::Good {
+                            "good"
+                        } else {
+                            "bad"
+                        }
                     );
                     out.push(JulietCase {
                         id,
@@ -392,7 +398,11 @@ pub fn all_cases() -> Vec<JulietCase> {
                     cwe.number(site),
                     cwe,
                     site,
-                    if kind == CaseKind::Good { "good" } else { "bad" }
+                    if kind == CaseKind::Good {
+                        "good"
+                    } else {
+                        "bad"
+                    }
                 );
                 out.push(JulietCase {
                     id,

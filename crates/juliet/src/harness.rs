@@ -3,6 +3,7 @@
 //! all-bad-detected / all-good-passed).
 
 use crate::gen::{CaseKind, JulietCase};
+use ifp_trace::{ForensicReport, TraceConfig};
 use ifp_vm::{run, Mode, VmConfig, VmError};
 use std::fmt;
 
@@ -11,8 +12,13 @@ use std::fmt;
 pub enum CaseOutcome {
     /// Ran to completion.
     Completed,
-    /// Stopped by a spatial-safety trap.
+    /// Stopped by a spatial-safety trap (poison or bounds) — the clean
+    /// detection the paper's functional evaluation counts.
     Detected,
+    /// Stopped by a trap that is *not* a safety detection — typically a
+    /// page fault after a wild access escaped the checks. The program
+    /// crashed, but the defense cannot claim it.
+    TrappedOther,
     /// Stopped by something else (harness bug).
     Errored,
 }
@@ -20,13 +26,33 @@ pub enum CaseOutcome {
 /// Runs one case under `mode`.
 #[must_use]
 pub fn run_case(case: &JulietCase, mode: Mode) -> CaseOutcome {
+    run_case_traced(case, mode, TraceConfig::off()).0
+}
+
+/// [`run_case`] with event tracing: when `trace` enables any category and
+/// the case traps, the trap's forensic reconstruction rides along.
+#[must_use]
+pub fn run_case_traced(
+    case: &JulietCase,
+    mode: Mode,
+    trace: TraceConfig,
+) -> (CaseOutcome, Option<Box<ForensicReport>>) {
     let mut cfg = VmConfig::with_mode(mode);
     cfg.fuel = 50_000_000;
+    cfg.trace = trace;
     match run(&case.program, &cfg) {
-        Ok(_) => CaseOutcome::Completed,
-        Err(e) if e.is_safety_trap() => CaseOutcome::Detected,
-        Err(VmError::Trap { .. }) => CaseOutcome::Detected, // page fault from a wild access
-        Err(_) => CaseOutcome::Errored,
+        Ok(_) => (CaseOutcome::Completed, None),
+        Err(VmError::Trap {
+            trap, forensics, ..
+        }) => {
+            let outcome = if trap.is_safety_violation() {
+                CaseOutcome::Detected
+            } else {
+                CaseOutcome::TrappedOther
+            };
+            (outcome, forensics)
+        }
+        Err(_) => (CaseOutcome::Errored, None),
     }
 }
 
@@ -41,6 +67,10 @@ pub struct SuiteResult {
     pub passed: usize,
     /// Good cases that trapped (false positives).
     pub false_positives: Vec<String>,
+    /// Cases stopped by a non-safety trap (wild page fault): the program
+    /// crashed, but not at a check — not a detection the defense can
+    /// claim, and not a miss either.
+    pub trapped_other: Vec<String>,
     /// Cases that errored outside the detection model.
     pub errors: Vec<String>,
 }
@@ -53,14 +83,18 @@ impl SuiteResult {
             + self.missed.len()
             + self.passed
             + self.false_positives.len()
+            + self.trapped_other.len()
             + self.errors.len()
     }
 
-    /// The paper's pass criterion: every bad case detected, every good
-    /// case passed.
+    /// The paper's pass criterion: every bad case detected *at a check*,
+    /// every good case passed.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.missed.is_empty() && self.false_positives.is_empty() && self.errors.is_empty()
+        self.missed.is_empty()
+            && self.false_positives.is_empty()
+            && self.trapped_other.is_empty()
+            && self.errors.is_empty()
     }
 }
 
@@ -68,12 +102,14 @@ impl fmt::Display for SuiteResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cases: {} detected, {} passed, {} missed, {} false positives, {} errors",
+            "{} cases: {} detected, {} passed, {} missed, {} false positives, \
+             {} other traps, {} errors",
             self.total(),
             self.detected,
             self.passed,
             self.missed.len(),
             self.false_positives.len(),
+            self.trapped_other.len(),
             self.errors.len()
         )
     }
@@ -91,6 +127,7 @@ pub fn run_suite(cases: &[JulietCase], mode: Mode) -> SuiteResult {
             (CaseKind::Good, CaseOutcome::Detected) => {
                 out.false_positives.push(case.id.clone());
             }
+            (_, CaseOutcome::TrappedOther) => out.trapped_other.push(case.id.clone()),
             (_, CaseOutcome::Errored) => out.errors.push(case.id.clone()),
         }
     }

@@ -19,4 +19,4 @@ pub mod gen;
 pub mod harness;
 
 pub use gen::{all_cases, CaseKind, Cwe, JulietCase, Site, Variant};
-pub use harness::{run_case, run_suite, CaseOutcome, SuiteResult};
+pub use harness::{run_case, run_case_traced, run_suite, CaseOutcome, SuiteResult};

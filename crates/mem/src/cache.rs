@@ -112,8 +112,14 @@ impl Cache {
     /// Panics if `line_size` or `sets` is not a power of two, or `ways` is 0.
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(config.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            config.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            config.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(config.ways > 0, "cache must have at least one way");
         Cache {
             config,

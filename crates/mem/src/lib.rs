@@ -164,7 +164,9 @@ impl Memory {
     }
 
     fn check_range(addr: u64, len: u64) -> Result<(), MemError> {
-        let end = addr.checked_add(len).ok_or(MemError::OutOfAddressSpace { addr })?;
+        let end = addr
+            .checked_add(len)
+            .ok_or(MemError::OutOfAddressSpace { addr })?;
         if end > 1 << 48 {
             return Err(MemError::OutOfAddressSpace { addr: end });
         }
@@ -390,7 +392,10 @@ impl MemSystem {
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn read_uint(&mut self, addr: u64, size: u64) -> Result<(u64, Access), MemError> {
         let mut buf = [0u8; 8];
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size {size}"
+        );
         let acc = self.read(addr, &mut buf[..size as usize])?;
         Ok((u64::from_le_bytes(buf), acc))
     }
@@ -405,7 +410,10 @@ impl MemSystem {
     ///
     /// Panics if `size` is not 1, 2, 4 or 8.
     pub fn write_uint(&mut self, addr: u64, size: u64, v: u64) -> Result<Access, MemError> {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported access size {size}");
+        assert!(
+            matches!(size, 1 | 2 | 4 | 8),
+            "unsupported access size {size}"
+        );
         let bytes = v.to_le_bytes();
         self.write(addr, &bytes[..size as usize])
     }

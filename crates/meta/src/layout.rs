@@ -111,7 +111,10 @@ impl fmt::Display for NarrowError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NarrowError::IndexOutOfRange { index, len } => {
-                write!(f, "subobject index {index} out of range for {len}-entry layout table")
+                write!(
+                    f,
+                    "subobject index {index} out of range for {len}-entry layout table"
+                )
             }
             NarrowError::MalformedParent { index } => {
                 write!(f, "layout entry {index} has a non-decreasing parent link")
@@ -164,7 +167,9 @@ pub fn element_slot(
         return Ok((parent_bounds.lower(), false));
     }
     if parent_elem_size == 0 {
-        return Err(NarrowError::MalformedEntry { index: parent_index });
+        return Err(NarrowError::MalformedEntry {
+            index: parent_index,
+        });
     }
     let elem = u64::from(parent_elem_size);
     let count = (extent / elem).max(1);
@@ -278,7 +283,7 @@ impl LayoutTable {
                 return Err(NarrowError::MalformedEntry { index });
             }
             let extent = (e.bound - e.base) as u64;
-            if e.elem_size != 0 && extent % u64::from(e.elem_size) != 0 {
+            if e.elem_size != 0 && !extent.is_multiple_of(u64::from(e.elem_size)) {
                 return Err(NarrowError::MalformedEntry { index });
             }
             if i > 0 {
@@ -420,10 +425,16 @@ impl LayoutTableBuilder {
         bound: u32,
         elem_size: u32,
     ) -> Result<u16, NarrowError> {
-        let index = u16::try_from(self.entries.len())
-            .map_err(|_| NarrowError::IndexOutOfRange { index: u16::MAX, len: MAX_ENTRIES })?;
+        let index =
+            u16::try_from(self.entries.len()).map_err(|_| NarrowError::IndexOutOfRange {
+                index: u16::MAX,
+                len: MAX_ENTRIES,
+            })?;
         if self.entries.len() >= MAX_ENTRIES {
-            return Err(NarrowError::IndexOutOfRange { index, len: MAX_ENTRIES });
+            return Err(NarrowError::IndexOutOfRange {
+                index,
+                len: MAX_ENTRIES,
+            });
         }
         if usize::from(parent) >= self.entries.len() {
             return Err(NarrowError::MalformedParent { index });
@@ -431,7 +442,7 @@ impl LayoutTableBuilder {
         if base > bound || (bound > base && elem_size == 0) {
             return Err(NarrowError::MalformedEntry { index });
         }
-        if elem_size != 0 && (bound - base) % elem_size != 0 {
+        if elem_size != 0 && !(bound - base).is_multiple_of(elem_size) {
             return Err(NarrowError::MalformedEntry { index });
         }
         let p = self.entries[usize::from(parent)];

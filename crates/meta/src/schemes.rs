@@ -378,9 +378,16 @@ impl GlobalTableRow {
     /// not fit the compressed field.
     #[must_use]
     pub fn to_bytes(&self) -> [u8; Self::SIZE as usize] {
-        assert_eq!(self.layout_table % 16, 0, "layout table must be 16-byte aligned");
+        assert_eq!(
+            self.layout_table % 16,
+            0,
+            "layout table must be 16-byte aligned"
+        );
         let lt_granules = self.layout_table / 16;
-        assert!(lt_granules < 1 << 32, "layout table address too high to compress");
+        assert!(
+            lt_granules < 1 << 32,
+            "layout table address too high to compress"
+        );
         let word0 = (self.base & ((1 << 48) - 1)) | (u64::from(self.valid) << 63);
         let word1 = u64::from(self.size) | (lt_granules << 32);
         let mut b = [0u8; 16];

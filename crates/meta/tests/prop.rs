@@ -1,112 +1,126 @@
 //! Property tests for the metadata structures: narrowing never escapes
 //! the object, serialization round-trips, and the MAC catches every
-//! tamper.
+//! tamper. (Deterministic seeded cases — see `ifp-testutil`.)
 
 use ifp_meta::layout::{LayoutTable, LayoutTableBuilder};
 use ifp_meta::{mac48, LocalOffsetMeta, MacKey, SubheapMeta};
 use ifp_tag::Bounds;
-use proptest::prelude::*;
+use ifp_testutil::{run_cases, Rng, DEFAULT_CASES};
 
-/// Strategy: a random but *valid* layout table. Generates a struct of
-/// `n` fields, each either a scalar, an array, or an array-of-struct with
-/// two members, mirroring what `layout_gen` emits.
-fn arb_table() -> impl Strategy<Value = (LayoutTable, u32 /* object size */)> {
-    proptest::collection::vec(
-        (1u32..4, 1u32..5), // (field kind selector, element count)
-        1..6,
-    )
-    .prop_map(|fields| {
-        // First pass: compute offsets and total size.
-        let mut layout = Vec::new();
-        let mut off = 0u32;
-        for (kind, count) in fields {
-            let (fsize, elem) = match kind {
-                1 => (8u32, 8u32),                 // scalar
-                2 => (8 * count, 8),               // array of scalars
-                _ => (16 * count, 16),             // array of 2-member structs
-            };
-            layout.push((off, fsize, elem, kind));
-            off += fsize;
+/// A random but *valid* layout table. Generates a struct of `n` fields,
+/// each either a scalar, an array, or an array-of-struct with two
+/// members, mirroring what `layout_gen` emits.
+fn arb_table(rng: &mut Rng) -> (LayoutTable, u32 /* object size */) {
+    let fields = rng.vec(1, 6, |r| (r.range_u32(1, 4), r.range_u32(1, 5)));
+    // First pass: compute offsets and total size.
+    let mut layout = Vec::new();
+    let mut off = 0u32;
+    for (kind, count) in fields {
+        let (fsize, elem) = match kind {
+            1 => (8u32, 8u32),     // scalar
+            2 => (8 * count, 8),   // array of scalars
+            _ => (16 * count, 16), // array of 2-member structs
+        };
+        layout.push((off, fsize, elem, kind));
+        off += fsize;
+    }
+    let total = off.max(8);
+    let mut b = LayoutTableBuilder::new(total);
+    for &(off, fsize, elem, kind) in &layout {
+        let idx = b.child(0, off, off + fsize, elem).expect("valid child");
+        if kind == 3 {
+            // two 8-byte members inside each 16-byte element
+            b.child(idx, 0, 8, 8).expect("member a");
+            b.child(idx, 8, 16, 8).expect("member b");
         }
-        let total = off.max(8);
-        let mut b = LayoutTableBuilder::new(total);
-        for &(off, fsize, elem, kind) in &layout {
-            let idx = b.child(0, off, off + fsize, elem).expect("valid child");
-            if kind == 3 {
-                // two 8-byte members inside each 16-byte element
-                b.child(idx, 0, 8, 8).expect("member a");
-                b.child(idx, 8, 16, 8).expect("member b");
-            }
-        }
-        (b.build(), total)
-    })
+    }
+    (b.build(), total)
 }
 
-proptest! {
-    #[test]
-    fn narrowing_never_escapes_object_bounds(
-        (table, size) in arb_table(),
-        base in (0x1000u64..0x10_0000).prop_map(|b| b & !15),
-        addr_off in 0u64..0x400,
-        index in 0u16..16,
-    ) {
+#[test]
+fn narrowing_never_escapes_object_bounds() {
+    run_cases(0x3e7a1, DEFAULT_CASES, |rng| {
+        let (table, size) = arb_table(rng);
+        let base = rng.range_u64(0x1000, 0x10_0000) & !15;
+        let addr_off = rng.range_u64(0, 0x400);
+        let index = rng.range_u16(0, 16);
         let ob = Bounds::from_base_size(base, u64::from(size));
         let addr = base + addr_off;
         if let Ok(out) = table.narrow(ob, addr, index) {
-            prop_assert!(ob.contains(out.bounds),
-                "narrowed {} escapes object {}", out.bounds, ob);
-            prop_assert!(out.bounds.size() > 0);
+            assert!(
+                ob.contains(out.bounds),
+                "narrowed {} escapes object {}",
+                out.bounds,
+                ob
+            );
+            assert!(out.bounds.size() > 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn narrowing_is_deterministic((table, size) in arb_table(),
-                                  addr_off in 0u64..0x100, index in 0u16..16) {
+#[test]
+fn narrowing_is_deterministic() {
+    run_cases(0x3e7a2, DEFAULT_CASES, |rng| {
+        let (table, size) = arb_table(rng);
+        let addr_off = rng.range_u64(0, 0x100);
+        let index = rng.range_u16(0, 16);
         let ob = Bounds::from_base_size(0x4000, u64::from(size));
         let a = table.narrow(ob, 0x4000 + addr_off, index);
         let b = table.narrow(ob, 0x4000 + addr_off, index);
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn table_roundtrips_through_bytes((table, _size) in arb_table()) {
+#[test]
+fn table_roundtrips_through_bytes() {
+    run_cases(0x3e7a3, DEFAULT_CASES, |rng| {
+        let (table, _size) = arb_table(rng);
         let bytes = table.to_bytes();
         let back = LayoutTable::from_bytes(&bytes).expect("valid image");
-        prop_assert_eq!(back, table);
-    }
+        assert_eq!(back, table);
+    });
+}
 
-    #[test]
-    fn runtime_array_roots_stay_in_bounds(
-        (table, size) in arb_table(),
-        count in 1u64..8,
-        addr_off in 0u64..0x1000,
-        index in 0u16..16,
-    ) {
+#[test]
+fn runtime_array_roots_stay_in_bounds() {
+    run_cases(0x3e7a4, DEFAULT_CASES, |rng| {
+        let (table, size) = arb_table(rng);
+        let count = rng.range_u64(1, 8);
+        let addr_off = rng.range_u64(0, 0x1000);
+        let index = rng.range_u16(0, 16);
         // Object bounds covering `count` elements of the root type
         // (the malloc(n * sizeof(T)) case).
         let ob = Bounds::from_base_size(0x8000, u64::from(size) * count);
         if let Ok(out) = table.narrow(ob, 0x8000 + addr_off, index) {
-            prop_assert!(ob.contains(out.bounds));
+            assert!(ob.contains(out.bounds));
         }
-    }
+    });
+}
 
-    #[test]
-    fn local_offset_meta_roundtrip(size in 1u16..1009, lt in proptest::option::of(0x1000u64..0x10_0000)) {
+#[test]
+fn local_offset_meta_roundtrip() {
+    run_cases(0x3e7a5, DEFAULT_CASES, |rng| {
+        let size = rng.range_u16(1, 1009);
+        let lt = rng.option(|r| r.range_u64(0x1000, 0x10_0000)).unwrap_or(0);
         let key = MacKey::default_for_sim();
-        let lt = lt.unwrap_or(0);
         let meta_addr = 0x7000u64;
         let m = LocalOffsetMeta::new(size, lt, meta_addr, key);
         let back = LocalOffsetMeta::from_bytes(&m.to_bytes());
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m);
         let obj = back.resolve(meta_addr, key).expect("untampered");
-        prop_assert_eq!(obj.size, u64::from(size));
-        prop_assert_eq!(obj.layout_table, lt);
-        prop_assert!(obj.base <= meta_addr);
-    }
+        assert_eq!(obj.size, u64::from(size));
+        assert_eq!(obj.layout_table, lt);
+        assert!(obj.base <= meta_addr);
+    });
+}
 
-    #[test]
-    fn local_offset_any_bit_flip_is_caught(size in 1u16..1009, lt in 0u64..0x10_0000,
-                                           byte in 0usize..10, bit in 0u8..8) {
+#[test]
+fn local_offset_any_bit_flip_is_caught() {
+    run_cases(0x3e7a6, DEFAULT_CASES, |rng| {
+        let size = rng.range_u16(1, 1009);
+        let lt = rng.range_u64(0, 0x10_0000);
+        let byte = rng.range_usize(0, 10);
+        let bit = rng.range_u8(0, 8);
         // Flips in the size/lt fields must break the MAC (flips inside the
         // MAC field itself trivially mismatch too, but are excluded here
         // to keep the property crisp).
@@ -115,18 +129,19 @@ proptest! {
         let mut bytes = m.to_bytes();
         bytes[byte] ^= 1 << bit;
         if bytes == m.to_bytes() {
-            return Ok(()); // the flip was a no-op (can't happen, but safe)
+            return; // the flip was a no-op (can't happen, but safe)
         }
         let tampered = LocalOffsetMeta::from_bytes(&bytes);
-        prop_assert!(tampered.resolve(0x7000, key).is_err());
-    }
+        assert!(tampered.resolve(0x7000, key).is_err());
+    });
+}
 
-    #[test]
-    fn subheap_meta_resolves_within_slots(
-        slot_count in 1u32..32,
-        slot_units in 1u32..8,        // slot size in 16-byte units
-        off in 0u64..0x1000,
-    ) {
+#[test]
+fn subheap_meta_resolves_within_slots() {
+    run_cases(0x3e7a7, DEFAULT_CASES, |rng| {
+        let slot_count = rng.range_u32(1, 32);
+        let slot_units = rng.range_u32(1, 8); // slot size in 16-byte units
+        let off = rng.range_u64(0, 0x1000);
         let key = MacKey::default_for_sim();
         let slot = slot_units * 16;
         let object = slot - 3;
@@ -134,34 +149,41 @@ proptest! {
         let m = SubheapMeta::new(32, 32 + slot_count * slot, slot, object, 0, block, key);
         let addr = block + off;
         if let Ok(obj) = m.resolve(block, addr, key) {
-            prop_assert!(obj.base <= addr);
-            prop_assert!(addr < obj.base + u64::from(slot));
+            assert!(obj.base <= addr);
+            assert!(addr < obj.base + u64::from(slot));
             // The object base is slot-aligned within the array.
-            prop_assert_eq!((obj.base - block - 32) % u64::from(slot), 0);
-            prop_assert_eq!(obj.size, u64::from(object));
+            assert_eq!((obj.base - block - 32) % u64::from(slot), 0);
+            assert_eq!(obj.size, u64::from(object));
         } else {
             // Rejected: the address must be outside the slot array.
             let in_slots = addr >= block + 32 && addr < block + 32 + u64::from(slot_count * slot);
-            prop_assert!(!in_slots);
+            assert!(!in_slots);
         }
-    }
+    });
+}
 
-    #[test]
-    fn subheap_meta_wrong_block_rejected(shift in 0u64..16) {
+#[test]
+fn subheap_meta_wrong_block_rejected() {
+    run_cases(0x3e7a8, DEFAULT_CASES, |rng| {
+        let shift = rng.range_u64(0, 16);
         let key = MacKey::default_for_sim();
         let m = SubheapMeta::new(32, 32 + 480, 48, 40, 0, 0x4_0000, key);
         let other = 0x4_0000 + ((shift + 1) << 12);
-        prop_assert!(m.resolve(other, other + 64, key).is_err());
-    }
+        assert!(m.resolve(other, other + 64, key).is_err());
+    });
+}
 
-    #[test]
-    fn mac_distributes(a in any::<Vec<u8>>(), b in any::<Vec<u8>>()) {
+#[test]
+fn mac_distributes() {
+    run_cases(0x3e7a9, DEFAULT_CASES, |rng| {
+        let a = rng.bytes(64);
+        let b = rng.bytes(64);
         let key = MacKey::default_for_sim();
         if a != b {
             // Not a collision-resistance proof, just a smoke property: our
             // 48-bit truncation should essentially never collide on random
             // small inputs.
-            prop_assert!(mac48(key, &a) != mac48(key, &b) || a == b);
+            assert!(mac48(key, &a) != mac48(key, &b) || a == b);
         }
-    }
+    });
 }

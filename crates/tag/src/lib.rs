@@ -563,7 +563,10 @@ impl Bounds {
     #[must_use]
     pub fn new(lower: u64, upper: u64) -> Self {
         assert!(lower <= upper, "bounds lower {lower:#x} > upper {upper:#x}");
-        assert!(upper <= 1 << ADDR_BITS, "bounds upper {upper:#x} exceeds address space");
+        assert!(
+            upper <= 1 << ADDR_BITS,
+            "bounds upper {upper:#x} exceeds address space"
+        );
         Bounds { lower, upper }
     }
 
@@ -634,7 +637,10 @@ impl Bounds {
         let lower = self.lower.max(other.lower);
         let upper = self.upper.min(other.upper);
         if lower > upper {
-            Bounds { lower, upper: lower }
+            Bounds {
+                lower,
+                upper: lower,
+            }
         } else {
             Bounds { lower, upper }
         }

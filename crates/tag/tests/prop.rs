@@ -1,106 +1,149 @@
-//! Property tests for the tag codec: every raw 64-bit value decodes and
-//! re-encodes without loss, and field updates are independent.
+//! Randomized property tests for the tag codec: every raw 64-bit value
+//! decodes and re-encodes without loss, and field updates are
+//! independent. (Deterministic seeded cases — see `ifp-testutil`.)
 
 use ifp_tag::{
     Bounds, GlobalTableTag, LocalOffsetTag, Poison, SchemeSel, SubheapTag, Tag, TaggedPtr,
     ADDR_MASK,
 };
-use proptest::prelude::*;
+use ifp_testutil::{run_cases, Rng, DEFAULT_CASES};
 
-fn arb_poison() -> impl Strategy<Value = Poison> {
-    prop_oneof![
-        Just(Poison::Valid),
-        Just(Poison::OutOfBounds),
-        Just(Poison::Invalid),
-    ]
-}
-
-fn arb_scheme() -> impl Strategy<Value = SchemeSel> {
-    prop_oneof![
-        Just(SchemeSel::Legacy),
-        Just(SchemeSel::LocalOffset),
-        Just(SchemeSel::Subheap),
-        Just(SchemeSel::GlobalTable),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn tag_bits_roundtrip(poison in arb_poison(), scheme in arb_scheme(), meta in 0u16..0x1000) {
-        let tag = Tag { poison, scheme, scheme_meta: meta };
-        prop_assert_eq!(Tag::from_bits(tag.to_bits()), tag);
+fn any_poison(rng: &mut Rng) -> Poison {
+    match rng.range_u8(0, 3) {
+        0 => Poison::Valid,
+        1 => Poison::OutOfBounds,
+        _ => Poison::Invalid,
     }
+}
 
-    #[test]
-    fn raw_roundtrip_is_lossless(raw in any::<u64>()) {
+fn any_scheme(rng: &mut Rng) -> SchemeSel {
+    match rng.range_u8(0, 4) {
+        0 => SchemeSel::Legacy,
+        1 => SchemeSel::LocalOffset,
+        2 => SchemeSel::Subheap,
+        _ => SchemeSel::GlobalTable,
+    }
+}
+
+#[test]
+fn tag_bits_roundtrip() {
+    run_cases(0x7a61, DEFAULT_CASES, |rng| {
+        let tag = Tag {
+            poison: any_poison(rng),
+            scheme: any_scheme(rng),
+            scheme_meta: rng.range_u16(0, 0x1000),
+        };
+        assert_eq!(Tag::from_bits(tag.to_bits()), tag);
+    });
+}
+
+#[test]
+fn raw_roundtrip_is_lossless() {
+    run_cases(0x7a62, DEFAULT_CASES * 4, |rng| {
+        let raw = rng.u64();
         let p = TaggedPtr::from_raw(raw);
-        prop_assert_eq!(p.raw(), raw);
+        assert_eq!(p.raw(), raw);
         // Re-assembling from decoded pieces reproduces the raw value as long
         // as the poison bits are not the reserved 0b11 pattern (which decodes
         // to Invalid and re-encodes as 0b10 — failing closed by design).
         let reassembled = TaggedPtr::from_raw(p.addr()).with_tag(p.tag());
         if (raw >> 62) & 0b11 != 0b11 {
-            prop_assert_eq!(reassembled.raw(), raw);
+            assert_eq!(reassembled.raw(), raw);
         } else {
-            prop_assert_eq!(reassembled.poison(), Poison::Invalid);
-            prop_assert_eq!(reassembled.addr(), p.addr());
+            assert_eq!(reassembled.poison(), Poison::Invalid);
+            assert_eq!(reassembled.addr(), p.addr());
         }
-    }
+    });
+}
 
-    #[test]
-    fn field_updates_are_independent(addr in 0u64..=ADDR_MASK, meta in 0u16..0x1000,
-                                     poison in arb_poison(), scheme in arb_scheme()) {
+#[test]
+fn field_updates_are_independent() {
+    run_cases(0x7a63, DEFAULT_CASES, |rng| {
+        let addr = rng.range_u64(0, ADDR_MASK + 1);
+        let meta = rng.range_u16(0, 0x1000);
+        let poison = any_poison(rng);
+        let scheme = any_scheme(rng);
         let p = TaggedPtr::from_addr(addr)
             .with_poison(poison)
             .with_scheme(scheme)
             .with_scheme_meta(meta);
-        prop_assert_eq!(p.addr(), addr);
-        prop_assert_eq!(p.poison(), poison);
-        prop_assert_eq!(p.scheme(), scheme);
-        prop_assert_eq!(p.scheme_meta(), meta);
-    }
+        assert_eq!(p.addr(), addr);
+        assert_eq!(p.poison(), poison);
+        assert_eq!(p.scheme(), scheme);
+        assert_eq!(p.scheme_meta(), meta);
+    });
+}
 
-    #[test]
-    fn arithmetic_roundtrip(addr in 0u64..=ADDR_MASK, delta in any::<i32>(), meta in 0u16..0x1000) {
-        let p = TaggedPtr::from_addr(addr).with_scheme(SchemeSel::Subheap).with_scheme_meta(meta);
-        let q = p.wrapping_add_addr(i64::from(delta)).wrapping_add_addr(-i64::from(delta));
-        prop_assert_eq!(p, q);
-    }
+#[test]
+fn arithmetic_roundtrip() {
+    run_cases(0x7a64, DEFAULT_CASES, |rng| {
+        let addr = rng.range_u64(0, ADDR_MASK + 1);
+        let delta = rng.range_i64(i64::from(i32::MIN), i64::from(i32::MAX) + 1);
+        let meta = rng.range_u16(0, 0x1000);
+        let p = TaggedPtr::from_addr(addr)
+            .with_scheme(SchemeSel::Subheap)
+            .with_scheme_meta(meta);
+        let q = p.wrapping_add_addr(delta).wrapping_add_addr(-delta);
+        assert_eq!(p, q);
+    });
+}
 
-    #[test]
-    fn local_offset_roundtrip(off in 0u8..64, idx in 0u8..64) {
-        let t = LocalOffsetTag { granule_offset: off, subobject_index: idx };
-        prop_assert_eq!(LocalOffsetTag::decode(t.encode().unwrap()), t);
-    }
+#[test]
+fn local_offset_roundtrip() {
+    run_cases(0x7a65, DEFAULT_CASES, |rng| {
+        let t = LocalOffsetTag {
+            granule_offset: rng.range_u8(0, 64),
+            subobject_index: rng.range_u8(0, 64),
+        };
+        assert_eq!(LocalOffsetTag::decode(t.encode().unwrap()), t);
+    });
+}
 
-    #[test]
-    fn subheap_roundtrip(ctrl in 0u8..16, idx in any::<u8>()) {
-        let t = SubheapTag { ctrl_index: ctrl, subobject_index: idx };
-        prop_assert_eq!(SubheapTag::decode(t.encode().unwrap()), t);
-    }
+#[test]
+fn subheap_roundtrip() {
+    run_cases(0x7a66, DEFAULT_CASES, |rng| {
+        let t = SubheapTag {
+            ctrl_index: rng.range_u8(0, 16),
+            subobject_index: rng.u8(),
+        };
+        assert_eq!(SubheapTag::decode(t.encode().unwrap()), t);
+    });
+}
 
-    #[test]
-    fn global_table_roundtrip(idx in 0u16..0x1000) {
-        let t = GlobalTableTag { table_index: idx };
-        prop_assert_eq!(GlobalTableTag::decode(t.encode().unwrap()), t);
-    }
+#[test]
+fn global_table_roundtrip() {
+    run_cases(0x7a67, DEFAULT_CASES, |rng| {
+        let t = GlobalTableTag {
+            table_index: rng.range_u16(0, 0x1000),
+        };
+        assert_eq!(GlobalTableTag::decode(t.encode().unwrap()), t);
+    });
+}
 
-    #[test]
-    fn bounds_check_matches_interval_math(base in 0u64..0x1000_0000, size in 0u64..0x10000,
-                                          addr in 0u64..0x1001_0000, n in 1u64..64) {
+#[test]
+fn bounds_check_matches_interval_math() {
+    run_cases(0x7a68, DEFAULT_CASES * 4, |rng| {
+        let base = rng.range_u64(0, 0x1000_0000);
+        let size = rng.range_u64(0, 0x10000);
+        let addr = rng.range_u64(0, 0x1001_0000);
+        let n = rng.range_u64(1, 64);
         let b = Bounds::from_base_size(base, size);
         let expected = addr >= base && addr + n <= base + size;
-        prop_assert_eq!(b.allows_access(addr, n), expected);
-    }
+        assert_eq!(b.allows_access(addr, n), expected);
+    });
+}
 
-    #[test]
-    fn classify_addr_consistent_with_allows(base in 0u64..0x1000_0000, size in 1u64..0x10000,
-                                            addr in 0u64..0x1001_0000) {
+#[test]
+fn classify_addr_consistent_with_allows() {
+    run_cases(0x7a69, DEFAULT_CASES * 4, |rng| {
+        let base = rng.range_u64(0, 0x1000_0000);
+        let size = rng.range_u64(1, 0x10000);
+        let addr = rng.range_u64(0, 0x1001_0000);
         let b = Bounds::from_base_size(base, size);
         match b.classify_addr(addr) {
-            Poison::Valid => prop_assert!(b.allows_access(addr, 1)),
-            Poison::OutOfBounds => prop_assert_eq!(addr, b.upper()),
-            Poison::Invalid => prop_assert!(!b.allows_access(addr, 1)),
+            Poison::Valid => assert!(b.allows_access(addr, 1)),
+            Poison::OutOfBounds => assert_eq!(addr, b.upper()),
+            Poison::Invalid => assert!(!b.allows_access(addr, 1)),
         }
-    }
+    });
 }

@@ -1,0 +1,213 @@
+//! Dependency-free test utilities: a deterministic PRNG for
+//! randomized-property tests and a minimal wall-clock micro-benchmark
+//! harness.
+//!
+//! The reproduction runs in hermetic environments with no crates-io
+//! access, so the property tests that previously leaned on `proptest`
+//! draw their cases from [`Rng`] instead: a seeded splitmix64/xoshiro
+//! generator whose sequences are stable across runs and platforms.
+//! Failures therefore reproduce exactly from the iteration number
+//! printed by [`run_cases`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Number of cases randomized tests run by default (override per call
+/// site when a property is expensive).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via
+/// splitmix64). Not cryptographic; test-case generation only.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds give equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the xoshiro state.
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Rng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next value in `[lo, hi)`. Panics when the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64() % (hi - lo)
+    }
+
+    /// The next signed value in `[lo, hi)`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add((self.u64() % lo.abs_diff(hi)) as i64)
+    }
+
+    /// The next value in `[lo, hi)` as `u32`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// The next value in `[lo, hi)` as `u16`.
+    pub fn range_u16(&mut self, lo: u16, hi: u16) -> u16 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u16
+    }
+
+    /// The next value in `[lo, hi)` as `u8`.
+    pub fn range_u8(&mut self, lo: u8, hi: u8) -> u8 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u8
+    }
+
+    /// The next value in `[lo, hi)` as `usize`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniformly random `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.u64() as u8
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// `Some(f(self))` with probability 1/2, else `None` — mirrors
+    /// `proptest::option::of`.
+    pub fn option<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// A vector of `len ∈ [min_len, max_len)` elements drawn from `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let n = self.range_usize(min_len, max_len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A byte vector of length `[0, max_len)`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        self.vec(0, max_len, Rng::u8)
+    }
+}
+
+/// Runs `body` for `cases` deterministic iterations, seeding each from
+/// `seed` and the iteration index; panics are annotated with the failing
+/// iteration so the case reproduces directly.
+pub fn run_cases(seed: u64, cases: u32, mut body: impl FnMut(&mut Rng)) {
+    for i in 0..cases {
+        let mut rng = Rng::new(seed ^ (u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            eprintln!("property failed at case {i} (seed {seed:#x})");
+            std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// A minimal wall-clock micro-benchmark: runs `f` until ~`budget_ms` of
+/// wall time is spent (with a warmup pass) and reports mean ns/iter.
+/// A stand-in for Criterion in offline builds; not statistically rigorous.
+pub fn bench_ns<R>(name: &str, budget_ms: u64, mut f: impl FnMut() -> R) -> f64 {
+    // Warmup + calibration: find an iteration count that fills the budget.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let dt = t0.elapsed().as_nanos() as u64;
+        if dt > 1_000_000 || iters >= 1 << 24 {
+            break (dt.max(1) as f64) / iters as f64;
+        }
+        iters *= 8;
+    };
+    let total_iters = (((budget_ms * 1_000_000) as f64 / per_iter) as u64).clamp(iters, 1 << 28);
+    let t0 = std::time::Instant::now();
+    for _ in 0..total_iters {
+        std::hint::black_box(f());
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / total_iters as f64;
+    println!("{name:<44} {ns:>12.1} ns/iter  ({total_iters} iters)");
+    ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let s = rng.range_i64(-5, 5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn option_and_vec_vary() {
+        let mut rng = Rng::new(3);
+        let mut some = 0;
+        for _ in 0..100 {
+            if rng.option(|r| r.u8()).is_some() {
+                some += 1;
+            }
+        }
+        assert!(some > 20 && some < 80, "{some}");
+        let v = rng.vec(1, 64, |r| r.range_u64(1, 512));
+        assert!(!v.is_empty() && v.len() < 64);
+    }
+
+    #[test]
+    fn run_cases_is_deterministic() {
+        let mut first = Vec::new();
+        run_cases(9, 8, |rng| first.push(rng.u64()));
+        let mut second = Vec::new();
+        run_cases(9, 8, |rng| second.push(rng.u64()));
+        assert_eq!(first, second);
+    }
+}

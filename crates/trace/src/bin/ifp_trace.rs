@@ -1,0 +1,49 @@
+//! `ifp-trace`: summarize a JSONL trace log into per-function and
+//! per-event-kind histograms.
+//!
+//! ```text
+//! ifp-trace run.jsonl          # summarize a file
+//! ifp-trace a.jsonl b.jsonl    # merge several
+//! some-run | ifp-trace         # or read stdin
+//! ```
+
+use ifp_trace::Summary;
+use std::io::{BufRead, BufReader, Read};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: ifp-trace [FILE.jsonl ...]   (no files: read stdin)");
+        return;
+    }
+    let mut summary = Summary::default();
+    if args.is_empty() {
+        read_into(&mut summary, std::io::stdin().lock(), "<stdin>");
+    } else {
+        for path in &args {
+            match std::fs::File::open(path) {
+                Ok(f) => read_into(&mut summary, BufReader::new(f), path),
+                Err(e) => {
+                    eprintln!("ifp-trace: {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    print!("{summary}");
+    if summary.malformed_lines > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn read_into<R: Read + BufRead>(summary: &mut Summary, reader: R, name: &str) {
+    for line in reader.lines() {
+        match line {
+            Ok(l) => summary.add_line(&l),
+            Err(e) => {
+                eprintln!("ifp-trace: {name}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

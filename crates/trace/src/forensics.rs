@@ -1,0 +1,352 @@
+//! Trap forensics: reconstructing what a faulting access was *doing*
+//! from the event ring.
+//!
+//! When an instrumented run traps, the trap itself only says "this
+//! address, this size, these bounds". The ring tail says the rest: which
+//! allocation the pointer belonged to (the most recent `Alloc` covering
+//! the fault address), which metadata scheme served it, and — for
+//! intra-object violations — which subobject the bounds were narrowed to
+//! (the most recent `Promote` whose narrowed bounds match the failed
+//! check). From those the report derives the out-of-bounds distance in
+//! bytes, turning "bounds violation at 0x2018" into "8-byte access 4
+//! bytes past the end of subobject #5 of the 24-byte object at 0x2000".
+
+use crate::event::{EventKind, NarrowOutcome, Region, Scheme, TraceEvent, TrapKind};
+use std::fmt;
+
+/// How many ring-tail events a report carries for context.
+const RECENT_WINDOW: usize = 16;
+
+/// The object a faulting pointer belonged to, per the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObjectInfo {
+    /// Object base address.
+    pub base: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Metadata scheme that served it.
+    pub scheme: Scheme,
+    /// Region it was allocated in.
+    pub region: Region,
+}
+
+/// The subobject the access was confined to, per the trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubobjectInfo {
+    /// Layout-table index of the subobject.
+    pub index: u16,
+    /// Narrowed lower bound.
+    pub lower: u64,
+    /// Narrowed upper bound.
+    pub upper: u64,
+}
+
+/// Reconstruction of a faulting access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForensicReport {
+    /// Function the trap was raised in.
+    pub func: String,
+    /// Trap classification.
+    pub trap: TrapKind,
+    /// Faulting address.
+    pub fault_addr: u64,
+    /// Access size in bytes (0 when unknown).
+    pub access_size: u64,
+    /// The bounds the access violated, when any were involved.
+    pub bounds: Option<(u64, u64)>,
+    /// Signed out-of-bounds distance in bytes: positive = the access
+    /// ends that far past the upper bound, negative = it starts that far
+    /// below the lower bound. `None` when no interval is known (e.g. a
+    /// poisoned-pointer trap with no covering allocation in the ring).
+    pub oob_distance: Option<i64>,
+    /// The allocation the fault address (or violated bounds) belongs to.
+    pub object: Option<ObjectInfo>,
+    /// The subobject the bounds were narrowed to, for intra-object
+    /// violations.
+    pub subobject: Option<SubobjectInfo>,
+    /// The ring tail (most recent last), bounded to a small window.
+    pub recent: Vec<TraceEvent>,
+}
+
+fn signed_distance(addr: u64, size: u64, lower: u64, upper: u64) -> Option<i64> {
+    if addr < lower {
+        Some(-((lower - addr) as i64))
+    } else if addr.saturating_add(size) > upper {
+        Some((addr.saturating_add(size) - upper) as i64)
+    } else {
+        None
+    }
+}
+
+impl ForensicReport {
+    /// Reconstructs a report from `events` (oldest first). `bounds` is
+    /// the interval the trapping check used, when the trap carried one;
+    /// otherwise the last failing `Check` event supplies it.
+    #[must_use]
+    pub fn reconstruct(
+        events: &[TraceEvent],
+        trap: TrapKind,
+        addr: u64,
+        size: u64,
+        bounds: Option<(u64, u64)>,
+        func: &str,
+    ) -> ForensicReport {
+        // The most recent failed check at this address: a poisoned-pointer
+        // trap carries neither bounds nor access size itself, but the
+        // check that observed the poison recorded both.
+        let failed_check = events.iter().rev().find_map(|e| match e.kind {
+            EventKind::Check {
+                addr: a,
+                size,
+                lower,
+                upper,
+                passed: false,
+            } if a == addr => Some((size, lower, upper)),
+            _ => None,
+        });
+        // The violated interval: the trap's own, else the failed check's.
+        let bounds = bounds.filter(|&(lo, up)| (lo, up) != (0, 0)).or_else(|| {
+            failed_check
+                .map(|(_, lower, upper)| (lower, upper))
+                .filter(|&(lo, up)| (lo, up) != (0, 0))
+        });
+        let size = if size == 0 {
+            failed_check.map_or(0, |(s, _, _)| s)
+        } else {
+            size
+        };
+
+        // The subobject: the most recent promote that narrowed to
+        // exactly the violated interval (the bounds provenance), else
+        // the most recent narrowing whose result is consistent with the
+        // fault address being just outside it.
+        let narrowed = |e: &TraceEvent| match e.kind {
+            EventKind::Promote {
+                narrowing: NarrowOutcome::Narrowed,
+                sub_index,
+                lower,
+                upper,
+                ..
+            } if sub_index != 0 => Some(SubobjectInfo {
+                index: sub_index,
+                lower,
+                upper,
+            }),
+            _ => None,
+        };
+        let subobject = match bounds {
+            Some((lo, up)) => events
+                .iter()
+                .rev()
+                .filter_map(narrowed)
+                .find(|s| (s.lower, s.upper) == (lo, up)),
+            None => events
+                .iter()
+                .rev()
+                .filter_map(narrowed)
+                .find(|s| addr >= s.lower.saturating_sub(64) && addr < s.upper + 64),
+        };
+
+        // The object: the most recent allocation covering the fault
+        // address, else one covering the violated interval (an access
+        // that walked off the end still belongs to the object whose
+        // bounds it broke).
+        let covering = |probe: u64, slack: u64| {
+            events.iter().rev().find_map(|e| match e.kind {
+                EventKind::Alloc {
+                    addr: base,
+                    size: osize,
+                    scheme,
+                    region,
+                } if probe >= base && probe < base + osize.max(1) + slack => Some(ObjectInfo {
+                    base,
+                    size: osize,
+                    scheme,
+                    region,
+                }),
+                _ => None,
+            })
+        };
+        let object = covering(addr, 0)
+            .or_else(|| bounds.and_then(|(lo, _)| covering(lo, 0)))
+            .or_else(|| subobject.and_then(|s| covering(s.lower, 0)))
+            // A wild pointer that walked off the end of its object is not
+            // covered by any extent; attribute it to the most recent
+            // allocation it is just past.
+            .or_else(|| covering(addr, 4096));
+
+        // Distance: against the violated interval when known, else
+        // against the object extent.
+        let oob_distance = match (bounds, object) {
+            (Some((lo, up)), _) => signed_distance(addr, size, lo, up),
+            (None, Some(o)) => signed_distance(addr, size, o.base, o.base + o.size),
+            (None, None) => None,
+        };
+
+        let start = events.len().saturating_sub(RECENT_WINDOW);
+        ForensicReport {
+            func: func.to_string(),
+            trap,
+            fault_addr: addr,
+            access_size: size,
+            bounds,
+            oob_distance,
+            object,
+            subobject,
+            recent: events[start..].to_vec(),
+        }
+    }
+
+    /// One-paragraph human rendering (what the VM attaches to the error
+    /// display and the Juliet harness prints on demand).
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for ForensicReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.trap {
+            TrapKind::Poisoned => "access through poisoned pointer",
+            TrapKind::Bounds => "bounds violation",
+            TrapKind::Mem => "page fault",
+            TrapKind::MemPromote => "page fault during promote",
+        };
+        write!(f, "{what} in `{}`: ", self.func)?;
+        if self.access_size > 0 {
+            write!(
+                f,
+                "{}-byte access at {:#x}",
+                self.access_size, self.fault_addr
+            )?;
+        } else {
+            write!(f, "access at {:#x}", self.fault_addr)?;
+        }
+        if let Some((lo, up)) = self.bounds {
+            write!(f, " outside [{lo:#x}, {up:#x})")?;
+        }
+        if let Some(d) = self.oob_distance {
+            if d >= 0 {
+                write!(f, ", {d} byte(s) past the end")?;
+            } else {
+                write!(f, ", {} byte(s) before the start", -d)?;
+            }
+        }
+        if let Some(s) = self.subobject {
+            write!(
+                f,
+                "; subobject #{} [{:#x}, {:#x})",
+                s.index, s.lower, s.upper
+            )?;
+        }
+        if let Some(o) = self.object {
+            write!(
+                f,
+                "; object {:#x} ({} bytes, {} scheme, {})",
+                o.base,
+                o.size,
+                o.scheme.name(),
+                o.region.name()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{PromoteOutcome, TraceEvent};
+
+    fn ev(seq: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { seq, func: 0, kind }
+    }
+
+    #[test]
+    fn reconstructs_subobject_overflow() {
+        // malloc(24) at 0x2000, promote narrows to subobject #5 at
+        // [0x2014, 0x2018), then an 8-byte access at 0x2014 fails.
+        let events = vec![
+            ev(
+                0,
+                EventKind::Alloc {
+                    addr: 0x2000,
+                    size: 24,
+                    scheme: Scheme::LocalOffset,
+                    region: Region::Heap,
+                },
+            ),
+            ev(
+                1,
+                EventKind::Promote {
+                    ptr: 0x2014,
+                    kind: PromoteOutcome::Valid,
+                    narrowing: NarrowOutcome::Narrowed,
+                    sub_index: 5,
+                    lower: 0x2014,
+                    upper: 0x2018,
+                    fetches: 2,
+                    misses: 0,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Check {
+                    addr: 0x2014,
+                    size: 8,
+                    lower: 0x2014,
+                    upper: 0x2018,
+                    passed: false,
+                },
+            ),
+        ];
+        let r = ForensicReport::reconstruct(
+            &events,
+            TrapKind::Bounds,
+            0x2014,
+            8,
+            Some((0x2014, 0x2018)),
+            "f",
+        );
+        assert_eq!(r.oob_distance, Some(4));
+        assert_eq!(r.subobject.unwrap().index, 5);
+        let o = r.object.unwrap();
+        assert_eq!((o.base, o.size), (0x2000, 24));
+        assert_eq!(o.scheme, Scheme::LocalOffset);
+        let text = r.render();
+        assert!(text.contains("subobject #5"), "{text}");
+        assert!(text.contains("4 byte(s) past the end"), "{text}");
+    }
+
+    #[test]
+    fn poisoned_trap_falls_back_to_object_extent() {
+        let events = vec![ev(
+            0,
+            EventKind::Alloc {
+                addr: 0x4000,
+                size: 64,
+                scheme: Scheme::Subheap,
+                region: Region::Heap,
+            },
+        )];
+        // The wild pointer walked 16 bytes past the object.
+        let r = ForensicReport::reconstruct(&events, TrapKind::Poisoned, 0x4040, 8, None, "g");
+        assert_eq!(r.object.unwrap().base, 0x4000);
+        assert!(r.oob_distance.unwrap() > 0);
+    }
+
+    #[test]
+    fn underflow_distance_is_negative() {
+        let r = ForensicReport::reconstruct(
+            &[],
+            TrapKind::Bounds,
+            0x0ff8,
+            8,
+            Some((0x1000, 0x1040)),
+            "h",
+        );
+        assert_eq!(r.oob_distance, Some(-8));
+        assert!(r.render().contains("before the start"));
+    }
+}

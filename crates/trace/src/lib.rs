@@ -1,0 +1,422 @@
+//! Execution tracing and violation forensics for the In-Fat Pointer
+//! reproduction.
+//!
+//! The simulator's statistics ([`ifp-vm`]'s `RunStats`) answer "how
+//! much": counts and cycles for the paper's tables. This crate answers
+//! "what happened": a compact, bounded stream of the security-relevant
+//! events — allocations, promotes, access checks, tag mutations, MAC
+//! verifications, metadata cache traffic and traps — recorded into a
+//! fixed-capacity ring so a run can be interrogated *after the fact*,
+//! most importantly at the moment a spatial violation traps.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** The simulator is also the benchmark
+//!    harness; tracing must not perturb Figure 10. A disabled tracer
+//!    never allocates (the ring is lazily created on first record) and
+//!    every record call reduces to one branch on a category bitmask.
+//! 2. **Bounded when on.** Olden workloads execute hundreds of millions
+//!    of checks; an unbounded log is useless. The ring keeps the most
+//!    recent `capacity` events and counts what it overwrote, and a
+//!    sampling period can thin high-frequency categories while traps
+//!    are always kept.
+//! 3. **No machine references.** Events are `Copy` integers and code
+//!    enums, resolved against a function-name table only when rendered,
+//!    so this crate has no dependencies and the `ifp-trace` CLI can
+//!    digest logs from anywhere.
+//!
+//! The pieces:
+//!
+//! * [`TraceEvent`] / [`EventKind`] — the event vocabulary;
+//! * [`Tracer`] — the ring-buffer recorder ([`TraceConfig`] selects
+//!   categories, capacity and sampling);
+//! * [`TraceSink`], [`MemorySink`], [`JsonlSink`] — where snapshots go;
+//! * [`ForensicReport`] — reconstruction of a faulting access from the
+//!   ring tail (object, scheme, subobject, out-of-bounds distance);
+//! * [`Summary`] — per-function / per-kind histograms over a JSONL log
+//!   (also behind the `ifp-trace` binary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod forensics;
+mod sink;
+mod summary;
+
+pub use event::{
+    Category, CategoryMask, EventKind, NarrowOutcome, PromoteOutcome, Region, Scheme, TagOp,
+    TraceEvent, TrapKind, NO_FUNC,
+};
+pub use forensics::{ForensicReport, ObjectInfo, SubobjectInfo};
+pub use sink::{JsonlSink, MemorySink, TraceLog, TraceSink};
+pub use summary::Summary;
+
+/// Recorder configuration. `Copy`, so embedding configs (like the VM's)
+/// stay `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Which event categories are recorded. [`CategoryMask::NONE`]
+    /// disables tracing entirely.
+    pub mask: CategoryMask,
+    /// Ring capacity in events. The ring holds the *last* `capacity`
+    /// recorded events; older ones are overwritten and counted in
+    /// [`Tracer::dropped`].
+    pub capacity: usize,
+    /// Sampling period: of every `sample_period` mask-enabled events in
+    /// a category, one is written to the ring. `0` and `1` both mean
+    /// "keep all". [`Category::Trap`] is exempt — traps are always kept.
+    pub sample_period: u32,
+}
+
+impl TraceConfig {
+    /// Default ring capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Tracing disabled.
+    #[must_use]
+    pub fn off() -> Self {
+        TraceConfig {
+            mask: CategoryMask::NONE,
+            capacity: TraceConfig::DEFAULT_CAPACITY,
+            sample_period: 1,
+        }
+    }
+
+    /// Every category, default capacity, no sampling.
+    #[must_use]
+    pub fn all() -> Self {
+        TraceConfig {
+            mask: CategoryMask::ALL,
+            ..TraceConfig::off()
+        }
+    }
+
+    /// Whether any recording can happen under this config.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.mask.any() && self.capacity > 0
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+/// The ring-buffer recorder.
+///
+/// One tracer is owned per simulated machine (the VM threads `&mut
+/// Tracer` through the hardware and allocator models), so recording is
+/// plain mutation — no atomics, no locks.
+///
+/// # Examples
+///
+/// ```
+/// use ifp_trace::{Category, CategoryMask, EventKind, TraceConfig, Tracer};
+///
+/// let cfg = TraceConfig {
+///     mask: CategoryMask::NONE.with(Category::Free),
+///     capacity: 8,
+///     sample_period: 1,
+/// };
+/// let mut t = Tracer::new(cfg);
+/// t.record(EventKind::Free { addr: 0x1000 });
+/// t.record(EventKind::Cache { addr: 0x2000, hit: true }); // masked off
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    config: TraceConfig,
+    /// Lazily allocated on first recorded event; a disabled tracer never
+    /// touches the heap.
+    ring: Vec<TraceEvent>,
+    /// Next write position once the ring is full.
+    head: usize,
+    /// Sequence counter (events passing the mask, pre-sampling).
+    seq: u64,
+    /// Events overwritten by wraparound.
+    dropped: u64,
+    /// Events skipped by the sampling period.
+    sampled_out: u64,
+    /// Per-category counters driving the sampling period.
+    counters: [u32; Category::COUNT],
+    /// Current function-name index attributed to new events.
+    func: u32,
+}
+
+impl Tracer {
+    /// Creates a recorder. No allocation happens until the first event
+    /// is actually recorded.
+    #[must_use]
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer {
+            config,
+            ring: Vec::new(),
+            head: 0,
+            seq: 0,
+            dropped: 0,
+            sampled_out: 0,
+            counters: [0; Category::COUNT],
+            func: NO_FUNC,
+        }
+    }
+
+    /// A disabled recorder — the cheap default the untraced public APIs
+    /// of the hardware and allocator crates use internally.
+    #[must_use]
+    pub fn off() -> Self {
+        Tracer::new(TraceConfig::off())
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Whether `cat` is currently recorded. The hot-path guard: callers
+    /// that must assemble an expensive payload should test this first.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self, cat: Category) -> bool {
+        self.config.mask.contains(cat)
+    }
+
+    /// Whether any category is recorded.
+    #[inline]
+    #[must_use]
+    pub fn any_enabled(&self) -> bool {
+        self.config.mask.any()
+    }
+
+    /// Sets the function-name index attributed to subsequent events.
+    #[inline]
+    pub fn set_func(&mut self, func: u32) {
+        self.func = func;
+    }
+
+    /// Records an event. One branch when the event's category is masked
+    /// off — the disabled-mode fast path.
+    #[inline]
+    pub fn record(&mut self, kind: EventKind) {
+        let cat = kind.category();
+        if !self.config.mask.contains(cat) {
+            return;
+        }
+        self.push(cat, kind);
+    }
+
+    /// The slow path: sampling, lazy allocation, ring write.
+    fn push(&mut self, cat: Category, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        // Sampling: keep every Nth event per category; traps always.
+        if self.config.sample_period > 1 && cat != Category::Trap {
+            let c = &mut self.counters[cat.bit() as usize];
+            let keep = *c == 0;
+            *c += 1;
+            if *c >= self.config.sample_period {
+                *c = 0;
+            }
+            if !keep {
+                self.sampled_out += 1;
+                return;
+            }
+        }
+        if self.config.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        let ev = TraceEvent {
+            seq,
+            func: self.func,
+            kind,
+        };
+        if self.ring.len() < self.config.capacity {
+            if self.ring.capacity() == 0 {
+                self.ring.reserve_exact(self.config.capacity);
+            }
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.config.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was dropped).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten by ring wraparound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events skipped by the sampling period.
+    #[must_use]
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Total events that passed the category mask (recorded, sampled out
+    /// or dropped).
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Whether the ring's backing storage has been allocated — the
+    /// zero-allocation property of disabled mode is `!ring_allocated()`.
+    #[must_use]
+    pub fn ring_allocated(&self) -> bool {
+        self.ring.capacity() > 0
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (older, newer) = if self.ring.len() < self.config.capacity {
+            (&self.ring[..], &self.ring[..0])
+        } else {
+            let (a, b) = self.ring.split_at(self.head);
+            (b, a)
+        };
+        older.iter().chain(newer.iter())
+    }
+
+    /// Copies the held events (oldest first) and bookkeeping into an
+    /// owned [`TraceLog`], resolving function indices against `funcs`.
+    #[must_use]
+    pub fn snapshot(&self, funcs: &[String]) -> TraceLog {
+        TraceLog {
+            events: self.events().copied().collect(),
+            dropped: self.dropped,
+            sampled_out: self.sampled_out,
+            funcs: funcs.to_vec(),
+        }
+    }
+
+    /// Builds a forensic report for a trap from the ring tail. Returns
+    /// `None` when tracing is disabled (nothing to reconstruct from).
+    #[must_use]
+    pub fn forensics(
+        &self,
+        trap: TrapKind,
+        addr: u64,
+        size: u64,
+        bounds: Option<(u64, u64)>,
+        func: &str,
+    ) -> Option<ForensicReport> {
+        if !self.any_enabled() {
+            return None;
+        }
+        let events: Vec<TraceEvent> = self.events().copied().collect();
+        Some(ForensicReport::reconstruct(
+            &events, trap, addr, size, bounds, func,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(addr: u64) -> EventKind {
+        EventKind::Free { addr }
+    }
+
+    #[test]
+    fn masked_categories_are_ignored() {
+        let mut t = Tracer::new(TraceConfig {
+            mask: CategoryMask::NONE.with(Category::Alloc),
+            capacity: 16,
+            sample_period: 1,
+        });
+        t.record(ev(1));
+        assert!(t.is_empty());
+        assert_eq!(t.observed(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_and_counts_drops() {
+        let mut t = Tracer::new(TraceConfig {
+            mask: CategoryMask::ALL,
+            capacity: 4,
+            sample_period: 1,
+        });
+        for i in 0..10 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "the last 4, oldest first");
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_but_all_traps() {
+        let mut t = Tracer::new(TraceConfig {
+            mask: CategoryMask::ALL,
+            capacity: 64,
+            sample_period: 4,
+        });
+        for i in 0..16 {
+            t.record(ev(i));
+        }
+        t.record(EventKind::Trap {
+            kind: TrapKind::Bounds,
+            addr: 0,
+            size: 8,
+            lower: 0,
+            upper: 0,
+        });
+        let frees: Vec<u64> = t
+            .events()
+            .filter_map(|e| match e.kind {
+                EventKind::Free { addr } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frees, vec![0, 4, 8, 12]);
+        assert_eq!(t.sampled_out(), 12);
+        assert!(matches!(
+            t.events().last().unwrap().kind,
+            EventKind::Trap { .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_mode_never_allocates() {
+        let mut t = Tracer::off();
+        for i in 0..100_000 {
+            t.record(ev(i));
+        }
+        assert!(!t.ring_allocated());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn seq_numbers_expose_sampling_gaps() {
+        let mut t = Tracer::new(TraceConfig {
+            mask: CategoryMask::ALL,
+            capacity: 8,
+            sample_period: 2,
+        });
+        for i in 0..6 {
+            t.record(ev(i));
+        }
+        let seqs: Vec<u64> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Sinks: where a tracer's contents go once a run ends.
+
+use crate::event::TraceEvent;
+use std::io::{self, Write};
+
+/// An owned snapshot of a tracer: the held events (oldest first), the
+/// bookkeeping and the function-name table events index into.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceLog {
+    /// The events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten by ring wraparound.
+    pub dropped: u64,
+    /// Events skipped by the sampling period.
+    pub sampled_out: u64,
+    /// Function names; `TraceEvent::func` indexes into this.
+    pub funcs: Vec<String>,
+}
+
+impl TraceLog {
+    /// Feeds every event to `sink`, then finishes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink I/O errors.
+    pub fn drain_to(&self, sink: &mut dyn TraceSink) -> io::Result<()> {
+        for ev in &self.events {
+            sink.emit(ev, &self.funcs)?;
+        }
+        sink.finish()
+    }
+
+    /// Renders the whole log as JSONL (one event per line).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json(&self.funcs));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Consumes events one at a time.
+pub trait TraceSink {
+    /// Handles one event. `funcs` resolves `ev.func`.
+    ///
+    /// # Errors
+    ///
+    /// Sinks backed by I/O propagate write errors.
+    fn emit(&mut self, ev: &TraceEvent, funcs: &[String]) -> io::Result<()>;
+
+    /// Flushes any buffered state. Default: nothing.
+    ///
+    /// # Errors
+    ///
+    /// Sinks backed by I/O propagate flush errors.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Collects events in memory — the test sink.
+#[derive(Clone, Debug, Default)]
+pub struct MemorySink {
+    /// Everything emitted so far.
+    pub events: Vec<TraceEvent>,
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, ev: &TraceEvent, _funcs: &[String]) -> io::Result<()> {
+        self.events.push(*ev);
+        Ok(())
+    }
+}
+
+/// Writes one JSON object per line to any [`Write`] — a file, a pipe,
+/// or a `Vec<u8>` in tests. The format is what [`crate::Summary`] and
+/// the `ifp-trace` binary consume.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Unwraps the writer (after [`TraceSink::finish`]).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, ev: &TraceEvent, funcs: &[String]) -> io::Result<()> {
+        self.writer.write_all(ev.to_json(funcs).as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}

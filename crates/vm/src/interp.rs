@@ -19,6 +19,7 @@ use ifp_mem::MemSystem;
 use ifp_tag::{
     Bounds, LocalOffsetTag, Poison, SchemeSel, SubheapTag, TaggedPtr, LOCAL_OFFSET_GRANULE,
 };
+use ifp_trace::{EventKind, Region, Scheme, TagOp, Tracer, NO_FUNC};
 
 /// Base address of the libc-style heap (baseline + wrapped allocator).
 const LIBC_HEAP_BASE: u64 = HEAP_BASE;
@@ -75,6 +76,7 @@ pub struct Vm<'p> {
     stats: RunStats,
     output: Vec<i64>,
     frames: Vec<Frame>,
+    tracer: Tracer,
 }
 
 impl<'p> Vm<'p> {
@@ -139,6 +141,7 @@ impl<'p> Vm<'p> {
             stats,
             output: Vec::new(),
             frames: Vec::new(),
+            tracer: Tracer::new(config.trace),
         })
     }
 
@@ -207,16 +210,31 @@ impl<'p> Vm<'p> {
         f.bounds[r.0 as usize] = b;
     }
 
-    fn trap(&self, trap: Trap) -> VmError {
+    fn trap(&mut self, trap: Trap) -> VmError {
         let func = self
             .frames
             .last()
             .map(|f| self.program.funcs[f.func].name.clone())
             .unwrap_or_default();
+        // Record the trap (always kept regardless of sampling) and
+        // reconstruct the faulting access from the ring tail.
+        let (kind, addr, size, bounds) = trap.trace_info();
+        self.tracer.record(EventKind::Trap {
+            kind,
+            addr,
+            size,
+            lower: bounds.map_or(0, |b| b.0),
+            upper: bounds.map_or(0, |b| b.1),
+        });
+        let forensics = self
+            .tracer
+            .forensics(kind, addr, size, bounds, &func)
+            .map(Box::new);
         VmError::Trap {
             trap,
             func,
             stats: Box::new(self.stats.clone()),
+            forensics,
         }
     }
 
@@ -304,14 +322,25 @@ impl<'p> Vm<'p> {
             (_, Some(s)) => s.peak_footprint(),
             _ => self.libc.stats().peak_chunks,
         };
+        let trace = self.config.trace.enabled().then(|| {
+            let funcs: Vec<String> = self.program.funcs.iter().map(|f| f.name.clone()).collect();
+            self.tracer.snapshot(&funcs)
+        });
         RunResult {
             exit_code,
             output: self.output,
             stats: self.stats,
+            trace,
         }
     }
 
-    fn push_frame(&mut self, func: usize, args: &[u64], arg_bounds: &[Option<Bounds>], ret_dst: Option<Reg>) {
+    fn push_frame(
+        &mut self,
+        func: usize,
+        args: &[u64],
+        arg_bounds: &[Option<Bounds>],
+        ret_dst: Option<Reg>,
+    ) {
         let f = &self.program.funcs[func];
         let mut regs = vec![0u64; f.num_regs as usize];
         let mut bounds = vec![None; f.num_regs as usize];
@@ -320,6 +349,7 @@ impl<'p> Vm<'p> {
             bounds[..arg_bounds.len()].copy_from_slice(arg_bounds);
         }
         self.stack.push_frame();
+        self.tracer.set_func(u32::try_from(func).unwrap_or(NO_FUNC));
         self.frames.push(Frame {
             func,
             regs,
@@ -340,7 +370,11 @@ impl<'p> Vm<'p> {
                 f.op = 0;
                 Ok(Flow::Continue)
             }
-            Terminator::Br { cond, then_bb, else_bb } => {
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let c = self.eval(*cond);
                 let f = self.frame();
                 f.block = if c != 0 { *then_bb } else { *else_bb };
@@ -372,6 +406,11 @@ impl<'p> Vm<'p> {
                 }
 
                 let frame = self.frames.pop().expect("frame");
+                self.tracer.set_func(
+                    self.frames
+                        .last()
+                        .map_or(NO_FUNC, |f| u32::try_from(f.func).unwrap_or(NO_FUNC)),
+                );
                 if self.frames.is_empty() {
                     return Ok(Flow::Finished(value.unwrap_or(0) as i64));
                 }
@@ -413,13 +452,16 @@ impl<'p> Vm<'p> {
                     self.stats.heap_frees += 1;
                     let cost = match (&mut self.wrapped, &mut self.subheap) {
                         (Some(w), _) => w
-                            .free(&mut self.mem, &mut self.gt, addr)
+                            .free_traced(&mut self.mem, &mut self.gt, addr, &mut self.tracer)
                             .map_err(VmError::Alloc)?,
-                        (_, Some(s)) => s.free(&mut self.mem, addr).map_err(VmError::Alloc)?,
+                        (_, Some(s)) => s
+                            .free_traced(&mut self.mem, addr, &mut self.tracer)
+                            .map_err(VmError::Alloc)?,
                         _ => {
                             self.libc
                                 .free(&mut self.mem.mem, addr)
                                 .map_err(VmError::Alloc)?;
+                            self.tracer.record(EventKind::Free { addr });
                             AllocCost {
                                 base_instrs: alloc_costs::LIBC_FREE,
                                 ifp_instrs: 0,
@@ -449,11 +491,15 @@ impl<'p> Vm<'p> {
                 let size = u64::from(self.program.types.size_of(*ty));
                 let res = self
                     .lsu
-                    .load(&mut self.mem, p, size, b)
+                    .load_traced(&mut self.mem, p, size, b, &mut self.tracer)
                     .map_err(|t| self.trap(t))?;
                 self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
                 let is_ptr = self.program.types.is_ptr(*ty);
-                let value = if is_ptr { res.value } else { sext(res.value, size) };
+                let value = if is_ptr {
+                    res.value
+                } else {
+                    sext(res.value, size)
+                };
 
                 let mut bounds = None;
                 let mut value = value;
@@ -476,8 +522,7 @@ impl<'p> Vm<'p> {
                     None
                 };
                 let mut v = self.eval(*val);
-                if self.instrumented()
-                    && matches!(self.action(fi, bi, oi), OpAction::DemoteOnStore)
+                if self.instrumented() && matches!(self.action(fi, bi, oi), OpAction::DemoteOnStore)
                 {
                     // ifpextract: refresh the stored pointer's poison bits
                     // from its live bounds before it leaves the registers.
@@ -488,11 +533,15 @@ impl<'p> Vm<'p> {
                             v = tp.with_poison(vb.classify_addr(tp.addr())).raw();
                         }
                     }
+                    self.tracer.record(EventKind::Tag {
+                        op: TagOp::Demote,
+                        ptr: TaggedPtr::from_raw(v).addr(),
+                    });
                 }
                 let size = u64::from(self.program.types.size_of(*ty));
                 let res = self
                     .lsu
-                    .store(&mut self.mem, p, size, v, b)
+                    .store_traced(&mut self.mem, p, size, v, b, &mut self.tracer)
                     .map_err(|t| self.trap(t))?;
                 self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
             }
@@ -522,10 +571,7 @@ impl<'p> Vm<'p> {
             Op::Call { dst, func, args } => {
                 self.charge_base(ir_costs::op_cost(op));
                 self.stats.calls += 1;
-                let callee = self
-                    .program
-                    .func_id(func)
-                    .expect("validated call target");
+                let callee = self.program.func_id(func).expect("validated call target");
                 if self.instrumented() {
                     if let Some(plan) = &self.plan {
                         if plan.funcs[callee].saves_bounds {
@@ -536,8 +582,7 @@ impl<'p> Vm<'p> {
                     }
                 }
                 let vals: Vec<u64> = args.iter().map(|a| self.eval(*a)).collect();
-                let bnds: Vec<Option<Bounds>> =
-                    args.iter().map(|a| self.bounds_of(*a)).collect();
+                let bnds: Vec<Option<Bounds>> = args.iter().map(|a| self.bounds_of(*a)).collect();
                 self.push_frame(callee, &vals, &bnds, *dst);
             }
             Op::CallExt { dst, ext, args } => {
@@ -591,7 +636,17 @@ impl<'p> Vm<'p> {
                 .alloca_tracked(&mut self.mem, key, size, lt, true)
                 .map_err(VmError::Alloc)?;
             self.charge_alloc(cost);
-            self.set_reg(dst, ptr.raw(), Some(Bounds::from_base_size(ptr.addr(), size)));
+            self.tracer.record(EventKind::Alloc {
+                addr: ptr.addr(),
+                size: size.max(1),
+                scheme: Scheme::LocalOffset,
+                region: Region::Stack,
+            });
+            self.set_reg(
+                dst,
+                ptr.raw(),
+                Some(Bounds::from_base_size(ptr.addr(), size)),
+            );
         } else {
             // Oversized local: placed on the stack, registered in the
             // global table (paper §4.2.2).
@@ -605,7 +660,17 @@ impl<'p> Vm<'p> {
                 .map_err(VmError::Alloc)?;
             self.frame().global_rows.push(row);
             self.charge_alloc(cost);
-            self.set_reg(dst, ptr.raw(), Some(Bounds::from_base_size(ptr.addr(), size)));
+            self.tracer.record(EventKind::Alloc {
+                addr: ptr.addr(),
+                size: size.max(1),
+                scheme: Scheme::GlobalTable,
+                region: Region::Stack,
+            });
+            self.set_reg(
+                dst,
+                ptr.raw(),
+                Some(Bounds::from_base_size(ptr.addr(), size)),
+            );
         }
         Ok(())
     }
@@ -630,6 +695,12 @@ impl<'p> Vm<'p> {
                 .malloc(&mut self.mem.mem, size)
                 .map_err(VmError::Alloc)?;
             self.charge_base(alloc_costs::LIBC_MALLOC);
+            self.tracer.record(EventKind::Alloc {
+                addr,
+                size: size.max(1),
+                scheme: Scheme::Legacy,
+                region: Region::Heap,
+            });
             self.set_reg(dst, addr, None);
             return Ok(());
         }
@@ -643,13 +714,15 @@ impl<'p> Vm<'p> {
             (Some(w), _) => {
                 let lt = self.image.layout_addr_capped(layout, LOCAL_OFFSET_LT_CAP);
                 let (p, c) = w
-                    .malloc(&mut self.mem, &mut self.gt, size, lt)
+                    .malloc_traced(&mut self.mem, &mut self.gt, size, lt, &mut self.tracer)
                     .map_err(VmError::Alloc)?;
                 (p, c, lt != 0 && p.scheme() == SchemeSel::LocalOffset)
             }
             (_, Some(s)) => {
                 let lt = self.image.layout_addr_capped(layout, SUBHEAP_LT_CAP);
-                let (p, c) = s.malloc(&mut self.mem, size, lt).map_err(VmError::Alloc)?;
+                let (p, c) = s
+                    .malloc_traced(&mut self.mem, size, lt, &mut self.tracer)
+                    .map_err(VmError::Alloc)?;
                 (p, c, lt != 0)
             }
             _ => unreachable!("instrumented mode has an allocator"),
@@ -658,7 +731,11 @@ impl<'p> Vm<'p> {
             self.stats.heap_objects.with_layout_table += 1;
         }
         self.charge_alloc(cost);
-        self.set_reg(dst, ptr.raw(), Some(Bounds::from_base_size(ptr.addr(), size)));
+        self.set_reg(
+            dst,
+            ptr.raw(),
+            Some(Bounds::from_base_size(ptr.addr(), size)),
+        );
         Ok(())
     }
 
@@ -749,10 +826,18 @@ impl<'p> Vm<'p> {
                 ptr = ptr.with_poison(Poison::Invalid);
             }
         }
+        self.tracer.record(EventKind::Tag {
+            op: TagOp::IfpAdd,
+            ptr: ptr.addr(),
+        });
 
         // ifpidx writes the new subobject index into the scheme's field.
         if let Some(idx) = new_index {
             self.charge_ifp_arith(1);
+            self.tracer.record(EventKind::Tag {
+                op: TagOp::IfpIdx,
+                ptr: ptr.addr(),
+            });
             ptr = match ptr.scheme() {
                 SchemeSel::LocalOffset => {
                     let mut t = LocalOffsetTag::decode(ptr.scheme_meta());
@@ -809,7 +894,7 @@ impl<'p> Vm<'p> {
         let ptr = TaggedPtr::from_raw(raw);
         let r = self
             .unit
-            .promote(ptr, &mut self.mem, &self.ctrl)
+            .promote_traced(ptr, &mut self.mem, &self.ctrl, &mut self.tracer)
             .map_err(|t| self.trap(t))?;
         self.stats.cycles += r.cycles;
         match r.kind {
@@ -837,7 +922,12 @@ impl<'p> Vm<'p> {
         Ok((r.ptr.raw(), bounds))
     }
 
-    fn exec_ext(&mut self, dst: Option<Reg>, ext: ExtFunc, args: &[Operand]) -> Result<(), VmError> {
+    fn exec_ext(
+        &mut self,
+        dst: Option<Reg>,
+        ext: ExtFunc,
+        args: &[Operand],
+    ) -> Result<(), VmError> {
         self.charge_base(ir_costs::ext_base_cost(ext));
         let ret: u64 = match ext {
             ExtFunc::PrintInt => {
@@ -912,7 +1002,7 @@ impl<'p> Vm<'p> {
 
     /// Even legacy code traps when it dereferences a poisoned pointer —
     /// the partial protection the poison bits give uninstrumented code.
-    fn ext_check_poison(&self, p: TaggedPtr) -> Result<(), VmError> {
+    fn ext_check_poison(&mut self, p: TaggedPtr) -> Result<(), VmError> {
         if self.instrumented() && p.poison().traps_on_access() {
             Err(self.trap(Trap::PoisonedAccess { ptr: p }))
         } else {

@@ -32,6 +32,7 @@ pub use stats::{ObjectStats, PromoteStats, RunStats};
 use ifp_compiler::Program;
 use ifp_hw::{CycleModel, Trap};
 use ifp_mem::CacheConfig;
+use ifp_trace::{ForensicReport, TraceConfig, TraceLog};
 use std::fmt;
 
 /// Which instrumented allocator serves heap allocations.
@@ -112,6 +113,9 @@ pub struct VmConfig {
     pub l1: CacheConfig,
     /// Instruction budget; exceeding it aborts the run (runaway guard).
     pub fuel: u64,
+    /// Execution tracing. Off by default — a disabled tracer never
+    /// allocates and costs one branch per would-be event.
+    pub trace: TraceConfig,
 }
 
 impl Default for VmConfig {
@@ -121,6 +125,7 @@ impl Default for VmConfig {
             cycle_model: CycleModel::default(),
             l1: CacheConfig::default(),
             fuel: 4_000_000_000,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -145,6 +150,8 @@ pub struct RunResult {
     pub output: Vec<i64>,
     /// The dynamic statistics.
     pub stats: RunStats,
+    /// Snapshot of the event trace, when [`VmConfig::trace`] enabled one.
+    pub trace: Option<TraceLog>,
 }
 
 /// Why a run did not complete.
@@ -160,6 +167,9 @@ pub enum VmError {
         func: String,
         /// Statistics up to the trap.
         stats: Box<RunStats>,
+        /// Reconstruction of the faulting access from the trace ring.
+        /// `None` unless [`VmConfig::trace`] enabled tracing.
+        forensics: Option<Box<ForensicReport>>,
     },
     /// An allocator failure (program bug or undersized arena).
     Alloc(ifp_alloc::AllocError),
@@ -172,7 +182,18 @@ pub enum VmError {
 impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmError::Trap { trap, func, .. } => write!(f, "trap in `{func}`: {trap}"),
+            VmError::Trap {
+                trap,
+                func,
+                forensics,
+                ..
+            } => {
+                write!(f, "trap in `{func}`: {trap}")?;
+                if let Some(report) = forensics {
+                    write!(f, "\n{report}")?;
+                }
+                Ok(())
+            }
             VmError::Alloc(e) => write!(f, "allocator error: {e}"),
             VmError::OutOfFuel => f.write_str("instruction budget exhausted"),
             VmError::BadProgram(m) => write!(f, "invalid program: {m}"),

@@ -7,7 +7,9 @@ use ifp_compiler::{InstrPlan, Program, TypeId};
 use ifp_mem::layout::{GLOBALS_BASE, GLOBALS_SIZE, GLOBAL_TABLE_BASE};
 use ifp_mem::MemSystem;
 use ifp_meta::{LocalOffsetMeta, MacKey};
-use ifp_tag::{LocalOffsetTag, SchemeSel, TaggedPtr, LOCAL_OFFSET_GRANULE, LOCAL_OFFSET_MAX_OBJECT};
+use ifp_tag::{
+    LocalOffsetTag, SchemeSel, TaggedPtr, LOCAL_OFFSET_GRANULE, LOCAL_OFFSET_MAX_OBJECT,
+};
 use std::collections::HashMap;
 
 /// Maximum layout-table entries addressable by the local offset scheme's
@@ -139,12 +141,8 @@ pub fn load(
                     image.registered_globals_with_lt += 1;
                 }
                 let meta_addr = LocalOffsetMeta::meta_addr_for(addr, size);
-                let meta = LocalOffsetMeta::new(
-                    u16::try_from(size).expect("<= 1008"),
-                    lt,
-                    meta_addr,
-                    key,
-                );
+                let meta =
+                    LocalOffsetMeta::new(u16::try_from(size).expect("<= 1008"), lt, meta_addr, key);
                 mem.write(meta_addr, &meta.to_bytes()).expect("mapped");
                 let tag = LocalOffsetTag {
                     granule_offset: u8::try_from(round16(size) / LOCAL_OFFSET_GRANULE)

@@ -126,7 +126,10 @@ fn list_traversal_promotes_count_null_bypasses() {
     let p = list_program();
     let r = run_mode(&p, Mode::instrumented(AllocatorKind::Subheap)).unwrap();
     assert!(r.stats.promotes.null_bypass >= 2, "sum + free traversals");
-    assert!(r.stats.promotes.valid >= 98, "49 non-null nexts per traversal");
+    assert!(
+        r.stats.promotes.valid >= 98,
+        "49 non-null nexts per traversal"
+    );
 }
 
 /// malloc(10 * int); write a[i] with runtime i = 10.
@@ -227,14 +230,14 @@ fn intra_object_program(idx: i64) -> Program {
     let vp = pb.types.void_ptr();
     let g = pb.global("gv_ptr", vp);
 
-    let mut foo = pb.func("foo", 1);
-    let gp = foo.addr_of_global(g);
-    let p = foo.load(gp, vp); // promote narrows to `vulnerable`
-    let i = foo.mov(idx);
-    let oob = foo.index_addr(p, arr12, i);
-    foo.store(oob, 0x41i64, i8t);
-    foo.ret(None);
-    pb.finish_func(foo);
+    let mut victim = pb.func("victim", 1);
+    let gp = victim.addr_of_global(g);
+    let p = victim.load(gp, vp); // promote narrows to `vulnerable`
+    let i = victim.mov(idx);
+    let oob = victim.index_addr(p, arr12, i);
+    victim.store(oob, 0x41i64, i8t);
+    victim.ret(None);
+    pb.finish_func(victim);
 
     let mut main = pb.func("main", 0);
     let obj = main.alloca(s);
@@ -245,7 +248,7 @@ fn intra_object_program(idx: i64) -> Program {
     let vuln = main.field_addr(obj, s, 0);
     let gp2 = main.addr_of_global(g);
     main.store(gp2, vuln, vp);
-    main.call_void("foo", vec![Operand::Imm(0)]);
+    main.call_void("victim", vec![Operand::Imm(0)]);
     // Print first byte of sensitive.
     let sv = main.load(sens, i8t);
     main.print_int(sv);
@@ -260,7 +263,11 @@ fn intra_object_overflow_detected_at_subobject_granularity() {
     // object, outside the subobject.
     let p = intra_object_program(12);
     let base = run_mode(&p, Mode::Baseline).unwrap();
-    assert_eq!(base.output, vec![0x41], "baseline silently corrupts sensitive");
+    assert_eq!(
+        base.output,
+        vec![0x41],
+        "baseline silently corrupts sensitive"
+    );
     for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
         let err = run_mode(&p, Mode::instrumented(alloc)).unwrap_err();
         assert!(
@@ -285,7 +292,10 @@ fn intra_object_narrowing_statistics() {
     let r = run_mode(&p, Mode::instrumented(AllocatorKind::Subheap)).unwrap();
     assert!(r.stats.promotes.narrow_succeeded > 0, "narrowing exercised");
     assert!(r.stats.stack_objects.objects >= 1);
-    assert_eq!(r.stats.stack_objects.with_layout_table, r.stats.stack_objects.objects);
+    assert_eq!(
+        r.stats.stack_objects.with_layout_table,
+        r.stats.stack_objects.objects
+    );
 }
 
 #[test]
@@ -385,7 +395,10 @@ fn no_promote_has_same_instruction_stream() {
     )
     .unwrap();
     assert_eq!(norm.stats.total_instrs(), nop.stats.total_instrs());
-    assert!(nop.stats.cycles < norm.stats.cycles, "promote cost isolated");
+    assert!(
+        nop.stats.cycles < norm.stats.cycles,
+        "promote cost isolated"
+    );
 }
 
 #[test]
@@ -412,7 +425,9 @@ fn deep_recursion_with_stack_objects() {
     let mut pb = ProgramBuilder::new();
     let i64t = pb.types.int64();
     let vp = pb.types.void_ptr();
-    let pair = pb.types.struct_type("Pair", &[("depth", i64t), ("link", vp)]);
+    let pair = pb
+        .types
+        .struct_type("Pair", &[("depth", i64t), ("link", vp)]);
 
     let mut rec = pb.func("rec", 2); // (depth, parent)
     let d = rec.param(0);
@@ -454,8 +469,10 @@ fn fuel_limit_catches_infinite_loops() {
     f.jmp(hdr);
     pb.finish_func(f);
     let p = pb.build();
-    let mut cfg = VmConfig::default();
-    cfg.fuel = 10_000;
+    let cfg = VmConfig {
+        fuel: 10_000,
+        ..VmConfig::default()
+    };
     assert!(matches!(run(&p, &cfg), Err(VmError::OutOfFuel)));
 }
 

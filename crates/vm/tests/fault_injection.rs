@@ -5,8 +5,8 @@
 //! carrying a MAC in the local-offset and subheap records.
 
 use ifp_compiler::{Operand, Program, ProgramBuilder};
-use ifp_vm::{StepOutcome, Vm, VmConfig, VmError};
 use ifp_vm::{AllocatorKind, Mode};
+use ifp_vm::{StepOutcome, Vm, VmConfig, VmError};
 
 /// A program that stores a heap pointer to a global, spins a little, then
 /// loads it back (promote) and dereferences it.

@@ -95,7 +95,9 @@ impl Workload {
 
 impl std::fmt::Debug for Workload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Workload").field("name", &self.name).finish()
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

@@ -373,6 +373,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(base.output, sub.output);
-        assert!(sub.stats.stack_objects.objects >= 16, "per-body accumulators");
+        assert!(
+            sub.stats.stack_objects.objects >= 16,
+            "per-body accumulators"
+        );
     }
 }

@@ -20,9 +20,10 @@ pub fn build(scale: u32) -> Program {
         "Vertex",
         &[("buckets", vp), ("mindist", i64t), ("in_tree", i64t)],
     );
-    let entry = pb
-        .types
-        .struct_type("HashEntry", &[("key", i64t), ("weight", i64t), ("next", vp)]);
+    let entry = pb.types.struct_type(
+        "HashEntry",
+        &[("key", i64t), ("weight", i64t), ("next", vp)],
+    );
 
     // fn hash_insert(v: Vertex*, key, weight)
     let mut ins = pb.func("hash_insert", 3);

@@ -56,10 +56,7 @@ pub fn build(scale: u32) -> Program {
             b.store_field(n, node, 0, 2i64, i64t);
             let l1 = b.sub(level, 1i64);
             for field in 1..=4u32 {
-                let child = b.call(
-                    "build_quad",
-                    vec![Operand::Reg(l1), Operand::Reg(rng)],
-                );
+                let child = b.call("build_quad", vec![Operand::Reg(l1), Operand::Reg(rng)]);
                 b.store_field(n, node, field, child, vp);
             }
         },
@@ -96,10 +93,7 @@ pub fn build(scale: u32) -> Program {
                 let total = p.mov(0i64);
                 for field in 1..=4u32 {
                     let child = p.load_field(t, node, field, vp);
-                    let sub = p.call(
-                        "perim",
-                        vec![Operand::Reg(child), Operand::Reg(half)],
-                    );
+                    let sub = p.call("perim", vec![Operand::Reg(child), Operand::Reg(half)]);
                     let t2 = p.add(total, sub);
                     p.assign(total, t2);
                 }

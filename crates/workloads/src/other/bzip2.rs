@@ -23,10 +23,8 @@ fn input_data(len: usize) -> Vec<u8> {
     while out.len() < len {
         let b = phrase[i % phrase.len()];
         // Long runs every so often, to give RLE something to do.
-        if i % 97 == 0 {
-            for _ in 0..12 {
-                out.push(b'a');
-            }
+        if i.is_multiple_of(97) {
+            out.extend(std::iter::repeat_n(b'a', 12));
         }
         out.push(b);
         i += 1;

@@ -105,10 +105,7 @@ pub fn build(scale: u32) -> Program {
                             // History update keyed on (cell, take).
                             let k0 = f.mul(i, 4i64);
                             let key = f.add(k0, take);
-                            f.call_void(
-                                "hist_bump",
-                                vec![Operand::Reg(hist), Operand::Reg(key)],
-                            );
+                            f.call_void("hist_bump", vec![Operand::Reg(hist), Operand::Reg(key)]);
                         });
                     });
                 });

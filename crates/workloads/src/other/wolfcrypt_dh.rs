@@ -8,7 +8,7 @@
 //! is allocated `via_wrapper`, so none carry layout tables (§5.2.1).
 
 use crate::util::{for_loop, if_then};
-use ifp_compiler::{BinOp, Operand, Program, ProgramBuilder, Reg, FnBuilder};
+use ifp_compiler::{BinOp, FnBuilder, Operand, Program, ProgramBuilder, Reg};
 
 /// Limbs per bignum (30 bits each). The modulus occupies only three
 /// limbs (90 bits); the fourth limb gives intermediate sums below `2p`
@@ -113,7 +113,10 @@ pub fn build(scale: u32) -> Program {
     let c = f.call("big_cmp", vec![Operand::Reg(x), Operand::Reg(p)]);
     let ge = f.le(0i64, c);
     if_then(&mut f, ge, |f| {
-        f.call_void("big_sub", vec![Operand::Reg(x), Operand::Reg(x), Operand::Reg(p)]);
+        f.call_void(
+            "big_sub",
+            vec![Operand::Reg(x), Operand::Reg(x), Operand::Reg(p)],
+        );
     });
     f.ret(None);
     pb.finish_func(f);
@@ -250,8 +253,24 @@ pub fn build(scale: u32) -> Program {
     // Private exponents (deterministic, masked to exp_bits).
     let a_exp = alloc_big(&mut m);
     let b_exp = alloc_big(&mut m);
-    fill_exp(&mut m, a_exp, 0x5DEE_CE66_D935_25i64, exp_bits, mp, vp, i64t);
-    fill_exp(&mut m, b_exp, 0x2545_F491_4F6C_DDi64, exp_bits, mp, vp, i64t);
+    fill_exp(
+        &mut m,
+        a_exp,
+        0x005D_EECE_66D9_3525_i64,
+        exp_bits,
+        mp,
+        vp,
+        i64t,
+    );
+    fill_exp(
+        &mut m,
+        b_exp,
+        0x0025_45F4_914F_6CDD_i64,
+        exp_bits,
+        mp,
+        vp,
+        i64t,
+    );
 
     let scratch = alloc_big(&mut m);
     let pub_a = alloc_big(&mut m);
@@ -262,20 +281,44 @@ pub fn build(scale: u32) -> Program {
     // A = g^a mod p; B = g^b mod p.
     m.call_void(
         "big_modexp",
-        vec![pub_a.into(), g.into(), a_exp.into(), p.into(), scratch.into()],
+        vec![
+            pub_a.into(),
+            g.into(),
+            a_exp.into(),
+            p.into(),
+            scratch.into(),
+        ],
     );
     m.call_void(
         "big_modexp",
-        vec![pub_b.into(), g.into(), b_exp.into(), p.into(), scratch.into()],
+        vec![
+            pub_b.into(),
+            g.into(),
+            b_exp.into(),
+            p.into(),
+            scratch.into(),
+        ],
     );
     // secret_A = B^a; secret_B = A^b.
     m.call_void(
         "big_modexp",
-        vec![sec_a.into(), pub_b.into(), a_exp.into(), p.into(), scratch.into()],
+        vec![
+            sec_a.into(),
+            pub_b.into(),
+            a_exp.into(),
+            p.into(),
+            scratch.into(),
+        ],
     );
     m.call_void(
         "big_modexp",
-        vec![sec_b.into(), pub_a.into(), b_exp.into(), p.into(), scratch.into()],
+        vec![
+            sec_b.into(),
+            pub_a.into(),
+            b_exp.into(),
+            p.into(),
+            scratch.into(),
+        ],
     );
     // The secrets must agree; print a fold + the agreement flag.
     let agree = m.call("big_cmp", vec![sec_a.into(), sec_b.into()]);
@@ -345,7 +388,11 @@ fn fill_exp(
     i64t: ifp_compiler::TypeId,
 ) {
     let dp = f.load_field(x, mp, 1, vp);
-    let masked = if bits >= 63 { seed } else { seed & ((1 << bits) - 1) };
+    let masked = if bits >= 63 {
+        seed
+    } else {
+        seed & ((1 << bits) - 1)
+    };
     for i in 0..LIMBS {
         let shift = i * LIMB_BITS;
         let limb = if shift >= 63 {
@@ -355,8 +402,7 @@ fn fill_exp(
         };
         // Ensure the top requested bit is set so the exponent really has
         // `bits` bits (keeps the work deterministic in the scale).
-        let limb = if i64::from((i * LIMB_BITS) <= bits - 1 && bits - 1 < (i + 1) * LIMB_BITS) == 1
-        {
+        let limb = if i64::from((i * LIMB_BITS) < bits && bits - 1 < (i + 1) * LIMB_BITS) == 1 {
             limb | (1 << ((bits - 1) % LIMB_BITS))
         } else {
             limb

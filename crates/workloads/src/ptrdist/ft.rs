@@ -18,10 +18,9 @@ pub fn build(scale: u32) -> Program {
     crate::util::add_rand_fn(&mut pb);
     let i64t = pb.types.int64();
     let vp = pb.types.void_ptr();
-    let vertex = pb.types.struct_type(
-        "FtVertex",
-        &[("key", i64t), ("in_mst", i64t), ("adj", vp)],
-    );
+    let vertex = pb
+        .types
+        .struct_type("FtVertex", &[("key", i64t), ("in_mst", i64t), ("adj", vp)]);
     let adj = pb
         .types
         .struct_type("FtEdge", &[("to", i64t), ("weight", i64t), ("next", vp)]);

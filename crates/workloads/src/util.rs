@@ -84,12 +84,7 @@ pub fn if_else(
 
 /// `dst = if cond { a } else { b }` as straight-line arithmetic
 /// (branchless select): `dst = b + (a - b) * (cond != 0)`.
-pub fn select(
-    f: &mut FnBuilder,
-    cond: Reg,
-    a: impl Into<Operand>,
-    b: impl Into<Operand>,
-) -> Reg {
+pub fn select(f: &mut FnBuilder, cond: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
     let nz = f.ne(cond, 0i64);
     let a = f.mov(a);
     let b = f.mov(b);

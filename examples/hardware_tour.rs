@@ -20,7 +20,10 @@ fn main() {
     println!("   address  : {:#x} (48 bits)", p.addr());
     println!("   poison   : {:?} (2 bits)", p.poison());
     println!("   scheme   : {:?} (2 bits)", p.scheme());
-    println!("   low 12   : {:#05x} (scheme metadata + subobject index)\n", p.scheme_meta());
+    println!(
+        "   low 12   : {:#05x} (scheme metadata + subobject index)\n",
+        p.scheme_meta()
+    );
 
     // ---- 2. Machine setup ----------------------------------------------
     let mut mem = MemSystem::with_default_l1();
@@ -38,7 +41,10 @@ fn main() {
     b.child(0, 20, 24, 4).unwrap(); // 5: v5
     let table = b.build();
     mem.mem.write_bytes(0x8000, &table.to_bytes()).unwrap();
-    println!("2. Layout table for struct S emitted at 0x8000 ({} entries)", table.len());
+    println!(
+        "2. Layout table for struct S emitted at 0x8000 ({} entries)",
+        table.len()
+    );
     for (i, e) in table.entries().iter().enumerate() {
         println!(
             "   entry {i}: parent={} [{}, {}) elem={}",
@@ -51,7 +57,10 @@ fn main() {
     let meta = LocalOffsetMeta::new(24, 0x8000, meta_addr, ctrl.mac_key);
     mem.mem.write_bytes(meta_addr, &meta.to_bytes()).unwrap();
     println!("\n3. Object at {base:#x}; local-offset metadata appended at {meta_addr:#x}");
-    println!("   record: size=24, layout table=0x8000, MAC={:#014x}", meta.mac);
+    println!(
+        "   record: size=24, layout table=0x8000, MAC={:#014x}",
+        meta.mac
+    );
 
     // ---- 4. Promote: whole object ---------------------------------------
     let tag = LocalOffsetTag {
@@ -62,8 +71,10 @@ fn main() {
         .with_scheme(SchemeSel::LocalOffset)
         .with_scheme_meta(tag.encode().unwrap());
     let r = unit.promote(whole, &mut mem, &ctrl).unwrap();
-    println!("\n4. promote(&S) -> bounds {} in {} cycles ({} metadata fetches)",
-        r.bounds, r.cycles, r.metadata_fetches);
+    println!(
+        "\n4. promote(&S) -> bounds {} in {} cycles ({} metadata fetches)",
+        r.bounds, r.cycles, r.metadata_fetches
+    );
 
     // ---- 5. Promote with narrowing --------------------------------------
     // Pointer to S.array[1].v4 at base + 4 + 8 + 4 = base+16, index 4.
@@ -85,7 +96,10 @@ fn main() {
     let b0 = mem.mem.read_u8(meta_addr).unwrap();
     mem.mem.write_u8(meta_addr, b0 ^ 0x04).unwrap();
     let r = unit.promote(whole, &mut mem, &ctrl).unwrap();
-    println!("\n6. After flipping one metadata bit: promote poisons the pointer -> {:?}", r.ptr.poison());
+    println!(
+        "\n6. After flipping one metadata bit: promote poisons the pointer -> {:?}",
+        r.ptr.poison()
+    );
     mem.mem.write_u8(meta_addr, b0).unwrap();
 
     // ---- 7. ISA encodings -------------------------------------------------

@@ -29,7 +29,10 @@ fn main() {
     for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
         let cfg = VmConfig::with_mode(Mode::instrumented(alloc));
         let ok = run(&fine, &cfg).expect("in-bounds write passes");
-        println!("{alloc}: vulnerable[11] passes (sensitive[0] = {:#x})", ok.output[0]);
+        println!(
+            "{alloc}: vulnerable[11] passes (sensitive[0] = {:#x})",
+            ok.output[0]
+        );
         let err = run(&overflow, &cfg).expect_err("intra-object overflow must trap");
         println!("{alloc}: vulnerable[12] DETECTED -> {err}");
     }

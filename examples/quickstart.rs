@@ -34,7 +34,10 @@ fn main() {
 
     // Uninstrumented: the overflow lands in allocator slack, silently.
     let baseline = run(&program, &VmConfig::default()).expect("baseline runs");
-    println!("baseline: completed silently, output = {:?}", baseline.output);
+    println!(
+        "baseline: completed silently, output = {:?}",
+        baseline.output
+    );
     println!(
         "baseline: {} instructions, {} cycles",
         baseline.stats.total_instrs(),

@@ -24,7 +24,8 @@ fn main() {
     let program = w.build_default();
     let sweep = ModeSweep::run(w.name, &program).expect("workload runs in all modes");
 
-    println!("\nbaseline: {} instructions, {} cycles, {} heap allocations",
+    println!(
+        "\nbaseline: {} instructions, {} cycles, {} heap allocations",
         sweep.baseline.total_instrs(),
         sweep.baseline.cycles,
         sweep.baseline.heap_allocs

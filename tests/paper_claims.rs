@@ -89,7 +89,10 @@ fn narrowing_success_and_coarsening_match_the_paper() {
     assert_eq!(h.subheap.promotes.narrow_failed, 0, "and never fails");
 
     let c = sweep("coremark", 2);
-    assert!(c.subheap.promotes.narrow_requested > 0, "coremark has subobject promotes");
+    assert!(
+        c.subheap.promotes.narrow_requested > 0,
+        "coremark has subobject promotes"
+    );
     assert_eq!(
         c.subheap.promotes.narrow_succeeded, 0,
         "coremark narrowing always coarsens"

@@ -32,8 +32,7 @@ fn all_workloads_agree_across_all_configurations() {
     };
     for w in ifp::workloads::all() {
         let program = (w.build)(small_scale(w.name));
-        let sweep = ModeSweep::run(w.name, &program)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let sweep = ModeSweep::run(w.name, &program).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(
             sweep.baseline.total_instrs() > 8_000,
             "{}: workload too trivial ({} instrs)",
