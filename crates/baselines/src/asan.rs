@@ -2,6 +2,14 @@
 //! application bytes marks valid memory; allocations are surrounded by
 //! poisoned redzones. Detection is partial by construction — an access
 //! that jumps past the redzone into another live object is invisible.
+//!
+//! Shadow encoding follows real ASan: `0` means the whole granule is
+//! addressable, `1..=7` means only the first k bytes are (an object
+//! whose size is not a multiple of the granule ends mid-granule), and
+//! high marks denote redzone/freed poison. Without the partial
+//! encoding, poisoning the right redzone would falsely cover live
+//! object bytes sharing the tail granule — a false-positive bug the
+//! differential fuzzer flags immediately on unaligned sizes.
 
 use crate::{Defense, PtrMeta};
 use std::collections::HashMap;
@@ -11,7 +19,7 @@ pub const REDZONE: u64 = 16;
 /// Application bytes per shadow byte.
 const GRAIN: u64 = 8;
 
-/// Shadow byte values.
+/// Shadow byte values. `1..=7` are partial-granule byte counts.
 const VALID: u8 = 0;
 const REDZONE_MARK: u8 = 0xfa;
 const FREED_MARK: u8 = 0xfd;
@@ -36,14 +44,32 @@ impl Asan {
         }
     }
 
+    /// Marks `[base, base+len)` addressable. `base` must be
+    /// granule-aligned (allocator bases are 16-byte aligned); a partial
+    /// tail granule records its addressable byte count, real-ASan style.
     fn unpoison(&mut self, base: u64, len: u64) {
-        for g in (base / GRAIN)..((base + len).div_ceil(GRAIN)) {
+        debug_assert_eq!(base % GRAIN, 0, "unaligned object base");
+        let end = base + len;
+        for g in (base / GRAIN)..(end / GRAIN) {
             self.shadow.insert(g, VALID);
+        }
+        let rem = end % GRAIN;
+        if rem != 0 {
+            self.shadow.insert(end / GRAIN, rem as u8);
         }
     }
 
     fn shadow_at(&self, addr: u64) -> u8 {
         self.shadow.get(&(addr / GRAIN)).copied().unwrap_or(VALID)
+    }
+
+    /// Whether a single byte address is addressable under the shadow.
+    fn byte_ok(&self, addr: u64) -> bool {
+        match self.shadow_at(addr) {
+            VALID => true,
+            s if u64::from(s) < GRAIN => (addr % GRAIN) < u64::from(s),
+            _ => false,
+        }
     }
 }
 
@@ -53,10 +79,13 @@ impl Defense for Asan {
     }
 
     fn on_alloc(&mut self, base: u64, size: u64) -> PtrMeta {
-        // Left and right redzones around the object.
+        // Left and right redzones around the object. The right redzone
+        // starts at the next granule boundary: a partial tail granule is
+        // already guarded by its byte count, and poisoning it whole
+        // would falsely cover live object bytes.
         self.poison(base.saturating_sub(REDZONE), REDZONE, REDZONE_MARK);
         self.unpoison(base, size);
-        self.poison(base + size, REDZONE, REDZONE_MARK);
+        self.poison((base + size).next_multiple_of(GRAIN), REDZONE, REDZONE_MARK);
         PtrMeta::None
     }
 
@@ -71,7 +100,7 @@ impl Defense for Asan {
     }
 
     fn check(&self, _meta: PtrMeta, addr: u64, size: u64) -> bool {
-        (addr..addr + size).all(|a| self.shadow_at(a) == VALID)
+        (addr..addr + size).all(|a| self.byte_ok(a))
     }
 
     fn object_granularity(&self) -> &'static str {
@@ -102,6 +131,20 @@ mod tests {
         let m1 = a.on_alloc(0x1000, 64);
         let _m2 = a.on_alloc(0x2000, 64);
         assert!(a.check(m1, 0x2020, 1), "valid memory of another object");
+    }
+
+    #[test]
+    fn partial_tail_granule_keeps_object_bytes_valid() {
+        // A 20-byte object ends mid-granule: bytes 16..20 share a
+        // granule with the first redzone bytes. In-bounds accesses to
+        // them must pass; the first byte past the end must fail.
+        let mut a = Asan::new();
+        let m = a.on_alloc(0x1000, 20);
+        assert!(a.check(m, 0x1000, 20), "whole object in bounds");
+        assert!(a.check(m, 0x1013, 1), "last object byte");
+        assert!(!a.check(m, 0x1014, 1), "first byte past the end");
+        assert!(!a.check(m, 0x1010, 8), "access straddling the end");
+        assert!(!a.check(m, 0x1018, 1), "redzone proper");
     }
 
     #[test]

@@ -488,6 +488,56 @@ impl FnBuilder {
         self.terminate(Terminator::Jmp(block));
     }
 
+    /// A counted ascending loop: runs `body(i)` for `i` in
+    /// `start..end`, building the header/body/exit block structure and
+    /// leaving the builder positioned at the exit block.
+    pub fn for_loop(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let i = self.mov(start);
+        let end = self.mov(end);
+        let header = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jmp(header);
+        self.switch_to(header);
+        let c = self.lt(i, end);
+        self.br(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self, i);
+        let i2 = self.add(i, 1i64);
+        self.assign(i, i2);
+        self.jmp(header);
+        self.switch_to(exit);
+    }
+
+    /// A descending loop: runs `body(i)` from the current value of `i`
+    /// down to `low` inclusive, decrementing by one each iteration.
+    /// Leaves the builder positioned at the exit block.
+    pub fn count_down_loop(
+        &mut self,
+        i: Reg,
+        low: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let header = self.new_block();
+        let body_bb = self.new_block();
+        let exit = self.new_block();
+        self.jmp(header);
+        self.switch_to(header);
+        let c = self.le(low, i);
+        self.br(c, body_bb, exit);
+        self.switch_to(body_bb);
+        body(self, i);
+        let i2 = self.sub(i, 1i64);
+        self.assign(i, i2);
+        self.jmp(header);
+        self.switch_to(exit);
+    }
+
     /// Conditional branch; terminates the current block.
     pub fn br(&mut self, cond: impl Into<Operand>, then_bb: usize, else_bb: usize) {
         self.terminate(Terminator::Br {

@@ -12,7 +12,7 @@
 //! types (lists, trees) are expressed.
 
 use crate::types::{Type, TypeId, TypeTable};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A virtual register. Registers `0..params` hold the function arguments
@@ -300,7 +300,7 @@ pub struct Program {
     pub funcs: Vec<Function>,
     /// Globals.
     pub globals: Vec<Global>,
-    func_index: HashMap<String, usize>,
+    func_index: BTreeMap<String, usize>,
 }
 
 /// A structural defect found by [`Program::validate`].

@@ -6,7 +6,7 @@
 //! alignment, members are padded to their alignment, the struct size is
 //! padded to its alignment, arrays inherit element alignment.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Interned handle to a [`Type`] inside a [`TypeTable`].
@@ -84,7 +84,7 @@ pub enum Type {
 #[derive(Clone, Debug, Default)]
 pub struct TypeTable {
     types: Vec<Type>,
-    by_name: HashMap<String, TypeId>,
+    by_name: BTreeMap<String, TypeId>,
 }
 
 impl TypeTable {

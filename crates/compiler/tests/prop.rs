@@ -18,7 +18,7 @@ enum TypeRecipe {
 fn arb_recipe(rng: &mut Rng, depth: u32) -> TypeRecipe {
     let leaf = depth == 0 || rng.range_u8(0, 3) == 0;
     if leaf {
-        TypeRecipe::Int([1u8, 2, 4, 8][rng.range_usize(0, 4)])
+        TypeRecipe::Int(*rng.choose(&[1u8, 2, 4, 8]))
     } else if rng.bool() {
         TypeRecipe::Array(Box::new(arb_recipe(rng, depth - 1)), rng.range_u32(1, 5))
     } else {

@@ -1,0 +1,207 @@
+//! The corpus: minimized findings persisted as JSON, with replay.
+//!
+//! One file per finding, named by the campaign iteration that produced
+//! it, containing the minimized spec, the original (pre-shrink) spec,
+//! the disagreement classes, and the forensic attachment. The writer is
+//! byte-deterministic: the same campaign seed produces the same files.
+
+use crate::json::{parse, Value};
+use crate::oracle::{Disagreement, FindingClass};
+use crate::spec::CaseSpec;
+use std::path::{Path, PathBuf};
+
+/// Corpus format version.
+pub const FORMAT_VERSION: i64 = 1;
+
+/// One persisted finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Campaign iteration that produced the case.
+    pub iteration: u64,
+    /// The campaign seed, for provenance.
+    pub campaign_seed: u64,
+    /// Every oracle disagreement the case produced.
+    pub disagreements: Vec<Disagreement>,
+    /// The minimized reproducer.
+    pub spec: CaseSpec,
+    /// The original spec, before shrinking.
+    pub original: CaseSpec,
+    /// Rendered forensic report from the traced instrumented rerun.
+    pub forensics: String,
+}
+
+impl Finding {
+    /// Serializes into the corpus JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("version".into(), Value::Num(FORMAT_VERSION)),
+            ("iteration".into(), Value::Num(self.iteration as i64)),
+            (
+                "campaign_seed".into(),
+                Value::Str(format!("{:#x}", self.campaign_seed)),
+            ),
+            (
+                "findings".into(),
+                Value::Arr(
+                    self.disagreements
+                        .iter()
+                        .map(|d| {
+                            Value::Obj(vec![
+                                ("class".into(), Value::Str(d.class.name().into())),
+                                ("detail".into(), Value::Str(d.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("spec".into(), self.spec.to_json()),
+            ("original".into(), self.original.to_json()),
+            ("forensics".into(), Value::Str(self.forensics.clone())),
+        ])
+    }
+
+    /// Deserializes from the corpus JSON shape.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first structural problem found.
+    pub fn from_json(v: &Value) -> Result<Finding, String> {
+        let version = v
+            .get("version")
+            .and_then(Value::as_i64)
+            .ok_or("missing version")?;
+        if version != FORMAT_VERSION {
+            return Err(format!("unsupported corpus version {version}"));
+        }
+        let iteration = v
+            .get("iteration")
+            .and_then(Value::as_i64)
+            .ok_or("missing iteration")? as u64;
+        let campaign_seed = v
+            .get("campaign_seed")
+            .and_then(Value::as_str)
+            .and_then(crate::spec::parse_seed)
+            .ok_or("missing campaign_seed")?;
+        let disagreements = v
+            .get("findings")
+            .and_then(Value::as_arr)
+            .ok_or("missing findings")?
+            .iter()
+            .map(|d| {
+                let class = d
+                    .get("class")
+                    .and_then(Value::as_str)
+                    .and_then(FindingClass::from_name)
+                    .ok_or("bad finding class")?;
+                let detail = d
+                    .get("detail")
+                    .and_then(Value::as_str)
+                    .ok_or("bad finding detail")?
+                    .to_string();
+                Ok(Disagreement { class, detail })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let spec = CaseSpec::from_json(v.get("spec").ok_or("missing spec")?)?;
+        let original = CaseSpec::from_json(v.get("original").ok_or("missing original")?)?;
+        let forensics = v
+            .get("forensics")
+            .and_then(Value::as_str)
+            .ok_or("missing forensics")?
+            .to_string();
+        Ok(Finding {
+            iteration,
+            campaign_seed,
+            disagreements,
+            spec,
+            original,
+            forensics,
+        })
+    }
+
+    /// The corpus file name for this finding.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("finding-{:06}.json", self.iteration)
+    }
+}
+
+/// Writes every finding into `dir` (created if absent). Returns the
+/// paths written, in iteration order.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_corpus(dir: &Path, findings: &[Finding]) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for f in findings {
+        let path = dir.join(f.file_name());
+        let mut text = f.to_json().to_string();
+        text.push('\n');
+        std::fs::write(&path, text)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Loads one corpus file.
+///
+/// # Errors
+///
+/// Reports IO and parse problems as strings (CLI-facing).
+pub fn load_finding(path: &Path) -> Result<Finding, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Finding::from_json(&v).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_testutil::Rng;
+
+    fn sample() -> Finding {
+        let mut rng = Rng::new(8);
+        let original = CaseSpec::generate(&mut rng);
+        let spec = CaseSpec::generate(&mut rng);
+        Finding {
+            iteration: 42,
+            campaign_seed: 0xdead_beef,
+            disagreements: vec![Disagreement {
+                class: FindingClass::MissedBug,
+                detail: "subheap: bad case completed undetected".into(),
+            }],
+            spec,
+            original,
+            forensics: "bounds violation in `main`: 4-byte access at 0x2010".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let f = sample();
+        let text = f.to_json().to_string();
+        let back = Finding::from_json(&parse(&text).unwrap()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn corpus_files_are_byte_deterministic() {
+        let dir1 = std::env::temp_dir().join("ifp-fuzz-corpus-test-1");
+        let dir2 = std::env::temp_dir().join("ifp-fuzz-corpus-test-2");
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir2);
+        let f = sample();
+        let p1 = write_corpus(&dir1, std::slice::from_ref(&f)).unwrap();
+        let p2 = write_corpus(&dir2, std::slice::from_ref(&f)).unwrap();
+        let b1 = std::fs::read(&p1[0]).unwrap();
+        let b2 = std::fs::read(&p2[0]).unwrap();
+        assert_eq!(b1, b2);
+        assert!(!b1.is_empty());
+        let back = load_finding(&p1[0]).unwrap();
+        assert_eq!(back, f);
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+}

@@ -1,0 +1,96 @@
+//! The mutation engine: small structured edits to a [`CaseSpec`].
+//!
+//! Mutations perturb one dimension at a time — grow/shrink the target
+//! array or the out-of-bounds distance, swap the site (and with it the
+//! metadata scheme), reroute the data flow, or reshape the surrounding
+//! layout — then re-sanitize, so every mutant stays inside the envelope
+//! the oracle's expectations are sound under.
+
+use crate::spec::{CaseSpec, Dir, FieldSpec};
+use ifp_juliet::{CaseKind, Site, Variant};
+use ifp_testutil::Rng;
+
+fn mutate_once(spec: &mut CaseSpec, rng: &mut Rng) {
+    match rng.range_u32(0, 12) {
+        0 => spec.len = rng.range_u32(1, 17),
+        1 => spec.elem_size = *rng.choose(&[1u8, 2, 4, 8]),
+        2 => spec.oob = rng.range_u32(1, 4),
+        3 => spec.site = *rng.choose(&Site::ALL),
+        4 => spec.variant = *rng.choose(&Variant::ALL),
+        5 => spec.dir = if rng.bool() { Dir::Over } else { Dir::Under },
+        6 => spec.is_read = !spec.is_read,
+        7 => spec.wrap_struct = !spec.wrap_struct,
+        8 => {
+            let f = FieldSpec {
+                elem_size: *rng.choose(&[1u8, 2, 4, 8]),
+                count: rng.range_u32(1, 9),
+            };
+            if rng.bool() {
+                spec.pre.push(f);
+            } else {
+                spec.post.push(f);
+            }
+        }
+        9 => {
+            if rng.bool() {
+                spec.pre.pop();
+            } else {
+                spec.post.pop();
+            }
+        }
+        10 => spec.deco = rng.range_u32(0, 5),
+        11 => spec.filler = rng.range_u32(0, 9),
+        _ => unreachable!(),
+    }
+}
+
+/// Produces a mutant of `spec`: one to three structured edits followed
+/// by sanitization. The mutant keeps the parent's kind with probability
+/// ~3/4 (flipping good/bad is its own edit).
+#[must_use]
+pub fn mutate(spec: &CaseSpec, rng: &mut Rng) -> CaseSpec {
+    let mut out = spec.clone();
+    out.seed = rng.u64();
+    let edits = rng.range_u32(1, 4);
+    for _ in 0..edits {
+        mutate_once(&mut out, rng);
+    }
+    if rng.range_u32(0, 4) == 0 {
+        out.kind = match out.kind {
+            CaseKind::Good => CaseKind::Bad,
+            CaseKind::Bad => CaseKind::Good,
+        };
+    }
+    out.sanitize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_stay_sanitized_and_vary() {
+        let mut rng = Rng::new(77);
+        let parent = CaseSpec::generate(&mut rng);
+        let mut distinct = 0;
+        for _ in 0..100 {
+            let child = mutate(&parent, &mut rng);
+            let mut re = child.clone();
+            re.sanitize();
+            assert_eq!(child, re, "mutant left the sanitized envelope");
+            if child != parent {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 80, "mutations barely change anything");
+    }
+
+    #[test]
+    fn mutation_is_deterministic() {
+        let parent = CaseSpec::generate(&mut Rng::new(5));
+        let a = mutate(&parent, &mut Rng::new(9));
+        let b = mutate(&parent, &mut Rng::new(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! Greedy reproducer minimization.
+//!
+//! Given a spec and a predicate ("still reproduces the finding"), the
+//! shrinker tries a fixed schedule of simplifications — drop filler and
+//! decoys, delete sibling fields, halve the array, simplify the flow
+//! variant and the site — accepting any candidate the predicate keeps,
+//! and repeats to a fixpoint. The schedule is deterministic and the
+//! predicate is consulted at most [`MAX_EVALS`] times, so shrinking a
+//! pathological case cannot stall a campaign.
+
+use crate::spec::CaseSpec;
+use ifp_juliet::{Site, Variant};
+
+/// Cap on predicate evaluations per shrink.
+pub const MAX_EVALS: usize = 200;
+
+/// All single-step simplification candidates of `spec`, most aggressive
+/// first. Every candidate is sanitized.
+fn candidates(spec: &CaseSpec) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut CaseSpec)| {
+        let mut c = spec.clone();
+        f(&mut c);
+        c.sanitize();
+        if c != *spec {
+            out.push(c);
+        }
+    };
+    if spec.filler > 0 {
+        push(&|c| c.filler = 0);
+    }
+    if spec.deco > 0 {
+        push(&|c| c.deco = 0);
+    }
+    if !spec.post.is_empty() {
+        push(&|c| {
+            c.post.pop();
+        });
+        push(&|c| c.post.clear());
+    }
+    if !spec.pre.is_empty() {
+        push(&|c| {
+            c.pre.pop();
+        });
+        push(&|c| c.pre.clear());
+    }
+    if spec.len > 1 {
+        push(&|c| c.len = 1);
+        push(&|c| c.len /= 2);
+        push(&|c| c.len -= 1);
+    }
+    if spec.oob > 1 {
+        push(&|c| c.oob = 1);
+    }
+    if spec.elem_size != 4 {
+        push(&|c| c.elem_size = 4);
+    }
+    if spec.wrap_struct {
+        push(&|c| c.wrap_struct = false);
+    }
+    if spec.variant != Variant::Direct {
+        push(&|c| c.variant = Variant::Direct);
+    }
+    if spec.site != Site::Stack {
+        push(&|c| c.site = Site::Stack);
+    }
+    if spec.seed != 0 {
+        push(&|c| c.seed = 0);
+    }
+    out
+}
+
+/// Shrinks `spec` while `still_fails` holds, returning the smallest
+/// accepted spec. `spec` itself is assumed to fail.
+pub fn shrink_with(spec: &CaseSpec, mut still_fails: impl FnMut(&CaseSpec) -> bool) -> CaseSpec {
+    let mut current = spec.clone();
+    let mut evals = 0usize;
+    loop {
+        let mut advanced = false;
+        for cand in candidates(&current) {
+            if evals >= MAX_EVALS {
+                return current;
+            }
+            evals += 1;
+            if still_fails(&cand) {
+                current = cand;
+                advanced = true;
+                break; // restart the schedule from the smaller spec
+            }
+        }
+        if !advanced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ifp_juliet::CaseKind;
+    use ifp_testutil::Rng;
+
+    #[test]
+    fn shrinks_to_minimal_form_under_a_permissive_predicate() {
+        // Predicate: any bad case reproduces. The shrinker should strip
+        // everything optional.
+        let mut rng = Rng::new(21);
+        let mut spec = CaseSpec::generate(&mut rng);
+        spec.kind = CaseKind::Bad;
+        spec.filler = 5;
+        spec.deco = 2;
+        spec.sanitize();
+        let small = shrink_with(&spec, |c| c.kind == CaseKind::Bad);
+        assert_eq!(small.filler, 0);
+        assert_eq!(small.deco, 0);
+        assert!(small.pre.is_empty());
+        assert!(small.post.is_empty());
+        assert_eq!(small.len, 1);
+        assert_eq!(small.oob, 1);
+        assert_eq!(small.variant, Variant::Direct);
+        assert_eq!(small.site, Site::Stack);
+    }
+
+    #[test]
+    fn respects_the_predicate() {
+        // Predicate: the loaded-flow variant is load-bearing.
+        let mut rng = Rng::new(22);
+        let mut spec = CaseSpec::generate(&mut rng);
+        spec.variant = Variant::LoadedFlow;
+        spec.sanitize();
+        let small = shrink_with(&spec, |c| c.variant == Variant::LoadedFlow);
+        assert_eq!(small.variant, Variant::LoadedFlow);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let spec = CaseSpec::generate(&mut Rng::new(33));
+        let a = shrink_with(&spec, |_| true);
+        let b = shrink_with(&spec, |_| true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn eval_budget_is_respected() {
+        let spec = CaseSpec::generate(&mut Rng::new(44));
+        let mut calls = 0usize;
+        let _ = shrink_with(&spec, |_| {
+            calls += 1;
+            calls.is_multiple_of(2) // flip-flop: keeps generating work
+        });
+        assert!(calls <= MAX_EVALS);
+    }
+}

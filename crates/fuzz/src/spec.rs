@@ -1,0 +1,720 @@
+//! Case specifications: the generator's genotype.
+//!
+//! A [`CaseSpec`] is a small, serializable description of one test
+//! program: where the target object lives, how the flawed access flows
+//! to it (the Juliet vocabulary from `ifp-juliet`), and the surrounding
+//! layout (fields before/after the target array, a decoy array-of-structs
+//! tail, element sizes). The spec *is* the ground truth: [`CaseSpec::resolve`]
+//! computes the planted access's byte range against the C layout rules,
+//! so the oracle knows exactly what every defense should say without
+//! trusting any of them.
+//!
+//! Program emission mirrors `ifp_juliet::gen` (good path first, bad path
+//! second, completion marker, heap freed at exit) so the same VM harness
+//! conventions apply.
+
+use crate::json::Value;
+use ifp_compiler::{FnBuilder, Operand, Program, ProgramBuilder, Reg, TypeId, TypeTable};
+use ifp_juliet::{CaseKind, Cwe, Site, Variant};
+use ifp_testutil::Rng;
+
+/// Which edge of the target array the planted access crosses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// Past the last element.
+    Over,
+    /// Before the first element.
+    Under,
+}
+
+impl Dir {
+    /// Stable serialization name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Dir::Over => "over",
+            Dir::Under => "under",
+        }
+    }
+
+    /// Parses a [`Dir::name`] string back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Dir> {
+        [Dir::Over, Dir::Under].into_iter().find(|d| d.name() == s)
+    }
+}
+
+/// A sibling field of the target array: `count` elements of a
+/// `elem_size`-byte integer type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Element size in bytes (1, 2, 4 or 8).
+    pub elem_size: u8,
+    /// Element count.
+    pub count: u32,
+}
+
+/// Maximum object size the generator produces. Well under the
+/// local-offset scheme's 1008-byte object cap and the layout-table entry
+/// caps, so scheme selection is by *site*, not size.
+pub const MAX_OBJECT: u64 = 512;
+
+/// One generated case: layout genotype plus planted-bug parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Flavor seed: decides filler positions and the MTE model's tag
+    /// stream. Not a generation seed — two specs differing only here
+    /// still describe the same layout.
+    pub seed: u64,
+    /// Where the target object lives.
+    pub site: Site,
+    /// How the access flows to the object.
+    pub variant: Variant,
+    /// Good (all accesses in bounds) or bad (planted violation).
+    pub kind: CaseKind,
+    /// Which edge the planted access crosses.
+    pub dir: Dir,
+    /// Whether the planted access is a read.
+    pub is_read: bool,
+    /// Whether the target array is a struct member (subobject) or a bare
+    /// array (object-granularity only).
+    pub wrap_struct: bool,
+    /// Struct fields before the target array.
+    pub pre: Vec<FieldSpec>,
+    /// Target-array element size in bytes.
+    pub elem_size: u8,
+    /// Target-array length.
+    pub len: u32,
+    /// Struct fields after the target array.
+    pub post: Vec<FieldSpec>,
+    /// Length of a decoy trailing array-of-structs field (0 = absent).
+    /// Exercises nested gep chains and layout-table depth on the good
+    /// path without affecting the planted access.
+    pub deco: u32,
+    /// How many elements past the edge the planted access lands.
+    pub oob: u32,
+    /// Extra in-bounds stores to the target array before the accesses.
+    pub filler: u32,
+}
+
+/// The spec's ground truth, computed from the C layout rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Resolved {
+    /// Total object size in bytes.
+    pub object_size: u64,
+    /// Byte offset of the target array within the object.
+    pub arr_offset: u64,
+    /// Element size in bytes.
+    pub elem_size: u64,
+    /// In-bounds index the good path accesses.
+    pub good_idx: i64,
+    /// Out-of-bounds index the bad path accesses.
+    pub bad_idx: i64,
+    /// Byte offset (within the object, possibly negative) where the
+    /// planted access starts.
+    pub bad_lo: i64,
+    /// One past the planted access's last byte offset.
+    pub bad_hi: i64,
+    /// Whether the planted access leaves the object entirely (false =
+    /// intra-object: it lands in a sibling field or padding).
+    pub escapes: bool,
+    /// The error class the planted access realizes.
+    pub cwe: Cwe,
+}
+
+fn int_ty(types: &mut TypeTable, size: u8) -> TypeId {
+    match size {
+        1 => types.int8(),
+        2 => types.int16(),
+        4 => types.int32(),
+        _ => types.int64(),
+    }
+}
+
+/// The realized types of one spec, shared by layout resolution and
+/// program emission so they can never disagree.
+struct Realized {
+    elem_t: TypeId,
+    arr_t: TypeId,
+    /// The root type: the wrapping struct, or the bare array.
+    root_t: TypeId,
+    /// Field index of the target array within the root struct.
+    target_field: u32,
+    /// Field index of the decoy field, when present.
+    deco_field: Option<u32>,
+    deco_arr_t: Option<TypeId>,
+    deco_elem_t: Option<TypeId>,
+}
+
+impl CaseSpec {
+    fn realize(&self, types: &mut TypeTable) -> Realized {
+        let elem_t = int_ty(types, self.elem_size);
+        let arr_t = types.array(elem_t, self.len);
+        if !self.wrap_struct {
+            return Realized {
+                elem_t,
+                arr_t,
+                root_t: arr_t,
+                target_field: 0,
+                deco_field: None,
+                deco_arr_t: None,
+                deco_elem_t: None,
+            };
+        }
+        let mut named: Vec<(String, TypeId)> = Vec::new();
+        for (i, f) in self.pre.iter().enumerate() {
+            let ft = int_ty(types, f.elem_size);
+            let at = types.array(ft, f.count);
+            named.push((format!("p{i}"), at));
+        }
+        let target_field = named.len() as u32;
+        named.push(("t".into(), arr_t));
+        for (i, f) in self.post.iter().enumerate() {
+            let ft = int_ty(types, f.elem_size);
+            let at = types.array(ft, f.count);
+            named.push((format!("q{i}"), at));
+        }
+        let (deco_field, deco_arr_t, deco_elem_t) = if self.deco > 0 {
+            let i32t = types.int32();
+            let i64t = types.int64();
+            let pair = types.struct_type("Deco", &[("a", i32t), ("b", i64t)]);
+            let at = types.array(pair, self.deco);
+            let idx = named.len() as u32;
+            named.push(("d".into(), at));
+            (Some(idx), Some(at), Some(pair))
+        } else {
+            (None, None, None)
+        };
+        let refs: Vec<(&str, TypeId)> = named.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let root_t = types.struct_type("Obj", &refs);
+        Realized {
+            elem_t,
+            arr_t,
+            root_t,
+            target_field,
+            deco_field,
+            deco_arr_t,
+            deco_elem_t,
+        }
+    }
+
+    /// Computes the spec's ground truth against the C layout rules.
+    #[must_use]
+    pub fn resolve(&self) -> Resolved {
+        let mut types = TypeTable::new();
+        let r = self.realize(&mut types);
+        let object_size = u64::from(types.size_of(r.root_t));
+        let arr_offset = if self.wrap_struct {
+            u64::from(types.field(r.root_t, r.target_field).offset)
+        } else {
+            0
+        };
+        let es = u64::from(self.elem_size);
+        let (good_idx, bad_idx) = match self.dir {
+            Dir::Over => (
+                i64::from(self.len) - 1,
+                i64::from(self.len) - 1 + i64::from(self.oob),
+            ),
+            Dir::Under => (0, -i64::from(self.oob)),
+        };
+        let bad_lo = arr_offset as i64 + bad_idx * es as i64;
+        let bad_hi = bad_lo + es as i64;
+        let escapes = bad_lo < 0 || bad_hi > object_size as i64;
+        let cwe = match (escapes, self.dir, self.is_read) {
+            (false, _, false) => Cwe::IntraObjectWrite,
+            (false, _, true) => Cwe::IntraObjectRead,
+            (true, Dir::Over, false) => Cwe::OverflowWrite,
+            (true, Dir::Over, true) => Cwe::Overread,
+            (true, Dir::Under, false) => Cwe::Underwrite,
+            (true, Dir::Under, true) => Cwe::Underread,
+        };
+        Resolved {
+            object_size,
+            arr_offset,
+            elem_size: es,
+            good_idx,
+            bad_idx,
+            bad_lo,
+            bad_hi,
+            escapes,
+            cwe,
+        }
+    }
+
+    /// Normalizes the spec into the generator's supported envelope.
+    /// Idempotent; both [`CaseSpec::generate`] and the mutation engine
+    /// funnel through it, so every spec the oracle sees satisfies the
+    /// constraints the detection model is sound under.
+    pub fn sanitize(&mut self) {
+        fn fix_size(s: u8) -> u8 {
+            match s {
+                1 | 2 | 4 | 8 => s,
+                _ => 4,
+            }
+        }
+        self.elem_size = fix_size(self.elem_size);
+        self.len = self.len.clamp(1, 16);
+        self.oob = self.oob.clamp(1, 3);
+        self.filler = self.filler.min(8);
+        self.deco = self.deco.min(4);
+        self.pre.truncate(3);
+        self.post.truncate(3);
+        for f in self.pre.iter_mut().chain(self.post.iter_mut()) {
+            f.elem_size = fix_size(f.elem_size);
+            f.count = f.count.clamp(1, 8);
+        }
+        if !self.wrap_struct {
+            self.pre.clear();
+            self.post.clear();
+            self.deco = 0;
+        }
+        // Keep the object comfortably inside the local-offset scheme.
+        while self.resolve().object_size > MAX_OBJECT {
+            if self.post.pop().is_some() {
+            } else if self.deco > 0 {
+                self.deco = 0;
+            } else if self.pre.pop().is_some() {
+            } else if self.len > 1 {
+                self.len /= 2;
+            } else {
+                self.elem_size = 1;
+            }
+        }
+        // A loaded-flow *intra-object* bug is only detectable when the
+        // pointer's metadata scheme carries subobject index bits: global
+        // objects use the global-table scheme, which has none — promote
+        // recovers object bounds only, and the miss would be by design,
+        // not a finding. Keep that cell out of the generator's space.
+        if self.variant == Variant::LoadedFlow && self.site == Site::Global {
+            let r = self.resolve();
+            if !r.escapes {
+                self.site = Site::Stack;
+            }
+        }
+    }
+
+    /// Draws a fresh spec from `rng` (already sanitized).
+    #[must_use]
+    pub fn generate(rng: &mut Rng) -> CaseSpec {
+        let sizes = [1u8, 2, 4, 8];
+        let field = |r: &mut Rng| FieldSpec {
+            elem_size: *r.choose(&sizes),
+            count: r.range_u32(1, 9),
+        };
+        let mut spec = CaseSpec {
+            seed: rng.u64(),
+            site: *rng.choose(&Site::ALL),
+            variant: *rng.choose(&Variant::ALL),
+            kind: if rng.bool() {
+                CaseKind::Bad
+            } else {
+                CaseKind::Good
+            },
+            dir: if rng.bool() { Dir::Over } else { Dir::Under },
+            is_read: rng.bool(),
+            wrap_struct: rng.bool(),
+            pre: rng.vec(0, 4, field),
+            elem_size: *rng.choose(&sizes),
+            len: rng.range_u32(1, 17),
+            post: rng.vec(0, 4, field),
+            deco: rng.range_u32(0, 5),
+            oob: rng.range_u32(1, 4),
+            filler: rng.range_u32(0, 9),
+        };
+        spec.sanitize();
+        spec
+    }
+
+    /// Builds the spec's program. Mirrors the Juliet generator's
+    /// conventions: initialize, good access, (bad access,) completion
+    /// marker, free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec violates builder invariants — sanitized
+    /// specs never do.
+    #[must_use]
+    pub fn build_program(&self) -> Program {
+        let r = self.resolve();
+        let mut pb = ProgramBuilder::new();
+        let realized = self.realize(&mut pb.types);
+        let vp = pb.types.void_ptr();
+        let Realized {
+            elem_t,
+            arr_t,
+            root_t,
+            target_field,
+            deco_field,
+            deco_arr_t,
+            deco_elem_t,
+        } = realized;
+
+        let data_g = (self.site == Site::Global).then(|| pb.global("g_data", root_t));
+        let cell_g = (self.variant == Variant::LoadedFlow).then(|| pb.global("g_ptr", vp));
+
+        // Flow helpers (same shapes as ifp-juliet's).
+        if self.variant == Variant::CallFlow {
+            let mut h = pb.func("access_helper", 2);
+            let p = h.param(0);
+            let at = h.param(1);
+            let cell = h.index_addr(p, elem_t, at);
+            if self.is_read {
+                let v = h.load(cell, elem_t);
+                h.print_int(v);
+            } else {
+                h.store(cell, 7i64, elem_t);
+            }
+            h.ret(None);
+            pb.finish_func(h);
+        }
+        if let Some(cell_g) = cell_g {
+            let mut h = pb.func("flow_helper", 1);
+            let at = h.param(0);
+            let gp = h.addr_of_global(cell_g);
+            let p = h.load(gp, vp); // the promote path
+            let cell = h.index_addr(p, elem_t, at);
+            if self.is_read {
+                let v = h.load(cell, elem_t);
+                h.print_int(v);
+            } else {
+                h.store(cell, 7i64, elem_t);
+            }
+            h.ret(None);
+            pb.finish_func(h);
+        }
+
+        let mut m = pb.func("main", 0);
+        // The object, and the pointer to the target array within it.
+        let obj = match self.site {
+            Site::Stack => m.alloca(root_t),
+            Site::Global => m.addr_of_global(data_g.expect("global site")),
+            Site::Heap => {
+                if self.wrap_struct {
+                    m.malloc(root_t)
+                } else {
+                    m.malloc_n(elem_t, i64::from(self.len))
+                }
+            }
+        };
+        let (tp, base_ty) = if self.wrap_struct {
+            (m.field_addr(obj, root_t, target_field), arr_t)
+        } else if self.site == Site::Heap {
+            (obj, elem_t)
+        } else {
+            (obj, arr_t)
+        };
+
+        // Initialize sibling fields (in-bounds, statically narrowed).
+        for (i, f) in self.pre.iter().enumerate() {
+            let fa = m.field_addr(obj, root_t, i as u32);
+            let ft = int_ty(&mut pb.types, f.elem_size);
+            for j in 0..f.count {
+                let cell = m.index_addr(fa, ft, i64::from(j));
+                m.store(cell, i64::from(j), ft);
+            }
+        }
+        for (i, f) in self.post.iter().enumerate() {
+            let fa = m.field_addr(obj, root_t, target_field + 1 + i as u32);
+            let ft = int_ty(&mut pb.types, f.elem_size);
+            for j in 0..f.count {
+                let cell = m.index_addr(fa, ft, i64::from(j));
+                m.store(cell, i64::from(j), ft);
+            }
+        }
+        // Decoy array-of-structs: nested gep chain, all in bounds.
+        if let (Some(df), Some(dat), Some(det)) = (deco_field, deco_arr_t, deco_elem_t) {
+            let i32t = pb.types.int32();
+            let fa = m.field_addr(obj, root_t, df);
+            for j in 0..self.deco {
+                let ea = m.index_addr(fa, dat, i64::from(j));
+                let fd = m.field_addr(ea, det, 0);
+                m.store(fd, i64::from(j), i32t);
+            }
+        }
+        // Initialize the target array with a counted loop.
+        m.for_loop(0i64, i64::from(self.len), |f, i| {
+            let cell = f.index_addr(tp, base_ty, i);
+            f.store(cell, i, elem_t);
+        });
+        // Filler: extra in-bounds stores at seed-derived positions.
+        for i in 0..self.filler {
+            let k = (self.seed.rotate_left(i * 8 + 1) % u64::from(self.len)) as i64;
+            let cell = m.index_addr(tp, base_ty, k);
+            m.store(cell, k + 1, elem_t);
+        }
+
+        // The access, routed per variant (juliet's emit_access shapes).
+        let emit = |m: &mut FnBuilder, types: &mut TypeTable, idx: i64| {
+            let do_access = |m: &mut FnBuilder, at: Reg| {
+                let cell = m.index_addr(tp, base_ty, at);
+                if self.is_read {
+                    let v = m.load(cell, elem_t);
+                    m.print_int(v);
+                } else {
+                    m.store(cell, 7i64, elem_t);
+                }
+            };
+            match self.variant {
+                Variant::Direct => {
+                    let at = m.mov(idx);
+                    do_access(m, at);
+                }
+                Variant::Loop => {
+                    if idx >= 0 {
+                        m.for_loop(0i64, idx + 1, |m, i| do_access(m, i));
+                    } else {
+                        let i = m.mov(i64::from(self.len) - 1);
+                        m.count_down_loop(i, idx, |m, i| do_access(m, i));
+                    }
+                }
+                Variant::PtrArith => {
+                    let mid_idx = i64::from(self.len) / 2;
+                    let mid = m.index_addr(tp, base_ty, mid_idx);
+                    let k = m.mov(idx - mid_idx);
+                    let cell = m.index_addr(mid, elem_t, k);
+                    if self.is_read {
+                        let v = m.load(cell, elem_t);
+                        m.print_int(v);
+                    } else {
+                        m.store(cell, 7i64, elem_t);
+                    }
+                }
+                Variant::CallFlow => {
+                    let at = m.mov(idx);
+                    m.call_void("access_helper", vec![Operand::Reg(tp), Operand::Reg(at)]);
+                }
+                Variant::LoadedFlow => {
+                    let vp = types.void_ptr();
+                    let gp = m.addr_of_global(cell_g.expect("loaded flow"));
+                    m.store(gp, tp, vp);
+                    let at = m.mov(idx);
+                    m.call_void("flow_helper", vec![Operand::Reg(at)]);
+                }
+            }
+        };
+        emit(&mut m, &mut pb.types, r.good_idx);
+        if self.kind == CaseKind::Bad {
+            emit(&mut m, &mut pb.types, r.bad_idx);
+        }
+        m.print_int(1i64); // completion marker
+        if self.site == Site::Heap {
+            m.free(obj);
+        }
+        m.ret(Some(Operand::Imm(0)));
+        pb.finish_func(m);
+        pb.build()
+    }
+
+    /// Serializes into the corpus JSON shape.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let fields = |fs: &[FieldSpec]| {
+            Value::Arr(
+                fs.iter()
+                    .map(|f| {
+                        Value::Arr(vec![
+                            Value::Num(i64::from(f.elem_size)),
+                            Value::Num(i64::from(f.count)),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        Value::Obj(vec![
+            ("seed".into(), Value::Str(format!("{:#x}", self.seed))),
+            ("site".into(), Value::Str(self.site.name().into())),
+            ("variant".into(), Value::Str(self.variant.name().into())),
+            ("kind".into(), Value::Str(self.kind.name().into())),
+            ("dir".into(), Value::Str(self.dir.name().into())),
+            ("is_read".into(), Value::Bool(self.is_read)),
+            ("wrap_struct".into(), Value::Bool(self.wrap_struct)),
+            ("pre".into(), fields(&self.pre)),
+            ("elem_size".into(), Value::Num(i64::from(self.elem_size))),
+            ("len".into(), Value::Num(i64::from(self.len))),
+            ("post".into(), fields(&self.post)),
+            ("deco".into(), Value::Num(i64::from(self.deco))),
+            ("oob".into(), Value::Num(i64::from(self.oob))),
+            ("filler".into(), Value::Num(i64::from(self.filler))),
+        ])
+    }
+
+    /// Deserializes from the corpus JSON shape.
+    ///
+    /// # Errors
+    ///
+    /// Reports the first missing or ill-typed key.
+    pub fn from_json(v: &Value) -> Result<CaseSpec, String> {
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("missing string `{k}`"))
+        };
+        let n = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| format!("missing number `{k}`"))
+        };
+        let b = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("missing bool `{k}`"))
+        };
+        let fields = |k: &str| -> Result<Vec<FieldSpec>, String> {
+            v.get(k)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("missing array `{k}`"))?
+                .iter()
+                .map(|f| {
+                    let pair = f.as_arr().ok_or("field is not a pair")?;
+                    match pair {
+                        [a, c] => Ok(FieldSpec {
+                            elem_size: a.as_i64().ok_or("bad field size")? as u8,
+                            count: c.as_i64().ok_or("bad field count")? as u32,
+                        }),
+                        _ => Err("field is not a pair".into()),
+                    }
+                })
+                .collect()
+        };
+        let seed_text = s("seed")?;
+        let seed = parse_seed(seed_text).ok_or_else(|| format!("bad seed `{seed_text}`"))?;
+        let mut spec = CaseSpec {
+            seed,
+            site: Site::from_name(s("site")?).ok_or("bad site")?,
+            variant: Variant::from_name(s("variant")?).ok_or("bad variant")?,
+            kind: CaseKind::from_name(s("kind")?).ok_or("bad kind")?,
+            dir: Dir::from_name(s("dir")?).ok_or("bad dir")?,
+            is_read: b("is_read")?,
+            wrap_struct: b("wrap_struct")?,
+            pre: fields("pre")?,
+            elem_size: n("elem_size")? as u8,
+            len: n("len")? as u32,
+            post: fields("post")?,
+            deco: n("deco")? as u32,
+            oob: n("oob")? as u32,
+            filler: n("filler")? as u32,
+        };
+        spec.sanitize();
+        Ok(spec)
+    }
+}
+
+/// Parses a seed in decimal or `0x` hex.
+#[must_use]
+pub fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> CaseSpec {
+        CaseSpec {
+            seed: 1,
+            site: Site::Stack,
+            variant: Variant::Direct,
+            kind: CaseKind::Bad,
+            dir: Dir::Over,
+            is_read: false,
+            wrap_struct: true,
+            pre: vec![FieldSpec {
+                elem_size: 4,
+                count: 4,
+            }],
+            elem_size: 4,
+            len: 4,
+            post: vec![FieldSpec {
+                elem_size: 4,
+                count: 4,
+            }],
+            deco: 0,
+            oob: 1,
+            filler: 0,
+        }
+    }
+
+    #[test]
+    fn resolve_classifies_intra_vs_escape() {
+        let spec = base_spec();
+        let r = spec.resolve();
+        // Overflow by one element from the middle array lands in `q0`.
+        assert_eq!(r.arr_offset, 16);
+        assert_eq!(r.object_size, 48);
+        assert!(!r.escapes);
+        assert_eq!(r.cwe, Cwe::IntraObjectWrite);
+
+        let mut bare = base_spec();
+        bare.wrap_struct = false;
+        bare.sanitize();
+        let r = bare.resolve();
+        assert!(r.escapes, "bare arrays have nothing to land in");
+        assert_eq!(r.cwe, Cwe::OverflowWrite);
+
+        let mut under = base_spec();
+        under.dir = Dir::Under;
+        under.oob = 3;
+        let r = under.resolve();
+        // 3 elements * 4 bytes below offset 16 is offset 4: still inside.
+        assert!(!r.escapes);
+        assert_eq!(r.bad_lo, 4);
+    }
+
+    #[test]
+    fn sanitize_is_idempotent_and_bounds_size() {
+        let mut rng = Rng::new(42);
+        for _ in 0..500 {
+            let spec = CaseSpec::generate(&mut rng);
+            let mut again = spec.clone();
+            again.sanitize();
+            assert_eq!(spec, again, "sanitize must be idempotent");
+            assert!(spec.resolve().object_size <= MAX_OBJECT);
+            if spec.variant == Variant::LoadedFlow && !spec.resolve().escapes {
+                assert_ne!(spec.site, Site::Global, "undetectable cell generated");
+            }
+        }
+    }
+
+    #[test]
+    fn programs_validate() {
+        let mut rng = Rng::new(7);
+        for _ in 0..200 {
+            let spec = CaseSpec::generate(&mut rng);
+            let program = spec.build_program();
+            assert!(program.validate().is_ok(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut rng = Rng::new(11);
+        for _ in 0..100 {
+            let spec = CaseSpec::generate(&mut rng);
+            let text = spec.to_json().to_string();
+            let back = CaseSpec::from_json(&crate::json::parse(&text).unwrap()).unwrap();
+            assert_eq!(spec, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<CaseSpec> = (0..32)
+            .map(|i| CaseSpec::generate(&mut Rng::stream(9, i)))
+            .collect();
+        let b: Vec<CaseSpec> = (0..32)
+            .map(|i| CaseSpec::generate(&mut Rng::stream(9, i)))
+            .collect();
+        assert_eq!(a, b);
+        // And the emitted programs are structurally identical.
+        for spec in &a {
+            assert_eq!(
+                format!("{:?}", spec.build_program()),
+                format!("{:?}", spec.build_program())
+            );
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Guards the checked-in demo corpus file that anchors the README's
+//! worked replay example.
+//!
+//! The file records a real (since fixed) finding class: before the ASan
+//! model gained real-ASan partial-granule shadow encoding, any object
+//! whose size was not a multiple of the 8-byte granule had its tail
+//! bytes swallowed by the right redzone — a false positive the
+//! differential oracle flagged as `defense_disagree`. The demo spec is
+//! the shrinker's minimal bad case with a granule-unaligned object, so
+//! `ifp-fuzz replay` on the file shows the full triage pipeline (per-mode
+//! outcomes, disagreement record, forensics) and reports that the
+//! finding no longer reproduces.
+//!
+//! Regenerate after an intentional format or generator change with:
+//!
+//! ```text
+//! IFP_FUZZ_BLESS=1 cargo test -p ifp-fuzz --test replay_demo
+//! ```
+
+use ifp_fuzz::campaign::spec_for_ticket;
+use ifp_fuzz::corpus::load_finding;
+use ifp_fuzz::oracle::{evaluate, forensic_text, Disagreement, FindingClass};
+use ifp_fuzz::shrink::shrink_with;
+use ifp_fuzz::Finding;
+use ifp_juliet::CaseKind;
+use std::path::PathBuf;
+
+const DEMO_SEED: u64 = 0x000d_ecaf;
+
+fn demo_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("testdata")
+        .join("demo-finding.json")
+}
+
+/// Rebuilds the demo finding from first principles: the first ticket of
+/// the pinned campaign seed whose bad case ends mid-granule, shrunk
+/// while preserving that shape.
+fn demo_finding() -> Finding {
+    let unaligned_bad =
+        |s: &ifp_fuzz::spec::CaseSpec| s.kind == CaseKind::Bad && !s.resolve().object_size.is_multiple_of(8);
+    let (iteration, original) = (0..)
+        .map(|i| (i, spec_for_ticket(DEMO_SEED, i)))
+        .find(|(_, s)| unaligned_bad(s))
+        .expect("the generator plants granule-unaligned bad cases");
+    let spec = shrink_with(&original, unaligned_bad);
+    let size = spec.resolve().object_size;
+    let forensics = forensic_text(&spec);
+    Finding {
+        iteration,
+        campaign_seed: DEMO_SEED,
+        disagreements: vec![Disagreement {
+            class: FindingClass::DefenseDisagree,
+            detail: format!(
+                "asan: implementation denies but redzone model allows \
+                 (object size {size} ends mid-granule; right redzone \
+                 poisoned the live tail bytes)"
+            ),
+        }],
+        spec,
+        original,
+        forensics,
+    }
+}
+
+#[test]
+fn demo_corpus_file_is_current_and_replays() {
+    let path = demo_path();
+    let expected = demo_finding();
+    let mut text = expected.to_json().to_string();
+    text.push('\n');
+
+    if std::env::var_os("IFP_FUZZ_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with IFP_FUZZ_BLESS=1 to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk, text,
+        "demo corpus file is stale; regenerate with IFP_FUZZ_BLESS=1"
+    );
+
+    // And the file replays through the public corpus + oracle path.
+    let finding = load_finding(&path).unwrap();
+    assert_eq!(finding, expected);
+    let eval = evaluate(&finding.spec);
+    assert!(
+        eval.disagreements.is_empty(),
+        "the historical ASan finding must stay fixed: {:?}",
+        eval.disagreements
+    );
+    assert_eq!(eval.runs.len(), 4);
+}

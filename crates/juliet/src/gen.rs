@@ -54,7 +54,36 @@ impl Cwe {
             Cwe::Underwrite | Cwe::Underread => (0, -1),
         }
     }
+
+    /// Stable serialization name (the corpus-file vocabulary).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Cwe::OverflowWrite => "overflow_write",
+            Cwe::Underwrite => "underwrite",
+            Cwe::Overread => "overread",
+            Cwe::Underread => "underread",
+            Cwe::IntraObjectWrite => "intra_object_write",
+            Cwe::IntraObjectRead => "intra_object_read",
+        }
+    }
+
+    /// Parses a [`Cwe::name`] string back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Cwe> {
+        ALL_CWES.into_iter().find(|c| c.name() == s)
+    }
 }
+
+/// Every error class, in serialization order.
+pub const ALL_CWES: [Cwe; 6] = [
+    Cwe::OverflowWrite,
+    Cwe::Underwrite,
+    Cwe::Overread,
+    Cwe::Underread,
+    Cwe::IntraObjectWrite,
+    Cwe::IntraObjectRead,
+];
 
 /// Where the target object lives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -65,6 +94,27 @@ pub enum Site {
     Heap,
     /// A global array.
     Global,
+}
+
+impl Site {
+    /// All sites.
+    pub const ALL: [Site; 3] = [Site::Stack, Site::Heap, Site::Global];
+
+    /// Stable serialization name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::Stack => "stack",
+            Site::Heap => "heap",
+            Site::Global => "global",
+        }
+    }
+
+    /// Parses a [`Site::name`] string back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|v| v.name() == s)
+    }
 }
 
 /// The data-flow shape between index computation and access (Juliet's
@@ -94,6 +144,24 @@ impl Variant {
         Variant::CallFlow,
         Variant::LoadedFlow,
     ];
+
+    /// Stable serialization name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Direct => "direct",
+            Variant::Loop => "loop",
+            Variant::PtrArith => "ptr_arith",
+            Variant::CallFlow => "call_flow",
+            Variant::LoadedFlow => "loaded_flow",
+        }
+    }
+
+    /// Parses a [`Variant::name`] string back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Variant> {
+        Variant::ALL.into_iter().find(|v| v.name() == s)
+    }
 }
 
 /// Good (in-bounds only) or bad (good path then out-of-bounds path).
@@ -103,6 +171,25 @@ pub enum CaseKind {
     Good,
     /// Ends with an out-of-bounds access; must be detected.
     Bad,
+}
+
+impl CaseKind {
+    /// Stable serialization name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseKind::Good => "good",
+            CaseKind::Bad => "bad",
+        }
+    }
+
+    /// Parses a [`CaseKind::name`] string back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<CaseKind> {
+        [CaseKind::Good, CaseKind::Bad]
+            .into_iter()
+            .find(|v| v.name() == s)
+    }
 }
 
 /// One generated test case.
@@ -154,11 +241,11 @@ fn emit_access(
         Variant::Loop => {
             if idx >= 0 {
                 // Ascending: 0..=idx.
-                util_for(f, 0, idx + 1, |f, i| do_access(f, i));
+                f.for_loop(0i64, idx + 1, |f, i| do_access(f, i));
             } else {
                 // Descending: N-1 down to idx.
                 let i = f.mov(N - 1);
-                util_while_ge(f, i, idx, |f, i| do_access(f, i));
+                f.count_down_loop(i, idx, |f, i| do_access(f, i));
             }
         }
         Variant::PtrArith => {
@@ -173,43 +260,6 @@ fn emit_access(
             }
         }
     }
-}
-
-/// Counted ascending loop helper (local to the generator).
-fn util_for(f: &mut FnBuilder, start: i64, end: i64, body: impl FnOnce(&mut FnBuilder, Reg)) {
-    let i = f.mov(start);
-    let end = f.mov(end);
-    let header = f.new_block();
-    let body_bb = f.new_block();
-    let exit = f.new_block();
-    f.jmp(header);
-    f.switch_to(header);
-    let c = f.lt(i, end);
-    f.br(c, body_bb, exit);
-    f.switch_to(body_bb);
-    body(f, i);
-    let i2 = f.add(i, 1i64);
-    f.assign(i, i2);
-    f.jmp(header);
-    f.switch_to(exit);
-}
-
-/// Descending loop helper: from the current value of `i` down to `low`
-/// inclusive.
-fn util_while_ge(f: &mut FnBuilder, i: Reg, low: i64, body: impl FnOnce(&mut FnBuilder, Reg)) {
-    let header = f.new_block();
-    let body_bb = f.new_block();
-    let exit = f.new_block();
-    f.jmp(header);
-    f.switch_to(header);
-    let c = f.le(low, i);
-    f.br(c, body_bb, exit);
-    f.switch_to(body_bb);
-    body(f, i);
-    let i2 = f.sub(i, 1i64);
-    f.assign(i, i2);
-    f.jmp(header);
-    f.switch_to(exit);
 }
 
 fn build_flat_case(cwe: Cwe, site: Site, variant: Variant, kind: CaseKind) -> Program {
@@ -421,6 +471,23 @@ pub fn all_cases() -> Vec<JulietCase> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for c in ALL_CWES {
+            assert_eq!(Cwe::from_name(c.name()), Some(c));
+        }
+        for s in Site::ALL {
+            assert_eq!(Site::from_name(s.name()), Some(s));
+        }
+        for v in Variant::ALL {
+            assert_eq!(Variant::from_name(v.name()), Some(v));
+        }
+        for k in [CaseKind::Good, CaseKind::Bad] {
+            assert_eq!(CaseKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Cwe::from_name("bogus"), None);
+    }
 
     #[test]
     fn suite_has_expected_shape() {

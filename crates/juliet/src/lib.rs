@@ -18,5 +18,5 @@
 pub mod gen;
 pub mod harness;
 
-pub use gen::{all_cases, CaseKind, Cwe, JulietCase, Site, Variant};
+pub use gen::{all_cases, CaseKind, Cwe, JulietCase, Site, Variant, ALL_CWES};
 pub use harness::{run_case, run_case_traced, run_suite, CaseOutcome, SuiteResult};

@@ -121,6 +121,31 @@ impl Rng {
     pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
         self.vec(0, max_len, Rng::u8)
     }
+
+    /// A uniformly chosen element of `items`. Panics on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// The generator for stream `stream` of `seed`: statelessly derives
+    /// an independent generator so that work item `i` draws the same
+    /// sequence no matter which worker (or how many workers) picks it
+    /// up. This is the splittable-stream primitive behind [`run_cases`]
+    /// and the fuzz campaign's per-iteration RNGs.
+    #[must_use]
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Rng::new(seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Splits off an independent child generator, advancing `self`. The
+    /// child's stream does not overlap the parent's continuation for any
+    /// practical draw count (distinct splitmix64 expansions).
+    pub fn split(&mut self) -> Self {
+        let a = self.u64();
+        let b = self.u64();
+        Rng::new(a ^ b.rotate_left(32))
+    }
 }
 
 /// Runs `body` for `cases` deterministic iterations, seeding each from
@@ -128,7 +153,7 @@ impl Rng {
 /// iteration so the case reproduces directly.
 pub fn run_cases(seed: u64, cases: u32, mut body: impl FnMut(&mut Rng)) {
     for i in 0..cases {
-        let mut rng = Rng::new(seed ^ (u64::from(i).wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let mut rng = Rng::stream(seed, u64::from(i));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(e) = result {
             eprintln!("property failed at case {i} (seed {seed:#x})");
@@ -200,6 +225,44 @@ mod tests {
         assert!(some > 20 && some < 80, "{some}");
         let v = rng.vec(1, 64, |r| r.range_u64(1, 512));
         assert!(!v.is_empty() && v.len() < 64);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        // Stream derivation is stateless: equal (seed, stream) pairs
+        // agree, distinct streams diverge immediately.
+        let mut a = Rng::stream(99, 3);
+        let mut b = Rng::stream(99, 3);
+        let mut c = Rng::stream(99, 4);
+        let (x, y, z) = (a.u64(), b.u64(), c.u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn split_children_are_independent_of_parent_continuation() {
+        let mut parent = Rng::new(1234);
+        let mut child = parent.split();
+        // A replayed parent that also splits gets the same child stream,
+        // and the same continuation after the split.
+        let mut parent2 = Rng::new(1234);
+        let mut child2 = parent2.split();
+        for _ in 0..32 {
+            assert_eq!(child.u64(), child2.u64());
+            assert_eq!(parent.u64(), parent2.u64());
+        }
+    }
+
+    #[test]
+    fn choose_picks_every_element_eventually() {
+        let mut rng = Rng::new(5);
+        let items = [1u8, 2, 4, 8];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = *rng.choose(&items);
+            seen[items.iter().position(|&i| i == v).unwrap()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 
     #[test]

@@ -5,22 +5,37 @@
 //! ifp-trace run.jsonl          # summarize a file
 //! ifp-trace a.jsonl b.jsonl    # merge several
 //! some-run | ifp-trace         # or read stdin
+//! ifp-trace --strict run.jsonl # malformed lines fail the run
 //! ```
+//!
+//! Lines that do not parse as trace events are counted and reported on
+//! stderr; with `--strict` any such line makes the exit status nonzero
+//! (for CI pipelines where a corrupt log must not pass silently).
 
 use ifp_trace::Summary;
 use std::io::{BufRead, BufReader, Read};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: ifp-trace [FILE.jsonl ...]   (no files: read stdin)");
-        return;
+    let mut strict = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: ifp-trace [--strict] [FILE.jsonl ...]   (no files: read stdin)\n\
+                     \x20 --strict   exit nonzero when any line fails to parse"
+                );
+                return;
+            }
+            "--strict" => strict = true,
+            _ => files.push(a),
+        }
     }
     let mut summary = Summary::default();
-    if args.is_empty() {
+    if files.is_empty() {
         read_into(&mut summary, std::io::stdin().lock(), "<stdin>");
     } else {
-        for path in &args {
+        for path in &files {
             match std::fs::File::open(path) {
                 Ok(f) => read_into(&mut summary, BufReader::new(f), path),
                 Err(e) => {
@@ -32,7 +47,14 @@ fn main() {
     }
     print!("{summary}");
     if summary.malformed_lines > 0 {
-        std::process::exit(1);
+        eprintln!(
+            "ifp-trace: {} malformed line(s) skipped{}",
+            summary.malformed_lines,
+            if strict { " (strict: failing)" } else { "" }
+        );
+        if strict {
+            std::process::exit(1);
+        }
     }
 }
 

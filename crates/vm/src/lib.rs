@@ -45,6 +45,11 @@ pub enum AllocatorKind {
     Subheap,
 }
 
+impl AllocatorKind {
+    /// Both allocator variants, in evaluation order.
+    pub const ALL: [AllocatorKind; 2] = [AllocatorKind::Wrapped, AllocatorKind::Subheap];
+}
+
 impl fmt::Display for AllocatorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
