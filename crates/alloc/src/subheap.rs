@@ -50,6 +50,9 @@ pub struct SubheapAllocator {
     blocks: HashMap<u64, BlockInfo>,
     /// Live objects: address -> block base.
     live: HashMap<u64, u64>,
+    /// Quarantined objects: address -> block base. The slot is neither
+    /// live nor reusable; its block cannot empty until the drain.
+    quarantined: HashMap<u64, u64>,
     mallocs: u64,
     frees: u64,
 }
@@ -65,6 +68,7 @@ impl SubheapAllocator {
             pools: HashMap::new(),
             blocks: HashMap::new(),
             live: HashMap::new(),
+            quarantined: HashMap::new(),
             mallocs: 0,
             frees: 0,
         }
@@ -296,6 +300,102 @@ impl SubheapAllocator {
     pub fn is_live(&self, addr: u64) -> bool {
         self.live.contains_key(&addr)
     }
+
+    /// [`SubheapAllocator::malloc_traced`] that also stamps the
+    /// allocation into the temporal registry, returning its key.
+    ///
+    /// # Errors
+    ///
+    /// As [`SubheapAllocator::malloc`].
+    pub fn malloc_temporal(
+        &mut self,
+        mem: &mut MemSystem,
+        object_size: u64,
+        layout_table: u64,
+        temporal: &mut ifp_temporal::TemporalState,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<(TaggedPtr, AllocCost, u64), AllocError> {
+        let (ptr, cost) = self.malloc_traced(mem, object_size, layout_table, tracer)?;
+        let key = temporal.on_alloc(ptr.addr(), object_size.max(1));
+        Ok((ptr, cost, key))
+    }
+
+    /// Temporally-checked free. Under the quarantine policy the slot is
+    /// parked — neither live nor reusable — and slots drained from
+    /// quarantine are released through the normal free path, so blocks
+    /// that empty flow back to the buddy allocator.
+    ///
+    /// Returns the double-free violation instead of freeing when the
+    /// registry has already seen this address die.
+    ///
+    /// # Errors
+    ///
+    /// As [`SubheapAllocator::free`] for addresses the temporal registry
+    /// does not track.
+    pub fn free_temporal(
+        &mut self,
+        mem: &mut MemSystem,
+        addr: u64,
+        temporal: &mut ifp_temporal::TemporalState,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<(Option<ifp_temporal::TemporalViolation>, AllocCost), AllocError> {
+        match temporal.on_free(addr) {
+            ifp_temporal::FreeOutcome::NotTracked => {
+                self.free_traced(mem, addr, tracer).map(|cost| (None, cost))
+            }
+            ifp_temporal::FreeOutcome::DoubleFree(v) => Ok((
+                Some(v),
+                AllocCost {
+                    base_instrs: costs::SUBHEAP_FREE,
+                    ifp_instrs: 0,
+                },
+            )),
+            ifp_temporal::FreeOutcome::Revoked { key, size } => {
+                let cost = self.free_traced(mem, addr, tracer)?;
+                tracer.record(ifp_trace::EventKind::Revoke { addr, size, key });
+                Ok((None, cost))
+            }
+            ifp_temporal::FreeOutcome::Quarantined {
+                key,
+                size,
+                pending_bytes,
+                drained,
+            } => {
+                let block_base = self
+                    .live
+                    .remove(&addr)
+                    .ok_or(AllocError::InvalidFree { addr })?;
+                self.quarantined.insert(addr, block_base);
+                let mut cost = AllocCost {
+                    base_instrs: costs::SUBHEAP_FREE,
+                    ifp_instrs: 0,
+                };
+                tracer.record(ifp_trace::EventKind::Free { addr });
+                tracer.record(ifp_trace::EventKind::Revoke { addr, size, key });
+                tracer.record(ifp_trace::EventKind::Quarantine {
+                    addr,
+                    size,
+                    pending_bytes,
+                    drained: false,
+                });
+                for (dbase, dsize) in drained {
+                    let dblock = self
+                        .quarantined
+                        .remove(&dbase)
+                        .ok_or(AllocError::InvalidFree { addr: dbase })?;
+                    self.live.insert(dbase, dblock);
+                    cost = cost.plus(self.free(mem, dbase)?);
+                    tracer.record(ifp_trace::EventKind::Quarantine {
+                        addr: dbase,
+                        size: dsize,
+                        pending_bytes: temporal.pending_bytes(),
+                        drained: true,
+                    });
+                }
+                Ok((None, cost))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +519,63 @@ mod tests {
         assert!(1u64 << shift >= size);
         // Block is not 16x oversized.
         assert!(1u64 << shift <= 4 * size);
+    }
+
+    #[test]
+    fn quarantined_slots_are_not_reused_until_drained() {
+        let (mut mem, mut sh) = setup();
+        let mut temporal = ifp_temporal::TemporalState::with_quarantine_budget(
+            ifp_temporal::TemporalPolicy::Quarantine,
+            64,
+        );
+        let mut tracer = ifp_trace::Tracer::new(ifp_trace::TraceConfig::default());
+        let (a, _, _) = sh
+            .malloc_temporal(&mut mem, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        sh.free_temporal(&mut mem, a.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        let (b, _, _) = sh
+            .malloc_temporal(&mut mem, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        assert_ne!(b.addr(), a.addr(), "quarantined slot not handed out");
+        // Freeing b (same 64-byte size class) overflows the 64-byte budget
+        // and drains a; the slot then becomes reusable.
+        sh.free_temporal(&mut mem, b.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        let (c, _, _) = sh
+            .malloc_temporal(&mut mem, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        assert_eq!(c.addr(), a.addr(), "drained slot reused");
+    }
+
+    #[test]
+    fn quarantine_drain_returns_empty_blocks_to_buddy() {
+        let (mut mem, mut sh) = setup();
+        let mut temporal = ifp_temporal::TemporalState::with_quarantine_budget(
+            ifp_temporal::TemporalPolicy::Quarantine,
+            64,
+        );
+        let mut tracer = ifp_trace::Tracer::new(ifp_trace::TraceConfig::default());
+        let (a, _, _) = sh
+            .malloc_temporal(&mut mem, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        sh.free_temporal(&mut mem, a.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        let one_block = sh.footprint();
+        assert!(one_block > 0, "block pinned while its slot is quarantined");
+        // Overflow the class budget from a different block (distinct
+        // layout table => distinct pool) so a drains; its emptied block
+        // must flow back through the buddy layer.
+        let (b, _, _) = sh
+            .malloc_temporal(&mut mem, 40, 1, &mut temporal, &mut tracer)
+            .unwrap();
+        sh.free_temporal(&mut mem, b.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        assert_eq!(
+            sh.footprint(),
+            one_block,
+            "a's block released by the drain; only b's quarantined block remains"
+        );
     }
 
     #[test]

@@ -192,6 +192,121 @@ impl WrappedAllocator {
     pub fn is_live(&self, addr: u64) -> bool {
         self.live.contains_key(&addr)
     }
+
+    /// [`WrappedAllocator::malloc_traced`] that also stamps the
+    /// allocation into the temporal registry, returning its key.
+    ///
+    /// # Errors
+    ///
+    /// As [`WrappedAllocator::malloc`].
+    pub fn malloc_temporal(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        object_size: u64,
+        layout_table: u64,
+        temporal: &mut ifp_temporal::TemporalState,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<(TaggedPtr, AllocCost, u64), AllocError> {
+        let (ptr, cost) = self.malloc_traced(mem, gt, object_size, layout_table, tracer)?;
+        let key = temporal.on_alloc(ptr.addr(), object_size.max(1));
+        Ok((ptr, cost, key))
+    }
+
+    /// Temporally-checked free. Revokes the allocation's lock; under the
+    /// quarantine policy the chunk release is deferred (the metadata is
+    /// still invalidated immediately, so stale promotes fail) and
+    /// regions drained from quarantine are released in its place.
+    ///
+    /// Returns the double-free violation instead of freeing when the
+    /// registry has already seen this address die.
+    ///
+    /// # Errors
+    ///
+    /// As [`WrappedAllocator::free`] for addresses the temporal registry
+    /// does not track.
+    pub fn free_temporal(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        addr: u64,
+        temporal: &mut ifp_temporal::TemporalState,
+        tracer: &mut ifp_trace::Tracer,
+    ) -> Result<(Option<ifp_temporal::TemporalViolation>, AllocCost), AllocError> {
+        match temporal.on_free(addr) {
+            ifp_temporal::FreeOutcome::NotTracked => self
+                .free_traced(mem, gt, addr, tracer)
+                .map(|cost| (None, cost)),
+            ifp_temporal::FreeOutcome::DoubleFree(v) => Ok((
+                Some(v),
+                AllocCost {
+                    base_instrs: costs::LIBC_FREE,
+                    ifp_instrs: 0,
+                },
+            )),
+            ifp_temporal::FreeOutcome::Revoked { key, size } => {
+                let cost = self.free_traced(mem, gt, addr, tracer)?;
+                tracer.record(ifp_trace::EventKind::Revoke { addr, size, key });
+                Ok((None, cost))
+            }
+            ifp_temporal::FreeOutcome::Quarantined {
+                key,
+                size,
+                pending_bytes,
+                drained,
+            } => {
+                let mut cost = self.revoke_metadata(mem, gt, addr)?;
+                tracer.record(ifp_trace::EventKind::Free { addr });
+                tracer.record(ifp_trace::EventKind::Revoke { addr, size, key });
+                tracer.record(ifp_trace::EventKind::Quarantine {
+                    addr,
+                    size,
+                    pending_bytes,
+                    drained: false,
+                });
+                for (dbase, dsize) in drained {
+                    self.base.free(&mut mem.mem, dbase)?;
+                    cost.base_instrs += costs::LIBC_FREE;
+                    tracer.record(ifp_trace::EventKind::Quarantine {
+                        addr: dbase,
+                        size: dsize,
+                        pending_bytes: temporal.pending_bytes(),
+                        drained: true,
+                    });
+                }
+                Ok((None, cost))
+            }
+        }
+    }
+
+    /// Invalidates an allocation's metadata (zeroed record / released
+    /// global-table row) without releasing the chunk — the quarantine
+    /// half of a free.
+    fn revoke_metadata(
+        &mut self,
+        mem: &mut MemSystem,
+        gt: &mut GlobalTableManager,
+        addr: u64,
+    ) -> Result<AllocCost, AllocError> {
+        let kind = self
+            .live
+            .remove(&addr)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        let mut cost = AllocCost {
+            base_instrs: costs::WRAP_OVERHEAD / 2,
+            ifp_instrs: 0,
+        };
+        match kind {
+            MetaKind::LocalOffset { meta_addr } => {
+                mem.write(meta_addr, &[0u8; 16])
+                    .expect("chunk still mapped");
+            }
+            MetaKind::GlobalTable { row } => {
+                cost = cost.plus(gt.deregister(mem, row)?);
+            }
+        }
+        Ok(cost)
+    }
 }
 
 #[cfg(test)]
@@ -281,5 +396,46 @@ mod tests {
     fn invalid_free_detected() {
         let (mut mem, mut w, mut gt) = setup();
         assert!(w.free(&mut mem, &mut gt, 0x1234).is_err());
+    }
+
+    #[test]
+    fn quarantined_free_defers_chunk_release() {
+        let (mut mem, mut w, mut gt) = setup();
+        let mut temporal = ifp_temporal::TemporalState::with_quarantine_budget(
+            ifp_temporal::TemporalPolicy::Quarantine,
+            64,
+        );
+        let mut tracer = ifp_trace::Tracer::new(ifp_trace::TraceConfig::default());
+        let (a, _, _) = w
+            .malloc_temporal(&mut mem, &mut gt, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        let (v, _) = w
+            .free_temporal(&mut mem, &mut gt, a.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        assert!(v.is_none());
+        assert!(!w.is_live(a.addr()));
+        // A second free of the quarantined chunk is a double free.
+        let (v2, _) = w
+            .free_temporal(&mut mem, &mut gt, a.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        assert_eq!(
+            v2.unwrap().kind,
+            ifp_trace::TemporalKind::DoubleFree,
+            "quarantined chunk reports double free"
+        );
+        // The libc layer never got a's chunk back, so a same-sized
+        // malloc cannot reuse its address.
+        let (b, _, _) = w
+            .malloc_temporal(&mut mem, &mut gt, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        assert_ne!(b.addr(), a.addr(), "quarantined chunk not handed out");
+        // Freeing b pushes the 64-byte size class past the 64-byte
+        // budget: a drains, is released to libc, and gets reused.
+        w.free_temporal(&mut mem, &mut gt, b.addr(), &mut temporal, &mut tracer)
+            .unwrap();
+        let (c, _, _) = w
+            .malloc_temporal(&mut mem, &mut gt, 40, 0, &mut temporal, &mut tracer)
+            .unwrap();
+        assert_eq!(c.addr(), a.addr(), "drained chunk finally released");
     }
 }

@@ -12,7 +12,7 @@
 //! differential fuzzer flags immediately on unaligned sizes.
 
 use crate::{Defense, PtrMeta};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Redzone size on each side of an allocation.
 pub const REDZONE: u64 = 16;
@@ -28,14 +28,35 @@ const FREED_MARK: u8 = 0xfd;
 #[derive(Debug, Default)]
 pub struct Asan {
     shadow: HashMap<u64, u8>,
+    /// Freed allocations still under poison, oldest first.
+    quarantine: VecDeque<(u64, u64)>,
+    quarantine_bytes: u64,
+    /// Quarantine byte budget; `None` keeps freed memory poisoned
+    /// forever (the idealized model the spatial comparison uses).
+    quarantine_budget: Option<u64>,
 }
 
 impl Asan {
     /// Creates an empty instance (all memory "valid", matching ASan's
-    /// default for unpoisoned regions).
+    /// default for unpoisoned regions). Freed memory stays poisoned
+    /// forever; see [`Asan::with_quarantine`] for the bounded model.
     #[must_use]
     pub fn new() -> Self {
         Asan::default()
+    }
+
+    /// Creates an instance whose freed-memory poison is bounded by a
+    /// quarantine budget, real-ASan style: when the total of freed bytes
+    /// exceeds `bytes`, the oldest freed chunks leave quarantine and
+    /// their memory becomes reusable (shadow valid again) — a stale
+    /// pointer dereferenced after eviction is *missed*. This is the
+    /// mechanism behind ASan's probabilistic use-after-free window.
+    #[must_use]
+    pub fn with_quarantine(bytes: u64) -> Self {
+        Asan {
+            quarantine_budget: Some(bytes),
+            ..Asan::default()
+        }
     }
 
     fn poison(&mut self, base: u64, len: u64, mark: u8) {
@@ -90,8 +111,22 @@ impl Defense for Asan {
     }
 
     fn on_free(&mut self, base: u64, size: u64) {
-        // Quarantine: freed memory stays poisoned.
+        // Quarantine: freed memory stays poisoned until (and unless) the
+        // chunk is evicted to make room under the byte budget.
         self.poison(base, size, FREED_MARK);
+        if let Some(budget) = self.quarantine_budget {
+            self.quarantine.push_back((base, size));
+            self.quarantine_bytes += size;
+            while self.quarantine_bytes > budget {
+                let Some((b, s)) = self.quarantine.pop_front() else {
+                    break;
+                };
+                self.quarantine_bytes -= s;
+                // Eviction returns the chunk to the allocator: its
+                // memory is addressable again and stale uses go unseen.
+                self.unpoison(b, s);
+            }
+        }
     }
 
     fn on_subobject(&mut self, parent: PtrMeta, _field_base: u64, _field_size: u64) -> PtrMeta {
@@ -101,6 +136,12 @@ impl Defense for Asan {
 
     fn check(&self, _meta: PtrMeta, addr: u64, size: u64) -> bool {
         (addr..addr + size).all(|a| self.byte_ok(a))
+    }
+
+    fn check_free(&self, _meta: PtrMeta, base: u64) -> bool {
+        // A double free hands back memory whose shadow still carries the
+        // freed mark (unless quarantine eviction already cleared it).
+        self.shadow_at(base) != FREED_MARK
     }
 
     fn object_granularity(&self) -> &'static str {
@@ -156,5 +197,32 @@ mod tests {
             !a.check(m, 0x1000, 1),
             "use after free caught by quarantine"
         );
+    }
+
+    #[test]
+    fn double_free_is_flagged_by_the_freed_shadow() {
+        let mut a = Asan::new();
+        let m = a.on_alloc(0x1000, 64);
+        assert!(a.check_free(m, 0x1000), "first free is legitimate");
+        a.on_free(0x1000, 64);
+        assert!(!a.check_free(m, 0x1000), "second free hits freed shadow");
+    }
+
+    #[test]
+    fn quarantine_eviction_reopens_the_uaf_window() {
+        // 128-byte budget: freeing two further 64-byte chunks evicts the
+        // first, whose memory becomes addressable again — the stale use
+        // is missed, exactly the bounded-quarantine escape.
+        let mut a = Asan::with_quarantine(128);
+        let m = a.on_alloc(0x1000, 64);
+        a.on_alloc(0x2000, 64);
+        a.on_alloc(0x3000, 64);
+        a.on_free(0x1000, 64);
+        assert!(!a.check(m, 0x1000, 1), "still quarantined");
+        a.on_free(0x2000, 64);
+        assert!(!a.check(m, 0x1000, 1), "budget not yet exceeded");
+        a.on_free(0x3000, 64);
+        assert!(a.check(m, 0x1000, 1), "evicted: stale use missed");
+        assert!(a.check_free(m, 0x1000), "evicted: double free missed too");
     }
 }

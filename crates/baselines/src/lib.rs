@@ -27,10 +27,12 @@
 pub mod asan;
 pub mod mte;
 pub mod softbound;
+pub mod temporal;
 
 pub use asan::Asan;
 pub use mte::Mte;
 pub use softbound::SoftBound;
+pub use temporal::{temporal_row, TemporalRow};
 
 use ifp_tag::Bounds;
 
@@ -69,6 +71,15 @@ pub trait Defense {
     /// Checks a `size`-byte access at `addr` through a pointer carrying
     /// `meta`.
     fn check(&self, meta: PtrMeta, addr: u64, size: u64) -> bool;
+
+    /// Checks a `free` of the allocation at `base` through a pointer
+    /// carrying `meta`. Returns whether the free is allowed — `false`
+    /// flags a temporal violation (double free). Defaults to allowed:
+    /// schemes without free-time state cannot object.
+    fn check_free(&self, meta: PtrMeta, base: u64) -> bool {
+        let _ = (meta, base);
+        true
+    }
 
     /// Whether detection of *object* overflow is exact, for the table.
     fn object_granularity(&self) -> &'static str;

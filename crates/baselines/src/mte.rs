@@ -86,6 +86,17 @@ impl Defense for Mte {
         }
     }
 
+    fn check_free(&self, meta: PtrMeta, base: u64) -> bool {
+        // A free presents the pointer's tag against the memory tag; after
+        // the first free retagged the granules, a stale tag mismatches
+        // with probability 15/16 — double-free detection inherits the
+        // same collision odds as every other MTE check.
+        match meta {
+            PtrMeta::Tag(t) => self.tag_at(base) == t,
+            _ => true,
+        }
+    }
+
     fn object_granularity(&self) -> &'static str {
         "probabilistic (1/16 escape)"
     }
@@ -126,6 +137,22 @@ mod tests {
         }
         let rate = f64::from(collisions) / f64::from(trials);
         assert!((0.02..0.14).contains(&rate), "collision rate {rate}");
+    }
+
+    #[test]
+    fn double_free_detection_shares_the_tag_collision_odds() {
+        let mut caught = 0;
+        for seed in 0..64 {
+            let mut m = Mte::with_seed(seed);
+            let p = m.on_alloc(0x1000, 64);
+            assert!(m.check_free(p, 0x1000), "first free always passes");
+            m.on_free(0x1000, 64);
+            if !m.check_free(p, 0x1000) {
+                caught += 1;
+            }
+        }
+        assert!(caught > 48, "most double frees trap ({caught}/64)");
+        assert!(caught < 64, "tag reuse leaks some ({caught}/64)");
     }
 
     #[test]

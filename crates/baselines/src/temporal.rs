@@ -1,0 +1,158 @@
+//! Analytic temporal-safety models of the comparator defenses.
+//!
+//! The spatial comparison in this crate drives each defense empirically;
+//! the temporal comparison additionally needs *closed-form* expectations
+//! so the differential fuzzer can judge a run without trusting the
+//! implementation under test:
+//!
+//! * **ASan** detects use-after-free and double free deterministically
+//!   *while the freed chunk sits in quarantine*; once the byte budget
+//!   evicts it, both are missed ([`asan_uaf_detected`]).
+//! * **MTE** retags on free, so a stale pointer's tag mismatches with
+//!   probability 15/16 per check — use-after-free and double-free
+//!   detection are both probabilistic ([`MTE_STALE_CATCH_PROBABILITY`]),
+//!   and the tag can recur after enough intervening retags
+//!   ([`mte_tag_reuse_probability`]).
+//! * **SoftBound** (and pointer-bounds schemes generally) keep no
+//!   free-time state at all: spatially in-bounds stale accesses pass.
+//!
+//! [`temporal_row`] drives any [`Defense`] through the standard
+//! alloc→free→stale-use→double-free scenario and reports what it caught,
+//! mirroring [`crate::detection_row`] for the spatial table.
+
+use crate::Defense;
+
+/// Probability that one MTE check of a stale pointer traps: the free
+/// retagged the granules, and 15 of the 16 possible new tags differ from
+/// the one the pointer still carries.
+pub const MTE_STALE_CATCH_PROBABILITY: f64 = 15.0 / 16.0;
+
+/// Probability that a stale pointer's tag has come back around after
+/// `retags` further retag events on its memory (each drawn uniformly
+/// from the 16 tags): `1 - (15/16)^retags` that at least one recurrence
+/// happened at the final state is not what a single check sees — the
+/// check compares against the *current* tag only, so the reuse
+/// probability per check stays `1/16` regardless of history.
+#[must_use]
+pub fn mte_tag_reuse_probability(retags: u32) -> f64 {
+    if retags == 0 {
+        0.0
+    } else {
+        1.0 / 16.0
+    }
+}
+
+/// Whether the ASan model detects a stale access to a freed chunk of
+/// `size` bytes, given the quarantine byte budget (`None` = unbounded)
+/// and how many bytes of *other* chunks were freed after it. Detection
+/// holds exactly while the chunk is still quarantined: it is evicted
+/// once the younger frees alone exceed the budget's remaining room.
+#[must_use]
+pub fn asan_uaf_detected(budget: Option<u64>, size: u64, freed_after: u64) -> bool {
+    match budget {
+        None => true,
+        Some(b) => size + freed_after <= b,
+    }
+}
+
+/// What one defense caught on the standard temporal scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TemporalRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Stale dereference after free detected.
+    pub use_after_free: bool,
+    /// Second free of the same allocation detected.
+    pub double_free: bool,
+}
+
+/// Drives a defense through alloc → free → stale use → double free and
+/// reports the detections (the temporal companion of
+/// [`crate::detection_row`]).
+pub fn temporal_row<D: Defense>(d: &mut D) -> TemporalRow {
+    let base = 0x1000u64;
+    let meta = d.on_alloc(base, 64);
+    assert!(d.check(meta, base, 1), "live access must pass");
+    assert!(d.check_free(meta, base), "first free must pass");
+    d.on_free(base, 64);
+    TemporalRow {
+        scheme: d.name(),
+        use_after_free: !d.check(meta, base, 1),
+        double_free: !d.check_free(meta, base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asan, Mte, SoftBound};
+
+    #[test]
+    fn asan_detects_both_while_quarantined() {
+        let row = temporal_row(&mut Asan::new());
+        assert!(row.use_after_free);
+        assert!(row.double_free);
+    }
+
+    #[test]
+    fn softbound_detects_neither() {
+        // Pointer-bounds schemes keep no free-time state: the stale
+        // access is spatially in bounds and sails through.
+        let row = temporal_row(&mut SoftBound::new());
+        assert!(!row.use_after_free);
+        assert!(!row.double_free);
+    }
+
+    #[test]
+    fn mte_detection_rate_matches_the_analytic_probability() {
+        let trials = 512u32;
+        let mut uaf = 0u32;
+        let mut df = 0u32;
+        for seed in 0..u64::from(trials) {
+            let row = temporal_row(&mut Mte::with_seed(seed));
+            uaf += u32::from(row.use_after_free);
+            df += u32::from(row.double_free);
+        }
+        for caught in [uaf, df] {
+            let rate = f64::from(caught) / f64::from(trials);
+            assert!(
+                (rate - MTE_STALE_CATCH_PROBABILITY).abs() < 0.05,
+                "rate {rate} vs model {MTE_STALE_CATCH_PROBABILITY}"
+            );
+        }
+    }
+
+    #[test]
+    fn asan_eviction_model_matches_the_implementation() {
+        // Free a 64-byte chunk under a 128-byte budget, then free `n`
+        // further bytes; the model and the implementation must agree on
+        // when the stale access starts passing again.
+        for freed_after in [0u64, 64, 128, 192] {
+            let mut a = Asan::with_quarantine(128);
+            let m = a.on_alloc(0x1000, 64);
+            a.on_free(0x1000, 64);
+            let mut next = 0x4000u64;
+            let mut remaining = freed_after;
+            while remaining > 0 {
+                let chunk = remaining.min(64);
+                a.on_alloc(next, chunk);
+                a.on_free(next, chunk);
+                next += 0x1000;
+                remaining -= chunk;
+            }
+            let detected = !a.check(m, 0x1000, 1);
+            assert_eq!(
+                detected,
+                asan_uaf_detected(Some(128), 64, freed_after),
+                "freed_after={freed_after}"
+            );
+        }
+    }
+
+    #[test]
+    fn tag_reuse_probability_is_flat_per_check() {
+        assert_eq!(mte_tag_reuse_probability(0), 0.0);
+        assert!((mte_tag_reuse_probability(1) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((mte_tag_reuse_probability(100) - 1.0 / 16.0).abs() < 1e-12);
+    }
+}

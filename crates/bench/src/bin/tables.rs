@@ -2,15 +2,17 @@
 //!
 //! Usage: `cargo run --release -p ifp-bench --bin tables -- [section ...]`
 //! where sections are `table1 table2 table3 table4 fig10 fig11 fig12
-//! fig13 juliet cache` or `all` (default).
+//! fig13 juliet temporal cache` or `all` (default).
 //!
 //! `trace [workload]` is an extra mode (not part of `all`): it re-runs one
 //! workload (default `treeadd`) with event tracing enabled and prints the
 //! trace summary; `trace-jsonl [workload]` dumps the raw JSONL stream for
 //! the `ifp-trace` CLI instead.
 
+use ifp_baselines::{temporal_row, Asan, Mte, SoftBound};
 use ifp_bench::{render, sweep_all};
-use ifp_juliet::{all_cases, run_suite};
+use ifp_juliet::{all_cases, run_suite, run_temporal_suite, temporal_cases};
+use ifp_temporal::TemporalPolicy;
 use ifp_vm::{AllocatorKind, Mode};
 
 /// Runs `workload` once, instrumented (subheap), with full tracing, and
@@ -107,6 +109,44 @@ fn main() {
             let r = run_suite(&cases, mode);
             println!("  {mode}: {r}");
         }
+        println!();
+    }
+
+    if want("temporal") {
+        println!("Temporal evaluation (CWE-416 use-after-free / CWE-415 double-free)");
+        let cases = temporal_cases();
+        println!(
+            "  generated cases: {} ({} bad, {} good)",
+            cases.len(),
+            cases.len() / 2,
+            cases.len() / 2
+        );
+        for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+            for policy in TemporalPolicy::ALL {
+                let r = run_temporal_suite(&cases, Mode::instrumented(alloc), policy);
+                println!("  instrumented[{alloc}] temporal={policy}: {r}");
+            }
+        }
+        println!("\nComparator temporal detection (analytic baseline models)");
+        for (name, row) in [
+            ("asan", temporal_row(&mut Asan::new())),
+            ("asan-drained", temporal_row(&mut Asan::with_quarantine(0))),
+            ("mte(seed 7)", temporal_row(&mut Mte::with_seed(7))),
+            ("softbound", temporal_row(&mut SoftBound::new())),
+        ] {
+            println!(
+                "  {name:<13} use-after-free {}  double-free {}",
+                if row.use_after_free {
+                    "caught"
+                } else {
+                    "missed"
+                },
+                if row.double_free { "caught" } else { "missed" },
+            );
+        }
+        println!();
+        let costs = ifp_bench::temporal::measure_sample();
+        print!("{}", ifp_bench::temporal::overhead_table(&costs));
         println!();
     }
 

@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod render;
+pub mod temporal;
 
 use ifp::eval::ModeSweep;
 use ifp_workloads::Workload;

@@ -15,6 +15,8 @@
 //! * [`compiler`] — mini-IR, builder, analysis and the
 //!   instrumentation pass;
 //! * [`alloc`] — wrapped / subheap / baseline allocators;
+//! * [`temporal`] — the lock-and-key allocation-epoch registry and its
+//!   enforcement policies;
 //! * [`vm`] — the execution engine and its statistics;
 //! * [`workloads`] — the 18 evaluation programs;
 //! * [`juliet`] — the functional-evaluation suite;
@@ -49,6 +51,7 @@ pub use ifp_juliet as juliet;
 pub use ifp_mem as mem;
 pub use ifp_meta as meta;
 pub use ifp_tag as tag;
+pub use ifp_temporal as temporal;
 pub use ifp_trace as trace;
 pub use ifp_vm as vm;
 pub use ifp_workloads as workloads;

@@ -7,11 +7,12 @@
 //! ifp-fuzz shrink FILE [-o OUT]
 //! ```
 
-use ifp_fuzz::campaign::{run_campaign, CampaignConfig};
+use ifp_fuzz::campaign::{run_campaign, CampaignConfig, Schedule};
 use ifp_fuzz::corpus::load_finding;
 use ifp_fuzz::oracle::{evaluate, forensic_text};
 use ifp_fuzz::shrink::shrink_with;
 use ifp_fuzz::spec::parse_seed;
+use ifp_fuzz::temporal::{run_temporal_campaign, TemporalCampaignConfig};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -21,7 +22,10 @@ ifp-fuzz: differential fuzzing of the In-Fat Pointer toolchain
 
 USAGE:
     ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
-                      [--corpus DIR] [--fail-on-finding]
+                      [--corpus DIR] [--schedule uniform|coverage]
+                      [--fail-on-finding]
+    ifp-fuzz temporal [--seed S] [--iters N] [--workers W]
+                      [--fail-on-finding]
     ifp-fuzz replay FILE...
     ifp-fuzz shrink FILE [-o OUT]
 
@@ -30,7 +34,16 @@ CAMPAIGN OPTIONS:
     --iters N           iterations to run (default 1000)
     --workers W         worker threads (default 4)
     --corpus DIR        persist minimized findings as JSON under DIR
+    --schedule X        ticket scheduling: uniform (default) or
+                        coverage (inverse cell-frequency weighting)
     --fail-on-finding   exit nonzero if any finding is produced
+
+TEMPORAL:
+    Runs the temporal campaign: seed-derived programs with planted
+    use-after-free / double-free / realloc-stale bugs (or none),
+    judged against the analytic model of every temporal policy
+    (key-check, tag-cycle, quarantine). Same determinism contract as
+    `campaign`; same options minus the corpus/schedule knobs.
 
 REPLAY:
     Re-evaluates each corpus file's minimized spec through the full
@@ -46,6 +59,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("temporal") => cmd_temporal(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -65,6 +79,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         iterations: 1000,
         workers: 4,
         corpus_dir: None,
+        schedule: Schedule::Uniform,
     };
     let mut fail_on_finding = false;
     let mut it = args.iter();
@@ -91,6 +106,11 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                     .map_err(|_| format!("bad worker count `{v}`"))
             }),
             "--corpus" => value("--corpus").map(|v| config.corpus_dir = Some(PathBuf::from(v))),
+            "--schedule" => value("--schedule").and_then(|v| {
+                Schedule::from_name(&v)
+                    .map(|s| config.schedule = s)
+                    .ok_or(format!("bad schedule `{v}` (uniform|coverage)"))
+            }),
             "--fail-on-finding" => {
                 fail_on_finding = true;
                 Ok(())
@@ -108,6 +128,60 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     if fail_on_finding && !report.findings.is_empty() {
         eprintln!(
             "ifp-fuzz: {} finding(s) with --fail-on-finding",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_temporal(args: &[String]) -> ExitCode {
+    let mut config = TemporalCampaignConfig {
+        seed: 0,
+        iterations: 1000,
+        workers: 4,
+    };
+    let mut fail_on_finding = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--seed" => value("--seed").and_then(|v| {
+                parse_seed(&v)
+                    .map(|s| config.seed = s)
+                    .ok_or(format!("bad seed `{v}`"))
+            }),
+            "--iters" => value("--iters").and_then(|v| {
+                v.parse()
+                    .map(|n| config.iterations = n)
+                    .map_err(|_| format!("bad iteration count `{v}`"))
+            }),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|w: usize| config.workers = w.max(1))
+                    .map_err(|_| format!("bad worker count `{v}`"))
+            }),
+            "--fail-on-finding" => {
+                fail_on_finding = true;
+                Ok(())
+            }
+            other => Err(format!("unknown temporal option `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("ifp-fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = run_temporal_campaign(&config);
+    print!("{}", report.render());
+    if fail_on_finding && !report.findings.is_empty() {
+        eprintln!(
+            "ifp-fuzz: {} temporal finding(s) with --fail-on-finding",
             report.findings.len()
         );
         return ExitCode::FAILURE;

@@ -26,6 +26,42 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+/// How tickets choose the spec they run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Every ticket draws one spec from its own stream — uniform over
+    /// the generator's distribution.
+    #[default]
+    Uniform,
+    /// Inverse cell-frequency weighting: each bad-case ticket draws a
+    /// small candidate set and keeps the one whose coverage cells have
+    /// been hit least so far, steering the campaign toward the
+    /// thin corners of the scheme×site×CWE×variant matrix. Good cases
+    /// pass through unweighted, so the good/bad mix is unchanged.
+    /// Selection happens sequentially before the worker pool starts, so
+    /// results remain a pure function of `(seed, iterations)`.
+    CoverageGuided,
+}
+
+impl Schedule {
+    /// Stable CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Schedule::Uniform => "uniform",
+            Schedule::CoverageGuided => "coverage",
+        }
+    }
+
+    /// Parses a [`Schedule::name`] string back.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Schedule> {
+        [Schedule::Uniform, Schedule::CoverageGuided]
+            .into_iter()
+            .find(|x| x.name() == s)
+    }
+}
+
 /// Campaign parameters.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -38,6 +74,8 @@ pub struct CampaignConfig {
     /// Where to persist minimized findings; `None` keeps them in memory
     /// only.
     pub corpus_dir: Option<PathBuf>,
+    /// Ticket scheduling strategy.
+    pub schedule: Schedule,
 }
 
 impl Default for CampaignConfig {
@@ -47,6 +85,7 @@ impl Default for CampaignConfig {
             iterations: 1000,
             workers: 1,
             corpus_dir: None,
+            schedule: Schedule::Uniform,
         }
     }
 }
@@ -137,6 +176,68 @@ pub fn spec_for_ticket(seed: u64, i: u64) -> CaseSpec {
     }
 }
 
+/// Candidate draws per bad-case ticket under the coverage-guided
+/// schedule.
+const CANDIDATES: u64 = 4;
+
+/// Stream salt separating coverage-guided candidate streams from the
+/// uniform ticket streams (a ticket's candidate `k` must not replay
+/// another campaign's ticket `i * CANDIDATES + k`).
+const CG_SALT: u64 = 0x5eed_c0de_0dd5_a17e;
+
+/// The spec sequence a coverage-guided campaign runs, chosen
+/// sequentially: ticket `i` draws up to [`CANDIDATES`] specs; a good
+/// first draw passes through unchanged (preserving the generator's
+/// good/bad mix), while a bad first draw competes against the remaining
+/// bad candidates on the sum of its cells' hit counts so far — the
+/// least-covered candidate wins (inverse cell-frequency weighting).
+/// Everything is a pure function of `(seed, iterations)`: worker count
+/// cannot influence a single chosen spec.
+#[must_use]
+pub fn coverage_guided_specs(seed: u64, iterations: u64) -> Vec<CaseSpec> {
+    let gen_candidate = |i: u64, k: u64| {
+        let mut rng = Rng::stream(seed ^ CG_SALT, i * CANDIDATES + k);
+        if i.is_multiple_of(2) {
+            CaseSpec::generate(&mut rng)
+        } else {
+            let parent = CaseSpec::generate(&mut rng);
+            mutate(&parent, &mut rng)
+        }
+    };
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut specs = Vec::with_capacity(usize::try_from(iterations).unwrap_or(0));
+    for i in 0..iterations {
+        let first = gen_candidate(i, 0);
+        let chosen = if first.kind == CaseKind::Good {
+            first
+        } else {
+            let score = |counts: &BTreeMap<String, u64>, s: &CaseSpec| -> u64 {
+                cells_of(s)
+                    .iter()
+                    .map(|c| counts.get(c).copied().unwrap_or(0))
+                    .sum()
+            };
+            let mut best = (score(&counts, &first), first);
+            for k in 1..CANDIDATES {
+                let cand = gen_candidate(i, k);
+                if cand.kind != CaseKind::Bad {
+                    continue;
+                }
+                let s = score(&counts, &cand);
+                if s < best.0 {
+                    best = (s, cand);
+                }
+            }
+            best.1
+        };
+        for c in cells_of(&chosen) {
+            *counts.entry(c).or_default() += 1;
+        }
+        specs.push(chosen);
+    }
+    specs
+}
+
 /// Runs a campaign to completion.
 ///
 /// # Panics
@@ -148,6 +249,13 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let next = AtomicU64::new(0);
     let raw_findings: Mutex<Vec<(u64, CaseSpec, Vec<Disagreement>)>> = Mutex::new(Vec::new());
     let workers = config.workers.max(1);
+    // Coverage-guided selection is inherently sequential (each choice
+    // depends on the running cell counts), so it happens up front; the
+    // pool then executes the prebuilt sequence.
+    let prebuilt: Option<Vec<CaseSpec>> = match config.schedule {
+        Schedule::Uniform => None,
+        Schedule::CoverageGuided => Some(coverage_guided_specs(config.seed, config.iterations)),
+    };
 
     let started = std::time::Instant::now();
     let coverage = std::thread::scope(|s| {
@@ -160,7 +268,10 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                         if i >= config.iterations {
                             break;
                         }
-                        let spec = spec_for_ticket(config.seed, i);
+                        let spec = match &prebuilt {
+                            Some(specs) => specs[usize::try_from(i).expect("ticket fits")].clone(),
+                            None => spec_for_ticket(config.seed, i),
+                        };
                         if spec.kind == CaseKind::Bad {
                             for c in cells_of(&spec) {
                                 *local_cov.entry(c).or_default() += 1;
@@ -290,6 +401,7 @@ impl CampaignReport {
         s.push_str(&format!("  seed        {:#x}\n", self.config.seed));
         s.push_str(&format!("  iterations  {}\n", self.config.iterations));
         s.push_str(&format!("  workers     {}\n", self.config.workers.max(1)));
+        s.push_str(&format!("  schedule    {}\n", self.config.schedule.name()));
         s.push_str(&format!(
             "  elapsed     {:.2}s ({:.0} iters/sec)\n",
             self.elapsed.as_secs_f64(),
@@ -362,6 +474,7 @@ mod tests {
             iterations: 60,
             workers: 2,
             corpus_dir: None,
+            schedule: Schedule::Uniform,
         });
         assert!(
             report.findings.is_empty(),
@@ -376,5 +489,72 @@ mod tests {
         assert!(report.coverage.len() <= report.total_cells);
         let rendered = report.render();
         assert!(rendered.contains("iterations  60"), "{rendered}");
+    }
+
+    #[test]
+    fn coverage_guided_selection_is_a_pure_function_of_seed_and_iterations() {
+        let a = coverage_guided_specs(0xc0f, 80);
+        let b = coverage_guided_specs(0xc0f, 80);
+        assert_eq!(a, b);
+        // A longer run extends, never rewrites, the shorter sequence.
+        let longer = coverage_guided_specs(0xc0f, 120);
+        assert_eq!(&longer[..80], &a[..]);
+    }
+
+    #[test]
+    fn coverage_guided_preserves_the_good_case_mix() {
+        // Good tickets pass through unweighted: the schedule only picks
+        // among bad candidates, so candidate 0's kind decides the mix.
+        for (i, spec) in coverage_guided_specs(0x90d, 100).iter().enumerate() {
+            let mut rng = Rng::stream(0x90d ^ CG_SALT, i as u64 * CANDIDATES);
+            let first = if (i as u64).is_multiple_of(2) {
+                CaseSpec::generate(&mut rng)
+            } else {
+                let parent = CaseSpec::generate(&mut rng);
+                mutate(&parent, &mut rng)
+            };
+            assert_eq!(spec.kind, first.kind);
+        }
+    }
+
+    #[test]
+    fn coverage_guided_campaign_is_clean_and_spreads_coverage() {
+        let base = CampaignConfig {
+            seed: 0x5eed,
+            iterations: 60,
+            workers: 2,
+            corpus_dir: None,
+            schedule: Schedule::CoverageGuided,
+        };
+        let guided = run_campaign(&base);
+        assert!(
+            guided.findings.is_empty(),
+            "{:#?}",
+            guided
+                .findings
+                .iter()
+                .map(|f| (&f.spec, &f.disagreements))
+                .collect::<Vec<_>>()
+        );
+        // Worker-count invariance: same cells, same hit counts.
+        let solo = run_campaign(&CampaignConfig {
+            workers: 1,
+            ..base.clone()
+        });
+        assert_eq!(guided.coverage, solo.coverage);
+        // The point of the schedule: at equal iteration count it reaches
+        // at least as many distinct cells as the uniform draw.
+        let uniform = run_campaign(&CampaignConfig {
+            schedule: Schedule::Uniform,
+            workers: 2,
+            ..base
+        });
+        assert!(
+            guided.coverage.len() >= uniform.coverage.len(),
+            "guided {} < uniform {}",
+            guided.coverage.len(),
+            uniform.coverage.len()
+        );
+        assert!(guided.render().contains("schedule    coverage"));
     }
 }

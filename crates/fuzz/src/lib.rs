@@ -37,10 +37,15 @@ pub mod mutate;
 pub mod oracle;
 pub mod shrink;
 pub mod spec;
+pub mod temporal;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Schedule};
 pub use corpus::{load_finding, write_corpus, Finding};
 pub use mutate::mutate;
 pub use oracle::{evaluate, Disagreement, Evaluation, FindingClass, RunOutcome};
 pub use shrink::shrink_with;
 pub use spec::CaseSpec;
+pub use temporal::{
+    evaluate_temporal, run_temporal_campaign, TemporalBug, TemporalCampaignConfig,
+    TemporalCampaignReport, TemporalSpec,
+};

@@ -2,8 +2,9 @@
 //! function of `(seed, iterations)` — worker count, scheduling, and
 //! reruns must not change a byte.
 
-use ifp_fuzz::campaign::{run_campaign, spec_for_ticket, CampaignConfig};
+use ifp_fuzz::campaign::{run_campaign, spec_for_ticket, CampaignConfig, Schedule};
 use ifp_fuzz::spec::CaseSpec;
+use ifp_fuzz::temporal::{run_temporal_campaign, temporal_spec_for_ticket, TemporalCampaignConfig};
 
 const SEED: u64 = 0x1f9_f022;
 
@@ -13,6 +14,7 @@ fn config(workers: usize, corpus_dir: Option<std::path::PathBuf>) -> CampaignCon
         iterations: 48,
         workers,
         corpus_dir,
+        schedule: Schedule::Uniform,
     }
 }
 
@@ -67,6 +69,38 @@ fn corpus_files_are_identical_across_worker_counts() {
     }
     let _ = std::fs::remove_dir_all(&d1);
     let _ = std::fs::remove_dir_all(&d2);
+}
+
+#[test]
+fn coverage_guided_schedule_is_worker_invariant() {
+    let mut guided = config(1, None);
+    guided.schedule = Schedule::CoverageGuided;
+    let serial = run_campaign(&guided);
+    guided.workers = 4;
+    let parallel = run_campaign(&guided);
+    assert_eq!(serial.coverage, parallel.coverage);
+    assert_eq!(serial.findings, parallel.findings);
+}
+
+#[test]
+fn temporal_campaign_is_deterministic_across_worker_counts() {
+    for i in 0..32 {
+        assert_eq!(
+            temporal_spec_for_ticket(SEED, i),
+            temporal_spec_for_ticket(SEED, i),
+            "temporal ticket {i} diverged"
+        );
+    }
+    let cfg = TemporalCampaignConfig {
+        seed: SEED,
+        iterations: 24,
+        workers: 1,
+    };
+    let serial = run_temporal_campaign(&cfg);
+    let parallel = run_temporal_campaign(&TemporalCampaignConfig { workers: 4, ..cfg });
+    assert_eq!(serial.coverage, parallel.coverage);
+    assert_eq!(serial.findings.len(), parallel.findings.len());
+    assert!(serial.findings.is_empty(), "{}", serial.render());
 }
 
 #[test]

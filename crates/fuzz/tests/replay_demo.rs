@@ -37,8 +37,9 @@ fn demo_path() -> PathBuf {
 /// the pinned campaign seed whose bad case ends mid-granule, shrunk
 /// while preserving that shape.
 fn demo_finding() -> Finding {
-    let unaligned_bad =
-        |s: &ifp_fuzz::spec::CaseSpec| s.kind == CaseKind::Bad && !s.resolve().object_size.is_multiple_of(8);
+    let unaligned_bad = |s: &ifp_fuzz::spec::CaseSpec| {
+        s.kind == CaseKind::Bad && !s.resolve().object_size.is_multiple_of(8)
+    };
     let (iteration, original) = (0..)
         .map(|i| (i, spec_for_ticket(DEMO_SEED, i)))
         .find(|(_, s)| unaligned_bad(s))

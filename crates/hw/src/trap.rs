@@ -36,6 +36,20 @@ pub enum Trap {
         /// Whether the fault occurred during a `promote` metadata fetch.
         during_promote: bool,
     },
+    /// A temporal-safety (lock-and-key liveness) check failed: the
+    /// access or free targeted memory whose allocation epoch has ended.
+    Temporal {
+        /// The faulting address (the free target for double frees).
+        addr: u64,
+        /// Violation classification.
+        kind: ifp_trace::TemporalKind,
+        /// Base of the freed allocation involved.
+        freed_base: u64,
+        /// Size of the freed allocation involved.
+        freed_size: u64,
+        /// Allocations performed between the free and the violation.
+        reuse_distance: u64,
+    },
 }
 
 impl fmt::Display for Trap {
@@ -57,6 +71,19 @@ impl fmt::Display for Trap {
                     write!(f, "{err}")
                 }
             }
+            Trap::Temporal {
+                addr,
+                kind,
+                freed_base,
+                freed_size,
+                reuse_distance,
+            } => {
+                write!(
+                    f,
+                    "{kind} at {addr:#x} (allocation {freed_base:#x}, {freed_size} bytes, \
+                     reuse distance {reuse_distance})"
+                )
+            }
         }
     }
 }
@@ -73,13 +100,13 @@ impl From<MemError> for Trap {
 }
 
 impl Trap {
-    /// Whether this trap is a spatial-safety detection (as opposed to an
-    /// environmental fault).
+    /// Whether this trap is a memory-safety detection — spatial or
+    /// temporal — as opposed to an environmental fault.
     #[must_use]
     pub fn is_safety_violation(&self) -> bool {
         matches!(
             self,
-            Trap::PoisonedAccess { .. } | Trap::BoundsViolation { .. }
+            Trap::PoisonedAccess { .. } | Trap::BoundsViolation { .. } | Trap::Temporal { .. }
         )
     }
 
@@ -111,6 +138,7 @@ impl Trap {
                 };
                 (kind, addr, 0, None)
             }
+            Trap::Temporal { addr, .. } => (TrapKind::Temporal, addr, 0, None),
         }
     }
 }

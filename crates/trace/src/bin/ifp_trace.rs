@@ -2,42 +2,76 @@
 //! per-event-kind histograms.
 //!
 //! ```text
-//! ifp-trace run.jsonl          # summarize a file
-//! ifp-trace a.jsonl b.jsonl    # merge several
-//! some-run | ifp-trace         # or read stdin
-//! ifp-trace --strict run.jsonl # malformed lines fail the run
+//! ifp-trace run.jsonl                    # summarize a file
+//! ifp-trace a.jsonl b.jsonl              # merge several
+//! some-run | ifp-trace                   # or read stdin
+//! ifp-trace --strict run.jsonl           # malformed lines fail the run
+//! ifp-trace --category free,revoke x.jsonl  # only those categories
 //! ```
 //!
 //! Lines that do not parse as trace events are counted and reported on
 //! stderr; with `--strict` any such line makes the exit status nonzero
 //! (for CI pipelines where a corrupt log must not pass silently).
+//! `--category` (repeatable, comma-separable) restricts the histograms
+//! to the named event categories — e.g. `free`, `quarantine`,
+//! `temporal-trap`.
 
-use ifp_trace::Summary;
+use ifp_trace::{Category, CategoryMask, Summary};
 use std::io::{BufRead, BufReader, Read};
+
+fn usage() {
+    let names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+    eprintln!(
+        "usage: ifp-trace [--strict] [--category CAT[,CAT...]] [FILE.jsonl ...]\n\
+         \x20 (no files: read stdin)\n\
+         \x20 --strict          exit nonzero when any line fails to parse\n\
+         \x20 --category CATS   count only these categories ({})",
+        names.join(", ")
+    );
+}
 
 fn main() {
     let mut strict = false;
+    let mut mask = CategoryMask::ALL;
     let mut files: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "-h" | "--help" => {
-                eprintln!(
-                    "usage: ifp-trace [--strict] [FILE.jsonl ...]   (no files: read stdin)\n\
-                     \x20 --strict   exit nonzero when any line fails to parse"
-                );
+                usage();
                 return;
             }
             "--strict" => strict = true,
+            "--category" => {
+                let Some(list) = args.next() else {
+                    eprintln!("ifp-trace: --category needs a value");
+                    std::process::exit(2);
+                };
+                // First --category narrows from "everything" to "named".
+                if mask == CategoryMask::ALL {
+                    mask = CategoryMask::NONE;
+                }
+                for name in list.split(',') {
+                    match Category::from_name(name.trim()) {
+                        Some(cat) => mask = mask.with(cat),
+                        None => {
+                            eprintln!("ifp-trace: unknown category `{name}`");
+                            usage();
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
             _ => files.push(a),
         }
     }
     let mut summary = Summary::default();
     if files.is_empty() {
-        read_into(&mut summary, std::io::stdin().lock(), "<stdin>");
+        read_into(&mut summary, std::io::stdin().lock(), "<stdin>", mask);
     } else {
         for path in &files {
             match std::fs::File::open(path) {
-                Ok(f) => read_into(&mut summary, BufReader::new(f), path),
+                Ok(f) => read_into(&mut summary, BufReader::new(f), path, mask),
                 Err(e) => {
                     eprintln!("ifp-trace: {path}: {e}");
                     std::process::exit(2);
@@ -58,10 +92,10 @@ fn main() {
     }
 }
 
-fn read_into<R: Read + BufRead>(summary: &mut Summary, reader: R, name: &str) {
+fn read_into<R: Read + BufRead>(summary: &mut Summary, reader: R, name: &str, mask: CategoryMask) {
     for line in reader.lines() {
         match line {
-            Ok(l) => summary.add_line(&l),
+            Ok(l) => summary.add_line_filtered(&l, mask),
             Err(e) => {
                 eprintln!("ifp-trace: {name}: {e}");
                 std::process::exit(2);

@@ -203,6 +203,46 @@ impl TagOp {
     }
 }
 
+/// Temporal-violation classification, shared by the temporal trap kind
+/// and the temporal-trap event payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TemporalKind {
+    /// An access touched memory whose allocation has been freed.
+    UseAfterFree,
+    /// A free targeted an allocation that was already freed.
+    DoubleFree,
+}
+
+impl TemporalKind {
+    /// Stable lower-case name used in JSONL.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TemporalKind::UseAfterFree => "use_after_free",
+            TemporalKind::DoubleFree => "double_free",
+        }
+    }
+
+    /// Inverse of [`TemporalKind::name`].
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "use_after_free" => TemporalKind::UseAfterFree,
+            "double_free" => TemporalKind::DoubleFree,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TemporalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TemporalKind::UseAfterFree => f.write_str("use-after-free"),
+            TemporalKind::DoubleFree => f.write_str("double free"),
+        }
+    }
+}
+
 /// Trap classification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TrapKind {
@@ -214,6 +254,8 @@ pub enum TrapKind {
     Mem,
     /// Page fault during a promote metadata fetch.
     MemPromote,
+    /// A temporal-safety check failed (use-after-free or double free).
+    Temporal,
 }
 
 impl TrapKind {
@@ -225,6 +267,7 @@ impl TrapKind {
             TrapKind::Bounds => "bounds",
             TrapKind::Mem => "mem",
             TrapKind::MemPromote => "mem_promote",
+            TrapKind::Temporal => "temporal",
         }
     }
 
@@ -236,14 +279,19 @@ impl TrapKind {
             "bounds" => TrapKind::Bounds,
             "mem" => TrapKind::Mem,
             "mem_promote" => TrapKind::MemPromote,
+            "temporal" => TrapKind::Temporal,
             _ => return None,
         })
     }
 
-    /// Whether this trap is a spatial-safety detection.
+    /// Whether this trap is a memory-safety detection (spatial or
+    /// temporal).
     #[must_use]
     pub fn is_safety(self) -> bool {
-        matches!(self, TrapKind::Poisoned | TrapKind::Bounds)
+        matches!(
+            self,
+            TrapKind::Poisoned | TrapKind::Bounds | TrapKind::Temporal
+        )
     }
 }
 
@@ -266,11 +314,19 @@ pub enum Category {
     Cache,
     /// Traps.
     Trap,
+    /// Temporal lock revocations (allocation identity invalidated at
+    /// free).
+    Revoke,
+    /// Quarantine transitions (deferred reuse enter/drain).
+    Quarantine,
+    /// Temporal-safety trap detail records (freed allocation, reuse
+    /// distance).
+    TemporalTrap,
 }
 
 impl Category {
     /// Number of categories (size of per-category counter arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 11;
 
     /// All categories, in bit order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -282,6 +338,9 @@ impl Category {
         Category::Mac,
         Category::Cache,
         Category::Trap,
+        Category::Revoke,
+        Category::Quarantine,
+        Category::TemporalTrap,
     ];
 
     /// The category's bit position in a [`CategoryMask`].
@@ -296,6 +355,9 @@ impl Category {
             Category::Mac => 5,
             Category::Cache => 6,
             Category::Trap => 7,
+            Category::Revoke => 8,
+            Category::Quarantine => 9,
+            Category::TemporalTrap => 10,
         }
     }
 
@@ -311,7 +373,17 @@ impl Category {
             Category::Mac => "mac",
             Category::Cache => "cache",
             Category::Trap => "trap",
+            Category::Revoke => "revoke",
+            Category::Quarantine => "quarantine",
+            Category::TemporalTrap => "temporal-trap",
         }
+    }
+
+    /// Inverse of [`Category::name`] (used by the CLI `--category`
+    /// filter).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        Category::ALL.into_iter().find(|c| c.name() == s)
     }
 }
 
@@ -445,6 +517,42 @@ pub enum EventKind {
         /// Upper bound involved (0 when none).
         upper: u64,
     },
+    /// An allocation's temporal lock was revoked at free: its key no
+    /// longer opens the region.
+    Revoke {
+        /// Freed object base address.
+        addr: u64,
+        /// Freed object size in bytes.
+        size: u64,
+        /// The allocation key (lifetime identity) being revoked.
+        key: u64,
+    },
+    /// A freed region entered (or drained from) the quarantine.
+    Quarantine {
+        /// Region base address.
+        addr: u64,
+        /// Region size in bytes.
+        size: u64,
+        /// Bytes held in quarantine after this transition.
+        pending_bytes: u64,
+        /// `false` when the region entered quarantine, `true` when it
+        /// drained back to the allocator for reuse.
+        drained: bool,
+    },
+    /// Detail record for a temporal-safety violation, emitted alongside
+    /// the trap so forensics can name the freed allocation.
+    TemporalTrap {
+        /// Faulting address (the free target for double frees).
+        addr: u64,
+        /// Violation classification.
+        kind: TemporalKind,
+        /// Base of the freed allocation involved.
+        freed_base: u64,
+        /// Size of the freed allocation involved.
+        freed_size: u64,
+        /// Allocations performed between the free and this violation.
+        reuse_distance: u64,
+    },
 }
 
 impl EventKind {
@@ -461,6 +569,9 @@ impl EventKind {
             EventKind::Mac { .. } => Category::Mac,
             EventKind::Cache { .. } => Category::Cache,
             EventKind::Trap { .. } => Category::Trap,
+            EventKind::Revoke { .. } => Category::Revoke,
+            EventKind::Quarantine { .. } => Category::Quarantine,
+            EventKind::TemporalTrap { .. } => Category::TemporalTrap,
         }
     }
 }
@@ -594,6 +705,38 @@ impl TraceEvent {
                 num(&mut s, "size", size);
                 hex(&mut s, "lower", lower);
                 hex(&mut s, "upper", upper);
+            }
+            EventKind::Revoke { addr, size, key } => {
+                str_field(&mut s, "kind", "revoke");
+                hex(&mut s, "addr", addr);
+                num(&mut s, "size", size);
+                num(&mut s, "key", key);
+            }
+            EventKind::Quarantine {
+                addr,
+                size,
+                pending_bytes,
+                drained,
+            } => {
+                str_field(&mut s, "kind", "quarantine");
+                hex(&mut s, "addr", addr);
+                num(&mut s, "size", size);
+                num(&mut s, "pending_bytes", pending_bytes);
+                bool_field(&mut s, "drained", drained);
+            }
+            EventKind::TemporalTrap {
+                addr,
+                kind,
+                freed_base,
+                freed_size,
+                reuse_distance,
+            } => {
+                str_field(&mut s, "kind", "temporal-trap");
+                hex(&mut s, "addr", addr);
+                str_field(&mut s, "temporal", kind.name());
+                hex(&mut s, "freed_base", freed_base);
+                num(&mut s, "freed_size", freed_size);
+                num(&mut s, "reuse_distance", reuse_distance);
             }
         }
         s.push('}');

@@ -11,7 +11,7 @@
 //! bytes, turning "bounds violation at 0x2018" into "8-byte access 4
 //! bytes past the end of subobject #5 of the 24-byte object at 0x2000".
 
-use crate::event::{EventKind, NarrowOutcome, Region, Scheme, TraceEvent, TrapKind};
+use crate::event::{EventKind, NarrowOutcome, Region, Scheme, TemporalKind, TraceEvent, TrapKind};
 use std::fmt;
 
 /// How many ring-tail events a report carries for context.
@@ -41,6 +41,24 @@ pub struct SubobjectInfo {
     pub upper: u64,
 }
 
+/// The temporal story behind a [`TrapKind::Temporal`] trap: which freed
+/// allocation the access (or re-free) hit, where it was freed, and how
+/// much allocator activity sat between the free and the violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TemporalInfo {
+    /// Violation classification.
+    pub kind: TemporalKind,
+    /// Base of the freed allocation.
+    pub freed_base: u64,
+    /// Size of the freed allocation.
+    pub freed_size: u64,
+    /// Allocations performed between the free and the violation.
+    pub reuse_distance: u64,
+    /// Function that performed the free, when the revoke event is still
+    /// in the ring.
+    pub free_func: Option<String>,
+}
+
 /// Reconstruction of a faulting access.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ForensicReport {
@@ -64,6 +82,9 @@ pub struct ForensicReport {
     /// The subobject the bounds were narrowed to, for intra-object
     /// violations.
     pub subobject: Option<SubobjectInfo>,
+    /// The freed allocation behind a temporal trap, when one was
+    /// involved.
+    pub temporal: Option<TemporalInfo>,
     /// The ring tail (most recent last), bounded to a small window.
     pub recent: Vec<TraceEvent>,
 }
@@ -90,6 +111,7 @@ impl ForensicReport {
         size: u64,
         bounds: Option<(u64, u64)>,
         func: &str,
+        funcs: &[String],
     ) -> ForensicReport {
         // The most recent failed check at this address: a poisoned-pointer
         // trap carries neither bounds nor access size itself, but the
@@ -183,6 +205,37 @@ impl ForensicReport {
             (None, None) => None,
         };
 
+        // The temporal story: the most recent temporal-trap detail
+        // record at the fault address names the freed allocation; the
+        // revoke event for that allocation names the free site.
+        let temporal = events.iter().rev().find_map(|e| match e.kind {
+            EventKind::TemporalTrap {
+                addr: a,
+                kind,
+                freed_base,
+                freed_size,
+                reuse_distance,
+            } if a == addr => {
+                let free_func = events.iter().rev().find_map(|r| match r.kind {
+                    EventKind::Revoke { addr: base, .. } if base == freed_base => Some(
+                        funcs
+                            .get(r.func as usize)
+                            .map_or("?", |n| n.as_str())
+                            .to_string(),
+                    ),
+                    _ => None,
+                });
+                Some(TemporalInfo {
+                    kind,
+                    freed_base,
+                    freed_size,
+                    reuse_distance,
+                    free_func,
+                })
+            }
+            _ => None,
+        });
+
         let start = events.len().saturating_sub(RECENT_WINDOW);
         ForensicReport {
             func: func.to_string(),
@@ -193,6 +246,7 @@ impl ForensicReport {
             oob_distance,
             object,
             subobject,
+            temporal,
             recent: events[start..].to_vec(),
         }
     }
@@ -212,6 +266,10 @@ impl fmt::Display for ForensicReport {
             TrapKind::Bounds => "bounds violation",
             TrapKind::Mem => "page fault",
             TrapKind::MemPromote => "page fault during promote",
+            TrapKind::Temporal => match &self.temporal {
+                Some(t) if t.kind == TemporalKind::DoubleFree => "double free",
+                _ => "temporal violation",
+            },
         };
         write!(f, "{what} in `{}`: ", self.func)?;
         if self.access_size > 0 {
@@ -249,6 +307,17 @@ impl fmt::Display for ForensicReport {
                 o.scheme.name(),
                 o.region.name()
             )?;
+        }
+        if let Some(t) = &self.temporal {
+            write!(
+                f,
+                "; {} of allocation {:#x} ({} bytes)",
+                t.kind, t.freed_base, t.freed_size
+            )?;
+            if let Some(site) = &t.free_func {
+                write!(f, " freed in `{site}`")?;
+            }
+            write!(f, ", reuse distance {} allocation(s)", t.reuse_distance)?;
         }
         Ok(())
     }
@@ -308,6 +377,7 @@ mod tests {
             8,
             Some((0x2014, 0x2018)),
             "f",
+            &[],
         );
         assert_eq!(r.oob_distance, Some(4));
         assert_eq!(r.subobject.unwrap().index, 5);
@@ -331,7 +401,7 @@ mod tests {
             },
         )];
         // The wild pointer walked 16 bytes past the object.
-        let r = ForensicReport::reconstruct(&events, TrapKind::Poisoned, 0x4040, 8, None, "g");
+        let r = ForensicReport::reconstruct(&events, TrapKind::Poisoned, 0x4040, 8, None, "g", &[]);
         assert_eq!(r.object.unwrap().base, 0x4000);
         assert!(r.oob_distance.unwrap() > 0);
     }
@@ -345,8 +415,66 @@ mod tests {
             8,
             Some((0x1000, 0x1040)),
             "h",
+            &[],
         );
         assert_eq!(r.oob_distance, Some(-8));
         assert!(r.render().contains("before the start"));
+    }
+
+    #[test]
+    fn temporal_trap_names_freed_allocation_and_free_site() {
+        let funcs = vec!["main".to_string(), "release".to_string()];
+        let events = vec![
+            ev(
+                0,
+                EventKind::Alloc {
+                    addr: 0x2000,
+                    size: 48,
+                    scheme: Scheme::LocalOffset,
+                    region: Region::Heap,
+                },
+            ),
+            TraceEvent {
+                seq: 1,
+                func: 1,
+                kind: EventKind::Revoke {
+                    addr: 0x2000,
+                    size: 48,
+                    key: 1,
+                },
+            },
+            ev(
+                2,
+                EventKind::TemporalTrap {
+                    addr: 0x2008,
+                    kind: TemporalKind::UseAfterFree,
+                    freed_base: 0x2000,
+                    freed_size: 48,
+                    reuse_distance: 3,
+                },
+            ),
+        ];
+        let r = ForensicReport::reconstruct(
+            &events,
+            TrapKind::Temporal,
+            0x2008,
+            8,
+            None,
+            "main",
+            &funcs,
+        );
+        let t = r.temporal.as_ref().unwrap();
+        assert_eq!(
+            (t.freed_base, t.freed_size, t.reuse_distance),
+            (0x2000, 48, 3)
+        );
+        assert_eq!(t.free_func.as_deref(), Some("release"));
+        let text = r.render();
+        assert!(
+            text.contains("use-after-free of allocation 0x2000"),
+            "{text}"
+        );
+        assert!(text.contains("freed in `release`"), "{text}");
+        assert!(text.contains("reuse distance 3"), "{text}");
     }
 }

@@ -46,9 +46,9 @@ mod summary;
 
 pub use event::{
     Category, CategoryMask, EventKind, NarrowOutcome, PromoteOutcome, Region, Scheme, TagOp,
-    TraceEvent, TrapKind, NO_FUNC,
+    TemporalKind, TraceEvent, TrapKind, NO_FUNC,
 };
-pub use forensics::{ForensicReport, ObjectInfo, SubobjectInfo};
+pub use forensics::{ForensicReport, ObjectInfo, SubobjectInfo, TemporalInfo};
 pub use sink::{JsonlSink, MemorySink, TraceLog, TraceSink};
 pub use summary::Summary;
 
@@ -212,8 +212,9 @@ impl Tracer {
     fn push(&mut self, cat: Category, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        // Sampling: keep every Nth event per category; traps always.
-        if self.config.sample_period > 1 && cat != Category::Trap {
+        // Sampling: keep every Nth event per category; traps (and their
+        // temporal detail records) always.
+        if self.config.sample_period > 1 && cat != Category::Trap && cat != Category::TemporalTrap {
             let c = &mut self.counters[cat.bit() as usize];
             let keep = *c == 0;
             *c += 1;
@@ -309,6 +310,8 @@ impl Tracer {
 
     /// Builds a forensic report for a trap from the ring tail. Returns
     /// `None` when tracing is disabled (nothing to reconstruct from).
+    /// `funcs` is the function-name table event indices resolve against
+    /// (pass `&[]` when unavailable; only free-site attribution suffers).
     #[must_use]
     pub fn forensics(
         &self,
@@ -317,13 +320,14 @@ impl Tracer {
         size: u64,
         bounds: Option<(u64, u64)>,
         func: &str,
+        funcs: &[String],
     ) -> Option<ForensicReport> {
         if !self.any_enabled() {
             return None;
         }
         let events: Vec<TraceEvent> = self.events().copied().collect();
         Some(ForensicReport::reconstruct(
-            &events, trap, addr, size, bounds, func,
+            &events, trap, addr, size, bounds, func, funcs,
         ))
     }
 }

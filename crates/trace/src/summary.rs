@@ -6,7 +6,7 @@
 //! understands exactly the flat objects this crate emits (string,
 //! number, bool and `"0x…"` hex-string values; no nesting).
 
-use crate::event::{EventKind, TraceEvent};
+use crate::event::{Category, CategoryMask, EventKind, TraceEvent};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -37,6 +37,13 @@ pub struct Summary {
     pub mac_failures: u64,
     /// Traps per kind name.
     pub traps: BTreeMap<String, u64>,
+    /// Temporal violations per kind name (`use_after_free`,
+    /// `double_free`).
+    pub temporal_traps: BTreeMap<String, u64>,
+    /// Regions that entered quarantine.
+    pub quarantine_enters: u64,
+    /// Regions that drained from quarantine back to the allocator.
+    pub quarantine_drains: u64,
     /// Input lines the JSONL parser could not digest.
     pub malformed_lines: u64,
 }
@@ -200,7 +207,23 @@ impl Summary {
             EventKind::Trap { kind, .. } => {
                 *self.traps.entry(kind.name().to_string()).or_insert(0) += 1;
             }
-            EventKind::Alloc { .. } | EventKind::Free { .. } | EventKind::Tag { .. } => {}
+            EventKind::TemporalTrap { kind, .. } => {
+                *self
+                    .temporal_traps
+                    .entry(kind.name().to_string())
+                    .or_insert(0) += 1;
+            }
+            EventKind::Quarantine { drained, .. } => {
+                if drained {
+                    self.quarantine_drains += 1;
+                } else {
+                    self.quarantine_enters += 1;
+                }
+            }
+            EventKind::Alloc { .. }
+            | EventKind::Free { .. }
+            | EventKind::Tag { .. }
+            | EventKind::Revoke { .. } => {}
         }
     }
 
@@ -214,6 +237,13 @@ impl Summary {
     /// Accumulates one JSONL line. Blank lines are ignored; lines that
     /// fail to parse are counted in [`Summary::malformed_lines`].
     pub fn add_line(&mut self, line: &str) {
+        self.add_line_filtered(line, CategoryMask::ALL);
+    }
+
+    /// [`Summary::add_line`] restricted to the categories in `mask`:
+    /// well-formed lines of filtered-out (or unrecognized) kinds are
+    /// skipped silently, malformed lines are still counted.
+    pub fn add_line_filtered(&mut self, line: &str, mask: CategoryMask) {
         if line.trim().is_empty() {
             return;
         }
@@ -228,6 +258,12 @@ impl Summary {
             self.malformed_lines += 1;
             return;
         };
+        if mask != CategoryMask::ALL {
+            match Category::from_name(&kind) {
+                Some(cat) if mask.contains(cat) => {}
+                _ => return,
+            }
+        }
         self.total += 1;
         *self.by_kind.entry(kind.clone()).or_insert(0) += 1;
         *self.by_func.entry(func.clone()).or_insert(0) += 1;
@@ -262,6 +298,16 @@ impl Summary {
                     *self.traps.entry(t).or_insert(0) += 1;
                 }
             }
+            "temporal-trap" => {
+                if let Some(t) = sfield("temporal") {
+                    *self.temporal_traps.entry(t).or_insert(0) += 1;
+                }
+            }
+            "quarantine" => match bfield("drained") {
+                Some(true) => self.quarantine_drains += 1,
+                Some(false) => self.quarantine_enters += 1,
+                None => {}
+            },
             _ => {}
         }
     }
@@ -269,9 +315,16 @@ impl Summary {
     /// Summarizes a whole JSONL document.
     #[must_use]
     pub fn from_jsonl(text: &str) -> Summary {
+        Summary::from_jsonl_filtered(text, CategoryMask::ALL)
+    }
+
+    /// Summarizes a whole JSONL document, counting only the categories
+    /// in `mask`.
+    #[must_use]
+    pub fn from_jsonl_filtered(text: &str, mask: CategoryMask) -> Summary {
         let mut s = Summary::default();
         for line in text.lines() {
-            s.add_line(line);
+            s.add_line_filtered(line, mask);
         }
         s
     }
@@ -335,6 +388,20 @@ impl fmt::Display for Summary {
                 write!(f, " {k}={n}")?;
             }
             writeln!(f)?;
+        }
+        if !self.temporal_traps.is_empty() {
+            write!(f, "temporal violations:")?;
+            for (k, n) in &self.temporal_traps {
+                write!(f, " {k}={n}")?;
+            }
+            writeln!(f)?;
+        }
+        if self.quarantine_enters + self.quarantine_drains > 0 {
+            writeln!(
+                f,
+                "quarantine: {} entered, {} drained",
+                self.quarantine_enters, self.quarantine_drains
+            )?;
         }
         Ok(())
     }

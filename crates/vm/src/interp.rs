@@ -19,6 +19,7 @@ use ifp_mem::MemSystem;
 use ifp_tag::{
     Bounds, LocalOffsetTag, Poison, SchemeSel, SubheapTag, TaggedPtr, LOCAL_OFFSET_GRANULE,
 };
+use ifp_temporal::{FreeOutcome, TemporalState, TemporalViolation};
 use ifp_trace::{EventKind, Region, Scheme, TagOp, Tracer, NO_FUNC};
 
 /// Base address of the libc-style heap (baseline + wrapped allocator).
@@ -35,6 +36,9 @@ struct Frame {
     func: usize,
     regs: Vec<u64>,
     bounds: Vec<Option<Bounds>>,
+    /// Temporal keys riding alongside pointer registers (the lock-and-
+    /// key "key"). Lost on memory round-trips, refreshed by `promote`.
+    stamps: Vec<Option<u64>>,
     block: usize,
     op: usize,
     /// Caller register receiving the return value.
@@ -73,6 +77,7 @@ pub struct Vm<'p> {
     subheap: Option<SubheapAllocator>,
     gt: GlobalTableManager,
     image: LoadedImage,
+    temporal: TemporalState,
     stats: RunStats,
     output: Vec<i64>,
     frames: Vec<Frame>,
@@ -138,6 +143,7 @@ impl<'p> Vm<'p> {
             subheap,
             gt,
             image,
+            temporal: TemporalState::new(config.temporal),
             stats,
             output: Vec::new(),
             frames: Vec::new(),
@@ -204,10 +210,18 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn set_reg(&mut self, r: Reg, v: u64, b: Option<Bounds>) {
+    fn stamp_of(&self, o: Operand) -> Option<u64> {
+        match o {
+            Operand::Reg(r) => self.frames.last().expect("frame").stamps[r.0 as usize],
+            Operand::Imm(_) => None,
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u64, b: Option<Bounds>, s: Option<u64>) {
         let f = self.frame();
         f.regs[r.0 as usize] = v;
         f.bounds[r.0 as usize] = b;
+        f.stamps[r.0 as usize] = s;
     }
 
     fn trap(&mut self, trap: Trap) -> VmError {
@@ -216,6 +230,7 @@ impl<'p> Vm<'p> {
             .last()
             .map(|f| self.program.funcs[f.func].name.clone())
             .unwrap_or_default();
+        self.stats.temporal = self.temporal.stats;
         // Record the trap (always kept regardless of sampling) and
         // reconstruct the faulting access from the ring tail.
         let (kind, addr, size, bounds) = trap.trace_info();
@@ -226,9 +241,10 @@ impl<'p> Vm<'p> {
             lower: bounds.map_or(0, |b| b.0),
             upper: bounds.map_or(0, |b| b.1),
         });
+        let funcs: Vec<String> = self.program.funcs.iter().map(|f| f.name.clone()).collect();
         let forensics = self
             .tracer
-            .forensics(kind, addr, size, bounds, &func)
+            .forensics(kind, addr, size, bounds, &func, &funcs)
             .map(Box::new);
         VmError::Trap {
             trap,
@@ -236,6 +252,24 @@ impl<'p> Vm<'p> {
             stats: Box::new(self.stats.clone()),
             forensics,
         }
+    }
+
+    /// Records and raises a temporal-safety trap.
+    fn temporal_trap(&mut self, v: TemporalViolation) -> VmError {
+        self.tracer.record(EventKind::TemporalTrap {
+            addr: v.addr,
+            kind: v.kind,
+            freed_base: v.freed_base,
+            freed_size: v.freed_size,
+            reuse_distance: v.reuse_distance,
+        });
+        self.trap(Trap::Temporal {
+            addr: v.addr,
+            kind: v.kind,
+            freed_base: v.freed_base,
+            freed_size: v.freed_size,
+            reuse_distance: v.reuse_distance,
+        })
     }
 
     /// In baseline mode the hardware is unmodified: no poison or bounds
@@ -276,7 +310,7 @@ impl<'p> Vm<'p> {
                 .program
                 .func_id("main")
                 .ok_or_else(|| VmError::BadProgram("no main".into()))?;
-            self.push_frame(main, &[], &[], None);
+            self.push_frame(main, &[], &[], &[], None);
         }
         if self.stats.total_instrs() > self.config.fuel {
             return Err(VmError::OutOfFuel);
@@ -315,6 +349,7 @@ impl<'p> Vm<'p> {
 
     /// Finalizes statistics and assembles the result.
     fn into_result(mut self, exit_code: i64) -> RunResult {
+        self.stats.temporal = self.temporal.stats;
         self.stats.l1 = self.mem.l1d.stats();
         self.stats.peak_resident = self.mem.mem.peak_mapped_bytes();
         self.stats.heap_footprint_peak = match (&self.wrapped, &self.subheap) {
@@ -339,21 +374,25 @@ impl<'p> Vm<'p> {
         func: usize,
         args: &[u64],
         arg_bounds: &[Option<Bounds>],
+        arg_stamps: &[Option<u64>],
         ret_dst: Option<Reg>,
     ) {
         let f = &self.program.funcs[func];
         let mut regs = vec![0u64; f.num_regs as usize];
         let mut bounds = vec![None; f.num_regs as usize];
+        let mut stamps = vec![None; f.num_regs as usize];
         regs[..args.len()].copy_from_slice(args);
         if f.instrumented && self.instrumented() {
             bounds[..arg_bounds.len()].copy_from_slice(arg_bounds);
         }
+        stamps[..arg_stamps.len()].copy_from_slice(arg_stamps);
         self.stack.push_frame();
         self.tracer.set_func(u32::try_from(func).unwrap_or(NO_FUNC));
         self.frames.push(Frame {
             func,
             regs,
             bounds,
+            stamps,
             block: 0,
             op: 0,
             ret_dst,
@@ -384,6 +423,7 @@ impl<'p> Vm<'p> {
             Terminator::Ret(v) => {
                 let value = v.map(|o| self.eval(o));
                 let vbounds = v.and_then(|o| self.bounds_of(o));
+                let vstamp = v.and_then(|o| self.stamp_of(o));
 
                 // Frame teardown: clear tracked stack-object metadata and
                 // release global-table rows for oversized locals.
@@ -417,7 +457,7 @@ impl<'p> Vm<'p> {
                 if let Some(dst) = frame.ret_dst {
                     let callee_instrumented = self.program.funcs[frame.func].instrumented;
                     let b = if callee_instrumented { vbounds } else { None };
-                    self.set_reg(dst, value.unwrap_or(0), b);
+                    self.set_reg(dst, value.unwrap_or(0), b, vstamp);
                 }
                 Ok(Flow::Continue)
             }
@@ -431,13 +471,14 @@ impl<'p> Vm<'p> {
                 let va = self.eval(*a) as i64;
                 let vb = self.eval(*b) as i64;
                 let r = eval_bin(*op, va, vb).map_err(|t| self.trap(t))?;
-                self.set_reg(*dst, r as u64, None);
+                self.set_reg(*dst, r as u64, None, None);
             }
             Op::Mov { dst, a } => {
                 self.charge_base(1);
                 let v = self.eval(*a);
                 let b = self.bounds_of(*a);
-                self.set_reg(*dst, v, b);
+                let s = self.stamp_of(*a);
+                self.set_reg(*dst, v, b, s);
             }
             Op::Alloca { dst, ty, count } => {
                 self.exec_alloca(fi, bi, oi, *dst, *ty, *count)?;
@@ -450,24 +491,51 @@ impl<'p> Vm<'p> {
                 let addr = self.effective_ptr(self.eval(*ptr)).addr();
                 if addr != 0 {
                     self.stats.heap_frees += 1;
-                    let cost = match (&mut self.wrapped, &mut self.subheap) {
-                        (Some(w), _) => w
-                            .free_traced(&mut self.mem, &mut self.gt, addr, &mut self.tracer)
-                            .map_err(VmError::Alloc)?,
-                        (_, Some(s)) => s
-                            .free_traced(&mut self.mem, addr, &mut self.tracer)
-                            .map_err(VmError::Alloc)?,
-                        _ => {
-                            self.libc
-                                .free(&mut self.mem.mem, addr)
-                                .map_err(VmError::Alloc)?;
-                            self.tracer.record(EventKind::Free { addr });
-                            AllocCost {
-                                base_instrs: alloc_costs::LIBC_FREE,
-                                ifp_instrs: 0,
-                            }
+                    let (viol, cost) = if self.temporal.enabled() {
+                        match (&mut self.wrapped, &mut self.subheap) {
+                            (Some(w), _) => w
+                                .free_temporal(
+                                    &mut self.mem,
+                                    &mut self.gt,
+                                    addr,
+                                    &mut self.temporal,
+                                    &mut self.tracer,
+                                )
+                                .map_err(VmError::Alloc)?,
+                            (_, Some(s)) => s
+                                .free_temporal(
+                                    &mut self.mem,
+                                    addr,
+                                    &mut self.temporal,
+                                    &mut self.tracer,
+                                )
+                                .map_err(VmError::Alloc)?,
+                            _ => self.libc_free_temporal(addr)?,
                         }
+                    } else {
+                        let cost = match (&mut self.wrapped, &mut self.subheap) {
+                            (Some(w), _) => w
+                                .free_traced(&mut self.mem, &mut self.gt, addr, &mut self.tracer)
+                                .map_err(VmError::Alloc)?,
+                            (_, Some(s)) => s
+                                .free_traced(&mut self.mem, addr, &mut self.tracer)
+                                .map_err(VmError::Alloc)?,
+                            _ => {
+                                self.libc
+                                    .free(&mut self.mem.mem, addr)
+                                    .map_err(VmError::Alloc)?;
+                                self.tracer.record(EventKind::Free { addr });
+                                AllocCost {
+                                    base_instrs: alloc_costs::LIBC_FREE,
+                                    ifp_instrs: 0,
+                                }
+                            }
+                        };
+                        (None, cost)
                     };
+                    if let Some(v) = viol {
+                        return Err(self.temporal_trap(v));
+                    }
                     self.charge_alloc(cost);
                 }
             }
@@ -488,6 +556,16 @@ impl<'p> Vm<'p> {
                 } else {
                     None
                 };
+                // The liveness check runs alongside the bounds check,
+                // before the access reaches the memory system: a hit on
+                // revoked memory traps with the temporal cause rather
+                // than whatever fault the dead page would raise.
+                if self.temporal.enabled() {
+                    let stamp = self.stamp_of(*ptr);
+                    if let Some(v) = self.temporal.check(p.addr(), stamp) {
+                        return Err(self.temporal_trap(v));
+                    }
+                }
                 let size = u64::from(self.program.types.size_of(*ty));
                 let res = self
                     .lsu
@@ -502,15 +580,17 @@ impl<'p> Vm<'p> {
                 };
 
                 let mut bounds = None;
+                let mut stamp = None;
                 let mut value = value;
                 if self.instrumented()
                     && matches!(self.action(fi, bi, oi), OpAction::PromoteAfterLoad)
                 {
-                    let (v, b) = self.exec_promote(value)?;
+                    let (v, b, s) = self.exec_promote(value)?;
                     value = v;
                     bounds = b;
+                    stamp = s;
                 }
-                self.set_reg(*dst, value, bounds);
+                self.set_reg(*dst, value, bounds, stamp);
             }
             Op::Store { ptr, val, ty } => {
                 self.charge_base(1);
@@ -521,6 +601,12 @@ impl<'p> Vm<'p> {
                 } else {
                     None
                 };
+                if self.temporal.enabled() {
+                    let stamp = self.stamp_of(*ptr);
+                    if let Some(v) = self.temporal.check(p.addr(), stamp) {
+                        return Err(self.temporal_trap(v));
+                    }
+                }
                 let mut v = self.eval(*val);
                 if self.instrumented() && matches!(self.action(fi, bi, oi), OpAction::DemoteOnStore)
                 {
@@ -561,11 +647,11 @@ impl<'p> Vm<'p> {
                         self.image.global_addrs[*global],
                         self.image.global_sizes[*global].max(1),
                     );
-                    self.set_reg(*dst, ptr.raw(), Some(b));
+                    self.set_reg(*dst, ptr.raw(), Some(b), None);
                 } else {
                     self.charge_base(1);
                     let addr = self.image.global_addrs[*global];
-                    self.set_reg(*dst, addr, None);
+                    self.set_reg(*dst, addr, None, None);
                 }
             }
             Op::Call { dst, func, args } => {
@@ -583,7 +669,8 @@ impl<'p> Vm<'p> {
                 }
                 let vals: Vec<u64> = args.iter().map(|a| self.eval(*a)).collect();
                 let bnds: Vec<Option<Bounds>> = args.iter().map(|a| self.bounds_of(*a)).collect();
-                self.push_frame(callee, &vals, &bnds, *dst);
+                let stmps: Vec<Option<u64>> = args.iter().map(|a| self.stamp_of(*a)).collect();
+                self.push_frame(callee, &vals, &bnds, &stmps, *dst);
             }
             Op::CallExt { dst, ext, args } => {
                 self.exec_ext(*dst, *ext, args)?;
@@ -620,7 +707,7 @@ impl<'p> Vm<'p> {
                 .stack
                 .alloca_plain(&mut self.mem, size, align)
                 .map_err(VmError::Alloc)?;
-            self.set_reg(dst, p.raw(), None);
+            self.set_reg(dst, p.raw(), None, None);
             return Ok(());
         };
 
@@ -646,6 +733,7 @@ impl<'p> Vm<'p> {
                 dst,
                 ptr.raw(),
                 Some(Bounds::from_base_size(ptr.addr(), size)),
+                None,
             );
         } else {
             // Oversized local: placed on the stack, registered in the
@@ -670,6 +758,7 @@ impl<'p> Vm<'p> {
                 dst,
                 ptr.raw(),
                 Some(Bounds::from_base_size(ptr.addr(), size)),
+                None,
             );
         }
         Ok(())
@@ -701,7 +790,11 @@ impl<'p> Vm<'p> {
                 scheme: Scheme::Legacy,
                 region: Region::Heap,
             });
-            self.set_reg(dst, addr, None);
+            let stamp = self
+                .temporal
+                .enabled()
+                .then(|| self.temporal.on_alloc(addr, size.max(1)));
+            self.set_reg(dst, addr, None, stamp);
             return Ok(());
         }
 
@@ -710,20 +803,50 @@ impl<'p> Vm<'p> {
             _ => None,
         };
         self.stats.heap_objects.objects += 1;
-        let (ptr, cost, had_lt) = match (&mut self.wrapped, &mut self.subheap) {
+        let temporal_on = self.temporal.enabled();
+        let (ptr, cost, had_lt, stamp) = match (&mut self.wrapped, &mut self.subheap) {
             (Some(w), _) => {
                 let lt = self.image.layout_addr_capped(layout, LOCAL_OFFSET_LT_CAP);
-                let (p, c) = w
-                    .malloc_traced(&mut self.mem, &mut self.gt, size, lt, &mut self.tracer)
-                    .map_err(VmError::Alloc)?;
-                (p, c, lt != 0 && p.scheme() == SchemeSel::LocalOffset)
+                let (p, c, s) = if temporal_on {
+                    let (p, c, k) = w
+                        .malloc_temporal(
+                            &mut self.mem,
+                            &mut self.gt,
+                            size,
+                            lt,
+                            &mut self.temporal,
+                            &mut self.tracer,
+                        )
+                        .map_err(VmError::Alloc)?;
+                    (p, c, Some(k))
+                } else {
+                    let (p, c) = w
+                        .malloc_traced(&mut self.mem, &mut self.gt, size, lt, &mut self.tracer)
+                        .map_err(VmError::Alloc)?;
+                    (p, c, None)
+                };
+                (p, c, lt != 0 && p.scheme() == SchemeSel::LocalOffset, s)
             }
             (_, Some(s)) => {
                 let lt = self.image.layout_addr_capped(layout, SUBHEAP_LT_CAP);
-                let (p, c) = s
-                    .malloc_traced(&mut self.mem, size, lt, &mut self.tracer)
-                    .map_err(VmError::Alloc)?;
-                (p, c, lt != 0)
+                let (p, c, st) = if temporal_on {
+                    let (p, c, k) = s
+                        .malloc_temporal(
+                            &mut self.mem,
+                            size,
+                            lt,
+                            &mut self.temporal,
+                            &mut self.tracer,
+                        )
+                        .map_err(VmError::Alloc)?;
+                    (p, c, Some(k))
+                } else {
+                    let (p, c) = s
+                        .malloc_traced(&mut self.mem, size, lt, &mut self.tracer)
+                        .map_err(VmError::Alloc)?;
+                    (p, c, None)
+                };
+                (p, c, lt != 0, st)
             }
             _ => unreachable!("instrumented mode has an allocator"),
         };
@@ -735,8 +858,65 @@ impl<'p> Vm<'p> {
             dst,
             ptr.raw(),
             Some(Bounds::from_base_size(ptr.addr(), size)),
+            stamp,
         );
         Ok(())
+    }
+
+    /// Temporally-checked free on the uninstrumented libc path.
+    fn libc_free_temporal(
+        &mut self,
+        addr: u64,
+    ) -> Result<(Option<TemporalViolation>, AllocCost), VmError> {
+        let cost = AllocCost {
+            base_instrs: alloc_costs::LIBC_FREE,
+            ifp_instrs: 0,
+        };
+        match self.temporal.on_free(addr) {
+            FreeOutcome::NotTracked => {
+                self.libc
+                    .free(&mut self.mem.mem, addr)
+                    .map_err(VmError::Alloc)?;
+                self.tracer.record(EventKind::Free { addr });
+                Ok((None, cost))
+            }
+            FreeOutcome::DoubleFree(v) => Ok((Some(v), cost)),
+            FreeOutcome::Revoked { key, size } => {
+                self.libc
+                    .free(&mut self.mem.mem, addr)
+                    .map_err(VmError::Alloc)?;
+                self.tracer.record(EventKind::Free { addr });
+                self.tracer.record(EventKind::Revoke { addr, size, key });
+                Ok((None, cost))
+            }
+            FreeOutcome::Quarantined {
+                key,
+                size,
+                pending_bytes,
+                drained,
+            } => {
+                self.tracer.record(EventKind::Free { addr });
+                self.tracer.record(EventKind::Revoke { addr, size, key });
+                self.tracer.record(EventKind::Quarantine {
+                    addr,
+                    size,
+                    pending_bytes,
+                    drained: false,
+                });
+                for (dbase, dsize) in drained {
+                    self.libc
+                        .free(&mut self.mem.mem, dbase)
+                        .map_err(VmError::Alloc)?;
+                    self.tracer.record(EventKind::Quarantine {
+                        addr: dbase,
+                        size: dsize,
+                        pending_bytes: self.temporal.pending_bytes(),
+                        drained: true,
+                    });
+                }
+                Ok((None, cost))
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -785,10 +965,14 @@ impl<'p> Vm<'p> {
 
         let base_cost = steps.len().max(1) as u64;
 
+        // Pointer arithmetic preserves the allocation identity, so the
+        // temporal stamp rides through every GEP.
+        let base_stamp = self.stamp_of(base);
+
         if !self.instrumented() || bp.is_legacy() {
             self.charge_base(base_cost);
             let b = self.bounds_of(base);
-            self.set_reg(dst, bp.with_addr(addr).raw(), b);
+            self.set_reg(dst, bp.with_addr(addr).raw(), b, base_stamp);
             return Ok(());
         }
 
@@ -878,18 +1062,21 @@ impl<'p> Vm<'p> {
             }
         }
 
-        self.set_reg(dst, ptr.raw(), new_bounds);
+        self.set_reg(dst, ptr.raw(), new_bounds, base_stamp);
         Ok(())
     }
 
-    /// Runs `promote` on a freshly loaded pointer value.
-    fn exec_promote(&mut self, raw: u64) -> Result<(u64, Option<Bounds>), VmError> {
+    /// Runs `promote` on a freshly loaded pointer value. Returns the
+    /// promoted raw pointer, its bounds, and the temporal stamp (the
+    /// metadata fetch re-keys a pointer that round-tripped through
+    /// memory, the same way it recovers the bounds).
+    fn exec_promote(&mut self, raw: u64) -> Result<(u64, Option<Bounds>, Option<u64>), VmError> {
         self.stats.promote_instrs += 1;
         self.stats.promotes.total += 1;
         if self.no_promote() {
             // The ablation: promote retires like a NOP.
             self.stats.cycles += self.config.cycle_model.promote_bypass;
-            return Ok((raw, None));
+            return Ok((raw, None, None));
         }
         let ptr = TaggedPtr::from_raw(raw);
         let r = self
@@ -919,7 +1106,12 @@ impl<'p> Vm<'p> {
             }
         }
         let bounds = (r.kind == PromoteKind::Valid && !r.bounds.is_cleared()).then_some(r.bounds);
-        Ok((r.ptr.raw(), bounds))
+        let stamp = if r.kind == PromoteKind::Valid {
+            self.temporal.stamp_at(r.ptr.addr())
+        } else {
+            None
+        };
+        Ok((r.ptr.raw(), bounds, stamp))
     }
 
     fn exec_ext(
@@ -995,7 +1187,7 @@ impl<'p> Vm<'p> {
         if let Some(d) = dst {
             // Legacy code wrote the result register: bounds cleared
             // (implicit bounds clearing).
-            self.set_reg(d, ret, None);
+            self.set_reg(d, ret, None, None);
         }
         Ok(())
     }

@@ -121,6 +121,10 @@ pub struct VmConfig {
     /// Execution tracing. Off by default — a disabled tracer never
     /// allocates and costs one branch per would-be event.
     pub trace: TraceConfig,
+    /// Temporal-safety enforcement policy. Off by default, which keeps
+    /// every spatial-only configuration bit-identical to the
+    /// pre-temporal simulator.
+    pub temporal: ifp_temporal::TemporalPolicy,
 }
 
 impl Default for VmConfig {
@@ -131,6 +135,7 @@ impl Default for VmConfig {
             l1: CacheConfig::default(),
             fuel: 4_000_000_000,
             trace: TraceConfig::off(),
+            temporal: ifp_temporal::TemporalPolicy::Off,
         }
     }
 }
@@ -209,7 +214,8 @@ impl fmt::Display for VmError {
 impl std::error::Error for VmError {}
 
 impl VmError {
-    /// Whether the error is a spatial-safety detection.
+    /// Whether the error is a memory-safety detection (spatial or
+    /// temporal).
     #[must_use]
     pub fn is_safety_trap(&self) -> bool {
         matches!(self, VmError::Trap { trap, .. } if trap.is_safety_violation())

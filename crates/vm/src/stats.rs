@@ -94,6 +94,8 @@ pub struct RunStats {
     pub heap_allocs: u64,
     /// Heap frees performed.
     pub heap_frees: u64,
+    /// Temporal-safety counters (all zero when the policy is off).
+    pub temporal: ifp_temporal::TemporalStats,
 }
 
 impl RunStats {
