@@ -28,8 +28,14 @@ use ifp_tag::{GlobalTableTag, SchemeSel, TaggedPtr, GLOBAL_TABLE_ROWS};
 #[derive(Debug)]
 pub struct GlobalTableManager {
     base: u64,
-    free_rows: Vec<u16>,
+    /// Rows released by `deregister`, reused LIFO before fresh rows.
+    recycled: Vec<u16>,
+    /// Next never-used row index; fresh rows are handed out in ascending
+    /// order. Materializing all 4096 free rows up front would cost every
+    /// `Vm::new` an 8 KiB fill that short runs never use.
+    next_fresh: u16,
     live: Vec<bool>,
+    live_count: usize,
     peak_live: usize,
 }
 
@@ -39,9 +45,10 @@ impl GlobalTableManager {
     pub fn new(base: u64) -> Self {
         GlobalTableManager {
             base,
-            // Hand out low indices first (pop from the back).
-            free_rows: (0..GLOBAL_TABLE_ROWS as u16).rev().collect(),
+            recycled: Vec::new(),
+            next_fresh: 0,
             live: vec![false; GLOBAL_TABLE_ROWS],
+            live_count: 0,
             peak_live: 0,
         }
     }
@@ -61,7 +68,7 @@ impl GlobalTableManager {
     /// Number of live rows.
     #[must_use]
     pub fn live_rows(&self) -> usize {
-        self.live.iter().filter(|&&l| l).count()
+        self.live_count
     }
 
     /// High-water mark of live rows.
@@ -86,7 +93,15 @@ impl GlobalTableManager {
         layout_table: u64,
     ) -> Result<(TaggedPtr, u16, AllocCost), AllocError> {
         let size32 = u32::try_from(size).map_err(|_| AllocError::TooLarge { size })?;
-        let row = self.free_rows.pop().ok_or(AllocError::GlobalTableFull)?;
+        let row = match self.recycled.pop() {
+            Some(r) => r,
+            None if (self.next_fresh as usize) < GLOBAL_TABLE_ROWS => {
+                let r = self.next_fresh;
+                self.next_fresh += 1;
+                r
+            }
+            None => return Err(AllocError::GlobalTableFull),
+        };
         let image = GlobalTableRow {
             base: object_base,
             size: size32,
@@ -96,7 +111,8 @@ impl GlobalTableManager {
         mem.write(self.row_addr(row), &image.to_bytes())
             .expect("table pages are mapped");
         self.live[usize::from(row)] = true;
-        self.peak_live = self.peak_live.max(self.live_rows());
+        self.live_count += 1;
+        self.peak_live = self.peak_live.max(self.live_count);
         let tag = GlobalTableTag { table_index: row };
         let ptr = TaggedPtr::from_addr(object_base)
             .with_scheme(SchemeSel::GlobalTable)
@@ -129,9 +145,10 @@ impl GlobalTableManager {
             });
         }
         *slot = false;
+        self.live_count -= 1;
         mem.write(self.row_addr(row), &[0u8; 16])
             .expect("table pages are mapped");
-        self.free_rows.push(row);
+        self.recycled.push(row);
         Ok(AllocCost {
             base_instrs: costs::GLOBAL_DEREGISTER,
             ifp_instrs: 0,

@@ -66,13 +66,16 @@ pub fn granule_table(sample_sizes: &[u64]) -> String {
 /// stay flat throughout.
 #[must_use]
 pub fn cache_sweep() -> String {
+    cache_sweep_with_workers(1)
+}
+
+/// [`cache_sweep`] on up to `workers` threads — one ticket per L1 size,
+/// rows assembled in size order, so the table is identical for any
+/// worker count.
+#[must_use]
+pub fn cache_sweep_with_workers(workers: usize) -> String {
     let program = ifp_workloads::olden::health::build(4);
-    let mut out = String::from(
-        "Ablation: L1 size sweep on health (miss-count increase vs baseline)\n\
-         | L1 size | Subheap | Wrapped | Gap |\n\
-         |---|---|---|---|\n",
-    );
-    for (label, sets) in [
+    let sizes = [
         ("2 KiB", 32usize),
         ("4 KiB", 64),
         ("8 KiB", 128),
@@ -80,7 +83,8 @@ pub fn cache_sweep() -> String {
         ("32 KiB", 512),
         ("64 KiB", 1024),
         ("128 KiB", 2048),
-    ] {
+    ];
+    let rows = ifp_testutil::par_map(&sizes, workers, |&(label, sets)| {
         let l1 = CacheConfig {
             line_size: 16,
             sets,
@@ -94,12 +98,20 @@ pub fn cache_sweep() -> String {
         let base = misses(Mode::Baseline).max(1) as f64;
         let sub = misses(Mode::instrumented(ifp_vm::AllocatorKind::Subheap)) as f64 / base - 1.0;
         let wrp = misses(Mode::instrumented(ifp_vm::AllocatorKind::Wrapped)) as f64 / base - 1.0;
-        out.push_str(&format!(
+        format!(
             "| {label} | {:+.1}% | {:+.1}% | {:.1} pts |\n",
             sub * 100.0,
             wrp * 100.0,
             (wrp - sub) * 100.0
-        ));
+        )
+    });
+    let mut out = String::from(
+        "Ablation: L1 size sweep on health (miss-count increase vs baseline)\n\
+         | L1 size | Subheap | Wrapped | Gap |\n\
+         |---|---|---|---|\n",
+    );
+    for row in rows {
+        out.push_str(&row);
     }
     out
 }

@@ -1,8 +1,13 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
-//! Usage: `cargo run --release -p ifp-bench --bin tables -- [section ...]`
-//! where sections are `table1 table2 table3 table4 fig10 fig11 fig12
-//! fig13 juliet temporal cache` or `all` (default).
+//! Usage: `cargo run --release -p ifp-bench --bin tables -- [section ...]
+//! [--workers N]` where sections are `table1 table2 table3 table4 fig10
+//! fig11 fig12 fig13 juliet temporal cache` or `all` (default).
+//!
+//! `--workers N` caps the sweep worker threads (default: the host's
+//! available parallelism). Results are bit-identical for any worker
+//! count — work fans out per case/configuration and merges back in
+//! input order.
 //!
 //! `trace [workload]` is an extra mode (not part of `all`): it re-runs one
 //! workload (default `treeadd`) with event tracing enabled and prints the
@@ -10,8 +15,10 @@
 //! the `ifp-trace` CLI instead.
 
 use ifp_baselines::{temporal_row, Asan, Mte, SoftBound};
-use ifp_bench::{render, sweep_all};
-use ifp_juliet::{all_cases, run_suite, run_temporal_suite, temporal_cases};
+use ifp_bench::{render, sweep_all_with_workers};
+use ifp_juliet::{
+    all_cases, run_suite_with_workers, run_temporal_suite_with_workers, temporal_cases,
+};
 use ifp_temporal::TemporalPolicy;
 use ifp_vm::{AllocatorKind, Mode};
 
@@ -52,8 +59,29 @@ fn run_trace_mode(workload: &str, jsonl: bool) {
     }
 }
 
+/// Strips `--workers N` from `args`, returning the worker count (default:
+/// available parallelism).
+fn parse_workers(args: &mut Vec<String>) -> usize {
+    let mut workers = ifp_testutil::default_workers();
+    if let Some(i) = args.iter().position(|a| a == "--workers") {
+        let n = args.get(i + 1).and_then(|v| v.parse::<usize>().ok());
+        match n {
+            Some(n) if n >= 1 => {
+                workers = n;
+                args.drain(i..=i + 1);
+            }
+            _ => {
+                eprintln!("--workers needs a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    workers
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let workers = parse_workers(&mut args);
 
     // The trace mode stands alone: `tables trace [workload]`.
     if let Some(mode) = args.first().map(String::as_str) {
@@ -85,7 +113,7 @@ fn main() {
             "{}",
             ifp_bench::ablation::granule_table(&ifp_bench::ablation::workload_size_sample())
         );
-        println!("{}", ifp_bench::ablation::cache_sweep());
+        println!("{}", ifp_bench::ablation::cache_sweep_with_workers(workers));
     }
 
     if want("juliet") {
@@ -106,7 +134,7 @@ fn main() {
                 no_promote: true,
             },
         ] {
-            let r = run_suite(&cases, mode);
+            let r = run_suite_with_workers(&cases, mode, workers);
             println!("  {mode}: {r}");
         }
         println!();
@@ -123,7 +151,12 @@ fn main() {
         );
         for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
             for policy in TemporalPolicy::ALL {
-                let r = run_temporal_suite(&cases, Mode::instrumented(alloc), policy);
+                let r = run_temporal_suite_with_workers(
+                    &cases,
+                    Mode::instrumented(alloc),
+                    policy,
+                    workers,
+                );
                 println!("  instrumented[{alloc}] temporal={policy}: {r}");
             }
         }
@@ -145,7 +178,7 @@ fn main() {
             );
         }
         println!();
-        let costs = ifp_bench::temporal::measure_sample();
+        let costs = ifp_bench::temporal::measure_sample_with_workers(workers);
         print!("{}", ifp_bench::temporal::overhead_table(&costs));
         println!();
     }
@@ -154,10 +187,10 @@ fn main() {
         .iter()
         .any(|s| want(s) || args.iter().any(|a| a == *s));
     if needs_sweeps {
-        eprintln!("running 18 workloads x 5 configurations...");
+        eprintln!("running 18 workloads x 5 configurations ({workers} workers)...");
         let workloads = ifp_workloads::all();
         let t0 = std::time::Instant::now();
-        let sweeps = sweep_all(&workloads);
+        let sweeps = sweep_all_with_workers(&workloads, workers);
         eprintln!("swept in {:.1}s", t0.elapsed().as_secs_f64());
 
         if want("table4") {

@@ -8,9 +8,9 @@ pub mod render;
 pub mod temporal;
 
 use ifp::eval::ModeSweep;
+use ifp_testutil::{default_workers, par_map};
 use ifp_workloads::Workload;
 use std::fmt;
-use std::sync::Mutex;
 
 /// A failure from one workload's sweep: the workload keeps its identity so
 /// a single bad workload no longer masks the results of the other 17.
@@ -28,8 +28,10 @@ impl fmt::Display for SweepError {
     }
 }
 
-/// Runs the mode sweep for every workload, in parallel across worker
-/// threads, preserving Table 4 order in the result.
+/// Runs the mode sweep for every workload on up to `workers` threads,
+/// preserving Table 4 order in the result — the output is identical for
+/// any worker count (each sweep is an independent simulation; results
+/// merge by input index).
 ///
 /// Every workload runs to completion even when siblings fail: a worker
 /// panic or VM error is captured per workload instead of tearing down the
@@ -38,27 +40,21 @@ impl fmt::Display for SweepError {
 /// # Errors
 ///
 /// The list of per-workload failures, one entry per failed workload.
-pub fn try_sweep_all(workloads: &[Workload]) -> Result<Vec<ModeSweep>, Vec<SweepError>> {
-    let results: Mutex<Vec<Option<Result<ModeSweep, String>>>> =
-        Mutex::new((0..workloads.len()).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for (i, w) in workloads.iter().enumerate() {
-            let results = &results;
-            scope.spawn(move || {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    let program = w.build_default();
-                    ModeSweep::run(w.name, &program).map_err(|e| e.to_string())
-                }))
-                .unwrap_or_else(|panic| Err(panic_message(&panic)));
-                results.lock().expect("sweep mutex")[i] = Some(outcome);
-            });
-        }
+pub fn try_sweep_all_with_workers(
+    workloads: &[Workload],
+    workers: usize,
+) -> Result<Vec<ModeSweep>, Vec<SweepError>> {
+    let slots = par_map(workloads, workers, |w| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let program = w.build_default();
+            ModeSweep::run(w.name, &program).map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|panic| Err(panic_message(&panic)))
     });
-    let slots = results.into_inner().expect("sweep mutex");
     let mut sweeps = Vec::with_capacity(workloads.len());
     let mut errors = Vec::new();
     for (w, slot) in workloads.iter().zip(slots) {
-        match slot.expect("every slot filled") {
+        match slot {
             Ok(s) => sweeps.push(s),
             Err(message) => errors.push(SweepError {
                 workload: w.name.to_string(),
@@ -73,11 +69,20 @@ pub fn try_sweep_all(workloads: &[Workload]) -> Result<Vec<ModeSweep>, Vec<Sweep
     }
 }
 
-/// [`try_sweep_all`], panicking with *all* failures when any workload
-/// fails (the `tables` binary's behaviour).
+/// [`try_sweep_all_with_workers`] at the host's available parallelism.
+///
+/// # Errors
+///
+/// The list of per-workload failures, one entry per failed workload.
+pub fn try_sweep_all(workloads: &[Workload]) -> Result<Vec<ModeSweep>, Vec<SweepError>> {
+    try_sweep_all_with_workers(workloads, default_workers())
+}
+
+/// [`try_sweep_all_with_workers`], panicking with *all* failures when any
+/// workload fails (the `tables` binary's behaviour).
 #[must_use]
-pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
-    match try_sweep_all(workloads) {
+pub fn sweep_all_with_workers(workloads: &[Workload], workers: usize) -> Vec<ModeSweep> {
+    match try_sweep_all_with_workers(workloads, workers) {
         Ok(sweeps) => sweeps,
         Err(errors) => {
             let lines: Vec<String> = errors.iter().map(ToString::to_string).collect();
@@ -88,6 +93,12 @@ pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
             );
         }
     }
+}
+
+/// [`sweep_all_with_workers`] at the host's available parallelism.
+#[must_use]
+pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
+    sweep_all_with_workers(workloads, default_workers())
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -219,6 +230,24 @@ pub mod fixtures {
 mod tests {
     use super::fixtures::promote_fixture;
     use ifp_hw::{IfpUnit, PromoteKind};
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_single_thread() {
+        // Render a real sweep subset through the JSON emitter under 1 and
+        // N workers: the output strings must match byte for byte.
+        let workloads: Vec<_> = ifp_workloads::all().into_iter().take(2).collect();
+        let one = crate::render::json(&crate::sweep_all_with_workers(&workloads, 1));
+        let many = crate::render::json(&crate::sweep_all_with_workers(&workloads, 4));
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn parallel_cache_sweep_matches_single_thread() {
+        assert_eq!(
+            crate::ablation::cache_sweep_with_workers(1),
+            crate::ablation::cache_sweep_with_workers(4)
+        );
+    }
 
     #[test]
     fn fixture_pointers_promote_as_labelled() {

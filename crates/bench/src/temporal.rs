@@ -28,7 +28,10 @@ pub struct TemporalCost {
     pub stats: RunStats,
 }
 
-/// Runs the sample under every policy (instrumented, subheap).
+/// Runs the sample under every policy (instrumented, subheap) on up to
+/// `workers` threads. Each (workload, policy) cell is an independent
+/// simulation; results keep `SAMPLE` × [`TemporalPolicy::ALL`] order for
+/// any worker count.
 ///
 /// # Panics
 ///
@@ -37,28 +40,33 @@ pub struct TemporalCost {
 /// temporal violations on correct programs is itself part of the
 /// claim).
 #[must_use]
-pub fn measure_sample() -> Vec<TemporalCost> {
-    let mut out = Vec::new();
-    for name in SAMPLE {
+pub fn measure_sample_with_workers(workers: usize) -> Vec<TemporalCost> {
+    let cells: Vec<(&'static str, TemporalPolicy)> = SAMPLE
+        .iter()
+        .flat_map(|&name| TemporalPolicy::ALL.into_iter().map(move |p| (name, p)))
+        .collect();
+    ifp_testutil::par_map(&cells, workers, |&(name, policy)| {
         let w = ifp_workloads::by_name(name).expect("sample workload exists");
         let program = w.build_default();
-        for policy in TemporalPolicy::ALL {
-            let mut cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
-            cfg.temporal = policy;
-            let r =
-                run(&program, &cfg).unwrap_or_else(|e| panic!("{name} failed under {policy}: {e}"));
-            assert_eq!(
-                r.stats.temporal.violations, 0,
-                "{name}: correct workload flagged under {policy}"
-            );
-            out.push(TemporalCost {
-                workload: w.name,
-                policy,
-                stats: r.stats,
-            });
+        let mut cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+        cfg.temporal = policy;
+        let r = run(&program, &cfg).unwrap_or_else(|e| panic!("{name} failed under {policy}: {e}"));
+        assert_eq!(
+            r.stats.temporal.violations, 0,
+            "{name}: correct workload flagged under {policy}"
+        );
+        TemporalCost {
+            workload: w.name,
+            policy,
+            stats: r.stats,
         }
-    }
-    out
+    })
+}
+
+/// [`measure_sample_with_workers`] on a single thread.
+#[must_use]
+pub fn measure_sample() -> Vec<TemporalCost> {
+    measure_sample_with_workers(1)
 }
 
 fn pct(new: u64, base: u64) -> f64 {
@@ -125,6 +133,35 @@ mod tests {
                 assert!(c.stats.temporal.stamped > 0, "{}", c.workload);
                 assert_eq!(c.stats.temporal.violations, 0, "{}", c.workload);
             }
+        }
+    }
+
+    #[test]
+    fn liveness_checks_cost_cycles() {
+        // ROADMAP item: the lock/key comparison is no longer modeled as
+        // free — every check charges `CycleModel::temporal_check`, so an
+        // enforcing policy must show a cycle overhead over `off` of at
+        // least one cycle per check performed.
+        let costs = costs();
+        for name in SAMPLE {
+            let by = |p: TemporalPolicy| {
+                costs
+                    .iter()
+                    .find(|c| c.workload == name && c.policy == p)
+                    .expect("measured")
+                    .stats
+                    .clone()
+            };
+            let off = by(TemporalPolicy::Off);
+            let key = by(TemporalPolicy::KeyCheck);
+            assert!(key.temporal.checks > 0, "{name}: no checks performed");
+            assert!(
+                key.cycles >= off.cycles + key.temporal.checks,
+                "{name}: checks not charged ({} vs {} + {})",
+                key.cycles,
+                off.cycles,
+                key.temporal.checks
+            );
         }
     }
 

@@ -27,20 +27,20 @@
 //!   selectivity is why most Olden-style heap objects carry no layout
 //!   table in Table 4 despite being structs.
 
+use crate::fxhash::FxHashSet;
 use crate::ir::{Function, GepStep, Op, Operand, Program, Reg, Terminator};
 use crate::types::{Type, TypeId};
-use std::collections::{HashMap, HashSet};
 
 /// What the analysis decided for a whole program.
 #[derive(Clone, Debug, Default)]
 pub struct Analysis {
     /// `(function index, block index, op index)` of every `Alloca` that
     /// needs object metadata.
-    pub unsafe_allocas: HashSet<(usize, usize, usize)>,
+    pub unsafe_allocas: FxHashSet<(usize, usize, usize)>,
     /// Indices of globals whose address escapes (need registration).
-    pub escaping_globals: HashSet<usize>,
+    pub escaping_globals: FxHashSet<usize>,
     /// Types for which a layout table must be emitted.
-    pub lt_types: HashSet<TypeId>,
+    pub lt_types: FxHashSet<TypeId>,
 }
 
 /// Which tracked object a register's value is derived from.
@@ -67,7 +67,7 @@ impl Analysis {
     #[must_use]
     pub fn run(program: &Program) -> Self {
         let mut out = Analysis::default();
-        let mut interior_seeds: HashSet<TypeId> = HashSet::new();
+        let mut interior_seeds: FxHashSet<TypeId> = FxHashSet::default();
         for (fi, func) in program.funcs.iter().enumerate() {
             if !func.instrumented {
                 continue;
@@ -90,7 +90,7 @@ impl Analysis {
 /// pointer into `Inner` may point into an allocation of any `Outer` that
 /// embeds `Inner`, and that allocation's metadata is where the layout
 /// table pointer lives.
-fn close_over_containers(program: &Program, seeds: &HashSet<TypeId>) -> HashSet<TypeId> {
+fn close_over_containers(program: &Program, seeds: &FxHashSet<TypeId>) -> FxHashSet<TypeId> {
     let mut result = seeds.clone();
     loop {
         let mut grew = false;
@@ -116,17 +116,35 @@ fn close_over_containers(program: &Program, seeds: &HashSet<TypeId>) -> HashSet<
 }
 
 /// Mutable scan state for one function.
+///
+/// Registers are dense indices bounded by `Function::num_regs`, so the
+/// per-register provenance lives in a flat vector instead of a hash map —
+/// the scan re-runs to fixpoint per `Vm::new`, and hashing registers was
+/// measurable on short simulated runs. `prov_set` mirrors the entry count
+/// a map would have reported, because the fixpoint uses container sizes
+/// as its change proxy.
 struct ScanState {
-    prov: HashMap<Reg, Prov>,
-    unsafe_sites: HashSet<(usize, usize)>,
-    escaped_globals: HashSet<usize>,
-    escaped_interior: HashSet<TypeId>,
+    prov: Vec<Option<Prov>>,
+    /// Number of registers whose provenance slot has ever been written
+    /// (the old map-length change proxy).
+    prov_set: usize,
+    unsafe_sites: FxHashSet<(usize, usize)>,
+    escaped_globals: FxHashSet<usize>,
+    escaped_interior: FxHashSet<TypeId>,
 }
 
 impl ScanState {
+    fn set_prov(&mut self, r: Reg, p: Prov) {
+        let slot = &mut self.prov[r.0 as usize];
+        if slot.is_none() {
+            self.prov_set += 1;
+        }
+        *slot = Some(p);
+    }
+
     fn operand_prov(&self, o: &Operand) -> Prov {
         match o {
-            Operand::Reg(r) => self.prov.get(r).copied().unwrap_or_default(),
+            Operand::Reg(r) => self.prov[r.0 as usize].unwrap_or_default(),
             Operand::Imm(_) => Prov::default(),
         }
     }
@@ -154,13 +172,14 @@ fn analyze_function(
     fi: usize,
     func: &Function,
     out: &mut Analysis,
-    interior_seeds: &mut HashSet<TypeId>,
+    interior_seeds: &mut FxHashSet<TypeId>,
 ) {
     let mut st = ScanState {
-        prov: HashMap::new(),
-        unsafe_sites: HashSet::new(),
-        escaped_globals: HashSet::new(),
-        escaped_interior: HashSet::new(),
+        prov: vec![None; func.num_regs as usize],
+        prov_set: 0,
+        unsafe_sites: FxHashSet::default(),
+        escaped_globals: FxHashSet::default(),
+        escaped_interior: FxHashSet::default(),
     };
 
     // Fixpoint: registers are mutable and provenance flows around loops.
@@ -169,7 +188,7 @@ fn analyze_function(
             st.unsafe_sites.len(),
             st.escaped_globals.len(),
             st.escaped_interior.len(),
-            st.prov.len(),
+            st.prov_set,
         );
         for (bi, block) in func.blocks.iter().enumerate() {
             for (oi, op) in block.ops.iter().enumerate() {
@@ -183,7 +202,7 @@ fn analyze_function(
             st.unsafe_sites.len(),
             st.escaped_globals.len(),
             st.escaped_interior.len(),
-            st.prov.len(),
+            st.prov_set,
         );
         if before == after {
             break;
@@ -200,7 +219,7 @@ fn analyze_function(
 fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) {
     match op {
         Op::Alloca { dst, .. } => {
-            st.prov.insert(
+            st.set_prov(
                 *dst,
                 Prov {
                     obj: Some(ObjRef::Alloca(pos)),
@@ -209,7 +228,7 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
             );
         }
         Op::AddrOfGlobal { dst, global } => {
-            st.prov.insert(
+            st.set_prov(
                 *dst,
                 Prov {
                     obj: Some(ObjRef::Global(*global)),
@@ -219,7 +238,7 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
         }
         Op::Mov { dst, a } => {
             let p = st.operand_prov(a);
-            st.prov.insert(*dst, p);
+            st.set_prov(*dst, p);
         }
         Op::Gep {
             dst,
@@ -251,7 +270,7 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
                     None => {}
                 }
             }
-            st.prov.insert(
+            st.set_prov(
                 *dst,
                 Prov {
                     obj: p.obj,
@@ -264,7 +283,7 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
             );
         }
         Op::Load { dst, .. } | Op::Malloc { dst, .. } => {
-            st.prov.insert(*dst, Prov::default());
+            st.set_prov(*dst, Prov::default());
         }
         Op::Store { val, .. } => {
             st.escape(val);
@@ -274,7 +293,7 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
             let pa = st.operand_prov(a);
             let pb = st.operand_prov(b);
             let p = if pa != Prov::default() { pa } else { pb };
-            st.prov.insert(*dst, p);
+            st.set_prov(*dst, p);
         }
         Op::Free { .. } => {}
         Op::Call { dst, args, .. } | Op::CallExt { dst, args, .. } => {
@@ -282,7 +301,7 @@ fn scan_op(program: &Program, op: &Op, pos: (usize, usize), st: &mut ScanState) 
                 st.escape(a);
             }
             if let Some(d) = dst {
-                st.prov.insert(*d, Prov::default());
+                st.set_prov(*d, Prov::default());
             }
         }
     }

@@ -1,0 +1,98 @@
+//! A fast, non-cryptographic hasher for the compiler's internal tables.
+//!
+//! The analysis and instrumentation passes key their maps on small
+//! trusted indices (registers, op positions, type ids) and run once per
+//! `Vm::new` — for short simulated programs their hashing shows up
+//! directly in host wall-clock. This is the rustc `FxHash` recipe:
+//! rotate-xor-multiply per word. It is not DoS-resistant, which is fine
+//! for keys derived from the program's own IR.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc-style multiply-xor hasher.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Hash state plugging [`FxHasher`] into std collections.
+pub type FxState = BuildHasherDefault<FxHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxState>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_map_round_trip() {
+        let mut s: FxHashSet<(usize, usize, usize)> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert((i, i * 2, i * 3));
+        }
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&(4, 8, 12)));
+
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        m.insert(7, 49);
+        assert_eq!(m.get(&7), Some(&49));
+    }
+
+    #[test]
+    fn distinct_words_hash_distinctly() {
+        let h = |v: u64| {
+            let mut x = FxHasher::default();
+            x.write_u64(v);
+            x.finish()
+        };
+        assert_ne!(h(0), h(1));
+        assert_ne!(h(0x1000), h(0x2000));
+    }
+}

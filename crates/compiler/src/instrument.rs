@@ -22,10 +22,10 @@
 //! currently pointed subobject".
 
 use crate::analysis::Analysis;
-use crate::ir::{Function, GepStep, Op, Operand, Program, Reg};
+use crate::fxhash::FxHashMap;
+use crate::ir::{Function, GepStep, Op, Operand, Program};
 use crate::layout_gen::{self, TypeLayoutInfo};
 use crate::types::TypeId;
-use std::collections::HashMap;
 
 /// Instrumentation decision for an allocation site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,7 +95,7 @@ pub struct GlobalPlan {
 #[derive(Clone, Debug, Default)]
 pub struct InstrPlan {
     /// Generated layout tables, keyed by type.
-    pub layouts: HashMap<TypeId, TypeLayoutInfo>,
+    pub layouts: FxHashMap<TypeId, TypeLayoutInfo>,
     /// Per-function plans, parallel to [`Program::funcs`].
     pub funcs: Vec<FuncPlan>,
     /// Per-global plans, parallel to [`Program::globals`].
@@ -110,7 +110,7 @@ impl InstrPlan {
     pub fn build(program: &Program) -> Self {
         let analysis = Analysis::run(program);
 
-        let mut layouts = HashMap::new();
+        let mut layouts = FxHashMap::default();
         for &ty in &analysis.lt_types {
             if let Some(info) = layout_gen::generate(&program.types, ty) {
                 layouts.insert(ty, info);
@@ -167,7 +167,7 @@ struct PtrTrack {
 fn plan_function(
     program: &Program,
     analysis: &Analysis,
-    layouts: &HashMap<TypeId, TypeLayoutInfo>,
+    layouts: &FxHashMap<TypeId, TypeLayoutInfo>,
     globals: &[GlobalPlan],
     fi: usize,
     func: &Function,
@@ -183,7 +183,9 @@ fn plan_function(
         };
     }
 
-    let mut track: HashMap<Reg, PtrTrack> = HashMap::new();
+    // Per-register tracking state, indexed by register number — registers
+    // are dense per function, so a flat slot vector beats a hash map.
+    let mut track: Vec<Option<PtrTrack>> = vec![None; func.num_regs as usize];
     let mut saves_bounds = false;
     let mut actions: Vec<Vec<OpAction>> = Vec::with_capacity(func.blocks.len());
 
@@ -194,16 +196,13 @@ fn plan_function(
                 Op::Alloca { dst, ty, .. } => {
                     if analysis.alloca_is_unsafe(fi, bi, oi) {
                         let layout = layouts.contains_key(ty).then_some(*ty);
-                        track.insert(
-                            *dst,
-                            PtrTrack {
-                                root: *ty,
-                                index: 0,
-                            },
-                        );
+                        track[dst.0 as usize] = Some(PtrTrack {
+                            root: *ty,
+                            index: 0,
+                        });
                         OpAction::StackObject(AllocKind::Tracked { layout })
                     } else {
-                        track.remove(dst);
+                        track[dst.0 as usize] = None;
                         OpAction::StackObject(AllocKind::Untracked)
                     }
                 }
@@ -216,13 +215,10 @@ fn plan_function(
                     // The allocated type is opaque behind a wrapper, so no
                     // layout table can be attached (§5.2.1).
                     let layout = (!via_wrapper && layouts.contains_key(ty)).then_some(*ty);
-                    track.insert(
-                        *dst,
-                        PtrTrack {
-                            root: *ty,
-                            index: 0,
-                        },
-                    );
+                    track[dst.0 as usize] = Some(PtrTrack {
+                        root: *ty,
+                        index: 0,
+                    });
                     OpAction::HeapObject { layout }
                 }
                 Op::Gep {
@@ -232,7 +228,7 @@ fn plan_function(
                     steps,
                 } => {
                     let incoming = match base {
-                        Operand::Reg(r) => track.get(r).copied(),
+                        Operand::Reg(r) => track[r.0 as usize],
                         Operand::Imm(_) => None,
                     };
                     // The compiler assumes the pointer's static type: an
@@ -274,11 +270,10 @@ fn plan_function(
                             }
                         }
                     }
-                    let new_state = PtrTrack {
+                    track[dst.0 as usize] = Some(PtrTrack {
                         root: state.root,
                         index,
-                    };
-                    track.insert(*dst, new_state);
+                    });
                     OpAction::GepUpdate {
                         new_index: (index != state.index).then_some(index),
                         enters_subobject: enters,
@@ -286,14 +281,13 @@ fn plan_function(
                 }
                 Op::Load { dst, ty, .. } => {
                     if program.types.is_ptr(*ty) {
-                        if let Some(p) = program.types.pointee(*ty) {
-                            track.insert(*dst, PtrTrack { root: p, index: 0 });
-                        } else {
-                            track.remove(dst);
-                        }
+                        track[dst.0 as usize] = program
+                            .types
+                            .pointee(*ty)
+                            .map(|p| PtrTrack { root: p, index: 0 });
                         OpAction::PromoteAfterLoad
                     } else {
-                        track.remove(dst);
+                        track[dst.0 as usize] = None;
                         OpAction::None
                     }
                 }
@@ -306,40 +300,30 @@ fn plan_function(
                 }
                 Op::AddrOfGlobal { dst, global } => {
                     let plan = globals[*global];
-                    if plan.register {
-                        let ty = program.globals[*global].ty;
-                        track.insert(*dst, PtrTrack { root: ty, index: 0 });
-                    } else {
-                        track.remove(dst);
-                    }
+                    track[dst.0 as usize] = plan.register.then(|| PtrTrack {
+                        root: program.globals[*global].ty,
+                        index: 0,
+                    });
                     OpAction::GlobalAddr {
                         registered: plan.register,
                     }
                 }
                 Op::Mov { dst, a } => {
-                    match a {
-                        Operand::Reg(r) => {
-                            if let Some(s) = track.get(r).copied() {
-                                track.insert(*dst, s);
-                            } else {
-                                track.remove(dst);
-                            }
-                        }
-                        Operand::Imm(_) => {
-                            track.remove(dst);
-                        }
-                    }
+                    track[dst.0 as usize] = match a {
+                        Operand::Reg(r) => track[r.0 as usize],
+                        Operand::Imm(_) => None,
+                    };
                     OpAction::None
                 }
                 Op::Bin { dst, .. } => {
-                    track.remove(dst);
+                    track[dst.0 as usize] = None;
                     OpAction::None
                 }
                 Op::Free { .. } => OpAction::None,
                 Op::Call { dst, .. } | Op::CallExt { dst, .. } => {
                     saves_bounds = true;
                     if let Some(d) = dst {
-                        track.remove(d);
+                        track[d.0 as usize] = None;
                     }
                     OpAction::None
                 }

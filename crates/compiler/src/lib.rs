@@ -30,6 +30,7 @@
 pub mod analysis;
 pub mod builder;
 pub mod costs;
+pub mod fxhash;
 pub mod instrument;
 pub mod ir;
 pub mod layout_gen;

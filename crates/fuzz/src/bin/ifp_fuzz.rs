@@ -32,7 +32,8 @@ USAGE:
 CAMPAIGN OPTIONS:
     --seed S            campaign seed, decimal or 0x-hex (default 0)
     --iters N           iterations to run (default 1000)
-    --workers W         worker threads (default 4)
+    --workers W         worker threads (default: the host's available
+                        parallelism; results are identical for any W)
     --corpus DIR        persist minimized findings as JSON under DIR
     --schedule X        ticket scheduling: uniform (default) or
                         coverage (inverse cell-frequency weighting)
@@ -77,7 +78,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
     let mut config = CampaignConfig {
         seed: 0,
         iterations: 1000,
-        workers: 4,
+        workers: ifp_testutil::default_workers(),
         corpus_dir: None,
         schedule: Schedule::Uniform,
     };
@@ -139,7 +140,7 @@ fn cmd_temporal(args: &[String]) -> ExitCode {
     let mut config = TemporalCampaignConfig {
         seed: 0,
         iterations: 1000,
-        workers: 4,
+        workers: ifp_testutil::default_workers(),
     };
     let mut fail_on_finding = false;
     let mut it = args.iter();

@@ -101,6 +101,9 @@ pub struct CampaignReport {
     pub findings: Vec<Finding>,
     /// Hit counts per scheme×site×CWE×variant cell (bad cases only).
     pub coverage: BTreeMap<String, u64>,
+    /// Modeled instructions executed by the worker-pool phase, summed
+    /// over every oracle run (host throughput = this / `elapsed`).
+    pub modeled_instrs: u64,
     /// Number of cells the generator can reach.
     pub total_cells: usize,
     /// Corpus files written (empty without a corpus dir or findings).
@@ -258,11 +261,12 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     };
 
     let started = std::time::Instant::now();
-    let coverage = std::thread::scope(|s| {
+    let (coverage, modeled_instrs) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let mut local_cov: BTreeMap<String, u64> = BTreeMap::new();
+                    let mut local_instrs = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= config.iterations {
@@ -280,6 +284,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                         let spec_for_eval = spec.clone();
                         match catch_unwind(AssertUnwindSafe(|| evaluate(&spec_for_eval))) {
                             Ok(eval) => {
+                                local_instrs += eval.modeled_instrs;
                                 if !eval.disagreements.is_empty() {
                                     raw_findings.lock().unwrap().push((
                                         i,
@@ -305,17 +310,20 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                             }
                         }
                     }
-                    local_cov
+                    (local_cov, local_instrs)
                 })
             })
             .collect();
         let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        let mut instrs = 0u64;
         for h in handles {
-            for (k, v) in h.join().expect("worker thread died") {
+            let (cov, n) = h.join().expect("worker thread died");
+            for (k, v) in cov {
                 *merged.entry(k).or_default() += v;
             }
+            instrs += n;
         }
-        merged
+        (merged, instrs)
     });
     let elapsed = started.elapsed();
 
@@ -364,6 +372,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         elapsed,
         findings,
         coverage,
+        modeled_instrs,
         total_cells: reachable_cells().len(),
         corpus_paths,
     }
@@ -376,6 +385,18 @@ impl CampaignReport {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             self.config.iterations as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Modeled instructions per wall-clock second — host simulator
+    /// throughput as seen by the campaign.
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.modeled_instrs as f64 / secs
         } else {
             f64::INFINITY
         }
@@ -406,6 +427,11 @@ impl CampaignReport {
             "  elapsed     {:.2}s ({:.0} iters/sec)\n",
             self.elapsed.as_secs_f64(),
             self.iters_per_sec()
+        ));
+        s.push_str(&format!(
+            "  throughput  {} modeled instrs ({:.2}M instrs/sec)\n",
+            self.modeled_instrs,
+            self.instrs_per_sec() / 1e6
         ));
         s.push_str(&format!(
             "  coverage    {}/{} scheme\u{d7}site\u{d7}CWE\u{d7}variant cells\n",
@@ -487,8 +513,12 @@ mod tests {
         );
         assert!(!report.coverage.is_empty());
         assert!(report.coverage.len() <= report.total_cells);
+        // Every iteration runs the five-mode oracle, so the throughput
+        // denominator cannot be empty.
+        assert!(report.modeled_instrs > 0);
         let rendered = report.render();
         assert!(rendered.contains("iterations  60"), "{rendered}");
+        assert!(rendered.contains("instrs/sec"), "{rendered}");
     }
 
     #[test]

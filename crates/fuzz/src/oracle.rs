@@ -155,20 +155,31 @@ pub struct Evaluation {
     pub runs: Vec<(String, RunOutcome)>,
     /// Every disagreement found. Empty = the case agrees everywhere.
     pub disagreements: Vec<Disagreement>,
+    /// Modeled instructions executed across every run the oracle made
+    /// (including the determinism rerun) — the campaign's throughput
+    /// denominator.
+    pub modeled_instrs: u64,
 }
 
-/// Runs `program` under `mode` and classifies the result.
+/// Runs `program` under `mode` and classifies the result, also
+/// reporting the modeled instructions executed (up to the trap for
+/// trapping runs, zero for harness-level errors).
 #[must_use]
-pub fn run_mode(program: &ifp_compiler::Program, mode: Mode) -> RunOutcome {
+pub fn run_mode_counted(program: &ifp_compiler::Program, mode: Mode) -> (RunOutcome, u64) {
     let mut cfg = VmConfig::with_mode(mode);
     cfg.fuel = FUEL;
     match run(program, &cfg) {
-        Ok(r) => RunOutcome::Completed {
-            exit: r.exit_code,
-            output: r.output,
-        },
-        Err(VmError::Trap { trap, func, .. }) => {
-            if trap.is_safety_violation() {
+        Ok(r) => (
+            RunOutcome::Completed {
+                exit: r.exit_code,
+                output: r.output,
+            },
+            r.stats.total_instrs(),
+        ),
+        Err(VmError::Trap {
+            trap, func, stats, ..
+        }) => {
+            let outcome = if trap.is_safety_violation() {
                 RunOutcome::Detected {
                     trap: format!("{trap} in `{func}`"),
                 }
@@ -176,12 +187,22 @@ pub fn run_mode(program: &ifp_compiler::Program, mode: Mode) -> RunOutcome {
                 RunOutcome::TrappedOther {
                     trap: format!("{trap} in `{func}`"),
                 }
-            }
+            };
+            (outcome, stats.total_instrs())
         }
-        Err(e) => RunOutcome::Errored {
-            error: e.to_string(),
-        },
+        Err(e) => (
+            RunOutcome::Errored {
+                error: e.to_string(),
+            },
+            0,
+        ),
     }
+}
+
+/// Runs `program` under `mode` and classifies the result.
+#[must_use]
+pub fn run_mode(program: &ifp_compiler::Program, mode: Mode) -> RunOutcome {
+    run_mode_counted(program, mode).0
 }
 
 /// Reruns the instrumented (subheap) mode with full tracing and renders
@@ -392,17 +413,19 @@ pub fn evaluate(spec: &CaseSpec) -> Evaluation {
     let r = spec.resolve();
     let program = spec.build_program();
 
-    let baseline = run_mode(&program, Mode::Baseline);
-    let wrapped = run_mode(&program, Mode::instrumented(AllocatorKind::Wrapped));
-    let subheap = run_mode(&program, Mode::instrumented(AllocatorKind::Subheap));
-    let no_promote = run_mode(
+    let (baseline, i0) = run_mode_counted(&program, Mode::Baseline);
+    let (wrapped, i1) = run_mode_counted(&program, Mode::instrumented(AllocatorKind::Wrapped));
+    let (subheap, i2) = run_mode_counted(&program, Mode::instrumented(AllocatorKind::Subheap));
+    let (no_promote, i3) = run_mode_counted(
         &program,
         Mode::Instrumented {
             allocator: AllocatorKind::Subheap,
             no_promote: true,
         },
     );
-    let subheap_again = run_mode(&program, Mode::instrumented(AllocatorKind::Subheap));
+    let (subheap_again, i4) =
+        run_mode_counted(&program, Mode::instrumented(AllocatorKind::Subheap));
+    let modeled_instrs = i0 + i1 + i2 + i3 + i4;
 
     let mut out = Vec::new();
 
@@ -500,6 +523,7 @@ pub fn evaluate(spec: &CaseSpec) -> Evaluation {
             ("no-promote".into(), no_promote),
         ],
         disagreements: out,
+        modeled_instrs,
     }
 }
 

@@ -364,25 +364,39 @@ enum Outcome {
     Errored { error: String },
 }
 
-fn run_policy(program: &Program, path: TemporalPath, policy: TemporalPolicy) -> Outcome {
+/// Runs one policy, also reporting the modeled instructions executed
+/// (up to the trap for trapping runs).
+fn run_policy(program: &Program, path: TemporalPath, policy: TemporalPolicy) -> (Outcome, u64) {
     let mut cfg = VmConfig::with_mode(path.mode());
     cfg.fuel = FUEL;
     cfg.temporal = policy;
     match run(program, &cfg) {
-        Ok(r) => Outcome::Completed {
-            output: r.output,
-            violations: r.stats.temporal.violations,
-        },
+        Ok(r) => (
+            Outcome::Completed {
+                output: r.output,
+                violations: r.stats.temporal.violations,
+            },
+            r.stats.total_instrs(),
+        ),
         Err(VmError::Trap {
             trap: Trap::Temporal { kind, .. },
+            stats,
             ..
-        }) => Outcome::Temporal { kind },
-        Err(VmError::Trap { trap, func, .. }) => Outcome::OtherTrap {
-            trap: format!("{trap} in `{func}`"),
-        },
-        Err(e) => Outcome::Errored {
-            error: e.to_string(),
-        },
+        }) => (Outcome::Temporal { kind }, stats.total_instrs()),
+        Err(VmError::Trap {
+            trap, func, stats, ..
+        }) => (
+            Outcome::OtherTrap {
+                trap: format!("{trap} in `{func}`"),
+            },
+            stats.total_instrs(),
+        ),
+        Err(e) => (
+            Outcome::Errored {
+                error: e.to_string(),
+            },
+            0,
+        ),
     }
 }
 
@@ -400,6 +414,9 @@ pub struct TemporalEvaluation {
     pub runs: Vec<(String, String)>,
     /// Every disagreement with the analytic model. Empty = clean.
     pub disagreements: Vec<Disagreement>,
+    /// Modeled instructions executed across every run (including the
+    /// determinism rerun) — the campaign's throughput denominator.
+    pub modeled_instrs: u64,
 }
 
 /// Runs one spec under every applicable policy and judges each outcome
@@ -410,13 +427,15 @@ pub fn evaluate_temporal(spec: &TemporalSpec) -> TemporalEvaluation {
     let program = spec.build_program();
     let mut out = Vec::new();
     let mut runs = Vec::new();
+    let mut modeled_instrs = 0u64;
     let mut first: Option<(TemporalPolicy, Outcome)> = None;
 
     for policy in TemporalPolicy::ALL {
         let Some(want) = expectation(spec, policy) else {
             continue;
         };
-        let got = run_policy(&program, spec.path, policy);
+        let (got, n) = run_policy(&program, spec.path, policy);
+        modeled_instrs += n;
         let label = format!("{}/{}", spec.path.name(), policy.name());
         runs.push((label.clone(), outcome_label(&got)));
         judge_run(&mut out, spec, &label, &want, &got);
@@ -427,7 +446,8 @@ pub fn evaluate_temporal(spec: &TemporalSpec) -> TemporalEvaluation {
 
     // Determinism: the first evaluated policy, rerun, byte-identical.
     if let Some((policy, once)) = first {
-        let again = run_policy(&program, spec.path, policy);
+        let (again, n) = run_policy(&program, spec.path, policy);
+        modeled_instrs += n;
         if again != once {
             push(
                 &mut out,
@@ -442,6 +462,7 @@ pub fn evaluate_temporal(spec: &TemporalSpec) -> TemporalEvaluation {
     TemporalEvaluation {
         runs,
         disagreements: out,
+        modeled_instrs,
     }
 }
 
@@ -603,6 +624,8 @@ pub struct TemporalCampaignReport {
     pub findings: Vec<TemporalFinding>,
     /// Hit counts per policy×path×bug×flow cell (bug specs only).
     pub coverage: BTreeMap<String, u64>,
+    /// Modeled instructions executed by the worker-pool phase.
+    pub modeled_instrs: u64,
     /// Number of cells the generator can reach.
     pub total_cells: usize,
 }
@@ -677,11 +700,12 @@ pub fn run_temporal_campaign(config: &TemporalCampaignConfig) -> TemporalCampaig
     let workers = config.workers.max(1);
 
     let started = std::time::Instant::now();
-    let coverage = std::thread::scope(|s| {
+    let (coverage, modeled_instrs) = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
                     let mut local_cov: BTreeMap<String, u64> = BTreeMap::new();
+                    let mut local_instrs = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= config.iterations {
@@ -692,12 +716,17 @@ pub fn run_temporal_campaign(config: &TemporalCampaignConfig) -> TemporalCampaig
                             *local_cov.entry(c).or_default() += 1;
                         }
                         match catch_unwind(AssertUnwindSafe(|| evaluate_temporal(&spec))) {
-                            Ok(eval) if eval.disagreements.is_empty() => {}
-                            Ok(eval) => raw.lock().unwrap().push(TemporalFinding {
-                                iteration: i,
-                                spec,
-                                disagreements: eval.disagreements,
-                            }),
+                            Ok(eval) if eval.disagreements.is_empty() => {
+                                local_instrs += eval.modeled_instrs;
+                            }
+                            Ok(eval) => {
+                                local_instrs += eval.modeled_instrs;
+                                raw.lock().unwrap().push(TemporalFinding {
+                                    iteration: i,
+                                    spec,
+                                    disagreements: eval.disagreements,
+                                });
+                            }
                             Err(payload) => {
                                 let msg = payload
                                     .downcast_ref::<&str>()
@@ -715,17 +744,20 @@ pub fn run_temporal_campaign(config: &TemporalCampaignConfig) -> TemporalCampaig
                             }
                         }
                     }
-                    local_cov
+                    (local_cov, local_instrs)
                 })
             })
             .collect();
         let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        let mut instrs = 0u64;
         for h in handles {
-            for (k, v) in h.join().expect("worker thread died") {
+            let (cov, n) = h.join().expect("worker thread died");
+            for (k, v) in cov {
                 *merged.entry(k).or_default() += v;
             }
+            instrs += n;
         }
-        merged
+        (merged, instrs)
     });
     let elapsed = started.elapsed();
 
@@ -737,11 +769,34 @@ pub fn run_temporal_campaign(config: &TemporalCampaignConfig) -> TemporalCampaig
         elapsed,
         findings,
         coverage,
+        modeled_instrs,
         total_cells: reachable_temporal_cells().len(),
     }
 }
 
 impl TemporalCampaignReport {
+    /// Iterations per wall-clock second.
+    #[must_use]
+    pub fn iters_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.config.iterations as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Modeled instructions per wall-clock second.
+    #[must_use]
+    pub fn instrs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.modeled_instrs as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
     /// The summary table the CLI prints.
     #[must_use]
     pub fn render(&self) -> String {
@@ -751,8 +806,14 @@ impl TemporalCampaignReport {
         s.push_str(&format!("  iterations  {}\n", self.config.iterations));
         s.push_str(&format!("  workers     {}\n", self.config.workers.max(1)));
         s.push_str(&format!(
-            "  elapsed     {:.2}s\n",
-            self.elapsed.as_secs_f64()
+            "  elapsed     {:.2}s ({:.0} iters/sec)\n",
+            self.elapsed.as_secs_f64(),
+            self.iters_per_sec()
+        ));
+        s.push_str(&format!(
+            "  throughput  {} modeled instrs ({:.2}M instrs/sec)\n",
+            self.modeled_instrs,
+            self.instrs_per_sec() / 1e6
         ));
         s.push_str(&format!(
             "  coverage    {}/{} policy\u{d7}path\u{d7}bug\u{d7}flow cells\n",

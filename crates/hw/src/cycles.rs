@@ -38,6 +38,13 @@ pub struct CycleModel {
     /// much cheaper than the walker's general divide — but still what
     /// makes a cache-warm subheap promote slower than a local-offset one.
     pub slot_divide: u64,
+    /// The temporal liveness (lock-and-key) check performed alongside the
+    /// bounds check at each instrumented load/store when a temporal
+    /// policy is enforcing. Modeled as a single-cycle key compare against
+    /// the lock location riding in the pointer's metadata path; charged
+    /// only when a temporal policy is enforcing, so spatial-only
+    /// configurations remain bit-identical with or without the field.
+    pub temporal_check: u64,
 }
 
 impl Default for CycleModel {
@@ -52,6 +59,7 @@ impl Default for CycleModel {
             walk_step: 1,
             divide: 12,
             slot_divide: 3,
+            temporal_check: 1,
         }
     }
 }

@@ -115,12 +115,16 @@ impl fmt::Display for SuiteResult {
     }
 }
 
-/// Runs a whole suite under `mode`.
+/// Runs a whole suite under `mode` on up to `workers` threads.
+///
+/// Each case is an independent simulation; outcomes merge in case order,
+/// so the result is identical for any worker count.
 #[must_use]
-pub fn run_suite(cases: &[JulietCase], mode: Mode) -> SuiteResult {
+pub fn run_suite_with_workers(cases: &[JulietCase], mode: Mode, workers: usize) -> SuiteResult {
+    let outcomes = ifp_testutil::par_map(cases, workers, |case| run_case(case, mode));
     let mut out = SuiteResult::default();
-    for case in cases {
-        match (case.kind, run_case(case, mode)) {
+    for (case, outcome) in cases.iter().zip(outcomes) {
+        match (case.kind, outcome) {
             (CaseKind::Bad, CaseOutcome::Detected) => out.detected += 1,
             (CaseKind::Bad, CaseOutcome::Completed) => out.missed.push(case.id.clone()),
             (CaseKind::Good, CaseOutcome::Completed) => out.passed += 1,
@@ -132,6 +136,12 @@ pub fn run_suite(cases: &[JulietCase], mode: Mode) -> SuiteResult {
         }
     }
     out
+}
+
+/// [`run_suite_with_workers`] on a single thread.
+#[must_use]
+pub fn run_suite(cases: &[JulietCase], mode: Mode) -> SuiteResult {
+    run_suite_with_workers(cases, mode, 1)
 }
 
 #[cfg(test)]
@@ -153,6 +163,21 @@ mod tests {
                 r.errors
             );
             assert_eq!(r.detected, cases.len() / 2);
+        }
+    }
+
+    #[test]
+    fn parallel_suite_is_identical_to_single_thread() {
+        // The sweep determinism invariant: fan-out changes wall-clock
+        // only. SuiteResult derives Eq, so this compares every field,
+        // including the order of the id lists.
+        let cases = all_cases();
+        for mode in [Mode::Baseline, Mode::instrumented(AllocatorKind::Subheap)] {
+            let one = run_suite_with_workers(&cases, mode, 1);
+            for workers in [2, 5] {
+                let many = run_suite_with_workers(&cases, mode, workers);
+                assert_eq!(one, many, "{mode} diverged at {workers} workers");
+            }
         }
     }
 

@@ -257,9 +257,23 @@ pub fn run_temporal_suite(
     mode: Mode,
     policy: TemporalPolicy,
 ) -> SuiteResult {
+    run_temporal_suite_with_workers(cases, mode, policy, 1)
+}
+
+/// [`run_temporal_suite`] on up to `workers` threads; outcomes merge in
+/// case order, so the result is identical for any worker count.
+#[must_use]
+pub fn run_temporal_suite_with_workers(
+    cases: &[TemporalCase],
+    mode: Mode,
+    policy: TemporalPolicy,
+    workers: usize,
+) -> SuiteResult {
+    let outcomes =
+        ifp_testutil::par_map(cases, workers, |case| run_temporal_case(case, mode, policy));
     let mut out = SuiteResult::default();
-    for case in cases {
-        match (case.kind, run_temporal_case(case, mode, policy)) {
+    for (case, outcome) in cases.iter().zip(outcomes) {
+        match (case.kind, outcome) {
             (CaseKind::Bad, TemporalOutcome::Detected) => out.detected += 1,
             (CaseKind::Bad, TemporalOutcome::Completed) => out.missed.push(case.id.clone()),
             (CaseKind::Good, TemporalOutcome::Completed) => out.passed += 1,

@@ -69,12 +69,30 @@ impl CacheStats {
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Line {
-    valid: bool,
+    /// A line is valid iff its epoch equals the cache's current epoch.
+    /// Epoch-based validity makes both construction (from the pooled
+    /// buffer) and [`Cache::flush`] O(1) instead of O(lines).
+    epoch: u64,
     dirty: bool,
     tag: u64,
     /// Monotonic timestamp of the last touch, for LRU.
     last_use: u64,
 }
+
+thread_local! {
+    /// Recycled line buffers. Allocating and zero-filling the line array
+    /// dominates `Cache::new` (a 32 KiB model is 2048 lines), which in
+    /// turn dominates short simulated runs that construct a fresh VM per
+    /// case. Buffers are returned on drop together with their epoch
+    /// high-water mark; a reusing cache starts one epoch above it, so
+    /// every stale line is invalid without being cleared.
+    static LINE_POOL: std::cell::RefCell<Vec<(u64, Vec<Line>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Most distinct geometries a thread's pool holds buffers for (the cache
+/// sweep uses seven sizes; beyond that, buffers are simply freed).
+const LINE_POOL_CAP: usize = 8;
 
 /// A set-associative cache tracking line residency.
 ///
@@ -90,9 +108,30 @@ struct Line {
 #[derive(Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// `log2(line_size)`; the geometry is asserted to be a power of two.
+    line_shift: u32,
+    /// `log2(sets)`.
+    sets_shift: u32,
     lines: Vec<Line>,
+    epoch: u64,
     stats: CacheStats,
     clock: u64,
+}
+
+impl Drop for Cache {
+    fn drop(&mut self) {
+        let lines = std::mem::take(&mut self.lines);
+        if lines.is_empty() {
+            return;
+        }
+        let epoch = self.epoch;
+        let _ = LINE_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < LINE_POOL_CAP {
+                pool.push((epoch, lines));
+            }
+        });
+    }
 }
 
 impl fmt::Debug for Cache {
@@ -121,9 +160,26 @@ impl Cache {
             "set count must be a power of two"
         );
         assert!(config.ways > 0, "cache must have at least one way");
+        let n = config.sets * config.ways;
+        // Reuse a pooled buffer of the right size when one is available;
+        // starting above its epoch high-water mark invalidates every
+        // stale line without touching the array.
+        let (epoch, lines) = LINE_POOL
+            .try_with(|pool| {
+                let mut pool = pool.borrow_mut();
+                let i = pool.iter().position(|(_, buf)| buf.len() == n)?;
+                let (hwm, buf) = pool.swap_remove(i);
+                Some((hwm + 1, buf))
+            })
+            .ok()
+            .flatten()
+            .unwrap_or_else(|| (1, vec![Line::default(); n]));
         Cache {
             config,
-            lines: vec![Line::default(); config.sets * config.ways],
+            line_shift: config.line_size.trailing_zeros(),
+            sets_shift: config.sets.trailing_zeros(),
+            lines,
+            epoch,
             stats: CacheStats::default(),
             clock: 0,
         }
@@ -143,9 +199,8 @@ impl Cache {
 
     /// Invalidates all lines and (optionally kept) statistics.
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            *line = Line::default();
-        }
+        // Bumping the epoch orphans every line at once.
+        self.epoch += 1;
     }
 
     /// Resets the hit/miss counters without touching residency.
@@ -153,20 +208,17 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    fn set_index(&self, line_addr: u64) -> usize {
-        (line_addr as usize) & (self.config.sets - 1)
-    }
-
     /// Performs one line-granular access; returns `true` on hit.
     pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
         self.clock += 1;
-        let line_addr = addr / self.config.line_size;
-        let set = self.set_index(line_addr);
-        let tag = line_addr / self.config.sets as u64;
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr as usize) & (self.config.sets - 1);
+        let tag = line_addr >> self.sets_shift;
         let base = set * self.config.ways;
+        let epoch = self.epoch;
         let ways = &mut self.lines[base..base + self.config.ways];
 
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = ways.iter_mut().find(|l| l.epoch == epoch && l.tag == tag) {
             line.last_use = self.clock;
             line.dirty |= is_write;
             self.stats.hits += 1;
@@ -177,13 +229,13 @@ impl Cache {
         // Victim: an invalid way if any, else LRU.
         let victim = ways
             .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_use + 1 } else { 0 })
+            .min_by_key(|l| if l.epoch == epoch { l.last_use + 1 } else { 0 })
             .expect("ways > 0");
-        if victim.valid && victim.dirty {
+        if victim.epoch == epoch && victim.dirty {
             self.stats.writebacks += 1;
         }
         *victim = Line {
-            valid: true,
+            epoch,
             dirty: is_write,
             tag,
             last_use: self.clock,
@@ -197,11 +249,11 @@ impl Cache {
         if len == 0 {
             return true;
         }
-        let first = addr / self.config.line_size;
-        let last = (addr + len - 1) / self.config.line_size;
+        let first = addr >> self.line_shift;
+        let last = (addr + len - 1) >> self.line_shift;
         let mut all_hit = true;
         for line in first..=last {
-            all_hit &= self.access(line * self.config.line_size, is_write);
+            all_hit &= self.access(line << self.line_shift, is_write);
         }
         all_hit
     }

@@ -23,6 +23,7 @@ pub use cache::{Cache, CacheConfig, CacheStats};
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Byte size of a simulated page.
 pub const PAGE_SIZE: u64 = 4096;
@@ -68,6 +69,74 @@ pub struct MemStats {
     pub bytes_written: u64,
 }
 
+/// Fibonacci-multiply hasher for page numbers. Page keys are single
+/// `u64`s already close to uniform after multiplication by the golden
+/// ratio; the default SipHash costs more than the probe it guards on this
+/// hot path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by u64 keys, kept total for safety).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Hash-map state for [`PageHasher`]-keyed tables.
+pub type PageHasherState = BuildHasherDefault<PageHasher>;
+
+/// Entries in the direct-mapped page-translation cache fronting the page
+/// index. Must be a power of two.
+const TLB_SIZE: usize = 128;
+
+/// Slot index for `page` in the translation cache. Region bases sit at
+/// round addresses (globals, global table, heap, stack), so their page
+/// numbers are all ≡ 0 modulo any power of two — a plain `page & mask`
+/// would pile them into slot 0 and thrash. Fibonacci hashing spreads
+/// them for one multiply.
+#[inline]
+fn tlb_slot(page: u64) -> usize {
+    (page.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as usize & (TLB_SIZE - 1)
+}
+
+/// Frames the arena reserves capacity for up front, so early growth never
+/// realloc-copies (64 frames = 256 KiB; tiny runs stay well under it).
+const ARENA_RESERVE_FRAMES: usize = 64;
+
+/// Page-index capacity reserved at construction. Every run maps a few
+/// dozen pages (globals, global table, heap arena, stack) before touching
+/// any, so starting at the default capacity costs several rehash-and-grow
+/// cycles during setup.
+const INDEX_RESERVE_PAGES: usize = 64;
+
+/// Sentinel for an empty TLB slot — never a valid page number (pages fit
+/// in 36 bits).
+const TLB_INVALID: u64 = u64::MAX;
+
+/// Page-index value for a page that is mapped but has no backing frame
+/// yet. Frames are allocated (and zeroed) on first touch, so mapping a
+/// large region that is only sparsely accessed costs nothing per page;
+/// the mapped-page accounting is unaffected. Never a real frame index —
+/// the arena would have to reach 16 TiB first.
+const FRAME_LAZY: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct TlbEntry {
+    page: u64,
+    frame: u32,
+}
+
 /// A sparse 48-bit simulated memory.
 ///
 /// Pages must be explicitly mapped before access; touching an unmapped page
@@ -75,6 +144,16 @@ pub struct MemStats {
 /// fault (notably from metadata fetches inside `promote`). The peak number
 /// of mapped bytes stands in for the maximum resident set size that the
 /// paper reads from `time -v`.
+///
+/// Internally, page data lives in a contiguous frame arena indexed by a
+/// page table (`page -> frame`), fronted by a small direct-mapped
+/// translation cache: the common single-page access resolves with one
+/// compare-and-mask instead of a hash probe. Mapping records the page but
+/// defers frame allocation (and its zero-fill) to the first access, so
+/// sparsely used regions like the global metadata table cost nothing per
+/// untouched page. Frames of unmapped pages go on a free list and are
+/// zeroed on reuse, so the arena never shrinks but also never grows past
+/// the peak touched working set.
 ///
 /// # Examples
 ///
@@ -87,11 +166,46 @@ pub struct MemStats {
 /// assert_eq!(mem.read_u64(0x1000).unwrap(), 0xdead_beef);
 /// assert!(mem.read_u8(0x8000_0000).is_err());
 /// ```
-#[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// Page number -> frame index into `arena`.
+    index: HashMap<u64, u32, PageHasherState>,
+    /// Frame storage; frame `i` occupies `i * PAGE_SIZE ..`.
+    arena: Vec<u8>,
+    /// Frames released by `unmap`, zeroed again when remapped.
+    free_frames: Vec<u32>,
+    /// Direct-mapped translation cache over `index`.
+    tlb: [TlbEntry; TLB_SIZE],
     stats: MemStats,
     peak_mapped_pages: usize,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            index: HashMap::with_capacity_and_hasher(
+                INDEX_RESERVE_PAGES,
+                PageHasherState::default(),
+            ),
+            arena: Vec::new(),
+            free_frames: Vec::new(),
+            tlb: [TlbEntry {
+                page: TLB_INVALID,
+                frame: 0,
+            }; TLB_SIZE],
+            stats: MemStats::default(),
+            peak_mapped_pages: 0,
+        }
+    }
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("mapped_pages", &self.index.len())
+            .field("peak_mapped_pages", &self.peak_mapped_pages)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Memory {
@@ -105,8 +219,60 @@ impl Memory {
         addr / PAGE_SIZE
     }
 
+    /// Resolves `page` to its arena byte offset, first through the TLB,
+    /// then through the page index (filling the TLB slot on the way out).
+    /// A mapped-but-lazy page gets its frame allocated and zeroed here,
+    /// on first touch.
+    #[inline]
+    fn frame_offset(&mut self, page: u64) -> Option<usize> {
+        let slot = tlb_slot(page);
+        let e = self.tlb[slot];
+        if e.page == page {
+            return Some(e.frame as usize * PAGE_SIZE as usize);
+        }
+        self.frame_offset_slow(page, slot)
+    }
+
+    /// TLB-miss path of [`Memory::frame_offset`]: probe the page index,
+    /// allocate the backing frame if this is the page's first touch.
+    fn frame_offset_slow(&mut self, page: u64, slot: usize) -> Option<usize> {
+        let mut frame = *self.index.get(&page)?;
+        if frame == FRAME_LAZY {
+            frame = self.alloc_frame();
+            self.index.insert(page, frame);
+        }
+        self.tlb[slot] = TlbEntry { page, frame };
+        Some(frame as usize * PAGE_SIZE as usize)
+    }
+
+    /// Produces a zeroed frame: recycles one off the free list, or grows
+    /// the arena by a page.
+    fn alloc_frame(&mut self) -> u32 {
+        match self.free_frames.pop() {
+            Some(f) => {
+                // Recycled frame: scrub the stale contents so a fresh
+                // mapping always reads as zero.
+                let off = f as usize * PAGE_SIZE as usize;
+                self.arena[off..off + PAGE_SIZE as usize].fill(0);
+                f
+            }
+            None => {
+                let f = u32::try_from(self.arena.len() / PAGE_SIZE as usize)
+                    .expect("arena stays below 16 TiB");
+                if self.arena.capacity() == 0 {
+                    self.arena
+                        .reserve(ARENA_RESERVE_FRAMES * PAGE_SIZE as usize);
+                }
+                self.arena.resize(self.arena.len() + PAGE_SIZE as usize, 0);
+                f
+            }
+        }
+    }
+
     /// Maps (zero-filled) every page overlapping `[base, base + len)`.
-    /// Already-mapped pages are left untouched.
+    /// Already-mapped pages are left untouched. Backing storage is
+    /// allocated on first access, so mapping a large, sparsely used
+    /// region is cheap.
     pub fn map(&mut self, base: u64, len: u64) {
         if len == 0 {
             return;
@@ -114,14 +280,18 @@ impl Memory {
         let first = Self::page_of(base);
         let last = Self::page_of(base + len - 1);
         for page in first..=last {
-            self.pages
-                .entry(page)
-                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            self.index.entry(page).or_insert(FRAME_LAZY);
         }
-        self.peak_mapped_pages = self.peak_mapped_pages.max(self.pages.len());
+        self.peak_mapped_pages = self.peak_mapped_pages.max(self.index.len());
     }
 
-    /// Unmaps every page fully contained in `[base, base + len)`.
+    /// Unmaps every page *fully contained* in `[base, base + len)`.
+    ///
+    /// Pages only partially overlapped by the range — the edge pages when
+    /// `base` or `base + len` is not page-aligned — stay mapped, by
+    /// design: a page may back more than one allocation, so releasing a
+    /// sub-page range must not fault its neighbors. Callers that want the
+    /// edge pages gone must pass a page-aligned range covering them.
     pub fn unmap(&mut self, base: u64, len: u64) {
         if len == 0 {
             return;
@@ -130,7 +300,15 @@ impl Memory {
         let end = base + len;
         let last_exclusive = end / PAGE_SIZE;
         for page in first..last_exclusive {
-            self.pages.remove(&page);
+            if let Some(frame) = self.index.remove(&page) {
+                if frame != FRAME_LAZY {
+                    self.free_frames.push(frame);
+                    let slot = tlb_slot(page);
+                    if self.tlb[slot].page == page {
+                        self.tlb[slot].page = TLB_INVALID;
+                    }
+                }
+            }
         }
     }
 
@@ -142,13 +320,13 @@ impl Memory {
         }
         let first = Self::page_of(addr);
         let last = Self::page_of(addr + len - 1);
-        (first..=last).all(|p| self.pages.contains_key(&p))
+        (first..=last).all(|p| self.index.contains_key(&p))
     }
 
     /// Currently mapped bytes.
     #[must_use]
     pub fn mapped_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.index.len() as u64 * PAGE_SIZE
     }
 
     /// High-water mark of mapped bytes (the simulated max resident size).
@@ -180,21 +358,38 @@ impl Memory {
     /// Returns [`MemError::Unmapped`] at the first unmapped byte.
     pub fn read_bytes(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
         Self::check_range(addr, buf.len() as u64)?;
-        let mut off = 0usize;
-        while off < buf.len() {
-            let a = addr + off as u64;
-            let page = Self::page_of(a);
-            let in_page = (a % PAGE_SIZE) as usize;
-            let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
-            let data = self
-                .pages
-                .get(&page)
-                .ok_or(MemError::Unmapped { addr: a })?;
-            buf[off..off + chunk].copy_from_slice(&data[in_page..in_page + chunk]);
-            off += chunk;
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if buf.is_empty() {
+            // Zero-length access: counted, never faults.
+        } else if in_page + buf.len() <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page.
+            let off = self
+                .frame_offset(Self::page_of(addr))
+                .ok_or(MemError::Unmapped { addr })?
+                + in_page;
+            buf.copy_from_slice(&self.arena[off..off + buf.len()]);
+        } else {
+            self.read_multi(addr, buf)?;
         }
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Page-crossing read.
+    fn read_multi(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let in_page = (a % PAGE_SIZE) as usize;
+            let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+            let base = self
+                .frame_offset(Self::page_of(a))
+                .ok_or(MemError::Unmapped { addr: a })?
+                + in_page;
+            buf[off..off + chunk].copy_from_slice(&self.arena[base..base + chunk]);
+            off += chunk;
+        }
         Ok(())
     }
 
@@ -202,29 +397,52 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// Returns [`MemError::Unmapped`] at the first unmapped byte.
+    /// Returns [`MemError::Unmapped`] at the first unmapped byte; the
+    /// whole range is validated up front, so a partial write never occurs.
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
         Self::check_range(addr, buf.len() as u64)?;
-        // Validate the whole range first so a partial write never occurs.
-        if !self.is_mapped(addr, buf.len() as u64) {
-            let mut a = addr;
-            while self.pages.contains_key(&Self::page_of(a)) {
-                a = (Self::page_of(a) + 1) * PAGE_SIZE;
+        let in_page = (addr % PAGE_SIZE) as usize;
+        if buf.is_empty() {
+            // Zero-length access: counted, never faults.
+        } else if in_page + buf.len() <= PAGE_SIZE as usize {
+            // Fast path: the access stays within one page.
+            let off = self
+                .frame_offset(Self::page_of(addr))
+                .ok_or(MemError::Unmapped { addr })?
+                + in_page;
+            self.arena[off..off + buf.len()].copy_from_slice(buf);
+        } else {
+            self.validate_pages(addr, buf.len() as u64)?;
+            let mut off = 0usize;
+            while off < buf.len() {
+                let a = addr + off as u64;
+                let in_page = (a % PAGE_SIZE) as usize;
+                let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
+                let base = self
+                    .frame_offset(Self::page_of(a))
+                    .expect("validated above")
+                    + in_page;
+                self.arena[base..base + chunk].copy_from_slice(&buf[off..off + chunk]);
+                off += chunk;
             }
-            return Err(MemError::Unmapped { addr: a });
-        }
-        let mut off = 0usize;
-        while off < buf.len() {
-            let a = addr + off as u64;
-            let page = Self::page_of(a);
-            let in_page = (a % PAGE_SIZE) as usize;
-            let chunk = (PAGE_SIZE as usize - in_page).min(buf.len() - off);
-            let data = self.pages.get_mut(&page).expect("validated above");
-            data[in_page..in_page + chunk].copy_from_slice(&buf[off..off + chunk]);
-            off += chunk;
         }
         self.stats.writes += 1;
         self.stats.bytes_written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Checks that every page of `[addr, addr + len)` is mapped, reporting
+    /// the first unmapped address (the access start for the first page, a
+    /// page boundary after it). `len` must be non-zero.
+    fn validate_pages(&mut self, addr: u64, len: u64) -> Result<(), MemError> {
+        let first = Self::page_of(addr);
+        let last = Self::page_of(addr + len - 1);
+        for p in first..=last {
+            if self.frame_offset(p).is_none() {
+                let fault = if p == first { addr } else { p * PAGE_SIZE };
+                return Err(MemError::Unmapped { addr: fault });
+            }
+        }
         Ok(())
     }
 
@@ -308,14 +526,34 @@ impl Memory {
         self.write_bytes(addr, &v.to_le_bytes())
     }
 
-    /// Fills `[addr, addr + len)` with `byte`.
+    /// Fills `[addr, addr + len)` with `byte` without staging a buffer.
+    /// Counted as a single write of `len` bytes, like
+    /// [`Memory::write_bytes`] of an equal-sized buffer.
     ///
     /// # Errors
     ///
-    /// Returns [`MemError`] on unmapped access.
+    /// Returns [`MemError`] on unmapped access; the whole range is
+    /// validated up front, so a partial fill never occurs.
     pub fn fill(&mut self, addr: u64, len: u64, byte: u8) -> Result<(), MemError> {
-        let buf = vec![byte; len as usize];
-        self.write_bytes(addr, &buf)
+        Self::check_range(addr, len)?;
+        if len > 0 {
+            self.validate_pages(addr, len)?;
+            let mut off = 0u64;
+            while off < len {
+                let a = addr + off;
+                let in_page = (a % PAGE_SIZE) as usize;
+                let chunk = (PAGE_SIZE - in_page as u64).min(len - off);
+                let base = self
+                    .frame_offset(Self::page_of(a))
+                    .expect("validated above")
+                    + in_page;
+                self.arena[base..base + chunk as usize].fill(byte);
+                off += chunk;
+            }
+        }
+        self.stats.writes += 1;
+        self.stats.bytes_written += len;
+        Ok(())
     }
 }
 
@@ -477,6 +715,95 @@ mod tests {
         mem.unmap(0x1800, PAGE_SIZE + 0x800);
         assert!(mem.is_mapped(0x1000, 1));
         assert!(!mem.is_mapped(0x2000, 1));
+    }
+
+    #[test]
+    fn unmap_edge_page_contract_survives_data() {
+        // The documented contract: pages only partially overlapped by the
+        // unmap range stay mapped *and keep their contents* — a page can
+        // back more than one allocation, so releasing a sub-page range
+        // must not disturb its neighbors.
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE * 3); // pages 1, 2, 3
+        mem.write_u64(0x1008, 0xaaaa).unwrap();
+        mem.write_u64(0x3ff0, 0xbbbb).unwrap();
+        mem.unmap(0x1800, PAGE_SIZE * 2); // fully covers only page 2
+        assert!(mem.is_mapped(0x1000, PAGE_SIZE));
+        assert!(!mem.is_mapped(0x2000, 1));
+        assert!(mem.is_mapped(0x3000, PAGE_SIZE));
+        assert_eq!(mem.read_u64(0x1008).unwrap(), 0xaaaa);
+        assert_eq!(mem.read_u64(0x3ff0).unwrap(), 0xbbbb);
+        // A whole-page-aligned unmap does remove the edge pages.
+        mem.unmap(0x1000, PAGE_SIZE);
+        assert!(!mem.is_mapped(0x1000, 1));
+    }
+
+    #[test]
+    fn remapped_page_reads_zero_after_reuse() {
+        // Frames recycle through the free list; a recycled frame must not
+        // leak the previous mapping's bytes.
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE);
+        mem.fill(0x1000, PAGE_SIZE, 0xab).unwrap();
+        mem.unmap(0x1000, PAGE_SIZE);
+        mem.map(0x9000, PAGE_SIZE); // reuses the freed frame
+        assert_eq!(mem.read_u64(0x9000).unwrap(), 0);
+        assert_eq!(mem.read_u8(0x9000 + PAGE_SIZE - 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn tlb_invalidation_on_unmap() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE);
+        mem.write_u64(0x1000, 7).unwrap(); // TLB slot now caches page 1
+        mem.unmap(0x1000, PAGE_SIZE);
+        assert_eq!(
+            mem.read_u64(0x1000),
+            Err(MemError::Unmapped { addr: 0x1000 })
+        );
+        // An aliasing page landing in the same TLB slot as page 1.
+        let alias_page = (2..).find(|&p| tlb_slot(p) == tlb_slot(1)).unwrap();
+        let alias = alias_page * PAGE_SIZE;
+        mem.map(alias, PAGE_SIZE);
+        mem.write_u64(alias, 9).unwrap();
+        assert_eq!(mem.read_u64(alias).unwrap(), 9);
+        assert!(mem.read_u64(0x1000).is_err(), "alias must not shadow");
+    }
+
+    #[test]
+    fn fill_matches_write_bytes_semantics() {
+        let mut mem = Memory::new();
+        mem.map(0x1000, PAGE_SIZE * 2);
+        mem.fill(0x1ff0, 0x20, 0x5a).unwrap(); // crosses a page boundary
+        assert_eq!(mem.read_u8(0x1ff0).unwrap(), 0x5a);
+        assert_eq!(mem.read_u8(0x200f).unwrap(), 0x5a);
+        assert_eq!(mem.read_u8(0x2010).unwrap(), 0);
+        let s = mem.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_written, 0x20);
+        // Unmapped tail: no partial fill, same fault address rule as
+        // write_bytes (first page boundary past the mapped prefix).
+        let err = mem.fill(0x2ff0, 0x20, 0x77);
+        assert_eq!(err, Err(MemError::Unmapped { addr: 0x3000 }));
+        assert_eq!(mem.read_u8(0x2ff0).unwrap(), 0, "no partial fill");
+    }
+
+    #[test]
+    fn lazy_pages_read_zero_and_count_as_mapped() {
+        let mut mem = Memory::new();
+        mem.map(0x10_0000, PAGE_SIZE * 256); // large region, touch one page
+        assert_eq!(mem.mapped_bytes(), PAGE_SIZE * 256);
+        assert_eq!(mem.peak_mapped_bytes(), PAGE_SIZE * 256);
+        assert!(mem.is_mapped(0x10_0000, PAGE_SIZE * 256));
+        mem.write_u64(0x10_8000, 5).unwrap();
+        assert_eq!(mem.read_u64(0x10_8000).unwrap(), 5);
+        // An untouched lazy page reads zero; unmapping the region and
+        // remapping elsewhere still reads zero.
+        assert_eq!(mem.read_u64(0x10_0000 + 255 * PAGE_SIZE).unwrap(), 0);
+        mem.unmap(0x10_0000, PAGE_SIZE * 256);
+        assert!(!mem.is_mapped(0x10_8000, 1));
+        mem.map(0x50_0000, PAGE_SIZE);
+        assert_eq!(mem.read_u64(0x50_0000).unwrap(), 0);
     }
 
     #[test]

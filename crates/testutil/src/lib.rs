@@ -189,6 +189,62 @@ pub fn bench_ns<R>(name: &str, budget_ms: u64, mut f: impl FnMut() -> R) -> f64 
     ns
 }
 
+/// The default worker count for parallel sweeps: the host's available
+/// parallelism, or 1 when it cannot be determined.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `workers` threads, returning results
+/// **in input order** regardless of how the work was scheduled.
+///
+/// Work is distributed by an atomic ticket counter and each result lands
+/// in the slot of its input index, so the output is byte-for-byte the
+/// same for any worker count — the invariant the sweep runners build on
+/// (a 1-worker run is the reference ordering). `workers` is clamped to
+/// `[1, items.len()]`; with one worker the items run inline on the
+/// calling thread with no synchronization.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins. Callers that need
+/// per-item failure capture should catch inside `f` and return a
+/// `Result`.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().expect("par_map slots")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("par_map slots")
+        .into_iter()
+        .map(|slot| slot.expect("every ticket processed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +328,22 @@ mod tests {
         let mut second = Vec::new();
         run_cases(9, 8, |rng| second.push(rng.u64()));
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_for_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 3, 8, 200] {
+            let parallel = par_map(&items, workers, |&x| x * x + 1);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_zero_workers() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32, 9], 0, |&x| x + 1), vec![8, 10]);
     }
 }

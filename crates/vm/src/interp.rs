@@ -31,7 +31,7 @@ const BUDDY_BASE: u64 = 0x5000_0000;
 /// Buddy arena order (256 MiB).
 const BUDDY_ORDER: u8 = 28;
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct Frame {
     func: usize,
     regs: Vec<u64>,
@@ -39,12 +39,110 @@ struct Frame {
     /// Temporal keys riding alongside pointer registers (the lock-and-
     /// key "key"). Lost on memory round-trips, refreshed by `promote`.
     stamps: Vec<Option<u64>>,
-    block: usize,
-    op: usize,
+    /// Index into the function's pre-decoded [`Code`] stream.
+    pc: usize,
     /// Caller register receiving the return value.
     ret_dst: Option<Reg>,
     /// Global-table rows owned by oversized locals of this frame.
     global_rows: Vec<u16>,
+}
+
+/// One slot of a function's pre-decoded instruction stream.
+///
+/// `Vm::new` flattens every function into one of these per op or
+/// terminator, resolving up front everything `step` would otherwise
+/// re-derive on each execution: the instrumentation action for the op,
+/// the callee index and its bounds-saving flag for calls, and branch
+/// targets as direct indices into the flat stream. The interpreter then
+/// runs on a single `pc` instead of re-indexing
+/// `funcs[fi].blocks[bi].ops[oi]` three levels deep per step.
+#[derive(Clone, Copy, Debug)]
+enum Code<'p> {
+    /// A block-body operation.
+    Op {
+        op: &'p Op,
+        /// The instrumentation plan's action for this op
+        /// ([`OpAction::None`] in uninstrumented modes).
+        action: OpAction,
+        /// Pre-resolved callee function index for `Op::Call`
+        /// (`u32::MAX` for every other op).
+        callee: u32,
+        /// Whether the callee saves/restores a bounds register pair.
+        saves_bounds: bool,
+    },
+    /// An unconditional jump to a flat-stream index.
+    Jmp { cost: u64, target: u32 },
+    /// A conditional branch; both targets are flat-stream indices.
+    Br {
+        cost: u64,
+        cond: Operand,
+        then_pc: u32,
+        else_pc: u32,
+    },
+    /// A function return.
+    Ret { cost: u64, val: Option<Operand> },
+}
+
+/// A function's flattened instruction stream.
+#[derive(Debug)]
+struct FuncCode<'p> {
+    code: Vec<Code<'p>>,
+}
+
+/// Flattens every function into its [`Code`] stream. `plan` must be the
+/// instrumentation plan exactly when the mode is instrumented, so decoded
+/// actions match what `InstrPlan` lookup would have produced per step.
+fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode<'p>> {
+    let mut decoded = Vec::with_capacity(program.funcs.len());
+    let mut starts: Vec<u32> = Vec::new();
+    for (fi, f) in program.funcs.iter().enumerate() {
+        starts.clear();
+        let mut n = 0u32;
+        for b in &f.blocks {
+            starts.push(n);
+            n += b.ops.len() as u32 + 1; // ops plus the terminator slot
+        }
+        let mut code = Vec::with_capacity(n as usize);
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (oi, op) in b.ops.iter().enumerate() {
+                let action = plan.map_or(OpAction::None, |p| p.funcs[fi].actions[bi][oi]);
+                let (callee, saves_bounds) = match op {
+                    Op::Call { func, .. } => {
+                        let c = program.func_id(func).expect("validated call target");
+                        let saves = plan.is_some_and(|p| p.funcs[c].saves_bounds);
+                        (u32::try_from(c).expect("function count fits u32"), saves)
+                    }
+                    _ => (u32::MAX, false),
+                };
+                code.push(Code::Op {
+                    op,
+                    action,
+                    callee,
+                    saves_bounds,
+                });
+            }
+            let cost = ir_costs::term_cost(&b.term);
+            code.push(match &b.term {
+                Terminator::Jmp(t) => Code::Jmp {
+                    cost,
+                    target: starts[*t],
+                },
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => Code::Br {
+                    cost,
+                    cond: *cond,
+                    then_pc: starts[*then_bb],
+                    else_pc: starts[*else_bb],
+                },
+                Terminator::Ret(v) => Code::Ret { cost, val: *v },
+            });
+        }
+        decoded.push(FuncCode { code });
+    }
+    decoded
 }
 
 enum Flow {
@@ -65,8 +163,13 @@ pub enum StepOutcome {
 /// is exposed for harnesses that want to inspect state between steps.
 pub struct Vm<'p> {
     program: &'p Program,
-    plan: Option<InstrPlan>,
+    /// Pre-decoded instruction streams, one per function.
+    decoded: Vec<FuncCode<'p>>,
     config: VmConfig,
+    /// Cached `config.mode.is_instrumented()`.
+    is_instr: bool,
+    /// Cached no-promote ablation flag.
+    is_no_promote: bool,
     mem: MemSystem,
     unit: IfpUnit,
     lsu: LoadStoreUnit,
@@ -81,6 +184,9 @@ pub struct Vm<'p> {
     stats: RunStats,
     output: Vec<i64>,
     frames: Vec<Frame>,
+    /// Retired frames recycled by the next call, so deep call chains
+    /// don't pay a register-file allocation per call.
+    frame_pool: Vec<Frame>,
     tracer: Tracer,
 }
 
@@ -131,8 +237,16 @@ impl<'p> Vm<'p> {
 
         Ok(Vm {
             program,
-            plan,
+            decoded: predecode(program, plan.as_ref()),
             config: *config,
+            is_instr: config.mode.is_instrumented(),
+            is_no_promote: matches!(
+                config.mode,
+                Mode::Instrumented {
+                    no_promote: true,
+                    ..
+                }
+            ),
             mem,
             unit: IfpUnit::new(config.cycle_model),
             lsu: LoadStoreUnit::new(config.cycle_model),
@@ -147,29 +261,17 @@ impl<'p> Vm<'p> {
             stats,
             output: Vec::new(),
             frames: Vec::new(),
+            frame_pool: Vec::new(),
             tracer: Tracer::new(config.trace),
         })
     }
 
     fn instrumented(&self) -> bool {
-        self.config.mode.is_instrumented()
+        self.is_instr
     }
 
     fn no_promote(&self) -> bool {
-        matches!(
-            self.config.mode,
-            Mode::Instrumented {
-                no_promote: true,
-                ..
-            }
-        )
-    }
-
-    fn action(&self, fi: usize, bi: usize, oi: usize) -> OpAction {
-        match &self.plan {
-            Some(plan) => plan.funcs[fi].actions[bi][oi],
-            None => OpAction::None,
-        }
+        self.is_no_promote
     }
 
     fn charge_base(&mut self, n: u64) {
@@ -288,12 +390,24 @@ impl<'p> Vm<'p> {
     ///
     /// See [`VmError`].
     pub fn run(mut self) -> Result<RunResult, VmError> {
+        self.enter_main()?;
         loop {
-            match self.step()? {
+            match self.step_inner()? {
                 StepOutcome::Running => {}
                 StepOutcome::Finished(code) => return Ok(self.into_result(code)),
             }
         }
+    }
+
+    /// Pushes the initial `main` frame.
+    fn enter_main(&mut self) -> Result<(), VmError> {
+        let main = self
+            .program
+            .func_id("main")
+            .ok_or_else(|| VmError::BadProgram("no main".into()))?;
+        let fr = self.take_pooled_frame(self.program.funcs[main].num_regs as usize);
+        self.activate_frame(fr, main, None);
+        Ok(())
     }
 
     /// Executes one operation (or terminator). The first call enters
@@ -306,24 +420,49 @@ impl<'p> Vm<'p> {
     /// See [`VmError`]; a trap ends the run.
     pub fn step(&mut self) -> Result<StepOutcome, VmError> {
         if self.frames.is_empty() {
-            let main = self
-                .program
-                .func_id("main")
-                .ok_or_else(|| VmError::BadProgram("no main".into()))?;
-            self.push_frame(main, &[], &[], &[], None);
+            self.enter_main()?;
         }
+        self.step_inner()
+    }
+
+    /// The dispatch loop body: one pre-decoded [`Code`] slot. A frame is
+    /// guaranteed to be active.
+    fn step_inner(&mut self) -> Result<StepOutcome, VmError> {
         if self.stats.total_instrs() > self.config.fuel {
             return Err(VmError::OutOfFuel);
         }
-        let program: &'p Program = self.program;
         let frame = self.frames.last().expect("frame");
-        let (fi, bi, oi) = (frame.func, frame.block, frame.op);
-        let block = &program.funcs[fi].blocks[bi];
-        let flow = if oi < block.ops.len() {
-            self.frame().op += 1;
-            self.exec_op(fi, bi, oi, &block.ops[oi])?
-        } else {
-            self.exec_term(&block.term)?
+        let code = self.decoded[frame.func].code[frame.pc];
+        let flow = match code {
+            Code::Op {
+                op,
+                action,
+                callee,
+                saves_bounds,
+            } => {
+                self.frame().pc += 1;
+                self.exec_op(op, action, callee, saves_bounds)?
+            }
+            Code::Jmp { cost, target } => {
+                self.charge_base(cost);
+                self.frame().pc = target as usize;
+                Flow::Continue
+            }
+            Code::Br {
+                cost,
+                cond,
+                then_pc,
+                else_pc,
+            } => {
+                self.charge_base(cost);
+                let c = self.eval(cond);
+                self.frame().pc = if c != 0 { then_pc } else { else_pc } as usize;
+                Flow::Continue
+            }
+            Code::Ret { cost, val } => {
+                self.charge_base(cost);
+                self.exec_ret(val)?
+            }
         };
         Ok(match flow {
             Flow::Continue => StepOutcome::Running,
@@ -369,102 +508,81 @@ impl<'p> Vm<'p> {
         }
     }
 
-    fn push_frame(
-        &mut self,
-        func: usize,
-        args: &[u64],
-        arg_bounds: &[Option<Bounds>],
-        arg_stamps: &[Option<u64>],
-        ret_dst: Option<Reg>,
-    ) {
-        let f = &self.program.funcs[func];
-        let mut regs = vec![0u64; f.num_regs as usize];
-        let mut bounds = vec![None; f.num_regs as usize];
-        let mut stamps = vec![None; f.num_regs as usize];
-        regs[..args.len()].copy_from_slice(args);
-        if f.instrumented && self.instrumented() {
-            bounds[..arg_bounds.len()].copy_from_slice(arg_bounds);
-        }
-        stamps[..arg_stamps.len()].copy_from_slice(arg_stamps);
+    /// Pops a recycled frame (or makes a fresh one) with `num_regs`
+    /// zeroed registers, bounds, and stamps.
+    fn take_pooled_frame(&mut self, num_regs: usize) -> Frame {
+        let mut fr = self.frame_pool.pop().unwrap_or_default();
+        fr.regs.clear();
+        fr.regs.resize(num_regs, 0);
+        fr.bounds.clear();
+        fr.bounds.resize(num_regs, None);
+        fr.stamps.clear();
+        fr.stamps.resize(num_regs, None);
+        fr.global_rows.clear();
+        fr
+    }
+
+    /// Pushes `fr` as the active frame for `func`, opening the simulated
+    /// stack frame and pointing the tracer at the new function.
+    fn activate_frame(&mut self, mut fr: Frame, func: usize, ret_dst: Option<Reg>) {
+        fr.func = func;
+        fr.pc = 0;
+        fr.ret_dst = ret_dst;
         self.stack.push_frame();
         self.tracer.set_func(u32::try_from(func).unwrap_or(NO_FUNC));
-        self.frames.push(Frame {
-            func,
-            regs,
-            bounds,
-            stamps,
-            block: 0,
-            op: 0,
-            ret_dst,
-            global_rows: Vec::new(),
-        });
+        self.frames.push(fr);
     }
 
-    fn exec_term(&mut self, term: &Terminator) -> Result<Flow, VmError> {
-        self.charge_base(ir_costs::term_cost(term));
-        match term {
-            Terminator::Jmp(b) => {
-                let f = self.frame();
-                f.block = *b;
-                f.op = 0;
-                Ok(Flow::Continue)
-            }
-            Terminator::Br {
-                cond,
-                then_bb,
-                else_bb,
-            } => {
-                let c = self.eval(*cond);
-                let f = self.frame();
-                f.block = if c != 0 { *then_bb } else { *else_bb };
-                f.op = 0;
-                Ok(Flow::Continue)
-            }
-            Terminator::Ret(v) => {
-                let value = v.map(|o| self.eval(o));
-                let vbounds = v.and_then(|o| self.bounds_of(o));
-                let vstamp = v.and_then(|o| self.stamp_of(o));
+    fn exec_ret(&mut self, v: Option<Operand>) -> Result<Flow, VmError> {
+        let value = v.map(|o| self.eval(o));
+        let vbounds = v.and_then(|o| self.bounds_of(o));
+        let vstamp = v.and_then(|o| self.stamp_of(o));
 
-                // Frame teardown: clear tracked stack-object metadata and
-                // release global-table rows for oversized locals.
-                let (tracked, cost) = self.stack.pop_frame();
-                self.charge_alloc(cost);
-                if self.instrumented() {
-                    for obj in &tracked {
-                        self.mem
-                            .write(obj.meta_addr, &[0u8; 16])
-                            .map_err(|e| self.trap(Trap::from(e)))?;
-                    }
-                }
-                let rows = std::mem::take(&mut self.frame().global_rows);
-                for row in rows {
-                    let c = self
-                        .gt
-                        .deregister(&mut self.mem, row)
-                        .map_err(VmError::Alloc)?;
-                    self.charge_alloc(c);
-                }
-
-                let frame = self.frames.pop().expect("frame");
-                self.tracer.set_func(
-                    self.frames
-                        .last()
-                        .map_or(NO_FUNC, |f| u32::try_from(f.func).unwrap_or(NO_FUNC)),
-                );
-                if self.frames.is_empty() {
-                    return Ok(Flow::Finished(value.unwrap_or(0) as i64));
-                }
-                if let Some(dst) = frame.ret_dst {
-                    let callee_instrumented = self.program.funcs[frame.func].instrumented;
-                    let b = if callee_instrumented { vbounds } else { None };
-                    self.set_reg(dst, value.unwrap_or(0), b, vstamp);
-                }
-                Ok(Flow::Continue)
+        // Frame teardown: clear tracked stack-object metadata and
+        // release global-table rows for oversized locals.
+        let (tracked, cost) = self.stack.pop_frame();
+        self.charge_alloc(cost);
+        if self.instrumented() {
+            for obj in &tracked {
+                self.mem
+                    .write(obj.meta_addr, &[0u8; 16])
+                    .map_err(|e| self.trap(Trap::from(e)))?;
             }
         }
+        let rows = std::mem::take(&mut self.frame().global_rows);
+        for row in rows {
+            let c = self
+                .gt
+                .deregister(&mut self.mem, row)
+                .map_err(VmError::Alloc)?;
+            self.charge_alloc(c);
+        }
+
+        let frame = self.frames.pop().expect("frame");
+        self.tracer.set_func(
+            self.frames
+                .last()
+                .map_or(NO_FUNC, |f| u32::try_from(f.func).unwrap_or(NO_FUNC)),
+        );
+        if self.frames.is_empty() {
+            return Ok(Flow::Finished(value.unwrap_or(0) as i64));
+        }
+        if let Some(dst) = frame.ret_dst {
+            let callee_instrumented = self.program.funcs[frame.func].instrumented;
+            let b = if callee_instrumented { vbounds } else { None };
+            self.set_reg(dst, value.unwrap_or(0), b, vstamp);
+        }
+        self.frame_pool.push(frame);
+        Ok(Flow::Continue)
     }
 
-    fn exec_op(&mut self, fi: usize, bi: usize, oi: usize, op: &'p Op) -> Result<Flow, VmError> {
+    fn exec_op(
+        &mut self,
+        op: &'p Op,
+        action: OpAction,
+        callee: u32,
+        saves_bounds: bool,
+    ) -> Result<Flow, VmError> {
         match op {
             Op::Bin { dst, op, a, b } => {
                 self.charge_base(1);
@@ -481,10 +599,10 @@ impl<'p> Vm<'p> {
                 self.set_reg(*dst, v, b, s);
             }
             Op::Alloca { dst, ty, count } => {
-                self.exec_alloca(fi, bi, oi, *dst, *ty, *count)?;
+                self.exec_alloca(action, *dst, *ty, *count)?;
             }
             Op::Malloc { dst, ty, count, .. } => {
-                self.exec_malloc(fi, bi, oi, *dst, *ty, *count)?;
+                self.exec_malloc(action, *dst, *ty, *count)?;
             }
             Op::Free { ptr } => {
                 self.charge_base(ir_costs::op_cost(op));
@@ -545,7 +663,7 @@ impl<'p> Vm<'p> {
                 base_ty,
                 steps,
             } => {
-                self.exec_gep(fi, bi, oi, *dst, *base, *base_ty, steps)?;
+                self.exec_gep(action, *dst, *base, *base_ty, steps)?;
             }
             Op::Load { dst, ptr, ty } => {
                 self.charge_base(1);
@@ -561,6 +679,10 @@ impl<'p> Vm<'p> {
                 // revoked memory traps with the temporal cause rather
                 // than whatever fault the dead page would raise.
                 if self.temporal.enabled() {
+                    // The lock/key comparison is modeled as a dedicated
+                    // pipeline stage alongside the bounds check; it costs
+                    // cycles whether or not it fires.
+                    self.stats.cycles += self.config.cycle_model.temporal_check;
                     let stamp = self.stamp_of(*ptr);
                     if let Some(v) = self.temporal.check(p.addr(), stamp) {
                         return Err(self.temporal_trap(v));
@@ -582,9 +704,7 @@ impl<'p> Vm<'p> {
                 let mut bounds = None;
                 let mut stamp = None;
                 let mut value = value;
-                if self.instrumented()
-                    && matches!(self.action(fi, bi, oi), OpAction::PromoteAfterLoad)
-                {
+                if self.instrumented() && matches!(action, OpAction::PromoteAfterLoad) {
                     let (v, b, s) = self.exec_promote(value)?;
                     value = v;
                     bounds = b;
@@ -602,14 +722,14 @@ impl<'p> Vm<'p> {
                     None
                 };
                 if self.temporal.enabled() {
+                    self.stats.cycles += self.config.cycle_model.temporal_check;
                     let stamp = self.stamp_of(*ptr);
                     if let Some(v) = self.temporal.check(p.addr(), stamp) {
                         return Err(self.temporal_trap(v));
                     }
                 }
                 let mut v = self.eval(*val);
-                if self.instrumented() && matches!(self.action(fi, bi, oi), OpAction::DemoteOnStore)
-                {
+                if self.instrumented() && matches!(action, OpAction::DemoteOnStore) {
                     // ifpextract: refresh the stored pointer's poison bits
                     // from its live bounds before it leaves the registers.
                     self.charge_ifp_arith(1);
@@ -633,10 +753,7 @@ impl<'p> Vm<'p> {
             }
             Op::AddrOfGlobal { dst, global } => {
                 let registered = self.instrumented()
-                    && matches!(
-                        self.action(fi, bi, oi),
-                        OpAction::GlobalAddr { registered: true }
-                    );
+                    && matches!(action, OpAction::GlobalAddr { registered: true });
                 if registered {
                     // The "getptr" path: a short call returning the cached
                     // tagged pointer.
@@ -654,23 +771,28 @@ impl<'p> Vm<'p> {
                     self.set_reg(*dst, addr, None, None);
                 }
             }
-            Op::Call { dst, func, args } => {
+            Op::Call { dst, args, .. } => {
                 self.charge_base(ir_costs::op_cost(op));
                 self.stats.calls += 1;
-                let callee = self.program.func_id(func).expect("validated call target");
-                if self.instrumented() {
-                    if let Some(plan) = &self.plan {
-                        if plan.funcs[callee].saves_bounds {
-                            // Callee saves/restores one clobbered bounds
-                            // register pair (the calling-convention model).
-                            self.charge_bounds_ls(2);
-                        }
-                    }
+                let callee = callee as usize;
+                if self.instrumented() && saves_bounds {
+                    // Callee saves/restores one clobbered bounds
+                    // register pair (the calling-convention model).
+                    self.charge_bounds_ls(2);
                 }
-                let vals: Vec<u64> = args.iter().map(|a| self.eval(*a)).collect();
-                let bnds: Vec<Option<Bounds>> = args.iter().map(|a| self.bounds_of(*a)).collect();
-                let stmps: Vec<Option<u64>> = args.iter().map(|a| self.stamp_of(*a)).collect();
-                self.push_frame(callee, &vals, &bnds, &stmps, *dst);
+                let f = &self.program.funcs[callee];
+                let copy_bounds = f.instrumented && self.instrumented();
+                let mut fr = self.take_pooled_frame(f.num_regs as usize);
+                // Marshal arguments straight from the caller's registers
+                // into the recycled frame — no staging vectors.
+                for (i, a) in args.iter().enumerate() {
+                    fr.regs[i] = self.eval(*a);
+                    if copy_bounds {
+                        fr.bounds[i] = self.bounds_of(*a);
+                    }
+                    fr.stamps[i] = self.stamp_of(*a);
+                }
+                self.activate_frame(fr, callee, *dst);
             }
             Op::CallExt { dst, ext, args } => {
                 self.exec_ext(*dst, *ext, args)?;
@@ -685,9 +807,7 @@ impl<'p> Vm<'p> {
 
     fn exec_alloca(
         &mut self,
-        fi: usize,
-        bi: usize,
-        oi: usize,
+        action: OpAction,
         dst: Reg,
         ty: ifp_compiler::TypeId,
         count: u32,
@@ -695,7 +815,6 @@ impl<'p> Vm<'p> {
         self.charge_base(1);
         let size = u64::from(self.program.types.size_of(ty)) * u64::from(count);
         let align = u64::from(self.program.types.align_of(ty));
-        let action = self.action(fi, bi, oi);
         let tracked_layout = match action {
             OpAction::StackObject(AllocKind::Tracked { layout }) if self.instrumented() => {
                 Some(layout)
@@ -766,9 +885,7 @@ impl<'p> Vm<'p> {
 
     fn exec_malloc(
         &mut self,
-        fi: usize,
-        bi: usize,
-        oi: usize,
+        action: OpAction,
         dst: Reg,
         ty: ifp_compiler::TypeId,
         count: Operand,
@@ -798,7 +915,7 @@ impl<'p> Vm<'p> {
             return Ok(());
         }
 
-        let layout = match self.action(fi, bi, oi) {
+        let layout = match action {
             OpAction::HeapObject { layout } => layout,
             _ => None,
         };
@@ -919,12 +1036,9 @@ impl<'p> Vm<'p> {
         }
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn exec_gep(
         &mut self,
-        fi: usize,
-        bi: usize,
-        oi: usize,
+        action: OpAction,
         dst: Reg,
         base: Operand,
         base_ty: ifp_compiler::TypeId,
@@ -982,7 +1096,7 @@ impl<'p> Vm<'p> {
         self.charge_base(base_cost);
         self.charge_ifp_arith(1);
 
-        let (new_index, enters) = match self.action(fi, bi, oi) {
+        let (new_index, enters) = match action {
             OpAction::GepUpdate {
                 new_index,
                 enters_subobject,

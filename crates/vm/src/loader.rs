@@ -24,6 +24,27 @@ pub const SUBHEAP_LT_CAP: usize = 256;
 /// object.
 pub const CTYPE_TABLE_ADDR: u64 = GLOBALS_BASE + GLOBALS_SIZE - 4096;
 
+/// The ctype table image, computed at compile time (the loader emits it
+/// on every `Vm::new`). Bit 0 = alpha, bit 1 = digit, bit 2 = space.
+const CTYPE_TABLE: [u8; 256] = {
+    let mut t = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let c = i as u8;
+        if c.is_ascii_alphabetic() {
+            t[i] |= 1;
+        }
+        if c.is_ascii_digit() {
+            t[i] |= 2;
+        }
+        if c.is_ascii_whitespace() {
+            t[i] |= 4;
+        }
+        i += 1;
+    }
+    t
+};
+
 /// Everything the loader placed in memory.
 #[derive(Debug, Default)]
 pub struct LoadedImage {
@@ -72,24 +93,10 @@ pub fn load(
     let mut image = LoadedImage::default();
     let mut cursor = GLOBALS_BASE;
 
-    // Legacy static data: the ctype table. Bit 0 = alpha, bit 1 = digit,
-    // bit 2 = space.
+    // Legacy static data: the ctype table.
     mem.mem.map(CTYPE_TABLE_ADDR, 4096);
-    let mut ctype = [0u8; 256];
-    for (i, slot) in ctype.iter_mut().enumerate() {
-        let c = i as u8;
-        if c.is_ascii_alphabetic() {
-            *slot |= 1;
-        }
-        if c.is_ascii_digit() {
-            *slot |= 2;
-        }
-        if c.is_ascii_whitespace() {
-            *slot |= 4;
-        }
-    }
     mem.mem
-        .write_bytes(CTYPE_TABLE_ADDR, &ctype)
+        .write_bytes(CTYPE_TABLE_ADDR, &CTYPE_TABLE)
         .expect("ctype page mapped");
 
     // Layout tables first (globals may reference them).

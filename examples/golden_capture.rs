@@ -1,0 +1,84 @@
+//! One-off capture helper: prints the modeled statistics the golden
+//! snapshot tests pin. Run before and after a simulator rewrite; the
+//! output must be byte-identical.
+
+use ifp_juliet::all_cases;
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+
+fn modes() -> [(&'static str, Mode); 5] {
+    [
+        ("baseline", Mode::Baseline),
+        ("wrapped", Mode::instrumented(AllocatorKind::Wrapped)),
+        ("subheap", Mode::instrumented(AllocatorKind::Subheap)),
+        (
+            "wrapped-np",
+            Mode::Instrumented {
+                allocator: AllocatorKind::Wrapped,
+                no_promote: true,
+            },
+        ),
+        (
+            "subheap-np",
+            Mode::Instrumented {
+                allocator: AllocatorKind::Subheap,
+                no_promote: true,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    for wname in ["treeadd", "health", "em3d", "anagram"] {
+        let w = ifp_workloads::by_name(wname).expect("workload");
+        let program = w.build_default();
+        for (label, mode) in modes() {
+            let mut cfg = VmConfig::with_mode(mode);
+            cfg.l1 = ifp::eval::sweep_l1();
+            let r = run(&program, &cfg).expect("workload runs");
+            let s = &r.stats;
+            let out_sum: i64 = r
+                .output
+                .iter()
+                .fold(0i64, |a, v| a.wrapping_mul(31).wrapping_add(*v));
+            println!(
+                "{wname} {label}: cycles={} instrs={} base={} promote={} arith={} bls={} \
+                 l1h={} l1m={} peak={} heap={} exit={} outsum={}",
+                s.cycles,
+                s.total_instrs(),
+                s.base_instrs,
+                s.promote_instrs,
+                s.ifp_arith_instrs,
+                s.bounds_ls_instrs,
+                s.l1.hits,
+                s.l1.misses,
+                s.peak_resident,
+                s.heap_footprint_peak,
+                r.exit_code,
+                out_sum,
+            );
+        }
+    }
+    // Trap identity on the full Juliet suite: every bad case's trap kind
+    // and faulting function, hashed into one line per mode.
+    let cases = all_cases();
+    for (label, mode) in &modes()[1..3] {
+        let mut ids = String::new();
+        for case in &cases {
+            let mut cfg = VmConfig::with_mode(*mode);
+            cfg.fuel = 50_000_000;
+            match run(&case.program, &cfg) {
+                Ok(r) => ids.push_str(&format!("{}:ok:{}\n", case.id, r.exit_code)),
+                Err(VmError::Trap {
+                    trap, func, stats, ..
+                }) => ids.push_str(&format!("{}:{trap:?}:{func}:{}\n", case.id, stats.cycles)),
+                Err(e) => ids.push_str(&format!("{}:err:{e}\n", case.id)),
+            }
+        }
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in ids.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        println!("juliet {label}: cases={} fnv={h:#x}", cases.len());
+    }
+}

@@ -1,0 +1,226 @@
+//! Host-side benchmark driver.
+//!
+//! Usage: `cargo run --release --bin bench -- host [--quick] [--out PATH]`
+//!
+//! The `host` mode measures **simulator throughput on the host** — how
+//! fast the reproduction executes modeled instructions — over three
+//! fixed suites, and emits one JSON measurement per suite:
+//!
+//! * `juliet_spatial` — every generated Juliet-style case under the four
+//!   spatial modes (baseline, wrapped, subheap, subheap/no-promote),
+//!   repeated for a stable wall-clock. Dominated by `Vm::new` setup cost.
+//! * `workloads_sweep` — the Table-4 sweep (18 workloads × 5 configs).
+//!   Dominated by steady-state interpreter dispatch.
+//! * `temporal_matrix` — the temporal suite × 2 allocators × 4 policies.
+//!
+//! The modeled columns (`modeled_instrs`, `modeled_cycles`) are
+//! simulation outputs and must be identical run to run and machine to
+//! machine; only `wall_ms` / `instrs_per_sec` measure the host. The
+//! checked-in `BENCH_host.json` keeps a trajectory of these measurements
+//! across optimization work (see the README's Performance section).
+//!
+//! `--quick` shrinks the rep counts for CI smoke runs (the modeled
+//! columns then differ from full runs — compare like with like).
+//! `--out PATH` writes the JSON to a file instead of stdout.
+
+use ifp_juliet::{all_cases, temporal_cases};
+use ifp_temporal::TemporalPolicy;
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One suite's measurement.
+struct SuiteResult {
+    suite: &'static str,
+    wall_ms: f64,
+    modeled_instrs: u64,
+    modeled_cycles: u64,
+}
+
+impl SuiteResult {
+    fn instrs_per_sec(&self) -> u64 {
+        if self.wall_ms <= 0.0 {
+            return 0;
+        }
+        (self.modeled_instrs as f64 / (self.wall_ms / 1e3)) as u64
+    }
+}
+
+/// Modeled (instrs, cycles) of one run; traps report the stats up to the
+/// trap, non-trap errors (expected for some temporal-policy/case
+/// combinations) contribute nothing.
+fn stats_of(program: &ifp_compiler::Program, cfg: &VmConfig) -> (u64, u64) {
+    match run(program, cfg) {
+        Ok(r) => (r.stats.total_instrs(), r.stats.cycles),
+        Err(VmError::Trap { stats, .. }) => (stats.total_instrs(), stats.cycles),
+        Err(_) => (0, 0),
+    }
+}
+
+fn juliet_spatial(reps: u32) -> SuiteResult {
+    let spatial_modes = [
+        Mode::Baseline,
+        Mode::instrumented(AllocatorKind::Wrapped),
+        Mode::instrumented(AllocatorKind::Subheap),
+        Mode::Instrumented {
+            allocator: AllocatorKind::Subheap,
+            no_promote: true,
+        },
+    ];
+    let cases = all_cases();
+    let t0 = Instant::now();
+    let mut instrs = 0u64;
+    let mut cycles = 0u64;
+    for _rep in 0..reps {
+        for case in &cases {
+            for mode in spatial_modes {
+                let mut cfg = VmConfig::with_mode(mode);
+                cfg.fuel = 50_000_000;
+                let (i, c) = stats_of(&case.program, &cfg);
+                instrs += i;
+                cycles += c;
+            }
+        }
+    }
+    SuiteResult {
+        suite: "juliet_spatial",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        modeled_instrs: instrs,
+        modeled_cycles: cycles,
+    }
+}
+
+fn workloads_sweep(quick: bool) -> SuiteResult {
+    let mut workloads = ifp_workloads::all();
+    if quick {
+        workloads.truncate(4);
+    }
+    let t0 = Instant::now();
+    let mut instrs = 0u64;
+    let mut cycles = 0u64;
+    for w in workloads {
+        let program = w.build_default();
+        let sweep = ifp::eval::ModeSweep::run(w.name, &program).expect("workload sweeps clean");
+        for s in [
+            &sweep.baseline,
+            &sweep.subheap,
+            &sweep.wrapped,
+            &sweep.subheap_nopromote,
+            &sweep.wrapped_nopromote,
+        ] {
+            instrs += s.total_instrs();
+            cycles += s.cycles;
+        }
+    }
+    SuiteResult {
+        suite: "workloads_sweep",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        modeled_instrs: instrs,
+        modeled_cycles: cycles,
+    }
+}
+
+fn temporal_matrix(reps: u32) -> SuiteResult {
+    let tcases = temporal_cases();
+    let t0 = Instant::now();
+    let mut instrs = 0u64;
+    let mut cycles = 0u64;
+    for _rep in 0..reps {
+        for case in &tcases {
+            for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+                for policy in TemporalPolicy::ALL {
+                    let mut cfg = VmConfig::with_mode(Mode::instrumented(alloc));
+                    cfg.fuel = 50_000_000;
+                    cfg.temporal = policy;
+                    let (i, c) = stats_of(&case.program, &cfg);
+                    instrs += i;
+                    cycles += c;
+                }
+            }
+        }
+    }
+    SuiteResult {
+        suite: "temporal_matrix",
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        modeled_instrs: instrs,
+        modeled_cycles: cycles,
+    }
+}
+
+/// Hand-rolled JSON (the workspace is std-only by design).
+fn to_json(suites: &[SuiteResult], quick: bool) -> String {
+    let mut s = String::from("{\n  \"schema\": \"ifp-host-bench-v1\",\n");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    s.push_str("  \"suites\": [\n");
+    for (i, r) in suites.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"suite\": \"{}\", \"wall_ms\": {:.1}, \"modeled_instrs\": {}, \
+             \"modeled_cycles\": {}, \"instrs_per_sec\": {}}}",
+            r.suite,
+            r.wall_ms,
+            r.modeled_instrs,
+            r.modeled_cycles,
+            r.instrs_per_sec()
+        );
+        s.push_str(if i + 1 < suites.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench -- host [--quick] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("host") {
+        usage();
+    }
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut rest = args[1..].iter();
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match rest.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let reps = if quick { 3 } else { 100 };
+    eprintln!("bench host: juliet_spatial ({reps} reps)...");
+    let juliet = juliet_spatial(reps);
+    eprintln!(
+        "bench host: workloads_sweep ({})...",
+        if quick { "first 4" } else { "all 18" }
+    );
+    let sweep = workloads_sweep(quick);
+    eprintln!("bench host: temporal_matrix ({reps} reps)...");
+    let temporal = temporal_matrix(reps);
+
+    let suites = [juliet, sweep, temporal];
+    for r in &suites {
+        eprintln!(
+            "  {}: wall_ms={:.1} modeled_instrs={} modeled_cycles={} instrs_per_sec={}",
+            r.suite,
+            r.wall_ms,
+            r.modeled_instrs,
+            r.modeled_cycles,
+            r.instrs_per_sec()
+        );
+    }
+    let json = to_json(&suites, quick);
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, json).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
+}

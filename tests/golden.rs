@@ -1,0 +1,133 @@
+//! Golden snapshots of modeled results.
+//!
+//! The host-throughput work (paged-memory fast path, pre-decode,
+//! parallel sweeps) must not move a single modeled number: cycles,
+//! instruction mix, cache behaviour, footprints, program output and trap
+//! identity are all simulation *outputs*, pinned here byte-for-byte
+//! against `tests/golden_host_expected.txt`.
+//!
+//! To refresh the snapshot after an *intentional* model change, run
+//! `cargo run --release --example golden_capture` and replace the
+//! fixture — and say why in the commit message.
+
+use ifp_juliet::all_cases;
+use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+use std::fmt::Write as _;
+
+const EXPECTED: &str = include_str!("golden_host_expected.txt");
+
+fn modes() -> [(&'static str, Mode); 5] {
+    [
+        ("baseline", Mode::Baseline),
+        ("wrapped", Mode::instrumented(AllocatorKind::Wrapped)),
+        ("subheap", Mode::instrumented(AllocatorKind::Subheap)),
+        (
+            "wrapped-np",
+            Mode::Instrumented {
+                allocator: AllocatorKind::Wrapped,
+                no_promote: true,
+            },
+        ),
+        (
+            "subheap-np",
+            Mode::Instrumented {
+                allocator: AllocatorKind::Subheap,
+                no_promote: true,
+            },
+        ),
+    ]
+}
+
+/// The fixture section whose lines start (or don't start) with `juliet `.
+fn expected_section(juliet: bool) -> String {
+    EXPECTED
+        .lines()
+        .filter(|l| l.starts_with("juliet ") == juliet)
+        .fold(String::new(), |mut s, l| {
+            s.push_str(l);
+            s.push('\n');
+            s
+        })
+}
+
+#[test]
+fn workload_stats_match_golden_snapshot() {
+    let mut got = String::new();
+    for wname in ["treeadd", "health", "em3d", "anagram"] {
+        let w = ifp_workloads::by_name(wname).expect("workload");
+        let program = w.build_default();
+        for (label, mode) in modes() {
+            let mut cfg = VmConfig::with_mode(mode);
+            cfg.l1 = ifp::eval::sweep_l1();
+            let r = run(&program, &cfg).expect("workload runs");
+            let s = &r.stats;
+            let out_sum: i64 = r
+                .output
+                .iter()
+                .fold(0i64, |a, v| a.wrapping_mul(31).wrapping_add(*v));
+            let _ = writeln!(
+                got,
+                "{wname} {label}: cycles={} instrs={} base={} promote={} arith={} bls={} \
+                 l1h={} l1m={} peak={} heap={} exit={} outsum={}",
+                s.cycles,
+                s.total_instrs(),
+                s.base_instrs,
+                s.promote_instrs,
+                s.ifp_arith_instrs,
+                s.bounds_ls_instrs,
+                s.l1.hits,
+                s.l1.misses,
+                s.peak_resident,
+                s.heap_footprint_peak,
+                r.exit_code,
+                out_sum,
+            );
+        }
+    }
+    let want = expected_section(false);
+    if got != want {
+        for (g, w) in got.lines().zip(want.lines()) {
+            assert_eq!(g, w, "modeled statistics drifted from the golden snapshot");
+        }
+        assert_eq!(got, want, "golden snapshot line count changed");
+    }
+}
+
+#[test]
+fn juliet_trap_identity_matches_golden_snapshot() {
+    // Every case's outcome — trap kind, faulting function, cycle count at
+    // the trap (or exit code) — hashed into one line per allocator.
+    let cases = all_cases();
+    let mut got = String::new();
+    for (label, mode) in &modes()[1..3] {
+        let mut ids = String::new();
+        for case in &cases {
+            let mut cfg = VmConfig::with_mode(*mode);
+            cfg.fuel = 50_000_000;
+            match run(&case.program, &cfg) {
+                Ok(r) => {
+                    let _ = writeln!(ids, "{}:ok:{}", case.id, r.exit_code);
+                }
+                Err(VmError::Trap {
+                    trap, func, stats, ..
+                }) => {
+                    let _ = writeln!(ids, "{}:{trap:?}:{func}:{}", case.id, stats.cycles);
+                }
+                Err(e) => {
+                    let _ = writeln!(ids, "{}:err:{e}", case.id);
+                }
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in ids.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let _ = writeln!(got, "juliet {label}: cases={} fnv={h:#x}", cases.len());
+    }
+    assert_eq!(
+        got,
+        expected_section(true),
+        "Juliet trap identity drifted from the golden snapshot"
+    );
+}
