@@ -1,0 +1,188 @@
+//! Stable-coded diagnostics with JSONL rendering.
+//!
+//! Every defect the verifier or the interval analysis reports carries a
+//! stable code (`IFP-Vnnn` for verifier errors, `IFP-Annn` for analysis
+//! lints) plus function/block/op coordinates, and renders to one JSON
+//! object per line — the same machine-readable discipline as the
+//! `ifp-trace` JSONL log.
+
+use std::fmt;
+
+/// Stable diagnostic codes. Codes are append-only: once published they
+/// keep their meaning forever so downstream tooling can filter on them.
+pub mod codes {
+    /// Program has no `main` function.
+    pub const NO_MAIN: &str = "IFP-V001";
+    /// Function has no basic blocks.
+    pub const NO_BLOCKS: &str = "IFP-V002";
+    /// Register reference out of the function's declared range.
+    pub const REG_RANGE: &str = "IFP-V003";
+    /// Terminator targets a block that does not exist.
+    pub const BLOCK_RANGE: &str = "IFP-V004";
+    /// A register is read on some path before any definition reaches it.
+    pub const USE_BEFORE_DEF: &str = "IFP-V005";
+    /// GEP step is inconsistent with the type table (field index out of
+    /// range, or a `Field` step on a non-struct type).
+    pub const GEP_TYPE: &str = "IFP-V006";
+    /// Type handle out of the type-table range.
+    pub const TYPE_RANGE: &str = "IFP-V007";
+    /// Load/store of a non-scalar (aggregate) type.
+    pub const NON_SCALAR_ACCESS: &str = "IFP-V008";
+    /// Call to an unknown function.
+    pub const UNKNOWN_CALLEE: &str = "IFP-V009";
+    /// Call arity does not match the callee's parameter count.
+    pub const CALL_ARITY: &str = "IFP-V010";
+    /// Extern call arity does not match the runtime signature.
+    pub const EXT_ARITY: &str = "IFP-V011";
+    /// Alloca of zero objects.
+    pub const ALLOCA_ZERO: &str = "IFP-V012";
+    /// Global index out of range.
+    pub const GLOBAL_RANGE: &str = "IFP-V013";
+    /// Analysis lint: access is provably out of bounds of its allocation.
+    pub const PROVEN_OOB: &str = "IFP-A001";
+}
+
+/// Where in a function a diagnostic points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagLoc {
+    /// The whole function (or program, when the function name is empty).
+    Function,
+    /// Op `op` of block `block`.
+    Op {
+        /// Block index.
+        block: usize,
+        /// Op index within the block.
+        op: usize,
+    },
+    /// The terminator of block `block`.
+    Terminator {
+        /// Block index.
+        block: usize,
+    },
+}
+
+/// A single verifier or analysis diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (see [`codes`]).
+    pub code: &'static str,
+    /// Function name; empty for program-level diagnostics.
+    pub func: String,
+    /// Coordinates inside the function.
+    pub loc: DiagLoc,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// One JSON object, no trailing newline. Keys are emitted in a fixed
+    /// order so output is byte-stable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"code\":\"");
+        s.push_str(self.code);
+        s.push_str("\",\"func\":\"");
+        escape_into(&self.func, &mut s);
+        s.push('"');
+        match self.loc {
+            DiagLoc::Function => {}
+            DiagLoc::Op { block, op } => {
+                s.push_str(&format!(",\"block\":{block},\"op\":{op}"));
+            }
+            DiagLoc::Terminator { block } => {
+                s.push_str(&format!(",\"block\":{block},\"term\":true"));
+            }
+        }
+        s.push_str(",\"message\":\"");
+        escape_into(&self.message, &mut s);
+        s.push_str("\"}");
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.code)?;
+        if !self.func.is_empty() {
+            write!(f, "in `{}`", self.func)?;
+            match self.loc {
+                DiagLoc::Function => {}
+                DiagLoc::Op { block, op } => write!(f, " at bb{block}:{op}")?,
+                DiagLoc::Terminator { block } => write!(f, " at bb{block}:term")?,
+            }
+            f.write_str(": ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+/// Renders diagnostics as JSONL: one JSON object per line.
+#[must_use]
+pub fn to_jsonl(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let d = Diagnostic {
+            code: codes::REG_RANGE,
+            func: "main".to_string(),
+            loc: DiagLoc::Op { block: 1, op: 2 },
+            message: "register r9 out of range (4 regs)".to_string(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"code\":\"IFP-V003\",\"func\":\"main\",\"block\":1,\"op\":2,\
+             \"message\":\"register r9 out of range (4 regs)\"}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic {
+            code: codes::NO_MAIN,
+            func: "we\"ird\\name".to_string(),
+            loc: DiagLoc::Function,
+            message: "line\nbreak".to_string(),
+        };
+        let json = d.to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+        assert!(json.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_diag() {
+        let d = Diagnostic {
+            code: codes::NO_MAIN,
+            func: String::new(),
+            loc: DiagLoc::Function,
+            message: "program has no `main`".to_string(),
+        };
+        let out = to_jsonl(&[d.clone(), d]);
+        assert_eq!(out.lines().count(), 2);
+    }
+}

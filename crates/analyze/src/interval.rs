@@ -1,0 +1,807 @@
+//! Layer 2: intra-procedural abstract interpretation over an interval
+//! domain.
+//!
+//! Every register is tracked as either an integer interval or a pointer
+//! into a statically-sized allocation site carrying a byte-offset
+//! interval *and a window*: a site-relative `[win_lo, win_hi)` range that
+//! is a guaranteed subset of whatever bounds the runtime pointer carries.
+//! Windows start at `[0, site_size)` and only ever shrink (joins
+//! intersect them; field selection narrows them), which is what makes
+//! elision sound against the VM's *subobject* narrowing: an access proven
+//! inside the window is inside any runtime bounds the pointer can have,
+//! narrowed or not.
+//!
+//! Termination: interval joins hull offsets, and loop heads (back-edge
+//! targets) widen after a couple of joins — a decreased low bound goes to
+//! `-inf`, an increased high bound to `+inf`, and any window still moving
+//! at a widening point collapses to the empty window (proving nothing
+//! through that pointer, which is always sound).
+//!
+//! The infinity sentinels are `i64::MIN`/`i64::MAX`; arithmetic clamps
+//! into the open range between them, so an immediate that happens to
+//! *be* `i64::MAX` is conflated with `+inf` — a pure precision loss,
+//! never a soundness one (sentinel-ended intervals are never proven).
+
+use crate::diag::{codes, DiagLoc, Diagnostic};
+use crate::verify::verify;
+use ifp_compiler::instrument::ElisionPlan;
+use ifp_compiler::ir::{BinOp, Function, GepStep, Op, Operand, Program, Terminator};
+use ifp_compiler::types::{Type, TypeTable};
+use std::collections::BTreeMap;
+
+const NEG_INF: i64 = i64::MIN;
+const POS_INF: i64 = i64::MAX;
+
+fn clamp128(v: i128) -> i64 {
+    if v >= i128::from(POS_INF) {
+        POS_INF
+    } else if v <= i128::from(NEG_INF) {
+        NEG_INF
+    } else {
+        v as i64
+    }
+}
+
+/// A closed integer interval with `i64::MIN`/`i64::MAX` as `-inf`/`+inf`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Itv {
+    lo: i64,
+    hi: i64,
+}
+
+impl Itv {
+    const TOP: Itv = Itv {
+        lo: NEG_INF,
+        hi: POS_INF,
+    };
+
+    fn point(v: i64) -> Itv {
+        Itv { lo: v, hi: v }
+    }
+
+    /// Both ends finite (no sentinel) — the precondition for any proof.
+    fn is_finite(self) -> bool {
+        self.lo != NEG_INF && self.hi != POS_INF
+    }
+
+    fn hull(a: Itv, b: Itv) -> Itv {
+        Itv {
+            lo: a.lo.min(b.lo),
+            hi: a.hi.max(b.hi),
+        }
+    }
+
+    fn add(self, o: Itv) -> Itv {
+        let lo = if self.lo == NEG_INF || o.lo == NEG_INF {
+            NEG_INF
+        } else {
+            clamp128(i128::from(self.lo) + i128::from(o.lo))
+        };
+        let hi = if self.hi == POS_INF || o.hi == POS_INF {
+            POS_INF
+        } else {
+            clamp128(i128::from(self.hi) + i128::from(o.hi))
+        };
+        Itv { lo, hi }
+    }
+
+    fn sub(self, o: Itv) -> Itv {
+        let lo = if self.lo == NEG_INF || o.hi == POS_INF {
+            NEG_INF
+        } else {
+            clamp128(i128::from(self.lo) - i128::from(o.hi))
+        };
+        let hi = if self.hi == POS_INF || o.lo == NEG_INF {
+            POS_INF
+        } else {
+            clamp128(i128::from(self.hi) - i128::from(o.lo))
+        };
+        Itv { lo, hi }
+    }
+
+    fn mul(self, o: Itv) -> Itv {
+        if !self.is_finite() || !o.is_finite() {
+            return Itv::TOP;
+        }
+        let c = [
+            i128::from(self.lo) * i128::from(o.lo),
+            i128::from(self.lo) * i128::from(o.hi),
+            i128::from(self.hi) * i128::from(o.lo),
+            i128::from(self.hi) * i128::from(o.hi),
+        ];
+        Itv {
+            lo: clamp128(c.iter().copied().min().unwrap_or(0)),
+            hi: clamp128(c.iter().copied().max().unwrap_or(0)),
+        }
+    }
+
+    /// Scale by a non-negative constant (an element stride).
+    fn scale(self, k: i64) -> Itv {
+        if k == 0 {
+            return Itv::point(0);
+        }
+        self.mul(Itv::point(k))
+    }
+
+    fn singleton(self) -> Option<i64> {
+        (self.lo == self.hi && self.is_finite()).then_some(self.lo)
+    }
+
+    /// Standard interval widening: an end still moving goes to infinity.
+    fn widen(old: Itv, new: Itv) -> Itv {
+        Itv {
+            lo: if new.lo < old.lo { NEG_INF } else { old.lo },
+            hi: if new.hi > old.hi { POS_INF } else { old.hi },
+        }
+    }
+}
+
+/// A pointer into allocation site `site` at byte offsets `off`, with a
+/// window `[win_lo, win_hi)` guaranteed to be inside any bounds the
+/// runtime pointer carries. The invariant `0 <= win_lo` always holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct AbsPtr {
+    site: u32,
+    off: Itv,
+    win_lo: i64,
+    win_hi: i64,
+}
+
+/// Abstract value of one register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum AbsVal {
+    /// Unknown (loaded values, call results, parameters, foreign pointers).
+    Top,
+    /// An integer interval.
+    Int(Itv),
+    /// A pointer into a known-size allocation site.
+    Ptr(AbsPtr),
+}
+
+fn join_val(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a, b) {
+        (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(Itv::hull(x, y)),
+        (AbsVal::Ptr(p), AbsVal::Ptr(q)) if p.site == q.site => AbsVal::Ptr(AbsPtr {
+            site: p.site,
+            off: Itv::hull(p.off, q.off),
+            // Windows are promises, so a join keeps only what both sides
+            // promise: the intersection.
+            win_lo: p.win_lo.max(q.win_lo),
+            win_hi: p.win_hi.min(q.win_hi),
+        }),
+        _ => AbsVal::Top,
+    }
+}
+
+fn widen_val(old: AbsVal, new: AbsVal) -> AbsVal {
+    if old == new {
+        return old;
+    }
+    match (old, new) {
+        (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(Itv::widen(x, y)),
+        (AbsVal::Ptr(p), AbsVal::Ptr(q)) if p.site == q.site => {
+            // A window still moving at a widening point collapses to the
+            // empty window so the chain is finite.
+            let (win_lo, win_hi) = if p.win_lo == q.win_lo && p.win_hi == q.win_hi {
+                (p.win_lo, p.win_hi)
+            } else {
+                (0, 0)
+            };
+            AbsVal::Ptr(AbsPtr {
+                site: p.site,
+                off: Itv::widen(p.off, q.off),
+                win_lo,
+                win_hi,
+            })
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+/// Classification of one load/store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Statically inside the window — the runtime bounds check must pass.
+    ProvenIn,
+    /// Statically outside the allocation on every path — a compile-time
+    /// lint; never elided (the trap is the desired behavior).
+    ProvenOob,
+    /// Anything else; keeps full instrumentation.
+    Unknown,
+}
+
+/// Result of running [`analyze`] over a whole program.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisReport {
+    /// Verifier diagnostics; when non-empty, layer 2 is skipped and the
+    /// elision plan is empty.
+    pub verifier: Vec<Diagnostic>,
+    /// `IFP-A001` proven-OOB lints.
+    pub lints: Vec<Diagnostic>,
+    /// Accesses (in instrumented functions) proven in-bounds.
+    pub proven_in: u64,
+    /// Accesses proven out-of-bounds on every path.
+    pub proven_oob: u64,
+    /// Accesses the analysis could not classify.
+    pub unknown: u64,
+    /// The per-op elision plan derived from the classification.
+    pub elision: ElisionPlan,
+}
+
+/// Runs the verifier, then (when it is clean) the interval analysis over
+/// every instrumented function, producing lints, classification counts,
+/// and the elision plan.
+#[must_use]
+pub fn analyze(program: &Program) -> AnalysisReport {
+    let verifier = verify(program);
+    let mut report = AnalysisReport {
+        verifier,
+        elision: ElisionPlan::empty_for(program),
+        ..AnalysisReport::default()
+    };
+    if !report.verifier.is_empty() {
+        return report;
+    }
+    for (fi, f) in program.funcs.iter().enumerate() {
+        if !f.instrumented || f.blocks.is_empty() {
+            continue;
+        }
+        analyze_function(program, fi, f, &mut report);
+    }
+    report
+}
+
+/// Computes just the elision plan (the VM's entry point).
+#[must_use]
+pub fn elision_plan(program: &Program) -> ElisionPlan {
+    analyze(program).elision
+}
+
+/// One allocation site with a statically known byte size.
+struct Site {
+    size: u64,
+}
+
+struct FuncCtx<'a> {
+    types: &'a TypeTable,
+    sites: Vec<Site>,
+    /// `(block, op)` → site id, for ops that create a known-size object.
+    site_at: BTreeMap<(usize, usize), u32>,
+}
+
+fn collect_sites<'a>(program: &'a Program, f: &Function) -> FuncCtx<'a> {
+    let types = &program.types;
+    let mut sites = Vec::new();
+    let mut site_at = BTreeMap::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            let size = match op {
+                Op::Alloca { ty, count, .. } => {
+                    Some(u64::from(types.size_of(*ty)) * u64::from(*count))
+                }
+                // The VM clamps the element count to at least one, so the
+                // static size must match that exact rule.
+                Op::Malloc {
+                    ty,
+                    count: Operand::Imm(c),
+                    ..
+                } => Some(u64::from(types.size_of(*ty)) * (*c).max(1) as u64),
+                Op::AddrOfGlobal { global, .. } => program
+                    .globals
+                    .get(*global)
+                    .map(|g| u64::from(types.size_of(g.ty))),
+                _ => None,
+            };
+            if let Some(size) = size {
+                let id = u32::try_from(sites.len()).unwrap_or(u32::MAX);
+                sites.push(Site { size });
+                site_at.insert((bi, oi), id);
+            }
+        }
+    }
+    FuncCtx {
+        types,
+        sites,
+        site_at,
+    }
+}
+
+fn abs_of(state: &[AbsVal], o: Operand) -> AbsVal {
+    match o {
+        Operand::Reg(r) => state.get(r.0 as usize).copied().unwrap_or(AbsVal::Top),
+        Operand::Imm(v) => AbsVal::Int(Itv::point(v)),
+    }
+}
+
+fn int_of(state: &[AbsVal], o: Operand) -> Itv {
+    match abs_of(state, o) {
+        AbsVal::Int(i) => i,
+        _ => Itv::TOP,
+    }
+}
+
+fn eval_bin_abs(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    match op {
+        // Comparisons always produce 0 or 1.
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Ult | BinOp::Ule => {
+            AbsVal::Int(Itv { lo: 0, hi: 1 })
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul => match (a, b) {
+            (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(match op {
+                BinOp::Add => x.add(y),
+                BinOp::Sub => x.sub(y),
+                _ => x.mul(y),
+            }),
+            _ => AbsVal::Top,
+        },
+        _ => AbsVal::Top,
+    }
+}
+
+/// The GEP transfer: offset arithmetic plus window narrowing. Mirrors the
+/// VM's `exec_gep` address walk, and under-approximates its bounds
+/// narrowing: the VM intersects incoming bounds with the *last* selected
+/// field's extent, while we intersect the window with *every* field
+/// extent whose base offset is a single point (and collapse the window
+/// when it is not) — always a subset of what the runtime keeps.
+fn transfer_gep(ctx: &FuncCtx<'_>, state: &[AbsVal], op: &Op) -> AbsVal {
+    let Op::Gep {
+        base,
+        base_ty,
+        steps,
+        ..
+    } = op
+    else {
+        return AbsVal::Top;
+    };
+    let AbsVal::Ptr(p) = abs_of(state, *base) else {
+        return AbsVal::Top;
+    };
+    let mut off = p.off;
+    let mut win_lo = p.win_lo;
+    let mut win_hi = p.win_hi;
+    let mut cur = *base_ty;
+    for step in steps {
+        match step {
+            GepStep::Field(i) => {
+                let Type::Struct { fields, .. } = ctx.types.get(cur) else {
+                    return AbsVal::Top;
+                };
+                let Some(field) = fields.get(*i as usize) else {
+                    return AbsVal::Top;
+                };
+                off = off.add(Itv::point(i64::from(field.offset)));
+                cur = field.ty;
+                let fsize = i64::from(ctx.types.size_of(cur));
+                if let Some(c) = off.singleton() {
+                    win_lo = win_lo.max(c);
+                    win_hi = win_hi.min(c.saturating_add(fsize));
+                } else {
+                    // The runtime narrows to a subobject we cannot pin
+                    // down; promise nothing through this pointer.
+                    win_lo = 0;
+                    win_hi = 0;
+                }
+            }
+            GepStep::Index(o) => {
+                let elem = match ctx.types.get(cur) {
+                    Type::Array { elem, .. } => {
+                        cur = *elem;
+                        *elem
+                    }
+                    _ => cur,
+                };
+                let idx = int_of(state, *o);
+                off = off.add(idx.scale(i64::from(ctx.types.size_of(elem))));
+            }
+        }
+    }
+    AbsVal::Ptr(AbsPtr {
+        site: p.site,
+        off,
+        win_lo,
+        win_hi,
+    })
+}
+
+fn transfer_op(ctx: &FuncCtx<'_>, state: &mut Vec<AbsVal>, bi: usize, oi: usize, op: &Op) {
+    let set = |state: &mut Vec<AbsVal>, r: u32, v: AbsVal| {
+        if let Some(slot) = state.get_mut(r as usize) {
+            *slot = v;
+        }
+    };
+    match op {
+        Op::Bin { dst, op, a, b } => {
+            let v = eval_bin_abs(*op, abs_of(state, *a), abs_of(state, *b));
+            set(state, dst.0, v);
+        }
+        Op::Mov { dst, a } => {
+            let v = abs_of(state, *a);
+            set(state, dst.0, v);
+        }
+        Op::Alloca { dst, .. } | Op::Malloc { dst, .. } | Op::AddrOfGlobal { dst, .. } => {
+            let v = ctx.site_at.get(&(bi, oi)).map_or(AbsVal::Top, |&site| {
+                let size = ctx.sites[site as usize].size;
+                AbsVal::Ptr(AbsPtr {
+                    site,
+                    off: Itv::point(0),
+                    win_lo: 0,
+                    win_hi: i64::try_from(size).unwrap_or(POS_INF - 1),
+                })
+            });
+            set(state, dst.0, v);
+        }
+        Op::Free { .. } | Op::Store { .. } => {}
+        Op::Gep { dst, .. } => {
+            let v = transfer_gep(ctx, state, op);
+            set(state, dst.0, v);
+        }
+        Op::Load { dst, .. } => set(state, dst.0, AbsVal::Top),
+        Op::Call { dst, .. } | Op::CallExt { dst, .. } => {
+            if let Some(d) = dst {
+                set(state, d.0, AbsVal::Top);
+            }
+        }
+    }
+}
+
+fn successors(term: &Terminator) -> impl Iterator<Item = usize> {
+    let (a, b) = match term {
+        Terminator::Jmp(t) => (Some(*t), None),
+        Terminator::Br {
+            then_bb, else_bb, ..
+        } => (Some(*then_bb), Some(*else_bb)),
+        Terminator::Ret(_) => (None, None),
+    };
+    a.into_iter().chain(b)
+}
+
+/// Back-edge targets via iterative DFS (gray-node edges).
+fn loop_heads(f: &Function) -> Vec<bool> {
+    let nb = f.blocks.len();
+    let mut heads = vec![false; nb];
+    // 0 = white, 1 = gray (on stack), 2 = black.
+    let mut color = vec![0u8; nb];
+    let mut stack: Vec<(usize, Vec<usize>)> = Vec::new();
+    color[0] = 1;
+    stack.push((0, successors(&f.blocks[0].term).collect()));
+    while let Some((node, succs)) = stack.last_mut() {
+        if let Some(s) = succs.pop() {
+            match color[s] {
+                0 => {
+                    color[s] = 1;
+                    let next: Vec<usize> = successors(&f.blocks[s].term).collect();
+                    stack.push((s, next));
+                }
+                1 => heads[s] = true,
+                _ => {}
+            }
+        } else {
+            color[*node] = 2;
+            stack.pop();
+        }
+    }
+    heads
+}
+
+/// Number of joins at a loop head before widening kicks in.
+const WIDEN_THRESHOLD: u32 = 2;
+
+/// Fixpoint iteration budget per function; exceeded means the function
+/// simply gets no elision (sound, and in practice unreachable for the
+/// small CFGs the builder and generator emit).
+fn fixpoint_fuel(nb: usize) -> usize {
+    1_000 + 400 * nb
+}
+
+type State = Vec<AbsVal>;
+
+fn run_fixpoint(ctx: &FuncCtx<'_>, f: &Function) -> Option<Vec<Option<State>>> {
+    let nb = f.blocks.len();
+    let heads = loop_heads(f);
+    let entry: State = vec![AbsVal::Top; f.num_regs as usize];
+    let mut inset: Vec<Option<State>> = vec![None; nb];
+    inset[0] = Some(entry);
+    let mut joins = vec![0u32; nb];
+    let mut work = vec![0usize];
+    let mut fuel = fixpoint_fuel(nb);
+    while let Some(bi) = work.pop() {
+        if fuel == 0 {
+            return None;
+        }
+        fuel -= 1;
+        let Some(start) = inset[bi].clone() else {
+            continue;
+        };
+        let mut out = start;
+        for (oi, op) in f.blocks[bi].ops.iter().enumerate() {
+            transfer_op(ctx, &mut out, bi, oi, op);
+        }
+        for s in successors(&f.blocks[bi].term) {
+            if s >= nb {
+                continue;
+            }
+            let changed = match &inset[s] {
+                None => {
+                    inset[s] = Some(out.clone());
+                    true
+                }
+                Some(old) => {
+                    joins[s] += 1;
+                    let widen = heads[s] && joins[s] > WIDEN_THRESHOLD;
+                    let mut next = Vec::with_capacity(old.len());
+                    for (o, n) in old.iter().zip(&out) {
+                        let j = join_val(*o, *n);
+                        next.push(if widen { widen_val(*o, j) } else { j });
+                    }
+                    if Some(&next) != inset[s].as_ref() {
+                        inset[s] = Some(next);
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    Some(inset)
+}
+
+/// Syntactic register census used by the discharge fixpoint.
+#[derive(Clone, Default)]
+struct RegCensus {
+    defs: u32,
+    /// The `(block, op)` of the defining GEP when `defs == 1` and the
+    /// single def is a GEP.
+    gep_def: Option<(usize, usize)>,
+    /// Uses as the pointer operand of a load/store.
+    access_uses: Vec<(usize, usize)>,
+    /// Uses as the base of another GEP.
+    gep_base_uses: Vec<(usize, usize)>,
+    /// Every other read (operand of arithmetic, stored value, call
+    /// argument, return value, branch condition, free, GEP index…).
+    other_uses: u32,
+    total_uses: u32,
+}
+
+fn census(f: &Function) -> Vec<RegCensus> {
+    let mut regs: Vec<RegCensus> = vec![RegCensus::default(); f.num_regs as usize];
+    let other = |regs: &mut Vec<RegCensus>, o: &Operand| {
+        if let Operand::Reg(r) = o {
+            if let Some(c) = regs.get_mut(r.0 as usize) {
+                c.other_uses += 1;
+                c.total_uses += 1;
+            }
+        }
+    };
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            match op {
+                Op::Bin { a, b, .. } => {
+                    other(&mut regs, a);
+                    other(&mut regs, b);
+                }
+                Op::Mov { a, .. } => other(&mut regs, a),
+                Op::Alloca { .. } | Op::AddrOfGlobal { .. } => {}
+                Op::Malloc { count, .. } => other(&mut regs, count),
+                Op::Free { ptr } => other(&mut regs, ptr),
+                Op::Gep { base, steps, .. } => {
+                    if let Operand::Reg(r) = base {
+                        if let Some(c) = regs.get_mut(r.0 as usize) {
+                            c.gep_base_uses.push((bi, oi));
+                            c.total_uses += 1;
+                        }
+                    }
+                    for s in steps {
+                        if let GepStep::Index(o) = s {
+                            other(&mut regs, o);
+                        }
+                    }
+                }
+                Op::Load { ptr, .. } => {
+                    if let Operand::Reg(r) = ptr {
+                        if let Some(c) = regs.get_mut(r.0 as usize) {
+                            c.access_uses.push((bi, oi));
+                            c.total_uses += 1;
+                        }
+                    }
+                }
+                Op::Store { ptr, val, .. } => {
+                    if let Operand::Reg(r) = ptr {
+                        if let Some(c) = regs.get_mut(r.0 as usize) {
+                            c.access_uses.push((bi, oi));
+                            c.total_uses += 1;
+                        }
+                    }
+                    other(&mut regs, val);
+                }
+                Op::Call { args, .. } | Op::CallExt { args, .. } => {
+                    for a in args {
+                        other(&mut regs, a);
+                    }
+                }
+            }
+            // Defs.
+            let def = match op {
+                Op::Bin { dst, .. }
+                | Op::Mov { dst, .. }
+                | Op::Alloca { dst, .. }
+                | Op::Malloc { dst, .. }
+                | Op::Gep { dst, .. }
+                | Op::Load { dst, .. }
+                | Op::AddrOfGlobal { dst, .. } => Some(dst.0),
+                Op::Call { dst, .. } | Op::CallExt { dst, .. } => dst.map(|r| r.0),
+                Op::Free { .. } | Op::Store { .. } => None,
+            };
+            if let Some(d) = def {
+                if let Some(c) = regs.get_mut(d as usize) {
+                    c.defs += 1;
+                    c.gep_def = if c.defs == 1 && matches!(op, Op::Gep { .. }) {
+                        Some((bi, oi))
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+        match &block.term {
+            Terminator::Br { cond, .. } => other(&mut regs, cond),
+            Terminator::Ret(Some(v)) => other(&mut regs, v),
+            _ => {}
+        }
+    }
+    regs
+}
+
+fn classify(ctx: &FuncCtx<'_>, v: AbsVal, access_size: u64) -> AccessClass {
+    let AbsVal::Ptr(p) = v else {
+        return AccessClass::Unknown;
+    };
+    let Some(site) = ctx.sites.get(p.site as usize) else {
+        return AccessClass::Unknown;
+    };
+    let a = i64::try_from(access_size).unwrap_or(POS_INF - 1);
+    if p.off.is_finite() && p.off.lo >= p.win_lo && p.off.hi.saturating_add(a) <= p.win_hi {
+        return AccessClass::ProvenIn;
+    }
+    let size = i64::try_from(site.size).unwrap_or(POS_INF - 1);
+    let below = p.off.hi != POS_INF && p.off.hi < 0;
+    let above = p.off.lo != NEG_INF && p.off.lo.saturating_add(a) > size;
+    if below || above {
+        return AccessClass::ProvenOob;
+    }
+    AccessClass::Unknown
+}
+
+/// Whether a GEP result is provably inside its own window — meaning the
+/// tag path's poison reclassification at this GEP must yield `Valid`
+/// (`classify_addr` is `Valid` strictly below the upper bound).
+fn gep_in_window(v: AbsVal) -> bool {
+    let AbsVal::Ptr(p) = v else { return false };
+    p.off.is_finite() && p.off.lo >= p.win_lo && p.off.hi < p.win_hi
+}
+
+fn analyze_function(program: &Program, fi: usize, f: &Function, report: &mut AnalysisReport) {
+    let ctx = collect_sites(program, f);
+    let Some(inset) = run_fixpoint(&ctx, f) else {
+        return;
+    };
+
+    // Replay every reachable block from its stable in-state, recording
+    // per-access classifications and per-GEP window proofs.
+    let mut access_class: BTreeMap<(usize, usize), AccessClass> = BTreeMap::new();
+    let mut gep_ok: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let Some(start) = &inset[bi] else { continue };
+        let mut state = start.clone();
+        for (oi, op) in block.ops.iter().enumerate() {
+            match op {
+                Op::Load { ptr, ty, .. } | Op::Store { ptr, ty, .. } => {
+                    let size = u64::from(ctx.types.size_of(*ty));
+                    let class = classify(&ctx, abs_of(&state, *ptr), size);
+                    access_class.insert((bi, oi), class);
+                }
+                Op::Gep { .. } => {
+                    let v = transfer_gep(&ctx, &state, op);
+                    gep_ok.insert((bi, oi), gep_in_window(v));
+                }
+                _ => {}
+            }
+            transfer_op(&ctx, &mut state, bi, oi, op);
+        }
+    }
+
+    // Lints + counts.
+    for (&(bi, oi), &class) in &access_class {
+        match class {
+            AccessClass::ProvenIn => report.proven_in += 1,
+            AccessClass::Unknown => report.unknown += 1,
+            AccessClass::ProvenOob => {
+                report.proven_oob += 1;
+                let what = match &f.blocks[bi].ops[oi] {
+                    Op::Store { .. } => "store",
+                    _ => "load",
+                };
+                report.lints.push(Diagnostic {
+                    code: codes::PROVEN_OOB,
+                    func: f.name.clone(),
+                    loc: DiagLoc::Op { block: bi, op: oi },
+                    message: format!("{what} is provably out of bounds on every path"),
+                });
+            }
+        }
+    }
+
+    // Discharge fixpoint for tag-update elision: a GEP destination is
+    // discharged when it is defined exactly once, its result is provably
+    // inside its window, and every use is either a proven (check-elided)
+    // access or the base of another discharged GEP. Discharged pointers'
+    // tags and bounds are never consulted, so skipping the tag update
+    // cannot change any observable behavior.
+    let regs = census(f);
+    let mut discharged = vec![false; regs.len()];
+    for (r, c) in regs.iter().enumerate() {
+        discharged[r] = c.defs == 1
+            && c.gep_def
+                .is_some_and(|at| gep_ok.get(&at).copied().unwrap_or(false))
+            && c.other_uses == 0
+            && c.access_uses
+                .iter()
+                .all(|at| matches!(access_class.get(at), Some(AccessClass::ProvenIn)));
+    }
+    loop {
+        let mut changed = false;
+        for r in 0..regs.len() {
+            if !discharged[r] {
+                continue;
+            }
+            let all_bases_ok =
+                regs[r]
+                    .gep_base_uses
+                    .iter()
+                    .all(|&(bi, oi)| match f.blocks[bi].ops.get(oi) {
+                        Some(Op::Gep { dst, .. }) => {
+                            discharged.get(dst.0 as usize).copied().unwrap_or(false)
+                        }
+                        _ => false,
+                    });
+            if !all_bases_ok {
+                discharged[r] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Emit the plan.
+    let plan = &mut report.elision.funcs[fi];
+    for (&(bi, oi), &class) in &access_class {
+        if class == AccessClass::ProvenIn {
+            plan[bi][oi].check = true;
+        }
+    }
+    for (r, c) in regs.iter().enumerate() {
+        if discharged[r] {
+            if let Some((bi, oi)) = c.gep_def {
+                plan[bi][oi].tag_update = true;
+            }
+        }
+    }
+    // Promote elision: a pointer load whose destination is never read
+    // anywhere in the function gets no promote — matching the paper's
+    // compiler, which hoists promote at use sites only.
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            if let Op::Load { dst, .. } = op {
+                if regs.get(dst.0 as usize).is_some_and(|c| c.total_uses == 0) {
+                    plan[bi][oi].promote = true;
+                }
+            }
+        }
+    }
+}

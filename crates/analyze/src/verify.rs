@@ -1,0 +1,557 @@
+//! Layer 1: the strict IR verifier.
+//!
+//! Unlike [`Program::validate`], which stops at the first defect, the
+//! verifier walks the whole program, guards every table lookup (it must
+//! never panic on arbitrary malformed IR — fuzz generators feed it), and
+//! reports *all* defects as stable-coded [`Diagnostic`]s:
+//!
+//! - structural: register/block/global/type references in range, GEP
+//!   steps consistent with the type table, scalar load/store types,
+//!   call arity against both IR and extern signatures;
+//! - CFG integrity: every terminator target exists;
+//! - dataflow: def-before-use along every path (a must-defined forward
+//!   analysis with set intersection at joins — a register is flagged if
+//!   *some* reachable path can read it before any write).
+
+use crate::diag::{codes, DiagLoc, Diagnostic};
+use ifp_compiler::ir::{Block, ExtFunc, Function, GepStep, Op, Operand, Program, Reg, Terminator};
+use ifp_compiler::types::{Type, TypeId, TypeTable};
+
+/// Runs the verifier over the whole program, collecting every diagnostic.
+#[must_use]
+pub fn verify(program: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if program.func("main").is_none() {
+        diags.push(Diagnostic {
+            code: codes::NO_MAIN,
+            func: String::new(),
+            loc: DiagLoc::Function,
+            message: "program has no `main`".to_string(),
+        });
+    }
+    for f in &program.funcs {
+        verify_function(program, f, &mut diags);
+    }
+    diags
+}
+
+/// Number of arguments each extern runtime function takes.
+#[must_use]
+pub fn ext_arity(ext: ExtFunc) -> usize {
+    match ext {
+        ExtFunc::Memcpy | ExtFunc::Memset => 3,
+        ExtFunc::Strlen | ExtFunc::PrintInt => 1,
+        ExtFunc::CtypeTable => 0,
+    }
+}
+
+fn ty_ok(types: &TypeTable, ty: TypeId) -> bool {
+    (ty.index() as usize) < types.len()
+}
+
+fn verify_function(program: &Program, f: &Function, diags: &mut Vec<Diagnostic>) {
+    let before = diags.len();
+    let emit = |diags: &mut Vec<Diagnostic>, code: &'static str, loc: DiagLoc, message: String| {
+        diags.push(Diagnostic {
+            code,
+            func: f.name.clone(),
+            loc,
+            message,
+        });
+    };
+
+    if f.blocks.is_empty() {
+        emit(
+            diags,
+            codes::NO_BLOCKS,
+            DiagLoc::Function,
+            "function has no blocks".to_string(),
+        );
+        return;
+    }
+    if f.params > f.num_regs {
+        emit(
+            diags,
+            codes::REG_RANGE,
+            DiagLoc::Function,
+            format!(
+                "function declares {} params but only {} registers",
+                f.params, f.num_regs
+            ),
+        );
+    }
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for (oi, op) in block.ops.iter().enumerate() {
+            verify_op(program, f, bi, oi, op, diags, &emit);
+        }
+        verify_terminator(f, bi, &block.term, diags, &emit);
+    }
+
+    // The dataflow pass assumes in-range indices; skip it when the
+    // structural pass already failed for this function.
+    if diags.len() == before {
+        verify_def_before_use(f, diags, &emit);
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn verify_op(
+    program: &Program,
+    f: &Function,
+    bi: usize,
+    oi: usize,
+    op: &Op,
+    diags: &mut Vec<Diagnostic>,
+    emit: &impl Fn(&mut Vec<Diagnostic>, &'static str, DiagLoc, String),
+) {
+    let loc = DiagLoc::Op { block: bi, op: oi };
+    let types = &program.types;
+    let check_reg = |diags: &mut Vec<Diagnostic>, r: Reg| {
+        if r.0 >= f.num_regs {
+            emit(
+                diags,
+                codes::REG_RANGE,
+                loc,
+                format!("register {r} out of range ({} regs)", f.num_regs),
+            );
+        }
+    };
+    let check_opnd = |diags: &mut Vec<Diagnostic>, o: &Operand| {
+        if let Operand::Reg(r) = o {
+            check_reg(diags, *r);
+        }
+    };
+    let check_ty = |diags: &mut Vec<Diagnostic>, ty: TypeId| -> bool {
+        if ty_ok(types, ty) {
+            true
+        } else {
+            emit(
+                diags,
+                codes::TYPE_RANGE,
+                loc,
+                format!("type {ty} out of range ({} types)", types.len()),
+            );
+            false
+        }
+    };
+
+    match op {
+        Op::Bin { dst, a, b, .. } => {
+            check_reg(diags, *dst);
+            check_opnd(diags, a);
+            check_opnd(diags, b);
+        }
+        Op::Mov { dst, a } => {
+            check_reg(diags, *dst);
+            check_opnd(diags, a);
+        }
+        Op::Alloca { dst, ty, count } => {
+            check_reg(diags, *dst);
+            check_ty(diags, *ty);
+            if *count == 0 {
+                emit(
+                    diags,
+                    codes::ALLOCA_ZERO,
+                    loc,
+                    "alloca of zero objects".to_string(),
+                );
+            }
+        }
+        Op::Malloc { dst, ty, count, .. } => {
+            check_reg(diags, *dst);
+            check_ty(diags, *ty);
+            check_opnd(diags, count);
+        }
+        Op::Free { ptr } => check_opnd(diags, ptr),
+        Op::Gep {
+            dst,
+            base,
+            base_ty,
+            steps,
+        } => {
+            check_reg(diags, *dst);
+            check_opnd(diags, base);
+            if !check_ty(diags, *base_ty) {
+                return;
+            }
+            let mut ty = *base_ty;
+            for (si, step) in steps.iter().enumerate() {
+                match step {
+                    GepStep::Field(i) => match types.get(ty) {
+                        Type::Struct { fields, name, .. } => {
+                            if *i as usize >= fields.len() {
+                                emit(
+                                    diags,
+                                    codes::GEP_TYPE,
+                                    loc,
+                                    format!(
+                                        "step {si}: field {i} out of range \
+                                         (struct {name} has {} fields)",
+                                        fields.len()
+                                    ),
+                                );
+                                return;
+                            }
+                            ty = fields[*i as usize].ty;
+                        }
+                        other => {
+                            emit(
+                                diags,
+                                codes::GEP_TYPE,
+                                loc,
+                                format!("step {si}: Field step on non-struct type {other:?}"),
+                            );
+                            return;
+                        }
+                    },
+                    GepStep::Index(o) => {
+                        check_opnd(diags, o);
+                        if let Type::Array { elem, .. } = types.get(ty) {
+                            ty = *elem;
+                        }
+                    }
+                }
+            }
+        }
+        Op::Load { dst, ptr, ty } => {
+            check_reg(diags, *dst);
+            check_opnd(diags, ptr);
+            if check_ty(diags, *ty)
+                && !matches!(types.get(*ty), Type::Int { .. } | Type::Ptr { .. })
+            {
+                emit(
+                    diags,
+                    codes::NON_SCALAR_ACCESS,
+                    loc,
+                    format!("load of non-scalar type {}", types.name_of(*ty)),
+                );
+            }
+        }
+        Op::Store { ptr, val, ty } => {
+            check_opnd(diags, ptr);
+            check_opnd(diags, val);
+            if check_ty(diags, *ty)
+                && !matches!(types.get(*ty), Type::Int { .. } | Type::Ptr { .. })
+            {
+                emit(
+                    diags,
+                    codes::NON_SCALAR_ACCESS,
+                    loc,
+                    format!("store of non-scalar type {}", types.name_of(*ty)),
+                );
+            }
+        }
+        Op::AddrOfGlobal { dst, global } => {
+            check_reg(diags, *dst);
+            if *global >= program.globals.len() {
+                emit(
+                    diags,
+                    codes::GLOBAL_RANGE,
+                    loc,
+                    format!(
+                        "global {global} out of range ({} globals)",
+                        program.globals.len()
+                    ),
+                );
+            }
+        }
+        Op::Call { dst, func, args } => {
+            if let Some(d) = dst {
+                check_reg(diags, *d);
+            }
+            for a in args {
+                check_opnd(diags, a);
+            }
+            match program.func(func) {
+                None => emit(
+                    diags,
+                    codes::UNKNOWN_CALLEE,
+                    loc,
+                    format!("unknown function `{func}`"),
+                ),
+                Some(callee) => {
+                    if callee.params as usize != args.len() {
+                        emit(
+                            diags,
+                            codes::CALL_ARITY,
+                            loc,
+                            format!("`{func}` takes {} args, got {}", callee.params, args.len()),
+                        );
+                    }
+                }
+            }
+        }
+        Op::CallExt { dst, ext, args } => {
+            if let Some(d) = dst {
+                check_reg(diags, *d);
+            }
+            for a in args {
+                check_opnd(diags, a);
+            }
+            if args.len() != ext_arity(*ext) {
+                emit(
+                    diags,
+                    codes::EXT_ARITY,
+                    loc,
+                    format!(
+                        "`{}` takes {} args, got {}",
+                        ext.name(),
+                        ext_arity(*ext),
+                        args.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn verify_terminator(
+    f: &Function,
+    bi: usize,
+    term: &Terminator,
+    diags: &mut Vec<Diagnostic>,
+    emit: &impl Fn(&mut Vec<Diagnostic>, &'static str, DiagLoc, String),
+) {
+    let loc = DiagLoc::Terminator { block: bi };
+    let check_block = |diags: &mut Vec<Diagnostic>, b: usize| {
+        if b >= f.blocks.len() {
+            emit(
+                diags,
+                codes::BLOCK_RANGE,
+                loc,
+                format!("block {b} out of range ({} blocks)", f.blocks.len()),
+            );
+        }
+    };
+    match term {
+        Terminator::Jmp(b) => check_block(diags, *b),
+        Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
+            if let Operand::Reg(r) = cond {
+                if r.0 >= f.num_regs {
+                    emit(
+                        diags,
+                        codes::REG_RANGE,
+                        loc,
+                        format!("register {r} out of range ({} regs)", f.num_regs),
+                    );
+                }
+            }
+            check_block(diags, *then_bb);
+            check_block(diags, *else_bb);
+        }
+        Terminator::Ret(v) => {
+            if let Some(Operand::Reg(r)) = v {
+                if r.0 >= f.num_regs {
+                    emit(
+                        diags,
+                        codes::REG_RANGE,
+                        loc,
+                        format!("register {r} out of range ({} regs)", f.num_regs),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Dense register bitset for the must-defined dataflow.
+#[derive(Clone, PartialEq, Eq)]
+struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    fn new(n: u32) -> Self {
+        RegSet {
+            words: vec![0; (n as usize).div_ceil(64)],
+        }
+    }
+
+    fn insert(&mut self, r: u32) {
+        if let Some(w) = self.words.get_mut(r as usize / 64) {
+            *w |= 1 << (r % 64);
+        }
+    }
+
+    fn contains(&self, r: u32) -> bool {
+        self.words
+            .get(r as usize / 64)
+            .is_some_and(|w| w & (1 << (r % 64)) != 0)
+    }
+
+    fn intersect(&mut self, other: &RegSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+}
+
+/// Reads of one op, in evaluation order.
+fn op_reads(op: &Op, out: &mut Vec<u32>) {
+    let mut opnd = |o: &Operand| {
+        if let Operand::Reg(r) = o {
+            out.push(r.0);
+        }
+    };
+    match op {
+        Op::Bin { a, b, .. } => {
+            opnd(a);
+            opnd(b);
+        }
+        Op::Mov { a, .. } => opnd(a),
+        Op::Alloca { .. } | Op::AddrOfGlobal { .. } => {}
+        Op::Malloc { count, .. } => opnd(count),
+        Op::Free { ptr } => opnd(ptr),
+        Op::Gep { base, steps, .. } => {
+            opnd(base);
+            for s in steps {
+                if let GepStep::Index(o) = s {
+                    opnd(o);
+                }
+            }
+        }
+        Op::Load { ptr, .. } => opnd(ptr),
+        Op::Store { ptr, val, .. } => {
+            opnd(ptr);
+            opnd(val);
+        }
+        Op::Call { args, .. } | Op::CallExt { args, .. } => {
+            for a in args {
+                opnd(a);
+            }
+        }
+    }
+}
+
+/// The register an op writes, if any.
+fn op_def(op: &Op) -> Option<u32> {
+    match op {
+        Op::Bin { dst, .. }
+        | Op::Mov { dst, .. }
+        | Op::Alloca { dst, .. }
+        | Op::Malloc { dst, .. }
+        | Op::Gep { dst, .. }
+        | Op::Load { dst, .. }
+        | Op::AddrOfGlobal { dst, .. } => Some(dst.0),
+        Op::Call { dst, .. } | Op::CallExt { dst, .. } => dst.map(|r| r.0),
+        Op::Free { .. } | Op::Store { .. } => None,
+    }
+}
+
+fn term_reads(term: &Terminator, out: &mut Vec<u32>) {
+    match term {
+        Terminator::Br {
+            cond: Operand::Reg(r),
+            ..
+        }
+        | Terminator::Ret(Some(Operand::Reg(r))) => out.push(r.0),
+        _ => {}
+    }
+}
+
+fn successors(term: &Terminator) -> impl Iterator<Item = usize> {
+    let (a, b) = match term {
+        Terminator::Jmp(t) => (Some(*t), None),
+        Terminator::Br {
+            then_bb, else_bb, ..
+        } => (Some(*then_bb), Some(*else_bb)),
+        Terminator::Ret(_) => (None, None),
+    };
+    a.into_iter().chain(b)
+}
+
+/// Must-defined forward dataflow: a register is flagged when a reachable
+/// path can read it before any write. Join is set intersection, so a
+/// register defined on only one side of a diamond is *not* considered
+/// defined after the join. Unreachable blocks are skipped — they never
+/// execute.
+fn verify_def_before_use(
+    f: &Function,
+    diags: &mut Vec<Diagnostic>,
+    emit: &impl Fn(&mut Vec<Diagnostic>, &'static str, DiagLoc, String),
+) {
+    let nb = f.blocks.len();
+    let mut inset: Vec<Option<RegSet>> = vec![None; nb];
+    let mut entry = RegSet::new(f.num_regs);
+    for p in 0..f.params.min(f.num_regs) {
+        entry.insert(p);
+    }
+    inset[0] = Some(entry);
+
+    let block_out = |block: &Block, start: &RegSet| -> RegSet {
+        let mut defs = start.clone();
+        for op in &block.ops {
+            if let Some(d) = op_def(op) {
+                defs.insert(d);
+            }
+        }
+        defs
+    };
+
+    let mut work = vec![0usize];
+    while let Some(bi) = work.pop() {
+        let Some(start) = inset[bi].clone() else {
+            continue;
+        };
+        let out = block_out(&f.blocks[bi], &start);
+        for s in successors(&f.blocks[bi].term) {
+            let changed = match &mut inset[s] {
+                slot @ None => {
+                    *slot = Some(out.clone());
+                    true
+                }
+                Some(old) => {
+                    let prev = old.clone();
+                    old.intersect(&out);
+                    *old != prev
+                }
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+
+    // Report pass: replay each reachable block from its stable in-set.
+    let mut reads = Vec::new();
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let Some(start) = &inset[bi] else { continue };
+        let mut defs = start.clone();
+        for (oi, op) in block.ops.iter().enumerate() {
+            reads.clear();
+            op_reads(op, &mut reads);
+            for &r in &reads {
+                if !defs.contains(r) {
+                    emit(
+                        diags,
+                        codes::USE_BEFORE_DEF,
+                        DiagLoc::Op { block: bi, op: oi },
+                        format!("register r{r} may be read before definition"),
+                    );
+                    // Treat as defined afterwards to avoid cascades.
+                    defs.insert(r);
+                }
+            }
+            if let Some(d) = op_def(op) {
+                defs.insert(d);
+            }
+        }
+        reads.clear();
+        term_reads(&block.term, &mut reads);
+        for &r in &reads {
+            if !defs.contains(r) {
+                emit(
+                    diags,
+                    codes::USE_BEFORE_DEF,
+                    DiagLoc::Terminator { block: bi },
+                    format!("register r{r} may be read before definition"),
+                );
+            }
+        }
+    }
+}

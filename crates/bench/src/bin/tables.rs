@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run --release -p ifp-bench --bin tables -- [section ...]
 //! [--workers N]` where sections are `table1 table2 table3 table4 fig10
-//! fig11 fig12 fig13 juliet temporal cache` or `all` (default).
+//! fig11 fig12 fig13 juliet temporal analyze cache` or `all` (default).
 //!
 //! `--workers N` caps the sweep worker threads (default: the host's
 //! available parallelism). Results are bit-identical for any worker
@@ -181,6 +181,12 @@ fn main() {
         let costs = ifp_bench::temporal::measure_sample_with_workers(workers);
         print!("{}", ifp_bench::temporal::overhead_table(&costs));
         println!();
+    }
+
+    if want("analyze") {
+        eprintln!("analyzing 18 workloads (elide off/on pairs, {workers} workers)...");
+        let report = ifp_bench::analyze::report_with_workers(&ifp_workloads::all(), workers);
+        println!("{}", ifp_bench::analyze::render_table(&report));
     }
 
     let needs_sweeps = ["table4", "fig10", "fig11", "fig12", "cache", "json"]

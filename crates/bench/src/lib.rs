@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod analyze;
 pub mod render;
 pub mod temporal;
 

@@ -72,6 +72,99 @@ pub enum OpAction {
     },
 }
 
+/// Per-op check-elision flags, computed by the `ifp-analyze` interval
+/// pass and folded into an [`InstrPlan`] by [`InstrPlan::build_elided`].
+/// All-false (the default) means the op keeps its full instrumentation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElideFlags {
+    /// `Load`/`Store`: the access is statically proven in-bounds for any
+    /// bounds the pointer can carry, so the fused check runs without a
+    /// bounds operand (poison is still checked — elision may only remove
+    /// work, never a detection).
+    pub check: bool,
+    /// `Gep`: the derived pointer is statically discharged — every use
+    /// is a proven access or the base of another discharged GEP — so the
+    /// tag update (`ifpadd`/`ifpidx`/`ifpbnd`) is dead work.
+    pub tag_update: bool,
+    /// `Load` of a pointer whose destination register is never read: the
+    /// hoisted `promote` is skipped.
+    pub promote: bool,
+}
+
+impl ElideFlags {
+    /// Whether any elision applies at this op.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.check || self.tag_update || self.promote
+    }
+}
+
+/// Static totals of an [`ElisionPlan`] (what the analysis planned, before
+/// any dynamic execution).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElisionCounts {
+    /// Accesses whose bounds check is elided.
+    pub checks: u64,
+    /// GEPs whose tag update is elided.
+    pub tag_updates: u64,
+    /// Pointer loads whose promote is elided.
+    pub promotes: u64,
+}
+
+/// A whole-program elision plan: `funcs[f][b][o]` is parallel to the
+/// program body, like [`FuncPlan::actions`]. Produced by the
+/// `ifp-analyze` crate's interval analysis and consumed here — the
+/// instrumentation planner stays the single authority on what the VM
+/// executes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ElisionPlan {
+    /// Per-function, per-block, per-op flags.
+    pub funcs: Vec<Vec<Vec<ElideFlags>>>,
+}
+
+impl ElisionPlan {
+    /// An all-false plan shaped like `program` (nothing elided).
+    #[must_use]
+    pub fn empty_for(program: &Program) -> Self {
+        ElisionPlan {
+            funcs: program
+                .funcs
+                .iter()
+                .map(|f| {
+                    f.blocks
+                        .iter()
+                        .map(|b| vec![ElideFlags::default(); b.ops.len()])
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Flags at `(fi, bi, oi)`, defaulting to no elision when the plan is
+    /// not shaped like the program.
+    #[must_use]
+    pub fn flags(&self, fi: usize, bi: usize, oi: usize) -> ElideFlags {
+        self.funcs
+            .get(fi)
+            .and_then(|f| f.get(bi))
+            .and_then(|b| b.get(oi))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Static totals across the plan.
+    #[must_use]
+    pub fn counts(&self) -> ElisionCounts {
+        let mut c = ElisionCounts::default();
+        for flags in self.funcs.iter().flatten().flatten() {
+            c.checks += u64::from(flags.check);
+            c.tag_updates += u64::from(flags.tag_update);
+            c.promotes += u64::from(flags.promote);
+        }
+        c
+    }
+}
+
 /// Per-function instrumentation plan.
 #[derive(Clone, Debug, Default)]
 pub struct FuncPlan {
@@ -102,6 +195,9 @@ pub struct InstrPlan {
     pub globals: Vec<GlobalPlan>,
     /// The analysis results the plan was derived from.
     pub analysis: Analysis,
+    /// Per-op elision flags (`elide[func][block][op]`), sanitized against
+    /// the planned actions. Empty unless built via [`Self::build_elided`].
+    pub elide: Vec<Vec<Vec<ElideFlags>>>,
 }
 
 impl InstrPlan {
@@ -146,13 +242,68 @@ impl InstrPlan {
             funcs,
             globals,
             analysis,
+            elide: Vec::new(),
         }
+    }
+
+    /// Builds the plan and folds in a check-elision plan from the static
+    /// analyzer. Flags are sanitized against the op kinds and planned
+    /// actions so a malformed [`ElisionPlan`] can never elide work the op
+    /// does not have: `check` applies only to loads/stores, `tag_update`
+    /// only to GEPs that got a [`OpAction::GepUpdate`], and `promote` only
+    /// where the plan placed a [`OpAction::PromoteAfterLoad`].
+    #[must_use]
+    pub fn build_elided(program: &Program, elision: &ElisionPlan) -> Self {
+        let mut plan = Self::build(program);
+        plan.elide = program
+            .funcs
+            .iter()
+            .enumerate()
+            .map(|(fi, f)| {
+                f.blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, b)| {
+                        b.ops
+                            .iter()
+                            .enumerate()
+                            .map(|(oi, op)| {
+                                let want = elision.flags(fi, bi, oi);
+                                let action = plan.action(fi, bi, oi);
+                                ElideFlags {
+                                    check: want.check
+                                        && matches!(op, Op::Load { .. } | Op::Store { .. }),
+                                    tag_update: want.tag_update
+                                        && matches!(op, Op::Gep { .. })
+                                        && matches!(action, OpAction::GepUpdate { .. }),
+                                    promote: want.promote
+                                        && matches!(action, OpAction::PromoteAfterLoad),
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        plan
     }
 
     /// The action for op `oi` of block `bi` of function `fi`.
     #[must_use]
     pub fn action(&self, fi: usize, bi: usize, oi: usize) -> &OpAction {
         &self.funcs[fi].actions[bi][oi]
+    }
+
+    /// The elision flags for op `oi` of block `bi` of function `fi`
+    /// (all-false when the plan was built without elision).
+    #[must_use]
+    pub fn elide_flags(&self, fi: usize, bi: usize, oi: usize) -> ElideFlags {
+        self.elide
+            .get(fi)
+            .and_then(|f| f.get(bi))
+            .and_then(|b| b.get(oi))
+            .copied()
+            .unwrap_or_default()
     }
 }
 

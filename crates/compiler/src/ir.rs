@@ -562,3 +562,200 @@ impl Program {
         Some((offset, ty))
     }
 }
+
+#[cfg(test)]
+mod validate_tests {
+    //! One test per [`ValidateError`] variant `Program::validate` can
+    //! produce, each pinning the message so downstream tooling (the
+    //! `ifp-analyze` verifier mirrors these checks as coded diagnostics)
+    //! can rely on the wording.
+
+    use super::*;
+
+    /// A minimal valid `main` the tests mutate into each defect.
+    fn valid_main() -> Function {
+        Function {
+            name: "main".to_string(),
+            params: 0,
+            num_regs: 1,
+            blocks: vec![Block {
+                ops: vec![Op::Mov {
+                    dst: Reg(0),
+                    a: Operand::Imm(0),
+                }],
+                term: Terminator::Ret(Some(Operand::Reg(Reg(0)))),
+            }],
+            instrumented: true,
+        }
+    }
+
+    fn expect_err(p: &Program, message: &str) {
+        let e = p.validate().expect_err("expected a validation error");
+        assert_eq!(e.message, message, "full error: {e}");
+    }
+
+    #[test]
+    fn missing_main() {
+        let p = Program::new();
+        let e = p.validate().unwrap_err();
+        assert_eq!(e.func, None);
+        assert_eq!(e.message, "program has no `main`");
+    }
+
+    #[test]
+    fn function_with_no_blocks() {
+        let mut p = Program::new();
+        let mut f = valid_main();
+        f.blocks.clear();
+        p.add_func(f);
+        expect_err(&p, "function has no blocks");
+    }
+
+    #[test]
+    fn register_out_of_range() {
+        let mut p = Program::new();
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Mov {
+            dst: Reg(7),
+            a: Operand::Imm(0),
+        };
+        p.add_func(f);
+        let e = p.validate().unwrap_err();
+        assert_eq!(e.func.as_deref(), Some("main"));
+        assert_eq!(e.message, "register r7 out of range (1 regs)");
+    }
+
+    #[test]
+    fn block_out_of_range() {
+        let mut p = Program::new();
+        let mut f = valid_main();
+        f.blocks[0].term = Terminator::Jmp(3);
+        p.add_func(f);
+        expect_err(&p, "block 3 out of range");
+    }
+
+    #[test]
+    fn alloca_of_zero_objects() {
+        let mut p = Program::new();
+        let i64t = p.types.int64();
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Alloca {
+            dst: Reg(0),
+            ty: i64t,
+            count: 0,
+        };
+        p.add_func(f);
+        expect_err(&p, "alloca of zero objects");
+    }
+
+    #[test]
+    fn gep_field_out_of_range() {
+        let mut p = Program::new();
+        let i64t = p.types.int64();
+        let st = p.types.struct_type("pair", &[("a", i64t), ("b", i64t)]);
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Gep {
+            dst: Reg(0),
+            base: Operand::Imm(0),
+            base_ty: st,
+            steps: vec![GepStep::Field(2)],
+        };
+        p.add_func(f);
+        expect_err(&p, "field 2 out of range");
+    }
+
+    #[test]
+    fn gep_field_step_on_non_struct() {
+        let mut p = Program::new();
+        let i64t = p.types.int64();
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Gep {
+            dst: Reg(0),
+            base: Operand::Imm(0),
+            base_ty: i64t,
+            steps: vec![GepStep::Field(0)],
+        };
+        p.add_func(f);
+        expect_err(&p, "Field step on non-struct");
+    }
+
+    #[test]
+    fn load_of_non_scalar_type() {
+        let mut p = Program::new();
+        let i64t = p.types.int64();
+        let arr = p.types.array(i64t, 4);
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Load {
+            dst: Reg(0),
+            ptr: Operand::Imm(0),
+            ty: arr,
+        };
+        p.add_func(f);
+        expect_err(&p, "load of non-scalar type");
+    }
+
+    #[test]
+    fn store_of_non_scalar_type() {
+        let mut p = Program::new();
+        let i64t = p.types.int64();
+        let arr = p.types.array(i64t, 4);
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Store {
+            ptr: Operand::Imm(0),
+            val: Operand::Imm(0),
+            ty: arr,
+        };
+        p.add_func(f);
+        expect_err(&p, "store of non-scalar type");
+    }
+
+    #[test]
+    fn global_out_of_range() {
+        let mut p = Program::new();
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::AddrOfGlobal {
+            dst: Reg(0),
+            global: 0,
+        };
+        p.add_func(f);
+        expect_err(&p, "global 0 out of range");
+    }
+
+    #[test]
+    fn call_to_unknown_function() {
+        let mut p = Program::new();
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Call {
+            dst: None,
+            func: "nowhere".to_string(),
+            args: vec![],
+        };
+        p.add_func(f);
+        expect_err(&p, "unknown function `nowhere`");
+    }
+
+    #[test]
+    fn call_arity_mismatch() {
+        let mut p = Program::new();
+        let mut callee = valid_main();
+        callee.name = "helper".to_string();
+        callee.params = 2;
+        callee.num_regs = 2;
+        p.add_func(callee);
+        let mut f = valid_main();
+        f.blocks[0].ops[0] = Op::Call {
+            dst: None,
+            func: "helper".to_string(),
+            args: vec![Operand::Imm(1)],
+        };
+        p.add_func(f);
+        expect_err(&p, "`helper` takes 2 args, got 1");
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut p = Program::new();
+        p.add_func(valid_main());
+        assert!(p.validate().is_ok());
+    }
+}

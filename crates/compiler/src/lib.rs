@@ -37,7 +37,7 @@ pub mod layout_gen;
 pub mod types;
 
 pub use builder::{FnBuilder, ProgramBuilder};
-pub use instrument::{AllocKind, InstrPlan, OpAction};
+pub use instrument::{AllocKind, ElideFlags, ElisionCounts, ElisionPlan, InstrPlan, OpAction};
 pub use ir::{BinOp, Block, ExtFunc, Function, GepStep, Op, Operand, Program, Reg, Terminator};
 pub use layout_gen::TypeLayoutInfo;
 pub use types::{Type, TypeId, TypeTable};

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
-//!                   [--corpus DIR] [--fail-on-finding]
+//!                   [--corpus DIR] [--elide-checks] [--fail-on-finding]
 //! ifp-fuzz replay FILE...
 //! ifp-fuzz shrink FILE [-o OUT]
 //! ```
@@ -23,7 +23,7 @@ ifp-fuzz: differential fuzzing of the In-Fat Pointer toolchain
 USAGE:
     ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
                       [--corpus DIR] [--schedule uniform|coverage]
-                      [--fail-on-finding]
+                      [--elide-checks] [--fail-on-finding]
     ifp-fuzz temporal [--seed S] [--iters N] [--workers W]
                       [--fail-on-finding]
     ifp-fuzz replay FILE...
@@ -37,6 +37,9 @@ CAMPAIGN OPTIONS:
     --corpus DIR        persist minimized findings as JSON under DIR
     --schedule X        ticket scheduling: uniform (default) or
                         coverage (inverse cell-frequency weighting)
+    --elide-checks      rerun each instrumented mode with statically-
+                        proven check elision; any verdict or output
+                        change is an elision_divergence finding
     --fail-on-finding   exit nonzero if any finding is produced
 
 TEMPORAL:
@@ -81,6 +84,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         workers: ifp_testutil::default_workers(),
         corpus_dir: None,
         schedule: Schedule::Uniform,
+        elide_checks: false,
     };
     let mut fail_on_finding = false;
     let mut it = args.iter();
@@ -112,6 +116,10 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                     .map(|s| config.schedule = s)
                     .ok_or(format!("bad schedule `{v}` (uniform|coverage)"))
             }),
+            "--elide-checks" => {
+                config.elide_checks = true;
+                Ok(())
+            }
             "--fail-on-finding" => {
                 fail_on_finding = true;
                 Ok(())

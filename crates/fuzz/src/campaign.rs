@@ -14,7 +14,7 @@
 
 use crate::corpus::{write_corpus, Finding};
 use crate::mutate::mutate;
-use crate::oracle::{evaluate, forensic_text, Disagreement, FindingClass};
+use crate::oracle::{evaluate_with, forensic_text, Disagreement, FindingClass, OracleOptions};
 use crate::shrink::shrink_with;
 use crate::spec::CaseSpec;
 use ifp_juliet::{CaseKind, Site, Variant, ALL_CWES};
@@ -76,6 +76,10 @@ pub struct CampaignConfig {
     pub corpus_dir: Option<PathBuf>,
     /// Ticket scheduling strategy.
     pub schedule: Schedule,
+    /// Add the check-elision differential legs to every oracle run: each
+    /// instrumented mode reruns with `elide_checks` and any verdict or
+    /// output change is an `elision_divergence` finding.
+    pub elide_checks: bool,
 }
 
 impl Default for CampaignConfig {
@@ -86,6 +90,7 @@ impl Default for CampaignConfig {
             workers: 1,
             corpus_dir: None,
             schedule: Schedule::Uniform,
+            elide_checks: false,
         }
     }
 }
@@ -250,6 +255,9 @@ pub fn coverage_guided_specs(seed: u64, iterations: u64) -> Vec<CaseSpec> {
 #[must_use]
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let next = AtomicU64::new(0);
+    let opts = OracleOptions {
+        elide_differential: config.elide_checks,
+    };
     let raw_findings: Mutex<Vec<(u64, CaseSpec, Vec<Disagreement>)>> = Mutex::new(Vec::new());
     let workers = config.workers.max(1);
     // Coverage-guided selection is inherently sequential (each choice
@@ -282,7 +290,8 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
                             }
                         }
                         let spec_for_eval = spec.clone();
-                        match catch_unwind(AssertUnwindSafe(|| evaluate(&spec_for_eval))) {
+                        match catch_unwind(AssertUnwindSafe(|| evaluate_with(&spec_for_eval, opts)))
+                        {
                             Ok(eval) => {
                                 local_instrs += eval.modeled_instrs;
                                 if !eval.disagreements.is_empty() {
@@ -338,7 +347,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         .map(|(iteration, original, disagreements)| {
             let classes: BTreeSet<FindingClass> = disagreements.iter().map(|d| d.class).collect();
             let spec = shrink_with(&original, |cand| {
-                let out = catch_unwind(AssertUnwindSafe(|| evaluate(cand)));
+                let out = catch_unwind(AssertUnwindSafe(|| evaluate_with(cand, opts)));
                 match out {
                     Ok(eval) => eval
                         .disagreements
@@ -423,6 +432,9 @@ impl CampaignReport {
         s.push_str(&format!("  iterations  {}\n", self.config.iterations));
         s.push_str(&format!("  workers     {}\n", self.config.workers.max(1)));
         s.push_str(&format!("  schedule    {}\n", self.config.schedule.name()));
+        if self.config.elide_checks {
+            s.push_str("  elision     differential on (wrapped + subheap rerun elided)\n");
+        }
         s.push_str(&format!(
             "  elapsed     {:.2}s ({:.0} iters/sec)\n",
             self.elapsed.as_secs_f64(),
@@ -501,6 +513,7 @@ mod tests {
             workers: 2,
             corpus_dir: None,
             schedule: Schedule::Uniform,
+            elide_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -519,6 +532,28 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("iterations  60"), "{rendered}");
         assert!(rendered.contains("instrs/sec"), "{rendered}");
+    }
+
+    #[test]
+    fn elide_differential_campaign_is_clean() {
+        let report = run_campaign(&CampaignConfig {
+            seed: 0xe11d,
+            iterations: 40,
+            workers: 2,
+            corpus_dir: None,
+            schedule: Schedule::Uniform,
+            elide_checks: true,
+        });
+        assert!(
+            report.findings.is_empty(),
+            "{:#?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (&f.spec, &f.disagreements))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.render().contains("elision     differential on"));
     }
 
     #[test]
@@ -555,6 +590,7 @@ mod tests {
             workers: 2,
             corpus_dir: None,
             schedule: Schedule::CoverageGuided,
+            elide_checks: false,
         };
         let guided = run_campaign(&base);
         assert!(

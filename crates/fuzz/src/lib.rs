@@ -42,7 +42,9 @@ pub mod temporal;
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Schedule};
 pub use corpus::{load_finding, write_corpus, Finding};
 pub use mutate::mutate;
-pub use oracle::{evaluate, Disagreement, Evaluation, FindingClass, RunOutcome};
+pub use oracle::{
+    evaluate, evaluate_with, Disagreement, Evaluation, FindingClass, OracleOptions, RunOutcome,
+};
 pub use shrink::shrink_with;
 pub use spec::CaseSpec;
 pub use temporal::{

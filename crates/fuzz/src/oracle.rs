@@ -94,6 +94,11 @@ pub enum FindingClass {
     /// A defense implementation disagreed with its analytic model or
     /// guaranteed verdict.
     DefenseDisagree,
+    /// The generator emitted IR the `ifp-analyze` verifier rejects.
+    MalformedIr,
+    /// Rerunning an instrumented mode with statically-proven check
+    /// elision changed the verdict or the output.
+    ElisionDivergence,
     /// The harness itself panicked while evaluating the case.
     HarnessPanic,
 }
@@ -110,6 +115,8 @@ impl FindingClass {
             FindingClass::OutputDivergence => "output_divergence",
             FindingClass::Nondeterminism => "nondeterminism",
             FindingClass::DefenseDisagree => "defense_disagree",
+            FindingClass::MalformedIr => "malformed_ir",
+            FindingClass::ElisionDivergence => "elision_divergence",
             FindingClass::HarnessPanic => "harness_panic",
         }
     }
@@ -125,6 +132,8 @@ impl FindingClass {
             FindingClass::OutputDivergence,
             FindingClass::Nondeterminism,
             FindingClass::DefenseDisagree,
+            FindingClass::MalformedIr,
+            FindingClass::ElisionDivergence,
             FindingClass::HarnessPanic,
         ]
         .into_iter()
@@ -168,7 +177,11 @@ pub struct Evaluation {
 pub fn run_mode_counted(program: &ifp_compiler::Program, mode: Mode) -> (RunOutcome, u64) {
     let mut cfg = VmConfig::with_mode(mode);
     cfg.fuel = FUEL;
-    match run(program, &cfg) {
+    run_config_counted(program, &cfg)
+}
+
+fn run_config_counted(program: &ifp_compiler::Program, cfg: &VmConfig) -> (RunOutcome, u64) {
+    match run(program, cfg) {
         Ok(r) => (
             RunOutcome::Completed {
                 exit: r.exit_code,
@@ -203,6 +216,17 @@ pub fn run_mode_counted(program: &ifp_compiler::Program, mode: Mode) -> (RunOutc
 #[must_use]
 pub fn run_mode(program: &ifp_compiler::Program, mode: Mode) -> RunOutcome {
     run_mode_counted(program, mode).0
+}
+
+/// [`run_mode_counted`] with `elide_checks` enabled: the `ifp-analyze`
+/// interval analysis runs over the program and every statically proven
+/// check, tag update, and dead promote is skipped.
+#[must_use]
+pub fn run_mode_elided_counted(program: &ifp_compiler::Program, mode: Mode) -> (RunOutcome, u64) {
+    let mut cfg = VmConfig::with_mode(mode);
+    cfg.fuel = FUEL;
+    cfg.elide_checks = true;
+    run_config_counted(program, &cfg)
 }
 
 /// Reruns the instrumented (subheap) mode with full tracing and renders
@@ -407,11 +431,45 @@ fn check_defenses(out: &mut Vec<Disagreement>, spec: &CaseSpec, r: &Resolved) {
     }
 }
 
+/// Knobs extending the differential matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OracleOptions {
+    /// Rerun the wrapped and subheap modes with statically-proven check
+    /// elision and require byte-identical verdicts and output — the
+    /// safety gate for `ifp-analyze`'s elision plan.
+    pub elide_differential: bool,
+}
+
 /// Runs the full differential matrix for one spec.
 #[must_use]
 pub fn evaluate(spec: &CaseSpec) -> Evaluation {
+    evaluate_with(spec, OracleOptions::default())
+}
+
+/// [`evaluate`] with extra differential legs enabled.
+#[must_use]
+pub fn evaluate_with(spec: &CaseSpec, opts: OracleOptions) -> Evaluation {
     let r = spec.resolve();
     let program = spec.build_program();
+
+    // Layer-1 gate: every program the generator emits must pass the
+    // strict IR verifier. A diagnostic here is a generator bug the VM's
+    // looser `validate` would mask (or worse, execute).
+    let verifier_diags = ifp_analyze::verify(&program);
+    if !verifier_diags.is_empty() {
+        let disagreements = verifier_diags
+            .iter()
+            .map(|d| Disagreement {
+                class: FindingClass::MalformedIr,
+                detail: d.to_string(),
+            })
+            .collect();
+        return Evaluation {
+            runs: Vec::new(),
+            disagreements,
+            modeled_instrs: 0,
+        };
+    }
 
     let (baseline, i0) = run_mode_counted(&program, Mode::Baseline);
     let (wrapped, i1) = run_mode_counted(&program, Mode::instrumented(AllocatorKind::Wrapped));
@@ -425,7 +483,7 @@ pub fn evaluate(spec: &CaseSpec) -> Evaluation {
     );
     let (subheap_again, i4) =
         run_mode_counted(&program, Mode::instrumented(AllocatorKind::Subheap));
-    let modeled_instrs = i0 + i1 + i2 + i3 + i4;
+    let mut modeled_instrs = i0 + i1 + i2 + i3 + i4;
 
     let mut out = Vec::new();
 
@@ -512,6 +570,37 @@ pub fn evaluate(spec: &CaseSpec) -> Evaluation {
         );
     }
 
+    // Elision differential: skipping statically proven checks must not
+    // change a single verdict or output byte in either allocator mode.
+    if opts.elide_differential {
+        for (label, mode, reference) in [
+            (
+                "wrapped",
+                Mode::instrumented(AllocatorKind::Wrapped),
+                &wrapped,
+            ),
+            (
+                "subheap",
+                Mode::instrumented(AllocatorKind::Subheap),
+                &subheap,
+            ),
+        ] {
+            let (elided, ie) = run_mode_elided_counted(&program, mode);
+            modeled_instrs += ie;
+            if elided != *reference {
+                push(
+                    &mut out,
+                    FindingClass::ElisionDivergence,
+                    format!(
+                        "{label}: {} without elision, {} with",
+                        reference.label(),
+                        elided.label()
+                    ),
+                );
+            }
+        }
+    }
+
     // Defense models.
     check_defenses(&mut out, spec, &r);
 
@@ -584,6 +673,36 @@ mod tests {
             let s = CaseSpec::generate(&mut Rng::stream(0xfacade, i));
             let e = evaluate(&s);
             assert!(e.disagreements.is_empty(), "{s:?}\n{:?}", e.disagreements);
+        }
+    }
+
+    #[test]
+    fn elide_differential_is_clean_on_random_specs() {
+        let opts = OracleOptions {
+            elide_differential: true,
+        };
+        for i in 0..25 {
+            let s = CaseSpec::generate(&mut Rng::stream(0xe11de, i));
+            let e = evaluate_with(&s, opts);
+            assert!(e.disagreements.is_empty(), "{s:?}\n{:?}", e.disagreements);
+        }
+    }
+
+    #[test]
+    fn finding_class_names_round_trip() {
+        for c in [
+            FindingClass::FalseTrap,
+            FindingClass::MissedBug,
+            FindingClass::EscapedCheck,
+            FindingClass::VmError,
+            FindingClass::OutputDivergence,
+            FindingClass::Nondeterminism,
+            FindingClass::DefenseDisagree,
+            FindingClass::MalformedIr,
+            FindingClass::ElisionDivergence,
+            FindingClass::HarnessPanic,
+        ] {
+            assert_eq!(FindingClass::from_name(c.name()), Some(c));
         }
     }
 

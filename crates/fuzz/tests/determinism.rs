@@ -15,6 +15,7 @@ fn config(workers: usize, corpus_dir: Option<std::path::PathBuf>) -> CampaignCon
         workers,
         corpus_dir,
         schedule: Schedule::Uniform,
+        elide_checks: false,
     }
 }
 

@@ -8,7 +8,7 @@ use ifp_alloc::{
     SubheapAllocator, WrappedAllocator,
 };
 use ifp_compiler::costs as ir_costs;
-use ifp_compiler::instrument::{AllocKind, OpAction};
+use ifp_compiler::instrument::{AllocKind, ElideFlags, OpAction};
 use ifp_compiler::ir::{BinOp, ExtFunc, GepStep, Op, Operand, Program, Reg, Terminator};
 use ifp_compiler::types::Type;
 use ifp_compiler::InstrPlan;
@@ -69,6 +69,9 @@ enum Code<'p> {
         callee: u32,
         /// Whether the callee saves/restores a bounds register pair.
         saves_bounds: bool,
+        /// Statically proven elisions for this op (all-false unless the
+        /// plan was built with an [`ifp_compiler::ElisionPlan`]).
+        elide: ElideFlags,
     },
     /// An unconditional jump to a flat-stream index.
     Jmp { cost: u64, target: u32 },
@@ -106,6 +109,7 @@ fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode
         for (bi, b) in f.blocks.iter().enumerate() {
             for (oi, op) in b.ops.iter().enumerate() {
                 let action = plan.map_or(OpAction::None, |p| p.funcs[fi].actions[bi][oi]);
+                let elide = plan.map_or(ElideFlags::default(), |p| p.elide_flags(fi, bi, oi));
                 let (callee, saves_bounds) = match op {
                     Op::Call { func, .. } => {
                         let c = program.func_id(func).expect("validated call target");
@@ -119,6 +123,7 @@ fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode
                     action,
                     callee,
                     saves_bounds,
+                    elide,
                 });
             }
             let cost = ir_costs::term_cost(&b.term);
@@ -201,10 +206,13 @@ impl<'p> Vm<'p> {
         program
             .validate()
             .map_err(|e| VmError::BadProgram(e.to_string()))?;
-        let plan = config
-            .mode
-            .is_instrumented()
-            .then(|| InstrPlan::build(program));
+        let plan = config.mode.is_instrumented().then(|| {
+            if config.elide_checks {
+                InstrPlan::build_elided(program, &ifp_analyze::elision_plan(program))
+            } else {
+                InstrPlan::build(program)
+            }
+        });
 
         let mut mem = MemSystem::new(config.l1);
         let mut gt = loader::make_global_table(&mut mem);
@@ -439,9 +447,10 @@ impl<'p> Vm<'p> {
                 action,
                 callee,
                 saves_bounds,
+                elide,
             } => {
                 self.frame().pc += 1;
-                self.exec_op(op, action, callee, saves_bounds)?
+                self.exec_op(op, action, callee, saves_bounds, elide)?
             }
             Code::Jmp { cost, target } => {
                 self.charge_base(cost);
@@ -582,6 +591,7 @@ impl<'p> Vm<'p> {
         action: OpAction,
         callee: u32,
         saves_bounds: bool,
+        elide: ElideFlags,
     ) -> Result<Flow, VmError> {
         match op {
             Op::Bin { dst, op, a, b } => {
@@ -663,17 +673,27 @@ impl<'p> Vm<'p> {
                 base_ty,
                 steps,
             } => {
-                self.exec_gep(action, *dst, *base, *base_ty, steps)?;
+                self.exec_gep(action, *dst, *base, *base_ty, steps, elide)?;
             }
             Op::Load { dst, ptr, ty } => {
                 self.charge_base(1);
                 let raw = self.eval(*ptr);
                 let p = self.effective_ptr(raw);
-                let b = if self.instrumented() {
+                let mut b = if self.instrumented() {
                     self.bounds_of(*ptr)
                 } else {
                     None
                 };
+                if b.is_some() {
+                    self.stats.elision.checks_total += 1;
+                    if elide.check {
+                        // Statically proven in bounds: the LSU sees no
+                        // bounds register and skips the fused check. The
+                        // pointer's poison bits are still honoured.
+                        self.stats.elision.checks_elided += 1;
+                        b = None;
+                    }
+                }
                 // The liveness check runs alongside the bounds check,
                 // before the access reaches the memory system: a hit on
                 // revoked memory traps with the temporal cause rather
@@ -705,10 +725,16 @@ impl<'p> Vm<'p> {
                 let mut stamp = None;
                 let mut value = value;
                 if self.instrumented() && matches!(action, OpAction::PromoteAfterLoad) {
-                    let (v, b, s) = self.exec_promote(value)?;
-                    value = v;
-                    bounds = b;
-                    stamp = s;
+                    if elide.promote {
+                        // The loaded pointer is never used: the planned
+                        // promote is dead instrumentation.
+                        self.stats.elision.promotes_elided += 1;
+                    } else {
+                        let (v, b, s) = self.exec_promote(value)?;
+                        value = v;
+                        bounds = b;
+                        stamp = s;
+                    }
                 }
                 self.set_reg(*dst, value, bounds, stamp);
             }
@@ -716,11 +742,18 @@ impl<'p> Vm<'p> {
                 self.charge_base(1);
                 let raw = self.eval(*ptr);
                 let p = self.effective_ptr(raw);
-                let b = if self.instrumented() {
+                let mut b = if self.instrumented() {
                     self.bounds_of(*ptr)
                 } else {
                     None
                 };
+                if b.is_some() {
+                    self.stats.elision.checks_total += 1;
+                    if elide.check {
+                        self.stats.elision.checks_elided += 1;
+                        b = None;
+                    }
+                }
                 if self.temporal.enabled() {
                     self.stats.cycles += self.config.cycle_model.temporal_check;
                     let stamp = self.stamp_of(*ptr);
@@ -1043,6 +1076,7 @@ impl<'p> Vm<'p> {
         base: Operand,
         base_ty: ifp_compiler::TypeId,
         steps: &[GepStep],
+        elide: ElideFlags,
     ) -> Result<(), VmError> {
         let types = &self.program.types;
         let base_raw = self.eval(base);
@@ -1087,6 +1121,29 @@ impl<'p> Vm<'p> {
             self.charge_base(base_cost);
             let b = self.bounds_of(base);
             self.set_reg(dst, bp.with_addr(addr).raw(), b, base_stamp);
+            return Ok(());
+        }
+
+        if elide.tag_update {
+            // Statically discharged: every access through this GEP's
+            // result is proven in bounds and the tagged value itself is
+            // otherwise unobserved, so the ifpadd/ifpidx/ifpbnd sequence
+            // is dropped and only the address arithmetic retires. The
+            // base's tag (including its poison state) carries through
+            // unchanged, and the bounds stay those of the base.
+            let (new_index, enters) = match action {
+                OpAction::GepUpdate {
+                    new_index,
+                    enters_subobject,
+                } => (new_index, enters_subobject),
+                _ => (None, false),
+            };
+            self.charge_base(base_cost);
+            let b = self.bounds_of(base);
+            self.set_reg(dst, bp.with_addr(addr).raw(), b, base_stamp);
+            self.stats.elision.geps_elided += 1;
+            self.stats.elision.arith_elided +=
+                1 + u64::from(new_index.is_some()) + u64::from(enters);
             return Ok(());
         }
 

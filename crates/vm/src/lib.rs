@@ -27,7 +27,7 @@ mod loader;
 pub mod stats;
 
 pub use interp::{StepOutcome, Vm};
-pub use stats::{ObjectStats, PromoteStats, RunStats};
+pub use stats::{ElisionStats, ObjectStats, PromoteStats, RunStats};
 
 use ifp_compiler::Program;
 use ifp_hw::{CycleModel, Trap};
@@ -125,6 +125,11 @@ pub struct VmConfig {
     /// every spatial-only configuration bit-identical to the
     /// pre-temporal simulator.
     pub temporal: ifp_temporal::TemporalPolicy,
+    /// Apply the `ifp-analyze` interval analysis and skip bounds checks,
+    /// GEP tag updates, and dead promotes on statically proven ops. Off
+    /// by default, which keeps every run bit-identical to a build without
+    /// the analyzer.
+    pub elide_checks: bool,
 }
 
 impl Default for VmConfig {
@@ -136,6 +141,7 @@ impl Default for VmConfig {
             fuel: 4_000_000_000,
             trace: TraceConfig::off(),
             temporal: ifp_temporal::TemporalPolicy::Off,
+            elide_checks: false,
         }
     }
 }

@@ -60,6 +60,25 @@ impl PromoteStats {
     }
 }
 
+/// Static-elision counters. All zero unless the run was configured with
+/// `elide_checks`, keeping default-path stats bit-identical to a build
+/// without the analyzer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElisionStats {
+    /// Dereferences that carried bounds and would have been checked.
+    pub checks_total: u64,
+    /// Of those, checks skipped because the access was statically proven
+    /// in bounds.
+    pub checks_elided: u64,
+    /// Tag-updating GEPs executed as plain address arithmetic.
+    pub geps_elided: u64,
+    /// In-Fat Pointer arithmetic instructions (`ifpadd`/`ifpidx`/
+    /// `ifpbnd`) not issued thanks to elided GEPs.
+    pub arith_elided: u64,
+    /// `promote` instructions skipped because their result was dead.
+    pub promotes_elided: u64,
+}
+
 /// All statistics from one run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -96,6 +115,8 @@ pub struct RunStats {
     pub heap_frees: u64,
     /// Temporal-safety counters (all zero when the policy is off).
     pub temporal: ifp_temporal::TemporalStats,
+    /// Static-elision counters (all zero when `elide_checks` is off).
+    pub elision: ElisionStats,
 }
 
 impl RunStats {
