@@ -77,6 +77,34 @@ impl GlobalTableManager {
         self.peak_live
     }
 
+    /// Returns the manager to its just-constructed state so a pooled VM
+    /// can reuse it for a fresh run: all rows free, fresh rows handed out
+    /// from index 0 again, high-water mark cleared.
+    ///
+    /// Row *images* in simulated memory are not touched here — pooled
+    /// reuse resets the backing [`MemSystem`] wholesale (one unmap of the
+    /// table region instead of up to 4096 row invalidation writes), and
+    /// [`GlobalTableManager::map`] re-establishes the zero-filled pages.
+    ///
+    /// Under `debug_assertions` this asserts the row-accounting
+    /// invariant that guards against leaks between pooled runs: every row
+    /// ever handed out is exactly one of live or recycled.
+    pub fn reset(&mut self) {
+        debug_assert_eq!(
+            self.recycled.len() + self.live_count,
+            usize::from(self.next_fresh),
+            "global-table row leak: {} recycled + {} live != {} handed out",
+            self.recycled.len(),
+            self.live_count,
+            self.next_fresh,
+        );
+        self.recycled.clear();
+        self.live[..usize::from(self.next_fresh)].fill(false);
+        self.next_fresh = 0;
+        self.live_count = 0;
+        self.peak_live = 0;
+    }
+
     /// Registers an object and returns its tagged pointer, the row index,
     /// and the runtime cost.
     ///
@@ -102,6 +130,10 @@ impl GlobalTableManager {
             }
             None => return Err(AllocError::GlobalTableFull),
         };
+        debug_assert!(
+            !self.live[usize::from(row)],
+            "global-table handed out a row ({row}) that is still live"
+        );
         let image = GlobalTableRow {
             base: object_base,
             size: size32,
@@ -207,6 +239,24 @@ mod tests {
         gt.deregister(&mut mem, r1).unwrap();
         let (_, r2, _) = gt.register(&mut mem, 0x8000, 64, 0).unwrap();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn reset_reclaims_every_row_without_leaking() {
+        let (mut mem, mut gt) = setup();
+        // Mixed history: some rows live, some recycled, then reset.
+        let rows: Vec<u16> = (0..8)
+            .map(|i| gt.register(&mut mem, 0x10000 + i * 64, 64, 0).unwrap().1)
+            .collect();
+        for r in &rows[..4] {
+            gt.deregister(&mut mem, *r).unwrap();
+        }
+        gt.reset();
+        assert_eq!(gt.live_rows(), 0);
+        assert_eq!(gt.peak_live_rows(), 0);
+        // Fresh rows start from 0 again, exactly like a new manager.
+        let (_, row, _) = gt.register(&mut mem, 0x7000, 64, 0).unwrap();
+        assert_eq!(row, 0);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! workload (default `treeadd`) with event tracing enabled and prints the
 //! trace summary; `trace-jsonl [workload]` dumps the raw JSONL stream for
 //! the `ifp-trace` CLI instead.
+//!
+//! `serve` is another extra mode (not part of `all`): it runs the
+//! `ifp-serve` multi-tenant service simulation at the pinned seed and
+//! prints the per-tenant latency/detection table. The full JSON report
+//! comes from `bench -- serve` (see `BENCH_serve.json`).
 
 use ifp_baselines::{temporal_row, Asan, Mte, SoftBound};
 use ifp_bench::{render, sweep_all_with_workers};
@@ -79,6 +84,61 @@ fn parse_workers(args: &mut Vec<String>) -> usize {
     workers
 }
 
+/// `tables serve`: the multi-tenant service simulation, rendered as the
+/// hardened-vs-off comparison table. Deterministic for any worker
+/// count; 2,048 requests at the pinned seed (the CI smoke size).
+fn run_serve_mode(workers: usize) {
+    let cfg = ifp_serve::ServeConfig {
+        requests: 2_048,
+        workers,
+        ..ifp_serve::ServeConfig::default()
+    };
+    eprintln!(
+        "serving {} requests over {} shards ({workers} workers)...",
+        cfg.requests, cfg.shards
+    );
+    let r = ifp_serve::run_service(&cfg);
+    println!("Multi-tenant service (seed {:#x}, virtual time)", cfg.seed);
+    println!(
+        "{:<14} {:>8} {:>9} {:>6} {:>8} {:>9} {:>11} {:>11} {:>11}",
+        "tenant",
+        "requests",
+        "completed",
+        "shed",
+        "spatial",
+        "temporal",
+        "p50_ns",
+        "p99_ns",
+        "p999_ns"
+    );
+    for t in &r.tenants {
+        let c = &t.counters;
+        println!(
+            "{:<14} {:>8} {:>9} {:>6} {:>8} {:>9} {:>11} {:>11} {:>11}",
+            t.tenant.name,
+            c.requests,
+            c.completed,
+            c.shed,
+            c.detected_spatial,
+            c.detected_temporal,
+            t.latency.percentile(500),
+            t.latency.percentile(990),
+            t.latency.percentile(999),
+        );
+    }
+    println!(
+        "total: completed {} / shed {} / detected {}; makespan {} ms (virtual), \
+         throughput {}.{:03} req/s, unexpected {}",
+        r.completed,
+        r.shed,
+        r.detected,
+        r.makespan_ns / 1_000_000,
+        r.throughput_milli_rps() / 1000,
+        r.throughput_milli_rps() % 1000,
+        r.unexpected(),
+    );
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let workers = parse_workers(&mut args);
@@ -88,6 +148,11 @@ fn main() {
         if mode == "trace" || mode == "trace-jsonl" {
             let workload = args.get(1).map_or("treeadd", String::as_str);
             run_trace_mode(workload, mode == "trace-jsonl");
+            return;
+        }
+        // So does the service table: `tables serve`.
+        if mode == "serve" {
+            run_serve_mode(workers);
             return;
         }
     }

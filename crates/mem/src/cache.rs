@@ -208,6 +208,21 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Returns the cache to its just-constructed state: every line
+    /// invalid, counters zeroed, LRU clock rewound. Equivalent to
+    /// `Cache::new(self.config())` but without releasing the line buffer
+    /// to the pool and re-acquiring it — the basis of pooled-VM reuse.
+    ///
+    /// Victim selection after a reset is identical to a fresh cache:
+    /// stale lines carry old `last_use` values, but an invalid line
+    /// (epoch mismatch) always keys to 0 in the LRU comparison, so the
+    /// leftover values are never consulted.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.reset_stats();
+        self.clock = 0;
+    }
+
     /// Performs one line-granular access; returns `true` on hit.
     pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
         self.clock += 1;

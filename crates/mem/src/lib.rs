@@ -526,6 +526,25 @@ impl Memory {
         self.write_bytes(addr, &v.to_le_bytes())
     }
 
+    /// Unmaps everything and zeroes the statistics, returning the memory
+    /// to its just-constructed observable state while keeping the frame
+    /// arena, free list, and page-index capacity for reuse. Frames are
+    /// scrubbed on reallocation (the `alloc_frame` recycle path), so a
+    /// reset memory reads back exactly like a fresh one.
+    pub fn reset(&mut self) {
+        for (_, frame) in self.index.drain() {
+            if frame != FRAME_LAZY {
+                self.free_frames.push(frame);
+            }
+        }
+        self.tlb = [TlbEntry {
+            page: TLB_INVALID,
+            frame: 0,
+        }; TLB_SIZE];
+        self.stats = MemStats::default();
+        self.peak_mapped_pages = 0;
+    }
+
     /// Fills `[addr, addr + len)` with `byte` without staging a buffer.
     /// Counted as a single write of `len` bytes, like
     /// [`Memory::write_bytes`] of an equal-sized buffer.
@@ -594,6 +613,20 @@ impl MemSystem {
     #[must_use]
     pub fn with_default_l1() -> Self {
         MemSystem::new(CacheConfig::default())
+    }
+
+    /// Returns the whole hierarchy to its just-constructed observable
+    /// state under a (possibly new) L1 geometry, reusing the backing
+    /// memory's arena and — when the geometry is unchanged — the cache's
+    /// line buffer. This is what lets a pooled VM image be recycled
+    /// without paying construction cost per run.
+    pub fn reset(&mut self, l1: CacheConfig) {
+        self.mem.reset();
+        if self.l1d.config() == l1 {
+            self.l1d.reset();
+        } else {
+            self.l1d = Cache::new(l1);
+        }
     }
 
     /// Reads `buf.len()` bytes through the cache.

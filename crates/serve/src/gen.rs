@@ -1,0 +1,272 @@
+//! Tenants, the shared program set, and the seeded load generator.
+
+use ifp_compiler::Program;
+use ifp_juliet::{all_cases, temporal_cases, CaseKind, JulietCase, TemporalCase};
+use ifp_temporal::TemporalPolicy;
+use ifp_testutil::Rng;
+use ifp_trace::{Category, CategoryMask, TraceConfig};
+use ifp_vm::{AllocatorKind, Mode, VmConfig};
+
+use crate::ServeConfig;
+
+/// Ring capacity for traced tenants: enough for the allocation tail
+/// leading up to a trap, small enough that per-request tracing stays
+/// cheap (the ring is reused across pooled runs, so it allocates once
+/// per shard).
+const TENANT_TRACE_CAPACITY: usize = 256;
+
+/// A tenant: a named request class with its own hardening configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Tenant {
+    /// Stable name (appears in the report).
+    pub name: &'static str,
+    /// Execution mode (baseline or instrumented allocator).
+    pub mode: Mode,
+    /// Temporal-safety policy.
+    pub temporal: TemporalPolicy,
+    /// Whether statically proven checks are elided.
+    pub elide_checks: bool,
+    /// Whether this tenant's runs record alloc/free/trap trace events
+    /// (feeding the forensics sink).
+    pub trace: bool,
+    /// Relative weight in the request mix.
+    pub weight: u32,
+}
+
+impl Tenant {
+    /// The VM configuration for one of this tenant's requests.
+    #[must_use]
+    pub fn vm_config(&self) -> VmConfig {
+        let mut cfg = VmConfig::with_mode(self.mode);
+        cfg.temporal = self.temporal;
+        cfg.elide_checks = self.elide_checks;
+        cfg.fuel = 50_000_000;
+        if self.trace {
+            cfg.trace = TraceConfig {
+                mask: CategoryMask::NONE
+                    .with(Category::Alloc)
+                    .with(Category::Free)
+                    .with(Category::Trap)
+                    .with(Category::TemporalTrap)
+                    .with(Category::Revoke)
+                    .with(Category::Quarantine),
+                capacity: TENANT_TRACE_CAPACITY,
+                sample_period: 1,
+            };
+        }
+        cfg
+    }
+
+    /// Whether the tenant runs instrumented (and so must detect every
+    /// bad Juliet case).
+    #[must_use]
+    pub fn hardened(&self) -> bool {
+        self.mode.is_instrumented()
+    }
+}
+
+/// The standard tenant mix: an unhardened baseline against the paper's
+/// two allocator schemes with temporal enforcement, plus the
+/// statically-elided subheap configuration.
+#[must_use]
+pub fn standard_tenants() -> Vec<Tenant> {
+    vec![
+        Tenant {
+            name: "baseline",
+            mode: Mode::Baseline,
+            temporal: TemporalPolicy::Off,
+            elide_checks: false,
+            trace: false,
+            weight: 2,
+        },
+        Tenant {
+            name: "wrapped-hard",
+            mode: Mode::instrumented(AllocatorKind::Wrapped),
+            temporal: TemporalPolicy::KeyCheck,
+            elide_checks: false,
+            trace: true,
+            weight: 3,
+        },
+        Tenant {
+            name: "subheap-hard",
+            mode: Mode::instrumented(AllocatorKind::Subheap),
+            temporal: TemporalPolicy::Quarantine,
+            elide_checks: false,
+            trace: true,
+            weight: 3,
+        },
+        Tenant {
+            name: "subheap-elide",
+            mode: Mode::instrumented(AllocatorKind::Subheap),
+            temporal: TemporalPolicy::KeyCheck,
+            elide_checks: true,
+            trace: false,
+            weight: 2,
+        },
+    ]
+}
+
+/// What a request executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Index into [`ProgramSet::juliet`].
+    Juliet(usize),
+    /// Index into [`ProgramSet::temporal`].
+    Temporal(usize),
+    /// Index into [`ProgramSet::workloads`].
+    Workload(usize),
+}
+
+/// One generated request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Sequential id, also the routing key (`id % shards`).
+    pub id: u64,
+    /// Index into the tenant table.
+    pub tenant: usize,
+    /// Program selector.
+    pub kind: ReqKind,
+    /// Virtual arrival time (nondecreasing in `id`).
+    pub arrival_ns: u64,
+}
+
+/// The shared, read-only program set requests select from. Built once
+/// before the shards start; programs are never mutated by execution.
+pub struct ProgramSet {
+    /// The generated Juliet-style spatial cases (good and bad).
+    pub juliet: Vec<JulietCase>,
+    /// The generated temporal cases (use-after-free, double free).
+    pub temporal: Vec<TemporalCase>,
+    /// Evaluation workloads at service scales (small enough that one
+    /// request is a few hundred microseconds of host time).
+    pub workloads: Vec<(&'static str, Program)>,
+}
+
+/// Number of generated Juliet-style spatial cases ([`all_cases`] is a
+/// fixed grid; asserted at [`ProgramSet::build`]). The generator
+/// references the count without building the set.
+const JULIET_CASES: usize = 128;
+
+/// Number of generated temporal cases ([`temporal_cases`], asserted at
+/// [`ProgramSet::build`]).
+const TEMPORAL_CASES: usize = 10;
+
+/// Per-workload service scales: the suite-smoke sizes, which keep every
+/// program above the triviality floor but well under batch-run cost.
+const SERVE_SCALES: [(&str, u32); 18] = [
+    ("bh", 24),
+    ("bisort", 6),
+    ("em3d", 48),
+    ("health", 3),
+    ("mst", 16),
+    ("perimeter", 4),
+    ("power", 2),
+    ("treeadd", 7),
+    ("tsp", 6),
+    ("voronoi", 5),
+    ("anagram", 12),
+    ("ft", 48),
+    ("ks", 12),
+    ("yacr2", 24),
+    ("wolfcrypt-dh", 2),
+    ("sjeng", 3),
+    ("coremark", 2),
+    ("bzip2", 1),
+];
+
+impl ProgramSet {
+    /// Builds every program in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale table and workload registry disagree.
+    #[must_use]
+    pub fn build() -> Self {
+        let workloads = SERVE_SCALES
+            .iter()
+            .map(|&(name, scale)| {
+                let w = ifp_workloads::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown workload {name}"));
+                (name, (w.build)(scale))
+            })
+            .collect();
+        let juliet = all_cases();
+        assert_eq!(juliet.len(), JULIET_CASES, "Juliet grid size changed");
+        let temporal = temporal_cases();
+        assert_eq!(temporal.len(), TEMPORAL_CASES, "temporal grid changed");
+        ProgramSet {
+            juliet,
+            temporal,
+            workloads,
+        }
+    }
+
+    /// Human-readable label of a request's program.
+    #[must_use]
+    pub fn label(&self, kind: ReqKind) -> String {
+        match kind {
+            ReqKind::Juliet(i) => self.juliet[i].id.clone(),
+            ReqKind::Temporal(i) => self.temporal[i].id.clone(),
+            ReqKind::Workload(i) => self.workloads[i].0.to_string(),
+        }
+    }
+
+    /// Whether the request's program is expected to complete cleanly
+    /// under a hardened tenant (good cases and all workloads).
+    #[must_use]
+    pub fn is_good(&self, kind: ReqKind) -> bool {
+        match kind {
+            ReqKind::Juliet(i) => self.juliet[i].kind == CaseKind::Good,
+            ReqKind::Temporal(i) => self.temporal[i].kind == CaseKind::Good,
+            ReqKind::Workload(_) => true,
+        }
+    }
+}
+
+/// Generates the request stream: request `i` draws its tenant, program
+/// and arrival gap from `Rng::stream(seed, i)`, so the stream is a pure
+/// function of the seed and request count (and can be regenerated for
+/// any single request independently). Arrival times are the running sum
+/// of uniform gaps on `[0, 2 * mean_gap_ns]`.
+#[must_use]
+pub fn generate_requests(cfg: &ServeConfig, tenants: &[Tenant]) -> Vec<Request> {
+    let total_weight: u32 = tenants.iter().map(|t| t.weight).sum();
+    assert!(total_weight > 0, "tenants must have weight");
+    let mut arrival = 0u64;
+    (0..cfg.requests)
+        .map(|id| {
+            let mut rng = Rng::stream(cfg.seed, id);
+            let mut pick = rng.range_u64(0, u64::from(total_weight));
+            let tenant = tenants
+                .iter()
+                .position(|t| {
+                    if pick < u64::from(t.weight) {
+                        true
+                    } else {
+                        pick -= u64::from(t.weight);
+                        false
+                    }
+                })
+                .expect("pick < total weight");
+            let kind = if rng.range_u64(0, 100) < u64::from(cfg.juliet_share) {
+                // Spatial and temporal cases share the pool, weighted by
+                // case count.
+                let i = rng.range_usize(0, JULIET_CASES + TEMPORAL_CASES);
+                if i < JULIET_CASES {
+                    ReqKind::Juliet(i)
+                } else {
+                    ReqKind::Temporal(i - JULIET_CASES)
+                }
+            } else {
+                ReqKind::Workload(rng.range_usize(0, SERVE_SCALES.len()))
+            };
+            arrival += rng.range_u64(0, 2 * cfg.mean_gap_ns + 1);
+            Request {
+                id,
+                tenant,
+                kind,
+                arrival_ns: arrival,
+            }
+        })
+        .collect()
+}

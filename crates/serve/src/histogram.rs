@@ -1,0 +1,197 @@
+//! Fixed-bucket, byte-deterministic latency histogram.
+//!
+//! Buckets are exact for values below 16 ns and log-scaled above, with
+//! four sub-buckets per power of two (≈ 19% worst-case relative error on
+//! a reported percentile bound — stable forever, because the bucket
+//! edges are integer arithmetic on the value's bit pattern, never a
+//! float). Percentiles are reported as the inclusive upper bound of the
+//! bucket where the cumulative count crosses the rank, which makes them
+//! integers and machine-independent.
+
+/// Number of histogram buckets. Index 0–15 are exact values 0–15 ns;
+/// the rest cover `[2^4, 2^64)` with 4 sub-buckets per octave.
+pub const NUM_BUCKETS: usize = 16 + (64 - 4) * 4;
+
+/// A latency histogram over virtual nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of `v`.
+fn bucket_of(v: u64) -> usize {
+    if v < 16 {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros() as usize; // ≥ 4
+        let sub = ((v >> (octave - 2)) & 3) as usize;
+        16 + (octave - 4) * 4 + sub
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (the value percentiles report).
+fn bucket_upper(i: usize) -> u64 {
+    if i < 16 {
+        i as u64
+    } else {
+        let octave = 4 + (i - 16) / 4;
+        let sub = ((i - 16) % 4) as u64;
+        // The bucket covers [2^octave + sub * 2^(octave-2),
+        //                    2^octave + (sub+1) * 2^(octave-2)).
+        (1u64 << octave) + ((sub + 1) << (octave - 2)) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; NUM_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self` (bucket-wise addition; order
+    /// independent, so shard merge order cannot change the result).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Integer mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.total).unwrap_or(0)
+    }
+
+    /// The `per_mille`-th percentile (e.g. 500 = p50, 999 = p99.9) as
+    /// the upper bound of the bucket holding that rank; 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, per_mille: u64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // Rank of the percentile element (1-based, ceiling — the
+        // nearest-rank definition, exact in integers).
+        let rank = (self.total * per_mille).div_ceil(1000).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The non-empty buckets as `(index, upper_bound_ns, count)`, in
+    /// index order — the report's sparse encoding.
+    pub fn sparse(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, bucket_upper(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_consistent() {
+        let mut prev = 0usize;
+        for shift in 0..60 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << shift) + off;
+                let b = bucket_of(v);
+                assert!(b >= prev || shift < 4, "bucket order at {v}");
+                assert!(bucket_upper(b) >= v, "upper bound covers {v}");
+                prev = b.max(prev);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_below_16() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(500), 7);
+        assert_eq!(h.percentile(1000), 15);
+        assert_eq!(h.mean(), 7);
+    }
+
+    #[test]
+    fn percentiles_hit_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        let p50 = h.percentile(500);
+        assert!(
+            (100..=127).contains(&p50),
+            "p50 within 100's bucket, got {p50}"
+        );
+        assert!(h.percentile(999) >= 100);
+        assert_eq!(h.percentile(1000), 1_000_000.min(h.max()));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let (mut a, mut b, mut c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in [1u64, 17, 300, 5000, 123456, 99] {
+            a.record(v);
+            c.record(v);
+        }
+        for v in [2u64, 18, 301, 5001] {
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), c.total());
+        assert_eq!(a.mean(), c.mean());
+        for pm in [500, 900, 990, 999] {
+            assert_eq!(a.percentile(pm), c.percentile(pm));
+        }
+    }
+}

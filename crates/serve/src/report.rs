@@ -1,0 +1,299 @@
+//! Report assembly and schema-stable JSON rendering.
+//!
+//! Everything in the report is an integer or a string: virtual times,
+//! counts, and bucket bounds. No floats, no wall-clock — so the bytes
+//! are identical on every machine and for every worker count. Wall-clock
+//! throughput is the *caller's* concern (the bench driver prints it to
+//! stderr as an advisory).
+
+use std::fmt::Write as _;
+
+use crate::gen::Tenant;
+use crate::histogram::Histogram;
+use crate::shard::{Forensic, ShardOutcome, TenantCounters, SHED_CODE};
+use crate::ServeConfig;
+
+/// Schema identifier; bump only with a documented migration.
+pub const SCHEMA: &str = "ifp-serve-v1";
+
+/// Aggregated per-tenant section of the report.
+#[derive(Debug)]
+pub struct TenantReport {
+    /// Tenant identity/configuration.
+    pub tenant: Tenant,
+    /// Summed counters.
+    pub counters: TenantCounters,
+    /// Merged latency histogram.
+    pub latency: Histogram,
+}
+
+/// The assembled service report.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// The config that produced it (workers excluded from the JSON).
+    pub config: ServeConfig,
+    /// Virtual makespan: latest completion or arrival across shards.
+    pub makespan_ns: u64,
+    /// Total completed requests.
+    pub completed: u64,
+    /// Total shed requests.
+    pub shed: u64,
+    /// Total safety detections (spatial + temporal).
+    pub detected: u64,
+    /// Unexpected outcomes: non-trap errors.
+    pub errored: u64,
+    /// Unexpected outcomes: traps on good cases / workloads.
+    pub good_case_traps: u64,
+    /// Unexpected outcomes: bad cases a hardened tenant completed.
+    pub missed_bad: u64,
+    /// Service-wide latency histogram.
+    pub latency: Histogram,
+    /// Per-tenant sections, in tenant-table order.
+    pub tenants: Vec<TenantReport>,
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardOutcome>,
+    /// Capped forensic records ordered by request id.
+    pub forensics: Vec<Forensic>,
+    /// Concatenated JSONL trace snapshots from every shard's sink, in
+    /// shard order. Not embedded in the JSON report; feed it to the
+    /// `ifp-trace` summarizer or write it as a sidecar.
+    pub trap_jsonl: String,
+}
+
+impl ServeReport {
+    /// Unexpected-outcome total: the CI gate requires zero.
+    #[must_use]
+    pub fn unexpected(&self) -> u64 {
+        self.errored + self.good_case_traps + self.missed_bad
+    }
+
+    /// Throughput in milli-requests per virtual second (integer).
+    #[must_use]
+    pub fn throughput_milli_rps(&self) -> u64 {
+        if self.makespan_ns == 0 {
+            return 0;
+        }
+        u64::try_from(
+            u128::from(self.completed) * 1_000_000_000_000u128 / u128::from(self.makespan_ns),
+        )
+        .unwrap_or(u64::MAX)
+    }
+}
+
+/// Merges the shard outcomes into a [`ServeReport`].
+pub(crate) fn assemble(
+    cfg: &ServeConfig,
+    tenants: &[Tenant],
+    shards: Vec<ShardOutcome>,
+) -> ServeReport {
+    let mut latency = Histogram::new();
+    let mut tenant_acc: Vec<TenantReport> = tenants
+        .iter()
+        .map(|t| TenantReport {
+            tenant: *t,
+            counters: TenantCounters::default(),
+            latency: Histogram::new(),
+        })
+        .collect();
+    let mut makespan = 0u64;
+    let (mut shed, mut jsonl) = (0u64, String::new());
+    let mut forensics: Vec<Forensic> = Vec::new();
+    for s in &shards {
+        latency.merge(&s.latency);
+        makespan = makespan.max(s.last_completion_ns).max(s.last_arrival_ns);
+        shed += s.shed;
+        jsonl.push_str(&s.trap_jsonl);
+        forensics.extend(s.forensics.iter().cloned());
+        for (acc, c) in tenant_acc.iter_mut().zip(&s.tenants) {
+            let a = &mut acc.counters;
+            a.requests += c.requests;
+            a.completed += c.completed;
+            a.shed += c.shed;
+            a.detected_spatial += c.detected_spatial;
+            a.detected_temporal += c.detected_temporal;
+            a.trapped_other += c.trapped_other;
+            a.errored += c.errored;
+            a.good_case_traps += c.good_case_traps;
+            a.missed_bad += c.missed_bad;
+            a.service_ns += c.service_ns;
+        }
+        for (acc, h) in tenant_acc.iter_mut().zip(&s.tenant_latency) {
+            acc.latency.merge(h);
+        }
+    }
+    // Deterministic forensic order: global request order, then cap.
+    forensics.sort_by_key(|f| f.request_id);
+    forensics.truncate(cfg.forensic_cap);
+
+    let totals = |f: fn(&TenantCounters) -> u64| tenant_acc.iter().map(|t| f(&t.counters)).sum();
+    ServeReport {
+        config: cfg.clone(),
+        makespan_ns: makespan,
+        completed: totals(|c| c.completed),
+        shed,
+        detected: totals(|c| c.detected_spatial + c.detected_temporal),
+        errored: totals(|c| c.errored),
+        good_case_traps: totals(|c| c.good_case_traps),
+        missed_bad: totals(|c| c.missed_bad),
+        latency,
+        tenants: tenant_acc,
+        shards,
+        forensics,
+        trap_jsonl: jsonl,
+    }
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn latency_json(h: &Histogram, buckets: bool) -> String {
+    let mut s = format!(
+        "{{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"mean\": {}, \"max\": {}",
+        h.percentile(500),
+        h.percentile(900),
+        h.percentile(990),
+        h.percentile(999),
+        h.mean(),
+        h.max()
+    );
+    if buckets {
+        s.push_str(", \"buckets\": [");
+        let mut first = true;
+        for (i, upper, count) in h.sparse() {
+            if !first {
+                s.push_str(", ");
+            }
+            first = false;
+            let _ = write!(s, "[{i}, {upper}, {count}]");
+        }
+        s.push(']');
+    }
+    s.push('}');
+    s
+}
+
+impl ServeReport {
+    /// Renders the schema-stable JSON report. Key order, separators and
+    /// integer formatting are fixed; two runs with the same config (any
+    /// worker count) produce identical bytes.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut s = String::with_capacity(8192);
+        let _ = writeln!(s, "{{\n  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(s, "  \"seed\": {},", c.seed);
+        let _ = writeln!(s, "  \"requests\": {},", c.requests);
+        let _ = writeln!(s, "  \"shards\": {},", c.shards);
+        let _ = writeln!(s, "  \"queue_budget\": {},", c.queue_budget);
+        let _ = writeln!(s, "  \"mean_gap_ns\": {},", c.mean_gap_ns);
+        let _ = writeln!(s, "  \"juliet_share\": {},", c.juliet_share);
+        let _ = writeln!(s, "  \"shed_code\": \"{SHED_CODE}\",");
+        let _ = writeln!(s, "  \"makespan_ns\": {},", self.makespan_ns);
+        let _ = writeln!(s, "  \"completed\": {},", self.completed);
+        let _ = writeln!(s, "  \"shed\": {},", self.shed);
+        let _ = writeln!(s, "  \"detected\": {},", self.detected);
+        let _ = writeln!(
+            s,
+            "  \"throughput_milli_rps\": {},",
+            self.throughput_milli_rps()
+        );
+        let _ = writeln!(
+            s,
+            "  \"unexpected\": {{\"errored\": {}, \"good_case_traps\": {}, \"missed_bad\": {}}},",
+            self.errored, self.good_case_traps, self.missed_bad
+        );
+        let _ = writeln!(
+            s,
+            "  \"latency_ns\": {},",
+            latency_json(&self.latency, true)
+        );
+
+        s.push_str("  \"tenants\": [\n");
+        for (i, t) in self.tenants.iter().enumerate() {
+            let cs = &t.counters;
+            let _ = write!(
+                s,
+                "    {{\"name\": \"{}\", \"mode\": \"{}\", \"temporal\": \"{}\", \
+                 \"elide_checks\": {}, \"requests\": {}, \"completed\": {}, \"shed\": {}, \
+                 \"detected_spatial\": {}, \"detected_temporal\": {}, \"trapped_other\": {}, \
+                 \"service_ns\": {}, \"latency_ns\": {}}}",
+                esc(t.tenant.name),
+                esc(&t.tenant.mode.to_string()),
+                t.tenant.temporal.name(),
+                t.tenant.elide_checks,
+                cs.requests,
+                cs.completed,
+                cs.shed,
+                cs.detected_spatial,
+                cs.detected_temporal,
+                cs.trapped_other,
+                cs.service_ns,
+                latency_json(&t.latency, false)
+            );
+            s.push_str(if i + 1 < self.tenants.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"per_shard\": [\n");
+        for (i, sh) in self.shards.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"shard\": {i}, \"requests\": {}, \"shed\": {}, \"peak_queue\": {}, \
+                 \"busy_ns\": {}, \"pool\": {{\"created\": {}, \"reused\": {}}}}}",
+                sh.requests, sh.shed, sh.peak_queue, sh.busy_ns, sh.pool_created, sh.pool_reused
+            );
+            s.push_str(if i + 1 < self.shards.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+
+        s.push_str("  \"forensics\": [\n");
+        for (i, f) in self.forensics.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"request\": {}, \"tenant\": \"{}\", \"case\": \"{}\", \
+                 \"trap\": \"{}\", \"func\": \"{}\"}}",
+                f.request_id,
+                esc(f.tenant),
+                esc(&f.case),
+                esc(&f.trap),
+                esc(&f.func)
+            );
+            s.push_str(if i + 1 < self.forensics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"trace_jsonl_lines\": {}",
+            self.trap_jsonl.lines().count()
+        );
+        s.push_str("}\n");
+        s
+    }
+}

@@ -170,6 +170,28 @@ impl Tracer {
         Tracer::new(TraceConfig::off())
     }
 
+    /// Returns the recorder to its just-constructed state under a
+    /// (possibly new) configuration, keeping the ring's backing
+    /// allocation when the capacity is unchanged. Observable behaviour
+    /// after a reset is indistinguishable from `Tracer::new(config)` —
+    /// what lets a pooled VM reuse one recorder across runs.
+    pub fn reset(&mut self, config: TraceConfig) {
+        if self.config.capacity != config.capacity {
+            // A capacity change invalidates the wrap arithmetic; drop the
+            // buffer and let the first event re-reserve lazily.
+            self.ring = Vec::new();
+        } else {
+            self.ring.clear();
+        }
+        self.config = config;
+        self.head = 0;
+        self.seq = 0;
+        self.dropped = 0;
+        self.sampled_out = 0;
+        self.counters = [0; Category::COUNT];
+        self.func = NO_FUNC;
+    }
+
     /// The configuration.
     #[must_use]
     pub fn config(&self) -> &TraceConfig {

@@ -14,13 +14,13 @@ use ifp_compiler::types::Type;
 use ifp_compiler::InstrPlan;
 use ifp_hw::ifp_unit::Narrowing;
 use ifp_hw::{CtrlRegs, IfpUnit, LoadStoreUnit, PromoteKind, Trap};
-use ifp_mem::layout::{HEAP_BASE, STACK_SIZE, STACK_TOP};
-use ifp_mem::MemSystem;
+use ifp_mem::layout::{GLOBAL_TABLE_BASE, HEAP_BASE, STACK_SIZE, STACK_TOP};
+use ifp_mem::{CacheConfig, MemSystem};
 use ifp_tag::{
     Bounds, LocalOffsetTag, Poison, SchemeSel, SubheapTag, TaggedPtr, LOCAL_OFFSET_GRANULE,
 };
 use ifp_temporal::{FreeOutcome, TemporalState, TemporalViolation};
-use ifp_trace::{EventKind, Region, Scheme, TagOp, Tracer, NO_FUNC};
+use ifp_trace::{EventKind, Region, Scheme, TagOp, TraceLog, Tracer, NO_FUNC};
 
 /// Base address of the libc-style heap (baseline + wrapped allocator).
 const LIBC_HEAP_BASE: u64 = HEAP_BASE;
@@ -164,6 +164,79 @@ pub enum StepOutcome {
     Finished(i64),
 }
 
+/// The heavyweight per-VM state that survives across pooled runs: the
+/// simulated memory image (frame arena + page index + L1 model), the
+/// global metadata table manager, and the trace ring.
+///
+/// Constructing these per run dominates `Vm::new` for short programs
+/// (the paper's Juliet cases run for microseconds but map dozens of
+/// pages and build a cache model each time). A service harness instead
+/// keeps `VmHost`s in a pool: [`Vm::with_host`] resets one in place —
+/// unmapping every page at once, rewinding the table allocator, bumping
+/// the cache epoch — and [`Vm::run_pooled`] hands it back afterwards,
+/// on the success *and* the trap path. Observable behaviour is
+/// bit-identical to a fresh host (pinned by the `vm_reset` regression
+/// tests).
+#[derive(Debug)]
+pub struct VmHost {
+    mem: MemSystem,
+    gt: GlobalTableManager,
+    tracer: Tracer,
+}
+
+impl VmHost {
+    /// A fresh host with the default L1 geometry.
+    #[must_use]
+    pub fn new() -> Self {
+        VmHost::with_l1(CacheConfig::default())
+    }
+
+    /// A fresh host whose cache model is built for `l1` up front, so the
+    /// first [`Vm::with_host`] under a matching config pays no rebuild.
+    #[must_use]
+    pub fn with_l1(l1: CacheConfig) -> Self {
+        VmHost {
+            mem: MemSystem::new(l1),
+            gt: GlobalTableManager::new(GLOBAL_TABLE_BASE),
+            tracer: Tracer::off(),
+        }
+    }
+
+    /// Returns every component to its just-constructed observable state
+    /// for a run under `config`, keeping backing allocations.
+    fn reset_for(&mut self, config: &VmConfig) {
+        self.mem.reset(config.l1);
+        // One wholesale unmap above wiped all row images; rewind the row
+        // allocator (leak-checked under debug_assertions) and re-map the
+        // zero-filled table pages in one batch.
+        self.gt.reset();
+        self.gt.map(&mut self.mem);
+        self.tracer.reset(config.trace);
+    }
+
+    /// Number of live global-table rows — stable across pooled runs of
+    /// the same program (the row-leak regression hook).
+    #[must_use]
+    pub fn live_rows(&self) -> usize {
+        self.gt.live_rows()
+    }
+
+    /// Snapshot of the trace ring left behind by the last run, resolving
+    /// function indices against `funcs`. Useful after a trapped
+    /// [`Vm::run_pooled`], where there is no [`RunResult`] to carry the
+    /// trace: the host still holds the ring until its next reuse.
+    #[must_use]
+    pub fn trace_snapshot(&self, funcs: &[String]) -> TraceLog {
+        self.tracer.snapshot(funcs)
+    }
+}
+
+impl Default for VmHost {
+    fn default() -> Self {
+        VmHost::new()
+    }
+}
+
 /// The virtual machine. Most users go through [`crate::run`]; the struct
 /// is exposed for harnesses that want to inspect state between steps.
 pub struct Vm<'p> {
@@ -203,6 +276,26 @@ impl<'p> Vm<'p> {
     ///
     /// [`VmError::BadProgram`] when validation fails.
     pub fn new(program: &'p Program, config: &VmConfig) -> Result<Self, VmError> {
+        // A fresh host built for the requested geometry: `with_host`'s
+        // reset is then a no-op walk over empty state, so the fresh path
+        // costs what it always did.
+        Vm::with_host(program, config, VmHost::with_l1(config.l1))
+    }
+
+    /// Like [`Vm::new`], but recycles a pooled [`VmHost`] instead of
+    /// constructing the memory image, global table, and trace ring from
+    /// scratch. The host is reset in place first; a run from a pooled
+    /// host is bit-identical to one from a fresh host.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadProgram`] when validation fails (the host is
+    /// dropped; pool a new one).
+    pub fn with_host(
+        program: &'p Program,
+        config: &VmConfig,
+        mut host: VmHost,
+    ) -> Result<Self, VmError> {
         program
             .validate()
             .map_err(|e| VmError::BadProgram(e.to_string()))?;
@@ -214,8 +307,12 @@ impl<'p> Vm<'p> {
             }
         });
 
-        let mut mem = MemSystem::new(config.l1);
-        let mut gt = loader::make_global_table(&mut mem);
+        host.reset_for(config);
+        let VmHost {
+            mut mem,
+            mut gt,
+            tracer,
+        } = host;
         let key = ifp_meta::MacKey::default_for_sim();
         let image = loader::load(program, plan.as_ref(), &mut mem, &mut gt, key);
 
@@ -270,7 +367,7 @@ impl<'p> Vm<'p> {
             output: Vec::new(),
             frames: Vec::new(),
             frame_pool: Vec::new(),
-            tracer: Tracer::new(config.trace),
+            tracer,
         })
     }
 
@@ -398,11 +495,31 @@ impl<'p> Vm<'p> {
     ///
     /// See [`VmError`].
     pub fn run(mut self) -> Result<RunResult, VmError> {
+        let code = self.run_loop()?;
+        Ok(self.into_result(code))
+    }
+
+    /// Runs to completion and hands the [`VmHost`] back for pooled reuse
+    /// — on the success *and* the error path (a trap is a normal outcome
+    /// for a service executing untrusted programs; the host must not be
+    /// lost to it).
+    pub fn run_pooled(mut self) -> (Result<RunResult, VmError>, VmHost) {
+        let result = self.run_loop().map(|code| self.finalize(code));
+        let host = VmHost {
+            mem: self.mem,
+            gt: self.gt,
+            tracer: self.tracer,
+        };
+        (result, host)
+    }
+
+    /// The dispatch loop: enters `main` and steps until it returns.
+    fn run_loop(&mut self) -> Result<i64, VmError> {
         self.enter_main()?;
         loop {
             match self.step_inner()? {
                 StepOutcome::Running => {}
-                StepOutcome::Finished(code) => return Ok(self.into_result(code)),
+                StepOutcome::Finished(code) => return Ok(code),
             }
         }
     }
@@ -497,6 +614,13 @@ impl<'p> Vm<'p> {
 
     /// Finalizes statistics and assembles the result.
     fn into_result(mut self, exit_code: i64) -> RunResult {
+        self.finalize(exit_code)
+    }
+
+    /// Folds the end-of-run statistics into `self.stats` and moves the
+    /// result out, leaving the machine state behind (for `run_pooled` to
+    /// recover the host from).
+    fn finalize(&mut self, exit_code: i64) -> RunResult {
         self.stats.temporal = self.temporal.stats;
         self.stats.l1 = self.mem.l1d.stats();
         self.stats.peak_resident = self.mem.mem.peak_mapped_bytes();
@@ -511,8 +635,8 @@ impl<'p> Vm<'p> {
         });
         RunResult {
             exit_code,
-            output: self.output,
-            stats: self.stats,
+            output: std::mem::take(&mut self.output),
+            stats: std::mem::take(&mut self.stats),
             trace,
         }
     }

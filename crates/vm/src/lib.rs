@@ -26,7 +26,7 @@ mod interp;
 mod loader;
 pub mod stats;
 
-pub use interp::{StepOutcome, Vm};
+pub use interp::{StepOutcome, Vm, VmHost};
 pub use stats::{ElisionStats, ObjectStats, PromoteStats, RunStats};
 
 use ifp_compiler::Program;
@@ -252,4 +252,30 @@ impl VmError {
 /// ```
 pub fn run(program: &Program, config: &VmConfig) -> Result<RunResult, VmError> {
     Vm::new(program, config)?.run()
+}
+
+/// Runs `program` under `config` on a pooled [`VmHost`], handing the
+/// host back for reuse afterwards. The host comes back on the success
+/// and the trap path alike; only a [`VmError::BadProgram`] (validation
+/// failure, before any host state is touched by the run) consumes it —
+/// the `None` tells the pool to construct a replacement.
+///
+/// Results are bit-identical to [`run`] with a fresh VM; the pooling is
+/// invisible to every modeled statistic.
+///
+/// # Errors
+///
+/// See [`VmError`].
+pub fn run_pooled(
+    program: &Program,
+    config: &VmConfig,
+    host: VmHost,
+) -> (Result<RunResult, VmError>, Option<VmHost>) {
+    match Vm::with_host(program, config, host) {
+        Ok(vm) => {
+            let (result, host) = vm.run_pooled();
+            (result, Some(host))
+        }
+        Err(e) => (Err(e), None),
+    }
 }

@@ -4,7 +4,7 @@
 
 use ifp_alloc::{round16, AllocCost, GlobalTableManager};
 use ifp_compiler::{InstrPlan, Program, TypeId};
-use ifp_mem::layout::{GLOBALS_BASE, GLOBALS_SIZE, GLOBAL_TABLE_BASE};
+use ifp_mem::layout::{GLOBALS_BASE, GLOBALS_SIZE};
 use ifp_mem::MemSystem;
 use ifp_meta::{LocalOffsetMeta, MacKey};
 use ifp_tag::{
@@ -178,12 +178,4 @@ pub fn load(
     }
 
     image
-}
-
-/// Creates and maps a global-table manager at the conventional address.
-#[must_use]
-pub fn make_global_table(mem: &mut MemSystem) -> GlobalTableManager {
-    let gt = GlobalTableManager::new(GLOBAL_TABLE_BASE);
-    gt.map(mem);
-    gt
 }

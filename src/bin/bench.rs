@@ -22,6 +22,14 @@
 //! `--quick` shrinks the rep counts for CI smoke runs (the modeled
 //! columns then differ from full runs — compare like with like).
 //! `--out PATH` writes the JSON to a file instead of stdout.
+//!
+//! The `serve` mode runs the `ifp-serve` multi-tenant service
+//! simulation and emits its byte-deterministic JSON report (pinned in
+//! `BENCH_serve.json`); unlike `host`, nothing in that report measures
+//! the host — wall-clock goes to stderr only. `--quick` uses the CI
+//! smoke size (2,048 requests); `--requests/--seed/--workers/--shards`
+//! override the pinned defaults, `--jsonl PATH` writes the trap-trace
+//! sink for the `ifp-trace` summarizer.
 
 use ifp_juliet::{all_cases, temporal_cases};
 use ifp_temporal::TemporalPolicy;
@@ -171,13 +179,77 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
 
 fn usage() -> ! {
     eprintln!("usage: bench -- host [--quick] [--out PATH]");
+    eprintln!("       bench -- serve [--quick] [--requests N] [--seed S] [--workers N]");
+    eprintln!("                      [--shards N] [--out PATH] [--jsonl PATH]");
     std::process::exit(2);
+}
+
+/// `bench -- serve`: run the multi-tenant service simulation and emit
+/// its byte-deterministic JSON report. Wall-clock is printed to stderr
+/// as an advisory only — the report itself contains no host timing.
+fn serve_main(args: &[String]) {
+    let mut cfg = ifp_serve::ServeConfig::default();
+    let mut out_path: Option<String> = None;
+    let mut jsonl_path: Option<String> = None;
+    let mut rest = args.iter();
+    while let Some(a) = rest.next() {
+        let val = |rest: &mut std::slice::Iter<String>| -> String {
+            rest.next().cloned().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--quick" => cfg.requests = 2_048,
+            "--requests" => cfg.requests = val(&mut rest).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val(&mut rest).parse().unwrap_or_else(|_| usage()),
+            "--workers" => cfg.workers = val(&mut rest).parse().unwrap_or_else(|_| usage()),
+            "--shards" => cfg.shards = val(&mut rest).parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = Some(val(&mut rest)),
+            "--jsonl" => jsonl_path = Some(val(&mut rest)),
+            _ => usage(),
+        }
+    }
+
+    eprintln!(
+        "bench serve: {} requests, {} shards, {} workers, seed {:#x}...",
+        cfg.requests, cfg.shards, cfg.workers, cfg.seed
+    );
+    let t0 = Instant::now();
+    let report = ifp_serve::run_service(&cfg);
+    let wall = t0.elapsed();
+    eprintln!(
+        "  wall={:.1}s (advisory) completed={} shed={} detected={} unexpected={} \
+         p50={}ns p99={}ns p999={}ns",
+        wall.as_secs_f64(),
+        report.completed,
+        report.shed,
+        report.detected,
+        report.unexpected(),
+        report.latency.percentile(500),
+        report.latency.percentile(990),
+        report.latency.percentile(999),
+    );
+    if let Some(p) = jsonl_path {
+        std::fs::write(&p, &report.trap_jsonl).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+        eprintln!(
+            "wrote {p} ({} trace lines)",
+            report.trap_jsonl.lines().count()
+        );
+    }
+    let json = report.to_json();
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, json).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+            eprintln!("wrote {p}");
+        }
+        None => print!("{json}"),
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("host") {
-        usage();
+    match args.first().map(String::as_str) {
+        Some("host") => {}
+        Some("serve") => return serve_main(&args[1..]),
+        _ => usage(),
     }
     let mut quick = false;
     let mut out_path: Option<String> = None;
