@@ -5,6 +5,7 @@
 //! allocations past the local-offset size limit) and writes the row images
 //! the hardware's global-table lookup reads.
 
+use crate::sharded::AtomicRowAllocator;
 use crate::{costs, AllocCost, AllocError};
 use ifp_mem::MemSystem;
 use ifp_meta::GlobalTableRow;
@@ -28,12 +29,13 @@ use ifp_tag::{GlobalTableTag, SchemeSel, TaggedPtr, GLOBAL_TABLE_ROWS};
 #[derive(Debug)]
 pub struct GlobalTableManager {
     base: u64,
-    /// Rows released by `deregister`, reused LIFO before fresh rows.
-    recycled: Vec<u16>,
-    /// Next never-used row index; fresh rows are handed out in ascending
-    /// order. Materializing all 4096 free rows up front would cost every
-    /// `Vm::new` an 8 KiB fill that short runs never use.
-    next_fresh: u16,
+    /// Row index hand-out, delegated to the lock-free allocator so the
+    /// shared-heap mode can allocate rows from multiple threads. Its
+    /// single-threaded order is the manager's historical contract —
+    /// rows released by `deregister` reused LIFO, then fresh rows
+    /// ascending (materializing all 4096 free rows up front would cost
+    /// every `Vm::new` an 8 KiB fill that short runs never use).
+    rows: AtomicRowAllocator,
     live: Vec<bool>,
     live_count: usize,
     peak_live: usize,
@@ -45,8 +47,7 @@ impl GlobalTableManager {
     pub fn new(base: u64) -> Self {
         GlobalTableManager {
             base,
-            recycled: Vec::new(),
-            next_fresh: 0,
+            rows: AtomicRowAllocator::new(GLOBAL_TABLE_ROWS),
             live: vec![false; GLOBAL_TABLE_ROWS],
             live_count: 0,
             peak_live: 0,
@@ -77,6 +78,17 @@ impl GlobalTableManager {
         self.peak_live
     }
 
+    /// Rows handed out but neither live nor recycled — always 0 unless
+    /// the accounting leaks. O(1), so release-mode tests and the serve
+    /// determinism suite can gate on it (the equivalent `reset`
+    /// assertion only fires under `debug_assertions`).
+    #[must_use]
+    pub fn leaked_rows(&self) -> u64 {
+        u64::from(self.rows.fresh_issued())
+            - self.live_count as u64
+            - u64::from(self.rows.recycled_len())
+    }
+
     /// Returns the manager to its just-constructed state so a pooled VM
     /// can reuse it for a fresh run: all rows free, fresh rows handed out
     /// from index 0 again, high-water mark cleared.
@@ -91,16 +103,15 @@ impl GlobalTableManager {
     /// ever handed out is exactly one of live or recycled.
     pub fn reset(&mut self) {
         debug_assert_eq!(
-            self.recycled.len() + self.live_count,
-            usize::from(self.next_fresh),
-            "global-table row leak: {} recycled + {} live != {} handed out",
-            self.recycled.len(),
+            self.leaked_rows(),
+            0,
+            "global-table row leak: {} live + {} recycled != {} handed out",
             self.live_count,
-            self.next_fresh,
+            self.rows.recycled_len(),
+            self.rows.fresh_issued(),
         );
-        self.recycled.clear();
-        self.live[..usize::from(self.next_fresh)].fill(false);
-        self.next_fresh = 0;
+        self.live[..self.rows.fresh_issued() as usize].fill(false);
+        self.rows.reset();
         self.live_count = 0;
         self.peak_live = 0;
     }
@@ -121,15 +132,7 @@ impl GlobalTableManager {
         layout_table: u64,
     ) -> Result<(TaggedPtr, u16, AllocCost), AllocError> {
         let size32 = u32::try_from(size).map_err(|_| AllocError::TooLarge { size })?;
-        let row = match self.recycled.pop() {
-            Some(r) => r,
-            None if (self.next_fresh as usize) < GLOBAL_TABLE_ROWS => {
-                let r = self.next_fresh;
-                self.next_fresh += 1;
-                r
-            }
-            None => return Err(AllocError::GlobalTableFull),
-        };
+        let row = self.rows.alloc().ok_or(AllocError::GlobalTableFull)?;
         debug_assert!(
             !self.live[usize::from(row)],
             "global-table handed out a row ({row}) that is still live"
@@ -180,7 +183,7 @@ impl GlobalTableManager {
         self.live_count -= 1;
         mem.write(self.row_addr(row), &[0u8; 16])
             .expect("table pages are mapped");
-        self.recycled.push(row);
+        self.rows.free(row);
         Ok(AllocCost {
             base_instrs: costs::GLOBAL_DEREGISTER,
             ifp_instrs: 0,
@@ -257,6 +260,29 @@ mod tests {
         // Fresh rows start from 0 again, exactly like a new manager.
         let (_, row, _) = gt.register(&mut mem, 0x7000, 64, 0).unwrap();
         assert_eq!(row, 0);
+    }
+
+    #[test]
+    fn leaked_rows_stays_zero_through_churn() {
+        // Runs in release mode too — the reset() assertion is
+        // debug-only, this counter is the always-on gate.
+        let (mut mem, mut gt) = setup();
+        assert_eq!(gt.leaked_rows(), 0);
+        let mut rows = Vec::new();
+        for cycle in 0..3 {
+            for i in 0..16u64 {
+                let (_, r, _) = gt.register(&mut mem, 0x10000 + i * 64, 64, 0).unwrap();
+                rows.push(r);
+                assert_eq!(gt.leaked_rows(), 0, "leak after register (cycle {cycle})");
+            }
+            for r in rows.drain(..) {
+                gt.deregister(&mut mem, r).unwrap();
+                assert_eq!(gt.leaked_rows(), 0, "leak after deregister (cycle {cycle})");
+            }
+            gt.reset();
+            gt.map(&mut mem);
+            assert_eq!(gt.leaked_rows(), 0, "leak after reset (cycle {cycle})");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod buddy;
 pub mod global_table;
 pub mod libc;
+pub mod sharded;
 pub mod stack;
 pub mod subheap;
 pub mod wrapped;
@@ -35,6 +36,7 @@ pub mod wrapped;
 pub use buddy::BuddyAllocator;
 pub use global_table::GlobalTableManager;
 pub use libc::LibcAllocator;
+pub use sharded::{AtomicRowAllocator, ShardedFreeList};
 pub use stack::StackAllocator;
 pub use subheap::SubheapAllocator;
 pub use wrapped::WrappedAllocator;

@@ -1,0 +1,351 @@
+//! Lock-free allocator substrate for the shared-heap execution mode.
+//!
+//! Two structures make the wrapped/subheap allocators thread-safe for
+//! `ifp-concurrent` without a global lock:
+//!
+//! * [`ShardedFreeList`] — per-thread Treiber stacks of free slot
+//!   indices with work-stealing pops. Each shard head is an ABA-tagged
+//!   `AtomicU64` (32-bit generation tag ∥ 32-bit slot link), and the
+//!   next links live in a shared table indexed by slot, so push/pop are
+//!   single-CAS operations with no allocation.
+//! * [`AtomicRowAllocator`] — lock-free global-table row hand-out: a
+//!   Treiber stack of recycled rows over an atomic fresh-row cursor.
+//!   Under single-threaded use it reproduces [`GlobalTableManager`]'s
+//!   exact order (recycled LIFO first, then fresh rows ascending), which
+//!   is why the manager can delegate to it without moving any golden
+//!   snapshot.
+//!
+//! Both are plain safe Rust over `std::sync::atomic` — the ABA tag, not
+//! `unsafe`, is what makes the stacks sound: every successful head CAS
+//! bumps the generation, so a head that was popped and re-pushed between
+//! a competitor's load and CAS no longer compares equal.
+//!
+//! [`GlobalTableManager`]: crate::GlobalTableManager
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Slot links use `idx + 1` so 0 means "end of list" and the zeroed
+/// initial state is an empty stack.
+const NIL: u64 = 0;
+
+fn pack(tag: u64, link: u64) -> u64 {
+    (tag << 32) | link
+}
+
+fn unpack(head: u64) -> (u64, u64) {
+    (head >> 32, head & 0xffff_ffff)
+}
+
+/// One Treiber-stack head. Padding out to a cache line would be the
+/// hardware-tuning move; the simulator favors compactness since shard
+/// counts are small.
+#[derive(Debug, Default)]
+struct Head(AtomicU64);
+
+/// Per-shard lock-free free lists of `u32` slot indices with LIFO pops
+/// and round-robin stealing.
+#[derive(Debug)]
+pub struct ShardedFreeList {
+    heads: Vec<Head>,
+    /// `next[slot]` is the link (idx+1 encoded) valid while `slot` is on
+    /// a stack.
+    next: Vec<AtomicU32>,
+    steals: AtomicU64,
+}
+
+impl ShardedFreeList {
+    /// An empty free list with `shards` shards and capacity for slot
+    /// indices `0..capacity`.
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        assert!(capacity < u32::MAX as usize, "slot index must fit u32");
+        ShardedFreeList {
+            heads: (0..shards).map(|_| Head::default()).collect(),
+            next: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Highest slot index this list can hold, exclusive.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Successful pops served from another thread's shard.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Grows the slot capacity to at least `capacity`. Requires `&mut`:
+    /// growth happens in the engine's single-threaded carve phase, never
+    /// under concurrent pushes.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        assert!(capacity < u32::MAX as usize, "slot index must fit u32");
+        while self.next.len() < capacity {
+            self.next.push(AtomicU32::new(0));
+        }
+    }
+
+    /// Pushes `slot` onto `shard`'s stack.
+    ///
+    /// # Panics
+    ///
+    /// If `slot` is out of capacity or `shard` out of range.
+    pub fn push(&self, shard: usize, slot: u32) {
+        let link = &self.next[slot as usize];
+        let head = &self.heads[shard].0;
+        let mut cur = head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(cur);
+            link.store(top as u32, Ordering::Relaxed);
+            let new = pack(tag.wrapping_add(1) & 0xffff_ffff, u64::from(slot) + 1);
+            match head.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Pops a slot, preferring `shard`'s own stack, then stealing from
+    /// the others in round-robin order. Returns `None` when every shard
+    /// is empty.
+    pub fn pop(&self, shard: usize) -> Option<u32> {
+        if let Some(s) = self.pop_from(shard) {
+            return Some(s);
+        }
+        for d in 1..self.heads.len() {
+            let victim = (shard + d) % self.heads.len();
+            if let Some(s) = self.pop_from(victim) {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn pop_from(&self, shard: usize) -> Option<u32> {
+        let head = &self.heads[shard].0;
+        let mut cur = head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(cur);
+            if top == NIL {
+                return None;
+            }
+            let slot = (top - 1) as u32;
+            let link = self.next[slot as usize].load(Ordering::Relaxed);
+            let new = pack(tag.wrapping_add(1) & 0xffff_ffff, u64::from(link));
+            match head.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Some(slot),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Drains every shard into a sorted vector — test/teardown helper,
+    /// not concurrent-safe against pushers.
+    pub fn drain_all(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for shard in 0..self.heads.len() {
+            while let Some(s) = self.pop_from(shard) {
+                out.push(s);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Lock-free hand-out of global-table row indices: recycled rows form a
+/// Treiber stack popped LIFO; when it is empty, fresh rows come from an
+/// atomic ascending cursor.
+#[derive(Debug)]
+pub struct AtomicRowAllocator {
+    rows: u32,
+    next_fresh: AtomicU32,
+    recycled_head: AtomicU64,
+    /// Row links for the recycled stack (idx+1 encoded).
+    links: Vec<AtomicU32>,
+    recycled_len: AtomicU32,
+}
+
+impl AtomicRowAllocator {
+    /// An allocator over row indices `0..rows`.
+    #[must_use]
+    pub fn new(rows: usize) -> Self {
+        assert!(rows <= u16::MAX as usize + 1, "rows must fit u16 indices");
+        AtomicRowAllocator {
+            rows: rows as u32,
+            next_fresh: AtomicU32::new(0),
+            recycled_head: AtomicU64::new(0),
+            links: (0..rows).map(|_| AtomicU32::new(0)).collect(),
+            recycled_len: AtomicU32::new(0),
+        }
+    }
+
+    /// Allocates a row: the most recently freed row if any, else the
+    /// next fresh row in ascending order, else `None` (table full).
+    pub fn alloc(&self) -> Option<u16> {
+        let mut cur = self.recycled_head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(cur);
+            if top == NIL {
+                break;
+            }
+            let row = (top - 1) as u32;
+            let link = self.links[row as usize].load(Ordering::Relaxed);
+            let new = pack(tag.wrapping_add(1) & 0xffff_ffff, u64::from(link));
+            match self.recycled_head.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.recycled_len.fetch_sub(1, Ordering::Relaxed);
+                    return Some(row as u16);
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+        self.next_fresh
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.rows).then_some(n + 1)
+            })
+            .ok()
+            .map(|n| n as u16)
+    }
+
+    /// Returns `row` to the recycled stack. The caller guarantees the
+    /// row was allocated and not already freed (the manager's live
+    /// bitmap enforces this above us).
+    pub fn free(&self, row: u16) {
+        let link = &self.links[usize::from(row)];
+        let mut cur = self.recycled_head.load(Ordering::Acquire);
+        loop {
+            let (tag, top) = unpack(cur);
+            link.store(top as u32, Ordering::Relaxed);
+            let new = pack(tag.wrapping_add(1) & 0xffff_ffff, u64::from(row) + 1);
+            match self.recycled_head.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.recycled_len.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Fresh rows ever handed out (the cursor position).
+    #[must_use]
+    pub fn fresh_issued(&self) -> u32 {
+        self.next_fresh.load(Ordering::Acquire)
+    }
+
+    /// Rows currently on the recycled stack.
+    #[must_use]
+    pub fn recycled_len(&self) -> u32 {
+        self.recycled_len.load(Ordering::Acquire)
+    }
+
+    /// Resets to the just-constructed state. `&mut self` — only valid
+    /// when no other thread holds the allocator.
+    pub fn reset(&mut self) {
+        *self.next_fresh.get_mut() = 0;
+        *self.recycled_head.get_mut() = 0;
+        *self.recycled_len.get_mut() = 0;
+        for l in &mut self.links {
+            *l.get_mut() = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_is_lifo() {
+        let fl = ShardedFreeList::new(1, 16);
+        for s in [3u32, 7, 11] {
+            fl.push(0, s);
+        }
+        assert_eq!(fl.pop(0), Some(11));
+        assert_eq!(fl.pop(0), Some(7));
+        assert_eq!(fl.pop(0), Some(3));
+        assert_eq!(fl.pop(0), None);
+    }
+
+    #[test]
+    fn pop_steals_round_robin() {
+        let fl = ShardedFreeList::new(4, 16);
+        fl.push(2, 5);
+        // Shard 0 is empty; the steal scan finds shard 2's slot.
+        assert_eq!(fl.pop(0), Some(5));
+        assert_eq!(fl.steals(), 1);
+        assert_eq!(fl.pop(0), None);
+    }
+
+    #[test]
+    fn ensure_capacity_grows() {
+        let mut fl = ShardedFreeList::new(2, 4);
+        fl.ensure_capacity(64);
+        assert_eq!(fl.capacity(), 64);
+        fl.push(1, 63);
+        assert_eq!(fl.pop(1), Some(63));
+    }
+
+    #[test]
+    fn row_allocator_matches_manager_order() {
+        // Recycled LIFO first, then fresh ascending — the exact
+        // GlobalTableManager contract.
+        let ra = AtomicRowAllocator::new(8);
+        assert_eq!(ra.alloc(), Some(0));
+        assert_eq!(ra.alloc(), Some(1));
+        assert_eq!(ra.alloc(), Some(2));
+        ra.free(0);
+        ra.free(2);
+        assert_eq!(ra.alloc(), Some(2), "LIFO recycled first");
+        assert_eq!(ra.alloc(), Some(0));
+        assert_eq!(ra.alloc(), Some(3), "then fresh ascending");
+        assert_eq!(ra.fresh_issued(), 4);
+        assert_eq!(ra.recycled_len(), 0);
+    }
+
+    #[test]
+    fn row_allocator_exhausts_cleanly() {
+        let ra = AtomicRowAllocator::new(3);
+        assert_eq!(ra.alloc(), Some(0));
+        assert_eq!(ra.alloc(), Some(1));
+        assert_eq!(ra.alloc(), Some(2));
+        assert_eq!(ra.alloc(), None);
+        ra.free(1);
+        assert_eq!(ra.alloc(), Some(1));
+        assert_eq!(ra.alloc(), None);
+    }
+
+    #[test]
+    fn row_allocator_reset_restores_fresh_order() {
+        let mut ra = AtomicRowAllocator::new(8);
+        ra.alloc();
+        ra.alloc();
+        ra.free(0);
+        ra.reset();
+        assert_eq!(ra.alloc(), Some(0));
+        assert_eq!(ra.fresh_issued(), 1);
+        assert_eq!(ra.recycled_len(), 0);
+    }
+}

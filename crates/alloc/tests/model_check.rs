@@ -1,0 +1,168 @@
+//! Seeded-schedule model checks for the lock-free allocator substrate.
+//!
+//! These run the [`ShardedFreeList`] and [`AtomicRowAllocator`] under
+//! real `std::thread` contention with per-thread op sequences derived
+//! from `Rng::stream(seed, tid)` — the op *mix* is deterministic per
+//! seed while the interleaving is whatever the host scheduler produces,
+//! so each seed explores a different schedule family. The invariants
+//! must hold for *every* interleaving:
+//!
+//! * exclusivity — a popped slot/row is owned by exactly one thread
+//!   until pushed back (checked with a claim CAS per slot);
+//! * conservation — nothing is lost or duplicated: after joining, the
+//!   drained remainder plus thread-held slots is exactly the initial
+//!   population;
+//! * accounting — `fresh_issued`/`recycled_len` balance once all
+//!   threads release their rows (the `leaked_rows()` invariant).
+//!
+//! The CI `concurrent-smoke` job runs this file in release mode.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ifp_alloc::{AtomicRowAllocator, ShardedFreeList};
+use ifp_testutil::Rng;
+
+const THREADS: usize = 4;
+const OPS: usize = 4000;
+const SEEDS: [u64; 3] = [0xc0ffee, 0x5eed, 0x1badb002];
+
+/// Claim table: `claim[s]` is true while some thread owns slot `s`.
+fn claim(claims: &[AtomicBool], s: usize, who: &str) {
+    assert!(
+        !claims[s].swap(true, Ordering::AcqRel),
+        "{who}: slot {s} handed out twice"
+    );
+}
+
+fn release(claims: &[AtomicBool], s: usize, who: &str) {
+    assert!(
+        claims[s].swap(false, Ordering::AcqRel),
+        "{who}: slot {s} released while free"
+    );
+}
+
+#[test]
+fn sharded_free_list_exclusivity_and_conservation() {
+    for seed in SEEDS {
+        let capacity = 256u32;
+        let fl = Arc::new(ShardedFreeList::new(THREADS, capacity as usize));
+        let claims: Arc<Vec<AtomicBool>> =
+            Arc::new((0..capacity).map(|_| AtomicBool::new(false)).collect());
+        // Pre-populate round-robin across shards.
+        for s in 0..capacity {
+            fl.push(s as usize % THREADS, s);
+        }
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let fl = Arc::clone(&fl);
+                let claims = Arc::clone(&claims);
+                std::thread::spawn(move || {
+                    let mut rng = Rng::stream(seed, tid as u64);
+                    let mut held: Vec<u32> = Vec::new();
+                    for _ in 0..OPS {
+                        if rng.u64().is_multiple_of(2) || held.is_empty() {
+                            if let Some(s) = fl.pop(tid) {
+                                claim(&claims, s as usize, "freelist");
+                                held.push(s);
+                            }
+                        } else {
+                            let i = (rng.u64() as usize) % held.len();
+                            let s = held.swap_remove(i);
+                            release(&claims, s as usize, "freelist");
+                            fl.push(tid, s);
+                        }
+                    }
+                    // Return everything so conservation is checkable.
+                    for s in held.drain(..) {
+                        release(&claims, s as usize, "freelist");
+                        fl.push(tid, s);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let remaining = fl.drain_all();
+        assert_eq!(
+            remaining,
+            (0..capacity).collect::<Vec<u32>>(),
+            "seed {seed:#x}: slots lost or duplicated"
+        );
+    }
+}
+
+#[test]
+fn row_allocator_exclusivity_and_accounting() {
+    for seed in SEEDS {
+        let rows = 128usize;
+        let ra = Arc::new(AtomicRowAllocator::new(rows));
+        let claims: Arc<Vec<AtomicBool>> =
+            Arc::new((0..rows).map(|_| AtomicBool::new(false)).collect());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|tid| {
+                let ra = Arc::clone(&ra);
+                let claims = Arc::clone(&claims);
+                std::thread::spawn(move || {
+                    let mut rng = Rng::stream(seed, 100 + tid as u64);
+                    let mut held: Vec<u16> = Vec::new();
+                    for _ in 0..OPS {
+                        if !rng.u64().is_multiple_of(3) || held.is_empty() {
+                            if let Some(r) = ra.alloc() {
+                                claim(&claims, usize::from(r), "rows");
+                                held.push(r);
+                            }
+                        } else {
+                            let i = (rng.u64() as usize) % held.len();
+                            let r = held.swap_remove(i);
+                            release(&claims, usize::from(r), "rows");
+                            ra.free(r);
+                        }
+                    }
+                    for r in held.drain(..) {
+                        release(&claims, usize::from(r), "rows");
+                        ra.free(r);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        // All rows returned: handed out == recycled, i.e. zero leaked.
+        assert_eq!(
+            u64::from(ra.fresh_issued()),
+            u64::from(ra.recycled_len()),
+            "seed {seed:#x}: rows leaked under contention"
+        );
+        assert!(ra.fresh_issued() as usize <= rows);
+        // The full population must still be allocatable, each exactly once.
+        let mut seen = vec![false; rows];
+        while let Some(r) = ra.alloc() {
+            assert!(!seen[usize::from(r)], "row {r} allocated twice");
+            seen[usize::from(r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "seed {seed:#x}: rows lost");
+    }
+}
+
+#[test]
+fn single_thread_matches_reference_stack_model() {
+    // With one shard and one thread, the free list must be exactly a
+    // LIFO stack: check against a Vec model over a seeded op sequence.
+    let mut rng = Rng::new(0xab5ced);
+    let fl = ShardedFreeList::new(1, 512);
+    let mut model: Vec<u32> = Vec::new();
+    let mut next_slot = 0u32;
+    for _ in 0..10_000 {
+        if rng.u64().is_multiple_of(2) && next_slot < 512 {
+            fl.push(0, next_slot);
+            model.push(next_slot);
+            next_slot += 1;
+        } else {
+            assert_eq!(fl.pop(0), model.pop(), "divergence from LIFO model");
+        }
+    }
+    assert_eq!(fl.drain_all().len(), model.len());
+}

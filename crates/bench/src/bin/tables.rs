@@ -18,6 +18,10 @@
 //! `ifp-serve` multi-tenant service simulation at the pinned seed and
 //! prints the per-tenant latency/detection table. The full JSON report
 //! comes from `bench -- serve` (see `BENCH_serve.json`).
+//!
+//! `concurrent` (also not part of `all`) summarizes the shared-heap
+//! multi-threaded mode: benign lock-free workloads under each
+//! reclamation tracker and the planted cross-thread detection matrix.
 
 use ifp_baselines::{temporal_row, Asan, Mte, SoftBound};
 use ifp_bench::{render, sweep_all_with_workers};
@@ -139,6 +143,87 @@ fn run_serve_mode(workers: usize) {
     );
 }
 
+/// `tables concurrent`: benign lock-free workloads under each
+/// reclamation tracker (ops, violations, retire/reclaim balance, peak
+/// deferred memory) plus the 5×3 planted cross-thread detection matrix.
+/// Fully deterministic — seeded scripts, seeded schedules.
+fn run_concurrent_mode() {
+    use ifp_concurrent::{
+        check_outcome, planted_case, run, ConcConfig, Plan, PlantClass, Schedule,
+    };
+    use ifp_temporal::reclaim::ReclaimPolicy;
+    use ifp_workloads::concurrent::{gen_script, ConcStructure};
+
+    println!("Concurrent execution: shared heap, 4 threads, seeded interleavings");
+    println!(
+        "{:<14} {:<9} {:>6} {:>10} {:>8} {:>8} {:>13} {:>7}",
+        "structure", "policy", "ops", "violations", "retires", "reclaims", "peak_deferred", "steps"
+    );
+    for structure in ConcStructure::ALL {
+        for policy in ReclaimPolicy::ALL {
+            let script = gen_script(structure, 4, 200, &mut ifp_testutil::Rng::new(0xc0c));
+            let cfg = ConcConfig {
+                policy,
+                plan: Plan::Structure(script),
+                schedule: Schedule::Seeded(0x51ed),
+            };
+            let out = run(&cfg);
+            assert!(!out.fuel_exhausted, "{structure:?}/{policy:?}: out of fuel");
+            println!(
+                "{:<14} {:<9} {:>6} {:>10} {:>8} {:>8} {:>13} {:>7}",
+                structure.name(),
+                policy.name(),
+                out.ops_completed,
+                out.violations.len(),
+                out.stats.retires,
+                out.stats.reclaims,
+                out.stats.peak_deferred_bytes,
+                out.steps,
+            );
+        }
+    }
+
+    println!("\nPlanted cross-thread temporal bugs: detection by tracker");
+    println!(
+        "{:<18} {:>8} {:>8} {:>10}",
+        "class", "epoch", "hazard", "interval"
+    );
+    for class in PlantClass::ALL {
+        let mut cells = Vec::new();
+        for policy in ReclaimPolicy::ALL {
+            let mut caught = true;
+            let mut clean = true;
+            for benign in [false, true] {
+                let case = planted_case(class, benign, &mut ifp_testutil::Rng::new(7));
+                let cfg = ConcConfig {
+                    policy,
+                    plan: Plan::Raw(case.plan.clone()),
+                    schedule: Schedule::Explicit(case.schedule.clone()),
+                };
+                if check_outcome(&case, &run(&cfg)).is_err() {
+                    if benign {
+                        clean = false;
+                    } else {
+                        caught = false;
+                    }
+                }
+            }
+            cells.push(match (caught, clean) {
+                (true, true) => "caught",
+                (true, false) => "FP!",
+                (false, _) => "missed",
+            });
+        }
+        println!(
+            "{:<18} {:>8} {:>8} {:>10}",
+            class.name(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let workers = parse_workers(&mut args);
@@ -153,6 +238,11 @@ fn main() {
         // So does the service table: `tables serve`.
         if mode == "serve" {
             run_serve_mode(workers);
+            return;
+        }
+        // And the concurrent-execution summary: `tables concurrent`.
+        if mode == "concurrent" {
+            run_concurrent_mode();
             return;
         }
     }

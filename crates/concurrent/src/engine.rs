@@ -1,0 +1,1037 @@
+//! The concurrent execution engine: N logical VM threads, each with its
+//! own IFPR (in-fat-pointer register) file, interleaved over one
+//! [`SharedHeap`] by a deterministic scheduler.
+//!
+//! Every operation against a shared structure is compiled into a small
+//! state machine whose transitions are *atomic steps* — one shared-
+//! memory read, write, or CAS, one allocator call, or one tracker call
+//! per step. The scheduler picks which thread advances at each tick
+//! (seeded-random or an explicit schedule), so CAS contention, retry
+//! loops, and free/reuse races genuinely interleave, yet the whole run
+//! is a pure function of the config: same plan + same schedule ⇒
+//! byte-identical outcome, fingerprint included.
+//!
+//! Threads halt at their first violation (the modeled trap); the
+//! violation is recorded with full cross-thread forensics and the rest
+//! of the system keeps running.
+
+use ifp_temporal::reclaim::ReclaimPolicy;
+use ifp_testutil::Rng;
+use ifp_workloads::concurrent::{ConcOp, ConcScript};
+
+use crate::heap::{Cap, SharedHeap, Violation};
+
+/// Tombstone marker for removed hash keys.
+const TOMB: u64 = u64::MAX;
+/// Hard cap on scheduler ticks; generous — benign runs finish far
+/// below it, and an adversarial explicit schedule cannot spin forever.
+pub const FUEL: u64 = 4_000_000;
+/// IFPR registers per logical thread.
+pub const IFPR_REGS: usize = 8;
+
+/// One logical thread's IFPR file: the registers capabilities live in
+/// while they stay off the shared memory image.
+#[derive(Clone, Debug)]
+pub struct IfprFile {
+    regs: [Cap; IFPR_REGS],
+}
+
+impl IfprFile {
+    fn new() -> Self {
+        IfprFile {
+            regs: [Cap::null(0); IFPR_REGS],
+        }
+    }
+
+    /// Reads register `r`.
+    #[must_use]
+    pub fn get(&self, r: u8) -> Cap {
+        self.regs[usize::from(r)]
+    }
+
+    /// Writes register `r`.
+    pub fn set(&mut self, r: u8, cap: Cap) {
+        self.regs[usize::from(r)] = cap;
+    }
+}
+
+/// A raw (structure-less) operation — the planter's vocabulary. Every
+/// raw op is exactly one engine step, so explicit schedules line up
+/// one-to-one with op sequences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RawOp {
+    /// Allocate `size` bytes into register `reg`.
+    Alloc {
+        /// Destination register.
+        reg: u8,
+        /// Requested size in bytes.
+        size: u64,
+    },
+    /// Checked 8-byte write `val` through `reg` at `off`.
+    Write {
+        /// Capability register.
+        reg: u8,
+        /// Byte offset from the capability cursor.
+        off: u64,
+        /// Value to store.
+        val: u64,
+    },
+    /// Checked 8-byte read through `reg` at `off`.
+    Read {
+        /// Capability register.
+        reg: u8,
+        /// Byte offset from the capability cursor.
+        off: u64,
+    },
+    /// Free the allocation `reg` points at.
+    Free {
+        /// Capability register.
+        reg: u8,
+    },
+    /// Store `reg`'s address into shared mailbox cell `slot` (how a
+    /// capability escapes to another thread through memory).
+    Publish {
+        /// Source register.
+        reg: u8,
+        /// Mailbox cell index (0..8).
+        slot: u8,
+    },
+    /// Load mailbox cell `slot` and promote it into register `reg`.
+    Acquire {
+        /// Mailbox cell index (0..8).
+        slot: u8,
+        /// Destination register.
+        reg: u8,
+    },
+    /// Enter a critical section (pin epoch / open interval / arm
+    /// hazards).
+    Enter,
+    /// Leave the critical section and scan.
+    Exit,
+    /// Publish protection for the address in `reg`.
+    Protect {
+        /// Capability register.
+        reg: u8,
+    },
+    /// Force a reclamation scan.
+    Scan,
+}
+
+/// What the engine executes: a structure script (from
+/// `ifp-workloads::concurrent`) or raw per-thread op lists.
+#[derive(Clone, Debug)]
+pub enum Plan {
+    /// All threads drive one shared data structure.
+    Structure(ConcScript),
+    /// Raw per-thread op sequences (the planter's mode).
+    Raw(Vec<Vec<RawOp>>),
+}
+
+impl Plan {
+    /// Logical thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self {
+            Plan::Structure(s) => s.per_thread.len(),
+            Plan::Raw(r) => r.len(),
+        }
+    }
+}
+
+/// How the scheduler picks the next thread to advance.
+#[derive(Clone, Debug)]
+pub enum Schedule {
+    /// Seeded uniform choice among runnable threads.
+    Seeded(u64),
+    /// Explicit tick list (entries for finished threads are skipped;
+    /// when exhausted, falls back to round-robin).
+    Explicit(Vec<usize>),
+}
+
+/// A full concurrent-run configuration.
+#[derive(Clone, Debug)]
+pub struct ConcConfig {
+    /// Which reclamation tracker guards the heap.
+    pub policy: ReclaimPolicy,
+    /// The work.
+    pub plan: Plan,
+    /// The interleaving.
+    pub schedule: Schedule,
+}
+
+/// Everything a run reports. Deterministic: a pure function of the
+/// config, including the fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcOutcome {
+    /// Violations in detection order (each halted its thread).
+    pub violations: Vec<Violation>,
+    /// Scheduler ticks consumed.
+    pub steps: u64,
+    /// Operations completed across all threads.
+    pub ops_completed: u64,
+    /// Completed operations that produced a non-zero result (successful
+    /// pops/dequeues/lookups, wins).
+    pub results_nonzero: u64,
+    /// Tracker statistics.
+    pub stats: ifp_temporal::reclaim::ReclaimStats,
+    /// Peak simulated bytes mapped (address-space bound).
+    pub peak_mapped_bytes: u64,
+    /// Buddy blocks carved into slot pools.
+    pub carved_blocks: u64,
+    /// Free-list pops served by cross-shard stealing.
+    pub steals: u64,
+    /// True if the run hit [`FUEL`] before finishing.
+    pub fuel_exhausted: bool,
+    /// Threads halted by a violation.
+    pub halted_threads: Vec<usize>,
+    /// FNV-1a digest of results, violations, and stats.
+    pub fingerprint: u64,
+}
+
+/// In-flight operation state. One variant transition = one atomic step.
+#[derive(Clone, Copy, Debug)]
+enum OpState {
+    Raw(RawOp),
+    // Treiber stack push: alloc, write value, read head, link, CAS.
+    SPush1 { v: u64 },
+    SPush2 { node: Cap, v: u64 },
+    SPush3 { node: Cap },
+    SPush4 { node: Cap, head: u64 },
+    SPush5 { node: Cap, head: u64 },
+    // Treiber stack pop: enter, read head, protect, validate, read
+    // next, CAS, read value, retire.
+    SPop1,
+    SPop2,
+    SPop3 { h: u64 },
+    SPop4 { h: u64 },
+    SPop5 { cap: Cap },
+    SPop6 { cap: Cap, n: u64 },
+    SPop7 { cap: Cap },
+    SPop8 { cap: Cap, v: u64 },
+    // MS-queue enqueue.
+    QEnq1 { v: u64 },
+    QEnq2 { node: Cap, v: u64 },
+    QEnq3 { node: Cap },
+    QEnq4 { node: Cap },
+    QEnq5 { node: Cap },
+    QEnq6 { node: Cap, tl: u64 },
+    QEnq7 { node: Cap, tl: u64 },
+    QEnq8 { node: Cap, tcap: Cap },
+    QEnq9 { node: Cap, tcap: Cap },
+    QEnq10 { node: Cap, tl: u64 },
+    QEnq11 { node: Cap, tl: u64, n: u64 },
+    // MS-queue dequeue (with tail-fix before retire).
+    QDeq1,
+    QDeq2,
+    QDeq3 { h: u64 },
+    QDeq4 { h: u64 },
+    QDeq5 { hcap: Cap },
+    QDeq6 { hcap: Cap, n: u64 },
+    QDeq7 { hcap: Cap, n: u64 },
+    QDeq8 { hcap: Cap, n: u64 },
+    QDeq9 { hcap: Cap, n: u64, v: u64 },
+    QDeq10 { hcap: Cap, n: u64, v: u64 },
+    QDeq11 { hcap: Cap, n: u64, v: u64 },
+    QDeq12 { hcap: Cap, v: u64 },
+    // Level-hash insert / lookup / remove.
+    HIns1 { k: u64, v: u64 },
+    HIns2 { vnode: Cap, k: u64, v: u64 },
+    HIns3 { vnode: Cap, k: u64, i: u8 },
+    HIns4 { vnode: Cap, k: u64, i: u8, cur: u64 },
+    HIns5 { vnode: Cap, k: u64, i: u8 },
+    HInsAbandon { vnode: Cap },
+    HLook1 { k: u64 },
+    HLook2 { k: u64, i: u8 },
+    HLook3 { k: u64, i: u8 },
+    HLook4 { k: u64, i: u8, p: u64 },
+    HLook5 { k: u64, i: u8, p: u64 },
+    HLook6 { p: u64 },
+    HRem1 { k: u64 },
+    HRem2 { k: u64, i: u8 },
+    HRem3 { k: u64, i: u8 },
+    HRem4 { k: u64, i: u8 },
+    HRem5 { k: u64, i: u8, p: u64 },
+    HRem6 { p: u64 },
+}
+
+/// The shared structure the plan drives.
+enum World {
+    Stack {
+        head: Cap,
+    },
+    /// `hcell`: head at offset 0, tail at offset 8.
+    Queue {
+        hcell: Cap,
+    },
+    Hash {
+        l0: Cap,
+        l1: Cap,
+    },
+    Raw {
+        mailbox: Cap,
+    },
+}
+
+/// Hash geometry: two levels of 2-slot buckets.
+const L0_BUCKETS: u64 = 32;
+const L1_BUCKETS: u64 = 16;
+const BUCKET_BYTES: u64 = 32; // 2 slots × (key, valptr)
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The 8 candidate cells for `k`: (use level-0, byte offset of the key
+/// cell). Two hash functions × two levels × two slots per bucket.
+fn hash_slots(k: u64) -> [(bool, u64); 8] {
+    let h1 = mix(k);
+    let h2 = mix(k ^ 0x5bf0_3635);
+    let mut out = [(false, 0u64); 8];
+    let mut w = 0;
+    for (is_l0, buckets) in [(true, L0_BUCKETS), (false, L1_BUCKETS)] {
+        for h in [h1, h2] {
+            let b = h % buckets;
+            for slot in 0..2u64 {
+                out[w] = (is_l0, b * BUCKET_BYTES + slot * 16);
+                w += 1;
+            }
+        }
+    }
+    out
+}
+
+struct ThreadCtx {
+    pos: usize,
+    op: Option<OpState>,
+    ifpr: IfprFile,
+    halted: bool,
+    ops_done: u64,
+    results: Vec<u64>,
+}
+
+impl ThreadCtx {
+    fn new() -> Self {
+        ThreadCtx {
+            pos: 0,
+            op: None,
+            ifpr: IfprFile::new(),
+            halted: false,
+            ops_done: 0,
+            results: Vec::new(),
+        }
+    }
+}
+
+/// What one micro-step produced.
+enum Step {
+    Next(OpState),
+    Done(u64),
+}
+
+struct Engine<'p> {
+    heap: SharedHeap,
+    world: World,
+    plan: &'p Plan,
+    threads: Vec<ThreadCtx>,
+    violations: Vec<Violation>,
+    halted_threads: Vec<usize>,
+}
+
+impl<'p> Engine<'p> {
+    fn new(policy: ReclaimPolicy, plan: &'p Plan) -> Self {
+        let n = plan.threads();
+        let mut heap = SharedHeap::new(policy, n.max(1));
+        let world = match plan {
+            Plan::Raw(_) => World::Raw {
+                mailbox: heap.alloc(0, 64),
+            },
+            Plan::Structure(s) => match s.structure {
+                ifp_workloads::concurrent::ConcStructure::TreiberStack => World::Stack {
+                    head: heap.alloc(0, 8),
+                },
+                ifp_workloads::concurrent::ConcStructure::MpmcQueue => {
+                    let hcell = heap.alloc(0, 16);
+                    let dummy = heap.alloc(0, 16);
+                    heap.write_u64(0, &dummy, 0, 0).expect("fresh dummy");
+                    heap.write_u64(0, &dummy, 8, 0).expect("fresh dummy");
+                    heap.write_u64(0, &hcell, 0, dummy.addr).expect("head");
+                    heap.write_u64(0, &hcell, 8, dummy.addr).expect("tail");
+                    World::Queue { hcell }
+                }
+                ifp_workloads::concurrent::ConcStructure::LevelHash => World::Hash {
+                    l0: heap.alloc(0, L0_BUCKETS * BUCKET_BYTES),
+                    l1: heap.alloc(0, L1_BUCKETS * BUCKET_BYTES),
+                },
+            },
+        };
+        Engine {
+            heap,
+            world,
+            plan,
+            threads: (0..n).map(|_| ThreadCtx::new()).collect(),
+            violations: Vec::new(),
+            halted_threads: Vec::new(),
+        }
+    }
+
+    fn script_len(&self, t: usize) -> usize {
+        match self.plan {
+            Plan::Structure(s) => s.per_thread[t].len(),
+            Plan::Raw(r) => r[t].len(),
+        }
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        let ctx = &self.threads[t];
+        !ctx.halted && (ctx.op.is_some() || ctx.pos < self.script_len(t))
+    }
+
+    fn start(&self, t: usize, pos: usize) -> OpState {
+        match self.plan {
+            Plan::Raw(r) => OpState::Raw(r[t][pos]),
+            Plan::Structure(s) => match s.per_thread[t][pos] {
+                ConcOp::Push(v) => OpState::SPush1 { v },
+                ConcOp::Pop => OpState::SPop1,
+                ConcOp::Enqueue(v) => OpState::QEnq1 { v },
+                ConcOp::Dequeue => OpState::QDeq1,
+                ConcOp::Insert(k, v) => OpState::HIns1 { k, v },
+                ConcOp::Lookup(k) => OpState::HLook1 { k },
+                ConcOp::Remove(k) => OpState::HRem1 { k },
+            },
+        }
+    }
+
+    /// Hash cell capability + key-cell offset for candidate `i`.
+    fn hash_cell(&self, k: u64, i: u8) -> (Cap, u64) {
+        let (l0, l1) = match &self.world {
+            World::Hash { l0, l1 } => (*l0, *l1),
+            _ => unreachable!("hash op outside hash world"),
+        };
+        let (is_l0, off) = hash_slots(k)[usize::from(i)];
+        (if is_l0 { l0 } else { l1 }, off)
+    }
+
+    fn world_stack_head(&self) -> Cap {
+        match &self.world {
+            World::Stack { head } => *head,
+            _ => unreachable!("stack op outside stack world"),
+        }
+    }
+
+    fn world_queue_cell(&self) -> Cap {
+        match &self.world {
+            World::Queue { hcell } => *hcell,
+            _ => unreachable!("queue op outside queue world"),
+        }
+    }
+
+    fn world_mailbox(&self) -> Cap {
+        match &self.world {
+            World::Raw { mailbox } => *mailbox,
+            _ => unreachable!("raw op outside raw world"),
+        }
+    }
+
+    /// Advances thread `t` by one atomic step.
+    fn step(&mut self, t: usize) {
+        if self.threads[t].op.is_none() {
+            let pos = self.threads[t].pos;
+            self.threads[t].op = Some(self.start(t, pos));
+            self.threads[t].pos += 1;
+        }
+        let state = self.threads[t].op.take().expect("op just installed");
+        match self.advance(t, state) {
+            Ok(Step::Next(next)) => self.threads[t].op = Some(next),
+            Ok(Step::Done(result)) => {
+                let ctx = &mut self.threads[t];
+                ctx.ops_done += 1;
+                ctx.results.push(result);
+            }
+            Err(v) => {
+                self.violations.push(v);
+                self.halted_threads.push(t);
+                let ctx = &mut self.threads[t];
+                ctx.halted = true;
+                // A trapped thread drops its reservations so it cannot
+                // pin reclamation forever.
+                self.heap.tracker.exit(t);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn advance(&mut self, t: usize, state: OpState) -> Result<Step, Violation> {
+        use OpState as S;
+        let h = &mut self.heap;
+        Ok(match state {
+            S::Raw(op) => return self.raw(t, op),
+
+            // ---- Treiber stack: push ----
+            S::SPush1 { v } => Step::Next(S::SPush2 {
+                node: h.alloc(t, 16),
+                v,
+            }),
+            S::SPush2 { node, v } => {
+                h.write_u64(t, &node, 0, v)?;
+                Step::Next(S::SPush3 { node })
+            }
+            S::SPush3 { node } => {
+                let head = self.world_stack_head();
+                let cur = self.heap.read_u64(t, &head, 0)?;
+                Step::Next(S::SPush4 { node, head: cur })
+            }
+            S::SPush4 { node, head } => {
+                h.write_u64(t, &node, 8, head)?;
+                Step::Next(S::SPush5 { node, head })
+            }
+            S::SPush5 { node, head } => {
+                let cell = self.world_stack_head();
+                if self.heap.cas_u64(t, &cell, 0, head, node.addr)? {
+                    Step::Done(1)
+                } else {
+                    Step::Next(S::SPush3 { node })
+                }
+            }
+
+            // ---- Treiber stack: pop ----
+            S::SPop1 => {
+                h.tracker.enter(t);
+                Step::Next(S::SPop2)
+            }
+            S::SPop2 => {
+                let head = self.world_stack_head();
+                let cur = self.heap.read_u64(t, &head, 0)?;
+                if cur == 0 {
+                    self.heap.tracker.exit(t);
+                    self.heap.scan_now(t);
+                    Step::Done(0)
+                } else {
+                    Step::Next(S::SPop3 { h: cur })
+                }
+            }
+            S::SPop3 { h: top } => {
+                h.tracker.protect(t, top);
+                Step::Next(S::SPop4 { h: top })
+            }
+            S::SPop4 { h: top } => {
+                let head = self.world_stack_head();
+                let cur = self.heap.read_u64(t, &head, 0)?;
+                if cur == top {
+                    let cap = self.heap.promote(top);
+                    Step::Next(S::SPop5 { cap })
+                } else {
+                    Step::Next(S::SPop2)
+                }
+            }
+            S::SPop5 { cap } => {
+                let n = h.read_u64(t, &cap, 8)?;
+                Step::Next(S::SPop6 { cap, n })
+            }
+            S::SPop6 { cap, n } => {
+                let cell = self.world_stack_head();
+                if self.heap.cas_u64(t, &cell, 0, cap.addr, n)? {
+                    Step::Next(S::SPop7 { cap })
+                } else {
+                    Step::Next(S::SPop2)
+                }
+            }
+            S::SPop7 { cap } => {
+                let v = h.read_u64(t, &cap, 0)?;
+                Step::Next(S::SPop8 { cap, v })
+            }
+            S::SPop8 { cap, v } => {
+                if let Some(viol) = h.free(t, cap.base).unwrap_or(None) {
+                    return Err(viol);
+                }
+                h.tracker.exit(t);
+                h.scan_now(t);
+                Step::Done(v)
+            }
+
+            // ---- MS queue: enqueue ----
+            S::QEnq1 { v } => Step::Next(S::QEnq2 {
+                node: h.alloc(t, 16),
+                v,
+            }),
+            S::QEnq2 { node, v } => {
+                h.write_u64(t, &node, 0, v)?;
+                Step::Next(S::QEnq3 { node })
+            }
+            S::QEnq3 { node } => {
+                h.write_u64(t, &node, 8, 0)?;
+                Step::Next(S::QEnq4 { node })
+            }
+            S::QEnq4 { node } => {
+                h.tracker.enter(t);
+                Step::Next(S::QEnq5 { node })
+            }
+            S::QEnq5 { node } => {
+                let cell = self.world_queue_cell();
+                let tl = self.heap.read_u64(t, &cell, 8)?;
+                Step::Next(S::QEnq6 { node, tl })
+            }
+            S::QEnq6 { node, tl } => {
+                h.tracker.protect(t, tl);
+                Step::Next(S::QEnq7 { node, tl })
+            }
+            S::QEnq7 { node, tl } => {
+                let cell = self.world_queue_cell();
+                let cur = self.heap.read_u64(t, &cell, 8)?;
+                if cur == tl {
+                    let tcap = self.heap.promote(tl);
+                    Step::Next(S::QEnq8 { node, tcap })
+                } else {
+                    Step::Next(S::QEnq5 { node })
+                }
+            }
+            S::QEnq8 { node, tcap } => {
+                let n = h.read_u64(t, &tcap, 8)?;
+                if n == 0 {
+                    Step::Next(S::QEnq9 { node, tcap })
+                } else {
+                    Step::Next(S::QEnq11 {
+                        node,
+                        tl: tcap.addr,
+                        n,
+                    })
+                }
+            }
+            S::QEnq9 { node, tcap } => {
+                if h.cas_u64(t, &tcap, 8, 0, node.addr)? {
+                    Step::Next(S::QEnq10 {
+                        node,
+                        tl: tcap.addr,
+                    })
+                } else {
+                    Step::Next(S::QEnq5 { node })
+                }
+            }
+            S::QEnq10 { node, tl } => {
+                let cell = self.world_queue_cell();
+                let _ = self.heap.cas_u64(t, &cell, 8, tl, node.addr)?;
+                self.heap.tracker.exit(t);
+                self.heap.scan_now(t);
+                Step::Done(1)
+            }
+            S::QEnq11 { node, tl, n } => {
+                let cell = self.world_queue_cell();
+                let _ = self.heap.cas_u64(t, &cell, 8, tl, n)?;
+                Step::Next(S::QEnq5 { node })
+            }
+
+            // ---- MS queue: dequeue ----
+            S::QDeq1 => {
+                h.tracker.enter(t);
+                Step::Next(S::QDeq2)
+            }
+            S::QDeq2 => {
+                let cell = self.world_queue_cell();
+                let cur = self.heap.read_u64(t, &cell, 0)?;
+                Step::Next(S::QDeq3 { h: cur })
+            }
+            S::QDeq3 { h: hd } => {
+                h.tracker.protect(t, hd);
+                Step::Next(S::QDeq4 { h: hd })
+            }
+            S::QDeq4 { h: hd } => {
+                let cell = self.world_queue_cell();
+                let cur = self.heap.read_u64(t, &cell, 0)?;
+                if cur == hd {
+                    let hcap = self.heap.promote(hd);
+                    Step::Next(S::QDeq5 { hcap })
+                } else {
+                    Step::Next(S::QDeq2)
+                }
+            }
+            S::QDeq5 { hcap } => {
+                let n = h.read_u64(t, &hcap, 8)?;
+                if n == 0 {
+                    h.tracker.exit(t);
+                    h.scan_now(t);
+                    Step::Done(0)
+                } else {
+                    Step::Next(S::QDeq6 { hcap, n })
+                }
+            }
+            S::QDeq6 { hcap, n } => {
+                h.tracker.protect(t, n);
+                Step::Next(S::QDeq7 { hcap, n })
+            }
+            S::QDeq7 { hcap, n } => {
+                // Re-validate head after protecting `n`: if head still
+                // points at the dummy, the dummy has not been dequeued,
+                // so `n` cannot have been retired yet and the protect
+                // landed in time. If head moved, `n` may already be
+                // reclaimed — drop it unread and restart.
+                let cell = self.world_queue_cell();
+                let cur = self.heap.read_u64(t, &cell, 0)?;
+                if cur == hcap.addr {
+                    Step::Next(S::QDeq8 { hcap, n })
+                } else {
+                    Step::Next(S::QDeq2)
+                }
+            }
+            S::QDeq8 { hcap, n } => {
+                let ncap = h.promote(n);
+                let v = h.read_u64(t, &ncap, 0)?;
+                Step::Next(S::QDeq9 { hcap, n, v })
+            }
+            S::QDeq9 { hcap, n, v } => {
+                let cell = self.world_queue_cell();
+                if self.heap.cas_u64(t, &cell, 0, hcap.addr, n)? {
+                    Step::Next(S::QDeq10 { hcap, n, v })
+                } else {
+                    Step::Next(S::QDeq2)
+                }
+            }
+            S::QDeq10 { hcap, n, v } => {
+                let cell = self.world_queue_cell();
+                let tl = self.heap.read_u64(t, &cell, 8)?;
+                if tl == hcap.addr {
+                    Step::Next(S::QDeq11 { hcap, n, v })
+                } else {
+                    Step::Next(S::QDeq12 { hcap, v })
+                }
+            }
+            S::QDeq11 { hcap, n, v } => {
+                // Fix the lagging tail before retiring the old dummy, so
+                // no enqueuer can load a retired node from the tail cell
+                // after its retire era.
+                let cell = self.world_queue_cell();
+                let _ = self.heap.cas_u64(t, &cell, 8, hcap.addr, n)?;
+                Step::Next(S::QDeq12 { hcap, v })
+            }
+            S::QDeq12 { hcap, v } => {
+                if let Some(viol) = h.free(t, hcap.base).unwrap_or(None) {
+                    return Err(viol);
+                }
+                h.tracker.exit(t);
+                h.scan_now(t);
+                Step::Done(v)
+            }
+
+            // ---- Level hash: insert ----
+            S::HIns1 { k, v } => Step::Next(S::HIns2 {
+                vnode: h.alloc(t, 16),
+                k,
+                v,
+            }),
+            S::HIns2 { vnode, k, v } => {
+                h.write_u64(t, &vnode, 0, v)?;
+                Step::Next(S::HIns3 { vnode, k, i: 0 })
+            }
+            S::HIns3 { vnode, k, i } => {
+                if i == 8 {
+                    return self.advance(t, S::HInsAbandon { vnode });
+                }
+                let (cell, off) = self.hash_cell(k, i);
+                let cur = self.heap.read_u64(t, &cell, off)?;
+                if cur == k {
+                    Step::Next(S::HInsAbandon { vnode })
+                } else if cur == 0 || cur == TOMB {
+                    Step::Next(S::HIns4 { vnode, k, i, cur })
+                } else {
+                    Step::Next(S::HIns3 { vnode, k, i: i + 1 })
+                }
+            }
+            S::HIns4 { vnode, k, i, cur } => {
+                let (cell, off) = self.hash_cell(k, i);
+                if self.heap.cas_u64(t, &cell, off, cur, k)? {
+                    Step::Next(S::HIns5 { vnode, k, i })
+                } else {
+                    Step::Next(S::HIns3 { vnode, k, i })
+                }
+            }
+            S::HIns5 { vnode, k, i } => {
+                let (cell, off) = self.hash_cell(k, i);
+                self.heap.write_u64(t, &cell, off + 8, vnode.addr)?;
+                Step::Done(1)
+            }
+            S::HInsAbandon { vnode } => {
+                if let Some(viol) = h.free(t, vnode.base).unwrap_or(None) {
+                    return Err(viol);
+                }
+                Step::Done(0)
+            }
+
+            // ---- Level hash: lookup ----
+            S::HLook1 { k } => {
+                h.tracker.enter(t);
+                Step::Next(S::HLook2 { k, i: 0 })
+            }
+            S::HLook2 { k, i } => {
+                if i == 8 {
+                    self.heap.tracker.exit(t);
+                    self.heap.scan_now(t);
+                    return Ok(Step::Done(0));
+                }
+                let (cell, off) = self.hash_cell(k, i);
+                let cur = self.heap.read_u64(t, &cell, off)?;
+                if cur == k {
+                    Step::Next(S::HLook3 { k, i })
+                } else {
+                    Step::Next(S::HLook2 { k, i: i + 1 })
+                }
+            }
+            S::HLook3 { k, i } => {
+                let (cell, off) = self.hash_cell(k, i);
+                let p = self.heap.read_u64(t, &cell, off + 8)?;
+                if p == 0 {
+                    Step::Next(S::HLook2 { k, i: i + 1 })
+                } else {
+                    Step::Next(S::HLook4 { k, i, p })
+                }
+            }
+            S::HLook4 { k, i, p } => {
+                h.tracker.protect(t, p);
+                Step::Next(S::HLook5 { k, i, p })
+            }
+            S::HLook5 { k, i, p } => {
+                // Hazard validation: the value pointer must still be
+                // published after the protect; a concurrent remove
+                // clears it before retiring the node.
+                let (cell, off) = self.hash_cell(k, i);
+                let cur = self.heap.read_u64(t, &cell, off + 8)?;
+                if cur == p {
+                    Step::Next(S::HLook6 { p })
+                } else {
+                    Step::Next(S::HLook2 { k, i: i + 1 })
+                }
+            }
+            S::HLook6 { p } => {
+                let pcap = h.promote(p);
+                let v = h.read_u64(t, &pcap, 0)?;
+                h.tracker.exit(t);
+                h.scan_now(t);
+                Step::Done(v)
+            }
+
+            // ---- Level hash: remove ----
+            S::HRem1 { k } => {
+                h.tracker.enter(t);
+                Step::Next(S::HRem2 { k, i: 0 })
+            }
+            S::HRem2 { k, i } => {
+                if i == 8 {
+                    self.heap.tracker.exit(t);
+                    self.heap.scan_now(t);
+                    return Ok(Step::Done(0));
+                }
+                let (cell, off) = self.hash_cell(k, i);
+                let cur = self.heap.read_u64(t, &cell, off)?;
+                if cur == k {
+                    Step::Next(S::HRem3 { k, i })
+                } else {
+                    Step::Next(S::HRem2 { k, i: i + 1 })
+                }
+            }
+            S::HRem3 { k, i } => {
+                let (cell, off) = self.hash_cell(k, i);
+                if self.heap.cas_u64(t, &cell, off, k, TOMB)? {
+                    Step::Next(S::HRem4 { k, i })
+                } else {
+                    Step::Next(S::HRem2 { k, i })
+                }
+            }
+            S::HRem4 { k, i } => {
+                let (cell, off) = self.hash_cell(k, i);
+                let p = self.heap.read_u64(t, &cell, off + 8)?;
+                Step::Next(S::HRem5 { k, i, p })
+            }
+            S::HRem5 { k, i, p } => {
+                let (cell, off) = self.hash_cell(k, i);
+                self.heap.write_u64(t, &cell, off + 8, 0)?;
+                Step::Next(S::HRem6 { p })
+            }
+            S::HRem6 { p } => {
+                if p != 0 {
+                    let pcap = h.promote(p);
+                    if let Some(viol) = h.free(t, pcap.base).unwrap_or(None) {
+                        return Err(viol);
+                    }
+                }
+                h.tracker.exit(t);
+                h.scan_now(t);
+                Step::Done(1)
+            }
+        })
+    }
+
+    fn raw(&mut self, t: usize, op: RawOp) -> Result<Step, Violation> {
+        let mailbox = self.world_mailbox();
+        let h = &mut self.heap;
+        Ok(match op {
+            RawOp::Alloc { reg, size } => {
+                let cap = h.alloc(t, size);
+                self.threads[t].ifpr.set(reg, cap);
+                Step::Done(cap.addr)
+            }
+            RawOp::Write { reg, off, val } => {
+                let cap = self.threads[t].ifpr.get(reg);
+                h.write_u64(t, &cap, off, val)?;
+                Step::Done(1)
+            }
+            RawOp::Read { reg, off } => {
+                let cap = self.threads[t].ifpr.get(reg);
+                let v = h.read_u64(t, &cap, off)?;
+                Step::Done(v)
+            }
+            RawOp::Free { reg } => {
+                let cap = self.threads[t].ifpr.get(reg);
+                match h.free(t, cap.base) {
+                    Ok(None) => Step::Done(1),
+                    Ok(Some(viol)) => return Err(viol),
+                    Err(crate::heap::NotASlot) => {
+                        return Err(Violation::Spatial {
+                            thread: t,
+                            addr: cap.base,
+                            base: cap.base,
+                            size: 0,
+                        })
+                    }
+                }
+            }
+            RawOp::Publish { reg, slot } => {
+                let cap = self.threads[t].ifpr.get(reg);
+                h.write_u64(t, &mailbox, u64::from(slot) * 8, cap.addr)?;
+                Step::Done(1)
+            }
+            RawOp::Acquire { slot, reg } => {
+                let addr = h.read_u64(t, &mailbox, u64::from(slot) * 8)?;
+                let cap = h.promote(addr);
+                self.threads[t].ifpr.set(reg, cap);
+                Step::Done(addr)
+            }
+            RawOp::Enter => {
+                h.tracker.enter(t);
+                Step::Done(1)
+            }
+            RawOp::Exit => {
+                h.tracker.exit(t);
+                h.scan_now(t);
+                Step::Done(1)
+            }
+            RawOp::Protect { reg } => {
+                let cap = self.threads[t].ifpr.get(reg);
+                h.tracker.protect(t, cap.addr);
+                Step::Done(1)
+            }
+            RawOp::Scan => {
+                h.scan_now(t);
+                Step::Done(1)
+            }
+        })
+    }
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Runs a concurrent configuration to completion (or [`FUEL`]).
+#[must_use]
+pub fn run(cfg: &ConcConfig) -> ConcOutcome {
+    let mut eng = Engine::new(cfg.policy, &cfg.plan);
+    let n = eng.threads.len();
+    let mut steps = 0u64;
+    let mut fuel_exhausted = false;
+
+    let mut sched_rng = match &cfg.schedule {
+        Schedule::Seeded(seed) => Some(Rng::new(*seed)),
+        Schedule::Explicit(_) => None,
+    };
+    let mut explicit_idx = 0usize;
+    let mut rr = 0usize;
+
+    loop {
+        let runnable: Vec<usize> = (0..n).filter(|&t| eng.runnable(t)).collect();
+        if runnable.is_empty() {
+            break;
+        }
+        if steps >= FUEL {
+            fuel_exhausted = true;
+            break;
+        }
+        let t = match &cfg.schedule {
+            Schedule::Seeded(_) => {
+                let rng = sched_rng.as_mut().expect("seeded rng");
+                runnable[(rng.u64() % runnable.len() as u64) as usize]
+            }
+            Schedule::Explicit(entries) => {
+                let mut pick = None;
+                while explicit_idx < entries.len() {
+                    let e = entries[explicit_idx];
+                    explicit_idx += 1;
+                    if e < n && eng.runnable(e) {
+                        pick = Some(e);
+                        break;
+                    }
+                }
+                pick.unwrap_or_else(|| {
+                    // Round-robin once the explicit prefix is spent.
+                    let cand = runnable[rr % runnable.len()];
+                    rr += 1;
+                    cand
+                })
+            }
+        };
+        eng.step(t);
+        steps += 1;
+    }
+
+    // Teardown: drop every reservation, then a final scan so end-state
+    // deferred bytes reflect only tracker policy, not exit timing.
+    for t in 0..n {
+        eng.heap.tracker.exit(t);
+    }
+    eng.heap.scan_now(0);
+
+    let stats = eng.heap.tracker.stats();
+    let mut ops_completed = 0u64;
+    let mut results_nonzero = 0u64;
+    let mut fp = 0xcbf2_9ce4_8422_2325u64;
+    for (t, ctx) in eng.threads.iter().enumerate() {
+        ops_completed += ctx.ops_done;
+        fnv(&mut fp, &(t as u64).to_le_bytes());
+        fnv(&mut fp, &ctx.ops_done.to_le_bytes());
+        for r in &ctx.results {
+            if *r != 0 {
+                results_nonzero += 1;
+            }
+            fnv(&mut fp, &r.to_le_bytes());
+        }
+    }
+    for v in &eng.violations {
+        fnv(&mut fp, v.to_string().as_bytes());
+    }
+    for x in [
+        stats.retires,
+        stats.reclaims,
+        stats.scans,
+        stats.peak_deferred_bytes,
+        eng.heap.carved_blocks(),
+        steps,
+    ] {
+        fnv(&mut fp, &x.to_le_bytes());
+    }
+
+    ConcOutcome {
+        violations: eng.violations,
+        steps,
+        ops_completed,
+        results_nonzero,
+        stats,
+        peak_mapped_bytes: eng.heap.peak_mapped_bytes(),
+        carved_blocks: eng.heap.carved_blocks(),
+        steals: eng.heap.steals(),
+        fuel_exhausted,
+        halted_threads: eng.halted_threads,
+        fingerprint: fp,
+    }
+}

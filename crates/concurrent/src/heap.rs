@@ -1,0 +1,420 @@
+//! The shared heap: one simulated memory image, size-classed slot pools
+//! over the buddy allocator, lock-free free lists, and the reclamation
+//! tracker wired into every access.
+//!
+//! Unlike the single-mutator allocators in `ifp-alloc`, slots here are
+//! recycled through a [`ShardedFreeList`] (one shard per logical
+//! thread), and a free is a *retire*: the memory only re-enters the free
+//! lists when the active [`ReclaimTracker`] proves no thread can still
+//! hold it. That recycling is what bounds address-space growth under
+//! churn — carved blocks are reused forever instead of leaking behind
+//! stale capabilities.
+
+use std::collections::BTreeMap;
+
+use ifp_alloc::{BuddyAllocator, ShardedFreeList};
+use ifp_mem::MemSystem;
+use ifp_temporal::reclaim::{
+    ConcurrentViolation, ReclaimPolicy, ReclaimTracker, RetireOutcome, Stamp,
+};
+
+/// Shared-heap arena base address.
+const ARENA_BASE: u64 = 0x4000_0000;
+/// Arena size: 2^26 = 64 MiB — far larger than any workload's footprint.
+const ARENA_ORDER: u8 = 26;
+/// Carve granularity: one buddy page (2^12 = 4 KiB) per carve.
+const CARVE_ORDER: u8 = 12;
+
+/// The slot size classes. Every allocation rounds up to one of these.
+pub const SIZE_CLASSES: [u64; 9] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// A capability: what one IFPR register holds. `addr` is the cursor,
+/// `[base, base+size)` the spatial bounds, and `stamp` the temporal
+/// key/era pair ([`None`] for a pointer laundered through memory whose
+/// region was not live at promotion time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cap {
+    /// Current address the capability points at.
+    pub addr: u64,
+    /// Lower spatial bound.
+    pub base: u64,
+    /// Object size (upper bound is `base + size`).
+    pub size: u64,
+    /// Temporal stamp carried from allocation or live promotion.
+    pub stamp: Option<Stamp>,
+}
+
+impl Cap {
+    /// A capability over nothing — promotion fallback for wild
+    /// addresses; any access through it is a spatial violation.
+    #[must_use]
+    pub fn null(addr: u64) -> Self {
+        Cap {
+            addr,
+            base: addr,
+            size: 0,
+            stamp: None,
+        }
+    }
+}
+
+/// Error from [`SharedHeap::free`]: the address was never a slot of
+/// this heap, so there is nothing to retire — the caller decides how to
+/// trap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotASlot;
+
+/// A violation detected at an access or free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The reclamation tracker flagged the access/free.
+    Temporal(ConcurrentViolation),
+    /// The access left its capability's bounds.
+    Spatial {
+        /// Thread performing the access.
+        thread: usize,
+        /// Faulting address.
+        addr: u64,
+        /// Capability lower bound.
+        base: u64,
+        /// Capability size.
+        size: u64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Temporal(v) => write!(f, "temporal: {v}"),
+            Violation::Spatial {
+                thread,
+                addr,
+                base,
+                size,
+            } => write!(
+                f,
+                "spatial: thread {thread} accessed {addr:#x} outside [{base:#x}, {:#x})",
+                base + size
+            ),
+        }
+    }
+}
+
+struct ClassPool {
+    size: u64,
+    free: ShardedFreeList,
+    /// Slot index -> base address (grows as blocks are carved).
+    slot_addr: Vec<u64>,
+}
+
+/// The shared heap all logical threads allocate from.
+pub struct SharedHeap {
+    /// The one shared memory image (cache-modeled).
+    pub mem: MemSystem,
+    buddy: BuddyAllocator,
+    classes: Vec<ClassPool>,
+    /// Slot base address -> (class index, slot index). Grows only.
+    by_addr: BTreeMap<u64, (usize, u32)>,
+    /// The reclamation tracker; public so the engine can enter/exit/
+    /// protect and check accesses.
+    pub tracker: ReclaimTracker,
+    threads: usize,
+    carved_blocks: u64,
+}
+
+impl SharedHeap {
+    /// A fresh heap for `threads` logical threads under `policy`.
+    #[must_use]
+    pub fn new(policy: ReclaimPolicy, threads: usize) -> Self {
+        SharedHeap {
+            mem: MemSystem::with_default_l1(),
+            buddy: BuddyAllocator::new(ARENA_BASE, ARENA_ORDER),
+            classes: SIZE_CLASSES
+                .iter()
+                .map(|&size| ClassPool {
+                    size,
+                    free: ShardedFreeList::new(threads, 0),
+                    slot_addr: Vec::new(),
+                })
+                .collect(),
+            by_addr: BTreeMap::new(),
+            tracker: ReclaimTracker::new(policy, threads),
+            threads,
+            carved_blocks: 0,
+        }
+    }
+
+    /// Logical thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Buddy blocks carved into slot pools so far.
+    #[must_use]
+    pub fn carved_blocks(&self) -> u64 {
+        self.carved_blocks
+    }
+
+    /// Free-list pops served by stealing from another thread's shard.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.classes.iter().map(|c| c.free.steals()).sum()
+    }
+
+    /// Peak simulated bytes mapped (the address-space bound).
+    #[must_use]
+    pub fn peak_mapped_bytes(&self) -> u64 {
+        self.mem.mem.peak_mapped_bytes()
+    }
+
+    fn class_of(size: u64) -> usize {
+        SIZE_CLASSES
+            .iter()
+            .position(|&c| c >= size.max(1))
+            .unwrap_or_else(|| panic!("allocation of {size} bytes exceeds the largest class"))
+    }
+
+    /// Allocates a slot for `size` bytes on behalf of thread `t`,
+    /// stamping it in the tracker.
+    pub fn alloc(&mut self, t: usize, size: u64) -> Cap {
+        let ci = Self::class_of(size);
+        let idx = match self.classes[ci].free.pop(t) {
+            Some(i) => i,
+            None => {
+                self.carve(ci, t);
+                self.classes[ci]
+                    .free
+                    .pop(t)
+                    .expect("carve populated the free list")
+            }
+        };
+        let class = &self.classes[ci];
+        let addr = class.slot_addr[idx as usize];
+        let stamp = self.tracker.on_alloc(t, addr, class.size);
+        Cap {
+            addr,
+            base: addr,
+            size: class.size,
+            stamp: Some(stamp),
+        }
+    }
+
+    /// Thread `t` frees the allocation at `base` (a retire; the memory
+    /// re-enters the free lists only when the tracker releases it).
+    /// Returns a violation for a double free, [`NotASlot`] for an
+    /// address that was never a slot.
+    ///
+    /// # Errors
+    ///
+    /// [`NotASlot`] when `base` does not name a slot of this heap.
+    pub fn free(&mut self, t: usize, base: u64) -> Result<Option<Violation>, NotASlot> {
+        match self.tracker.retire(t, base) {
+            RetireOutcome::Retired { reclaimed, .. } => {
+                self.recycle(t, &reclaimed);
+                Ok(None)
+            }
+            RetireOutcome::DoubleFree(v) => Ok(Some(Violation::Temporal(*v))),
+            RetireOutcome::NotTracked => Err(NotASlot),
+        }
+    }
+
+    /// Forces a reclamation scan on behalf of thread `t` (e.g. after an
+    /// `exit`), returning released blocks to the free lists.
+    pub fn scan_now(&mut self, t: usize) {
+        let reclaimed = self.tracker.scan();
+        self.recycle(t, &reclaimed);
+    }
+
+    fn recycle(&mut self, t: usize, reclaimed: &[(u64, u64)]) {
+        for &(base, _size) in reclaimed {
+            let (ci, idx) = self.by_addr[&base];
+            self.classes[ci].free.push(t, idx);
+        }
+    }
+
+    /// Promotes a raw address loaded from shared memory back into a
+    /// capability: full bounds + stamp if the region is live, bounds
+    /// with no stamp if the address is a known (freed) slot — so the
+    /// temporal check still sees the access — and a null capability for
+    /// wild addresses.
+    #[must_use]
+    pub fn promote(&self, addr: u64) -> Cap {
+        if let Some((base, size, stamp)) = self.tracker.resolve_live(addr) {
+            return Cap {
+                addr,
+                base,
+                size,
+                stamp: Some(stamp),
+            };
+        }
+        if let Some((&base, &(ci, _))) = self.by_addr.range(..=addr).next_back() {
+            let size = self.classes[ci].size;
+            if addr < base + size {
+                return Cap {
+                    addr,
+                    base,
+                    size,
+                    stamp: None,
+                };
+            }
+        }
+        Cap::null(addr)
+    }
+
+    fn carve(&mut self, ci: usize, t: usize) {
+        let block = self
+            .buddy
+            .alloc(&mut self.mem.mem, CARVE_ORDER)
+            .expect("shared-heap arena exhausted");
+        self.carved_blocks += 1;
+        let class_size = self.classes[ci].size;
+        let slots = (1u64 << CARVE_ORDER) / class_size;
+        let base_idx = self.classes[ci].slot_addr.len() as u32;
+        self.classes[ci]
+            .free
+            .ensure_capacity((base_idx as usize) + slots as usize);
+        for s in 0..slots {
+            let addr = block + s * class_size;
+            let idx = base_idx + s as u32;
+            self.classes[ci].slot_addr.push(addr);
+            self.by_addr.insert(addr, (ci, idx));
+            self.classes[ci].free.push(t, idx);
+        }
+    }
+
+    /// Spatial-then-temporal check of `cap`'s access to `cap.addr +
+    /// off .. + len` by thread `t`. The order matters: reclamation can
+    /// never mask a spatial violation because bounds are judged first,
+    /// against the capability alone.
+    fn check_access(&self, t: usize, cap: &Cap, off: u64, len: u64) -> Option<Violation> {
+        let addr = cap.addr + off;
+        if addr < cap.base || addr + len > cap.base + cap.size {
+            return Some(Violation::Spatial {
+                thread: t,
+                addr,
+                base: cap.base,
+                size: cap.size,
+            });
+        }
+        self.tracker
+            .check(t, addr, cap.stamp)
+            .map(Violation::Temporal)
+    }
+
+    /// Checked 8-byte read through `cap` at `off`.
+    pub fn read_u64(&mut self, t: usize, cap: &Cap, off: u64) -> Result<u64, Violation> {
+        if let Some(v) = self.check_access(t, cap, off, 8) {
+            return Err(v);
+        }
+        let mut buf = [0u8; 8];
+        self.mem
+            .read(cap.addr + off, &mut buf)
+            .expect("checked slot access is mapped");
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Checked 8-byte write through `cap` at `off`.
+    pub fn write_u64(&mut self, t: usize, cap: &Cap, off: u64, val: u64) -> Result<(), Violation> {
+        if let Some(v) = self.check_access(t, cap, off, 8) {
+            return Err(v);
+        }
+        self.mem
+            .write(cap.addr + off, &val.to_le_bytes())
+            .expect("checked slot access is mapped");
+        Ok(())
+    }
+
+    /// Checked atomic compare-and-swap of the 8-byte cell at `off`:
+    /// one indivisible engine step. Returns whether the swap happened.
+    pub fn cas_u64(
+        &mut self,
+        t: usize,
+        cap: &Cap,
+        off: u64,
+        expected: u64,
+        new: u64,
+    ) -> Result<bool, Violation> {
+        let cur = self.read_u64(t, cap, off)?;
+        if cur != expected {
+            return Ok(false);
+        }
+        self.write_u64(t, cap, off, new)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_recycles_slots() {
+        let mut h = SharedHeap::new(ReclaimPolicy::Epoch, 2);
+        let a = h.alloc(0, 24);
+        assert_eq!(a.size, 32, "rounded to class");
+        assert!(a.stamp.is_some());
+        h.write_u64(0, &a, 0, 42).unwrap();
+        assert_eq!(h.read_u64(0, &a, 0).unwrap(), 42);
+        assert_eq!(h.free(0, a.base), Ok(None));
+        // No reservations: reclaimed immediately, LIFO reuse.
+        let b = h.alloc(0, 24);
+        assert_eq!(b.base, a.base, "slot recycled");
+        assert_ne!(b.stamp, a.stamp, "fresh stamp on reuse");
+        // The stale capability is caught by the tracker.
+        let v = h.read_u64(0, &a, 0).unwrap_err();
+        assert!(matches!(v, Violation::Temporal(_)), "stale cap: {v}");
+    }
+
+    #[test]
+    fn spatial_check_runs_before_temporal() {
+        let mut h = SharedHeap::new(ReclaimPolicy::Hazard, 1);
+        let a = h.alloc(0, 16);
+        h.free(0, a.base).unwrap();
+        // Out-of-bounds *and* freed: the spatial violation wins.
+        let v = h.read_u64(0, &a, 64).unwrap_err();
+        assert!(matches!(v, Violation::Spatial { .. }), "got {v}");
+    }
+
+    #[test]
+    fn promote_tracks_liveness() {
+        let mut h = SharedHeap::new(ReclaimPolicy::Interval, 1);
+        let a = h.alloc(0, 64);
+        let p = h.promote(a.addr + 8);
+        assert_eq!(p.base, a.base);
+        assert_eq!(p.stamp, a.stamp, "live promotion recovers the stamp");
+        h.free(0, a.base).unwrap();
+        let q = h.promote(a.addr);
+        assert_eq!(q.base, a.base, "freed slot still resolves spatially");
+        assert!(q.stamp.is_none(), "no stamp for a dead region");
+        assert!(h.read_u64(0, &q, 0).is_err(), "dead access still trapped");
+        let wild = h.promote(0x11);
+        assert_eq!(wild.size, 0);
+    }
+
+    #[test]
+    fn double_free_reports_violation() {
+        let mut h = SharedHeap::new(ReclaimPolicy::Epoch, 2);
+        let a = h.alloc(0, 16);
+        assert_eq!(h.free(1, a.base), Ok(None));
+        match h.free(0, a.base) {
+            Ok(Some(Violation::Temporal(v))) => {
+                assert_eq!(v.freeing_thread, 1);
+                assert_eq!(v.accessing_thread, 0);
+            }
+            other => panic!("expected double free, got {other:?}"),
+        }
+        assert_eq!(h.free(0, 0xdead_0000), Err(NotASlot), "wild free is not tracked");
+    }
+
+    #[test]
+    fn churn_reuses_carved_blocks() {
+        let mut h = SharedHeap::new(ReclaimPolicy::Epoch, 1);
+        for _ in 0..10_000 {
+            let c = h.alloc(0, 100);
+            h.free(0, c.base).unwrap();
+        }
+        assert_eq!(h.carved_blocks(), 1, "one block serves the whole churn");
+        assert!(h.peak_mapped_bytes() <= 64 * 1024);
+    }
+}

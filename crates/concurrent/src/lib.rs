@@ -1,0 +1,31 @@
+//! `ifp-concurrent`: shared-heap concurrent execution mode.
+//!
+//! N logical VM threads — each with its own IFPR (in-fat-pointer
+//! register) file — interleave over one simulated memory image. Slots
+//! are recycled through lock-free sharded free lists, and every free is
+//! a *retire* guarded by one of three reclamation trackers (epoch,
+//! hazard-pointer, interval) from `ifp-temporal`; traps carry
+//! cross-thread forensics (freeing thread, reclaim era, reuse
+//! distance). The whole run is deterministic: the interleaving is a
+//! pure function of the schedule, so campaigns replay bit-identically.
+//!
+//! Layout:
+//! - [`heap`]: the [`SharedHeap`](heap::SharedHeap) — size-classed slot
+//!   pools over the buddy allocator, spatial-then-temporal checked
+//!   accesses, stamp promotion for pointers laundered through memory.
+//! - [`engine`]: the stepwise executor — op state machines for the
+//!   Treiber stack, Michael–Scott queue, and level hash, the seeded /
+//!   explicit scheduler, and the deterministic [`ConcOutcome`]
+//!   fingerprint.
+//! - [`plant`]: five cross-thread use-after-free classes with benign
+//!   twins, for the fuzzer and the detection-matrix tests.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod heap;
+pub mod plant;
+
+pub use engine::{run, ConcConfig, ConcOutcome, IfprFile, Plan, RawOp, Schedule};
+pub use heap::{Cap, NotASlot, SharedHeap, Violation};
+pub use plant::{check_outcome, planted_case, ExpectedViolation, PlantClass, PlantedCase};

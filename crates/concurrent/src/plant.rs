@@ -1,0 +1,351 @@
+//! The cross-thread use-after-free planter: five bug classes, each with
+//! a buggy script and a *benign twin* that performs the same handoff
+//! correctly.
+//!
+//! Every planted case is a raw-op plan plus an explicit schedule, so the
+//! racing interleaving is pinned — the bug fires (or the twin stays
+//! clean) under **all three** reclamation policies, deterministically.
+//! The benign twins are the false-positive gate: they exercise the exact
+//! tracker machinery (enter/protect/deferred reclamation) that the buggy
+//! scripts abuse, and must produce zero violations.
+
+use ifp_temporal::reclaim::ConcurrentViolation;
+use ifp_temporal::TemporalKind;
+use ifp_testutil::Rng;
+
+use crate::engine::{ConcOutcome, RawOp};
+use crate::heap::Violation;
+
+/// The five planted cross-thread bug classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlantClass {
+    /// Producer frees before the consumer's read of a pointer handed
+    /// off through memory.
+    HandoffRead,
+    /// Same race, but the consumer writes through the stale pointer.
+    HandoffWrite,
+    /// Ownership confusion: both sides free the handed-off block.
+    CrossFreeDouble,
+    /// The slot is freed and reallocated before the consumer reads —
+    /// the classic ABA reuse the stamp key catches on a *live* region.
+    AbaReuse,
+    /// The consumer guards (enter + protect) only *after* the free has
+    /// already retired and reclaimed the block — a late guard does not
+    /// resurrect it.
+    LateGuard,
+}
+
+impl PlantClass {
+    /// All classes, in presentation order.
+    pub const ALL: [PlantClass; 5] = [
+        PlantClass::HandoffRead,
+        PlantClass::HandoffWrite,
+        PlantClass::CrossFreeDouble,
+        PlantClass::AbaReuse,
+        PlantClass::LateGuard,
+    ];
+
+    /// Stable lower-case CLI/JSON name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlantClass::HandoffRead => "handoff-read",
+            PlantClass::HandoffWrite => "handoff-write",
+            PlantClass::CrossFreeDouble => "cross-free-double",
+            PlantClass::AbaReuse => "aba-reuse",
+            PlantClass::LateGuard => "late-guard",
+        }
+    }
+
+    /// Parses a [`name`](Self::name).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<PlantClass> {
+        PlantClass::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// What a buggy case must produce: exactly one temporal violation with
+/// this shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpectedViolation {
+    /// Use-after-free or double free.
+    pub kind: TemporalKind,
+    /// Thread that trips the trap.
+    pub accessing: usize,
+    /// Thread the forensics must blame for the free.
+    pub freeing: usize,
+}
+
+/// A fully pinned planted case: two-thread raw plan + explicit
+/// schedule + expectation.
+#[derive(Clone, Debug)]
+pub struct PlantedCase {
+    /// Which bug class this is.
+    pub class: PlantClass,
+    /// True for the benign twin (must stay violation-free).
+    pub benign: bool,
+    /// Per-thread raw op scripts (thread 0 = producer, 1 = consumer).
+    pub plan: Vec<Vec<RawOp>>,
+    /// Explicit tick schedule pinning the racing interleaving.
+    pub schedule: Vec<usize>,
+    /// `Some` for buggy cases, `None` for benign twins.
+    pub expect: Option<ExpectedViolation>,
+}
+
+/// Builds the planted case for `class`. Sizes and payload values are
+/// seeded so campaigns cover several size classes, but the op/schedule
+/// *shape* — and therefore the race — is invariant.
+#[must_use]
+pub fn planted_case(class: PlantClass, benign: bool, rng: &mut Rng) -> PlantedCase {
+    let size = [16u64, 32, 64, 128][(rng.u64() % 4) as usize];
+    let v = rng.u64() | 1;
+    use RawOp as R;
+    let (plan, schedule, expect) = match (class, benign) {
+        (PlantClass::HandoffRead | PlantClass::HandoffWrite, false) => {
+            let consume = if class == PlantClass::HandoffRead {
+                R::Read { reg: 0, off: 0 }
+            } else {
+                R::Write {
+                    reg: 0,
+                    off: 0,
+                    val: v ^ 0xff,
+                }
+            };
+            (
+                vec![
+                    vec![
+                        R::Alloc { reg: 0, size },
+                        R::Write {
+                            reg: 0,
+                            off: 0,
+                            val: v,
+                        },
+                        R::Publish { reg: 0, slot: 0 },
+                        R::Free { reg: 0 },
+                    ],
+                    vec![R::Acquire { slot: 0, reg: 0 }, consume],
+                ],
+                vec![0, 0, 0, 0, 1, 1],
+                Some(ExpectedViolation {
+                    kind: TemporalKind::UseAfterFree,
+                    accessing: 1,
+                    freeing: 0,
+                }),
+            )
+        }
+        (PlantClass::HandoffRead | PlantClass::HandoffWrite, true) => {
+            let consume = if class == PlantClass::HandoffRead {
+                R::Read { reg: 0, off: 0 }
+            } else {
+                R::Write {
+                    reg: 0,
+                    off: 0,
+                    val: v ^ 0xff,
+                }
+            };
+            // The consumer guards *before* the producer frees: the
+            // tracker defers reclamation and the access is safe.
+            (
+                vec![
+                    vec![
+                        R::Alloc { reg: 0, size },
+                        R::Write {
+                            reg: 0,
+                            off: 0,
+                            val: v,
+                        },
+                        R::Publish { reg: 0, slot: 0 },
+                        R::Free { reg: 0 },
+                    ],
+                    vec![
+                        R::Enter,
+                        R::Acquire { slot: 0, reg: 0 },
+                        R::Protect { reg: 0 },
+                        consume,
+                        R::Exit,
+                    ],
+                ],
+                vec![0, 0, 0, 1, 1, 1, 0, 1, 1],
+                None,
+            )
+        }
+        (PlantClass::CrossFreeDouble, false) => (
+            vec![
+                vec![
+                    R::Alloc { reg: 0, size },
+                    R::Publish { reg: 0, slot: 0 },
+                    R::Free { reg: 0 },
+                ],
+                vec![R::Acquire { slot: 0, reg: 0 }, R::Free { reg: 0 }],
+            ],
+            vec![0, 0, 1, 1, 0],
+            Some(ExpectedViolation {
+                kind: TemporalKind::DoubleFree,
+                accessing: 0,
+                freeing: 1,
+            }),
+        ),
+        (PlantClass::CrossFreeDouble, true) => (
+            // Clean ownership transfer: exactly one side frees.
+            vec![
+                vec![R::Alloc { reg: 0, size }, R::Publish { reg: 0, slot: 0 }],
+                vec![R::Acquire { slot: 0, reg: 0 }, R::Free { reg: 0 }],
+            ],
+            vec![0, 0, 1, 1],
+            None,
+        ),
+        (PlantClass::AbaReuse, false) => (
+            vec![
+                vec![
+                    R::Alloc { reg: 0, size },
+                    R::Publish { reg: 0, slot: 0 },
+                    R::Free { reg: 0 },
+                    R::Alloc { reg: 1, size },
+                    R::Write {
+                        reg: 1,
+                        off: 0,
+                        val: v,
+                    },
+                ],
+                vec![R::Acquire { slot: 0, reg: 0 }, R::Read { reg: 0, off: 0 }],
+            ],
+            // Consumer captures the capability while the block is live,
+            // then the producer frees AND reallocates the same slot.
+            vec![0, 0, 1, 0, 0, 0, 1],
+            Some(ExpectedViolation {
+                kind: TemporalKind::UseAfterFree,
+                accessing: 1,
+                freeing: 0,
+            }),
+        ),
+        (PlantClass::AbaReuse, true) => (
+            // Same ops; the consumer acquires only after the realloc,
+            // so promotion hands it the *current* stamp.
+            vec![
+                vec![
+                    R::Alloc { reg: 0, size },
+                    R::Publish { reg: 0, slot: 0 },
+                    R::Free { reg: 0 },
+                    R::Alloc { reg: 1, size },
+                    R::Write {
+                        reg: 1,
+                        off: 0,
+                        val: v,
+                    },
+                    R::Publish { reg: 1, slot: 0 },
+                ],
+                vec![R::Acquire { slot: 0, reg: 0 }, R::Read { reg: 0, off: 0 }],
+            ],
+            vec![0, 0, 0, 0, 0, 0, 1, 1],
+            None,
+        ),
+        (PlantClass::LateGuard, false) => (
+            vec![
+                vec![
+                    R::Alloc { reg: 0, size },
+                    R::Publish { reg: 0, slot: 0 },
+                    R::Free { reg: 0 },
+                ],
+                vec![
+                    R::Acquire { slot: 0, reg: 0 },
+                    R::Enter,
+                    R::Protect { reg: 0 },
+                    R::Read { reg: 0, off: 0 },
+                    R::Exit,
+                ],
+            ],
+            // The consumer holds a live capability but only guards
+            // after the free has retired *and reclaimed* the block.
+            vec![0, 0, 1, 0, 1, 1, 1, 1],
+            Some(ExpectedViolation {
+                kind: TemporalKind::UseAfterFree,
+                accessing: 1,
+                freeing: 0,
+            }),
+        ),
+        (PlantClass::LateGuard, true) => (
+            vec![
+                vec![
+                    R::Alloc { reg: 0, size },
+                    R::Publish { reg: 0, slot: 0 },
+                    R::Free { reg: 0 },
+                ],
+                vec![
+                    R::Acquire { slot: 0, reg: 0 },
+                    R::Enter,
+                    R::Protect { reg: 0 },
+                    R::Read { reg: 0, off: 0 },
+                    R::Exit,
+                ],
+            ],
+            // Identical ops — but the guard lands before the free, so
+            // reclamation is deferred and the read is safe.
+            vec![0, 0, 1, 1, 1, 0, 1, 1],
+            None,
+        ),
+    };
+    PlantedCase {
+        class,
+        benign,
+        plan,
+        schedule,
+        expect,
+    }
+}
+
+/// Judges a run of `case` against its expectation. Returns
+/// `Err(description)` on any mismatch: a missed detection, a false
+/// positive, wrong forensics, or extra violations.
+pub fn check_outcome(case: &PlantedCase, outcome: &ConcOutcome) -> Result<(), String> {
+    match case.expect {
+        None => {
+            if outcome.violations.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "false positive on benign {}: {}",
+                    case.class.name(),
+                    outcome.violations[0]
+                ))
+            }
+        }
+        Some(exp) => {
+            if outcome.violations.len() != 1 {
+                return Err(format!(
+                    "{}: expected exactly 1 violation, got {}",
+                    case.class.name(),
+                    outcome.violations.len()
+                ));
+            }
+            let got: &ConcurrentViolation = match &outcome.violations[0] {
+                Violation::Temporal(v) => v,
+                Violation::Spatial { .. } => {
+                    return Err(format!(
+                        "{}: expected temporal violation, got spatial: {}",
+                        case.class.name(),
+                        outcome.violations[0]
+                    ))
+                }
+            };
+            if got.kind != exp.kind {
+                return Err(format!(
+                    "{}: expected {:?}, got {:?}",
+                    case.class.name(),
+                    exp.kind,
+                    got.kind
+                ));
+            }
+            if got.accessing_thread != exp.accessing || got.freeing_thread != exp.freeing {
+                return Err(format!(
+                    "{}: expected threads (access {}, free {}), got (access {}, free {})",
+                    case.class.name(),
+                    exp.accessing,
+                    exp.freeing,
+                    got.accessing_thread,
+                    got.freeing_thread
+                ));
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Integration tests for the concurrent execution mode: the 5×3
+//! planted detection matrix, zero-false-positive benign legs, and
+//! determinism of outcomes under seeded schedules.
+
+use ifp_concurrent::{
+    check_outcome, planted_case, run, ConcConfig, Plan, PlantClass, Schedule, Violation,
+};
+use ifp_temporal::reclaim::ReclaimPolicy;
+use ifp_testutil::Rng;
+use ifp_workloads::concurrent::{gen_script, ConcStructure};
+
+fn planted_config(policy: ReclaimPolicy, class: PlantClass, benign: bool, seed: u64) -> ConcConfig {
+    let case = planted_case(class, benign, &mut Rng::new(seed));
+    ConcConfig {
+        policy,
+        plan: Plan::Raw(case.plan.clone()),
+        schedule: Schedule::Explicit(case.schedule.clone()),
+    }
+}
+
+/// Every policy detects every planted class — with the right kind and
+/// the right cross-thread attribution — and never fires on the twin.
+#[test]
+fn detection_matrix_five_by_three() {
+    for policy in ReclaimPolicy::ALL {
+        for class in PlantClass::ALL {
+            for benign in [false, true] {
+                for seed in [1u64, 77, 4096] {
+                    let case = planted_case(class, benign, &mut Rng::new(seed));
+                    let cfg = ConcConfig {
+                        policy,
+                        plan: Plan::Raw(case.plan.clone()),
+                        schedule: Schedule::Explicit(case.schedule.clone()),
+                    };
+                    let out = run(&cfg);
+                    assert!(!out.fuel_exhausted, "{policy:?}/{class:?} ran out of fuel");
+                    if let Err(e) = check_outcome(&case, &out) {
+                        panic!("policy {policy:?}, seed {seed}: {e}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The late-guard trap's forensics carry the reclaim era (the guard
+/// came after physical reclamation) while the ABA trap reports a
+/// non-zero reuse distance.
+#[test]
+fn forensics_distinguish_late_guard_from_aba() {
+    for policy in ReclaimPolicy::ALL {
+        let late = run(&planted_config(policy, PlantClass::LateGuard, false, 9));
+        match &late.violations[0] {
+            Violation::Temporal(v) => {
+                assert!(
+                    v.reclaim_era.is_some(),
+                    "{policy:?}: late guard must report the reclaim era"
+                );
+            }
+            other => panic!("{policy:?}: unexpected {other}"),
+        }
+        let aba = run(&planted_config(policy, PlantClass::AbaReuse, false, 9));
+        match &aba.violations[0] {
+            Violation::Temporal(v) => {
+                assert!(
+                    v.reuse_distance > 0,
+                    "{policy:?}: ABA must report reuse distance, got {}",
+                    v.reuse_distance
+                );
+            }
+            other => panic!("{policy:?}: unexpected {other}"),
+        }
+    }
+}
+
+/// Benign lock-free workloads — real CAS contention, retries, frees on
+/// the hot path — produce zero violations under every tracker. This is
+/// the core false-positive gate: epoch-pinned readers touch retired
+/// nodes, queue tails lag, and lookups race removes, all legally.
+#[test]
+fn benign_structures_run_clean_under_all_policies() {
+    for structure in ConcStructure::ALL {
+        for policy in ReclaimPolicy::ALL {
+            let script = gen_script(structure, 4, 120, &mut Rng::new(0xbeef));
+            let cfg = ConcConfig {
+                policy,
+                plan: Plan::Structure(script),
+                schedule: Schedule::Seeded(0x51ed),
+            };
+            let out = run(&cfg);
+            assert!(
+                out.violations.is_empty(),
+                "{structure:?}/{policy:?}: false positive: {}",
+                out.violations[0]
+            );
+            assert!(!out.fuel_exhausted, "{structure:?}/{policy:?}: fuel");
+            assert_eq!(out.ops_completed, 480, "{structure:?}/{policy:?}");
+            assert!(
+                out.stats.retires > 0,
+                "{structure:?}/{policy:?}: workload must exercise retirement"
+            );
+            assert_eq!(
+                out.stats.retires, out.stats.reclaims,
+                "{structure:?}/{policy:?}: teardown scan reclaims everything retired"
+            );
+        }
+    }
+}
+
+/// Same config ⇒ byte-identical outcome, fingerprint included; a
+/// different schedule seed perturbs the fingerprint.
+#[test]
+fn outcomes_are_deterministic() {
+    for structure in ConcStructure::ALL {
+        let mk = |sched: u64| ConcConfig {
+            policy: ReclaimPolicy::Hazard,
+            plan: Plan::Structure(gen_script(structure, 3, 80, &mut Rng::new(42))),
+            schedule: Schedule::Seeded(sched),
+        };
+        let a = run(&mk(7));
+        let b = run(&mk(7));
+        assert_eq!(a, b, "{structure:?}: identical configs must match");
+        let c = run(&mk(8));
+        assert_ne!(
+            a.fingerprint, c.fingerprint,
+            "{structure:?}: schedule seed must matter"
+        );
+    }
+}
+
+/// Deferred reclamation stays bounded and carved address space is
+/// recycled: heavy churn with frequent guards must not grow the
+/// footprint beyond a few carved blocks per class in play.
+#[test]
+fn footprint_stays_bounded_under_churn() {
+    for policy in ReclaimPolicy::ALL {
+        let cfg = ConcConfig {
+            policy,
+            plan: Plan::Structure(gen_script(
+                ConcStructure::TreiberStack,
+                4,
+                400,
+                &mut Rng::new(0x0f00),
+            )),
+            schedule: Schedule::Seeded(3),
+        };
+        let out = run(&cfg);
+        assert!(out.violations.is_empty(), "{policy:?}");
+        assert!(
+            out.carved_blocks <= 4,
+            "{policy:?}: churn carved {} blocks",
+            out.carved_blocks
+        );
+        assert!(
+            out.stats.peak_deferred_bytes <= 64 * 1024,
+            "{policy:?}: deferred ballooned to {}",
+            out.stats.peak_deferred_bytes
+        );
+        assert_eq!(out.stats.retires, out.stats.reclaims, "{policy:?}");
+    }
+}
+
+/// The explicit scheduler consumes its prefix then round-robins, and
+/// skips finished threads, so short explicit schedules still drain
+/// every op.
+#[test]
+fn explicit_schedule_completes_all_ops() {
+    let cfg = ConcConfig {
+        policy: ReclaimPolicy::Epoch,
+        plan: Plan::Structure(gen_script(
+            ConcStructure::MpmcQueue,
+            2,
+            40,
+            &mut Rng::new(11),
+        )),
+        schedule: Schedule::Explicit(vec![0, 0, 1]),
+    };
+    let out = run(&cfg);
+    assert_eq!(out.ops_completed, 80);
+    assert!(out.violations.is_empty());
+}

@@ -8,6 +8,7 @@
 //! ```
 
 use ifp_fuzz::campaign::{run_campaign, CampaignConfig, Schedule};
+use ifp_fuzz::concurrent::{run_conc_campaign, ConcCampaignConfig};
 use ifp_fuzz::corpus::load_finding;
 use ifp_fuzz::oracle::{evaluate, forensic_text};
 use ifp_fuzz::shrink::shrink_with;
@@ -26,6 +27,8 @@ USAGE:
                       [--elide-checks] [--fail-on-finding]
     ifp-fuzz temporal [--seed S] [--iters N] [--workers W]
                       [--fail-on-finding]
+    ifp-fuzz concurrent [--seed S] [--iters N] [--workers W]
+                        [--fail-on-finding]
     ifp-fuzz replay FILE...
     ifp-fuzz shrink FILE [-o OUT]
 
@@ -49,6 +52,15 @@ TEMPORAL:
     (key-check, tag-cycle, quarantine). Same determinism contract as
     `campaign`; same options minus the corpus/schedule knobs.
 
+CONCURRENT:
+    Runs the cross-thread campaign: seeded planted races (five
+    use-after-free classes with benign twins, pinned interleavings)
+    and benign lock-free workloads (Treiber stack, MPMC queue, level
+    hash) under the epoch / hazard / interval reclamation trackers.
+    Buggy cases must trap with exact forensics; benign cases must stay
+    silent; every case must replay bit-identically. Campaigns are a
+    pure function of seed\u{d7}iters, invariant under worker count.
+
 REPLAY:
     Re-evaluates each corpus file's minimized spec through the full
     differential oracle and prints per-mode outcomes, disagreements,
@@ -64,6 +76,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("temporal") => cmd_temporal(&args[1..]),
+        Some("concurrent") => cmd_concurrent(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("shrink") => cmd_shrink(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -191,6 +204,60 @@ fn cmd_temporal(args: &[String]) -> ExitCode {
     if fail_on_finding && !report.findings.is_empty() {
         eprintln!(
             "ifp-fuzz: {} temporal finding(s) with --fail-on-finding",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_concurrent(args: &[String]) -> ExitCode {
+    let mut config = ConcCampaignConfig {
+        seed: 0,
+        iterations: 1000,
+        workers: ifp_testutil::default_workers(),
+    };
+    let mut fail_on_finding = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--seed" => value("--seed").and_then(|v| {
+                parse_seed(&v)
+                    .map(|s| config.seed = s)
+                    .ok_or(format!("bad seed `{v}`"))
+            }),
+            "--iters" => value("--iters").and_then(|v| {
+                v.parse()
+                    .map(|n| config.iterations = n)
+                    .map_err(|_| format!("bad iteration count `{v}`"))
+            }),
+            "--workers" => value("--workers").and_then(|v| {
+                v.parse()
+                    .map(|w: usize| config.workers = w.max(1))
+                    .map_err(|_| format!("bad worker count `{v}`"))
+            }),
+            "--fail-on-finding" => {
+                fail_on_finding = true;
+                Ok(())
+            }
+            other => Err(format!("unknown concurrent option `{other}`")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("ifp-fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let report = run_conc_campaign(&config);
+    print!("{}", report.render());
+    if fail_on_finding && !report.findings.is_empty() {
+        eprintln!(
+            "ifp-fuzz: {} concurrent finding(s) with --fail-on-finding",
             report.findings.len()
         );
         return ExitCode::FAILURE;

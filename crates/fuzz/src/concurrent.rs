@@ -1,0 +1,388 @@
+//! The cross-thread use-after-free campaign: seeded planted races and
+//! benign lock-free workloads, judged against the reclamation trackers'
+//! known ground truth.
+//!
+//! Each ticket derives its case from `Rng::stream(seed, i)` — the case
+//! mix, the interleaving schedules, the payload sizes — so a campaign is
+//! a pure function of `seed × iterations`, invariant under worker
+//! count. Three case families:
+//!
+//! * **Planted** ([`ifp_concurrent::plant`]): one of the five
+//!   cross-thread bug classes under one of the three reclamation
+//!   policies. The buggy script must trap with exactly the expected
+//!   kind and thread attribution; the benign twin must stay silent.
+//! * **Workload**: a seeded Treiber-stack / MPMC-queue / level-hash
+//!   script under a seeded interleaving — real CAS contention with
+//!   frees on the hot path. Any violation is a false positive; the run
+//!   must also complete (no fuel exhaustion) and reclaim everything it
+//!   retires.
+//! * **Replay** (every ticket): the case is run twice; outcomes must be
+//!   bit-identical, fingerprint included.
+
+use ifp_concurrent::{check_outcome, planted_case, run, ConcConfig, Plan, PlantClass, Schedule};
+use ifp_temporal::reclaim::ReclaimPolicy;
+use ifp_testutil::Rng;
+use ifp_workloads::concurrent::{gen_script, ConcStructure};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One seeded concurrent case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConcCase {
+    /// A pinned-race planted bug (or its benign twin).
+    Planted {
+        /// The bug class.
+        class: PlantClass,
+        /// True for the violation-free twin.
+        benign: bool,
+    },
+    /// A benign seeded data-structure workload.
+    Workload {
+        /// Which structure the threads share.
+        structure: ConcStructure,
+        /// Logical thread count (2..=4).
+        threads: usize,
+        /// Ops per thread.
+        ops: usize,
+    },
+}
+
+/// A full concurrent fuzz spec: the case plus the policy and the seeds
+/// that pin sizes/values and the interleaving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConcSpec {
+    /// Case seed: payload sizes/values (planted) or the op script
+    /// (workload).
+    pub seed: u64,
+    /// Interleaving seed for seeded-schedule cases.
+    pub schedule_seed: u64,
+    /// Which reclamation tracker guards the run.
+    pub policy: ReclaimPolicy,
+    /// The case itself.
+    pub case: ConcCase,
+}
+
+impl ConcSpec {
+    /// Draws a fresh spec from `rng`.
+    #[must_use]
+    pub fn generate(rng: &mut Rng) -> ConcSpec {
+        let policy = *rng.choose(&ReclaimPolicy::ALL);
+        let case = if rng.u64() % 3 < 2 {
+            ConcCase::Planted {
+                class: *rng.choose(&PlantClass::ALL),
+                benign: rng.bool(),
+            }
+        } else {
+            ConcCase::Workload {
+                structure: *rng.choose(&ConcStructure::ALL),
+                threads: 2 + (rng.u64() % 3) as usize,
+                ops: 24 + (rng.u64() % 40) as usize,
+            }
+        };
+        ConcSpec {
+            seed: rng.u64(),
+            schedule_seed: rng.u64(),
+            policy,
+            case,
+        }
+    }
+
+    /// Coverage cell name: `policy×case`.
+    #[must_use]
+    pub fn cell(&self) -> String {
+        let case = match &self.case {
+            ConcCase::Planted { class, benign } => {
+                format!(
+                    "{}\u{d7}{}",
+                    class.name(),
+                    if *benign { "benign" } else { "buggy" }
+                )
+            }
+            ConcCase::Workload { structure, .. } => format!("{}\u{d7}workload", structure.name()),
+        };
+        format!("{}\u{d7}{case}", self.policy.name())
+    }
+
+    fn config(&self) -> (ConcConfig, Option<ifp_concurrent::PlantedCase>) {
+        match &self.case {
+            ConcCase::Planted { class, benign } => {
+                let case = planted_case(*class, *benign, &mut Rng::new(self.seed));
+                let cfg = ConcConfig {
+                    policy: self.policy,
+                    plan: Plan::Raw(case.plan.clone()),
+                    schedule: Schedule::Explicit(case.schedule.clone()),
+                };
+                (cfg, Some(case))
+            }
+            ConcCase::Workload {
+                structure,
+                threads,
+                ops,
+            } => (
+                ConcConfig {
+                    policy: self.policy,
+                    plan: Plan::Structure(gen_script(
+                        *structure,
+                        *threads,
+                        *ops,
+                        &mut Rng::new(self.seed),
+                    )),
+                    schedule: Schedule::Seeded(self.schedule_seed),
+                },
+                None,
+            ),
+        }
+    }
+
+    /// Runs the spec and returns every deviation from ground truth.
+    #[must_use]
+    pub fn evaluate(&self) -> Vec<String> {
+        let (cfg, planted) = self.config();
+        let out = run(&cfg);
+        let mut problems = Vec::new();
+        if out.fuel_exhausted {
+            problems.push(format!("fuel exhausted after {} steps", out.steps));
+        }
+        match planted {
+            Some(case) => {
+                if let Err(e) = check_outcome(&case, &out) {
+                    problems.push(e);
+                }
+            }
+            None => {
+                if let Some(v) = out.violations.first() {
+                    problems.push(format!("false positive on benign workload: {v}"));
+                }
+                if out.stats.retires != out.stats.reclaims {
+                    problems.push(format!(
+                        "reclamation leak: {} retired, {} reclaimed",
+                        out.stats.retires, out.stats.reclaims
+                    ));
+                }
+            }
+        }
+        let replay = run(&cfg);
+        if replay != out {
+            problems.push(format!(
+                "nondeterministic outcome: fingerprint {:#x} vs {:#x}",
+                out.fingerprint, replay.fingerprint
+            ));
+        }
+        problems
+    }
+}
+
+/// The spec ticket `i` of concurrent campaign `seed` produces — a pure
+/// function of `(seed, i)`, worker-count invariant.
+#[must_use]
+pub fn conc_spec_for_ticket(seed: u64, i: u64) -> ConcSpec {
+    ConcSpec::generate(&mut Rng::stream(seed, i))
+}
+
+/// Concurrent campaign configuration.
+#[derive(Clone, Debug)]
+pub struct ConcCampaignConfig {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Tickets to run.
+    pub iterations: u64,
+    /// Worker threads (results identical for any count).
+    pub workers: usize,
+}
+
+/// One concurrent-campaign finding.
+#[derive(Clone, Debug)]
+pub struct ConcFinding {
+    /// The ticket that produced it.
+    pub iteration: u64,
+    /// The offending spec.
+    pub spec: ConcSpec,
+    /// Every deviation observed.
+    pub problems: Vec<String>,
+}
+
+/// What a concurrent campaign produced.
+#[derive(Debug)]
+pub struct ConcCampaignReport {
+    /// The configuration that ran.
+    pub config: ConcCampaignConfig,
+    /// Wall-clock time of the worker-pool phase.
+    pub elapsed: Duration,
+    /// Findings, in iteration order.
+    pub findings: Vec<ConcFinding>,
+    /// Hit counts per policy×case cell.
+    pub coverage: BTreeMap<String, u64>,
+    /// Number of cells the generator can reach.
+    pub total_cells: usize,
+}
+
+/// Every coverage cell the generator can reach: 3 policies × (5 planted
+/// classes × buggy/benign + 3 workload structures).
+#[must_use]
+pub fn reachable_conc_cells() -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for policy in ReclaimPolicy::ALL {
+        for class in PlantClass::ALL {
+            for benign in [false, true] {
+                out.insert(
+                    ConcSpec {
+                        seed: 0,
+                        schedule_seed: 0,
+                        policy,
+                        case: ConcCase::Planted { class, benign },
+                    }
+                    .cell(),
+                );
+            }
+        }
+        for structure in ConcStructure::ALL {
+            out.insert(
+                ConcSpec {
+                    seed: 0,
+                    schedule_seed: 0,
+                    policy,
+                    case: ConcCase::Workload {
+                        structure,
+                        threads: 2,
+                        ops: 1,
+                    },
+                }
+                .cell(),
+            );
+        }
+    }
+    out
+}
+
+/// Runs a concurrent campaign to completion.
+///
+/// # Panics
+///
+/// Panics if a worker thread dies (a harness bug, not a finding).
+#[must_use]
+pub fn run_conc_campaign(config: &ConcCampaignConfig) -> ConcCampaignReport {
+    let next = AtomicU64::new(0);
+    let raw: Mutex<Vec<ConcFinding>> = Mutex::new(Vec::new());
+    let workers = config.workers.max(1);
+
+    let started = std::time::Instant::now();
+    let coverage = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local_cov: BTreeMap<String, u64> = BTreeMap::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= config.iterations {
+                            break;
+                        }
+                        let spec = conc_spec_for_ticket(config.seed, i);
+                        *local_cov.entry(spec.cell()).or_default() += 1;
+                        let problems = spec.evaluate();
+                        if !problems.is_empty() {
+                            raw.lock().unwrap().push(ConcFinding {
+                                iteration: i,
+                                spec,
+                                problems,
+                            });
+                        }
+                    }
+                    local_cov
+                })
+            })
+            .collect();
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+        for h in handles {
+            for (k, v) in h.join().expect("worker thread died") {
+                *merged.entry(k).or_default() += v;
+            }
+        }
+        merged
+    });
+    let elapsed = started.elapsed();
+
+    let mut findings = raw.into_inner().unwrap();
+    findings.sort_by_key(|f| f.iteration);
+
+    ConcCampaignReport {
+        config: config.clone(),
+        elapsed,
+        findings,
+        coverage,
+        total_cells: reachable_conc_cells().len(),
+    }
+}
+
+impl ConcCampaignReport {
+    /// The summary table the CLI prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("ifp-fuzz concurrent campaign\n");
+        s.push_str(&format!("  seed        {:#x}\n", self.config.seed));
+        s.push_str(&format!("  iterations  {}\n", self.config.iterations));
+        s.push_str(&format!("  workers     {}\n", self.config.workers.max(1)));
+        let secs = self.elapsed.as_secs_f64();
+        let rate = if secs > 0.0 {
+            self.config.iterations as f64 / secs
+        } else {
+            f64::INFINITY
+        };
+        s.push_str(&format!("  elapsed     {secs:.2}s ({rate:.0} iters/sec)\n"));
+        s.push_str(&format!(
+            "  coverage    {}/{} policy\u{d7}case cells\n",
+            self.coverage.len(),
+            self.total_cells
+        ));
+        s.push_str(&format!("  findings    {}\n", self.findings.len()));
+        for f in &self.findings {
+            s.push_str(&format!(
+                "\nfinding @ iteration {}: {}\n  spec: {:?}\n",
+                f.iteration,
+                f.problems.join("; "),
+                f.spec
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachable_conc_cell_count_is_stable() {
+        // 3 policies × (5 classes × 2 variants + 3 workload structures).
+        assert_eq!(reachable_conc_cells().len(), 3 * (5 * 2 + 3));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..64 {
+            let a = conc_spec_for_ticket(0x77, i);
+            let b = conc_spec_for_ticket(0x77, i);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_worker_invariant() {
+        let config = ConcCampaignConfig {
+            seed: 0xc2,
+            iterations: 48,
+            workers: 3,
+        };
+        let report = run_conc_campaign(&config);
+        assert!(report.findings.is_empty(), "{}", report.render());
+        assert!(!report.coverage.is_empty());
+        let solo = run_conc_campaign(&ConcCampaignConfig {
+            workers: 1,
+            ..config
+        });
+        assert_eq!(report.coverage, solo.coverage, "worker-count invariance");
+        assert!(report.render().contains("iterations  48"));
+    }
+}

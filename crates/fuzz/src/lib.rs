@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod concurrent;
 pub mod corpus;
 pub mod json;
 pub mod mutate;
@@ -40,6 +41,9 @@ pub mod spec;
 pub mod temporal;
 
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Schedule};
+pub use concurrent::{
+    run_conc_campaign, ConcCampaignConfig, ConcCampaignReport, ConcCase, ConcSpec,
+};
 pub use corpus::{load_finding, write_corpus, Finding};
 pub use mutate::mutate;
 pub use oracle::{

@@ -62,6 +62,12 @@ pub struct ServeConfig {
     /// Admission budget per shard: a request arriving while this many
     /// admitted requests are still queued or in service is shed.
     pub queue_budget: usize,
+    /// Modeled servers per shard (clamped to `[1, 4]`, the pool
+    /// headroom). With more than one, admitted requests start on the
+    /// earliest-free server instead of strictly behind the previous
+    /// request; `1` reproduces the historical single-server shard
+    /// byte-for-byte.
+    pub concurrency: usize,
     /// Host worker threads executing shards. Clamped to `[1, shards]`;
     /// any value yields a byte-identical report.
     pub workers: usize,
@@ -86,6 +92,7 @@ impl Default for ServeConfig {
             requests: 8_192,
             shards: 8,
             queue_budget: 32,
+            concurrency: 1,
             workers: ifp_testutil::default_workers(),
             mean_gap_ns: 20_000,
             juliet_share: 70,

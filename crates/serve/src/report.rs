@@ -200,6 +200,7 @@ impl ServeReport {
         let _ = writeln!(s, "  \"requests\": {},", c.requests);
         let _ = writeln!(s, "  \"shards\": {},", c.shards);
         let _ = writeln!(s, "  \"queue_budget\": {},", c.queue_budget);
+        let _ = writeln!(s, "  \"concurrency\": {},", c.concurrency.clamp(1, 4));
         let _ = writeln!(s, "  \"mean_gap_ns\": {},", c.mean_gap_ns);
         let _ = writeln!(s, "  \"juliet_share\": {},", c.juliet_share);
         let _ = writeln!(s, "  \"shed_code\": \"{SHED_CODE}\",");

@@ -1,13 +1,19 @@
-//! One shard: a single-server FIFO queue with bounded admission over a
-//! pool of reusable VM hosts, executing in virtual time.
+//! One shard: a FIFO queue with bounded admission over a pool of
+//! reusable VM hosts, executing in virtual time on `concurrency`
+//! modeled servers.
 //!
 //! Virtual time is what makes the service deterministic: a request's
 //! service time is its modeled cycle count (1 cycle = 1 virtual ns at
 //! the simulated 1 GHz), so queueing delays, shed decisions, and
 //! latencies are exact integer arithmetic independent of host speed,
-//! thread scheduling, or worker count.
+//! thread scheduling, or worker count. With `concurrency` > 1 the
+//! shard's idle `POOL_CAP` headroom serves multiple in-flight requests:
+//! each admitted request starts on the earliest-free modeled server
+//! (FIFO admission order is preserved), which lifts completed-request
+//! throughput when service times leave servers idle under queueing.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use ifp_hw::Trap;
 use ifp_vm::{run_pooled, VmError, VmHost};
@@ -19,10 +25,9 @@ use crate::histogram::Histogram;
 /// reject). Schema-stable: external clients match on this string.
 pub const SHED_CODE: &str = "SERVE-429-SHED";
 
-/// Pooled hosts kept per shard. The shard serves requests one at a time,
-/// so one host suffices; the headroom is for future concurrent serving
-/// within a shard.
-const POOL_CAP: usize = 4;
+/// Pooled hosts kept per shard, and the ceiling on modeled in-shard
+/// concurrency: one virtual server per potential pooled host.
+pub(crate) const POOL_CAP: usize = 4;
 
 /// Per-tenant counters accumulated by a shard (merged across shards into
 /// the report).
@@ -97,6 +102,9 @@ pub struct ShardOutcome {
     pub pool_created: u64,
     /// Pool hits.
     pub pool_reused: u64,
+    /// Global-table rows leaked across every host still pooled at shard
+    /// teardown — the release-mode leak gate; must be zero.
+    pub pool_leaked_rows: u64,
     /// Forensic records, in request order (capped by the report).
     pub forensics: Vec<Forensic>,
     /// Concatenated JSONL trace snapshots of the first trapped traced
@@ -123,14 +131,19 @@ pub(crate) fn run_shard(
         tenants: tenants.iter().map(|_| TenantCounters::default()).collect(),
         pool_created: 0,
         pool_reused: 0,
+        pool_leaked_rows: 0,
         forensics: Vec::new(),
         trap_jsonl: String::new(),
     };
     let mut pool: Vec<VmHost> = Vec::new();
     // Completion times of admitted-but-not-yet-finished requests at the
-    // current arrival instant. FIFO single server ⇒ nondecreasing.
-    let mut inflight: VecDeque<u64> = VecDeque::new();
-    let mut server_free_at = 0u64;
+    // current arrival instant (min-heap: with concurrency > 1,
+    // completions are not admission-ordered).
+    let mut inflight: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    // Virtual servers: when each becomes free. An admitted request runs
+    // on the earliest-free server; with one server this is exactly the
+    // historical single-server FIFO.
+    let mut server_free_at = vec![0u64; cfg.concurrency.clamp(1, POOL_CAP)];
     let mut jsonl_left = cfg.trace_jsonl_per_shard;
 
     for req in lane {
@@ -139,8 +152,11 @@ pub(crate) fn run_shard(
         counters.requests += 1;
 
         // Drain completions up to this arrival, then admission-check.
-        while inflight.front().is_some_and(|&c| c <= req.arrival_ns) {
-            inflight.pop_front();
+        while inflight
+            .peek()
+            .is_some_and(|&Reverse(c)| c <= req.arrival_ns)
+        {
+            inflight.pop();
         }
         if inflight.len() >= cfg.queue_budget {
             counters.shed += 1;
@@ -223,19 +239,26 @@ pub(crate) fn run_shard(
             }
         }
 
-        // Virtual-time bookkeeping: FIFO service behind the last
-        // admitted request.
-        let start = req.arrival_ns.max(server_free_at);
+        // Virtual-time bookkeeping: FIFO admission onto the
+        // earliest-free server.
+        let (si, free_at) = server_free_at
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(_, f)| f)
+            .expect("at least one server");
+        let start = req.arrival_ns.max(free_at);
         let completion = start + service_ns;
-        server_free_at = completion;
-        inflight.push_back(completion);
+        server_free_at[si] = completion;
+        inflight.push(Reverse(completion));
         out.peak_queue = out.peak_queue.max(inflight.len());
         counters.service_ns += service_ns;
         out.busy_ns += service_ns;
-        out.last_completion_ns = completion;
+        out.last_completion_ns = out.last_completion_ns.max(completion);
         let latency = completion - req.arrival_ns;
         out.latency.record(latency);
         out.tenant_latency[req.tenant].record(latency);
     }
+    out.pool_leaked_rows = pool.iter().map(VmHost::leaked_rows).sum();
     out
 }

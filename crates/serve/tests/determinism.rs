@@ -52,6 +52,7 @@ fn schema_is_stable() {
         "\"requests\": ",
         "\"shards\": ",
         "\"queue_budget\": ",
+        "\"concurrency\": ",
         "\"mean_gap_ns\": ",
         "\"juliet_share\": ",
         &format!("\"shed_code\": \"{SHED_CODE}\""),
@@ -108,9 +109,12 @@ fn pinned_seed_has_no_unexpected_outcomes() {
             );
         }
     }
-    // Pools actually recycle hosts.
+    // Pools actually recycle hosts, and no pooled host leaks
+    // global-table rows (release-mode gate: the reset-time
+    // `debug_assert` cannot fire here).
     for s in &r.shards {
         assert!(s.pool_reused > s.pool_created, "pool not reused");
+        assert_eq!(s.pool_leaked_rows, 0, "pooled hosts leaked rows");
     }
     // Forensics are capped, ordered, and non-empty.
     assert!(!r.forensics.is_empty());
@@ -119,6 +123,42 @@ fn pinned_seed_has_no_unexpected_outcomes() {
         .forensics
         .windows(2)
         .all(|w| w[0].request_id < w[1].request_id));
+}
+
+#[test]
+fn concurrency_is_deterministic_and_lifts_throughput() {
+    // Worker-count invariance must hold with in-shard concurrency too.
+    let mk = |workers: usize| ServeConfig {
+        concurrency: 4,
+        ..test_config(workers)
+    };
+    let c4 = run_service(&mk(1));
+    for workers in [2, 8] {
+        assert_eq!(
+            c4.to_json(),
+            run_service(&mk(workers)).to_json(),
+            "concurrent report bytes must not depend on worker count"
+        );
+    }
+    assert_eq!(c4.unexpected(), 0);
+    for s in &c4.shards {
+        assert_eq!(s.pool_leaked_rows, 0, "pooled hosts leaked rows");
+    }
+    // Four servers drain the same arrivals no slower, and strictly
+    // reduce queueing at the pinned (overloaded) seed: fewer sheds,
+    // more completions, lower tail latency.
+    let c1 = run_service(&test_config(4));
+    assert!(c4.shed < c1.shed, "shed {} !< {}", c4.shed, c1.shed);
+    assert!(
+        c4.completed > c1.completed,
+        "completed {} !> {}",
+        c4.completed,
+        c1.completed
+    );
+    assert!(
+        c4.latency.percentile(990) <= c1.latency.percentile(990),
+        "p99 must not regress"
+    );
 }
 
 #[test]

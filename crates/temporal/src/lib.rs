@@ -45,6 +45,8 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
+pub mod reclaim;
+
 pub use ifp_trace::TemporalKind;
 
 /// Generations per tag cycle under [`TemporalPolicy::TagCycle`]: a

@@ -221,6 +221,15 @@ impl VmHost {
         self.gt.live_rows()
     }
 
+    /// Global-table rows issued but neither live nor recycled — must be
+    /// zero for a leak-free host. Cheap (three counter reads), so
+    /// release-mode suites can gate on it where the `reset()`
+    /// `debug_assert` cannot fire.
+    #[must_use]
+    pub fn leaked_rows(&self) -> u64 {
+        self.gt.leaked_rows()
+    }
+
     /// Snapshot of the trace ring left behind by the last run, resolving
     /// function indices against `funcs`. Useful after a trapped
     /// [`Vm::run_pooled`], where there is no [`RunResult`] to carry the

@@ -1,0 +1,185 @@
+//! Concurrent workload specs: seeded operation scripts for the
+//! shared-heap data structures `ifp-concurrent` executes.
+//!
+//! This module is the *spec* layer only — structure selection and
+//! per-thread operation scripts as pure data, generated deterministically
+//! from a seed. The execution engine (per-thread IFPR files, the seeded
+//! interleaving scheduler, the reclamation trackers) lives in
+//! `crates/concurrent`, which depends on this crate; keeping the specs
+//! here lets the fuzzer, the bench tables, and the engine share one
+//! vocabulary without a dependency cycle.
+//!
+//! The three structures mirror the memento `ds/` family the ROADMAP
+//! names: a Treiber stack, a Michael–Scott MPMC queue, and a two-level
+//! hash map.
+
+use ifp_testutil::Rng;
+
+/// Which shared-heap data structure a script drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConcStructure {
+    /// Treiber stack: lock-free LIFO over CAS on a head cell.
+    TreiberStack,
+    /// Michael–Scott queue: lock-free MPMC FIFO with a dummy node.
+    MpmcQueue,
+    /// Two-level hash map: CAS-claimed bucket slots pointing at
+    /// heap-allocated value nodes.
+    LevelHash,
+}
+
+impl ConcStructure {
+    /// All structures, in presentation order.
+    pub const ALL: [ConcStructure; 3] = [
+        ConcStructure::TreiberStack,
+        ConcStructure::MpmcQueue,
+        ConcStructure::LevelHash,
+    ];
+
+    /// Stable lower-case CLI/JSON name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ConcStructure::TreiberStack => "treiber-stack",
+            ConcStructure::MpmcQueue => "mpmc-queue",
+            ConcStructure::LevelHash => "level-hash",
+        }
+    }
+
+    /// Parses a [`name`](Self::name).
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<ConcStructure> {
+        ConcStructure::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// One high-level operation against the script's structure. Stack ops
+/// are only valid for [`ConcStructure::TreiberStack`], queue ops for
+/// [`ConcStructure::MpmcQueue`], map ops for
+/// [`ConcStructure::LevelHash`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConcOp {
+    /// Push a value onto the stack.
+    Push(u64),
+    /// Pop the top of the stack (freeing the popped node).
+    Pop,
+    /// Enqueue a value.
+    Enqueue(u64),
+    /// Dequeue the oldest value (freeing the retired dummy).
+    Dequeue,
+    /// Insert `key -> value` (allocating a value node).
+    Insert(u64, u64),
+    /// Look up `key`, dereferencing its value node if present.
+    Lookup(u64),
+    /// Remove `key`, freeing its value node.
+    Remove(u64),
+}
+
+/// A complete concurrent workload: one structure, one op script per
+/// logical thread.
+#[derive(Clone, Debug)]
+pub struct ConcScript {
+    /// The structure all threads share.
+    pub structure: ConcStructure,
+    /// Per-thread operation sequences.
+    pub per_thread: Vec<Vec<ConcOp>>,
+}
+
+impl ConcScript {
+    /// Total ops across all threads.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.per_thread.iter().map(Vec::len).sum()
+    }
+}
+
+/// Generates a seeded mixed script for `structure`: `threads` threads ×
+/// `ops_per_thread` operations, with a producer-leaning mix so the
+/// structures hold real contents and frees happen on the hot path.
+#[must_use]
+pub fn gen_script(
+    structure: ConcStructure,
+    threads: usize,
+    ops_per_thread: usize,
+    rng: &mut Rng,
+) -> ConcScript {
+    let per_thread = (0..threads)
+        .map(|_| {
+            (0..ops_per_thread)
+                .map(|_| match structure {
+                    ConcStructure::TreiberStack => {
+                        if rng.u64() % 5 < 3 {
+                            ConcOp::Push(rng.u64() | 1)
+                        } else {
+                            ConcOp::Pop
+                        }
+                    }
+                    ConcStructure::MpmcQueue => {
+                        if rng.u64() % 5 < 3 {
+                            ConcOp::Enqueue(rng.u64() | 1)
+                        } else {
+                            ConcOp::Dequeue
+                        }
+                    }
+                    ConcStructure::LevelHash => {
+                        // Keys from a small space so removes/lookups hit.
+                        let key = 1 + rng.u64() % 48;
+                        match rng.u64() % 5 {
+                            0 | 1 => ConcOp::Insert(key, rng.u64() | 1),
+                            2 | 3 => ConcOp::Lookup(key),
+                            _ => ConcOp::Remove(key),
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    ConcScript {
+        structure,
+        per_thread,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for s in ConcStructure::ALL {
+            assert_eq!(ConcStructure::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ConcStructure::from_name("deque"), None);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = gen_script(ConcStructure::LevelHash, 4, 64, &mut Rng::new(7));
+        let b = gen_script(ConcStructure::LevelHash, 4, 64, &mut Rng::new(7));
+        assert_eq!(a.per_thread, b.per_thread);
+        assert_eq!(a.total_ops(), 256);
+        let c = gen_script(ConcStructure::LevelHash, 4, 64, &mut Rng::new(8));
+        assert_ne!(a.per_thread, c.per_thread, "seed must matter");
+    }
+
+    #[test]
+    fn ops_match_structure() {
+        for s in ConcStructure::ALL {
+            let script = gen_script(s, 2, 128, &mut Rng::new(3));
+            for op in script.per_thread.iter().flatten() {
+                let ok = match s {
+                    ConcStructure::TreiberStack => {
+                        matches!(op, ConcOp::Push(_) | ConcOp::Pop)
+                    }
+                    ConcStructure::MpmcQueue => {
+                        matches!(op, ConcOp::Enqueue(_) | ConcOp::Dequeue)
+                    }
+                    ConcStructure::LevelHash => matches!(
+                        op,
+                        ConcOp::Insert(..) | ConcOp::Lookup(_) | ConcOp::Remove(_)
+                    ),
+                };
+                assert!(ok, "{s:?} generated {op:?}");
+            }
+        }
+    }
+}

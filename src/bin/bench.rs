@@ -180,8 +180,24 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
 fn usage() -> ! {
     eprintln!("usage: bench -- host [--quick] [--out PATH]");
     eprintln!("       bench -- serve [--quick] [--requests N] [--seed S] [--workers N]");
-    eprintln!("                      [--shards N] [--out PATH] [--jsonl PATH]");
+    eprintln!("                      [--shards N] [--concurrency SPEC] [--out PATH]");
+    eprintln!("                      [--jsonl PATH]");
+    eprintln!("  --concurrency SPEC: in-shard modeled servers. A single value");
+    eprintln!("      (e.g. 4) emits the usual ifp-serve-v1 report; a comma list");
+    eprintln!("      of C or C:QUEUE_BUDGET entries (e.g. 1,4,4:9) runs one");
+    eprintln!("      config per entry and emits an ifp-serve-bench-v1 wrapper");
+    eprintln!("      with the per-entry reports under \"entries\".");
     std::process::exit(2);
+}
+
+/// Parses a `--concurrency` spec: `C` or `C:QUEUE_BUDGET`, comma-listed.
+fn parse_conc_spec(s: &str) -> Option<Vec<(usize, Option<usize>)>> {
+    s.split(',')
+        .map(|e| match e.split_once(':') {
+            Some((c, b)) => Some((c.parse().ok()?, Some(b.parse().ok()?))),
+            None => Some((e.parse().ok()?, None)),
+        })
+        .collect()
 }
 
 /// `bench -- serve`: run the multi-tenant service simulation and emit
@@ -189,6 +205,7 @@ fn usage() -> ! {
 /// as an advisory only — the report itself contains no host timing.
 fn serve_main(args: &[String]) {
     let mut cfg = ifp_serve::ServeConfig::default();
+    let mut entries: Vec<(usize, Option<usize>)> = vec![(1, None)];
     let mut out_path: Option<String> = None;
     let mut jsonl_path: Option<String> = None;
     let mut rest = args.iter();
@@ -202,39 +219,67 @@ fn serve_main(args: &[String]) {
             "--seed" => cfg.seed = val(&mut rest).parse().unwrap_or_else(|_| usage()),
             "--workers" => cfg.workers = val(&mut rest).parse().unwrap_or_else(|_| usage()),
             "--shards" => cfg.shards = val(&mut rest).parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => {
+                entries = parse_conc_spec(&val(&mut rest)).unwrap_or_else(|| usage());
+                if entries.is_empty() {
+                    usage();
+                }
+            }
             "--out" => out_path = Some(val(&mut rest)),
             "--jsonl" => jsonl_path = Some(val(&mut rest)),
             _ => usage(),
         }
     }
 
-    eprintln!(
-        "bench serve: {} requests, {} shards, {} workers, seed {:#x}...",
-        cfg.requests, cfg.shards, cfg.workers, cfg.seed
-    );
-    let t0 = Instant::now();
-    let report = ifp_serve::run_service(&cfg);
-    let wall = t0.elapsed();
-    eprintln!(
-        "  wall={:.1}s (advisory) completed={} shed={} detected={} unexpected={} \
-         p50={}ns p99={}ns p999={}ns",
-        wall.as_secs_f64(),
-        report.completed,
-        report.shed,
-        report.detected,
-        report.unexpected(),
-        report.latency.percentile(500),
-        report.latency.percentile(990),
-        report.latency.percentile(999),
-    );
-    if let Some(p) = jsonl_path {
-        std::fs::write(&p, &report.trap_jsonl).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+    let mut reports = Vec::new();
+    let mut jsonl = String::new();
+    for &(concurrency, budget) in &entries {
+        let mut c = cfg.clone();
+        c.concurrency = concurrency;
+        if let Some(b) = budget {
+            c.queue_budget = b;
+        }
         eprintln!(
-            "wrote {p} ({} trace lines)",
-            report.trap_jsonl.lines().count()
+            "bench serve: {} requests, {} shards, concurrency {}, budget {}, \
+             {} workers, seed {:#x}...",
+            c.requests, c.shards, c.concurrency, c.queue_budget, c.workers, c.seed
         );
+        let t0 = Instant::now();
+        let report = ifp_serve::run_service(&c);
+        let wall = t0.elapsed();
+        eprintln!(
+            "  wall={:.1}s (advisory) completed={} shed={} detected={} unexpected={} \
+             p50={}ns p99={}ns p999={}ns",
+            wall.as_secs_f64(),
+            report.completed,
+            report.shed,
+            report.detected,
+            report.unexpected(),
+            report.latency.percentile(500),
+            report.latency.percentile(990),
+            report.latency.percentile(999),
+        );
+        jsonl.push_str(&report.trap_jsonl);
+        reports.push(report);
     }
-    let json = report.to_json();
+
+    if let Some(p) = jsonl_path {
+        std::fs::write(&p, &jsonl).unwrap_or_else(|e| panic!("writing {p}: {e}"));
+        eprintln!("wrote {p} ({} trace lines)", jsonl.lines().count());
+    }
+    // One entry: the plain ifp-serve-v1 report (schema-stable path the
+    // CI gate parses). Several: the ifp-serve-bench-v1 wrapper.
+    let json = if reports.len() == 1 {
+        reports[0].to_json()
+    } else {
+        let mut s = String::from("{\n  \"schema\": \"ifp-serve-bench-v1\",\n  \"entries\": [\n");
+        for (i, r) in reports.iter().enumerate() {
+            s.push_str(r.to_json().trim_end());
+            s.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    };
     match out_path {
         Some(p) => {
             std::fs::write(&p, json).unwrap_or_else(|e| panic!("writing {p}: {e}"));

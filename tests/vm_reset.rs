@@ -139,6 +139,69 @@ fn trap_path_hands_host_back_and_stays_identical() {
     );
 }
 
+/// Concurrent pool reuse: hosts dirtied on other threads — each under a
+/// different cache geometry — and handed across real thread boundaries
+/// must behave exactly like fresh hosts. `MemSystem::reset` /
+/// `Cache::reset` leave nothing geometry- or thread-specific behind,
+/// and no host leaks global-table rows through the handoff.
+#[test]
+fn dirty_hosts_handed_across_threads_stay_bit_identical() {
+    use std::sync::mpsc;
+
+    let dirty = workout_program(3);
+    let geometries = [
+        ifp_mem::CacheConfig::default(),
+        ifp::eval::sweep_l1(),
+        ifp_mem::CacheConfig {
+            line_size: 32,
+            sets: 16,
+            ways: 2,
+        },
+    ];
+
+    let workload = ifp_workloads::by_name("treeadd").expect("workload");
+    let program = (workload.build)(4);
+    for mode in modes() {
+        let cfg = VmConfig::with_mode(mode);
+        let fresh = run(&program, &cfg).expect("fresh run completes");
+
+        // Each producer thread dirties one host under its own geometry
+        // and mode, then ships it through the channel; the consumer
+        // (this thread) reuses every host under the reference config.
+        let (tx, rx) = mpsc::channel::<(usize, VmHost)>();
+        std::thread::scope(|s| {
+            for (i, geo) in geometries.iter().enumerate() {
+                let tx = tx.clone();
+                let dirty = &dirty;
+                s.spawn(move || {
+                    let mut dirty_cfg =
+                        VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped));
+                    dirty_cfg.l1 = *geo;
+                    let (d, host) = run_pooled(dirty, &dirty_cfg, VmHost::new());
+                    d.expect("dirtying run completes");
+                    tx.send((i, host.expect("host survives"))).expect("send");
+                });
+            }
+            drop(tx);
+            for (i, host) in rx {
+                let (pooled, host_back) = run_pooled(&program, &cfg, host);
+                let pooled = pooled.expect("pooled run completes");
+                let host_back = host_back.expect("host survives");
+                assert_eq!(
+                    fingerprint(&pooled),
+                    fingerprint(&fresh),
+                    "{mode}: host dirtied on thread {i} diverged from fresh"
+                );
+                assert_eq!(
+                    host_back.leaked_rows(),
+                    0,
+                    "{mode}: host from thread {i} leaked global-table rows"
+                );
+            }
+        });
+    }
+}
+
 #[test]
 fn thousand_pooled_runs_keep_live_rows_stable() {
     let program = workout_program(3);
