@@ -31,6 +31,20 @@ pub use diag::{codes, to_jsonl, DiagLoc, Diagnostic};
 pub use interval::{analyze, elision_plan, AccessClass, AnalysisReport};
 pub use verify::{ext_arity, verify};
 
+/// The plan → specialization handoff: builds the instrumentation plan
+/// an instrumented run executes under, folding in the elision plan when
+/// `elide` is set. This is the single producer both execution tiers and
+/// the jit fusion pass key their specialization off, so "what the
+/// analyzer proved" can never diverge between consumers.
+#[must_use]
+pub fn instr_plan(program: &ifp_compiler::ir::Program, elide: bool) -> ifp_compiler::InstrPlan {
+    if elide {
+        ifp_compiler::InstrPlan::build_elided(program, &elision_plan(program))
+    } else {
+        ifp_compiler::InstrPlan::build(program)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

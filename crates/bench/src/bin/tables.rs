@@ -22,6 +22,11 @@
 //! `concurrent` (also not part of `all`) summarizes the shared-heap
 //! multi-threaded mode: benign lock-free workloads under each
 //! reclamation tracker and the planted cross-thread detection matrix.
+//!
+//! `jit` (also not part of `all`) compares the execution tiers per
+//! workload: dynamic fusion coverage, dispatch breakdown, and the host
+//! wall-clock speedup of the fused tier — asserting along the way that
+//! the modeled statistics are bit-identical across tiers.
 
 use ifp_baselines::{temporal_row, Asan, Mte, SoftBound};
 use ifp_bench::{render, sweep_all_with_workers};
@@ -243,6 +248,13 @@ fn main() {
         // And the concurrent-execution summary: `tables concurrent`.
         if mode == "concurrent" {
             run_concurrent_mode();
+            return;
+        }
+        // And the execution-tier comparison: `tables jit`.
+        if mode == "jit" {
+            eprintln!("comparing execution tiers over 18 workloads ({workers} workers)...");
+            let rows = ifp_bench::jit::report_with_workers(&ifp_workloads::all(), workers);
+            println!("{}", ifp_bench::jit::render_table(&rows));
             return;
         }
     }

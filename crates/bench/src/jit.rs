@@ -1,0 +1,192 @@
+//! The `jit` section: execution-tier comparison over the seed workloads.
+//!
+//! For every workload this fuses the program (static coverage), runs the
+//! subheap configuration on both execution tiers, asserts the modeled
+//! statistics are bit-identical (the tier contract — a mismatch is a
+//! harness regression, not a table entry), and reports the dynamic
+//! fusion coverage, the dispatch breakdown, and the host wall-clock
+//! speedup of the fused tier over the interpreter.
+//!
+//! Wall-clock columns measure the *host* and vary run to run and machine
+//! to machine; every other column is deterministic.
+
+use ifp_jit::{fuse_with_coverage, StaticCoverage};
+use ifp_testutil::{default_workers, par_map};
+use ifp_vm::{run, AllocatorKind, ExecTier, FusionStats, Mode, VmConfig};
+use ifp_workloads::Workload;
+use std::time::Instant;
+
+/// Tier comparison for one workload (subheap configuration).
+#[derive(Clone, Debug)]
+pub struct WorkloadJit {
+    /// Benchmark name.
+    pub workload: &'static str,
+    /// Static fusion coverage of the instrumented program.
+    pub static_cov: StaticCoverage,
+    /// Dynamic dispatch counters from the fused run.
+    pub fusion: FusionStats,
+    /// Modeled cycles (identical across tiers, asserted).
+    pub cycles: u64,
+    /// Interpreter-tier wall-clock, milliseconds.
+    pub interp_ms: f64,
+    /// Fused-tier wall-clock, milliseconds.
+    pub jit_ms: f64,
+}
+
+impl WorkloadJit {
+    /// Host speedup of the fused tier (interpreter wall / jit wall).
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.jit_ms > 0.0 {
+            self.interp_ms / self.jit_ms
+        } else {
+            0.0
+        }
+    }
+
+    /// Superinstruction dispatches + generic/terminator dispatches.
+    #[must_use]
+    pub fn dispatches(&self) -> u64 {
+        self.fusion.arith_runs
+            + self.fusion.pairs
+            + self.fusion.specialized
+            + self.fusion.generic
+            + self.fusion.terminators
+    }
+
+    /// Dynamic ops retired per dispatch (the fusion compression ratio;
+    /// 1.0 means no compression, higher is better).
+    #[must_use]
+    pub fn ops_per_dispatch(&self) -> f64 {
+        let d = self.dispatches();
+        if d == 0 {
+            0.0
+        } else {
+            (self.fusion.dynamic_ops() + self.fusion.terminators) as f64 / d as f64
+        }
+    }
+}
+
+/// Measures one workload on both tiers under the subheap configuration.
+///
+/// # Panics
+///
+/// Panics when a run fails or the tiers' modeled statistics differ —
+/// both are regressions, never table entries.
+#[must_use]
+pub fn measure_workload(w: &Workload) -> WorkloadJit {
+    let program = w.build_default();
+    let (_, static_cov) = fuse_with_coverage(&program, true, false);
+    let mut icfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+    let mut jcfg = icfg;
+    jcfg.exec_tier = ExecTier::Jit;
+
+    icfg.exec_tier = ExecTier::Interp;
+    let t0 = Instant::now();
+    let ri = run(&program, &icfg).unwrap_or_else(|e| panic!("{} (interp): {e}", w.name));
+    let interp_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let rj = run(&program, &jcfg).unwrap_or_else(|e| panic!("{} (jit): {e}", w.name));
+    let jit_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        ri.stats, rj.stats,
+        "{}: modeled statistics drifted between tiers",
+        w.name
+    );
+    assert_eq!(ri.output, rj.output, "{}: output drifted", w.name);
+    WorkloadJit {
+        workload: w.name,
+        static_cov,
+        fusion: rj.fusion.expect("jit run reports fusion stats"),
+        cycles: rj.stats.cycles,
+        interp_ms,
+        jit_ms,
+    }
+}
+
+/// Measures every workload on up to `workers` threads. The deterministic
+/// columns are identical for any worker count; wall-clock columns are
+/// noisier under parallel measurement (use `--workers 1` for the most
+/// stable speedups).
+#[must_use]
+pub fn report_with_workers(workloads: &[Workload], workers: usize) -> Vec<WorkloadJit> {
+    par_map(workloads, workers, measure_workload)
+}
+
+/// [`report_with_workers`] at the host's available parallelism.
+#[must_use]
+pub fn report(workloads: &[Workload]) -> Vec<WorkloadJit> {
+    report_with_workers(workloads, default_workers())
+}
+
+/// Renders the section as a fixed-width table.
+#[must_use]
+pub fn render_table(rows: &[WorkloadJit]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("Execution tiers (subheap config; modeled stats bit-identical, asserted)\n");
+    out.push_str(
+        "  workload       dyn-ops  fused%  static%    runs    pairs  generic  ops/disp  speedup\n",
+    );
+    let mut interp_total = 0.0;
+    let mut jit_total = 0.0;
+    for r in rows {
+        interp_total += r.interp_ms;
+        jit_total += r.jit_ms;
+        let _ = writeln!(
+            out,
+            "  {:<13} {:>8} {:>6.1}% {:>7.1}% {:>7} {:>8} {:>8} {:>9.2} {:>7.2}x",
+            r.workload,
+            r.fusion.dynamic_ops(),
+            r.fusion.fused_percent(),
+            r.static_cov.fused_percent(),
+            r.fusion.arith_runs,
+            r.fusion.pairs,
+            r.fusion.generic,
+            r.ops_per_dispatch(),
+            r.speedup(),
+        );
+    }
+    let overall = if jit_total > 0.0 {
+        interp_total / jit_total
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  overall: interp {interp_total:.1}ms -> jit {jit_total:.1}ms ({overall:.2}x); \
+         wall-clock is host-noisy, modeled columns are exact",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_rows_are_consistent_and_fused_coverage_is_real() {
+        let workloads: Vec<Workload> = ifp_workloads::all()
+            .into_iter()
+            .filter(|w| w.name == "treeadd" || w.name == "em3d")
+            .collect();
+        let rows = report_with_workers(&workloads, 1);
+        assert_eq!(rows.len(), workloads.len());
+        for r in &rows {
+            // The fused tier must actually fuse something on real
+            // workloads, and every dispatch accounts for >= 1 op.
+            assert!(
+                r.fusion.fused_percent() > 10.0,
+                "{}: {:?}",
+                r.workload,
+                r.fusion
+            );
+            assert!(r.ops_per_dispatch() >= 1.0, "{}", r.workload);
+            assert!(r.cycles > 0);
+        }
+        let table = render_table(&rows);
+        assert!(table.contains("treeadd"), "{table}");
+        assert!(table.contains("overall:"), "{table}");
+    }
+}

@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod analyze;
+pub mod jit;
 pub mod render;
 pub mod temporal;
 

@@ -404,7 +404,11 @@ mod tests {
             }
             other => panic!("expected double free, got {other:?}"),
         }
-        assert_eq!(h.free(0, 0xdead_0000), Err(NotASlot), "wild free is not tracked");
+        assert_eq!(
+            h.free(0, 0xdead_0000),
+            Err(NotASlot),
+            "wild free is not tracked"
+        );
     }
 
     #[test]

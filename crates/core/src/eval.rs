@@ -4,7 +4,7 @@
 
 use ifp_compiler::Program;
 use ifp_mem::CacheConfig;
-use ifp_vm::{run, AllocatorKind, Mode, RunStats, VmConfig, VmError};
+use ifp_vm::{run, AllocatorKind, ExecTier, Mode, RunStats, VmConfig, VmError};
 
 /// The L1 geometry used for workload sweeps: 4 KiB, 4-way. The paper runs
 /// megabyte working sets against CVA6's 32 KiB L1; the reproduction's
@@ -63,11 +63,27 @@ impl ModeSweep {
     ///
     /// Propagates the first failing run.
     pub fn run(name: &str, program: &Program) -> Result<ModeSweep, VmError> {
+        Self::run_with_tier(name, program, ExecTier::default())
+    }
+
+    /// [`ModeSweep::run`] on a chosen execution tier. Tier choice is
+    /// host-speed only — the sweep's statistics are bit-identical across
+    /// tiers (golden-gated), so derived tables never depend on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn run_with_tier(
+        name: &str,
+        program: &Program,
+        tier: ExecTier,
+    ) -> Result<ModeSweep, VmError> {
         let mut results = Vec::with_capacity(5);
         let mut reference: Option<Vec<i64>> = None;
         for mode in modes() {
             let mut cfg = VmConfig::with_mode(mode);
             cfg.l1 = sweep_l1();
+            cfg.exec_tier = tier;
             let r = run(program, &cfg)?;
             if let Some(expected) = &reference {
                 assert_eq!(&r.output, expected, "{name}: output diverged under {mode}");

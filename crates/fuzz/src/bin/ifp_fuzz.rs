@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
-//!                   [--corpus DIR] [--elide-checks] [--fail-on-finding]
+//!                   [--corpus DIR] [--elide-checks] [--exec-tier jit]
+//!                   [--fail-on-finding]
 //! ifp-fuzz replay FILE...
 //! ifp-fuzz shrink FILE [-o OUT]
 //! ```
@@ -24,7 +25,8 @@ ifp-fuzz: differential fuzzing of the In-Fat Pointer toolchain
 USAGE:
     ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
                       [--corpus DIR] [--schedule uniform|coverage]
-                      [--elide-checks] [--fail-on-finding]
+                      [--elide-checks] [--exec-tier jit]
+                      [--fail-on-finding]
     ifp-fuzz temporal [--seed S] [--iters N] [--workers W]
                       [--fail-on-finding]
     ifp-fuzz concurrent [--seed S] [--iters N] [--workers W]
@@ -43,6 +45,10 @@ CAMPAIGN OPTIONS:
     --elide-checks      rerun each instrumented mode with statically-
                         proven check elision; any verdict or output
                         change is an elision_divergence finding
+    --exec-tier jit     rerun each instrumented mode on the fused jit
+                        execution tier; any verdict, output, or modeled-
+                        statistic change is a tier_divergence finding
+                        (`--exec-tier interp` is the no-op default)
     --fail-on-finding   exit nonzero if any finding is produced
 
 TEMPORAL:
@@ -98,6 +104,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         corpus_dir: None,
         schedule: Schedule::Uniform,
         elide_checks: false,
+        tier_checks: false,
     };
     let mut fail_on_finding = false;
     let mut it = args.iter();
@@ -133,6 +140,17 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                 config.elide_checks = true;
                 Ok(())
             }
+            "--exec-tier" => value("--exec-tier").and_then(|v| match v.as_str() {
+                "jit" => {
+                    config.tier_checks = true;
+                    Ok(())
+                }
+                "interp" => {
+                    config.tier_checks = false;
+                    Ok(())
+                }
+                other => Err(format!("bad exec tier `{other}` (interp|jit)")),
+            }),
             "--fail-on-finding" => {
                 fail_on_finding = true;
                 Ok(())

@@ -80,6 +80,11 @@ pub struct CampaignConfig {
     /// instrumented mode reruns with `elide_checks` and any verdict or
     /// output change is an `elision_divergence` finding.
     pub elide_checks: bool,
+    /// Add the execution-tier differential legs to every oracle run:
+    /// each instrumented mode reruns on the jit tier and any verdict,
+    /// output, or modeled-statistic change is a `tier_divergence`
+    /// finding.
+    pub tier_checks: bool,
 }
 
 impl Default for CampaignConfig {
@@ -91,6 +96,7 @@ impl Default for CampaignConfig {
             corpus_dir: None,
             schedule: Schedule::Uniform,
             elide_checks: false,
+            tier_checks: false,
         }
     }
 }
@@ -257,6 +263,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let next = AtomicU64::new(0);
     let opts = OracleOptions {
         elide_differential: config.elide_checks,
+        tier_differential: config.tier_checks,
     };
     let raw_findings: Mutex<Vec<(u64, CaseSpec, Vec<Disagreement>)>> = Mutex::new(Vec::new());
     let workers = config.workers.max(1);
@@ -435,6 +442,9 @@ impl CampaignReport {
         if self.config.elide_checks {
             s.push_str("  elision     differential on (wrapped + subheap rerun elided)\n");
         }
+        if self.config.tier_checks {
+            s.push_str("  exec tier   differential on (wrapped + subheap rerun on jit)\n");
+        }
         s.push_str(&format!(
             "  elapsed     {:.2}s ({:.0} iters/sec)\n",
             self.elapsed.as_secs_f64(),
@@ -514,6 +524,7 @@ mod tests {
             corpus_dir: None,
             schedule: Schedule::Uniform,
             elide_checks: false,
+            tier_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -543,6 +554,7 @@ mod tests {
             corpus_dir: None,
             schedule: Schedule::Uniform,
             elide_checks: true,
+            tier_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -554,6 +566,29 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.render().contains("elision     differential on"));
+    }
+
+    #[test]
+    fn tier_differential_campaign_is_clean() {
+        let report = run_campaign(&CampaignConfig {
+            seed: 0x71e4,
+            iterations: 40,
+            workers: 2,
+            corpus_dir: None,
+            schedule: Schedule::Uniform,
+            elide_checks: false,
+            tier_checks: true,
+        });
+        assert!(
+            report.findings.is_empty(),
+            "{:#?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (&f.spec, &f.disagreements))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.render().contains("exec tier   differential on"));
     }
 
     #[test]
@@ -591,6 +626,7 @@ mod tests {
             corpus_dir: None,
             schedule: Schedule::CoverageGuided,
             elide_checks: false,
+            tier_checks: false,
         };
         let guided = run_campaign(&base);
         assert!(

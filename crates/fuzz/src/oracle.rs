@@ -26,7 +26,7 @@ use crate::spec::{CaseSpec, Resolved};
 use ifp_baselines::{Asan, Defense, Mte, PtrMeta, SoftBound};
 use ifp_juliet::{CaseKind, Variant};
 use ifp_trace::TraceConfig;
-use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+use ifp_vm::{run, AllocatorKind, ExecTier, Mode, VmConfig, VmError};
 use std::fmt;
 
 /// Address the defense models place the object at (granule-aligned for
@@ -99,6 +99,9 @@ pub enum FindingClass {
     /// Rerunning an instrumented mode with statically-proven check
     /// elision changed the verdict or the output.
     ElisionDivergence,
+    /// Rerunning an instrumented mode on the jit execution tier changed
+    /// the verdict, the output, or any modeled statistic.
+    TierDivergence,
     /// The harness itself panicked while evaluating the case.
     HarnessPanic,
 }
@@ -117,6 +120,7 @@ impl FindingClass {
             FindingClass::DefenseDisagree => "defense_disagree",
             FindingClass::MalformedIr => "malformed_ir",
             FindingClass::ElisionDivergence => "elision_divergence",
+            FindingClass::TierDivergence => "tier_divergence",
             FindingClass::HarnessPanic => "harness_panic",
         }
     }
@@ -134,6 +138,7 @@ impl FindingClass {
             FindingClass::DefenseDisagree,
             FindingClass::MalformedIr,
             FindingClass::ElisionDivergence,
+            FindingClass::TierDivergence,
             FindingClass::HarnessPanic,
         ]
         .into_iter()
@@ -227,6 +232,44 @@ pub fn run_mode_elided_counted(program: &ifp_compiler::Program, mode: Mode) -> (
     cfg.fuel = FUEL;
     cfg.elide_checks = true;
     run_config_counted(program, &cfg)
+}
+
+/// Like [`run_config_counted`], but additionally digests the complete
+/// [`ifp_vm::RunStats`] (its `Debug` rendering, byte-exact) so two runs
+/// can be compared on *every* modeled statistic, not just the verdict.
+/// The digest is empty for harness-level errors, which carry no stats.
+fn run_config_digest(program: &ifp_compiler::Program, cfg: &VmConfig) -> (RunOutcome, String, u64) {
+    match run(program, cfg) {
+        Ok(r) => (
+            RunOutcome::Completed {
+                exit: r.exit_code,
+                output: r.output,
+            },
+            format!("{:?}", r.stats),
+            r.stats.total_instrs(),
+        ),
+        Err(VmError::Trap {
+            trap, func, stats, ..
+        }) => {
+            let outcome = if trap.is_safety_violation() {
+                RunOutcome::Detected {
+                    trap: format!("{trap} in `{func}`"),
+                }
+            } else {
+                RunOutcome::TrappedOther {
+                    trap: format!("{trap} in `{func}`"),
+                }
+            };
+            (outcome, format!("{stats:?}"), stats.total_instrs())
+        }
+        Err(e) => (
+            RunOutcome::Errored {
+                error: e.to_string(),
+            },
+            String::new(),
+            0,
+        ),
+    }
 }
 
 /// Reruns the instrumented (subheap) mode with full tracing and renders
@@ -438,6 +481,10 @@ pub struct OracleOptions {
     /// elision and require byte-identical verdicts and output — the
     /// safety gate for `ifp-analyze`'s elision plan.
     pub elide_differential: bool,
+    /// Rerun the wrapped and subheap modes on the jit execution tier and
+    /// require byte-identical verdicts, output, and complete modeled
+    /// statistics — the safety gate for `ifp-jit`'s fused executor.
+    pub tier_differential: bool,
 }
 
 /// Runs the full differential matrix for one spec.
@@ -601,6 +648,50 @@ pub fn evaluate_with(spec: &CaseSpec, opts: OracleOptions) -> Evaluation {
         }
     }
 
+    // Tier differential: the fused jit executor must reproduce the
+    // interpreter's verdict, output, and *every* modeled statistic.
+    // Both tiers rerun here so the stats digests come from the same
+    // configs (the verdict is additionally pinned to the reference run).
+    if opts.tier_differential {
+        for (label, mode, reference) in [
+            (
+                "wrapped",
+                Mode::instrumented(AllocatorKind::Wrapped),
+                &wrapped,
+            ),
+            (
+                "subheap",
+                Mode::instrumented(AllocatorKind::Subheap),
+                &subheap,
+            ),
+        ] {
+            let mut icfg = VmConfig::with_mode(mode);
+            icfg.fuel = FUEL;
+            let mut jcfg = icfg;
+            jcfg.exec_tier = ExecTier::Jit;
+            let (iout, idig, ii) = run_config_digest(&program, &icfg);
+            let (jout, jdig, ji) = run_config_digest(&program, &jcfg);
+            modeled_instrs += ii + ji;
+            if jout != iout || jout != *reference {
+                push(
+                    &mut out,
+                    FindingClass::TierDivergence,
+                    format!(
+                        "{label}: {} on the interpreter, {} on the jit tier",
+                        iout.label(),
+                        jout.label()
+                    ),
+                );
+            } else if jdig != idig {
+                push(
+                    &mut out,
+                    FindingClass::TierDivergence,
+                    format!("{label}: modeled statistics differ across tiers"),
+                );
+            }
+        }
+    }
+
     // Defense models.
     check_defenses(&mut out, spec, &r);
 
@@ -680,9 +771,23 @@ mod tests {
     fn elide_differential_is_clean_on_random_specs() {
         let opts = OracleOptions {
             elide_differential: true,
+            ..OracleOptions::default()
         };
         for i in 0..25 {
             let s = CaseSpec::generate(&mut Rng::stream(0xe11de, i));
+            let e = evaluate_with(&s, opts);
+            assert!(e.disagreements.is_empty(), "{s:?}\n{:?}", e.disagreements);
+        }
+    }
+
+    #[test]
+    fn tier_differential_is_clean_on_random_specs() {
+        let opts = OracleOptions {
+            tier_differential: true,
+            ..OracleOptions::default()
+        };
+        for i in 0..25 {
+            let s = CaseSpec::generate(&mut Rng::stream(0x71e4, i));
             let e = evaluate_with(&s, opts);
             assert!(e.disagreements.is_empty(), "{s:?}\n{:?}", e.disagreements);
         }
@@ -700,6 +805,7 @@ mod tests {
             FindingClass::DefenseDisagree,
             FindingClass::MalformedIr,
             FindingClass::ElisionDivergence,
+            FindingClass::TierDivergence,
             FindingClass::HarnessPanic,
         ] {
             assert_eq!(FindingClass::from_name(c.name()), Some(c));

@@ -16,6 +16,7 @@ fn config(workers: usize, corpus_dir: Option<std::path::PathBuf>) -> CampaignCon
         corpus_dir,
         schedule: Schedule::Uniform,
         elide_checks: false,
+        tier_checks: false,
     }
 }
 

@@ -83,6 +83,10 @@ pub struct ServeConfig {
     /// Per shard, how many trapped traced requests contribute a JSONL
     /// trace snapshot to the sink.
     pub trace_jsonl_per_shard: usize,
+    /// Execution tier the shard VMs run on. A host-speed knob like
+    /// [`ServeConfig::workers`]: the report is byte-identical across
+    /// tiers at equal config (gated by the determinism suite).
+    pub exec_tier: ifp_vm::ExecTier,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +102,7 @@ impl Default for ServeConfig {
             juliet_share: 70,
             forensic_cap: 32,
             trace_jsonl_per_shard: 2,
+            exec_tier: ifp_vm::ExecTier::Interp,
         }
     }
 }

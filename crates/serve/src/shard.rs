@@ -164,7 +164,8 @@ pub(crate) fn run_shard(
             continue;
         }
 
-        let vm_cfg = t.vm_config();
+        let mut vm_cfg = t.vm_config();
+        vm_cfg.exec_tier = cfg.exec_tier;
         let host = match pool.pop() {
             Some(h) => {
                 out.pool_reused += 1;

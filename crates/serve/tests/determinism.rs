@@ -34,6 +34,23 @@ fn report_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn report_is_byte_identical_across_exec_tiers() {
+    let interp = run_service(&test_config(4));
+    let mut cfg = test_config(4);
+    cfg.exec_tier = ifp_vm::ExecTier::Jit;
+    let jit = run_service(&cfg);
+    assert_eq!(
+        interp.to_json(),
+        jit.to_json(),
+        "report bytes must not depend on the execution tier"
+    );
+    assert_eq!(
+        interp.trap_jsonl, jit.trap_jsonl,
+        "trace sink must not depend on the execution tier"
+    );
+}
+
+#[test]
 fn report_depends_on_seed() {
     let a = run_service(&test_config(2));
     let mut cfg = test_config(2);

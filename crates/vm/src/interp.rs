@@ -1,5 +1,12 @@
 //! The interpreter.
 
+/// The superinstruction-fused tier-2 executor. A child module so it can
+/// drive the same private machine state (and, critically, the same
+/// `exec_*`/charge helpers) as the interpreter — bit-identical modeled
+/// stats by construction, not by parallel maintenance.
+#[path = "fused.rs"]
+mod fused;
+
 use crate::loader::{self, LoadedImage, CTYPE_TABLE_ADDR, LOCAL_OFFSET_LT_CAP, SUBHEAP_LT_CAP};
 use crate::stats::RunStats;
 use crate::{AllocatorKind, Mode, RunResult, VmConfig, VmError};
@@ -14,6 +21,7 @@ use ifp_compiler::types::Type;
 use ifp_compiler::InstrPlan;
 use ifp_hw::ifp_unit::Narrowing;
 use ifp_hw::{CtrlRegs, IfpUnit, LoadStoreUnit, PromoteKind, Trap};
+use ifp_jit::{ExecTier, FusionStats};
 use ifp_mem::layout::{GLOBAL_TABLE_BASE, HEAP_BASE, STACK_SIZE, STACK_TOP};
 use ifp_mem::{CacheConfig, MemSystem};
 use ifp_tag::{
@@ -275,6 +283,11 @@ pub struct Vm<'p> {
     /// don't pay a register-file allocation per call.
     frame_pool: Vec<Frame>,
     tracer: Tracer,
+    /// Fusion classification for the jit tier (`None` on the
+    /// interpreter tier); consumed by the first `run_loop`.
+    fusion: Option<ifp_jit::FusionPlan>,
+    /// Dispatch counters left behind by a fused run, for `finalize`.
+    fstats: Option<FusionStats>,
 }
 
 impl<'p> Vm<'p> {
@@ -308,13 +321,10 @@ impl<'p> Vm<'p> {
         program
             .validate()
             .map_err(|e| VmError::BadProgram(e.to_string()))?;
-        let plan = config.mode.is_instrumented().then(|| {
-            if config.elide_checks {
-                InstrPlan::build_elided(program, &ifp_analyze::elision_plan(program))
-            } else {
-                InstrPlan::build(program)
-            }
-        });
+        let plan = config
+            .mode
+            .is_instrumented()
+            .then(|| ifp_analyze::instr_plan(program, config.elide_checks));
 
         host.reset_for(config);
         let VmHost {
@@ -377,6 +387,8 @@ impl<'p> Vm<'p> {
             frames: Vec::new(),
             frame_pool: Vec::new(),
             tracer,
+            fusion: (config.exec_tier == ExecTier::Jit).then(|| ifp_jit::fuse(program)),
+            fstats: None,
         })
     }
 
@@ -522,8 +534,18 @@ impl<'p> Vm<'p> {
         (result, host)
     }
 
-    /// The dispatch loop: enters `main` and steps until it returns.
+    /// The dispatch loop: enters `main` and steps until it returns. On
+    /// the jit tier this compiles the fusion plan into per-function
+    /// threaded streams and runs the fused loop instead; both paths are
+    /// bit-identical in every modeled statistic.
     fn run_loop(&mut self) -> Result<i64, VmError> {
+        if let Some(plan) = self.fusion.take() {
+            let fp = fused::compile(self.program, &self.decoded, &plan);
+            let mut fs = FusionStats::default();
+            let r = self.run_loop_fused(&fp, &mut fs);
+            self.fstats = Some(fs);
+            return r;
+        }
         self.enter_main()?;
         loop {
             match self.step_inner()? {
@@ -647,6 +669,7 @@ impl<'p> Vm<'p> {
             output: std::mem::take(&mut self.output),
             stats: std::mem::take(&mut self.stats),
             trace,
+            fusion: self.fstats.take(),
         }
     }
 
@@ -809,113 +832,15 @@ impl<'p> Vm<'p> {
                 self.exec_gep(action, *dst, *base, *base_ty, steps, elide)?;
             }
             Op::Load { dst, ptr, ty } => {
-                self.charge_base(1);
-                let raw = self.eval(*ptr);
-                let p = self.effective_ptr(raw);
-                let mut b = if self.instrumented() {
-                    self.bounds_of(*ptr)
-                } else {
-                    None
-                };
-                if b.is_some() {
-                    self.stats.elision.checks_total += 1;
-                    if elide.check {
-                        // Statically proven in bounds: the LSU sees no
-                        // bounds register and skips the fused check. The
-                        // pointer's poison bits are still honoured.
-                        self.stats.elision.checks_elided += 1;
-                        b = None;
-                    }
-                }
-                // The liveness check runs alongside the bounds check,
-                // before the access reaches the memory system: a hit on
-                // revoked memory traps with the temporal cause rather
-                // than whatever fault the dead page would raise.
-                if self.temporal.enabled() {
-                    // The lock/key comparison is modeled as a dedicated
-                    // pipeline stage alongside the bounds check; it costs
-                    // cycles whether or not it fires.
-                    self.stats.cycles += self.config.cycle_model.temporal_check;
-                    let stamp = self.stamp_of(*ptr);
-                    if let Some(v) = self.temporal.check(p.addr(), stamp) {
-                        return Err(self.temporal_trap(v));
-                    }
-                }
                 let size = u64::from(self.program.types.size_of(*ty));
-                let res = self
-                    .lsu
-                    .load_traced(&mut self.mem, p, size, b, &mut self.tracer)
-                    .map_err(|t| self.trap(t))?;
-                self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
                 let is_ptr = self.program.types.is_ptr(*ty);
-                let value = if is_ptr {
-                    res.value
-                } else {
-                    sext(res.value, size)
-                };
-
-                let mut bounds = None;
-                let mut stamp = None;
-                let mut value = value;
-                if self.instrumented() && matches!(action, OpAction::PromoteAfterLoad) {
-                    if elide.promote {
-                        // The loaded pointer is never used: the planned
-                        // promote is dead instrumentation.
-                        self.stats.elision.promotes_elided += 1;
-                    } else {
-                        let (v, b, s) = self.exec_promote(value)?;
-                        value = v;
-                        bounds = b;
-                        stamp = s;
-                    }
-                }
-                self.set_reg(*dst, value, bounds, stamp);
+                let promote = matches!(action, OpAction::PromoteAfterLoad);
+                self.exec_load(*dst, *ptr, size, is_ptr, promote, elide)?;
             }
             Op::Store { ptr, val, ty } => {
-                self.charge_base(1);
-                let raw = self.eval(*ptr);
-                let p = self.effective_ptr(raw);
-                let mut b = if self.instrumented() {
-                    self.bounds_of(*ptr)
-                } else {
-                    None
-                };
-                if b.is_some() {
-                    self.stats.elision.checks_total += 1;
-                    if elide.check {
-                        self.stats.elision.checks_elided += 1;
-                        b = None;
-                    }
-                }
-                if self.temporal.enabled() {
-                    self.stats.cycles += self.config.cycle_model.temporal_check;
-                    let stamp = self.stamp_of(*ptr);
-                    if let Some(v) = self.temporal.check(p.addr(), stamp) {
-                        return Err(self.temporal_trap(v));
-                    }
-                }
-                let mut v = self.eval(*val);
-                if self.instrumented() && matches!(action, OpAction::DemoteOnStore) {
-                    // ifpextract: refresh the stored pointer's poison bits
-                    // from its live bounds before it leaves the registers.
-                    self.charge_ifp_arith(1);
-                    if let Some(vb) = self.bounds_of(*val) {
-                        let tp = TaggedPtr::from_raw(v);
-                        if !vb.is_cleared() && !tp.is_null() && tp.poison() != Poison::Invalid {
-                            v = tp.with_poison(vb.classify_addr(tp.addr())).raw();
-                        }
-                    }
-                    self.tracer.record(EventKind::Tag {
-                        op: TagOp::Demote,
-                        ptr: TaggedPtr::from_raw(v).addr(),
-                    });
-                }
                 let size = u64::from(self.program.types.size_of(*ty));
-                let res = self
-                    .lsu
-                    .store_traced(&mut self.mem, p, size, v, b, &mut self.tracer)
-                    .map_err(|t| self.trap(t))?;
-                self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
+                let demote = matches!(action, OpAction::DemoteOnStore);
+                self.exec_store(*ptr, *val, size, demote, elide)?;
             }
             Op::AddrOfGlobal { dst, global } => {
                 let registered = self.instrumented()
@@ -1215,18 +1140,18 @@ impl<'p> Vm<'p> {
         let base_raw = self.eval(base);
         let bp = TaggedPtr::from_raw(base_raw);
 
-        // Address computation, remembering the base of the last
-        // field-selected subobject for static narrowing.
+        // Address computation, remembering the base (and size) of the
+        // last field-selected subobject for static narrowing.
         let mut addr = bp.addr();
         let mut cur_ty = base_ty;
-        let mut last_field: Option<(u64, ifp_compiler::TypeId)> = None;
+        let mut last_field: Option<(u64, u64)> = None;
         for step in steps {
             match step {
                 GepStep::Field(i) => {
                     let field = types.field(cur_ty, *i);
                     addr = addr.wrapping_add(u64::from(field.offset)) & ifp_tag::ADDR_MASK;
                     cur_ty = field.ty;
-                    last_field = Some((addr, cur_ty));
+                    last_field = Some((addr, u64::from(types.size_of(cur_ty))));
                 }
                 GepStep::Index(o) => {
                     let n = self.eval(*o) as i64;
@@ -1245,7 +1170,45 @@ impl<'p> Vm<'p> {
         }
 
         let base_cost = steps.len().max(1) as u64;
+        let (new_index, enters) = match action {
+            OpAction::GepUpdate {
+                new_index,
+                enters_subobject,
+            } => (new_index, enters_subobject),
+            _ => (None, false),
+        };
+        self.gep_apply(
+            dst,
+            base,
+            bp,
+            addr,
+            last_field,
+            base_cost,
+            new_index,
+            enters,
+            elide.tag_update,
+        );
+        Ok(())
+    }
 
+    /// Everything a GEP does after the address walk: charging, the
+    /// ifpadd/ifpidx/ifpbnd tag maintenance, static narrowing, and the
+    /// destination write. Shared verbatim by the interpreter (which
+    /// walks types per step) and the fused tier (which precomputes the
+    /// walk), so the modeled semantics live in exactly one place.
+    #[allow(clippy::too_many_arguments)]
+    fn gep_apply(
+        &mut self,
+        dst: Reg,
+        base: Operand,
+        bp: TaggedPtr,
+        addr: u64,
+        last_field: Option<(u64, u64)>,
+        base_cost: u64,
+        new_index: Option<u16>,
+        enters: bool,
+        elide_tag: bool,
+    ) {
         // Pointer arithmetic preserves the allocation identity, so the
         // temporal stamp rides through every GEP.
         let base_stamp = self.stamp_of(base);
@@ -1254,30 +1217,23 @@ impl<'p> Vm<'p> {
             self.charge_base(base_cost);
             let b = self.bounds_of(base);
             self.set_reg(dst, bp.with_addr(addr).raw(), b, base_stamp);
-            return Ok(());
+            return;
         }
 
-        if elide.tag_update {
+        if elide_tag {
             // Statically discharged: every access through this GEP's
             // result is proven in bounds and the tagged value itself is
             // otherwise unobserved, so the ifpadd/ifpidx/ifpbnd sequence
             // is dropped and only the address arithmetic retires. The
             // base's tag (including its poison state) carries through
             // unchanged, and the bounds stay those of the base.
-            let (new_index, enters) = match action {
-                OpAction::GepUpdate {
-                    new_index,
-                    enters_subobject,
-                } => (new_index, enters_subobject),
-                _ => (None, false),
-            };
             self.charge_base(base_cost);
             let b = self.bounds_of(base);
             self.set_reg(dst, bp.with_addr(addr).raw(), b, base_stamp);
             self.stats.elision.geps_elided += 1;
             self.stats.elision.arith_elided +=
                 1 + u64::from(new_index.is_some()) + u64::from(enters);
-            return Ok(());
+            return;
         }
 
         // Tagged pointer: the address computation is followed by an
@@ -1285,14 +1241,6 @@ impl<'p> Vm<'p> {
         // maintenance) — the bulk of Figure 11's "IFP arithmetic" share.
         self.charge_base(base_cost);
         self.charge_ifp_arith(1);
-
-        let (new_index, enters) = match action {
-            OpAction::GepUpdate {
-                new_index,
-                enters_subobject,
-            } => (new_index, enters_subobject),
-            _ => (None, false),
-        };
 
         let mut ptr = bp.with_addr(addr);
 
@@ -1351,8 +1299,7 @@ impl<'p> Vm<'p> {
             self.charge_ifp_arith(1);
         }
         let new_bounds = match (base_bounds, enters, last_field) {
-            (Some(bb), true, Some((fb, fty))) => {
-                let fsize = u64::from(self.program.types.size_of(fty));
+            (Some(bb), true, Some((fb, fsize))) => {
                 Some(Bounds::from_base_size(fb, fsize).intersect(bb))
             }
             (b, _, _) => b,
@@ -1367,6 +1314,135 @@ impl<'p> Vm<'p> {
         }
 
         self.set_reg(dst, ptr.raw(), new_bounds, base_stamp);
+    }
+
+    /// One load, with its per-op facts (`size`, `is_ptr`, the promote
+    /// action, elisions) pre-resolved by the caller — the interpreter
+    /// derives them from the op each step, the fused tier bakes them
+    /// into its stream at compile time. Both tiers execute this exact
+    /// body, so charge order, counters, and trap points cannot drift.
+    fn exec_load(
+        &mut self,
+        dst: Reg,
+        ptr: Operand,
+        size: u64,
+        is_ptr: bool,
+        promote: bool,
+        elide: ElideFlags,
+    ) -> Result<(), VmError> {
+        self.charge_base(1);
+        let raw = self.eval(ptr);
+        let p = self.effective_ptr(raw);
+        let mut b = if self.instrumented() {
+            self.bounds_of(ptr)
+        } else {
+            None
+        };
+        if b.is_some() {
+            self.stats.elision.checks_total += 1;
+            if elide.check {
+                // Statically proven in bounds: the LSU sees no
+                // bounds register and skips the fused check. The
+                // pointer's poison bits are still honoured.
+                self.stats.elision.checks_elided += 1;
+                b = None;
+            }
+        }
+        // The liveness check runs alongside the bounds check,
+        // before the access reaches the memory system: a hit on
+        // revoked memory traps with the temporal cause rather
+        // than whatever fault the dead page would raise.
+        if self.temporal.enabled() {
+            // The lock/key comparison is modeled as a dedicated
+            // pipeline stage alongside the bounds check; it costs
+            // cycles whether or not it fires.
+            self.stats.cycles += self.config.cycle_model.temporal_check;
+            let stamp = self.stamp_of(ptr);
+            if let Some(v) = self.temporal.check(p.addr(), stamp) {
+                return Err(self.temporal_trap(v));
+            }
+        }
+        let res = self
+            .lsu
+            .load_traced(&mut self.mem, p, size, b, &mut self.tracer)
+            .map_err(|t| self.trap(t))?;
+        self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
+        let mut value = if is_ptr {
+            res.value
+        } else {
+            sext(res.value, size)
+        };
+
+        let mut bounds = None;
+        let mut stamp = None;
+        if self.instrumented() && promote {
+            if elide.promote {
+                // The loaded pointer is never used: the planned
+                // promote is dead instrumentation.
+                self.stats.elision.promotes_elided += 1;
+            } else {
+                let (v, b, s) = self.exec_promote(value)?;
+                value = v;
+                bounds = b;
+                stamp = s;
+            }
+        }
+        self.set_reg(dst, value, bounds, stamp);
+        Ok(())
+    }
+
+    /// One store; see [`Vm::exec_load`] for the shared-body contract.
+    fn exec_store(
+        &mut self,
+        ptr: Operand,
+        val: Operand,
+        size: u64,
+        demote: bool,
+        elide: ElideFlags,
+    ) -> Result<(), VmError> {
+        self.charge_base(1);
+        let raw = self.eval(ptr);
+        let p = self.effective_ptr(raw);
+        let mut b = if self.instrumented() {
+            self.bounds_of(ptr)
+        } else {
+            None
+        };
+        if b.is_some() {
+            self.stats.elision.checks_total += 1;
+            if elide.check {
+                self.stats.elision.checks_elided += 1;
+                b = None;
+            }
+        }
+        if self.temporal.enabled() {
+            self.stats.cycles += self.config.cycle_model.temporal_check;
+            let stamp = self.stamp_of(ptr);
+            if let Some(v) = self.temporal.check(p.addr(), stamp) {
+                return Err(self.temporal_trap(v));
+            }
+        }
+        let mut v = self.eval(val);
+        if self.instrumented() && demote {
+            // ifpextract: refresh the stored pointer's poison bits
+            // from its live bounds before it leaves the registers.
+            self.charge_ifp_arith(1);
+            if let Some(vb) = self.bounds_of(val) {
+                let tp = TaggedPtr::from_raw(v);
+                if !vb.is_cleared() && !tp.is_null() && tp.poison() != Poison::Invalid {
+                    v = tp.with_poison(vb.classify_addr(tp.addr())).raw();
+                }
+            }
+            self.tracer.record(EventKind::Tag {
+                op: TagOp::Demote,
+                ptr: TaggedPtr::from_raw(v).addr(),
+            });
+        }
+        let res = self
+            .lsu
+            .store_traced(&mut self.mem, p, size, v, b, &mut self.tracer)
+            .map_err(|t| self.trap(t))?;
+        self.stats.cycles += res.cycles.saturating_sub(self.config.cycle_model.alu);
         Ok(())
     }
 

@@ -26,6 +26,7 @@ mod interp;
 mod loader;
 pub mod stats;
 
+pub use ifp_jit::{ExecTier, FusionStats};
 pub use interp::{StepOutcome, Vm, VmHost};
 pub use stats::{ElisionStats, ObjectStats, PromoteStats, RunStats};
 
@@ -130,6 +131,12 @@ pub struct VmConfig {
     /// by default, which keeps every run bit-identical to a build without
     /// the analyzer.
     pub elide_checks: bool,
+    /// Which execution tier drives the run. Tier choice is a pure host-
+    /// speed decision: every modeled statistic, trap coordinate, and
+    /// output value is bit-identical across tiers (golden-gated). The
+    /// jit tier applies to [`run`]/[`run_pooled`]; manual [`Vm::step`]
+    /// harnesses always execute on the interpreter.
+    pub exec_tier: ExecTier,
 }
 
 impl Default for VmConfig {
@@ -142,6 +149,7 @@ impl Default for VmConfig {
             trace: TraceConfig::off(),
             temporal: ifp_temporal::TemporalPolicy::Off,
             elide_checks: false,
+            exec_tier: ExecTier::Interp,
         }
     }
 }
@@ -168,6 +176,10 @@ pub struct RunResult {
     pub stats: RunStats,
     /// Snapshot of the event trace, when [`VmConfig::trace`] enabled one.
     pub trace: Option<TraceLog>,
+    /// Fused-dispatch counters from the jit tier (`None` on the
+    /// interpreter tier). Host-executor telemetry only — deliberately
+    /// outside [`RunStats`] so golden-pinned output cannot depend on it.
+    pub fusion: Option<FusionStats>,
 }
 
 /// Why a run did not complete.

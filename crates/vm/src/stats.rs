@@ -79,8 +79,10 @@ pub struct ElisionStats {
     pub promotes_elided: u64,
 }
 
-/// All statistics from one run.
-#[derive(Clone, Debug, Default)]
+/// All statistics from one run. `PartialEq` is part of the execution-
+/// tier contract: the golden suite asserts whole-struct equality of
+/// interpreter-tier and jit-tier stats.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Base-ISA instructions executed (including allocator-internal work).
     pub base_instrs: u64,

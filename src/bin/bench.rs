@@ -1,6 +1,7 @@
 //! Host-side benchmark driver.
 //!
-//! Usage: `cargo run --release --bin bench -- host [--quick] [--out PATH]`
+//! Usage: `cargo run --release --bin bench -- host [--quick]
+//! [--tier interp|jit|both] [--out PATH]`
 //!
 //! The `host` mode measures **simulator throughput on the host** — how
 //! fast the reproduction executes modeled instructions — over three
@@ -21,6 +22,10 @@
 //!
 //! `--quick` shrinks the rep counts for CI smoke runs (the modeled
 //! columns then differ from full runs — compare like with like).
+//! `--tier` selects the execution tier (default `interp`); `both` runs
+//! every suite on each tier, asserts the modeled columns are identical,
+//! and prints the workloads-sweep speedup. Each suite entry carries a
+//! `"tier"` key so per-tier trajectories coexist in `BENCH_host.json`.
 //! `--out PATH` writes the JSON to a file instead of stdout.
 //!
 //! The `serve` mode runs the `ifp-serve` multi-tenant service
@@ -33,13 +38,14 @@
 
 use ifp_juliet::{all_cases, temporal_cases};
 use ifp_temporal::TemporalPolicy;
-use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+use ifp_vm::{run, AllocatorKind, ExecTier, Mode, VmConfig, VmError};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One suite's measurement.
+/// One suite's measurement on one execution tier.
 struct SuiteResult {
     suite: &'static str,
+    tier: ExecTier,
     wall_ms: f64,
     modeled_instrs: u64,
     modeled_cycles: u64,
@@ -65,7 +71,7 @@ fn stats_of(program: &ifp_compiler::Program, cfg: &VmConfig) -> (u64, u64) {
     }
 }
 
-fn juliet_spatial(reps: u32) -> SuiteResult {
+fn juliet_spatial(reps: u32, tier: ExecTier) -> SuiteResult {
     let spatial_modes = [
         Mode::Baseline,
         Mode::instrumented(AllocatorKind::Wrapped),
@@ -84,6 +90,7 @@ fn juliet_spatial(reps: u32) -> SuiteResult {
             for mode in spatial_modes {
                 let mut cfg = VmConfig::with_mode(mode);
                 cfg.fuel = 50_000_000;
+                cfg.exec_tier = tier;
                 let (i, c) = stats_of(&case.program, &cfg);
                 instrs += i;
                 cycles += c;
@@ -92,13 +99,14 @@ fn juliet_spatial(reps: u32) -> SuiteResult {
     }
     SuiteResult {
         suite: "juliet_spatial",
+        tier,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
     }
 }
 
-fn workloads_sweep(quick: bool) -> SuiteResult {
+fn workloads_sweep(quick: bool, tier: ExecTier) -> SuiteResult {
     let mut workloads = ifp_workloads::all();
     if quick {
         workloads.truncate(4);
@@ -108,7 +116,8 @@ fn workloads_sweep(quick: bool) -> SuiteResult {
     let mut cycles = 0u64;
     for w in workloads {
         let program = w.build_default();
-        let sweep = ifp::eval::ModeSweep::run(w.name, &program).expect("workload sweeps clean");
+        let sweep = ifp::eval::ModeSweep::run_with_tier(w.name, &program, tier)
+            .expect("workload sweeps clean");
         for s in [
             &sweep.baseline,
             &sweep.subheap,
@@ -122,13 +131,14 @@ fn workloads_sweep(quick: bool) -> SuiteResult {
     }
     SuiteResult {
         suite: "workloads_sweep",
+        tier,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
     }
 }
 
-fn temporal_matrix(reps: u32) -> SuiteResult {
+fn temporal_matrix(reps: u32, tier: ExecTier) -> SuiteResult {
     let tcases = temporal_cases();
     let t0 = Instant::now();
     let mut instrs = 0u64;
@@ -140,6 +150,7 @@ fn temporal_matrix(reps: u32) -> SuiteResult {
                     let mut cfg = VmConfig::with_mode(Mode::instrumented(alloc));
                     cfg.fuel = 50_000_000;
                     cfg.temporal = policy;
+                    cfg.exec_tier = tier;
                     let (i, c) = stats_of(&case.program, &cfg);
                     instrs += i;
                     cycles += c;
@@ -149,6 +160,7 @@ fn temporal_matrix(reps: u32) -> SuiteResult {
     }
     SuiteResult {
         suite: "temporal_matrix",
+        tier,
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
@@ -163,9 +175,10 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
     for (i, r) in suites.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"suite\": \"{}\", \"wall_ms\": {:.1}, \"modeled_instrs\": {}, \
-             \"modeled_cycles\": {}, \"instrs_per_sec\": {}}}",
+            "    {{\"suite\": \"{}\", \"tier\": \"{}\", \"wall_ms\": {:.1}, \
+             \"modeled_instrs\": {}, \"modeled_cycles\": {}, \"instrs_per_sec\": {}}}",
             r.suite,
+            r.tier.name(),
             r.wall_ms,
             r.modeled_instrs,
             r.modeled_cycles,
@@ -178,7 +191,7 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench -- host [--quick] [--out PATH]");
+    eprintln!("usage: bench -- host [--quick] [--tier interp|jit|both] [--out PATH]");
     eprintln!("       bench -- serve [--quick] [--requests N] [--seed S] [--workers N]");
     eprintln!("                      [--shards N] [--concurrency SPEC] [--out PATH]");
     eprintln!("                      [--jsonl PATH]");
@@ -298,10 +311,19 @@ fn main() {
     }
     let mut quick = false;
     let mut out_path: Option<String> = None;
+    let mut tiers = vec![ExecTier::Interp];
     let mut rest = args[1..].iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--tier" => match rest.next().map(String::as_str) {
+                Some("both") => tiers = vec![ExecTier::Interp, ExecTier::Jit],
+                Some(t) => match ExecTier::from_name(t) {
+                    Some(tier) => tiers = vec![tier],
+                    None => usage(),
+                },
+                None => usage(),
+            },
             "--out" => match rest.next() {
                 Some(p) => out_path = Some(p.clone()),
                 None => usage(),
@@ -311,26 +333,51 @@ fn main() {
     }
 
     let reps = if quick { 3 } else { 100 };
-    eprintln!("bench host: juliet_spatial ({reps} reps)...");
-    let juliet = juliet_spatial(reps);
-    eprintln!(
-        "bench host: workloads_sweep ({})...",
-        if quick { "first 4" } else { "all 18" }
-    );
-    let sweep = workloads_sweep(quick);
-    eprintln!("bench host: temporal_matrix ({reps} reps)...");
-    let temporal = temporal_matrix(reps);
-
-    let suites = [juliet, sweep, temporal];
+    let mut suites = Vec::new();
+    for &tier in &tiers {
+        eprintln!("bench host [{tier}]: juliet_spatial ({reps} reps)...");
+        suites.push(juliet_spatial(reps, tier));
+        eprintln!(
+            "bench host [{tier}]: workloads_sweep ({})...",
+            if quick { "first 4" } else { "all 18" }
+        );
+        suites.push(workloads_sweep(quick, tier));
+        eprintln!("bench host [{tier}]: temporal_matrix ({reps} reps)...");
+        suites.push(temporal_matrix(reps, tier));
+    }
     for r in &suites {
         eprintln!(
-            "  {}: wall_ms={:.1} modeled_instrs={} modeled_cycles={} instrs_per_sec={}",
+            "  {} [{}]: wall_ms={:.1} modeled_instrs={} modeled_cycles={} instrs_per_sec={}",
             r.suite,
+            r.tier.name(),
             r.wall_ms,
             r.modeled_instrs,
             r.modeled_cycles,
             r.instrs_per_sec()
         );
+    }
+    // With both tiers measured, the modeled columns must agree exactly —
+    // tier choice is host-speed only. Bail loudly rather than record a
+    // drifted trajectory point.
+    if tiers.len() == 2 {
+        let (a, b) = suites.split_at(suites.len() / 2);
+        for (i, j) in a.iter().zip(b) {
+            assert_eq!(
+                (i.modeled_instrs, i.modeled_cycles),
+                (j.modeled_instrs, j.modeled_cycles),
+                "{}: modeled columns drifted between tiers",
+                i.suite
+            );
+        }
+        let (si, sj) = (&a[1], &b[1]);
+        if sj.wall_ms > 0.0 {
+            eprintln!(
+                "  workloads_sweep speedup: {:.2}x (interp {:.1}ms -> jit {:.1}ms)",
+                si.wall_ms / sj.wall_ms,
+                si.wall_ms,
+                sj.wall_ms
+            );
+        }
     }
     let json = to_json(&suites, quick);
     match out_path {

@@ -139,6 +139,7 @@ fn pinned_seed_elide_campaign_has_zero_findings() {
         corpus_dir: None,
         schedule: ifp_fuzz::Schedule::Uniform,
         elide_checks: true,
+        tier_checks: false,
     });
     assert!(
         report.findings.is_empty(),

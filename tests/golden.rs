@@ -10,8 +10,9 @@
 //! `cargo run --release --example golden_capture` and replace the
 //! fixture — and say why in the commit message.
 
+use ifp_compiler::Program;
 use ifp_juliet::all_cases;
-use ifp_vm::{run, AllocatorKind, Mode, VmConfig, VmError};
+use ifp_vm::{run, AllocatorKind, ExecTier, Mode, RunResult, VmConfig, VmError};
 use std::fmt::Write as _;
 
 const EXPECTED: &str = include_str!("golden_host_expected.txt");
@@ -38,6 +39,59 @@ fn modes() -> [(&'static str, Mode); 5] {
     ]
 }
 
+/// Runs `program` under `cfg` on **both execution tiers** and asserts
+/// every modeled observable — exit code, output, the whole [`RunStats`]
+/// struct, trap identity — is bit-identical. Any divergence is a hard
+/// failure (the tier contract), independent of the fixture comparison.
+/// Returns the interpreter-tier result, so the golden lines themselves
+/// are always produced by tier 1.
+fn run_both_tiers(program: &Program, cfg: &VmConfig) -> Result<RunResult, VmError> {
+    let mut icfg = *cfg;
+    icfg.exec_tier = ExecTier::Interp;
+    let mut jcfg = *cfg;
+    jcfg.exec_tier = ExecTier::Jit;
+    let ri = run(program, &icfg);
+    let rj = run(program, &jcfg);
+    match (&ri, &rj) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.exit_code, b.exit_code, "tier drift: exit code");
+            assert_eq!(a.output, b.output, "tier drift: program output");
+            assert_eq!(a.stats, b.stats, "tier drift: RunStats");
+        }
+        (
+            Err(VmError::Trap {
+                trap: ta,
+                func: fa,
+                stats: sa,
+                ..
+            }),
+            Err(VmError::Trap {
+                trap: tb,
+                func: fb,
+                stats: sb,
+                ..
+            }),
+        ) => {
+            assert_eq!(
+                format!("{ta:?}"),
+                format!("{tb:?}"),
+                "tier drift: trap kind"
+            );
+            assert_eq!(fa, fb, "tier drift: trapping function");
+            assert_eq!(sa, sb, "tier drift: RunStats at trap");
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(a.to_string(), b.to_string(), "tier drift: error identity");
+        }
+        (a, b) => panic!(
+            "tier drift: interp {} but jit {}",
+            if a.is_ok() { "completed" } else { "errored" },
+            if b.is_ok() { "completed" } else { "errored" },
+        ),
+    }
+    ri
+}
+
 /// The fixture section whose lines start (or don't start) with `juliet `.
 fn expected_section(juliet: bool) -> String {
     EXPECTED
@@ -59,7 +113,7 @@ fn workload_stats_match_golden_snapshot() {
         for (label, mode) in modes() {
             let mut cfg = VmConfig::with_mode(mode);
             cfg.l1 = ifp::eval::sweep_l1();
-            let r = run(&program, &cfg).expect("workload runs");
+            let r = run_both_tiers(&program, &cfg).expect("workload runs");
             let s = &r.stats;
             let out_sum: i64 = r
                 .output
@@ -94,9 +148,35 @@ fn workload_stats_match_golden_snapshot() {
 }
 
 #[test]
+fn elided_runs_are_tier_identical() {
+    // The fixture modes run without check elision; this covers the
+    // elision-specialized fused variants. No snapshot — the assertion
+    // is tier equality itself (plus the existing elision invariants
+    // gated elsewhere).
+    let mut elided = 0u64;
+    for wname in ["treeadd", "health", "em3d", "anagram"] {
+        let w = ifp_workloads::by_name(wname).expect("workload");
+        let program = w.build_default();
+        for mode in [
+            Mode::instrumented(AllocatorKind::Wrapped),
+            Mode::instrumented(AllocatorKind::Subheap),
+        ] {
+            let mut cfg = VmConfig::with_mode(mode);
+            cfg.l1 = ifp::eval::sweep_l1();
+            cfg.elide_checks = true;
+            let r = run_both_tiers(&program, &cfg).expect("workload runs");
+            elided += r.stats.elision.checks_elided + r.stats.elision.geps_elided;
+        }
+    }
+    assert!(elided > 0, "elision never fired across the sweep");
+}
+
+#[test]
 fn juliet_trap_identity_matches_golden_snapshot() {
     // Every case's outcome — trap kind, faulting function, cycle count at
-    // the trap (or exit code) — hashed into one line per allocator.
+    // the trap (or exit code) — hashed into one line per allocator. Each
+    // case runs on both tiers; `run_both_tiers` turns any divergence in
+    // verdict, stats, or trap coordinates into a hard failure.
     let cases = all_cases();
     let mut got = String::new();
     for (label, mode) in &modes()[1..3] {
@@ -104,7 +184,7 @@ fn juliet_trap_identity_matches_golden_snapshot() {
         for case in &cases {
             let mut cfg = VmConfig::with_mode(*mode);
             cfg.fuel = 50_000_000;
-            match run(&case.program, &cfg) {
+            match run_both_tiers(&case.program, &cfg) {
                 Ok(r) => {
                     let _ = writeln!(ids, "{}:ok:{}", case.id, r.exit_code);
                 }
