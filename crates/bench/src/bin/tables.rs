@@ -29,7 +29,7 @@
 //! the modeled statistics are bit-identical across tiers.
 
 use ifp_baselines::{temporal_row, Asan, Mte, SoftBound};
-use ifp_bench::{render, sweep_all_with_workers};
+use ifp_bench::{render, sweep_all_with_workers_cached};
 use ifp_juliet::{
     all_cases, run_suite_with_workers, run_temporal_suite_with_workers, temporal_cases,
 };
@@ -253,8 +253,16 @@ fn main() {
         // And the execution-tier comparison: `tables jit`.
         if mode == "jit" {
             eprintln!("comparing execution tiers over 18 workloads ({workers} workers)...");
-            let rows = ifp_bench::jit::report_with_workers(&ifp_workloads::all(), workers);
-            println!("{}", ifp_bench::jit::render_table(&rows));
+            let cache = ifp_plancache::PlanCache::new();
+            let rows = ifp_bench::jit::report_with_workers_cached(
+                &ifp_workloads::all(),
+                workers,
+                Some(&cache),
+            );
+            println!(
+                "{}",
+                ifp_bench::jit::render_table_cached(&rows, Some(cache.stats()))
+            );
             return;
         }
     }
@@ -362,8 +370,14 @@ fn main() {
     if needs_sweeps {
         eprintln!("running 18 workloads x 5 configurations ({workers} workers)...");
         let workloads = ifp_workloads::all();
+        let plan_cache = ifp_plancache::PlanCache::new();
         let t0 = std::time::Instant::now();
-        let sweeps = sweep_all_with_workers(&workloads, workers);
+        let sweeps = sweep_all_with_workers_cached(
+            &workloads,
+            workers,
+            ifp_vm::ExecTier::default(),
+            Some(&plan_cache),
+        );
         eprintln!("swept in {:.1}s", t0.elapsed().as_secs_f64());
 
         if want("table4") {
@@ -385,6 +399,21 @@ fn main() {
                 "{}",
                 render::cache_analysis(&sweeps, &["health", "ft", "ks", "em3d"])
             );
+            // The artifact-cache telemetry rides the same section: the
+            // sweep above already ran warm through a shared plan cache,
+            // so its row is free. The Juliet row re-runs the whole
+            // spatial suite five times, so it only joins when the
+            // section was asked for by name — the default all-sections
+            // run stays cheap.
+            let mut rows = vec![ifp_bench::plan_cache::SuiteCache {
+                suite: "workloads_sweep",
+                runs: workloads.len() as u64 * 5,
+                stats: plan_cache.stats(),
+            }];
+            if args.iter().any(|a| a == "cache" || a == "all") {
+                rows.push(ifp_bench::plan_cache::juliet_suite(workers));
+            }
+            println!("{}", ifp_bench::plan_cache::render_table(&rows));
         }
         if args.iter().any(|a| a == "json") {
             println!("{}", render::json(&sweeps));

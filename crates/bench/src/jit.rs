@@ -11,6 +11,7 @@
 //! to machine; every other column is deterministic.
 
 use ifp_jit::{fuse_with_coverage, StaticCoverage};
+use ifp_plancache::{CacheStats, PlanCache};
 use ifp_testutil::{default_workers, par_map};
 use ifp_vm::{run, AllocatorKind, ExecTier, FusionStats, Mode, VmConfig};
 use ifp_workloads::Workload;
@@ -31,6 +32,12 @@ pub struct WorkloadJit {
     pub interp_ms: f64,
     /// Fused-tier wall-clock, milliseconds.
     pub jit_ms: f64,
+    /// Warm-cache fused-tier wall-clock (artifact already resident in a
+    /// [`PlanCache`]), milliseconds. `None` when measured cache-off.
+    pub warm_jit_ms: Option<f64>,
+    /// One-time compile cost of this workload's artifacts (both tiers)
+    /// as charged by the cache, milliseconds. `None` cache-off.
+    pub compile_ms: Option<f64>,
 }
 
 impl WorkloadJit {
@@ -65,6 +72,16 @@ impl WorkloadJit {
             (self.fusion.dynamic_ops() + self.fusion.terminators) as f64 / d as f64
         }
     }
+
+    /// Host speedup of the *warm-cache* fused tier over the interpreter
+    /// (compile amortized away). `None` when measured cache-off.
+    #[must_use]
+    pub fn warm_speedup(&self) -> Option<f64> {
+        match self.warm_jit_ms {
+            Some(w) if w > 0.0 => Some(self.interp_ms / w),
+            _ => None,
+        }
+    }
 }
 
 /// Measures one workload on both tiers under the subheap configuration.
@@ -75,6 +92,21 @@ impl WorkloadJit {
 /// both are regressions, never table entries.
 #[must_use]
 pub fn measure_workload(w: &Workload) -> WorkloadJit {
+    measure_workload_cached(w, None)
+}
+
+/// [`measure_workload`] plus, when a [`PlanCache`] is supplied, a warm
+/// re-run of the fused tier through the cache: the artifact is resident,
+/// so the warm column isolates execution from the one-time compile cost
+/// (which is reported separately). The warm run's modeled statistics and
+/// output are asserted identical to the cold ones — cache invisibility,
+/// checked here too.
+///
+/// # Panics
+///
+/// Panics when a run fails or any run's modeled statistics differ.
+#[must_use]
+pub fn measure_workload_cached(w: &Workload, cache: Option<&PlanCache>) -> WorkloadJit {
     let program = w.build_default();
     let (_, static_cov) = fuse_with_coverage(&program, true, false);
     let mut icfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
@@ -95,6 +127,33 @@ pub fn measure_workload(w: &Workload) -> WorkloadJit {
         w.name
     );
     assert_eq!(ri.output, rj.output, "{}: output drifted", w.name);
+
+    let (warm_jit_ms, compile_ms) = match cache {
+        None => (None, None),
+        Some(c) => {
+            let ia = c
+                .artifact(&program, &icfg)
+                .unwrap_or_else(|e| panic!("{} (interp artifact): {e}", w.name));
+            let ja = c
+                .artifact(&program, &jcfg)
+                .unwrap_or_else(|e| panic!("{} (jit artifact): {e}", w.name));
+            let t2 = Instant::now();
+            let rw = c
+                .run(&program, &jcfg)
+                .unwrap_or_else(|e| panic!("{} (warm jit): {e}", w.name));
+            let warm = t2.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(ri.stats, rw.stats, "{}: warm-cache stats drifted", w.name);
+            assert_eq!(
+                ri.output, rw.output,
+                "{}: warm-cache output drifted",
+                w.name
+            );
+            (
+                Some(warm),
+                Some((ia.compile_ns + ja.compile_ns) as f64 / 1e6),
+            )
+        }
+    };
     WorkloadJit {
         workload: w.name,
         static_cov,
@@ -102,6 +161,8 @@ pub fn measure_workload(w: &Workload) -> WorkloadJit {
         cycles: rj.stats.cycles,
         interp_ms,
         jit_ms,
+        warm_jit_ms,
+        compile_ms,
     }
 }
 
@@ -114,6 +175,17 @@ pub fn report_with_workers(workloads: &[Workload], workers: usize) -> Vec<Worklo
     par_map(workloads, workers, measure_workload)
 }
 
+/// [`report_with_workers`] through an optional shared [`PlanCache`],
+/// adding the warm-run and compile columns.
+#[must_use]
+pub fn report_with_workers_cached(
+    workloads: &[Workload],
+    workers: usize,
+    cache: Option<&PlanCache>,
+) -> Vec<WorkloadJit> {
+    par_map(workloads, workers, |w| measure_workload_cached(w, cache))
+}
+
 /// [`report_with_workers`] at the host's available parallelism.
 #[must_use]
 pub fn report(workloads: &[Workload]) -> Vec<WorkloadJit> {
@@ -123,18 +195,28 @@ pub fn report(workloads: &[Workload]) -> Vec<WorkloadJit> {
 /// Renders the section as a fixed-width table.
 #[must_use]
 pub fn render_table(rows: &[WorkloadJit]) -> String {
+    render_table_cached(rows, None)
+}
+
+/// [`render_table`] with the cache columns (per-workload compile cost
+/// and warm-cache speedup) and a per-suite [`CacheStats`] footer.
+#[must_use]
+pub fn render_table_cached(rows: &[WorkloadJit], cache: Option<CacheStats>) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     out.push_str("Execution tiers (subheap config; modeled stats bit-identical, asserted)\n");
     out.push_str(
-        "  workload       dyn-ops  fused%  static%    runs    pairs  generic  ops/disp  speedup\n",
+        "  workload       dyn-ops  fused%  static%    runs    pairs  generic  ops/disp  speedup  \
+         compile   warm\n",
     );
     let mut interp_total = 0.0;
     let mut jit_total = 0.0;
+    let mut warm_total = 0.0;
+    let mut have_warm = false;
     for r in rows {
         interp_total += r.interp_ms;
         jit_total += r.jit_ms;
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  {:<13} {:>8} {:>6.1}% {:>7.1}% {:>7} {:>8} {:>8} {:>9.2} {:>7.2}x",
             r.workload,
@@ -147,17 +229,46 @@ pub fn render_table(rows: &[WorkloadJit]) -> String {
             r.ops_per_dispatch(),
             r.speedup(),
         );
+        match (r.compile_ms, r.warm_speedup()) {
+            (Some(c), Some(wx)) => {
+                have_warm = true;
+                warm_total += r.warm_jit_ms.unwrap_or(0.0);
+                let _ = writeln!(out, " {c:>7.2}ms {wx:>5.2}x");
+            }
+            _ => out.push_str("        -      -\n"),
+        }
     }
     let overall = if jit_total > 0.0 {
         interp_total / jit_total
     } else {
         0.0
     };
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "  overall: interp {interp_total:.1}ms -> jit {jit_total:.1}ms ({overall:.2}x); \
-         wall-clock is host-noisy, modeled columns are exact",
+        "  overall: interp {interp_total:.1}ms -> jit {jit_total:.1}ms ({overall:.2}x)",
     );
+    if have_warm && warm_total > 0.0 {
+        let _ = write!(
+            out,
+            " -> warm jit {warm_total:.1}ms ({:.2}x)",
+            interp_total / warm_total
+        );
+    }
+    out.push_str("; wall-clock is host-noisy, modeled columns are exact\n");
+    if let Some(s) = cache {
+        let _ = writeln!(
+            out,
+            "  plan cache: {} hits / {} misses ({:.1}% hit rate), compile {:.1}ms total, \
+             {} artifacts resident ({} KiB), {} evictions",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.compile_ns as f64 / 1e6,
+            s.resident_artifacts,
+            s.resident_bytes / 1024,
+            s.evictions,
+        );
+    }
     out
 }
 

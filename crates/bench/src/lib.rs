@@ -6,11 +6,14 @@
 pub mod ablation;
 pub mod analyze;
 pub mod jit;
+pub mod plan_cache;
 pub mod render;
 pub mod temporal;
 
 use ifp::eval::ModeSweep;
+use ifp_plancache::PlanCache;
 use ifp_testutil::{default_workers, par_map};
+use ifp_vm::ExecTier;
 use ifp_workloads::Workload;
 use std::fmt;
 
@@ -46,10 +49,30 @@ pub fn try_sweep_all_with_workers(
     workloads: &[Workload],
     workers: usize,
 ) -> Result<Vec<ModeSweep>, Vec<SweepError>> {
+    try_sweep_all_with_workers_cached(workloads, workers, ExecTier::default(), None)
+}
+
+/// [`try_sweep_all_with_workers`] on a chosen execution tier through an
+/// optional shared [`PlanCache`]. Tier and cache are host-speed knobs:
+/// the sweeps are bit-identical for any combination (golden-gated). The
+/// cache pays off even within one sweep — each workload's five modes
+/// need only two artifacts — and across suites when the caller shares
+/// the handle.
+///
+/// # Errors
+///
+/// The list of per-workload failures, one entry per failed workload.
+pub fn try_sweep_all_with_workers_cached(
+    workloads: &[Workload],
+    workers: usize,
+    tier: ExecTier,
+    cache: Option<&PlanCache>,
+) -> Result<Vec<ModeSweep>, Vec<SweepError>> {
     let slots = par_map(workloads, workers, |w| {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let program = w.build_default();
-            ModeSweep::run(w.name, &program).map_err(|e| e.to_string())
+            ModeSweep::run_with_tier_cached(w.name, &program, tier, cache)
+                .map_err(|e| e.to_string())
         }))
         .unwrap_or_else(|panic| Err(panic_message(&panic)))
     });
@@ -101,6 +124,29 @@ pub fn sweep_all_with_workers(workloads: &[Workload], workers: usize) -> Vec<Mod
 #[must_use]
 pub fn sweep_all(workloads: &[Workload]) -> Vec<ModeSweep> {
     sweep_all_with_workers(workloads, default_workers())
+}
+
+/// [`sweep_all_with_workers`] on a chosen tier through an optional
+/// shared [`PlanCache`], panicking with *all* failures when any workload
+/// fails (the `tables` binary's behaviour).
+#[must_use]
+pub fn sweep_all_with_workers_cached(
+    workloads: &[Workload],
+    workers: usize,
+    tier: ExecTier,
+    cache: Option<&PlanCache>,
+) -> Vec<ModeSweep> {
+    match try_sweep_all_with_workers_cached(workloads, workers, tier, cache) {
+        Ok(sweeps) => sweeps,
+        Err(errors) => {
+            let lines: Vec<String> = errors.iter().map(ToString::to_string).collect();
+            panic!(
+                "{} workload sweep(s) failed:\n  {}",
+                lines.len(),
+                lines.join("\n  ")
+            );
+        }
+    }
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

@@ -4,6 +4,7 @@
 
 use ifp_compiler::Program;
 use ifp_mem::CacheConfig;
+use ifp_plancache::PlanCache;
 use ifp_vm::{run, AllocatorKind, ExecTier, Mode, RunStats, VmConfig, VmError};
 
 /// The L1 geometry used for workload sweeps: 4 KiB, 4-way. The paper runs
@@ -78,13 +79,36 @@ impl ModeSweep {
         program: &Program,
         tier: ExecTier,
     ) -> Result<ModeSweep, VmError> {
+        Self::run_with_tier_cached(name, program, tier, None)
+    }
+
+    /// [`ModeSweep::run_with_tier`] through a shared [`PlanCache`]. The
+    /// five configurations need only two compiled artifacts (baseline +
+    /// one instrumented — allocator and the promote ablation are not
+    /// compile inputs), so a cache collapses the sweep's per-mode
+    /// compile work even before cross-workload sharing kicks in. With
+    /// `None` every mode compiles fresh; statistics are bit-identical
+    /// either way (golden-gated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn run_with_tier_cached(
+        name: &str,
+        program: &Program,
+        tier: ExecTier,
+        cache: Option<&PlanCache>,
+    ) -> Result<ModeSweep, VmError> {
         let mut results = Vec::with_capacity(5);
         let mut reference: Option<Vec<i64>> = None;
         for mode in modes() {
             let mut cfg = VmConfig::with_mode(mode);
             cfg.l1 = sweep_l1();
             cfg.exec_tier = tier;
-            let r = run(program, &cfg)?;
+            let r = match cache {
+                Some(c) => c.run(program, &cfg)?,
+                None => run(program, &cfg)?,
+            };
             if let Some(expected) = &reference {
                 assert_eq!(&r.output, expected, "{name}: output diverged under {mode}");
             } else {
@@ -187,6 +211,24 @@ mod tests {
         // The no-promote variant is never slower than the full one.
         assert!(sweep.subheap_nopromote.cycles <= sweep.subheap.cycles);
         assert!(sweep.instr_breakdown(&sweep.subheap).total() > 0.0);
+    }
+
+    #[test]
+    fn cached_sweep_is_byte_identical_and_compiles_twice() {
+        let p = ifp_workloads::olden::treeadd::build(6);
+        let cache = PlanCache::new();
+        let cold = ModeSweep::run("treeadd", &p).unwrap();
+        let warm =
+            ModeSweep::run_with_tier_cached("treeadd", &p, ExecTier::default(), Some(&cache))
+                .unwrap();
+        let warm2 =
+            ModeSweep::run_with_tier_cached("treeadd", &p, ExecTier::default(), Some(&cache))
+                .unwrap();
+        assert_eq!(format!("{cold:?}"), format!("{warm:?}"));
+        assert_eq!(format!("{cold:?}"), format!("{warm2:?}"));
+        // 5 modes, 2 artifacts: baseline + one shared instrumented.
+        let s = cache.stats();
+        assert_eq!((s.misses, s.hits), (2, 8), "{s:?}");
     }
 
     #[test]

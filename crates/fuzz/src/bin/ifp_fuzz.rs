@@ -3,7 +3,7 @@
 //! ```text
 //! ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
 //!                   [--corpus DIR] [--elide-checks] [--exec-tier jit]
-//!                   [--fail-on-finding]
+//!                   [--plan-cache] [--fail-on-finding]
 //! ifp-fuzz replay FILE...
 //! ifp-fuzz shrink FILE [-o OUT]
 //! ```
@@ -26,7 +26,7 @@ USAGE:
     ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
                       [--corpus DIR] [--schedule uniform|coverage]
                       [--elide-checks] [--exec-tier jit]
-                      [--fail-on-finding]
+                      [--plan-cache] [--fail-on-finding]
     ifp-fuzz temporal [--seed S] [--iters N] [--workers W]
                       [--fail-on-finding]
     ifp-fuzz concurrent [--seed S] [--iters N] [--workers W]
@@ -49,6 +49,11 @@ CAMPAIGN OPTIONS:
                         execution tier; any verdict, output, or modeled-
                         statistic change is a tier_divergence finding
                         (`--exec-tier interp` is the no-op default)
+    --plan-cache        rerun each instrumented mode (both execution
+                        tiers, twice each) through a deliberately
+                        capacity-poisoned compiled-artifact cache; any
+                        verdict, output, or modeled-statistic change is
+                        a cache_divergence finding
     --fail-on-finding   exit nonzero if any finding is produced
 
 TEMPORAL:
@@ -105,6 +110,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         schedule: Schedule::Uniform,
         elide_checks: false,
         tier_checks: false,
+        plan_cache_checks: false,
     };
     let mut fail_on_finding = false;
     let mut it = args.iter();
@@ -151,6 +157,10 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
                 }
                 other => Err(format!("bad exec tier `{other}` (interp|jit)")),
             }),
+            "--plan-cache" => {
+                config.plan_cache_checks = true;
+                Ok(())
+            }
             "--fail-on-finding" => {
                 fail_on_finding = true;
                 Ok(())

@@ -85,6 +85,12 @@ pub struct CampaignConfig {
     /// output, or modeled-statistic change is a `tier_divergence`
     /// finding.
     pub tier_checks: bool,
+    /// Add the plan-cache differential legs to every oracle run: each
+    /// instrumented mode (interpreter and jit tiers) reruns twice
+    /// through a deliberately capacity-poisoned artifact cache and any
+    /// verdict, output, or modeled-statistic change is a
+    /// `cache_divergence` finding.
+    pub plan_cache_checks: bool,
 }
 
 impl Default for CampaignConfig {
@@ -97,6 +103,7 @@ impl Default for CampaignConfig {
             schedule: Schedule::Uniform,
             elide_checks: false,
             tier_checks: false,
+            plan_cache_checks: false,
         }
     }
 }
@@ -264,6 +271,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let opts = OracleOptions {
         elide_differential: config.elide_checks,
         tier_differential: config.tier_checks,
+        plan_cache_differential: config.plan_cache_checks,
     };
     let raw_findings: Mutex<Vec<(u64, CaseSpec, Vec<Disagreement>)>> = Mutex::new(Vec::new());
     let workers = config.workers.max(1);
@@ -445,6 +453,11 @@ impl CampaignReport {
         if self.config.tier_checks {
             s.push_str("  exec tier   differential on (wrapped + subheap rerun on jit)\n");
         }
+        if self.config.plan_cache_checks {
+            s.push_str(
+                "  plan cache  differential on (both tiers rerun through a poisoned cache)\n",
+            );
+        }
         s.push_str(&format!(
             "  elapsed     {:.2}s ({:.0} iters/sec)\n",
             self.elapsed.as_secs_f64(),
@@ -525,6 +538,7 @@ mod tests {
             schedule: Schedule::Uniform,
             elide_checks: false,
             tier_checks: false,
+            plan_cache_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -555,6 +569,7 @@ mod tests {
             schedule: Schedule::Uniform,
             elide_checks: true,
             tier_checks: false,
+            plan_cache_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -578,6 +593,7 @@ mod tests {
             schedule: Schedule::Uniform,
             elide_checks: false,
             tier_checks: true,
+            plan_cache_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -589,6 +605,30 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.render().contains("exec tier   differential on"));
+    }
+
+    #[test]
+    fn plan_cache_differential_campaign_is_clean() {
+        let report = run_campaign(&CampaignConfig {
+            seed: 0xcac4e,
+            iterations: 40,
+            workers: 2,
+            corpus_dir: None,
+            schedule: Schedule::Uniform,
+            elide_checks: false,
+            tier_checks: false,
+            plan_cache_checks: true,
+        });
+        assert!(
+            report.findings.is_empty(),
+            "{:#?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (&f.spec, &f.disagreements))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.render().contains("plan cache  differential on"));
     }
 
     #[test]
@@ -627,6 +667,7 @@ mod tests {
             schedule: Schedule::CoverageGuided,
             elide_checks: false,
             tier_checks: false,
+            plan_cache_checks: false,
         };
         let guided = run_campaign(&base);
         assert!(

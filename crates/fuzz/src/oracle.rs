@@ -25,8 +25,9 @@
 use crate::spec::{CaseSpec, Resolved};
 use ifp_baselines::{Asan, Defense, Mte, PtrMeta, SoftBound};
 use ifp_juliet::{CaseKind, Variant};
+use ifp_plancache::PlanCache;
 use ifp_trace::TraceConfig;
-use ifp_vm::{run, AllocatorKind, ExecTier, Mode, VmConfig, VmError};
+use ifp_vm::{run, AllocatorKind, ExecTier, Mode, RunResult, VmConfig, VmError};
 use std::fmt;
 
 /// Address the defense models place the object at (granule-aligned for
@@ -102,6 +103,10 @@ pub enum FindingClass {
     /// Rerunning an instrumented mode on the jit execution tier changed
     /// the verdict, the output, or any modeled statistic.
     TierDivergence,
+    /// Rerunning a mode through a capacity-poisoned artifact cache
+    /// (evict/recompile churn) changed the verdict, the output, or any
+    /// modeled statistic.
+    CacheDivergence,
     /// The harness itself panicked while evaluating the case.
     HarnessPanic,
 }
@@ -121,6 +126,7 @@ impl FindingClass {
             FindingClass::MalformedIr => "malformed_ir",
             FindingClass::ElisionDivergence => "elision_divergence",
             FindingClass::TierDivergence => "tier_divergence",
+            FindingClass::CacheDivergence => "cache_divergence",
             FindingClass::HarnessPanic => "harness_panic",
         }
     }
@@ -139,6 +145,7 @@ impl FindingClass {
             FindingClass::MalformedIr,
             FindingClass::ElisionDivergence,
             FindingClass::TierDivergence,
+            FindingClass::CacheDivergence,
             FindingClass::HarnessPanic,
         ]
         .into_iter()
@@ -239,7 +246,22 @@ pub fn run_mode_elided_counted(program: &ifp_compiler::Program, mode: Mode) -> (
 /// can be compared on *every* modeled statistic, not just the verdict.
 /// The digest is empty for harness-level errors, which carry no stats.
 fn run_config_digest(program: &ifp_compiler::Program, cfg: &VmConfig) -> (RunOutcome, String, u64) {
-    match run(program, cfg) {
+    digest_result(run(program, cfg))
+}
+
+/// Like [`run_config_digest`], but routes compilation through an
+/// artifact cache. Execution semantics must be unaffected by whether
+/// the compiled artifact was a hit, a miss, or an eviction casualty.
+fn run_config_digest_cached(
+    program: &ifp_compiler::Program,
+    cfg: &VmConfig,
+    cache: &PlanCache,
+) -> (RunOutcome, String, u64) {
+    digest_result(cache.run(program, cfg))
+}
+
+fn digest_result(result: Result<RunResult, VmError>) -> (RunOutcome, String, u64) {
+    match result {
         Ok(r) => (
             RunOutcome::Completed {
                 exit: r.exit_code,
@@ -485,6 +507,12 @@ pub struct OracleOptions {
     /// require byte-identical verdicts, output, and complete modeled
     /// statistics — the safety gate for `ifp-jit`'s fused executor.
     pub tier_differential: bool,
+    /// Rerun the wrapped and subheap modes (interpreter and jit tiers)
+    /// through a deliberately capacity-poisoned artifact cache — so
+    /// nearly every lookup churns through insert/evict/recompile — and
+    /// require byte-identical verdicts, output, and complete modeled
+    /// statistics. The safety gate for `ifp-plancache`.
+    pub plan_cache_differential: bool,
 }
 
 /// Runs the full differential matrix for one spec.
@@ -692,6 +720,66 @@ pub fn evaluate_with(spec: &CaseSpec, opts: OracleOptions) -> Evaluation {
         }
     }
 
+    // Plan-cache differential: running through a capacity-poisoned
+    // artifact cache (evict/recompile churn on nearly every lookup)
+    // must reproduce the fresh-compile verdict, output, and every
+    // modeled statistic — on both execution tiers. Each config runs
+    // through the cache twice so both the cold-insert path and the
+    // reuse-or-evicted path are exercised.
+    if opts.plan_cache_differential {
+        let cache = PlanCache::poisoned();
+        for (label, mode, tier, reference) in [
+            (
+                "wrapped",
+                Mode::instrumented(AllocatorKind::Wrapped),
+                ExecTier::Interp,
+                &wrapped,
+            ),
+            (
+                "subheap",
+                Mode::instrumented(AllocatorKind::Subheap),
+                ExecTier::Interp,
+                &subheap,
+            ),
+            (
+                "subheap-jit",
+                Mode::instrumented(AllocatorKind::Subheap),
+                ExecTier::Jit,
+                &subheap,
+            ),
+        ] {
+            let mut cfg = VmConfig::with_mode(mode);
+            cfg.fuel = FUEL;
+            cfg.exec_tier = tier;
+            let (fout, fdig, fi) = run_config_digest(&program, &cfg);
+            modeled_instrs += fi;
+            for pass in ["cold", "reuse"] {
+                let (cout, cdig, ci) = run_config_digest_cached(&program, &cfg, &cache);
+                modeled_instrs += ci;
+                if cout != fout || &cout != reference {
+                    push(
+                        &mut out,
+                        FindingClass::CacheDivergence,
+                        format!(
+                            "{label}: {} fresh, {} through the poisoned cache ({pass} pass)",
+                            fout.label(),
+                            cout.label()
+                        ),
+                    );
+                } else if cdig != fdig {
+                    push(
+                        &mut out,
+                        FindingClass::CacheDivergence,
+                        format!(
+                            "{label}: modeled statistics differ through the poisoned cache \
+                             ({pass} pass)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     // Defense models.
     check_defenses(&mut out, spec, &r);
 
@@ -794,6 +882,19 @@ mod tests {
     }
 
     #[test]
+    fn plan_cache_differential_is_clean_on_random_specs() {
+        let opts = OracleOptions {
+            plan_cache_differential: true,
+            ..OracleOptions::default()
+        };
+        for i in 0..25 {
+            let s = CaseSpec::generate(&mut Rng::stream(0xcac4e, i));
+            let e = evaluate_with(&s, opts);
+            assert!(e.disagreements.is_empty(), "{s:?}\n{:?}", e.disagreements);
+        }
+    }
+
+    #[test]
     fn finding_class_names_round_trip() {
         for c in [
             FindingClass::FalseTrap,
@@ -806,6 +907,7 @@ mod tests {
             FindingClass::MalformedIr,
             FindingClass::ElisionDivergence,
             FindingClass::TierDivergence,
+            FindingClass::CacheDivergence,
             FindingClass::HarnessPanic,
         ] {
             assert_eq!(FindingClass::from_name(c.name()), Some(c));

@@ -17,6 +17,7 @@ fn config(workers: usize, corpus_dir: Option<std::path::PathBuf>) -> CampaignCon
         schedule: Schedule::Uniform,
         elide_checks: false,
         tier_checks: false,
+        plan_cache_checks: false,
     }
 }
 

@@ -46,7 +46,9 @@ pub use histogram::Histogram;
 pub use report::{ServeReport, TenantReport};
 pub use shard::{ShardOutcome, SHED_CODE};
 
+use ifp_plancache::PlanCache;
 use ifp_testutil::par_map;
+use std::sync::Arc;
 
 /// Service configuration. Every field feeds the deterministic model;
 /// only `workers` is a host-side knob, and it cannot change the report.
@@ -87,6 +89,14 @@ pub struct ServeConfig {
     /// [`ServeConfig::workers`]: the report is byte-identical across
     /// tiers at equal config (gated by the determinism suite).
     pub exec_tier: ifp_vm::ExecTier,
+    /// Shared compiled-artifact cache. Every shard replays programs from
+    /// the same fixed [`ProgramSet`], so a shared cache collapses the
+    /// per-request validate/analyze/decode/fuse work to one compile per
+    /// (program, instrumentation, tier) across the whole service. A
+    /// host-speed knob like `workers`: the report is byte-identical with
+    /// or without it (gated by the determinism suite). `None` compiles
+    /// fresh per request.
+    pub plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +113,7 @@ impl Default for ServeConfig {
             forensic_cap: 32,
             trace_jsonl_per_shard: 2,
             exec_tier: ifp_vm::ExecTier::Interp,
+            plan_cache: None,
         }
     }
 }

@@ -181,7 +181,10 @@ pub(crate) fn run_shard(
             ReqKind::Temporal(i) => &set.temporal[i].program,
             ReqKind::Workload(i) => &set.workloads[i].1,
         };
-        let (result, host_back) = run_pooled(program, &vm_cfg, host);
+        let (result, host_back) = match cfg.plan_cache.as_deref() {
+            Some(cache) => cache.run_pooled(program, &vm_cfg, host),
+            None => run_pooled(program, &vm_cfg, host),
+        };
         if let Some(h) = host_back {
             // A trapped run leaves its trace ring on the host; snapshot
             // the first few for the JSONL sink before the ring is reset

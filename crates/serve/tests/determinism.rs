@@ -51,6 +51,54 @@ fn report_is_byte_identical_across_exec_tiers() {
 }
 
 #[test]
+fn report_is_byte_identical_with_shared_plan_cache() {
+    // The artifact cache is a host-speed knob like `workers`: one shared
+    // cache racing across shards and tiers must leave every report byte
+    // untouched.
+    let fresh = run_service(&test_config(4));
+    let cache = ifp_plancache::PlanCache::shared();
+    for tier in [ifp_vm::ExecTier::Interp, ifp_vm::ExecTier::Jit] {
+        for workers in [1, 8] {
+            let mut cfg = test_config(workers);
+            cfg.exec_tier = tier;
+            cfg.plan_cache = Some(cache.clone());
+            let cached = run_service(&cfg);
+            assert_eq!(
+                fresh.to_json(),
+                cached.to_json(),
+                "report bytes must not depend on the plan cache ({tier:?}, workers={workers})"
+            );
+            assert_eq!(
+                fresh.trap_jsonl, cached.trap_jsonl,
+                "trace sink must not depend on the plan cache ({tier:?}, workers={workers})"
+            );
+        }
+    }
+    let s = cache.stats();
+    assert!(
+        s.hits > s.misses,
+        "the fixed program set must replay mostly warm: {s:?}"
+    );
+}
+
+#[test]
+fn report_is_byte_identical_under_a_poisoned_cache() {
+    // An eviction-thrashing cache recompiles constantly but must still
+    // be invisible to the modeled report.
+    let fresh = run_service(&test_config(4));
+    let cache = std::sync::Arc::new(ifp_plancache::PlanCache::poisoned());
+    let mut cfg = test_config(4);
+    cfg.plan_cache = Some(cache.clone());
+    let thrashed = run_service(&cfg);
+    assert_eq!(fresh.to_json(), thrashed.to_json());
+    assert!(
+        cache.stats().evictions > 0,
+        "poisoned budget must actually thrash: {:?}",
+        cache.stats()
+    );
+}
+
+#[test]
 fn report_depends_on_seed() {
     let a = run_service(&test_config(2));
     let mut cfg = test_config(2);

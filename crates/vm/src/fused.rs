@@ -23,7 +23,7 @@
 //! trap coordinate is therefore bit-identical to tier 1 — enforced by
 //! the golden suite and the fuzz `tier_divergence` leg, not argued.
 
-use super::{eval_bin, Code, Flow, FuncCode, Vm};
+use super::{eval_bin, Code, CompiledArtifact, Flow, FuncCode, Vm};
 use crate::VmError;
 use ifp_compiler::instrument::{ElideFlags, OpAction};
 use ifp_compiler::ir::{BinOp, GepStep, Op, Operand, Program, Reg};
@@ -96,7 +96,7 @@ struct MemSpec {
 /// loop can lift a slot out of the stream without borrowing it across
 /// the handler's `&mut self`.
 #[derive(Clone, Copy, Debug)]
-enum FSlot<'p> {
+enum FSlot {
     /// A batched arith run (index into `runs`).
     Arith {
         run: u32,
@@ -123,9 +123,11 @@ enum FSlot<'p> {
         g: u32,
         m: u32,
     },
-    /// Generic fallback: the interpreter's own handler.
+    /// Generic fallback: the interpreter's own handler. `op` indexes the
+    /// decoded stream's owned ops table for the same function — the
+    /// fused tier shares that table instead of duplicating it.
     Op {
-        op: &'p Op,
+        op: u32,
         action: OpAction,
         callee: u32,
         saves_bounds: bool,
@@ -148,17 +150,44 @@ enum FSlot<'p> {
 }
 
 /// One function's fused stream plus its side tables.
-pub(super) struct FusedFunc<'p> {
-    code: Vec<FSlot<'p>>,
+#[derive(Debug)]
+pub(super) struct FusedFunc {
+    code: Vec<FSlot>,
     runs: Vec<Box<[MicroOp]>>,
     geps: Vec<GepSpec>,
     mems: Vec<MemSpec>,
 }
 
-/// The whole program, fused. Borrows only from the program (`'p`), not
-/// from the VM, so the dispatch loop can hold it alongside `&mut Vm`.
-pub(super) struct FusedProgram<'p> {
-    funcs: Vec<FusedFunc<'p>>,
+/// The whole program, fused. Owned — no borrow of the program or the
+/// VM — so it lives inside a cached [`CompiledArtifact`] and the
+/// dispatch loop can hold it alongside `&mut Vm`.
+#[derive(Debug)]
+pub(super) struct FusedProgram {
+    funcs: Vec<FusedFunc>,
+}
+
+impl FusedProgram {
+    /// Approximate heap footprint, for cache byte budgets.
+    pub(super) fn approx_bytes(&self) -> usize {
+        let mut bytes = 0usize;
+        for f in &self.funcs {
+            bytes += f.code.len() * std::mem::size_of::<FSlot>();
+            bytes += f
+                .runs
+                .iter()
+                .map(|r| r.len() * std::mem::size_of::<MicroOp>())
+                .sum::<usize>();
+            bytes += f
+                .geps
+                .iter()
+                .map(|g| {
+                    std::mem::size_of::<GepSpec>() + g.psteps.len() * std::mem::size_of::<PStep>()
+                })
+                .sum::<usize>();
+            bytes += f.mems.len() * std::mem::size_of::<MemSpec>();
+        }
+        bytes
+    }
 }
 
 fn micro_of(op: &Op) -> MicroOp {
@@ -310,8 +339,9 @@ fn mem_spec_of(program: &Program, op: &Op, action: OpAction, elide: ElideFlags) 
     }
 }
 
-/// Decoded facts for the op at flat index `idx` of `dcode`.
-fn decoded_op<'p>(dcode: &[Code<'p>], idx: u32) -> (&'p Op, OpAction, u32, bool, ElideFlags) {
+/// Decoded facts for the op at flat index `idx` of `dcode`. The first
+/// element is the index into the function's owned ops table.
+fn decoded_op(dcode: &[Code], idx: u32) -> (u32, OpAction, u32, bool, ElideFlags) {
     match dcode[idx as usize] {
         Code::Op {
             op,
@@ -327,11 +357,7 @@ fn decoded_op<'p>(dcode: &[Code<'p>], idx: u32) -> (&'p Op, OpAction, u32, bool,
 /// Lowers `plan` over `program` into per-function fused streams,
 /// lifting actions/elisions/callees from the interpreter's own decoded
 /// stream so both tiers key off identical instrumentation facts.
-pub(super) fn compile<'p>(
-    program: &'p Program,
-    decoded: &[FuncCode<'p>],
-    plan: &FusionPlan,
-) -> FusedProgram<'p> {
+pub(super) fn compile(program: &Program, decoded: &[FuncCode], plan: &FusionPlan) -> FusedProgram {
     let mut funcs = Vec::with_capacity(program.funcs.len());
     for (fi, f) in program.funcs.iter().enumerate() {
         let ffus = &plan.funcs[fi];
@@ -347,6 +373,7 @@ pub(super) fn compile<'p>(
             dn += b.ops.len() as u32 + 1;
         }
         let dcode = &decoded[fi].code;
+        let dops = &decoded[fi].ops;
         let mut ff = FusedFunc {
             code: Vec::with_capacity(fn_ as usize),
             runs: Vec::new(),
@@ -370,8 +397,10 @@ pub(super) fn compile<'p>(
                         let (mop, mact, _, _, mel) = decoded_op(dcode, dstarts[bi] + at + 1);
                         let g = ff.geps.len() as u32;
                         let m = ff.mems.len() as u32;
-                        ff.geps.push(gep_spec_of(program, gop, gact, gel));
-                        ff.mems.push(mem_spec_of(program, mop, mact, mel));
+                        ff.geps
+                            .push(gep_spec_of(program, &dops[gop as usize], gact, gel));
+                        ff.mems
+                            .push(mem_spec_of(program, &dops[mop as usize], mact, mel));
                         ff.code.push(if matches!(seg, Seg::GepLoad { .. }) {
                             FSlot::GepLoad { g, m }
                         } else {
@@ -379,29 +408,29 @@ pub(super) fn compile<'p>(
                         });
                     }
                     Seg::Single { at } => {
-                        let (op, action, callee, saves_bounds, elide) =
+                        let (oi, action, callee, saves_bounds, elide) =
                             decoded_op(dcode, dstarts[bi] + at);
-                        match op {
-                            Op::Gep { .. } => {
+                        match &dops[oi as usize] {
+                            op @ Op::Gep { .. } => {
                                 ff.code.push(FSlot::Gep {
                                     g: ff.geps.len() as u32,
                                 });
                                 ff.geps.push(gep_spec_of(program, op, action, elide));
                             }
-                            Op::Load { .. } => {
+                            op @ Op::Load { .. } => {
                                 ff.code.push(FSlot::Load {
                                     m: ff.mems.len() as u32,
                                 });
                                 ff.mems.push(mem_spec_of(program, op, action, elide));
                             }
-                            Op::Store { .. } => {
+                            op @ Op::Store { .. } => {
                                 ff.code.push(FSlot::Store {
                                     m: ff.mems.len() as u32,
                                 });
                                 ff.mems.push(mem_spec_of(program, op, action, elide));
                             }
                             _ => ff.code.push(FSlot::Op {
-                                op,
+                                op: oi,
                                 action,
                                 callee,
                                 saves_bounds,
@@ -445,21 +474,25 @@ pub(super) fn compile<'p>(
     FusedProgram { funcs }
 }
 
-impl<'p> Vm<'p> {
+impl Vm<'_> {
     /// The fused dispatch loop. Same observable semantics as
-    /// `run_loop`/`step_inner`, radically fewer dispatches.
+    /// `run_loop`/`step_inner`, radically fewer dispatches. `art` is
+    /// this VM's own artifact, lifted into a caller-held handle (it must
+    /// carry a fused program).
     pub(super) fn run_loop_fused(
         &mut self,
-        fp: &FusedProgram<'p>,
+        art: &CompiledArtifact,
         fs: &mut FusionStats,
     ) -> Result<i64, VmError> {
+        let fp = art.fused.as_ref().expect("artifact carries fused streams");
         self.enter_main()?;
         loop {
             if self.stats.total_instrs() > self.config.fuel {
                 return Err(VmError::OutOfFuel);
             }
             let frame = self.frames.last().expect("frame");
-            let ff = &fp.funcs[frame.func];
+            let fi = frame.func;
+            let ff = &fp.funcs[fi];
             let slot = ff.code[frame.pc];
             match slot {
                 FSlot::Arith { run } => {
@@ -517,6 +550,7 @@ impl<'p> Vm<'p> {
                 } => {
                     fs.generic += 1;
                     self.frame().pc += 1;
+                    let op = &art.decoded[fi].ops[op as usize];
                     if let Flow::Finished(code) =
                         self.exec_op(op, action, callee, saves_bounds, elide)?
                     {

@@ -29,6 +29,7 @@ use ifp_tag::{
 };
 use ifp_temporal::{FreeOutcome, TemporalState, TemporalViolation};
 use ifp_trace::{EventKind, Region, Scheme, TagOp, TraceLog, Tracer, NO_FUNC};
+use std::sync::Arc;
 
 /// Base address of the libc-style heap (baseline + wrapped allocator).
 const LIBC_HEAP_BASE: u64 = HEAP_BASE;
@@ -57,7 +58,7 @@ struct Frame {
 
 /// One slot of a function's pre-decoded instruction stream.
 ///
-/// `Vm::new` flattens every function into one of these per op or
+/// [`predecode`] flattens every function into one of these per op or
 /// terminator, resolving up front everything `step` would otherwise
 /// re-derive on each execution: the instrumentation action for the op,
 /// the callee index and its bounds-saving flag for calls, and branch
@@ -65,10 +66,11 @@ struct Frame {
 /// runs on a single `pc` instead of re-indexing
 /// `funcs[fi].blocks[bi].ops[oi]` three levels deep per step.
 #[derive(Clone, Copy, Debug)]
-enum Code<'p> {
+enum Code {
     /// A block-body operation.
     Op {
-        op: &'p Op,
+        /// Index into the function's owned [`FuncCode::ops`] table.
+        op: u32,
         /// The instrumentation plan's action for this op
         /// ([`OpAction::None`] in uninstrumented modes).
         action: OpAction,
@@ -94,16 +96,23 @@ enum Code<'p> {
     Ret { cost: u64, val: Option<Operand> },
 }
 
-/// A function's flattened instruction stream.
+/// A function's flattened instruction stream, *owned*: the ops are
+/// cloned out of the source program at compile time (into `ops`, which
+/// `Code::Op` indexes), so the stream has no borrow of the [`Program`]
+/// and a [`CompiledArtifact`] can be cached and shared across runs,
+/// threads, and structurally identical rebuilt programs.
 #[derive(Debug)]
-struct FuncCode<'p> {
-    code: Vec<Code<'p>>,
+struct FuncCode {
+    code: Vec<Code>,
+    /// Block-body ops in flattened order (terminators excluded). Shared
+    /// by the interpreter stream and the fused tier's generic slots.
+    ops: Vec<Op>,
 }
 
 /// Flattens every function into its [`Code`] stream. `plan` must be the
 /// instrumentation plan exactly when the mode is instrumented, so decoded
 /// actions match what `InstrPlan` lookup would have produced per step.
-fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode<'p>> {
+fn predecode(program: &Program, plan: Option<&InstrPlan>) -> Vec<FuncCode> {
     let mut decoded = Vec::with_capacity(program.funcs.len());
     let mut starts: Vec<u32> = Vec::new();
     for (fi, f) in program.funcs.iter().enumerate() {
@@ -114,6 +123,7 @@ fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode
             n += b.ops.len() as u32 + 1; // ops plus the terminator slot
         }
         let mut code = Vec::with_capacity(n as usize);
+        let mut ops: Vec<Op> = Vec::with_capacity((n as usize).saturating_sub(f.blocks.len()));
         for (bi, b) in f.blocks.iter().enumerate() {
             for (oi, op) in b.ops.iter().enumerate() {
                 let action = plan.map_or(OpAction::None, |p| p.funcs[fi].actions[bi][oi]);
@@ -126,8 +136,10 @@ fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode
                     }
                     _ => (u32::MAX, false),
                 };
+                let idx = ops.len() as u32;
+                ops.push(op.clone());
                 code.push(Code::Op {
-                    op,
+                    op: idx,
                     action,
                     callee,
                     saves_bounds,
@@ -153,9 +165,128 @@ fn predecode<'p>(program: &'p Program, plan: Option<&InstrPlan>) -> Vec<FuncCode
                 Terminator::Ret(v) => Code::Ret { cost, val: *v },
             });
         }
-        decoded.push(FuncCode { code });
+        decoded.push(FuncCode { code, ops });
     }
     decoded
+}
+
+/// Content fingerprint of a program: FNV-1a over its (deterministic)
+/// `Debug` rendering, streamed — no intermediate string is built. Two
+/// structurally identical programs (same functions, blocks, ops, types,
+/// globals) fingerprint identically even when built independently, which
+/// is what lets a cache amortize compilation across rebuilt copies.
+#[must_use]
+pub fn program_fingerprint(program: &Program) -> u64 {
+    use std::fmt::Write as _;
+    struct Fnv(u64);
+    impl std::fmt::Write for Fnv {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+            Ok(())
+        }
+    }
+    let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+    let _ = write!(h, "{program:?}");
+    h.0
+}
+
+/// Everything the execution tiers derive from a program before the
+/// first step, compiled once and shareable across runs and threads:
+/// the instrumentation plan, the pre-decoded interpreter streams, and
+/// (on the jit tier) the fused superinstruction streams.
+///
+/// An artifact is keyed by program content and compile inputs — see
+/// [`compile_artifact`] — never by allocator kind, promote ablation,
+/// temporal policy, cache geometry, or fuel, none of which participate
+/// in decode/analyze/fuse. Construction cost ([`CompiledArtifact::compile_ns`])
+/// is host telemetry only; no modeled statistic depends on whether an
+/// artifact was freshly compiled or recalled from a cache.
+#[derive(Debug)]
+pub struct CompiledArtifact {
+    /// [`program_fingerprint`] of the source program.
+    pub fingerprint: u64,
+    /// Whether the artifact embeds an instrumentation plan.
+    pub instrumented: bool,
+    /// Whether statically proven elisions were baked into the plan
+    /// (always `false` when uninstrumented — elision is a plan input).
+    pub elide_checks: bool,
+    /// The execution tier the artifact serves.
+    pub tier: ExecTier,
+    /// Host nanoseconds spent validating + analyzing + decoding +
+    /// fusing. Telemetry only.
+    pub compile_ns: u64,
+    plan: Option<InstrPlan>,
+    decoded: Vec<FuncCode>,
+    fused: Option<fused::FusedProgram>,
+}
+
+impl CompiledArtifact {
+    /// Approximate heap footprint of the artifact, for cache byte
+    /// budgets. An estimate (inline slot sizes plus the per-op heap
+    /// payloads), not an exact accounting.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        let mut bytes = std::mem::size_of::<CompiledArtifact>();
+        for fc in &self.decoded {
+            bytes += fc.code.len() * std::mem::size_of::<Code>();
+            bytes += fc.ops.len() * std::mem::size_of::<Op>();
+            for op in &fc.ops {
+                bytes += match op {
+                    Op::Gep { steps, .. } => steps.len() * std::mem::size_of::<GepStep>(),
+                    Op::Call { args, func, .. } => {
+                        args.len() * std::mem::size_of::<Operand>() + func.len()
+                    }
+                    Op::CallExt { args, .. } => args.len() * std::mem::size_of::<Operand>(),
+                    _ => 0,
+                };
+            }
+        }
+        if let Some(fp) = &self.fused {
+            bytes += fp.approx_bytes();
+        }
+        bytes
+    }
+}
+
+/// Compiles `program` into a [`CompiledArtifact`] for `config`:
+/// validates, runs the instrumentation/elision analysis (instrumented
+/// modes), pre-decodes every function, and (jit tier) lowers the fusion
+/// plan into threaded streams.
+///
+/// The artifact depends only on the program content and three config
+/// facts — `mode.is_instrumented()`, `elide_checks`, `exec_tier` — so
+/// one artifact serves every allocator / promote-ablation / temporal /
+/// cache-geometry variation of a run.
+///
+/// # Errors
+///
+/// [`VmError::BadProgram`] when validation fails.
+pub fn compile_artifact(program: &Program, config: &VmConfig) -> Result<CompiledArtifact, VmError> {
+    let t0 = std::time::Instant::now();
+    program
+        .validate()
+        .map_err(|e| VmError::BadProgram(e.to_string()))?;
+    let instrumented = config.mode.is_instrumented();
+    let elide_checks = instrumented && config.elide_checks;
+    let plan = instrumented.then(|| ifp_analyze::instr_plan(program, config.elide_checks));
+    let decoded = predecode(program, plan.as_ref());
+    let fused = (config.exec_tier == ExecTier::Jit).then(|| {
+        let fplan = ifp_jit::fuse(program);
+        fused::compile(program, &decoded, &fplan)
+    });
+    Ok(CompiledArtifact {
+        fingerprint: program_fingerprint(program),
+        instrumented,
+        elide_checks,
+        tier: config.exec_tier,
+        compile_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        plan,
+        decoded,
+        fused,
+    })
 }
 
 enum Flow {
@@ -258,8 +389,11 @@ impl Default for VmHost {
 /// is exposed for harnesses that want to inspect state between steps.
 pub struct Vm<'p> {
     program: &'p Program,
-    /// Pre-decoded instruction streams, one per function.
-    decoded: Vec<FuncCode<'p>>,
+    /// The compiled artifact driving this run: pre-decoded instruction
+    /// streams (and, on the jit tier, the fused streams). Shared —
+    /// possibly recalled from a plan cache and concurrently driving
+    /// sibling VMs on other threads.
+    artifact: Arc<CompiledArtifact>,
     config: VmConfig,
     /// Cached `config.mode.is_instrumented()`.
     is_instr: bool,
@@ -283,9 +417,6 @@ pub struct Vm<'p> {
     /// don't pay a register-file allocation per call.
     frame_pool: Vec<Frame>,
     tracer: Tracer,
-    /// Fusion classification for the jit tier (`None` on the
-    /// interpreter tier); consumed by the first `run_loop`.
-    fusion: Option<ifp_jit::FusionPlan>,
     /// Dispatch counters left behind by a fused run, for `finalize`.
     fstats: Option<FusionStats>,
 }
@@ -316,15 +447,42 @@ impl<'p> Vm<'p> {
     pub fn with_host(
         program: &'p Program,
         config: &VmConfig,
-        mut host: VmHost,
+        host: VmHost,
     ) -> Result<Self, VmError> {
-        program
-            .validate()
-            .map_err(|e| VmError::BadProgram(e.to_string()))?;
-        let plan = config
-            .mode
-            .is_instrumented()
-            .then(|| ifp_analyze::instr_plan(program, config.elide_checks));
+        let artifact = Arc::new(compile_artifact(program, config)?);
+        Ok(Vm::with_artifact(program, config, &artifact, host))
+    }
+
+    /// Like [`Vm::with_host`], but reuses an already-compiled
+    /// [`CompiledArtifact`] — typically recalled from a plan cache —
+    /// instead of validating/analyzing/decoding/fusing the program
+    /// again. The artifact must have been produced by
+    /// [`compile_artifact`] from a structurally identical program under
+    /// a config agreeing on `mode.is_instrumented()`, `elide_checks`,
+    /// and `exec_tier` (checked by `debug_assert`); content addressing
+    /// makes a stale artifact impossible when the fingerprint matches.
+    ///
+    /// Runs from a shared artifact are bit-identical to fresh runs in
+    /// every modeled statistic: [`Vm::with_host`] itself delegates
+    /// through the same artifact type, so there is only one code path.
+    pub fn with_artifact(
+        program: &'p Program,
+        config: &VmConfig,
+        artifact: &Arc<CompiledArtifact>,
+        mut host: VmHost,
+    ) -> Self {
+        debug_assert_eq!(
+            artifact.fingerprint,
+            program_fingerprint(program),
+            "artifact compiled from a different program"
+        );
+        debug_assert_eq!(artifact.instrumented, config.mode.is_instrumented());
+        debug_assert_eq!(
+            artifact.elide_checks,
+            config.mode.is_instrumented() && config.elide_checks
+        );
+        debug_assert_eq!(artifact.tier, config.exec_tier);
+        let plan = artifact.plan.as_ref();
 
         host.reset_for(config);
         let VmHost {
@@ -333,7 +491,7 @@ impl<'p> Vm<'p> {
             tracer,
         } = host;
         let key = ifp_meta::MacKey::default_for_sim();
-        let image = loader::load(program, plan.as_ref(), &mut mem, &mut gt, key);
+        let image = loader::load(program, plan, &mut mem, &mut gt, key);
 
         let mut ctrl = CtrlRegs::new(gt.base());
         ctrl.mac_key = key;
@@ -359,9 +517,9 @@ impl<'p> Vm<'p> {
         stats.global_objects.objects = image.registered_globals;
         stats.global_objects.with_layout_table = image.registered_globals_with_lt;
 
-        Ok(Vm {
+        Vm {
             program,
-            decoded: predecode(program, plan.as_ref()),
+            artifact: Arc::clone(artifact),
             config: *config,
             is_instr: config.mode.is_instrumented(),
             is_no_promote: matches!(
@@ -387,9 +545,8 @@ impl<'p> Vm<'p> {
             frames: Vec::new(),
             frame_pool: Vec::new(),
             tracer,
-            fusion: (config.exec_tier == ExecTier::Jit).then(|| ifp_jit::fuse(program)),
             fstats: None,
-        })
+        }
     }
 
     fn instrumented(&self) -> bool {
@@ -539,16 +696,19 @@ impl<'p> Vm<'p> {
     /// threaded streams and runs the fused loop instead; both paths are
     /// bit-identical in every modeled statistic.
     fn run_loop(&mut self) -> Result<i64, VmError> {
-        if let Some(plan) = self.fusion.take() {
-            let fp = fused::compile(self.program, &self.decoded, &plan);
+        // One Arc clone for the whole run: the dispatch loops borrow the
+        // streams from this local handle, not from `self`, so `&Op`
+        // references coexist with `&mut self` in the handlers.
+        let art = Arc::clone(&self.artifact);
+        if art.fused.is_some() {
             let mut fs = FusionStats::default();
-            let r = self.run_loop_fused(&fp, &mut fs);
+            let r = self.run_loop_fused(&art, &mut fs);
             self.fstats = Some(fs);
             return r;
         }
         self.enter_main()?;
         loop {
-            match self.step_inner()? {
+            match self.step_inner(&art)? {
                 StepOutcome::Running => {}
                 StepOutcome::Finished(code) => return Ok(code),
             }
@@ -578,17 +738,20 @@ impl<'p> Vm<'p> {
         if self.frames.is_empty() {
             self.enter_main()?;
         }
-        self.step_inner()
+        let art = Arc::clone(&self.artifact);
+        self.step_inner(&art)
     }
 
     /// The dispatch loop body: one pre-decoded [`Code`] slot. A frame is
-    /// guaranteed to be active.
-    fn step_inner(&mut self) -> Result<StepOutcome, VmError> {
+    /// guaranteed to be active; `art` is this VM's own artifact, lifted
+    /// into a caller-held handle so op borrows don't pin `self`.
+    fn step_inner(&mut self, art: &CompiledArtifact) -> Result<StepOutcome, VmError> {
         if self.stats.total_instrs() > self.config.fuel {
             return Err(VmError::OutOfFuel);
         }
         let frame = self.frames.last().expect("frame");
-        let code = self.decoded[frame.func].code[frame.pc];
+        let fc = &art.decoded[frame.func];
+        let code = fc.code[frame.pc];
         let flow = match code {
             Code::Op {
                 op,
@@ -598,7 +761,7 @@ impl<'p> Vm<'p> {
                 elide,
             } => {
                 self.frame().pc += 1;
-                self.exec_op(op, action, callee, saves_bounds, elide)?
+                self.exec_op(&fc.ops[op as usize], action, callee, saves_bounds, elide)?
             }
             Code::Jmp { cost, target } => {
                 self.charge_base(cost);
@@ -743,7 +906,7 @@ impl<'p> Vm<'p> {
 
     fn exec_op(
         &mut self,
-        op: &'p Op,
+        op: &Op,
         action: OpAction,
         callee: u32,
         saves_bounds: bool,

@@ -26,6 +26,10 @@
 //! every suite on each tier, asserts the modeled columns are identical,
 //! and prints the workloads-sweep speedup. Each suite entry carries a
 //! `"tier"` key so per-tier trajectories coexist in `BENCH_host.json`.
+//! `--cache warm` runs every suite through a pre-warmed shared
+//! `PlanCache` (compile amortized out of the timed loop); `both` runs
+//! each suite cache-off then cache-warm and asserts the modeled columns
+//! never move. Each entry carries a `"cache"` key (`"off"`/`"warm"`).
 //! `--out PATH` writes the JSON to a file instead of stdout.
 //!
 //! The `serve` mode runs the `ifp-serve` multi-tenant service
@@ -34,9 +38,12 @@
 //! the host — wall-clock goes to stderr only. `--quick` uses the CI
 //! smoke size (2,048 requests); `--requests/--seed/--workers/--shards`
 //! override the pinned defaults, `--jsonl PATH` writes the trap-trace
-//! sink for the `ifp-trace` summarizer.
+//! sink for the `ifp-trace` summarizer, and `--plan-cache` shares one
+//! artifact cache across every shard (report bytes unchanged — only the
+//! stderr wall-clock advisory moves).
 
 use ifp_juliet::{all_cases, temporal_cases};
+use ifp_plancache::PlanCache;
 use ifp_temporal::TemporalPolicy;
 use ifp_vm::{run, AllocatorKind, ExecTier, Mode, VmConfig, VmError};
 use std::fmt::Write as _;
@@ -46,6 +53,10 @@ use std::time::Instant;
 struct SuiteResult {
     suite: &'static str,
     tier: ExecTier,
+    /// `"off"` or `"warm"`: whether the suite ran through a pre-warmed
+    /// artifact cache. Modeled columns are identical either way
+    /// (asserted by the golden gate); only `wall_ms` moves.
+    cache: &'static str,
     wall_ms: f64,
     modeled_instrs: u64,
     modeled_cycles: u64,
@@ -63,15 +74,31 @@ impl SuiteResult {
 /// Modeled (instrs, cycles) of one run; traps report the stats up to the
 /// trap, non-trap errors (expected for some temporal-policy/case
 /// combinations) contribute nothing.
-fn stats_of(program: &ifp_compiler::Program, cfg: &VmConfig) -> (u64, u64) {
-    match run(program, cfg) {
+fn stats_of(
+    program: &ifp_compiler::Program,
+    cfg: &VmConfig,
+    cache: Option<&PlanCache>,
+) -> (u64, u64) {
+    let result = match cache {
+        Some(c) => c.run(program, cfg),
+        None => run(program, cfg),
+    };
+    match result {
         Ok(r) => (r.stats.total_instrs(), r.stats.cycles),
         Err(VmError::Trap { stats, .. }) => (stats.total_instrs(), stats.cycles),
         Err(_) => (0, 0),
     }
 }
 
-fn juliet_spatial(reps: u32, tier: ExecTier) -> SuiteResult {
+fn cache_label(cache: Option<&PlanCache>) -> &'static str {
+    if cache.is_some() {
+        "warm"
+    } else {
+        "off"
+    }
+}
+
+fn juliet_spatial(reps: u32, tier: ExecTier, cache: Option<&PlanCache>) -> SuiteResult {
     let spatial_modes = [
         Mode::Baseline,
         Mode::instrumented(AllocatorKind::Wrapped),
@@ -82,6 +109,19 @@ fn juliet_spatial(reps: u32, tier: ExecTier) -> SuiteResult {
         },
     ];
     let cases = all_cases();
+    // Warm the cache before the clock starts: the timed loop then
+    // measures execution with compile amortized away, which is exactly
+    // the steady state a long-lived service sees.
+    if let Some(c) = cache {
+        for case in &cases {
+            for mode in spatial_modes {
+                let mut cfg = VmConfig::with_mode(mode);
+                cfg.fuel = 50_000_000;
+                cfg.exec_tier = tier;
+                let _ = c.artifact(&case.program, &cfg);
+            }
+        }
+    }
     let t0 = Instant::now();
     let mut instrs = 0u64;
     let mut cycles = 0u64;
@@ -91,7 +131,7 @@ fn juliet_spatial(reps: u32, tier: ExecTier) -> SuiteResult {
                 let mut cfg = VmConfig::with_mode(mode);
                 cfg.fuel = 50_000_000;
                 cfg.exec_tier = tier;
-                let (i, c) = stats_of(&case.program, &cfg);
+                let (i, c) = stats_of(&case.program, &cfg, cache);
                 instrs += i;
                 cycles += c;
             }
@@ -100,23 +140,34 @@ fn juliet_spatial(reps: u32, tier: ExecTier) -> SuiteResult {
     SuiteResult {
         suite: "juliet_spatial",
         tier,
+        cache: cache_label(cache),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
     }
 }
 
-fn workloads_sweep(quick: bool, tier: ExecTier) -> SuiteResult {
+fn workloads_sweep(quick: bool, tier: ExecTier, cache: Option<&PlanCache>) -> SuiteResult {
     let mut workloads = ifp_workloads::all();
     if quick {
         workloads.truncate(4);
     }
+    let programs: Vec<_> = workloads.iter().map(|w| w.build_default()).collect();
+    if let Some(c) = cache {
+        for program in &programs {
+            for mode in ifp::eval::modes() {
+                let mut cfg = VmConfig::with_mode(mode);
+                cfg.l1 = ifp::eval::sweep_l1();
+                cfg.exec_tier = tier;
+                let _ = c.artifact(program, &cfg);
+            }
+        }
+    }
     let t0 = Instant::now();
     let mut instrs = 0u64;
     let mut cycles = 0u64;
-    for w in workloads {
-        let program = w.build_default();
-        let sweep = ifp::eval::ModeSweep::run_with_tier(w.name, &program, tier)
+    for (w, program) in workloads.iter().zip(&programs) {
+        let sweep = ifp::eval::ModeSweep::run_with_tier_cached(w.name, program, tier, cache)
             .expect("workload sweeps clean");
         for s in [
             &sweep.baseline,
@@ -132,14 +183,27 @@ fn workloads_sweep(quick: bool, tier: ExecTier) -> SuiteResult {
     SuiteResult {
         suite: "workloads_sweep",
         tier,
+        cache: cache_label(cache),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
     }
 }
 
-fn temporal_matrix(reps: u32, tier: ExecTier) -> SuiteResult {
+fn temporal_matrix(reps: u32, tier: ExecTier, cache: Option<&PlanCache>) -> SuiteResult {
     let tcases = temporal_cases();
+    if let Some(c) = cache {
+        for case in &tcases {
+            for alloc in [AllocatorKind::Wrapped, AllocatorKind::Subheap] {
+                let mut cfg = VmConfig::with_mode(Mode::instrumented(alloc));
+                cfg.fuel = 50_000_000;
+                cfg.exec_tier = tier;
+                // Temporal policy is not a compile input: one artifact
+                // serves all four policies.
+                let _ = c.artifact(&case.program, &cfg);
+            }
+        }
+    }
     let t0 = Instant::now();
     let mut instrs = 0u64;
     let mut cycles = 0u64;
@@ -151,7 +215,7 @@ fn temporal_matrix(reps: u32, tier: ExecTier) -> SuiteResult {
                     cfg.fuel = 50_000_000;
                     cfg.temporal = policy;
                     cfg.exec_tier = tier;
-                    let (i, c) = stats_of(&case.program, &cfg);
+                    let (i, c) = stats_of(&case.program, &cfg, cache);
                     instrs += i;
                     cycles += c;
                 }
@@ -161,6 +225,7 @@ fn temporal_matrix(reps: u32, tier: ExecTier) -> SuiteResult {
     SuiteResult {
         suite: "temporal_matrix",
         tier,
+        cache: cache_label(cache),
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
@@ -175,10 +240,11 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
     for (i, r) in suites.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"suite\": \"{}\", \"tier\": \"{}\", \"wall_ms\": {:.1}, \
+            "    {{\"suite\": \"{}\", \"tier\": \"{}\", \"cache\": \"{}\", \"wall_ms\": {:.1}, \
              \"modeled_instrs\": {}, \"modeled_cycles\": {}, \"instrs_per_sec\": {}}}",
             r.suite,
             r.tier.name(),
+            r.cache,
             r.wall_ms,
             r.modeled_instrs,
             r.modeled_cycles,
@@ -191,10 +257,11 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench -- host [--quick] [--tier interp|jit|both] [--out PATH]");
+    eprintln!("usage: bench -- host [--quick] [--tier interp|jit|both]");
+    eprintln!("                     [--cache off|warm|both] [--out PATH]");
     eprintln!("       bench -- serve [--quick] [--requests N] [--seed S] [--workers N]");
-    eprintln!("                      [--shards N] [--concurrency SPEC] [--out PATH]");
-    eprintln!("                      [--jsonl PATH]");
+    eprintln!("                      [--shards N] [--concurrency SPEC] [--plan-cache]");
+    eprintln!("                      [--out PATH] [--jsonl PATH]");
     eprintln!("  --concurrency SPEC: in-shard modeled servers. A single value");
     eprintln!("      (e.g. 4) emits the usual ifp-serve-v1 report; a comma list");
     eprintln!("      of C or C:QUEUE_BUDGET entries (e.g. 1,4,4:9) runs one");
@@ -238,6 +305,7 @@ fn serve_main(args: &[String]) {
                     usage();
                 }
             }
+            "--plan-cache" => cfg.plan_cache = Some(PlanCache::shared()),
             "--out" => out_path = Some(val(&mut rest)),
             "--jsonl" => jsonl_path = Some(val(&mut rest)),
             _ => usage(),
@@ -274,6 +342,21 @@ fn serve_main(args: &[String]) {
         );
         jsonl.push_str(&report.trap_jsonl);
         reports.push(report);
+    }
+    if let Some(c) = &cfg.plan_cache {
+        // Advisory only: the cache never touches the deterministic
+        // report; hit/miss splits may vary run to run under racing
+        // shards.
+        let s = c.stats();
+        eprintln!(
+            "  plan cache: {} hits / {} misses ({:.1}% hit rate), compile {:.1}ms, \
+             {} artifacts resident",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.compile_ns as f64 / 1e6,
+            s.resident_artifacts,
+        );
     }
 
     if let Some(p) = jsonl_path {
@@ -312,6 +395,7 @@ fn main() {
     let mut quick = false;
     let mut out_path: Option<String> = None;
     let mut tiers = vec![ExecTier::Interp];
+    let mut cache_modes = vec![false];
     let mut rest = args[1..].iter();
     while let Some(a) = rest.next() {
         match a.as_str() {
@@ -324,6 +408,12 @@ fn main() {
                 },
                 None => usage(),
             },
+            "--cache" => match rest.next().map(String::as_str) {
+                Some("off") => cache_modes = vec![false],
+                Some("warm") => cache_modes = vec![true],
+                Some("both") => cache_modes = vec![false, true],
+                _ => usage(),
+            },
             "--out" => match rest.next() {
                 Some(p) => out_path = Some(p.clone()),
                 None => usage(),
@@ -334,49 +424,81 @@ fn main() {
 
     let reps = if quick { 3 } else { 100 };
     let mut suites = Vec::new();
-    for &tier in &tiers {
-        eprintln!("bench host [{tier}]: juliet_spatial ({reps} reps)...");
-        suites.push(juliet_spatial(reps, tier));
-        eprintln!(
-            "bench host [{tier}]: workloads_sweep ({})...",
-            if quick { "first 4" } else { "all 18" }
-        );
-        suites.push(workloads_sweep(quick, tier));
-        eprintln!("bench host [{tier}]: temporal_matrix ({reps} reps)...");
-        suites.push(temporal_matrix(reps, tier));
+    for &warm in &cache_modes {
+        let cache = warm.then(PlanCache::new);
+        let label = if warm { "warm" } else { "off" };
+        for &tier in &tiers {
+            let c = cache.as_ref();
+            eprintln!("bench host [{tier}/cache {label}]: juliet_spatial ({reps} reps)...");
+            suites.push(juliet_spatial(reps, tier, c));
+            eprintln!(
+                "bench host [{tier}/cache {label}]: workloads_sweep ({})...",
+                if quick { "first 4" } else { "all 18" }
+            );
+            suites.push(workloads_sweep(quick, tier, c));
+            eprintln!("bench host [{tier}/cache {label}]: temporal_matrix ({reps} reps)...");
+            suites.push(temporal_matrix(reps, tier, c));
+        }
+        if let Some(c) = &cache {
+            let s = c.stats();
+            eprintln!(
+                "  plan cache: {} hits / {} misses ({:.1}% hit rate), compile {:.1}ms, \
+                 {} artifacts resident, {} evictions",
+                s.hits,
+                s.misses,
+                s.hit_rate() * 100.0,
+                s.compile_ns as f64 / 1e6,
+                s.resident_artifacts,
+                s.evictions,
+            );
+        }
     }
     for r in &suites {
         eprintln!(
-            "  {} [{}]: wall_ms={:.1} modeled_instrs={} modeled_cycles={} instrs_per_sec={}",
+            "  {} [{}/cache {}]: wall_ms={:.1} modeled_instrs={} modeled_cycles={} \
+             instrs_per_sec={}",
             r.suite,
             r.tier.name(),
+            r.cache,
             r.wall_ms,
             r.modeled_instrs,
             r.modeled_cycles,
             r.instrs_per_sec()
         );
     }
-    // With both tiers measured, the modeled columns must agree exactly —
-    // tier choice is host-speed only. Bail loudly rather than record a
-    // drifted trajectory point.
+    // Tier and cache are both host-speed knobs: every entry of one suite
+    // must agree exactly on the modeled columns. Bail loudly rather than
+    // record a drifted trajectory point.
+    for r in &suites {
+        let first = suites
+            .iter()
+            .find(|s| s.suite == r.suite)
+            .expect("r itself matches");
+        assert_eq!(
+            (first.modeled_instrs, first.modeled_cycles),
+            (r.modeled_instrs, r.modeled_cycles),
+            "{}: modeled columns drifted across tier/cache variants",
+            r.suite
+        );
+    }
     if tiers.len() == 2 {
-        let (a, b) = suites.split_at(suites.len() / 2);
-        for (i, j) in a.iter().zip(b) {
-            assert_eq!(
-                (i.modeled_instrs, i.modeled_cycles),
-                (j.modeled_instrs, j.modeled_cycles),
-                "{}: modeled columns drifted between tiers",
-                i.suite
-            );
-        }
-        let (si, sj) = (&a[1], &b[1]);
-        if sj.wall_ms > 0.0 {
-            eprintln!(
-                "  workloads_sweep speedup: {:.2}x (interp {:.1}ms -> jit {:.1}ms)",
-                si.wall_ms / sj.wall_ms,
-                si.wall_ms,
-                sj.wall_ms
-            );
+        for &warm in &cache_modes {
+            let label = if warm { "warm" } else { "off" };
+            let ws: Vec<&SuiteResult> = suites
+                .iter()
+                .filter(|s| s.suite == "workloads_sweep" && s.cache == label)
+                .collect();
+            if let [si, sj] = ws[..] {
+                if sj.wall_ms > 0.0 {
+                    eprintln!(
+                        "  workloads_sweep speedup [cache {label}]: {:.2}x \
+                         (interp {:.1}ms -> jit {:.1}ms)",
+                        si.wall_ms / sj.wall_ms,
+                        si.wall_ms,
+                        sj.wall_ms
+                    );
+                }
+            }
         }
     }
     let json = to_json(&suites, quick);

@@ -140,6 +140,7 @@ fn pinned_seed_elide_campaign_has_zero_findings() {
         schedule: ifp_fuzz::Schedule::Uniform,
         elide_checks: true,
         tier_checks: false,
+        plan_cache_checks: false,
     });
     assert!(
         report.findings.is_empty(),

@@ -12,6 +12,7 @@
 
 use ifp_compiler::Program;
 use ifp_juliet::all_cases;
+use ifp_plancache::PlanCache;
 use ifp_vm::{run, AllocatorKind, ExecTier, Mode, RunResult, VmConfig, VmError};
 use std::fmt::Write as _;
 
@@ -169,6 +170,107 @@ fn elided_runs_are_tier_identical() {
         }
     }
     assert!(elided > 0, "elision never fired across the sweep");
+}
+
+/// Asserts two run results are observationally identical: exit code,
+/// output, the whole `RunStats` struct, and trap identity.
+fn assert_identical(a: &Result<RunResult, VmError>, b: &Result<RunResult, VmError>, ctx: &str) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(x.exit_code, y.exit_code, "{ctx}: exit code");
+            assert_eq!(x.output, y.output, "{ctx}: program output");
+            assert_eq!(x.stats, y.stats, "{ctx}: RunStats");
+        }
+        (
+            Err(VmError::Trap {
+                trap: ta,
+                func: fa,
+                stats: sa,
+                ..
+            }),
+            Err(VmError::Trap {
+                trap: tb,
+                func: fb,
+                stats: sb,
+                ..
+            }),
+        ) => {
+            assert_eq!(format!("{ta:?}"), format!("{tb:?}"), "{ctx}: trap kind");
+            assert_eq!(fa, fb, "{ctx}: trapping function");
+            assert_eq!(sa, sb, "{ctx}: RunStats at trap");
+        }
+        (Err(x), Err(y)) => {
+            assert_eq!(x.to_string(), y.to_string(), "{ctx}: error identity");
+        }
+        (x, y) => panic!(
+            "{ctx}: one run {} but the other {}",
+            if x.is_ok() { "completed" } else { "errored" },
+            if y.is_ok() { "completed" } else { "errored" },
+        ),
+    }
+}
+
+/// The artifact-cache invisibility gate: every workload×mode×tier cell
+/// runs fresh (cache off), then twice through one shared warm cache —
+/// the cold pass exercises miss+insert, the warm pass the hit path —
+/// and all three must be observationally identical. A trap-heavy Juliet
+/// sample then pins trap identity through the same cache. The miss
+/// count is asserted exactly: the cache key is (program fingerprint,
+/// instrumented?, elision, tier), so five modes collapse to two keys
+/// per workload per tier.
+#[test]
+fn cached_sweep_is_bit_identical_to_fresh_on_both_tiers() {
+    let cache = PlanCache::new();
+    let mut cells = 0u64;
+    for wname in ["treeadd", "health", "em3d", "anagram"] {
+        let w = ifp_workloads::by_name(wname).expect("workload");
+        let program = w.build_default();
+        for (label, mode) in modes() {
+            for tier in [ExecTier::Interp, ExecTier::Jit] {
+                let mut cfg = VmConfig::with_mode(mode);
+                cfg.l1 = ifp::eval::sweep_l1();
+                cfg.exec_tier = tier;
+                let fresh = run(&program, &cfg);
+                for pass in ["cold", "warm"] {
+                    let cached = cache.run(&program, &cfg);
+                    assert_identical(
+                        &fresh,
+                        &cached,
+                        &format!("{wname}/{label}/{tier:?} ({pass} pass)"),
+                    );
+                }
+                cells += 1;
+            }
+        }
+    }
+    let s = cache.stats();
+    // 4 workloads × {baseline, instrumented} × 2 tiers = 16 compiles;
+    // every other lookup of the 2-passes-per-cell sweep must hit.
+    assert_eq!(s.misses, 16, "{s:?}");
+    assert_eq!(s.hits, 2 * cells - 16, "{s:?}");
+
+    // Trap identity through the same cache: a strided Juliet sample
+    // under both instrumented allocators and both tiers.
+    let cases = all_cases();
+    for case in cases.iter().step_by(7) {
+        for (label, mode) in &modes()[1..3] {
+            for tier in [ExecTier::Interp, ExecTier::Jit] {
+                let mut cfg = VmConfig::with_mode(*mode);
+                cfg.fuel = 50_000_000;
+                cfg.exec_tier = tier;
+                let fresh = run(&case.program, &cfg);
+                let cached = cache.run(&case.program, &cfg);
+                assert_identical(
+                    &fresh,
+                    &cached,
+                    &format!("juliet {}/{label}/{tier:?}", case.id),
+                );
+            }
+        }
+    }
+    let s = cache.stats();
+    assert_eq!(s.evictions, 0, "default budget must not thrash: {s:?}");
+    assert!(s.hits > s.misses, "{s:?}");
 }
 
 #[test]

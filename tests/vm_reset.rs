@@ -202,6 +202,70 @@ fn dirty_hosts_handed_across_threads_stay_bit_identical() {
     }
 }
 
+/// Shared-cache handoff: one `Arc<PlanCache>` serving real threads that
+/// dirty pooled hosts and ship both the hosts *and* the warm artifacts
+/// across thread boundaries. The consumer reuses every handed-off host
+/// through the same cache — on both execution tiers — and every run
+/// must stay bit-identical to a fresh, cache-less run. This is the
+/// shard-pool shape: threads share compiled artifacts, never VM state.
+#[test]
+fn shared_plan_cache_handoff_across_threads_stays_bit_identical() {
+    use std::sync::{mpsc, Arc};
+
+    let cache = ifp_plancache::PlanCache::shared();
+    let dirty = workout_program(3);
+    let workload = ifp_workloads::by_name("treeadd").expect("workload");
+    let program = (workload.build)(4);
+    for mode in modes() {
+        for tier in [ifp_vm::ExecTier::Interp, ifp_vm::ExecTier::Jit] {
+            let mut cfg = VmConfig::with_mode(mode);
+            cfg.exec_tier = tier;
+            let fresh = run(&program, &cfg).expect("fresh run completes");
+            let fresh_fp = fingerprint(&fresh);
+
+            // Producers dirty hosts through the shared cache (warming
+            // the dirty program's artifacts as a side effect), then ship
+            // them over a channel; the consumer reuses each host under
+            // the reference config through the same cache.
+            let (tx, rx) = mpsc::channel::<(usize, VmHost)>();
+            std::thread::scope(|s| {
+                for i in 0..3 {
+                    let tx = tx.clone();
+                    let cache = Arc::clone(&cache);
+                    let dirty = &dirty;
+                    s.spawn(move || {
+                        let dirty_cfg =
+                            VmConfig::with_mode(Mode::instrumented(AllocatorKind::Wrapped));
+                        let (d, host) = cache.run_pooled(dirty, &dirty_cfg, VmHost::new());
+                        d.expect("dirtying run completes");
+                        tx.send((i, host.expect("host survives"))).expect("send");
+                    });
+                }
+                drop(tx);
+                for (i, host) in rx {
+                    let (pooled, host_back) = cache.run_pooled(&program, &cfg, host);
+                    let pooled = pooled.expect("pooled cached run completes");
+                    let host_back = host_back.expect("host survives");
+                    assert_eq!(
+                        fingerprint(&pooled),
+                        fresh_fp,
+                        "{mode}/{tier:?}: cached run on a host dirtied by thread {i} \
+                         diverged from fresh"
+                    );
+                    assert_eq!(
+                        host_back.leaked_rows(),
+                        0,
+                        "{mode}/{tier:?}: host from thread {i} leaked global-table rows"
+                    );
+                }
+            });
+        }
+    }
+    let s = cache.stats();
+    assert!(s.hits > 0, "shared cache never produced a hit: {s:?}");
+    assert_eq!(s.evictions, 0, "default budget must not thrash: {s:?}");
+}
+
 #[test]
 fn thousand_pooled_runs_keep_live_rows_stable() {
     let program = workout_program(3);
