@@ -40,6 +40,9 @@ pub mod codes {
     pub const GLOBAL_RANGE: &str = "IFP-V013";
     /// Analysis lint: access is provably out of bounds of its allocation.
     pub const PROVEN_OOB: &str = "IFP-A001";
+    /// Analysis note: an inter-procedural summary application at this
+    /// call narrowed previously-unknown accesses to proven.
+    pub const SUMMARY_APPLIED: &str = "IFP-A002";
 }
 
 /// Where in a function a diagnostic points.

@@ -1,21 +1,37 @@
 //! Layer 2: intra-procedural abstract interpretation over an interval
-//! domain.
+//! domain, extended with the layer-3 hooks ([`crate::interproc`]).
 //!
 //! Every register is tracked as either an integer interval or a pointer
-//! into a statically-sized allocation site carrying a byte-offset
-//! interval *and a window*: a site-relative `[win_lo, win_hi)` range that
-//! is a guaranteed subset of whatever bounds the runtime pointer carries.
-//! Windows start at `[0, site_size)` and only ever shrink (joins
-//! intersect them; field selection narrows them), which is what makes
-//! elision sound against the VM's *subobject* narrowing: an access proven
-//! inside the window is inside any runtime bounds the pointer can have,
-//! narrowed or not.
+//! into an allocation site carrying a byte-offset interval *and a
+//! window*: a site-relative `[win_lo, win_hi)` range that is a
+//! guaranteed subset of whatever bounds the runtime pointer carries.
+//! Windows for local sites start at `[0, site_size)`; synthetic sites
+//! (function parameters and summarized call returns) start at whatever
+//! window the inter-procedural layer proved, which may extend below
+//! zero (a pointer into the middle of a caller's object). Windows only
+//! ever shrink (joins intersect them; field selection narrows them),
+//! which is what makes elision sound against the VM's *subobject*
+//! narrowing: an access proven inside the window is inside any runtime
+//! bounds the pointer can have, narrowed or not.
+//!
+//! Branch conditions refine the states flowing into the two successors:
+//! when a block's `Br` condition is the block's last definition of a
+//! comparison whose operands are stable afterwards, the then/else edges
+//! intersect the compared intervals with the implied half-ranges. This
+//! is the monotone-induction mechanism: at a widened loop head the
+//! counter is `[0, +inf]`, and the `i < n` guard narrows the body state
+//! back to `[0, n-1]`, so per-iteration accesses stay provable — the
+//! per-iteration check collapses into the one guard the loop already
+//! executes.
 //!
 //! Termination: interval joins hull offsets, and loop heads (back-edge
 //! targets) widen after a couple of joins — a decreased low bound goes to
 //! `-inf`, an increased high bound to `+inf`, and any window still moving
 //! at a widening point collapses to the empty window (proving nothing
-//! through that pointer, which is always sound).
+//! through that pointer, which is always sound). Edge refinement is a
+//! monotone narrowing applied to the propagated copy only, so the
+//! widened chain at each head is still finite, with the fixpoint fuel
+//! as a hard backstop.
 //!
 //! The infinity sentinels are `i64::MIN`/`i64::MAX`; arithmetic clamps
 //! into the open range between them, so an immediate that happens to
@@ -23,14 +39,15 @@
 //! never a soundness one (sentinel-ended intervals are never proven).
 
 use crate::diag::{codes, DiagLoc, Diagnostic};
+use crate::interproc::{self, Interproc, ParamFact, RetSummary};
 use crate::verify::verify;
 use ifp_compiler::instrument::ElisionPlan;
 use ifp_compiler::ir::{BinOp, Function, GepStep, Op, Operand, Program, Terminator};
 use ifp_compiler::types::{Type, TypeTable};
 use std::collections::BTreeMap;
 
-const NEG_INF: i64 = i64::MIN;
-const POS_INF: i64 = i64::MAX;
+pub(crate) const NEG_INF: i64 = i64::MIN;
+pub(crate) const POS_INF: i64 = i64::MAX;
 
 fn clamp128(v: i128) -> i64 {
     if v >= i128::from(POS_INF) {
@@ -44,34 +61,41 @@ fn clamp128(v: i128) -> i64 {
 
 /// A closed integer interval with `i64::MIN`/`i64::MAX` as `-inf`/`+inf`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Itv {
-    lo: i64,
-    hi: i64,
+pub(crate) struct Itv {
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
 }
 
 impl Itv {
-    const TOP: Itv = Itv {
+    pub(crate) const TOP: Itv = Itv {
         lo: NEG_INF,
         hi: POS_INF,
     };
 
-    fn point(v: i64) -> Itv {
+    pub(crate) fn point(v: i64) -> Itv {
         Itv { lo: v, hi: v }
     }
 
     /// Both ends finite (no sentinel) — the precondition for any proof.
-    fn is_finite(self) -> bool {
+    pub(crate) fn is_finite(self) -> bool {
         self.lo != NEG_INF && self.hi != POS_INF
     }
 
-    fn hull(a: Itv, b: Itv) -> Itv {
+    /// Intersection; `None` when the result is empty.
+    pub(crate) fn meet(self, o: Itv) -> Option<Itv> {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        (lo <= hi).then_some(Itv { lo, hi })
+    }
+
+    pub(crate) fn hull(a: Itv, b: Itv) -> Itv {
         Itv {
             lo: a.lo.min(b.lo),
             hi: a.hi.max(b.hi),
         }
     }
 
-    fn add(self, o: Itv) -> Itv {
+    pub(crate) fn add(self, o: Itv) -> Itv {
         let lo = if self.lo == NEG_INF || o.lo == NEG_INF {
             NEG_INF
         } else {
@@ -123,7 +147,7 @@ impl Itv {
         self.mul(Itv::point(k))
     }
 
-    fn singleton(self) -> Option<i64> {
+    pub(crate) fn singleton(self) -> Option<i64> {
         (self.lo == self.hi && self.is_finite()).then_some(self.lo)
     }
 
@@ -138,19 +162,49 @@ impl Itv {
 
 /// A pointer into allocation site `site` at byte offsets `off`, with a
 /// window `[win_lo, win_hi)` guaranteed to be inside any bounds the
-/// runtime pointer carries. The invariant `0 <= win_lo` always holds.
+/// runtime pointer carries. Local sites keep `0 <= win_lo`; synthetic
+/// sites (parameters, summarized call returns) may carry negative
+/// `win_lo` — the entry pointer can sit mid-object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct AbsPtr {
-    site: u32,
-    off: Itv,
-    win_lo: i64,
-    win_hi: i64,
+pub(crate) struct AbsPtr {
+    pub(crate) site: u32,
+    pub(crate) off: Itv,
+    pub(crate) win_lo: i64,
+    pub(crate) win_hi: i64,
+    /// Attribution breadcrumb: the packed `(block << 16) | op` of the
+    /// call whose summary application produced this value, or
+    /// [`VIA_NONE`] for locally-derived pointers. Pure telemetry — never
+    /// consulted by a proof — but kept in the lattice so proofs that
+    /// needed a summary can be credited to the call site.
+    pub(crate) via: u32,
+}
+
+/// `via` value of pointers not derived through a call summary.
+pub(crate) const VIA_NONE: u32 = u32::MAX;
+
+/// Packs call coordinates into an [`AbsPtr::via`] breadcrumb.
+pub(crate) fn via_pack(bi: usize, oi: usize) -> u32 {
+    match (u32::try_from(bi), u32::try_from(oi)) {
+        (Ok(b), Ok(o)) if b < 0x8000 && o < 0x1_0000 => (b << 16) | o,
+        _ => VIA_NONE,
+    }
+}
+
+/// Prefers an existing breadcrumb over a new one so repeated joins
+/// stabilize (the result is always one of the inputs).
+fn via_join(a: u32, b: u32) -> u32 {
+    if a != VIA_NONE {
+        a
+    } else {
+        b
+    }
 }
 
 /// Abstract value of one register.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum AbsVal {
-    /// Unknown (loaded values, call results, parameters, foreign pointers).
+pub(crate) enum AbsVal {
+    /// Unknown (loaded values, unsummarized call results, foreign
+    /// pointers).
     Top,
     /// An integer interval.
     Int(Itv),
@@ -158,7 +212,7 @@ enum AbsVal {
     Ptr(AbsPtr),
 }
 
-fn join_val(a: AbsVal, b: AbsVal) -> AbsVal {
+pub(crate) fn join_val(a: AbsVal, b: AbsVal) -> AbsVal {
     match (a, b) {
         (AbsVal::Int(x), AbsVal::Int(y)) => AbsVal::Int(Itv::hull(x, y)),
         (AbsVal::Ptr(p), AbsVal::Ptr(q)) if p.site == q.site => AbsVal::Ptr(AbsPtr {
@@ -168,6 +222,7 @@ fn join_val(a: AbsVal, b: AbsVal) -> AbsVal {
             // promise: the intersection.
             win_lo: p.win_lo.max(q.win_lo),
             win_hi: p.win_hi.min(q.win_hi),
+            via: via_join(p.via, q.via),
         }),
         _ => AbsVal::Top,
     }
@@ -192,6 +247,7 @@ fn widen_val(old: AbsVal, new: AbsVal) -> AbsVal {
                 off: Itv::widen(p.off, q.off),
                 win_lo,
                 win_hi,
+                via: via_join(p.via, q.via),
             })
         }
         _ => AbsVal::Top,
@@ -218,19 +274,39 @@ pub struct AnalysisReport {
     pub verifier: Vec<Diagnostic>,
     /// `IFP-A001` proven-OOB lints.
     pub lints: Vec<Diagnostic>,
+    /// `IFP-A002` notes: calls whose inter-procedural summary
+    /// application narrowed previously-unknown accesses to proven.
+    pub summaries: Vec<Diagnostic>,
     /// Accesses (in instrumented functions) proven in-bounds.
     pub proven_in: u64,
     /// Accesses proven out-of-bounds on every path.
     pub proven_oob: u64,
     /// Accesses the analysis could not classify.
     pub unknown: u64,
+    /// Of the proven accesses, how many were proved through a synthetic
+    /// site — a parameter window or a summarized call return — i.e. only
+    /// thanks to the inter-procedural layer.
+    pub summary_hits: u64,
     /// The per-op elision plan derived from the classification.
     pub elision: ElisionPlan,
 }
 
-/// Runs the verifier, then (when it is clean) the interval analysis over
-/// every instrumented function, producing lints, classification counts,
-/// and the elision plan.
+/// Per-access attribution of inter-procedural proofs, accumulated while
+/// classifying and then folded into `IFP-A002` diagnostics.
+#[derive(Default)]
+struct SummaryAttr {
+    /// Per callee function index: accesses inside it proven through its
+    /// parameter windows (the join of what every caller passes).
+    param_hits: BTreeMap<usize, u64>,
+    /// Per call site `(func, block, op)`: accesses in the *caller*
+    /// proven through the fresh window of this call's return summary.
+    call_hits: BTreeMap<(usize, usize, usize), u64>,
+}
+
+/// Runs the verifier, then (when it is clean) the inter-procedural
+/// summary pass and the interval analysis over every instrumented
+/// function, producing lints, classification counts, and the elision
+/// plan.
 #[must_use]
 pub fn analyze(program: &Program) -> AnalysisReport {
     let verifier = verify(program);
@@ -242,13 +318,50 @@ pub fn analyze(program: &Program) -> AnalysisReport {
     if !report.verifier.is_empty() {
         return report;
     }
+    let ip = interproc::compute(program);
+    let mut attr = SummaryAttr::default();
     for (fi, f) in program.funcs.iter().enumerate() {
         if !f.instrumented || f.blocks.is_empty() {
             continue;
         }
-        analyze_function(program, fi, f, &mut report);
+        analyze_function(program, fi, f, &ip, &mut report, &mut attr);
     }
+    emit_summary_diags(program, &attr, &mut report);
     report
+}
+
+/// Folds the proof attribution into `IFP-A002` diagnostics: one per
+/// call site whose callee summary (parameter windows or a fresh return
+/// window) turned previously-unknown accesses into proven ones.
+fn emit_summary_diags(program: &Program, attr: &SummaryAttr, report: &mut AnalysisReport) {
+    report.summary_hits =
+        attr.param_hits.values().sum::<u64>() + attr.call_hits.values().sum::<u64>();
+    for (fi, f) in program.funcs.iter().enumerate() {
+        for (bi, block) in f.blocks.iter().enumerate() {
+            for (oi, op) in block.ops.iter().enumerate() {
+                let Op::Call { func, .. } = op else { continue };
+                let callee_hits = program
+                    .func_id(func)
+                    .and_then(|ci| attr.param_hits.get(&ci))
+                    .copied()
+                    .unwrap_or(0);
+                let fresh_hits = attr.call_hits.get(&(fi, bi, oi)).copied().unwrap_or(0);
+                let n = callee_hits + fresh_hits;
+                if n > 0 {
+                    report.summaries.push(Diagnostic {
+                        code: codes::SUMMARY_APPLIED,
+                        func: f.name.clone(),
+                        loc: DiagLoc::Op { block: bi, op: oi },
+                        message: format!(
+                            "summary of `{func}` narrows {n} previously-unknown \
+                             access{} to proven",
+                            if n == 1 { "" } else { "es" }
+                        ),
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// Computes just the elision plan (the VM's entry point).
@@ -257,44 +370,155 @@ pub fn elision_plan(program: &Program) -> ElisionPlan {
     analyze(program).elision
 }
 
-/// One allocation site with a statically known byte size.
-struct Site {
-    size: u64,
+/// What kind of object an abstract allocation site stands for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SiteKind {
+    /// A function parameter's synthetic site: the object behind whatever
+    /// pointer the callers pass; its true size is unknown.
+    Param,
+    /// A local `alloca`.
+    Alloca,
+    /// A local `malloc` with a constant count.
+    Malloc,
+    /// The object behind an `addr_of_global`.
+    Global,
+    /// The fresh object a summarized call returns (a `malloc` performed
+    /// inside the callee); its size is known but the object is foreign.
+    FreshCall,
 }
 
-struct FuncCtx<'a> {
-    types: &'a TypeTable,
-    sites: Vec<Site>,
-    /// `(block, op)` → site id, for ops that create a known-size object.
-    site_at: BTreeMap<(usize, usize), u32>,
+impl SiteKind {
+    /// Synthetic sites come from the inter-procedural layer: their
+    /// windows are promises about *foreign* objects, so proofs through
+    /// them are summary hits and OOB lints are never raised on them.
+    pub(crate) fn synthetic(self) -> bool {
+        matches!(self, SiteKind::Param | SiteKind::FreshCall)
+    }
 }
 
-fn collect_sites<'a>(program: &'a Program, f: &Function) -> FuncCtx<'a> {
+/// One allocation site.
+pub(crate) struct Site {
+    /// Static byte size; 0 (and unused) for [`SiteKind::Param`].
+    pub(crate) size: u64,
+    pub(crate) kind: SiteKind,
+}
+
+/// Pre-resolved effect of a `Call` op on its destination register.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CallRet {
+    /// The callee returns a fresh allocation: a pointer into `site` at
+    /// `off` with window `[win_lo, win_hi)`.
+    Fresh {
+        site: u32,
+        off: Itv,
+        win_lo: i64,
+        win_hi: i64,
+    },
+    /// The callee returns a pointer derived from argument `param`:
+    /// offset shifted by `off`, bounds possibly narrowed to the
+    /// entry-relative `[nlo, nhi)` (each end `None` when unconstrained).
+    ParamRel {
+        param: u32,
+        off: Itv,
+        nlo: Option<i64>,
+        nhi: Option<i64>,
+    },
+}
+
+pub(crate) struct FuncCtx<'a> {
+    pub(crate) types: &'a TypeTable,
+    pub(crate) sites: Vec<Site>,
+    /// `(block, op)` → site id, for ops that create a known-size object
+    /// (allocations, global addresses, and summarized fresh-return calls).
+    pub(crate) site_at: BTreeMap<(usize, usize), u32>,
+    /// `(block, op)` → resolved return effect, for `Call` ops whose
+    /// callee has a usable summary.
+    pub(crate) call_ret: BTreeMap<(usize, usize), CallRet>,
+}
+
+/// Builds the per-function analysis context. Sites `0..params` are the
+/// parameters' synthetic sites (id = parameter index); op sites follow
+/// in program order. `rets` are the callee return summaries (empty slice
+/// means every call is opaque).
+pub(crate) fn build_ctx<'a>(
+    program: &'a Program,
+    f: &Function,
+    rets: &[RetSummary],
+) -> FuncCtx<'a> {
     let types = &program.types;
     let mut sites = Vec::new();
     let mut site_at = BTreeMap::new();
+    let mut call_ret = BTreeMap::new();
+    for _ in 0..f.params {
+        sites.push(Site {
+            size: 0,
+            kind: SiteKind::Param,
+        });
+    }
     for (bi, block) in f.blocks.iter().enumerate() {
         for (oi, op) in block.ops.iter().enumerate() {
-            let size = match op {
-                Op::Alloca { ty, count, .. } => {
-                    Some(u64::from(types.size_of(*ty)) * u64::from(*count))
-                }
+            let site = match op {
+                Op::Alloca { ty, count, .. } => Some((
+                    u64::from(types.size_of(*ty)) * u64::from(*count),
+                    SiteKind::Alloca,
+                )),
                 // The VM clamps the element count to at least one, so the
                 // static size must match that exact rule.
                 Op::Malloc {
                     ty,
                     count: Operand::Imm(c),
                     ..
-                } => Some(u64::from(types.size_of(*ty)) * (*c).max(1) as u64),
+                } => Some((
+                    u64::from(types.size_of(*ty)) * (*c).max(1) as u64,
+                    SiteKind::Malloc,
+                )),
                 Op::AddrOfGlobal { global, .. } => program
                     .globals
                     .get(*global)
-                    .map(|g| u64::from(types.size_of(g.ty))),
+                    .map(|g| (u64::from(types.size_of(g.ty)), SiteKind::Global)),
+                Op::Call { func, .. } => match program.func_id(func).and_then(|ci| rets.get(ci)) {
+                    Some(RetSummary::Fresh {
+                        size,
+                        off,
+                        win_lo,
+                        win_hi,
+                    }) => {
+                        let id = u32::try_from(sites.len()).unwrap_or(u32::MAX);
+                        call_ret.insert(
+                            (bi, oi),
+                            CallRet::Fresh {
+                                site: id,
+                                off: *off,
+                                win_lo: *win_lo,
+                                win_hi: *win_hi,
+                            },
+                        );
+                        Some((*size, SiteKind::FreshCall))
+                    }
+                    Some(RetSummary::ParamRel {
+                        param,
+                        off,
+                        nlo,
+                        nhi,
+                    }) => {
+                        call_ret.insert(
+                            (bi, oi),
+                            CallRet::ParamRel {
+                                param: *param,
+                                off: *off,
+                                nlo: *nlo,
+                                nhi: *nhi,
+                            },
+                        );
+                        None
+                    }
+                    _ => None,
+                },
                 _ => None,
             };
-            if let Some(size) = size {
+            if let Some((size, kind)) = site {
                 let id = u32::try_from(sites.len()).unwrap_or(u32::MAX);
-                sites.push(Site { size });
+                sites.push(Site { size, kind });
                 site_at.insert((bi, oi), id);
             }
         }
@@ -303,10 +527,11 @@ fn collect_sites<'a>(program: &'a Program, f: &Function) -> FuncCtx<'a> {
         types,
         sites,
         site_at,
+        call_ret,
     }
 }
 
-fn abs_of(state: &[AbsVal], o: Operand) -> AbsVal {
+pub(crate) fn abs_of(state: &[AbsVal], o: Operand) -> AbsVal {
     match o {
         Operand::Reg(r) => state.get(r.0 as usize).copied().unwrap_or(AbsVal::Top),
         Operand::Imm(v) => AbsVal::Int(Itv::point(v)),
@@ -321,6 +546,13 @@ fn int_of(state: &[AbsVal], o: Operand) -> Itv {
 }
 
 fn eval_bin_abs(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    // The interval of `a` when it is an integer; `TOP` otherwise. Sound
+    // for any register: the VM computes on raw 64-bit values, and every
+    // i64 is in `TOP`.
+    let raw = |v: AbsVal| match v {
+        AbsVal::Int(i) => i,
+        _ => Itv::TOP,
+    };
     match op {
         // Comparisons always produce 0 or 1.
         BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Ult | BinOp::Ule => {
@@ -334,6 +566,44 @@ fn eval_bin_abs(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
             }),
             _ => AbsVal::Top,
         },
+        // Remainder by a positive constant lands in `(-n, n)` for *any*
+        // dividend (the table-hashing idiom), tightening to `[0, n-1]`
+        // when the dividend is known non-negative.
+        BinOp::Rem => match raw(b).singleton() {
+            Some(n) if n > 0 => {
+                let x = raw(a);
+                if x.lo >= 0 && x.hi < n {
+                    return AbsVal::Int(x);
+                }
+                AbsVal::Int(Itv {
+                    lo: if x.lo >= 0 { 0 } else { -(n - 1) },
+                    hi: if x.hi <= 0 { 0 } else { n - 1 },
+                })
+            }
+            _ => AbsVal::Top,
+        },
+        // Truncating division by a positive constant is monotone, so the
+        // endpoints map directly (sentinels stay sentinels).
+        BinOp::Div => match (raw(a), raw(b).singleton()) {
+            (x, Some(n)) if n > 0 => AbsVal::Int(Itv {
+                lo: if x.lo == NEG_INF { NEG_INF } else { x.lo / n },
+                hi: if x.hi == POS_INF { POS_INF } else { x.hi / n },
+            }),
+            _ => AbsVal::Top,
+        },
+        // Masking with a non-negative constant clears the sign bit and
+        // can only lower the magnitude: the result is in `[0, m]`.
+        BinOp::And => {
+            let m = match (raw(a).singleton(), raw(b).singleton()) {
+                (_, Some(m)) if m >= 0 => Some(m),
+                (Some(m), _) if m >= 0 => Some(m),
+                _ => None,
+            };
+            match m {
+                Some(m) => AbsVal::Int(Itv { lo: 0, hi: m }),
+                None => AbsVal::Top,
+            }
+        }
         _ => AbsVal::Top,
     }
 }
@@ -401,10 +671,17 @@ fn transfer_gep(ctx: &FuncCtx<'_>, state: &[AbsVal], op: &Op) -> AbsVal {
         off,
         win_lo,
         win_hi,
+        via: p.via,
     })
 }
 
-fn transfer_op(ctx: &FuncCtx<'_>, state: &mut Vec<AbsVal>, bi: usize, oi: usize, op: &Op) {
+pub(crate) fn transfer_op(
+    ctx: &FuncCtx<'_>,
+    state: &mut Vec<AbsVal>,
+    bi: usize,
+    oi: usize,
+    op: &Op,
+) {
     let set = |state: &mut Vec<AbsVal>, r: u32, v: AbsVal| {
         if let Some(slot) = state.get_mut(r as usize) {
             *slot = v;
@@ -427,6 +704,7 @@ fn transfer_op(ctx: &FuncCtx<'_>, state: &mut Vec<AbsVal>, bi: usize, oi: usize,
                     off: Itv::point(0),
                     win_lo: 0,
                     win_hi: i64::try_from(size).unwrap_or(POS_INF - 1),
+                    via: VIA_NONE,
                 })
             });
             set(state, dst.0, v);
@@ -437,7 +715,34 @@ fn transfer_op(ctx: &FuncCtx<'_>, state: &mut Vec<AbsVal>, bi: usize, oi: usize,
             set(state, dst.0, v);
         }
         Op::Load { dst, .. } => set(state, dst.0, AbsVal::Top),
-        Op::Call { dst, .. } | Op::CallExt { dst, .. } => {
+        Op::Call { dst, args, .. } => {
+            if let Some(d) = dst {
+                let v = match ctx.call_ret.get(&(bi, oi)) {
+                    Some(CallRet::Fresh {
+                        site,
+                        off,
+                        win_lo,
+                        win_hi,
+                    }) => AbsVal::Ptr(AbsPtr {
+                        site: *site,
+                        off: *off,
+                        win_lo: *win_lo,
+                        win_hi: *win_hi,
+                        via: via_pack(bi, oi),
+                    }),
+                    Some(CallRet::ParamRel {
+                        param,
+                        off,
+                        nlo,
+                        nhi,
+                    }) => apply_param_rel(state, args, bi, oi, *param, *off, *nlo, *nhi),
+                    None => AbsVal::Top,
+                };
+                set(state, d.0, v);
+            }
+        }
+        Op::CallExt { dst, .. } => {
+            // Extern calls never gain a summary: legacy code is opaque.
             if let Some(d) = dst {
                 set(state, d.0, AbsVal::Top);
             }
@@ -445,7 +750,49 @@ fn transfer_op(ctx: &FuncCtx<'_>, state: &mut Vec<AbsVal>, bi: usize, oi: usize,
     }
 }
 
-fn successors(term: &Terminator) -> impl Iterator<Item = usize> {
+/// Applies a `ParamRel` return summary at a call site: the returned
+/// pointer lives in the same site as argument `param`, shifted by `off`.
+/// Its window is the argument's window intersected with the callee's
+/// narrowing `[nlo, nhi)` translated from entry-relative to
+/// site-relative coordinates — conservatively over every possible entry
+/// offset, so the promise holds whichever concrete offset flowed in.
+#[allow(clippy::too_many_arguments)]
+fn apply_param_rel(
+    state: &[AbsVal],
+    args: &[Operand],
+    bi: usize,
+    oi: usize,
+    param: u32,
+    off: Itv,
+    nlo: Option<i64>,
+    nhi: Option<i64>,
+) -> AbsVal {
+    let Some(AbsVal::Ptr(p)) = args.get(param as usize).map(|a| abs_of(state, *a)) else {
+        return AbsVal::Top;
+    };
+    let (win_lo, win_hi) = if nlo.is_none() && nhi.is_none() {
+        // The callee never narrowed the bounds: the argument's own
+        // window survives the round trip.
+        (p.win_lo, p.win_hi)
+    } else if p.off.is_finite() {
+        (
+            nlo.map_or(p.win_lo, |n| p.win_lo.max(p.off.hi.saturating_add(n))),
+            nhi.map_or(p.win_hi, |n| p.win_hi.min(p.off.lo.saturating_add(n))),
+        )
+    } else {
+        // Narrowing relative to an unbounded entry offset pins nothing.
+        (0, 0)
+    };
+    AbsVal::Ptr(AbsPtr {
+        site: p.site,
+        off: p.off.add(off),
+        win_lo,
+        win_hi,
+        via: via_pack(bi, oi),
+    })
+}
+
+pub(crate) fn successors(term: &Terminator) -> impl Iterator<Item = usize> {
     let (a, b) = match term {
         Terminator::Jmp(t) => (Some(*t), None),
         Terminator::Br {
@@ -494,12 +841,241 @@ fn fixpoint_fuel(nb: usize) -> usize {
     1_000 + 400 * nb
 }
 
-type State = Vec<AbsVal>;
+pub(crate) type State = Vec<AbsVal>;
 
-fn run_fixpoint(ctx: &FuncCtx<'_>, f: &Function) -> Option<Vec<Option<State>>> {
+/// The register an op defines, if any.
+fn def_reg(op: &Op) -> Option<u32> {
+    match op {
+        Op::Bin { dst, .. }
+        | Op::Mov { dst, .. }
+        | Op::Alloca { dst, .. }
+        | Op::Malloc { dst, .. }
+        | Op::Gep { dst, .. }
+        | Op::Load { dst, .. }
+        | Op::AddrOfGlobal { dst, .. } => Some(dst.0),
+        Op::Call { dst, .. } | Op::CallExt { dst, .. } => dst.map(|r| r.0),
+        Op::Free { .. } | Op::Store { .. } => None,
+    }
+}
+
+/// Drops 0 from an interval when it sits at an end; `None` when the
+/// interval *is* `[0, 0]` (the non-zero assumption is infeasible).
+fn refine_nonzero(i: Itv) -> Option<Itv> {
+    if i.lo == 0 && i.hi == 0 {
+        return None;
+    }
+    let mut r = i;
+    if r.lo == 0 {
+        r.lo = 1;
+    }
+    if r.hi == 0 {
+        r.hi = -1;
+    }
+    Some(r)
+}
+
+/// Finds the comparison a branch condition observes: the *last*
+/// definition of `r` in block `bi` must be a comparison `Bin`, and its
+/// register operands must not be redefined between that op and the
+/// terminator (so their end-of-block abstract values are the compared
+/// ones).
+fn cond_cmp(f: &Function, bi: usize, r: u32) -> Option<(BinOp, Operand, Operand)> {
+    let ops = &f.blocks[bi].ops;
+    let (at, op, a, b) = ops.iter().enumerate().rev().find_map(|(i, op)| {
+        (def_reg(op) == Some(r)).then_some(())?;
+        match op {
+            Op::Bin { op, a, b, .. }
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Ult | BinOp::Ule
+                ) =>
+            {
+                Some((i, *op, *a, *b))
+            }
+            _ => None,
+        }
+    })?;
+    let stable = |o: Operand| match o {
+        Operand::Imm(_) => true,
+        Operand::Reg(x) => x.0 != r && ops[at + 1..].iter().all(|op| def_reg(op) != Some(x.0)),
+    };
+    (stable(a) && stable(b)).then_some((op, a, b))
+}
+
+/// The interval backing an operand for refinement purposes: immediates
+/// are points; integer registers their interval; anything else (pointer
+/// or unknown) is `TOP` — every raw 64-bit value satisfies it.
+fn refine_itv(state: &State, o: Operand) -> Itv {
+    match abs_of(state, o) {
+        AbsVal::Int(i) => i,
+        _ => Itv::TOP,
+    }
+}
+
+/// Writes a refined interval back to a register operand — but never over
+/// a pointer abstraction (the numeric fact is true of its raw value but
+/// would destroy the pointer proof state).
+fn write_refined(state: &mut State, o: Operand, i: Itv) {
+    if let Operand::Reg(r) = o {
+        if let Some(slot) = state.get_mut(r.0 as usize) {
+            if !matches!(slot, AbsVal::Ptr(_)) {
+                *slot = AbsVal::Int(i);
+            }
+        }
+    }
+}
+
+/// Refines `(a, b)` under `a <op> b` being `taken`; `None` when the
+/// constraint is unsatisfiable (the edge is infeasible). Unsigned
+/// comparisons refine only when the relevant side is provably
+/// non-negative, where unsigned and signed order agree.
+fn refine_pair(op: BinOp, a: Itv, b: Itv, taken: bool) -> Option<(Itv, Itv)> {
+    let below = |x: i64| Itv { lo: NEG_INF, hi: x };
+    let above = |x: i64| Itv { lo: x, hi: POS_INF };
+    let dec = |x: i64| x.saturating_sub(1);
+    let inc = |x: i64| x.saturating_add(1);
+    match (op, taken) {
+        (BinOp::Lt, true) => Some((
+            if b.hi == POS_INF {
+                a
+            } else {
+                a.meet(below(dec(b.hi)))?
+            },
+            if a.lo == NEG_INF {
+                b
+            } else {
+                b.meet(above(inc(a.lo)))?
+            },
+        )),
+        (BinOp::Lt, false) => Some((a.meet(above(b.lo))?, b.meet(below(a.hi))?)),
+        (BinOp::Le, true) => Some((a.meet(below(b.hi))?, b.meet(above(a.lo))?)),
+        (BinOp::Le, false) => Some((
+            if b.lo == NEG_INF {
+                a
+            } else {
+                a.meet(above(inc(b.lo)))?
+            },
+            if a.hi == POS_INF {
+                b
+            } else {
+                b.meet(below(dec(a.hi)))?
+            },
+        )),
+        (BinOp::Ult, true) => {
+            let a2 = if b.lo >= 0 {
+                a.meet(Itv {
+                    lo: 0,
+                    hi: dec(b.hi),
+                })?
+            } else {
+                a
+            };
+            let b2 = if a2.lo >= 0 && a2.lo != POS_INF {
+                b.meet(above(inc(a2.lo)))?
+            } else {
+                b
+            };
+            Some((a2, b2))
+        }
+        (BinOp::Ult, false) if a.lo >= 0 && b.lo >= 0 => {
+            Some((a.meet(above(b.lo))?, b.meet(below(a.hi))?))
+        }
+        (BinOp::Ule, true) => {
+            let a2 = if b.lo >= 0 {
+                a.meet(Itv { lo: 0, hi: b.hi })?
+            } else {
+                a
+            };
+            let b2 = if a2.lo >= 0 { b.meet(above(a2.lo))? } else { b };
+            Some((a2, b2))
+        }
+        (BinOp::Ule, false) if a.lo >= 0 && b.lo >= 0 => {
+            Some((a.meet(above(inc(b.lo)))?, b.meet(below(dec(a.hi)))?))
+        }
+        (BinOp::Eq, true) | (BinOp::Ne, false) => {
+            let m = a.meet(b)?;
+            Some((m, m))
+        }
+        (BinOp::Eq, false) | (BinOp::Ne, true) => {
+            // Shave a singleton off a matching end; anything subtler
+            // is not expressible as one interval.
+            let shave = |x: Itv, s: Itv| -> Option<Itv> {
+                let Some(v) = s.singleton() else {
+                    return Some(x);
+                };
+                let mut r = x;
+                if r.lo == v {
+                    r.lo = inc(v);
+                }
+                if r.hi == v {
+                    r.hi = dec(v);
+                }
+                (r.lo <= r.hi).then_some(r)
+            };
+            Some((shave(a, b)?, shave(b, a)?))
+        }
+        _ => Some((a, b)),
+    }
+}
+
+/// The state flowing along one edge of a `Br`: the out-state refined by
+/// the branch condition (and by the comparison that produced it, when
+/// identifiable). `None` means the edge is statically infeasible.
+fn refine_branch(
+    f: &Function,
+    bi: usize,
+    out: &State,
+    cond: Operand,
+    taken: bool,
+) -> Option<State> {
+    let r = match cond {
+        Operand::Imm(c) => return ((c != 0) == taken).then(|| out.clone()),
+        Operand::Reg(r) => r,
+    };
+    let mut st = out.clone();
+    if let Some(AbsVal::Int(i)) = st.get(r.0 as usize).copied() {
+        let refined = if taken {
+            refine_nonzero(i)?
+        } else {
+            i.meet(Itv::point(0))?
+        };
+        st[r.0 as usize] = AbsVal::Int(refined);
+    }
+    if let Some((op, a, b)) = cond_cmp(f, bi, r.0) {
+        let (na, nb) = refine_pair(op, refine_itv(&st, a), refine_itv(&st, b), taken)?;
+        write_refined(&mut st, a, na);
+        write_refined(&mut st, b, nb);
+    }
+    Some(st)
+}
+
+/// Runs the fixpoint from an entry state built out of the
+/// inter-procedural parameter facts (`entry_facts` may be shorter than
+/// the parameter list; missing facts mean `Top`).
+pub(crate) fn run_fixpoint(
+    ctx: &FuncCtx<'_>,
+    f: &Function,
+    entry_facts: &[ParamFact],
+) -> Option<Vec<Option<State>>> {
     let nb = f.blocks.len();
     let heads = loop_heads(f);
-    let entry: State = vec![AbsVal::Top; f.num_regs as usize];
+    let mut entry: State = vec![AbsVal::Top; f.num_regs as usize];
+    for (k, fact) in entry_facts.iter().enumerate().take(f.params as usize) {
+        if k >= entry.len() {
+            break;
+        }
+        entry[k] = match *fact {
+            ParamFact::Top => AbsVal::Top,
+            ParamFact::Int(i) => AbsVal::Int(i),
+            ParamFact::Window { lo, hi } => AbsVal::Ptr(AbsPtr {
+                site: u32::try_from(k).unwrap_or(u32::MAX),
+                off: Itv::point(0),
+                win_lo: lo,
+                win_hi: hi,
+                via: VIA_NONE,
+            }),
+        };
+    }
     let mut inset: Vec<Option<State>> = vec![None; nb];
     inset[0] = Some(entry);
     let mut joins = vec![0u32; nb];
@@ -517,20 +1093,33 @@ fn run_fixpoint(ctx: &FuncCtx<'_>, f: &Function) -> Option<Vec<Option<State>>> {
         for (oi, op) in f.blocks[bi].ops.iter().enumerate() {
             transfer_op(ctx, &mut out, bi, oi, op);
         }
-        for s in successors(&f.blocks[bi].term) {
+        // Per-edge states: `Br` edges get condition-refined copies;
+        // statically infeasible edges propagate nothing.
+        let edges: Vec<(usize, State)> = match &f.blocks[bi].term {
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => [(*then_bb, true), (*else_bb, false)]
+                .into_iter()
+                .filter_map(|(s, taken)| refine_branch(f, bi, &out, *cond, taken).map(|st| (s, st)))
+                .collect(),
+            term => successors(term).map(|s| (s, out.clone())).collect(),
+        };
+        for (s, edge) in edges {
             if s >= nb {
                 continue;
             }
             let changed = match &inset[s] {
                 None => {
-                    inset[s] = Some(out.clone());
+                    inset[s] = Some(edge);
                     true
                 }
                 Some(old) => {
                     joins[s] += 1;
                     let widen = heads[s] && joins[s] > WIDEN_THRESHOLD;
                     let mut next = Vec::with_capacity(old.len());
-                    for (o, n) in old.iter().zip(&out) {
+                    for (o, n) in old.iter().zip(&edge) {
                         let j = join_val(*o, *n);
                         next.push(if widen { widen_val(*o, j) } else { j });
                     }
@@ -667,6 +1256,11 @@ fn classify(ctx: &FuncCtx<'_>, v: AbsVal, access_size: u64) -> AccessClass {
     if p.off.is_finite() && p.off.lo >= p.win_lo && p.off.hi.saturating_add(a) <= p.win_hi {
         return AccessClass::ProvenIn;
     }
+    // Synthetic sites stand for foreign objects (a `Param` site's size
+    // is a placeholder zero): never lint them as provably OOB.
+    if site.kind.synthetic() {
+        return AccessClass::Unknown;
+    }
     let size = i64::try_from(site.size).unwrap_or(POS_INF - 1);
     let below = p.off.hi != POS_INF && p.off.hi < 0;
     let above = p.off.lo != NEG_INF && p.off.lo.saturating_add(a) > size;
@@ -684,16 +1278,49 @@ fn gep_in_window(v: AbsVal) -> bool {
     p.off.is_finite() && p.off.lo >= p.win_lo && p.off.hi < p.win_hi
 }
 
-fn analyze_function(program: &Program, fi: usize, f: &Function, report: &mut AnalysisReport) {
-    let ctx = collect_sites(program, f);
-    let Some(inset) = run_fixpoint(&ctx, f) else {
+fn analyze_function(
+    program: &Program,
+    fi: usize,
+    f: &Function,
+    ip: &Interproc,
+    report: &mut AnalysisReport,
+    attr: &mut SummaryAttr,
+) {
+    let ctx = build_ctx(program, f, &ip.rets);
+    let entry = ip.entries.get(fi).map_or(&[][..], Vec::as_slice);
+    let Some(inset) = run_fixpoint(&ctx, f, entry) else {
         return;
+    };
+    // Site id → the call op that created it, for fresh-return sites.
+    let call_of_site: BTreeMap<u32, (usize, usize)> = ctx
+        .site_at
+        .iter()
+        .filter(|&(_, &s)| {
+            ctx.sites
+                .get(s as usize)
+                .is_some_and(|site| site.kind == SiteKind::FreshCall)
+        })
+        .map(|(&at, &s)| (s, at))
+        .collect();
+    // Whether a proof through `v` rests on the inter-procedural layer:
+    // either the site itself is synthetic (parameter window, summarized
+    // fresh return) or the value flowed through a summary application
+    // (`via` breadcrumb).
+    let summaryish = |v: AbsVal| -> bool {
+        let AbsVal::Ptr(p) = v else { return false };
+        p.via != VIA_NONE
+            || ctx
+                .sites
+                .get(p.site as usize)
+                .is_some_and(|s| s.kind.synthetic())
     };
 
     // Replay every reachable block from its stable in-state, recording
-    // per-access classifications and per-GEP window proofs.
-    let mut access_class: BTreeMap<(usize, usize), AccessClass> = BTreeMap::new();
-    let mut gep_ok: BTreeMap<(usize, usize), bool> = BTreeMap::new();
+    // per-access classifications and per-GEP window proofs, each tagged
+    // with whether the proof rests on a synthetic (inter-procedural)
+    // site.
+    let mut access_class: BTreeMap<(usize, usize), (AccessClass, bool)> = BTreeMap::new();
+    let mut gep_ok: BTreeMap<(usize, usize), (bool, bool)> = BTreeMap::new();
     for (bi, block) in f.blocks.iter().enumerate() {
         let Some(start) = &inset[bi] else { continue };
         let mut state = start.clone();
@@ -701,12 +1328,35 @@ fn analyze_function(program: &Program, fi: usize, f: &Function, report: &mut Ana
             match op {
                 Op::Load { ptr, ty, .. } | Op::Store { ptr, ty, .. } => {
                     let size = u64::from(ctx.types.size_of(*ty));
-                    let class = classify(&ctx, abs_of(&state, *ptr), size);
-                    access_class.insert((bi, oi), class);
+                    let v = abs_of(&state, *ptr);
+                    let class = classify(&ctx, v, size);
+                    let via_summary = class == AccessClass::ProvenIn && summaryish(v);
+                    if via_summary {
+                        if let AbsVal::Ptr(p) = v {
+                            match ctx.sites.get(p.site as usize).map(|s| s.kind) {
+                                Some(SiteKind::Param) => {
+                                    *attr.param_hits.entry(fi).or_default() += 1;
+                                }
+                                Some(SiteKind::FreshCall) => {
+                                    if let Some(&(cbi, coi)) = call_of_site.get(&p.site) {
+                                        *attr.call_hits.entry((fi, cbi, coi)).or_default() += 1;
+                                    }
+                                }
+                                _ if p.via != VIA_NONE => {
+                                    let (cbi, coi) =
+                                        ((p.via >> 16) as usize, (p.via & 0xffff) as usize);
+                                    *attr.call_hits.entry((fi, cbi, coi)).or_default() += 1;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    access_class.insert((bi, oi), (class, via_summary));
                 }
                 Op::Gep { .. } => {
                     let v = transfer_gep(&ctx, &state, op);
-                    gep_ok.insert((bi, oi), gep_in_window(v));
+                    let ok = gep_in_window(v);
+                    gep_ok.insert((bi, oi), (ok, ok && summaryish(v)));
                 }
                 _ => {}
             }
@@ -715,7 +1365,7 @@ fn analyze_function(program: &Program, fi: usize, f: &Function, report: &mut Ana
     }
 
     // Lints + counts.
-    for (&(bi, oi), &class) in &access_class {
+    for (&(bi, oi), &(class, _)) in &access_class {
         match class {
             AccessClass::ProvenIn => report.proven_in += 1,
             AccessClass::Unknown => report.unknown += 1,
@@ -746,11 +1396,11 @@ fn analyze_function(program: &Program, fi: usize, f: &Function, report: &mut Ana
     for (r, c) in regs.iter().enumerate() {
         discharged[r] = c.defs == 1
             && c.gep_def
-                .is_some_and(|at| gep_ok.get(&at).copied().unwrap_or(false))
+                .is_some_and(|at| gep_ok.get(&at).is_some_and(|&(ok, _)| ok))
             && c.other_uses == 0
             && c.access_uses
                 .iter()
-                .all(|at| matches!(access_class.get(at), Some(AccessClass::ProvenIn)));
+                .all(|at| matches!(access_class.get(at), Some((AccessClass::ProvenIn, _))));
     }
     loop {
         let mut changed = false;
@@ -780,15 +1430,17 @@ fn analyze_function(program: &Program, fi: usize, f: &Function, report: &mut Ana
 
     // Emit the plan.
     let plan = &mut report.elision.funcs[fi];
-    for (&(bi, oi), &class) in &access_class {
+    for (&(bi, oi), &(class, via_summary)) in &access_class {
         if class == AccessClass::ProvenIn {
             plan[bi][oi].check = true;
+            plan[bi][oi].summary |= via_summary;
         }
     }
     for (r, c) in regs.iter().enumerate() {
         if discharged[r] {
             if let Some((bi, oi)) = c.gep_def {
                 plan[bi][oi].tag_update = true;
+                plan[bi][oi].summary |= gep_ok.get(&(bi, oi)).is_some_and(|&(_, syn)| syn);
             }
         }
     }

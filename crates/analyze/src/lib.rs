@@ -1,20 +1,30 @@
 //! Static analysis for the In-Fat Pointer reproduction.
 //!
-//! Two layers over the `ifp-compiler` mini-IR:
+//! Three layers over the `ifp-compiler` mini-IR:
 //!
 //! 1. **Verifier** ([`verify`]) — a strict, panic-free well-formedness
 //!    pass that collects *every* defect (def-before-use along paths, CFG
 //!    integrity, GEP/type-table consistency, call and extern arity) as
 //!    stable-coded diagnostics (`IFP-V001`…) with function/block/op
 //!    coordinates, renderable as JSONL for tooling.
-//! 2. **Interval analysis** ([`analyze`]) — an intra-procedural abstract
-//!    interpretation over `base + [lo, hi]` offset intervals with
-//!    windowed pointers, classifying each load/store as provably
-//!    in-bounds, provably out-of-bounds (lint `IFP-A001`), or unknown,
-//!    and deriving an [`ElisionPlan`](ifp_compiler::ElisionPlan) the VM
-//!    uses under `elide_checks` to skip bounds checks, GEP tag updates,
-//!    and dead promotes — removing modeled work without ever removing a
-//!    detection.
+//! 2. **Interval analysis** ([`analyze`]) — an abstract interpretation
+//!    over `base + [lo, hi]` offset intervals with windowed pointers,
+//!    classifying each load/store as provably in-bounds, provably
+//!    out-of-bounds (lint `IFP-A001`), or unknown, and deriving an
+//!    [`ElisionPlan`](ifp_compiler::ElisionPlan) the VM uses under
+//!    `elide_checks` to skip bounds checks, GEP tag updates, and dead
+//!    promotes — removing modeled work without ever removing a
+//!    detection. Branch-condition refinement at loop exits doubles as
+//!    the monotonic-induction range proof: `i*stride+base` GEP chains
+//!    with provable trip bounds are discharged per-iteration.
+//! 3. **Inter-procedural summaries** (the `interproc` pass inside
+//!    [`analyze`]) — a bottom-up call-graph pass computing per-function
+//!    return summaries (fresh allocation vs. parameter-relative
+//!    pointer) and a top-down pass joining argument windows into
+//!    per-parameter entry facts, so bounds-passing helpers no longer
+//!    force `Unknown`. Applications that narrow a previously-unknown
+//!    access are surfaced as `IFP-A002` diagnostics. Recursion and
+//!    extern calls fall back to `Top`.
 //!
 //! The crate deliberately depends only on `ifp-compiler`: the VM consumes
 //! the plan, the fuzz oracle re-checks it differentially, and the bench
@@ -24,12 +34,19 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+mod interproc;
 pub mod interval;
 pub mod verify;
 
 pub use diag::{codes, to_jsonl, DiagLoc, Diagnostic};
 pub use interval::{analyze, elision_plan, AccessClass, AnalysisReport};
 pub use verify::{ext_arity, verify};
+
+/// Version stamp of the analysis semantics: bumped whenever the derived
+/// elision plan for a given program can change (new proof power, lattice
+/// or summary changes). `ifp-plancache` mixes it into its artifact keys
+/// so cached plans never outlive the analysis that justified them.
+pub const ANALYSIS_FINGERPRINT: u64 = 3;
 
 /// The plan → specialization handoff: builds the instrumentation plan
 /// an instrumented run executes under, folding in the elision plan when

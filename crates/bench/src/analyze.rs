@@ -20,6 +20,10 @@ pub struct WorkloadAnalysis {
     pub verifier_diags: usize,
     /// Accesses statically proven in bounds.
     pub proven_in: u64,
+    /// Of those, proofs that rest on an inter-procedural summary
+    /// (parameter windows or call-return facts) rather than purely
+    /// local reasoning.
+    pub summary_hits: u64,
     /// Accesses statically proven out of bounds (lints; expected 0).
     pub proven_oob: u64,
     /// Dynamic checked dereferences with elision off (subheap mode).
@@ -114,6 +118,7 @@ pub fn analyze_workload(w: &Workload) -> WorkloadAnalysis {
         workload: w.name,
         verifier_diags: report.verifier.len(),
         proven_in: report.proven_in,
+        summary_hits: report.summary_hits,
         proven_oob: report.proven_oob,
         checks_total: on.stats.elision.checks_total,
         checks_elided: on.stats.elision.checks_elided,
@@ -151,17 +156,20 @@ pub fn report(workloads: &[Workload]) -> AnalyzeReport {
 pub fn render_table(report: &AnalyzeReport) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    out.push_str("Static analysis (verifier + interval-domain check elision, subheap)\n");
     out.push_str(
-        "  workload      diags  proven  checks-total  checks-elided  elided%  cycles-saved\n",
+        "Static analysis (verifier + interval-domain + interprocedural check elision, subheap)\n",
+    );
+    out.push_str(
+        "  workload      diags  proven  sum-hits  checks-total  checks-elided  elided%  cycles-saved\n",
     );
     for w in &report.workloads {
         let _ = writeln!(
             out,
-            "  {:<12} {:>6} {:>7} {:>13} {:>14} {:>7.1}% {:>13}",
+            "  {:<12} {:>6} {:>7} {:>8} {:>13} {:>14} {:>7.1}% {:>13}",
             w.workload,
             w.verifier_diags,
             w.proven_in,
+            w.summary_hits,
             w.checks_total,
             w.checks_elided,
             w.elided_percent(),

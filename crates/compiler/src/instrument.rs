@@ -89,6 +89,11 @@ pub struct ElideFlags {
     /// `Load` of a pointer whose destination register is never read: the
     /// hoisted `promote` is skipped.
     pub promote: bool,
+    /// The elision at this op rests on an inter-procedural summary
+    /// (parameter entry window or summarized call return) rather than a
+    /// purely local proof. Attribution only — consumers elide identically
+    /// either way, but dynamic stats split on it.
+    pub summary: bool,
 }
 
 impl ElideFlags {
@@ -109,6 +114,8 @@ pub struct ElisionCounts {
     pub tag_updates: u64,
     /// Pointer loads whose promote is elided.
     pub promotes: u64,
+    /// Ops whose elision rests on an inter-procedural summary.
+    pub summaries: u64,
 }
 
 /// A whole-program elision plan: `funcs[f][b][o]` is parallel to the
@@ -160,6 +167,7 @@ impl ElisionPlan {
             c.checks += u64::from(flags.check);
             c.tag_updates += u64::from(flags.tag_update);
             c.promotes += u64::from(flags.promote);
+            c.summaries += u64::from(flags.summary);
         }
         c
     }
@@ -270,14 +278,17 @@ impl InstrPlan {
                             .map(|(oi, op)| {
                                 let want = elision.flags(fi, bi, oi);
                                 let action = plan.action(fi, bi, oi);
+                                let check =
+                                    want.check && matches!(op, Op::Load { .. } | Op::Store { .. });
+                                let tag_update = want.tag_update
+                                    && matches!(op, Op::Gep { .. })
+                                    && matches!(action, OpAction::GepUpdate { .. });
                                 ElideFlags {
-                                    check: want.check
-                                        && matches!(op, Op::Load { .. } | Op::Store { .. }),
-                                    tag_update: want.tag_update
-                                        && matches!(op, Op::Gep { .. })
-                                        && matches!(action, OpAction::GepUpdate { .. }),
+                                    check,
+                                    tag_update,
                                     promote: want.promote
                                         && matches!(action, OpAction::PromoteAfterLoad),
+                                    summary: want.summary && (check || tag_update),
                                 }
                             })
                             .collect()

@@ -3,7 +3,7 @@
 //! ```text
 //! ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
 //!                   [--corpus DIR] [--elide-checks] [--exec-tier jit]
-//!                   [--plan-cache] [--fail-on-finding]
+//!                   [--plan-cache] [--interproc] [--fail-on-finding]
 //! ifp-fuzz replay FILE...
 //! ifp-fuzz shrink FILE [-o OUT]
 //! ```
@@ -26,7 +26,7 @@ USAGE:
     ifp-fuzz campaign [--seed S] [--iters N] [--workers W]
                       [--corpus DIR] [--schedule uniform|coverage]
                       [--elide-checks] [--exec-tier jit]
-                      [--plan-cache] [--fail-on-finding]
+                      [--plan-cache] [--interproc] [--fail-on-finding]
     ifp-fuzz temporal [--seed S] [--iters N] [--workers W]
                       [--fail-on-finding]
     ifp-fuzz concurrent [--seed S] [--iters N] [--workers W]
@@ -54,6 +54,11 @@ CAMPAIGN OPTIONS:
                         capacity-poisoned compiled-artifact cache; any
                         verdict, output, or modeled-statistic change is
                         a cache_divergence finding
+    --interproc         rerun each instrumented mode with the inter-
+                        procedural summary-informed elision plan on both
+                        execution tiers, fresh and through an artifact
+                        cache; any verdict, output, or modeled-statistic
+                        change is an interproc_divergence finding
     --fail-on-finding   exit nonzero if any finding is produced
 
 TEMPORAL:
@@ -111,6 +116,7 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
         elide_checks: false,
         tier_checks: false,
         plan_cache_checks: false,
+        interproc_checks: false,
     };
     let mut fail_on_finding = false;
     let mut it = args.iter();
@@ -159,6 +165,10 @@ fn cmd_campaign(args: &[String]) -> ExitCode {
             }),
             "--plan-cache" => {
                 config.plan_cache_checks = true;
+                Ok(())
+            }
+            "--interproc" => {
+                config.interproc_checks = true;
                 Ok(())
             }
             "--fail-on-finding" => {

@@ -91,6 +91,12 @@ pub struct CampaignConfig {
     /// verdict, output, or modeled-statistic change is a
     /// `cache_divergence` finding.
     pub plan_cache_checks: bool,
+    /// Add the combined inter-procedural differential legs to every
+    /// oracle run: each instrumented mode reruns with the
+    /// summary-informed elision plan on both execution tiers, fresh and
+    /// through an artifact cache, and any verdict, output, or
+    /// modeled-statistic change is an `interproc_divergence` finding.
+    pub interproc_checks: bool,
 }
 
 impl Default for CampaignConfig {
@@ -104,6 +110,7 @@ impl Default for CampaignConfig {
             elide_checks: false,
             tier_checks: false,
             plan_cache_checks: false,
+            interproc_checks: false,
         }
     }
 }
@@ -272,6 +279,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
         elide_differential: config.elide_checks,
         tier_differential: config.tier_checks,
         plan_cache_differential: config.plan_cache_checks,
+        interproc_differential: config.interproc_checks,
     };
     let raw_findings: Mutex<Vec<(u64, CaseSpec, Vec<Disagreement>)>> = Mutex::new(Vec::new());
     let workers = config.workers.max(1);
@@ -458,6 +466,11 @@ impl CampaignReport {
                 "  plan cache  differential on (both tiers rerun through a poisoned cache)\n",
             );
         }
+        if self.config.interproc_checks {
+            s.push_str(
+                "  interproc   differential on (elided plan rerun on both tiers through a cache)\n",
+            );
+        }
         s.push_str(&format!(
             "  elapsed     {:.2}s ({:.0} iters/sec)\n",
             self.elapsed.as_secs_f64(),
@@ -539,6 +552,7 @@ mod tests {
             elide_checks: false,
             tier_checks: false,
             plan_cache_checks: false,
+            interproc_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -570,6 +584,7 @@ mod tests {
             elide_checks: true,
             tier_checks: false,
             plan_cache_checks: false,
+            interproc_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -594,6 +609,7 @@ mod tests {
             elide_checks: false,
             tier_checks: true,
             plan_cache_checks: false,
+            interproc_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -618,6 +634,7 @@ mod tests {
             elide_checks: false,
             tier_checks: false,
             plan_cache_checks: true,
+            interproc_checks: false,
         });
         assert!(
             report.findings.is_empty(),
@@ -629,6 +646,31 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(report.render().contains("plan cache  differential on"));
+    }
+
+    #[test]
+    fn interproc_differential_campaign_is_clean() {
+        let report = run_campaign(&CampaignConfig {
+            seed: 0x1f7e2,
+            iterations: 40,
+            workers: 2,
+            corpus_dir: None,
+            schedule: Schedule::Uniform,
+            elide_checks: false,
+            tier_checks: false,
+            plan_cache_checks: false,
+            interproc_checks: true,
+        });
+        assert!(
+            report.findings.is_empty(),
+            "{:#?}",
+            report
+                .findings
+                .iter()
+                .map(|f| (&f.spec, &f.disagreements))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.render().contains("interproc   differential on"));
     }
 
     #[test]
@@ -668,6 +710,7 @@ mod tests {
             elide_checks: false,
             tier_checks: false,
             plan_cache_checks: false,
+            interproc_checks: false,
         };
         let guided = run_campaign(&base);
         assert!(

@@ -107,6 +107,11 @@ pub enum FindingClass {
     /// (evict/recompile churn) changed the verdict, the output, or any
     /// modeled statistic.
     CacheDivergence,
+    /// The combined inter-procedural leg — check elision under the
+    /// summary-informed plan, executed on both tiers through the
+    /// artifact cache — changed the verdict, the output, or diverged
+    /// across tiers or cache paths on any modeled statistic.
+    InterprocDivergence,
     /// The harness itself panicked while evaluating the case.
     HarnessPanic,
 }
@@ -127,6 +132,7 @@ impl FindingClass {
             FindingClass::ElisionDivergence => "elision_divergence",
             FindingClass::TierDivergence => "tier_divergence",
             FindingClass::CacheDivergence => "cache_divergence",
+            FindingClass::InterprocDivergence => "interproc_divergence",
             FindingClass::HarnessPanic => "harness_panic",
         }
     }
@@ -146,6 +152,7 @@ impl FindingClass {
             FindingClass::ElisionDivergence,
             FindingClass::TierDivergence,
             FindingClass::CacheDivergence,
+            FindingClass::InterprocDivergence,
             FindingClass::HarnessPanic,
         ]
         .into_iter()
@@ -513,6 +520,12 @@ pub struct OracleOptions {
     /// require byte-identical verdicts, output, and complete modeled
     /// statistics. The safety gate for `ifp-plancache`.
     pub plan_cache_differential: bool,
+    /// Rerun the wrapped and subheap modes with summary-informed check
+    /// elision on *both* execution tiers, fresh and through an artifact
+    /// cache, and require the unelided verdict plus bit-identical
+    /// modeled statistics across tiers and cache paths — the combined
+    /// safety gate for the `ifp-analyze` inter-procedural plan.
+    pub interproc_differential: bool,
 }
 
 /// Runs the full differential matrix for one spec.
@@ -780,6 +793,67 @@ pub fn evaluate_with(spec: &CaseSpec, opts: OracleOptions) -> Evaluation {
         }
     }
 
+    // Inter-procedural differential: the richest elided configuration —
+    // the summary-informed plan driving check elision, on both execution
+    // tiers, compiled fresh and through an artifact cache — must keep
+    // the unelided verdict and stay bit-identical across every axis.
+    if opts.interproc_differential {
+        let cache = PlanCache::new();
+        for (label, mode, reference) in [
+            (
+                "wrapped",
+                Mode::instrumented(AllocatorKind::Wrapped),
+                &wrapped,
+            ),
+            (
+                "subheap",
+                Mode::instrumented(AllocatorKind::Subheap),
+                &subheap,
+            ),
+        ] {
+            let mut icfg = VmConfig::with_mode(mode);
+            icfg.fuel = FUEL;
+            icfg.elide_checks = true;
+            let mut jcfg = icfg;
+            jcfg.exec_tier = ExecTier::Jit;
+            let (iout, idig, ii) = run_config_digest(&program, &icfg);
+            let (jout, jdig, ji) = run_config_digest(&program, &jcfg);
+            modeled_instrs += ii + ji;
+            if iout != *reference {
+                push(
+                    &mut out,
+                    FindingClass::InterprocDivergence,
+                    format!(
+                        "{label}: {} without elision, {} with the interprocedural plan",
+                        reference.label(),
+                        iout.label()
+                    ),
+                );
+            }
+            if jout != iout || jdig != idig {
+                push(
+                    &mut out,
+                    FindingClass::InterprocDivergence,
+                    format!("{label}: elided tiers disagree (interp vs jit)"),
+                );
+            }
+            for (tier_label, cfg, fout, fdig) in [
+                ("interp", &icfg, &iout, &idig),
+                ("jit", &jcfg, &jout, &jdig),
+            ] {
+                let (cout, cdig, ci) = run_config_digest_cached(&program, cfg, &cache);
+                modeled_instrs += ci;
+                if &cout != fout || &cdig != fdig {
+                    push(
+                        &mut out,
+                        FindingClass::InterprocDivergence,
+                        format!("{label}/{tier_label}: cached elided run diverged from fresh"),
+                    );
+                }
+            }
+        }
+    }
+
     // Defense models.
     check_defenses(&mut out, spec, &r);
 
@@ -895,6 +969,19 @@ mod tests {
     }
 
     #[test]
+    fn interproc_differential_is_clean_on_random_specs() {
+        let opts = OracleOptions {
+            interproc_differential: true,
+            ..OracleOptions::default()
+        };
+        for i in 0..25 {
+            let s = CaseSpec::generate(&mut Rng::stream(0x1f7e2, i));
+            let e = evaluate_with(&s, opts);
+            assert!(e.disagreements.is_empty(), "{s:?}\n{:?}", e.disagreements);
+        }
+    }
+
+    #[test]
     fn finding_class_names_round_trip() {
         for c in [
             FindingClass::FalseTrap,
@@ -908,6 +995,7 @@ mod tests {
             FindingClass::ElisionDivergence,
             FindingClass::TierDivergence,
             FindingClass::CacheDivergence,
+            FindingClass::InterprocDivergence,
             FindingClass::HarnessPanic,
         ] {
             assert_eq!(FindingClass::from_name(c.name()), Some(c));

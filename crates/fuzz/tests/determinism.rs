@@ -18,6 +18,7 @@ fn config(workers: usize, corpus_dir: Option<std::path::PathBuf>) -> CampaignCon
         elide_checks: false,
         tier_checks: false,
         plan_cache_checks: false,
+        interproc_checks: false,
     }
 }
 

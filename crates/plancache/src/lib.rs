@@ -10,7 +10,8 @@
 //! simulator's own host costs.
 //!
 //! **Keying.** An artifact is addressed by *content*, not identity:
-//! `(program fingerprint, instrumented?, elide_checks?, exec tier)`.
+//! `(program fingerprint, analysis fingerprint, instrumented?,
+//! elide_checks?, exec tier)`.
 //! The fingerprint is FNV-1a over the program's deterministic rendering
 //! ([`program_fingerprint`]), so structurally identical programs built
 //! independently share one artifact. The other three key components are
@@ -75,6 +76,11 @@ const SHARDS: usize = 16;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 struct Key {
     fingerprint: u64,
+    /// [`ifp_analyze::ANALYSIS_FINGERPRINT`]: cached plans never outlive
+    /// the analysis semantics that justified them. Constant within one
+    /// build, so it never splits keys at runtime — it exists for caches
+    /// that outlive a process (and to make the dependency explicit).
+    analysis: u64,
     instrumented: bool,
     elide_checks: bool,
     tier: ExecTier,
@@ -85,6 +91,7 @@ impl Key {
         let instrumented = config.mode.is_instrumented();
         Key {
             fingerprint,
+            analysis: ifp_analyze::ANALYSIS_FINGERPRINT,
             instrumented,
             // Elision is a plan input only when a plan exists; normalize
             // so uninstrumented lookups with the flag set still share.

@@ -1508,6 +1508,7 @@ impl<'p> Vm<'p> {
                 // bounds register and skips the fused check. The
                 // pointer's poison bits are still honoured.
                 self.stats.elision.checks_elided += 1;
+                self.stats.elision.summary_elided += u64::from(elide.summary);
                 b = None;
             }
         }
@@ -1575,6 +1576,7 @@ impl<'p> Vm<'p> {
             self.stats.elision.checks_total += 1;
             if elide.check {
                 self.stats.elision.checks_elided += 1;
+                self.stats.elision.summary_elided += u64::from(elide.summary);
                 b = None;
             }
         }

@@ -77,6 +77,10 @@ pub struct ElisionStats {
     pub arith_elided: u64,
     /// `promote` instructions skipped because their result was dead.
     pub promotes_elided: u64,
+    /// Of `checks_elided`, checks whose proof rested on an
+    /// inter-procedural summary (parameter window or summarized call
+    /// return) rather than a purely local interval fact.
+    pub summary_elided: u64,
 }
 
 /// All statistics from one run. `PartialEq` is part of the execution-

@@ -14,9 +14,11 @@
 //!   Dominated by steady-state interpreter dispatch.
 //! * `temporal_matrix` — the temporal suite × 2 allocators × 4 policies.
 //!
-//! The modeled columns (`modeled_instrs`, `modeled_cycles`) are
-//! simulation outputs and must be identical run to run and machine to
-//! machine; only `wall_ms` / `instrs_per_sec` measure the host. The
+//! The modeled columns (`modeled_instrs`, `modeled_cycles`, and the
+//! `elision_rate` fraction of dynamic checks the static plan discharges
+//! on the subheap configuration) are simulation outputs and must be
+//! identical run to run and machine to machine; only `wall_ms` /
+//! `instrs_per_sec` measure the host. The
 //! checked-in `BENCH_host.json` keeps a trajectory of these measurements
 //! across optimization work (see the README's Performance section).
 //!
@@ -60,6 +62,11 @@ struct SuiteResult {
     wall_ms: f64,
     modeled_instrs: u64,
     modeled_cycles: u64,
+    /// Fraction of dynamic checked dereferences the static elision plan
+    /// discharges when the subheap configuration reruns with
+    /// `elide_checks` on. A modeled column (deterministic), measured
+    /// outside the timed loop.
+    elision_rate: f64,
 }
 
 impl SuiteResult {
@@ -95,6 +102,34 @@ fn cache_label(cache: Option<&PlanCache>) -> &'static str {
         "warm"
     } else {
         "off"
+    }
+}
+
+/// Aggregate check-elision rate over `programs`: one untimed subheap run
+/// each with `elide_checks` on, summing elided over total checked
+/// dereferences. Traps (expected for bad Juliet cases) contribute their
+/// up-to-trap counts.
+fn elision_rate_of<'a>(programs: impl Iterator<Item = &'a ifp_compiler::Program>) -> f64 {
+    let mut total = 0u64;
+    let mut elided = 0u64;
+    for program in programs {
+        let mut cfg = VmConfig::with_mode(Mode::instrumented(AllocatorKind::Subheap));
+        cfg.fuel = 50_000_000;
+        cfg.elide_checks = true;
+        let stats = match run(program, &cfg) {
+            Ok(r) => Some(r.stats),
+            Err(VmError::Trap { stats, .. }) => Some(*stats),
+            Err(_) => None,
+        };
+        if let Some(s) = stats {
+            total += s.elision.checks_total;
+            elided += s.elision.checks_elided;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        elided as f64 / total as f64
     }
 }
 
@@ -144,6 +179,7 @@ fn juliet_spatial(reps: u32, tier: ExecTier, cache: Option<&PlanCache>) -> Suite
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
+        elision_rate: elision_rate_of(cases.iter().map(|c| &c.program)),
     }
 }
 
@@ -187,6 +223,7 @@ fn workloads_sweep(quick: bool, tier: ExecTier, cache: Option<&PlanCache>) -> Su
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
+        elision_rate: elision_rate_of(programs.iter()),
     }
 }
 
@@ -229,6 +266,7 @@ fn temporal_matrix(reps: u32, tier: ExecTier, cache: Option<&PlanCache>) -> Suit
         wall_ms: t0.elapsed().as_secs_f64() * 1e3,
         modeled_instrs: instrs,
         modeled_cycles: cycles,
+        elision_rate: elision_rate_of(tcases.iter().map(|c| &c.program)),
     }
 }
 
@@ -241,13 +279,15 @@ fn to_json(suites: &[SuiteResult], quick: bool) -> String {
         let _ = write!(
             s,
             "    {{\"suite\": \"{}\", \"tier\": \"{}\", \"cache\": \"{}\", \"wall_ms\": {:.1}, \
-             \"modeled_instrs\": {}, \"modeled_cycles\": {}, \"instrs_per_sec\": {}}}",
+             \"modeled_instrs\": {}, \"modeled_cycles\": {}, \"elision_rate\": {:.4}, \
+             \"instrs_per_sec\": {}}}",
             r.suite,
             r.tier.name(),
             r.cache,
             r.wall_ms,
             r.modeled_instrs,
             r.modeled_cycles,
+            r.elision_rate,
             r.instrs_per_sec()
         );
         s.push_str(if i + 1 < suites.len() { ",\n" } else { "\n" });
@@ -456,13 +496,14 @@ fn main() {
     for r in &suites {
         eprintln!(
             "  {} [{}/cache {}]: wall_ms={:.1} modeled_instrs={} modeled_cycles={} \
-             instrs_per_sec={}",
+             elision_rate={:.4} instrs_per_sec={}",
             r.suite,
             r.tier.name(),
             r.cache,
             r.wall_ms,
             r.modeled_instrs,
             r.modeled_cycles,
+            r.elision_rate,
             r.instrs_per_sec()
         );
     }
@@ -475,8 +516,12 @@ fn main() {
             .find(|s| s.suite == r.suite)
             .expect("r itself matches");
         assert_eq!(
-            (first.modeled_instrs, first.modeled_cycles),
-            (r.modeled_instrs, r.modeled_cycles),
+            (
+                first.modeled_instrs,
+                first.modeled_cycles,
+                first.elision_rate
+            ),
+            (r.modeled_instrs, r.modeled_cycles, r.elision_rate),
             "{}: modeled columns drifted across tier/cache variants",
             r.suite
         );
